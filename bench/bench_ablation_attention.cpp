@@ -1,0 +1,78 @@
+// Ablation: attention-architecture variants (paper §V "Outlook": "linear
+// (or windowed) attention versions of the ViT" and other architecture types
+// as future work, motivated by the ViT's heavy dependence on NVS/HBM).
+//
+//  * ViT-64K with full vs windowed (two window sizes) vs linear attention:
+//    how much of the 2D-TP communication and HBM pressure the paper
+//    attributes to the O(l^2) attention actually disappears.
+//  * Llama3-405B with grouped-query vs full multi-head attention.
+
+#include <iostream>
+
+#include "core/training_estimate.hpp"
+#include "model/transformer.hpp"
+#include "report/breakdown_report.hpp"
+#include "search/search.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace tfpe;
+
+  {
+    const hw::SystemConfig sys = hw::make_system(hw::GpuGeneration::B200, 8, 4096);
+    std::vector<report::LabeledResult> rows;
+    const model::TransformerConfig variants[] = {
+        model::vit_64k(),
+        model::vit_64k_windowed(16200),
+        model::vit_64k_windowed(4050),
+        model::vit_64k_linear(),
+    };
+    for (const auto& mdl : variants) {
+      search::SearchOptions opts;
+      opts.strategy = parallel::TpStrategy::TP2D;
+      opts.global_batch = 4096;
+      rows.push_back({mdl.name, search::find_optimal(mdl, sys, opts).best});
+    }
+    {
+      // Ring attention on the dense ViT: overlap the K/V movement.
+      search::SearchOptions opts;
+      opts.strategy = parallel::TpStrategy::TP2D;
+      opts.global_batch = 4096;
+      opts.allow_ring_attention = true;
+      rows.push_back({"ViT-64K + ring attention",
+                      search::find_optimal(model::vit_64k(), sys, opts).best});
+    }
+    report::print_panels(std::cout,
+                         "Ablation | ViT attention variants, 2D TP, 4096 B200",
+                         rows);
+    const double base = rows.front().result.iteration();
+    for (const auto& [label, r] : rows) {
+      if (!r.feasible) continue;
+      std::cout << "  " << label << ": "
+                << util::format_fixed(base / r.iteration(), 2)
+                << "x faster than full attention, HBM "
+                << util::format_bytes(r.mem.total()) << ", TP "
+                << r.cfg.tp() << "\n";
+    }
+    std::cout << '\n';
+  }
+
+  {
+    const hw::SystemConfig sys = hw::make_system(hw::GpuGeneration::B200, 8, 2048);
+    std::vector<report::LabeledResult> rows;
+    model::TransformerConfig gqa = model::llama3_405b();
+    model::TransformerConfig mha = gqa;
+    mha.name = "Llama3-405B-MHA";
+    mha.kv_heads = 0;
+    for (const auto& mdl : {gqa, mha}) {
+      search::SearchOptions opts;
+      opts.strategy = parallel::TpStrategy::Summa2D;
+      opts.global_batch = 1024;
+      rows.push_back({mdl.name, search::find_optimal(mdl, sys, opts).best});
+    }
+    report::print_panels(
+        std::cout, "Ablation | grouped-query vs multi-head, Llama3-405B, SUMMA",
+        rows);
+  }
+  return 0;
+}

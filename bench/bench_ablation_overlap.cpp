@@ -1,0 +1,79 @@
+// Ablation: communication-hiding extensions (paper §V "Limitations" —
+// "more lower-level opportunities for TP communications to be overlapped",
+// "offloading to the CPU ... may be very useful for large sequences") plus
+// the NCCL tree-algorithm option.
+//
+//  * TP overlap sweep on the ViT (TP-comm bound per Fig. 4b).
+//  * Activation offload sweep on the ViT (HBM-bound per Fig. 4b).
+//  * Ring-vs-tree collective times across group sizes and volumes.
+
+#include <iostream>
+
+#include "comm/collective_model.hpp"
+#include "model/transformer.hpp"
+#include "report/breakdown_report.hpp"
+#include "search/search.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace tfpe;
+
+  const model::TransformerConfig vit = model::vit_64k();
+  const hw::SystemConfig sys = hw::make_system(hw::GpuGeneration::B200, 8, 4096);
+
+  {
+    std::vector<report::LabeledResult> rows;
+    for (double ov : {0.0, 0.5, 0.8}) {
+      search::SearchOptions opts;
+      opts.strategy = parallel::TpStrategy::TP2D;
+      opts.global_batch = 4096;
+      opts.eval.tp_overlap = ov;
+      rows.push_back({"tp_overlap=" + util::format_fixed(ov, 1),
+                      search::find_optimal(vit, sys, opts).best});
+    }
+    report::print_panels(std::cout,
+                         "Ablation | TP-communication overlap, ViT-64K, 4096 B200",
+                         rows);
+  }
+
+  {
+    std::vector<report::LabeledResult> rows;
+    for (double off : {0.0, 0.5, 0.9}) {
+      search::SearchOptions opts;
+      opts.strategy = parallel::TpStrategy::TP2D;
+      opts.global_batch = 4096;
+      opts.eval.activation_offload = off;
+      rows.push_back({"offload=" + util::format_fixed(off, 1),
+                      search::find_optimal(vit, sys, opts).best});
+    }
+    report::print_panels(
+        std::cout, "Ablation | activation offload to host, ViT-64K, 4096 B200",
+        rows);
+    std::cout << "Offload frees HBM (less TP needed to fit) at the price of\n"
+                 "host-link traffic per microbatch.\n\n";
+  }
+
+  {
+    util::TextTable t;
+    t.set_header({"group", "volume", "ring AR", "tree AR", "winner"});
+    auto net = hw::network_preset(hw::GpuGeneration::B200);
+    for (std::int64_t g : {std::int64_t{64}, std::int64_t{1024}}) {
+      for (double v : {1e5, 1e7, 1e9}) {
+        const comm::GroupPlacement pl{g, 8};
+        const double ring =
+            comm::collective_time(net, ops::Collective::AllReduce, v, pl);
+        const double tree =
+            comm::tree_time(net, ops::Collective::AllReduce, v, pl);
+        t.add_row({std::to_string(g), util::format_bytes(v),
+                   util::format_time(ring), util::format_time(tree),
+                   tree < ring ? "tree" : "ring"});
+      }
+    }
+    std::cout << "== Ablation | ring vs double-binary-tree AllReduce ==\n";
+    t.print(std::cout);
+    std::cout << "Trees win the latency-bound (small-volume, large-group)\n"
+                 "corner; rings keep the bandwidth-bound regime.\n";
+  }
+  return 0;
+}

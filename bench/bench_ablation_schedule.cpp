@@ -1,0 +1,68 @@
+// Ablation: pipeline schedule and optimizer-sharding extensions (paper §V
+// "Limitations" — interleaved schedules "can drop bubble time further";
+// weights/gradients "can also be partitioned using DP at the cost of higher
+// communication").
+//
+// GPT3-1T on 16384 B200 (NVS 8), where Fig. 4a shows ~30% bubble time:
+// the interleaved schedule trades bubble for P2P volume; ZeRO-3 trades
+// weight memory for per-microbatch weight AllGathers.
+
+#include <iostream>
+
+#include "model/transformer.hpp"
+#include "report/breakdown_report.hpp"
+#include "search/search.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace tfpe;
+
+  const model::TransformerConfig mdl = model::gpt3_1t();
+  const hw::SystemConfig sys = hw::make_system(hw::GpuGeneration::B200, 8, 16384);
+
+  std::vector<report::LabeledResult> rows;
+  auto run = [&](const std::string& label, search::SearchOptions opts) {
+    opts.strategy = parallel::TpStrategy::TP1D;
+    opts.global_batch = 4096;
+    rows.push_back({label, search::find_optimal(mdl, sys, opts).best});
+  };
+
+  run("1F1B baseline", {});
+  {
+    search::SearchOptions o;
+    o.interleave_candidates = {1, 2};
+    run("interleave v<=2", o);
+  }
+  {
+    search::SearchOptions o;
+    o.interleave_candidates = {1, 2, 4, 8};
+    run("interleave v<=8", o);
+  }
+  {
+    search::SearchOptions o;
+    o.allow_zero3 = true;
+    run("ZeRO-3 allowed", o);
+  }
+  {
+    search::SearchOptions o;
+    o.interleave_candidates = {1, 2, 4, 8};
+    o.allow_zero3 = true;
+    run("interleave + ZeRO-3", o);
+  }
+
+  report::print_panels(
+      std::cout,
+      "Ablation | pipeline schedule & optimizer sharding, GPT3-1T, 16384 B200",
+      rows);
+  const double base = rows.front().result.iteration();
+  for (const auto& [label, r] : rows) {
+    if (!r.feasible) continue;
+    std::cout << "  " << label << ": "
+              << util::format_fixed(100.0 * (base / r.iteration() - 1.0), 1)
+              << "% speedup over baseline ("
+              << util::format_time(r.iteration()) << ", bubble "
+              << util::format_fixed(100.0 * r.time.bubble / r.iteration(), 1)
+              << "%)\n";
+  }
+  return 0;
+}

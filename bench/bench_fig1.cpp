@@ -1,0 +1,60 @@
+// Reproduces paper Fig. 1: GPT3-1T with 1D TP on 16384 B200 GPUs
+// (NVS domain 8), global batch 4096, microbatch size 1, PP fixed at 64.
+// TP and DP vary against each other; the paper reports convex iteration
+// time with a local minimum at (m, nt, nd) = (128, 8, 32) using ~40 GB HBM.
+//
+// For each parallelization configuration the NVS placement is optimized,
+// as in the paper's Q1 protocol.
+
+#include <iostream>
+
+#include "hw/system.hpp"
+#include "model/transformer.hpp"
+#include "report/breakdown_report.hpp"
+#include "search/search.hpp"
+
+int main() {
+  using namespace tfpe;
+
+  const model::TransformerConfig mdl = model::gpt3_1t();
+  const hw::SystemConfig sys =
+      hw::make_system(hw::GpuGeneration::B200, 8, 16384);
+  const std::int64_t b = 4096;
+  const std::int64_t np = 64;
+  const std::int64_t nt_nd = sys.n_gpus / np;  // 256
+
+  std::vector<report::LabeledResult> results;
+  char label = 'A';
+  // nt from 1 to 64 doubling; nd = 256 / nt; microbatch size fixed at 1
+  // so m = b / nd.
+  for (std::int64_t nt = 1; nt <= 64; nt *= 2, ++label) {
+    parallel::ParallelConfig cfg;
+    cfg.strategy = parallel::TpStrategy::TP1D;
+    cfg.n1 = nt;
+    cfg.np = np;
+    cfg.nd = nt_nd / nt;
+    cfg.microbatches = b / cfg.nd;  // local microbatch size 1
+    results.push_back({std::string("Config ") + label,
+                       search::best_placement(mdl, sys, cfg, b)});
+  }
+
+  report::print_panels(
+      std::cout,
+      "Fig. 1 | GPT3-1T, 1D TP, 16384 B200, NVS 8, b=4096, b_loc=1, PP=64",
+      results);
+
+  // The paper's takeaway: time is convex in TP with the minimum at nt=8.
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].result.feasible &&
+        (!results[best].result.feasible ||
+         results[i].result.iteration() < results[best].result.iteration())) {
+      best = i;
+    }
+  }
+  std::cout << "fastest: " << results[best].label << " ("
+            << results[best].result.cfg.describe() << ")\n";
+  report::write_results_csv("fig1.csv", results);
+  std::cout << "series written to fig1.csv\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces paper Fig. 2: GPT3-1T with 1D TP on 16384 B200 GPUs, global
+// batch 4096, microbatch size 1, TP fixed at nt=8; PP and DP vary against
+// each other on two NVS domain sizes (8 and 64).
+//
+// Expected shapes: (a) on NVS 8 a local minimum at PP=64 with non-convex DP
+// communication (the placement starts assigning NVS GPUs to DP past a
+// transition point); (b) on NVS 64 the minimum shifts to low PP, with the
+// domain used to hide DP costs.
+
+#include <iostream>
+
+#include "hw/system.hpp"
+#include "model/transformer.hpp"
+#include "report/breakdown_report.hpp"
+#include "search/search.hpp"
+
+int main() {
+  using namespace tfpe;
+
+  const model::TransformerConfig mdl = model::gpt3_1t();
+  const std::int64_t b = 4096;
+  const std::int64_t nt = 8;
+
+  for (std::int64_t nvs : {std::int64_t{8}, std::int64_t{64}}) {
+    const hw::SystemConfig sys =
+        hw::make_system(hw::GpuGeneration::B200, nvs, 16384);
+    std::vector<report::LabeledResult> results;
+    // np from 2 to 128; nd = (16384/8) / np; microbatch size 1.
+    for (std::int64_t np = 2; np <= 128; np *= 2) {
+      parallel::ParallelConfig cfg;
+      cfg.strategy = parallel::TpStrategy::TP1D;
+      cfg.n1 = nt;
+      cfg.np = np;
+      cfg.nd = sys.n_gpus / nt / np;
+      if (b % cfg.nd) continue;
+      cfg.microbatches = b / cfg.nd;
+      results.push_back({"PP=" + std::to_string(np),
+                         search::best_placement(mdl, sys, cfg, b)});
+    }
+    report::print_panels(std::cout,
+                         "Fig. 2 | GPT3-1T, 1D TP, nt=8, 16384 B200, NVS " +
+                             std::to_string(nvs),
+                         results);
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (results[i].result.feasible &&
+          (!results[best].result.feasible ||
+           results[i].result.iteration() < results[best].result.iteration())) {
+        best = i;
+      }
+    }
+    std::cout << "fastest on NVS " << nvs << ": " << results[best].label
+              << "\n\n";
+    report::write_results_csv("fig2_nvs" + std::to_string(nvs) + ".csv",
+                              results);
+  }
+  return 0;
+}

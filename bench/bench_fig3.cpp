@@ -1,0 +1,96 @@
+// Reproduces paper Fig. 3: GPT3-1T with 2D TP SUMMA on 16384 B200, global
+// batch 4096, two NVS domain sizes.
+//
+// First five configurations: (nt, np) = (32, 1), m = 1, varying the split of
+// nt into (n1, n2). Remaining configurations: (nt, np) = (8, 128) with large
+// m. Expected shapes: on NVS 8 the fastest keeps n2 = 1 (pure 1D) with
+// (8,1,128); on NVS 64 high-DP wins with (8,4,1).
+//
+// For each configuration the SUMMA panel count nb and the NVS placement are
+// optimized, as in the paper's protocol.
+
+#include <iostream>
+
+#include "hw/system.hpp"
+#include "model/transformer.hpp"
+#include "report/breakdown_report.hpp"
+#include "search/search.hpp"
+
+namespace {
+
+tfpe::core::EvalResult best_over_nb(const tfpe::model::TransformerConfig& mdl,
+                                    const tfpe::hw::SystemConfig& sys,
+                                    tfpe::parallel::ParallelConfig cfg,
+                                    std::int64_t b) {
+  tfpe::core::EvalResult best;
+  best.reason = "no panel count tried";
+  for (std::int64_t nb : {1, 2, 4, 8, 16}) {
+    cfg.nb = nb;
+    const auto r = tfpe::search::best_placement(mdl, sys, cfg, b);
+    if (r.feasible && (!best.feasible || r.iteration() < best.iteration())) {
+      best = r;
+    }
+    if (!r.feasible && !best.feasible) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tfpe;
+
+  const model::TransformerConfig mdl = model::gpt3_1t();
+  const std::int64_t b = 4096;
+
+  for (std::int64_t nvs : {std::int64_t{8}, std::int64_t{64}}) {
+    const hw::SystemConfig sys =
+        hw::make_system(hw::GpuGeneration::B200, nvs, 16384);
+    std::vector<report::LabeledResult> results;
+
+    // High-DP block: nt = 32, np = 1, one microbatch.
+    for (std::int64_t n1 : {32, 16, 8, 4, 2}) {
+      parallel::ParallelConfig cfg;
+      cfg.strategy = parallel::TpStrategy::Summa2D;
+      cfg.n1 = n1;
+      cfg.n2 = 32 / n1;
+      cfg.np = 1;
+      cfg.nd = sys.n_gpus / 32;
+      cfg.microbatches = 1;
+      results.push_back({"(" + std::to_string(cfg.n1) + "," +
+                             std::to_string(cfg.n2) + ",np=1)",
+                         best_over_nb(mdl, sys, cfg, b)});
+    }
+    // Low-DP block: nt = 8, np = 128, large m.
+    for (std::int64_t n1 : {8, 4, 2, 1}) {
+      parallel::ParallelConfig cfg;
+      cfg.strategy = parallel::TpStrategy::Summa2D;
+      cfg.n1 = n1;
+      cfg.n2 = 8 / n1;
+      cfg.np = 128;
+      cfg.nd = sys.n_gpus / 8 / 128;
+      cfg.microbatches = b / cfg.nd;  // microbatch size 1
+      results.push_back({"(" + std::to_string(cfg.n1) + "," +
+                             std::to_string(cfg.n2) + ",np=128)",
+                         best_over_nb(mdl, sys, cfg, b)});
+    }
+
+    report::print_panels(std::cout,
+                         "Fig. 3 | GPT3-1T, 2D TP SUMMA, 16384 B200, NVS " +
+                             std::to_string(nvs),
+                         results);
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (results[i].result.feasible &&
+          (!results[best].result.feasible ||
+           results[i].result.iteration() < results[best].result.iteration())) {
+        best = i;
+      }
+    }
+    std::cout << "fastest on NVS " << nvs << ": " << results[best].label
+              << "\n\n";
+    report::write_results_csv("fig3_nvs" + std::to_string(nvs) + ".csv",
+                              results);
+  }
+  return 0;
+}

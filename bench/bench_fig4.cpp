@@ -1,0 +1,40 @@
+// Reproduces paper Fig. 4: optimal parallelization strategy and time
+// breakdown vs number of GPUs (strong scaling) on B200 with NVS domain 8.
+//   (a) GPT3-1T with 1D TP — expected: compute-dominated, PP bubbles rise
+//       then TP/DP communication; HBM utilization drops at scale.
+//   (b) ViT-64K with 2D TP — expected: large TP mandatory, TP communication
+//       the main bottleneck, HBM highly utilized throughout.
+//
+// The full S3 search (parallelization + placement) runs independently per n.
+
+#include <iostream>
+
+#include "model/transformer.hpp"
+#include "report/figure_data.hpp"
+
+int main() {
+  using namespace tfpe;
+
+  const hw::SystemConfig sys = hw::make_system(hw::GpuGeneration::B200, 8, 16384);
+  const std::int64_t b = 4096;
+
+  {
+    const auto scales = report::pow2_range(128, 16384);
+    const auto rows = report::scaling_sweep(model::gpt3_1t(), sys,
+                                            parallel::TpStrategy::TP1D, b, scales);
+    report::print_panels(std::cout,
+                         "Fig. 4a | GPT3-1T, 1D TP, B200 NVS 8, optimal vs n",
+                         rows);
+    report::write_results_csv("fig4a.csv", rows);
+  }
+  {
+    const auto scales = report::pow2_range(256, 16384);
+    const auto rows = report::scaling_sweep(model::vit_64k(), sys,
+                                            parallel::TpStrategy::TP2D, b, scales);
+    report::print_panels(std::cout,
+                         "Fig. 4b | ViT-64K, 2D TP, B200 NVS 8, optimal vs n",
+                         rows);
+    report::write_results_csv("fig4b.csv", rows);
+  }
+  return 0;
+}

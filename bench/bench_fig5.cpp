@@ -1,0 +1,94 @@
+// Reproduces paper Fig. 5: end-to-end training time (days) vs number of
+// GPUs for three GPU generations (A100, H200, B200) and three NVS domain
+// sizes (4, 8, 64).
+//   (a) GPT3-1T, 1D TP, pre-training on 1T tokens.
+//   (b) ViT-64K, 2D TP, 80 epochs over 40 years of hourly ERA5.
+//
+// Expected shapes: large generation-to-generation gains for both models
+// (tensor-core + network bandwidth); NVS effects at the smallest and largest
+// scales for GPT3-1T but across all scales for the ViT.
+
+#include <iostream>
+
+#include "core/training_estimate.hpp"
+#include "report/figure_data.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace tfpe;
+
+  struct Panel {
+    const char* caption;
+    model::TransformerConfig mdl;
+    parallel::TpStrategy strategy;
+    bool tokens;  // token budget (GPT) vs sample budget (ViT)
+    std::int64_t min_scale;
+  };
+  const Panel panels[] = {
+      {"Fig. 5a | GPT3-1T 1D TP, 1T tokens", model::gpt3_1t(),
+       parallel::TpStrategy::TP1D, true, 512},
+      {"Fig. 5b | ViT-64K 2D TP, 80 epochs ERA5", model::vit_64k(),
+       parallel::TpStrategy::TP2D, false, 256},
+  };
+  const std::int64_t b = 4096;
+
+  for (const Panel& panel : panels) {
+    std::cout << "== " << panel.caption << " ==\n";
+    util::TextTable table;
+    std::vector<std::string> header{"system"};
+    const auto scales = report::pow2_range(panel.min_scale, 16384);
+    for (auto n : scales) header.push_back(std::to_string(n));
+    table.set_header(header);
+
+    std::vector<util::Series> chart;
+    util::CsvWriter csv(std::string("fig5") +
+                        (panel.tokens ? "a" : "b") + ".csv");
+    csv.write_header({"gpu", "nvs", "n", "days"});
+
+    for (auto gen : {hw::GpuGeneration::A100, hw::GpuGeneration::H200,
+                     hw::GpuGeneration::B200}) {
+      for (std::int64_t nvs : {std::int64_t{4}, std::int64_t{8},
+                               std::int64_t{64}}) {
+        const hw::SystemConfig sys = hw::make_system(gen, nvs, 16384);
+        std::vector<std::string> row{hw::to_string(gen) + " NVS" +
+                                     std::to_string(nvs)};
+        util::Series series{row[0], {}, {}};
+        for (auto n : scales) {
+          const auto r =
+              report::optimal_at_scale(panel.mdl, sys, panel.strategy, b, n);
+          if (!r.feasible) {
+            row.push_back("-");
+            continue;
+          }
+          const auto est =
+              panel.tokens
+                  ? core::estimate_token_training(panel.mdl, b, r.iteration(),
+                                                  core::kGpt3PretrainTokens)
+                  : core::estimate_sample_training(b, r.iteration(),
+                                                   core::kEra5TrainingSamples);
+          row.push_back(util::format_fixed(est.days, 2));
+          series.x.push_back(static_cast<double>(n));
+          series.y.push_back(est.days);
+          csv.write_row(std::vector<std::string>{
+              hw::to_string(gen), std::to_string(nvs), std::to_string(n),
+              util::format_fixed(est.days, 4)});
+        }
+        table.add_row(row);
+        chart.push_back(std::move(series));
+      }
+    }
+    std::cout << "training time in DAYS vs number of GPUs\n";
+    table.print(std::cout);
+    // One representative chart per generation at NVS 8 to keep it readable.
+    std::vector<util::Series> picked;
+    for (const auto& s : chart) {
+      if (s.name.find("NVS8") != std::string::npos) picked.push_back(s);
+    }
+    util::ascii_chart(std::cout, picked);
+    std::cout << '\n';
+  }
+  return 0;
+}

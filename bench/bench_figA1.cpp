@@ -1,0 +1,62 @@
+// Reproduces paper Fig. A1: AllGather time vs communication volume on
+// 32 A100 GPUs, comparing the analytical formulae against an independent
+// execution — the paper used NCCL tests on Perlmutter; this repo substitutes
+// the discrete-event ring simulator (see DESIGN.md).
+//
+// Two placements are shown, mirroring the paper's NVL2/NVL4 curves: 2 GPUs
+// per node and 4 GPUs per node. Expected shape: theory tracks the simulated
+// times, and more GPUs per node effectively increases the slow-network
+// bandwidth (the NVL4 curve sits below NVL2).
+
+#include <iostream>
+
+#include "comm/collective_model.hpp"
+#include "hw/system.hpp"
+#include "sim/validation.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace tfpe;
+
+  const hw::NetworkSpec net = hw::network_preset(hw::GpuGeneration::A100);
+  const std::int64_t g = 32;
+
+  util::TextTable table;
+  table.set_header({"volume", "placement", "theory", "simulated", "err %"});
+  util::CsvWriter csv("figA1.csv");
+  csv.write_header({"bytes", "gpus_per_node", "theory_s", "sim_s", "pct_err"});
+
+  std::vector<util::Series> chart;
+  for (std::int64_t nvs : {std::int64_t{2}, std::int64_t{4}}) {
+    util::Series theory{"theory NVL" + std::to_string(nvs), {}, {}};
+    util::Series sim{"sim NVL" + std::to_string(nvs), {}, {}};
+    for (double v = 1e6; v <= 16e9; v *= 4) {
+      const sim::ValidationPoint p = sim::validate_collective(
+          net, ops::Collective::AllGather, v, g, nvs,
+          "AG " + util::format_bytes(v));
+      table.add_row({util::format_bytes(v), "NVL" + std::to_string(nvs),
+                     util::format_time(p.analytic_seconds),
+                     util::format_time(p.simulated_seconds),
+                     util::format_fixed(p.pct_error(), 1)});
+      csv.write_row(std::vector<double>{v, static_cast<double>(nvs),
+                                        p.analytic_seconds,
+                                        p.simulated_seconds, p.pct_error()});
+      theory.x.push_back(v);
+      theory.y.push_back(p.analytic_seconds);
+      sim.x.push_back(v);
+      sim.y.push_back(p.simulated_seconds);
+    }
+    chart.push_back(std::move(theory));
+    chart.push_back(std::move(sim));
+  }
+
+  std::cout << "== Fig. A1 | AllGather time vs volume, 32 A100, theory vs "
+               "discrete-event simulation ==\n";
+  table.print(std::cout);
+  util::ascii_chart(std::cout, chart);
+  std::cout << "series written to figA1.csv\n";
+  return 0;
+}

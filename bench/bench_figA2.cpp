@@ -1,0 +1,80 @@
+// Reproduces paper Fig. A2: plain 2D TP configuration sweeps on 16384 B200
+// with a 64-GPU NVS domain, global batch 4096.
+//   (a) GPT3-1T: (nt,np) = (32,1) then (8,128), varying the (n1,n2) split —
+//       behaves like SUMMA but with much higher memory (shared weights and
+//       activations), pushing the choice toward the large-PP block.
+//   (b) ViT-64K: nt = 16 with np in {1, 16} — high- and low-PP
+//       configurations contend; memory is sensitive to (n1, n2, np).
+
+#include <iostream>
+
+#include "hw/system.hpp"
+#include "model/transformer.hpp"
+#include "report/breakdown_report.hpp"
+#include "search/search.hpp"
+
+int main() {
+  using namespace tfpe;
+  const std::int64_t b = 4096;
+  const hw::SystemConfig sys = hw::make_system(hw::GpuGeneration::B200, 64, 16384);
+
+  {
+    const model::TransformerConfig mdl = model::gpt3_1t();
+    std::vector<report::LabeledResult> results;
+    for (std::int64_t n1 : {32, 16, 8, 4, 2}) {
+      parallel::ParallelConfig cfg;
+      cfg.strategy = parallel::TpStrategy::TP2D;
+      cfg.n1 = n1;
+      cfg.n2 = 32 / n1;
+      cfg.np = 1;
+      cfg.nd = sys.n_gpus / 32;
+      cfg.microbatches = 1;
+      results.push_back({"(" + std::to_string(cfg.n1) + "," +
+                             std::to_string(cfg.n2) + ",np=1)",
+                         search::best_placement(mdl, sys, cfg, b)});
+    }
+    for (std::int64_t n1 : {8, 4, 2, 1}) {
+      parallel::ParallelConfig cfg;
+      cfg.strategy = parallel::TpStrategy::TP2D;
+      cfg.n1 = n1;
+      cfg.n2 = 8 / n1;
+      cfg.np = 128;
+      cfg.nd = sys.n_gpus / 8 / 128;
+      cfg.microbatches = b / cfg.nd;
+      results.push_back({"(" + std::to_string(cfg.n1) + "," +
+                             std::to_string(cfg.n2) + ",np=128)",
+                         search::best_placement(mdl, sys, cfg, b)});
+    }
+    report::print_panels(std::cout,
+                         "Fig. A2a | GPT3-1T, 2D TP, 16384 B200, NVS 64",
+                         results);
+    report::write_results_csv("figA2a.csv", results);
+  }
+
+  {
+    const model::TransformerConfig mdl = model::vit_64k();
+    const hw::SystemConfig vsys = hw::make_system(hw::GpuGeneration::B200, 64, 4096);
+    std::vector<report::LabeledResult> results;
+    for (std::int64_t np : {std::int64_t{1}, std::int64_t{16}}) {
+      for (std::int64_t n1 : {16, 8, 4, 2, 1}) {
+        parallel::ParallelConfig cfg;
+        cfg.strategy = parallel::TpStrategy::TP2D;
+        cfg.n1 = n1;
+        cfg.n2 = 16 / n1;
+        cfg.np = np;
+        cfg.nd = vsys.n_gpus / 16 / np;
+        if (b % cfg.nd) continue;
+        cfg.microbatches = b / cfg.nd;  // microbatch size 1
+        results.push_back({"(" + std::to_string(cfg.n1) + "," +
+                               std::to_string(cfg.n2) + ",np=" +
+                               std::to_string(np) + ")",
+                           search::best_placement(mdl, vsys, cfg, b)});
+      }
+    }
+    report::print_panels(std::cout,
+                         "Fig. A2b | ViT-64K, 2D TP, 4096 B200, NVS 64",
+                         results);
+    report::write_results_csv("figA2b.csv", results);
+  }
+  return 0;
+}

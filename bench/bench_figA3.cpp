@@ -1,0 +1,37 @@
+// Reproduces paper Fig. A3: optimal configurations vs GPU count on a LARGE
+// NVS domain (64), B200, global batch 4096.
+//   (a) GPT3-1T with 1D TP — expected: reduced PP at scale relative to the
+//       NVS-8 machine (Fig. 4a); the large fast domain absorbs DP costs.
+//   (b) GPT3-1T with 2D TP SUMMA — expected: effectively 1D (n2 = 1) at most
+//       scales, 2D partitioning only at the largest scales.
+
+#include <iostream>
+
+#include "model/transformer.hpp"
+#include "report/figure_data.hpp"
+
+int main() {
+  using namespace tfpe;
+
+  const hw::SystemConfig sys = hw::make_system(hw::GpuGeneration::B200, 64, 16384);
+  const std::int64_t b = 4096;
+  const auto scales = report::pow2_range(512, 16384);
+
+  {
+    const auto rows = report::scaling_sweep(model::gpt3_1t(), sys,
+                                            parallel::TpStrategy::TP1D, b, scales);
+    report::print_panels(std::cout,
+                         "Fig. A3a | GPT3-1T, 1D TP, B200 NVS 64, optimal vs n",
+                         rows);
+    report::write_results_csv("figA3a.csv", rows);
+  }
+  {
+    const auto rows = report::scaling_sweep(
+        model::gpt3_1t(), sys, parallel::TpStrategy::Summa2D, b, scales);
+    report::print_panels(
+        std::cout, "Fig. A3b | GPT3-1T, 2D TP SUMMA, B200 NVS 64, optimal vs n",
+        rows);
+    report::write_results_csv("figA3b.csv", rows);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces paper Fig. A4: relative speedup of the two 2D TP strategies
+// over 1D TP for GPT3-1T, across GPU generations, NVS domain sizes and GPU
+// counts. Expected shape: speedups clustered around 0-10%, with SUMMA most
+// helpful in resource-constrained regimes (small scale, A100 capacity, small
+// NVS) and plain 2D TP stronger at large scale; higher generations and
+// larger NVS domains shrink the speedups.
+
+#include <iostream>
+
+#include "model/transformer.hpp"
+#include "report/figure_data.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace tfpe;
+
+  const model::TransformerConfig mdl = model::gpt3_1t();
+  const std::int64_t b = 4096;
+
+  util::TextTable table;
+  table.set_header({"gpu", "nvs", "n", "1D iter", "2D speedup %",
+                    "SUMMA speedup %"});
+  util::CsvWriter csv("figA4.csv");
+  csv.write_header({"gpu", "nvs", "n", "iter_1d_s", "speedup_2d_pct",
+                    "speedup_summa_pct"});
+
+  for (auto gen : {hw::GpuGeneration::A100, hw::GpuGeneration::B200}) {
+    for (std::int64_t nvs : {std::int64_t{4}, std::int64_t{8}, std::int64_t{64}}) {
+      const hw::SystemConfig sys = hw::make_system(gen, nvs, 16384);
+      for (std::int64_t n : {std::int64_t{1024}, std::int64_t{4096},
+                             std::int64_t{16384}}) {
+        const auto r1d = report::optimal_at_scale(
+            mdl, sys, parallel::TpStrategy::TP1D, b, n);
+        const auto r2d = report::optimal_at_scale(
+            mdl, sys, parallel::TpStrategy::TP2D, b, n);
+        const auto rsu = report::optimal_at_scale(
+            mdl, sys, parallel::TpStrategy::Summa2D, b, n);
+        if (!r1d.feasible) {
+          table.add_row({hw::to_string(gen), std::to_string(nvs),
+                         std::to_string(n), "infeasible", "-", "-"});
+          continue;
+        }
+        auto speedup = [&](const core::EvalResult& r) {
+          return r.feasible
+                     ? 100.0 * (r1d.iteration() / r.iteration() - 1.0)
+                     : 0.0;
+        };
+        const double s2d = speedup(r2d);
+        const double ssu = speedup(rsu);
+        table.add_row({hw::to_string(gen), std::to_string(nvs),
+                       std::to_string(n), util::format_time(r1d.iteration()),
+                       util::format_fixed(s2d, 1), util::format_fixed(ssu, 1)});
+        csv.write_row(std::vector<std::string>{
+            hw::to_string(gen), std::to_string(nvs), std::to_string(n),
+            util::format_fixed(r1d.iteration(), 6), util::format_fixed(s2d, 3),
+            util::format_fixed(ssu, 3)});
+      }
+    }
+  }
+  std::cout << "== Fig. A4 | GPT3-1T: speedup of 2D TP variants over 1D TP ==\n";
+  table.print(std::cout);
+  std::cout << "series written to figA4.csv\n";
+  return 0;
+}

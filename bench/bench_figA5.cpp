@@ -1,0 +1,79 @@
+// Reproduces paper Fig. A5: training time for GPT3-1T and ViT-64K on 8192
+// GPUs as a function of (tensor-core FLOP rate) x (HBM capacity+bandwidth),
+// with the B200 network held fixed, global batch 4096.
+//
+// Both memory capacity and bandwidth scale together along the x axis (as in
+// the paper); the vector rate scales with the tensor rate. Expected shape:
+// FLOP rate is the primary driver for GPT3-1T (columns nearly flat), while
+// the ViT shows real sensitivity along the memory axis.
+
+#include <cmath>
+#include <iostream>
+
+#include "model/transformer.hpp"
+#include "report/figure_data.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace tfpe;
+
+  const std::int64_t b = 4096;
+  const std::int64_t n = 8192;
+  const hw::GpuSpec base = hw::b200();
+
+  // Sweep factors relative to B200: memory (capacity & bandwidth together)
+  // and compute (tensor & vector together).
+  const std::vector<double> mem_scale{0.25, 0.5, 1.0, 2.0};
+  const std::vector<double> flop_scale{0.125, 0.25, 0.5, 1.0, 2.0};
+
+  struct Panel {
+    const char* caption;
+    model::TransformerConfig mdl;
+    parallel::TpStrategy strategy;
+    const char* csv;
+  };
+  const Panel panels[] = {
+      {"Fig. A5a | GPT3-1T on 8192 GPUs: FLOP rate vs HBM cap/bw",
+       model::gpt3_1t(), parallel::TpStrategy::TP1D, "figA5a.csv"},
+      {"Fig. A5b | ViT-64K on 8192 GPUs: FLOP rate vs HBM cap/bw",
+       model::vit_64k(), parallel::TpStrategy::TP2D, "figA5b.csv"},
+  };
+
+  for (const Panel& panel : panels) {
+    util::CsvWriter csv(panel.csv);
+    csv.write_header({"flop_scale", "mem_scale", "iter_s"});
+    std::vector<std::vector<double>> grid;
+    std::vector<std::string> row_labels, col_labels;
+    for (double ms : mem_scale) {
+      col_labels.push_back(util::format_fixed(ms, 2) + "x");
+    }
+    for (auto it = flop_scale.rbegin(); it != flop_scale.rend(); ++it) {
+      const double fs = *it;
+      row_labels.push_back(util::format_fixed(fs, 3) + "x FLOPs");
+      std::vector<double> row;
+      for (double ms : mem_scale) {
+        hw::SystemConfig sys = hw::make_system(hw::GpuGeneration::B200, 8, n);
+        sys.gpu = base
+                      .with_compute(base.tensor_flops * fs,
+                                    base.vector_flops * fs)
+                      .with_memory(base.hbm_capacity * ms,
+                                   base.hbm_bandwidth * ms);
+        const auto r =
+            report::optimal_at_scale(panel.mdl, sys, panel.strategy, b, n);
+        const double v = r.feasible ? r.iteration() : std::nan("");
+        row.push_back(v);
+        if (r.feasible) {
+          csv.write_row(std::vector<double>{fs, ms, v});
+        }
+      }
+      grid.push_back(std::move(row));
+    }
+    std::cout << "== " << panel.caption << " ==\n";
+    std::cout << "iteration time heatmap (light = fast); columns: HBM scale\n";
+    util::ascii_heatmap(std::cout, grid, row_labels, col_labels);
+    std::cout << "series written to " << panel.csv << "\n\n";
+  }
+  return 0;
+}

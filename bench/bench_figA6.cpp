@@ -1,0 +1,72 @@
+// Reproduces paper Fig. A6: training time as a function of HBM capacity and
+// bandwidth varied SEPARATELY, with the B200 compute and network fixed,
+// 8192 GPUs, global batch 4096.
+//
+// Expected shapes: GPT3-1T depends weakly on both axes, with only very small
+// bandwidths inflating memory-bound time; high-capacity/low-bandwidth
+// corners (LPDDR-like memory) stay competitive for both models by trading
+// parallelism inefficiency for memory-access time. The ViT shows stronger
+// sensitivity, with small capacities performing poorly.
+
+#include <cmath>
+#include <iostream>
+
+#include "model/transformer.hpp"
+#include "report/figure_data.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace tfpe;
+
+  const std::int64_t b = 4096;
+  const std::int64_t n = 8192;
+  const hw::GpuSpec base = hw::b200();
+
+  const std::vector<double> capacity_gb{48, 96, 192, 384, 768};
+  const std::vector<double> bandwidth_gbs{1000, 2000, 4000, 8000, 16000};
+
+  struct Panel {
+    const char* caption;
+    model::TransformerConfig mdl;
+    parallel::TpStrategy strategy;
+    const char* csv;
+  };
+  const Panel panels[] = {
+      {"Fig. A6a | GPT3-1T on 8192 GPUs: HBM capacity vs bandwidth",
+       model::gpt3_1t(), parallel::TpStrategy::TP1D, "figA6a.csv"},
+      {"Fig. A6b | ViT-64K on 8192 GPUs: HBM capacity vs bandwidth",
+       model::vit_64k(), parallel::TpStrategy::TP2D, "figA6b.csv"},
+  };
+
+  for (const Panel& panel : panels) {
+    util::CsvWriter csv(panel.csv);
+    csv.write_header({"capacity_gb", "bandwidth_gbs", "iter_s"});
+    std::vector<std::vector<double>> grid;
+    std::vector<std::string> row_labels, col_labels;
+    for (double c : capacity_gb) {
+      col_labels.push_back(util::format_fixed(c, 0));
+    }
+    for (auto it = bandwidth_gbs.rbegin(); it != bandwidth_gbs.rend(); ++it) {
+      const double bw = *it;
+      row_labels.push_back(util::format_fixed(bw, 0) + " GB/s");
+      std::vector<double> row;
+      for (double cap : capacity_gb) {
+        hw::SystemConfig sys = hw::make_system(hw::GpuGeneration::B200, 8, n);
+        sys.gpu = base.with_memory(cap * 1e9, bw * 1e9);
+        const auto r =
+            report::optimal_at_scale(panel.mdl, sys, panel.strategy, b, n);
+        const double v = r.feasible ? r.iteration() : std::nan("");
+        row.push_back(v);
+        if (r.feasible) csv.write_row(std::vector<double>{cap, bw, v});
+      }
+      grid.push_back(std::move(row));
+    }
+    std::cout << "== " << panel.caption << " ==\n";
+    std::cout << "iteration time heatmap (light = fast); columns: capacity GB\n";
+    util::ascii_heatmap(std::cout, grid, row_labels, col_labels);
+    std::cout << "series written to " << panel.csv << "\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// google-benchmark microbenchmarks of the performance model itself: the
+// paper's claim is that the analytic search is "orders of magnitude faster
+// than experimentation" — this bench quantifies the cost of one evaluation
+// and of full S3 searches at several scales.
+
+#include <benchmark/benchmark.h>
+
+#include "core/evaluator.hpp"
+#include "parallel/layer_builder.hpp"
+#include "search/search.hpp"
+
+namespace {
+
+using namespace tfpe;
+
+parallel::ParallelConfig fig1_optimum() {
+  parallel::ParallelConfig c;
+  c.strategy = parallel::TpStrategy::TP1D;
+  c.n1 = 8;
+  c.np = 64;
+  c.nd = 32;
+  c.microbatches = 128;
+  c.nvs1 = 8;
+  return c;
+}
+
+void BM_BuildLayer1D(benchmark::State& state) {
+  const auto mdl = model::gpt3_1t();
+  const auto cfg = fig1_optimum();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parallel::build_layer(mdl, cfg, 1));
+  }
+}
+BENCHMARK(BM_BuildLayer1D);
+
+void BM_EvaluateConfig(benchmark::State& state) {
+  const auto mdl = model::gpt3_1t();
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 16384);
+  const auto cfg = fig1_optimum();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate(mdl, sys, cfg, 4096));
+  }
+}
+BENCHMARK(BM_EvaluateConfig);
+
+void BM_EvaluateWithPrebuiltLayer(benchmark::State& state) {
+  const auto mdl = model::gpt3_1t();
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 16384);
+  const auto cfg = fig1_optimum();
+  const auto layer = parallel::build_layer(mdl, cfg, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::evaluate_with_layer(mdl, sys, cfg, 4096, layer));
+  }
+}
+BENCHMARK(BM_EvaluateWithPrebuiltLayer);
+
+void BM_FullSearch(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const auto mdl = model::gpt3_1t();
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, n);
+  search::SearchOptions opts;
+  opts.strategy = parallel::TpStrategy::TP1D;
+  opts.global_batch = 4096;
+  std::size_t evaluated = 0;
+  for (auto _ : state) {
+    const auto r = search::find_optimal(mdl, sys, opts);
+    evaluated = r.evaluated;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["configs"] = static_cast<double>(evaluated);
+}
+BENCHMARK(BM_FullSearch)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullSearchSumma(benchmark::State& state) {
+  const auto mdl = model::gpt3_1t();
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 4096);
+  search::SearchOptions opts;
+  opts.strategy = parallel::TpStrategy::Summa2D;
+  opts.global_batch = 4096;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search::find_optimal(mdl, sys, opts));
+  }
+}
+BENCHMARK(BM_FullSearchSumma)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// External anchors: compare the model's predicted model-FLOPs-utilization
+// (MFU) against PUBLISHED end-to-end measurements from the systems
+// literature — an independent check beyond the paper's own validation.
+//
+// Anchors (aggregate achieved throughput as a fraction of peak FP16):
+//   * Megatron-LM (Narayanan et al., SC'21): 1T-parameter GPT on 3072 A100,
+//     163 TFLOP/s/GPU achieved = 52% of peak; GPT-3 175B on 1536 A100: 51%.
+//   * The paper itself: O(30) days for 1T params x 1T tokens on 16K A100
+//     implies ~40-60% MFU.
+//
+// The model is expected to land in the same band (it omits some kernel
+// inefficiencies, so a mild optimistic bias is expected and reported).
+
+#include <iostream>
+
+#include "calibrate/calibration.hpp"
+#include "model/transformer.hpp"
+#include "report/figure_data.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace tfpe;
+
+// Typical achieved fraction of peak tensor-core throughput for large FP16
+// matmuls on A100 (cuBLAS): the kernel-level loss the analytic model
+// deliberately excludes. Applying it is the calibration workflow of
+// docs/VALIDATION.md with a literature-derived constant.
+constexpr double kA100MatmulEfficiency = 0.70;
+
+double predicted_mfu(const model::TransformerConfig& mdl, std::int64_t n,
+                     std::int64_t b, bool derated) {
+  hw::SystemConfig sys = hw::make_system(hw::GpuGeneration::A100, 8, n);
+  if (derated) {
+    sys = calibrate::apply_efficiencies(sys, kA100MatmulEfficiency,
+                                        sys.net.efficiency);
+  }
+  const auto r =
+      report::optimal_at_scale(mdl, sys, parallel::TpStrategy::TP1D, b, n);
+  if (!r.feasible) return 0.0;
+  const double useful = 6.0 * static_cast<double>(mdl.total_params()) *
+                        static_cast<double>(b) *
+                        static_cast<double>(mdl.seq_len);
+  // MFU against the UN-derated peak (as published numbers are reported).
+  return useful / (r.iteration() * hw::a100().tensor_flops *
+                   static_cast<double>(n));
+}
+
+}  // namespace
+
+int main() {
+  util::TextTable t;
+  t.set_header({"anchor", "published MFU", "model (ideal kernels)",
+                "model (70% matmul eff)", "delta pts"});
+
+  struct Anchor {
+    const char* name;
+    model::TransformerConfig mdl;
+    std::int64_t n;
+    std::int64_t b;
+    double published;
+  };
+  model::TransformerConfig gpt1t = model::gpt3_1t();
+  gpt1t.vocab = 51200;  // published numbers include the output head
+  model::TransformerConfig gpt175 = model::gpt3_175b();
+  gpt175.vocab = 51200;
+
+  const Anchor anchors[] = {
+      // Megatron's actual 1T run: (t,p,d) = (8,64,6), batch 2304.
+      {"Megatron 1T @3072 A100 (SC'21)", gpt1t, 3072, 2304, 0.52},
+      {"Megatron 175B @1536 A100 (SC'21)", gpt175, 1536, 1536, 0.51},
+      {"Megatron 175B @512 A100", gpt175, 512, 1024, 0.50},
+  };
+  bool all_in_band = true;
+  for (const Anchor& a : anchors) {
+    const double ideal = predicted_mfu(a.mdl, a.n, a.b, false);
+    const double derated = predicted_mfu(a.mdl, a.n, a.b, true);
+    const double delta = 100.0 * (derated - a.published);
+    const bool ok = delta > -12.0 && delta < 12.0;
+    all_in_band = all_in_band && ok;
+    t.add_row({a.name, util::format_fixed(100 * a.published, 1) + "%",
+               util::format_fixed(100 * ideal, 1) + "%",
+               util::format_fixed(100 * derated, 1) + "%",
+               util::format_fixed(delta, 1) + (ok ? "" : "  <-- out of band")});
+  }
+  std::cout << "== Published-throughput anchors (A100 systems) ==\n";
+  t.print(std::cout);
+  std::cout
+      << (all_in_band
+              ? "All anchors within +/-12 MFU points once the known kernel\n"
+                "efficiency (70% of peak for A100 matmuls) is applied.\n"
+              : "WARNING: anchor outside the expected band.\n");
+  return all_in_band ? 0 : 1;
+}

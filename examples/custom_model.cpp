@@ -1,0 +1,88 @@
+// Custom-model workflow: load a user-described model and system from a
+// configuration file (examples/configs/ocean_foundation.tfpe), search all
+// three TP strategies, and report the plan — the path a downstream team
+// with its own foundation model follows.
+//
+// Usage: custom_model [path/to/config.tfpe]
+
+#include <iostream>
+
+#include "io/config_file.hpp"
+#include "report/breakdown_report.hpp"
+#include "search/search.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tfpe;
+
+  io::LoadedConfig cfg;
+  std::string path;
+  if (argc > 1) {
+    path = argv[1];
+    try {
+      cfg = io::load_config_file(path);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n"
+                << "usage: custom_model [config.tfpe] (see examples/configs/)\n";
+      return 2;
+    }
+  } else {
+    // Search the usual relative locations for the bundled example config.
+    for (const char* candidate :
+         {"examples/configs/ocean_foundation.tfpe",
+          "../examples/configs/ocean_foundation.tfpe",
+          "../../examples/configs/ocean_foundation.tfpe"}) {
+      try {
+        cfg = io::load_config_file(candidate);
+        path = candidate;
+        break;
+      } catch (const std::exception&) {
+        continue;
+      }
+    }
+    if (path.empty()) {
+      std::cerr << "could not find examples/configs/ocean_foundation.tfpe; "
+                   "pass a config path\n";
+      return 2;
+    }
+  }
+  if (!cfg.model || !cfg.system) {
+    std::cerr << path << " must define both [model] and [system]\n";
+    return 2;
+  }
+  const auto& mdl = *cfg.model;
+  const auto& sys = *cfg.system;
+
+  std::cout << "Model:  " << mdl.name << " ("
+            << util::format_fixed(mdl.total_params() / 1e9, 1)
+            << "B params, l=" << mdl.seq_len << ", e=" << mdl.embed
+            << ", kv_heads=" << mdl.kv_heads_or_default() << ")\n";
+  std::cout << "System: " << sys.describe() << "\n\n";
+
+  std::vector<report::LabeledResult> rows;
+  for (auto strat : {parallel::TpStrategy::TP1D, parallel::TpStrategy::TP2D,
+                     parallel::TpStrategy::Summa2D}) {
+    search::SearchOptions opts;
+    opts.strategy = strat;
+    opts.global_batch = 4096;
+    rows.push_back({parallel::to_string(strat),
+                    search::find_optimal(mdl, sys, opts).best});
+  }
+  report::print_panels(std::cout, "strategy comparison for " + mdl.name, rows);
+
+  const report::LabeledResult* best = nullptr;
+  for (const auto& row : rows) {
+    if (row.result.feasible &&
+        (!best || row.result.iteration() < best->result.iteration())) {
+      best = &row;
+    }
+  }
+  if (!best) {
+    std::cout << "No strategy fits — increase TP divisibility, GPUs, or "
+                 "memory capacity in the config.\n";
+    return 1;
+  }
+  std::cout << "Recommended: " << best->result.cfg.describe() << " ("
+            << util::format_time(best->result.iteration()) << "/iteration)\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// LLM pre-training planner: how long does it take to pre-train GPT3-1T on
+// 1T tokens, across GPU generations, cluster sizes and NVS domain sizes?
+//
+// This is the Fig. 5a question asked the way a capacity planner would:
+// "I have N GPUs of generation G — what parallelization should I run, what
+// will an iteration cost, and when does the job finish?"
+//
+// Usage: pretrain_planner [n_gpus] [global_batch]
+//   defaults: sweep {1024, 4096, 16384} GPUs, batch 4096.
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/training_estimate.hpp"
+#include "report/figure_data.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tfpe;
+
+  const model::TransformerConfig mdl = model::gpt3_1t();
+  std::vector<std::int64_t> scales{1024, 4096, 16384};
+  if (argc > 1) scales = {std::atoll(argv[1])};
+  const std::int64_t b = argc > 2 ? std::atoll(argv[2]) : 4096;
+
+  std::cout << "Pre-training plan for " << mdl.name << " ("
+            << mdl.total_params() / 1e9 << "B params) on "
+            << core::kGpt3PretrainTokens / 1e12 << "T tokens, batch " << b
+            << "\n\n";
+
+  util::TextTable t;
+  t.set_header({"system", "GPUs", "best configuration", "iter", "MFU %",
+                "days", "GPU-years", "energy MWh"});
+  for (auto gen : {hw::GpuGeneration::A100, hw::GpuGeneration::H200,
+                   hw::GpuGeneration::B200}) {
+    for (std::int64_t n : scales) {
+      const hw::SystemConfig sys = hw::make_system(gen, 8, n);
+      const auto r = report::optimal_at_scale(mdl, sys,
+                                              parallel::TpStrategy::TP1D, b, n);
+      if (!r.feasible) {
+        t.add_row({hw::to_string(gen), std::to_string(n),
+                   "infeasible: " + r.reason, "-", "-", "-", "-", "-"});
+        continue;
+      }
+      const auto est = core::estimate_token_training(
+          mdl, b, r.iteration(), core::kGpt3PretrainTokens);
+      // Model FLOPs utilization: useful FLOPs (3 passes x 2 P tokens)
+      // against the cluster peak.
+      const double useful =
+          6.0 * static_cast<double>(mdl.total_params()) *
+          static_cast<double>(b) * static_cast<double>(mdl.seq_len);
+      const double mfu = useful / (r.iteration() * sys.gpu.tensor_flops *
+                                   static_cast<double>(n));
+      const core::CostEstimate cost =
+          core::estimate_cost(sys, n, est.total_seconds);
+      t.add_row({hw::to_string(gen), std::to_string(n), r.cfg.describe(),
+                 util::format_time(r.iteration()),
+                 util::format_fixed(100.0 * mfu, 1),
+                 util::format_fixed(est.days, 1),
+                 util::format_fixed(est.days / 365.0 * n, 0),
+                 util::format_fixed(cost.energy_mwh, 0)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nReading the table: 'days' is wall-clock to 1T tokens;"
+               "\n'GPU-years' is the total accelerator budget the run burns.\n";
+  return 0;
+}

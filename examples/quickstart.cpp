@@ -1,0 +1,51 @@
+// Quickstart: find the optimal way to train GPT3-1T on 1024 B200 GPUs.
+//
+// Demonstrates the core API in ~30 lines:
+//   1. pick a model preset and a system preset,
+//   2. run the exhaustive configuration search (S3),
+//   3. print the paper-style configuration/time panels and a days-to-train
+//      estimate.
+
+#include <iostream>
+
+#include "core/training_estimate.hpp"
+#include "hw/system.hpp"
+#include "model/transformer.hpp"
+#include "report/breakdown_report.hpp"
+#include "search/search.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace tfpe;
+
+  const model::TransformerConfig mdl = model::gpt3_1t();
+  const hw::SystemConfig sys =
+      hw::make_system(hw::GpuGeneration::B200, /*nvs_domain=*/8,
+                      /*n_gpus=*/1024);
+
+  std::cout << "Model:  " << mdl.name << "  (" << mdl.total_params() / 1e9
+            << "B params, l=" << mdl.seq_len << ", e=" << mdl.embed << ")\n";
+  std::cout << "System: " << sys.describe() << "\n\n";
+
+  search::SearchOptions opts;
+  opts.strategy = parallel::TpStrategy::TP1D;
+  opts.global_batch = 4096;
+  const search::SearchResult found = search::find_optimal(mdl, sys, opts);
+
+  if (!found.best.feasible) {
+    std::cout << "No feasible configuration: " << found.best.reason << "\n";
+    return 1;
+  }
+
+  std::cout << "Searched " << found.evaluated << " configurations ("
+            << found.feasible << " feasible).\n";
+  std::cout << "Optimal: " << found.best.cfg.describe() << "\n\n";
+  report::print_panels(std::cout, "optimal configuration", {{"best", found.best}});
+
+  const core::TrainingEstimate est = core::estimate_token_training(
+      mdl, opts.global_batch, found.best.iteration(), core::kGpt3PretrainTokens);
+  std::cout << "Pre-training on 1T tokens: " << est.steps << " steps x "
+            << util::format_time(est.step_time) << " = "
+            << util::format_fixed(est.days, 1) << " days\n";
+  return 0;
+}

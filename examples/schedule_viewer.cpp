@@ -1,0 +1,63 @@
+// Pipeline-schedule viewer: run the discrete-event 1F1B simulation for a
+// configuration and export a Chrome trace (chrome://tracing or
+// https://ui.perfetto.dev) showing the warmup ramp, the steady
+// one-forward-one-backward phase, the drain, and the bubble on every stage.
+//
+// Usage: schedule_viewer [np] [m] [out.json]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "model/transformer.hpp"
+#include "sim/memory_timeline.hpp"
+#include "sim/trace_export.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tfpe;
+
+  const std::int64_t np = argc > 1 ? std::atoll(argv[1]) : 8;
+  const std::int64_t m = argc > 2 ? std::atoll(argv[2]) : 32;
+  const std::string out = argc > 3 ? argv[3] : "pipeline_trace.json";
+
+  // Derive realistic per-microbatch stage times from the GPT3-1T model at
+  // the paper's Fig. 1 optimum shard sizes.
+  const auto mdl = model::gpt3_1t();
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 8 * np * 32);
+  parallel::ParallelConfig cfg;
+  cfg.strategy = parallel::TpStrategy::TP1D;
+  cfg.n1 = 8;
+  cfg.np = np;
+  cfg.nd = 32;
+  cfg.microbatches = m;
+  cfg.nvs1 = 8;
+  const auto r = core::evaluate(mdl, sys, cfg, 32 * m);
+  if (!r.feasible) {
+    std::cerr << "configuration infeasible: " << r.reason << "\n";
+    return 1;
+  }
+
+  const sim::PipelineTrace trace = sim::simulate_pipeline(
+      {np, m, r.t_fwd_micro, r.t_bwd_micro, 1e-4});
+  sim::write_chrome_trace_file(out, trace);
+
+  std::cout << "Simulated " << np << "-stage 1F1B with " << m
+            << " microbatches (tf=" << util::format_time(r.t_fwd_micro)
+            << ", tb=" << util::format_time(r.t_bwd_micro) << ")\n";
+  std::cout << "completion: " << util::format_time(trace.completion_time)
+            << "; stage-0 bubble: " << util::format_time(trace.stage0_idle)
+            << " (analytic: "
+            << util::format_time((np - 1) * (r.t_fwd_micro + r.t_bwd_micro))
+            << ")\n";
+  std::cout << trace.tasks.size() << " tasks written to " << out
+            << " — open in chrome://tracing or ui.perfetto.dev\n";
+
+  std::cout << "activation residency (microbatches in flight per stage):\n";
+  for (const auto& p : sim::activation_timeline(trace, np)) {
+    std::cout << "  stage " << p.stage << ": peak "
+              << p.high_water_microbatches << " at "
+              << util::format_time(p.peak_time) << "\n";
+  }
+  return 0;
+}

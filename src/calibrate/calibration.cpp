@@ -1,0 +1,89 @@
+#include "calibrate/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/evaluator.hpp"
+
+namespace tfpe::calibrate {
+
+hw::SystemConfig apply_efficiencies(hw::SystemConfig sys, double compute_eff,
+                                    double bandwidth_eff) {
+  sys.gpu.tensor_flops *= compute_eff;
+  sys.gpu.vector_flops *= compute_eff;
+  sys.net.efficiency = bandwidth_eff;
+  return sys;
+}
+
+double rms_pct_error(const model::TransformerConfig& mdl,
+                     const hw::SystemConfig& sys, std::int64_t global_batch,
+                     const std::vector<Observation>& obs, double compute_eff,
+                     double bandwidth_eff) {
+  const hw::SystemConfig derated =
+      apply_efficiencies(sys, compute_eff, bandwidth_eff);
+  double sum_sq = 0;
+  std::size_t counted = 0;
+  for (const Observation& o : obs) {
+    if (o.measured_seconds <= 0) {
+      throw std::invalid_argument("rms_pct_error: non-positive measurement");
+    }
+    const core::EvalResult r = core::evaluate(mdl, derated, o.cfg, global_batch);
+    if (!r.feasible) continue;
+    const double pct = 100.0 * (r.iteration() - o.measured_seconds) /
+                       o.measured_seconds;
+    sum_sq += pct * pct;
+    ++counted;
+  }
+  if (counted == 0) {
+    throw std::invalid_argument("rms_pct_error: no feasible observations");
+  }
+  return std::sqrt(sum_sq / static_cast<double>(counted));
+}
+
+EfficiencyFit fit_efficiencies(const model::TransformerConfig& mdl,
+                               const hw::SystemConfig& sys,
+                               std::int64_t global_batch,
+                               const std::vector<Observation>& obs) {
+  if (obs.empty()) {
+    throw std::invalid_argument("fit_efficiencies: no observations");
+  }
+
+  double best_ce = 1.0, best_be = 0.7;
+  double best_err = std::numeric_limits<double>::infinity();
+  auto consider = [&](double ce, double be) {
+    const double err = rms_pct_error(mdl, sys, global_batch, obs, ce, be);
+    if (err < best_err) {
+      best_err = err;
+      best_ce = ce;
+      best_be = be;
+    }
+  };
+
+  // Coarse grid, then two refinement levels around the incumbent.
+  double lo_ce = 0.2, hi_ce = 1.0, lo_be = 0.2, hi_be = 1.0;
+  for (int level = 0; level < 3; ++level) {
+    const int steps = 9;
+    for (int i = 0; i <= steps; ++i) {
+      for (int j = 0; j <= steps; ++j) {
+        const double ce = lo_ce + (hi_ce - lo_ce) * i / steps;
+        const double be = lo_be + (hi_be - lo_be) * j / steps;
+        consider(ce, be);
+      }
+    }
+    const double span_ce = (hi_ce - lo_ce) / steps;
+    const double span_be = (hi_be - lo_be) / steps;
+    lo_ce = std::max(0.05, best_ce - span_ce);
+    hi_ce = std::min(1.0, best_ce + span_ce);
+    lo_be = std::max(0.05, best_be - span_be);
+    hi_be = std::min(1.0, best_be + span_be);
+  }
+
+  EfficiencyFit fit;
+  fit.compute_efficiency = best_ce;
+  fit.bandwidth_efficiency = best_be;
+  fit.rms_pct_error = best_err;
+  return fit;
+}
+
+}  // namespace tfpe::calibrate

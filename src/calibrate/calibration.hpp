@@ -1,0 +1,55 @@
+#pragma once
+// Efficiency calibration against measured iteration times.
+//
+// The paper derives its 70% network-efficiency derate from NCCL tests on
+// Perlmutter and validates the model against Megatron-LM runs. This module
+// closes that loop programmatically: given (configuration, measured
+// iteration time) pairs from a real system, fit
+//   * a compute-efficiency factor (achieved fraction of peak tensor-core /
+//     vector FLOPs), and
+//   * a bandwidth-efficiency factor (achieved fraction of peak NVS/IB
+//     bandwidth)
+// that minimize the RMS log error between model and measurement. The fit is
+// a deterministic coarse-to-fine grid search (the surface is smooth and
+// 2-D, so three refinement levels suffice).
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/system.hpp"
+#include "model/transformer.hpp"
+#include "parallel/parallel_config.hpp"
+
+namespace tfpe::calibrate {
+
+struct Observation {
+  parallel::ParallelConfig cfg;
+  double measured_seconds = 0;
+};
+
+struct EfficiencyFit {
+  double compute_efficiency = 1.0;    ///< Applied to tensor+vector rates.
+  double bandwidth_efficiency = 0.7;  ///< Replaces NetworkSpec::efficiency.
+  double rms_pct_error = 0;           ///< Residual model-vs-measured error.
+};
+
+/// The system derated by a candidate (compute, bandwidth) efficiency pair.
+hw::SystemConfig apply_efficiencies(hw::SystemConfig sys, double compute_eff,
+                                    double bandwidth_eff);
+
+/// RMS of the per-observation percentage errors of the derated model.
+/// Observations whose configuration is infeasible under the derated system
+/// are skipped; throws std::invalid_argument if none remain or any
+/// measurement is non-positive.
+double rms_pct_error(const model::TransformerConfig& mdl,
+                     const hw::SystemConfig& sys, std::int64_t global_batch,
+                     const std::vector<Observation>& obs, double compute_eff,
+                     double bandwidth_eff);
+
+/// Fit both efficiencies over [0.2, 1.0] x [0.2, 1.0].
+EfficiencyFit fit_efficiencies(const model::TransformerConfig& mdl,
+                               const hw::SystemConfig& sys,
+                               std::int64_t global_batch,
+                               const std::vector<Observation>& obs);
+
+}  // namespace tfpe::calibrate

@@ -1,0 +1,53 @@
+#pragma once
+// Analytical collective-communication time model (paper §III S2).
+//
+// Collectives run over a GPU group of size g of which `nvs` consecutive
+// members share a fast (NVSwitch) domain; the remaining hops cross the slow
+// (InfiniBand) network. Following the NCCL ring performance model:
+//
+//   t_latency = alpha_s * (g/nvs - 1) + alpha_f * (g - g/nvs)
+//   t         = t_latency + factor * V / min(r * beta_s * eta, beta_f * eta)
+//
+// where V is the full tensor size in bytes, factor is (g-1)/g for
+// AllGather/ReduceScatter (2x for AllReduce), and r is the number of NIC
+// rails the group can drive — proportional to the GPUs-per-node it occupies,
+// which is how a larger fast domain "amplifies" the slow bandwidth
+// (validated in the paper's Fig. A1 and against our discrete-event simulator).
+
+#include <cstdint>
+
+#include "hw/network.hpp"
+#include "ops/op.hpp"
+
+namespace tfpe::comm {
+
+/// Placement of a communication group on the machine.
+struct GroupPlacement {
+  std::int64_t size = 1;  ///< g: GPUs participating in the collective.
+  std::int64_t nvs = 1;   ///< GPUs of this group sharing one fast domain.
+};
+
+/// Latency term of the two-level ring: slow hops between fast domains plus
+/// fast hops inside them.
+double ring_latency(const hw::NetworkSpec& net, GroupPlacement g);
+
+/// Effective per-ring bandwidth available to the group [bytes/s]: the slower
+/// of the multi-rail IB path and the NVS path (pure NVS when the group fits
+/// in one fast domain).
+double effective_bandwidth(const hw::NetworkSpec& net, GroupPlacement g);
+
+/// Time for one collective moving a full tensor of `bytes` over the group.
+/// Returns 0 for groups of size <= 1 (PointToPoint excepted: `bytes` is the
+/// message size between two neighbors, and `g.nvs >= 2` marks an in-domain
+/// neighbor). When net.enable_tree is set, AllReduce / Broadcast / Reduce
+/// use min(ring, tree).
+double collective_time(const hw::NetworkSpec& net, ops::Collective coll,
+                       double bytes, GroupPlacement g);
+
+/// Double-binary-tree time for AllReduce / Broadcast / Reduce: latency
+/// scales with the tree depth instead of the ring length, bandwidth stays
+/// pipelined. Exposed for tests and the collective-algorithm ablation.
+double tree_time(const hw::NetworkSpec& net, ops::Collective coll,
+                 double bytes, GroupPlacement g);
+
+}  // namespace tfpe::comm

@@ -1,0 +1,262 @@
+#include "core/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comm/collective_model.hpp"
+#include "ops/op_factory.hpp"
+#include "pipeline/pipeline_model.hpp"
+
+namespace tfpe::core {
+
+namespace {
+
+comm::GroupPlacement placement_for(const parallel::ParallelConfig& cfg,
+                                   ops::CommGroup group) {
+  switch (group) {
+    case ops::CommGroup::TP1: return {cfg.n1, cfg.nvs1};
+    case ops::CommGroup::TP2: return {cfg.n2, cfg.nvs2};
+    case ops::CommGroup::DP: return {cfg.nd, cfg.nvsd};
+    case ops::CommGroup::PP: return {cfg.np, cfg.nvsp};
+  }
+  return {1, 1};
+}
+
+/// Sum of collective times for a request list, with volumes scaled by
+/// 1/panels (per-panel time; latency paid per panel).
+double comm_time(const std::vector<ops::CommRequest>& reqs,
+                 const hw::SystemConfig& sys,
+                 const parallel::ParallelConfig& cfg, double inv_panels) {
+  double t = 0;
+  for (const auto& req : reqs) {
+    t += comm::collective_time(sys.net, req.collective, req.bytes * inv_panels,
+                               placement_for(cfg, req.group));
+  }
+  return t;
+}
+
+}  // namespace
+
+OpTime op_time(const ops::Op& op, bool backward, const hw::SystemConfig& sys,
+               const parallel::ParallelConfig& cfg) {
+  const double flops = backward ? op.bwd_flops : op.fwd_flops;
+  const double bytes = backward ? op.bwd_bytes : op.fwd_bytes;
+  const auto& reqs = backward ? op.bwd_comm : op.fwd_comm;
+
+  const double peak = op.unit == ops::ComputeUnit::TensorCore
+                          ? sys.gpu.tensor_flops
+                          : sys.gpu.vector_flops;
+  const double t_sf =
+      op.unit == ops::ComputeUnit::TensorCore ? sys.gpu.flops_latency : 0.0;
+
+  OpTime out;
+  const std::int64_t panels = std::max<std::int64_t>(1, op.summa_panels);
+  const double inv_panels = 1.0 / static_cast<double>(panels);
+
+  // Per-panel roofline (panels == 1 for everything but SUMMA multiplies).
+  const double t_flop = flops * inv_panels / peak;
+  const double t_mem = bytes * inv_panels / sys.gpu.hbm_bandwidth;
+  const double t_panel = t_sf + std::max(t_flop, t_mem);
+  if (t_flop >= t_mem) {
+    out.compute = static_cast<double>(panels) * t_panel;
+  } else {
+    out.memory = static_cast<double>(panels) * t_panel;
+  }
+
+  if (reqs.empty()) return out;
+  const double t_panel_comm = comm_time(reqs, sys, cfg, inv_panels);
+  if (panels == 1) {
+    // Non-SUMMA collectives are fully exposed (partial sums must complete
+    // before the collective; successors wait on the synced tensor).
+    out.comm = t_panel_comm;
+  } else {
+    // SUMMA: the first panel's broadcasts are a prologue; later panels'
+    // broadcasts overlap the previous panel's matmul and only the excess is
+    // exposed (Appendix A).
+    out.comm = t_panel_comm + static_cast<double>(panels - 1) *
+                                  std::max(0.0, t_panel_comm - t_panel);
+  }
+  return out;
+}
+
+EvalResult evaluate_with_layer(const model::TransformerConfig& mdl,
+                               const hw::SystemConfig& sys,
+                               const parallel::ParallelConfig& cfg,
+                               std::int64_t global_batch,
+                               const parallel::LayerCost& layer,
+                               const EvalOptions& opts) {
+  EvalResult res;
+  res.cfg = cfg;
+  if (auto why = cfg.invalid_reason(mdl, sys, global_batch)) {
+    res.reason = *why;
+    return res;
+  }
+
+  const std::int64_t m = cfg.microbatches;
+  const std::int64_t layers = mdl.depth / cfg.np;
+  const double Ld = static_cast<double>(layers);
+  const double md = static_cast<double>(m);
+
+  // Per-microbatch, per-stage forward/backward components. Non-SUMMA TP
+  // collectives can be partially overlapped via the tp_overlap extension
+  // (SUMMA broadcasts carry their own overlap model).
+  OpTime fwd{}, bwd{};
+  for (const auto& op : layer.ops) {
+    OpTime f = op_time(op, /*backward=*/false, sys, cfg);
+    OpTime b = op_time(op, /*backward=*/true, sys, cfg);
+    if (op.summa_panels <= 1 && opts.tp_overlap > 0) {
+      f.comm *= 1.0 - opts.tp_overlap;
+      b.comm *= 1.0 - opts.tp_overlap;
+    }
+    fwd.compute += f.compute;
+    fwd.memory += f.memory;
+    fwd.comm += f.comm;
+    bwd.compute += b.compute;
+    bwd.memory += b.memory;
+    bwd.comm += b.comm;
+    if (opts.activation_recompute) {
+      // The backward pass re-runs the whole block forward (including its
+      // collectives) before differentiating it.
+      bwd.compute += f.compute;
+      bwd.memory += f.memory;
+      bwd.comm += f.comm;
+    }
+  }
+
+  // Activation offload: write out and read back the offloaded fraction of
+  // every stored tensor over the host link, once per microbatch per stage.
+  if (opts.activation_offload > 0) {
+    const double per_micro =
+        2.0 * opts.activation_offload * layer.stored_bytes() /
+        sys.host_bandwidth;
+    fwd.memory += 0.5 * per_micro;  // write-out during forward
+    bwd.memory += 0.5 * per_micro;  // read-back during backward
+  }
+
+  res.t_fwd_micro = Ld * (fwd.compute + fwd.memory + fwd.comm);
+  res.t_bwd_micro = Ld * (bwd.compute + bwd.memory + bwd.comm);
+
+  // Optional vocabulary modeling: the embedding gather on the first stage
+  // and the logits matmul + softmax/cross-entropy on the last. The last
+  // stage is the pipeline's critical stage, so its extra time enters the
+  // steady period and the bubble (first-order stage-imbalance model).
+  OpTime head_fwd{}, head_bwd{};
+  double head_weight_params = 0;
+  if (mdl.vocab > 0) {
+    const double B = static_cast<double>(cfg.local_microbatch(global_batch));
+    const double tokens2 =
+        B * static_cast<double>(mdl.seq_len) / static_cast<double>(cfg.n2);
+    const double Vshard =
+        static_cast<double>(mdl.vocab) / static_cast<double>(cfg.n1);
+    const ops::Op logits = ops::matmul(
+        "lm_head", tokens2, Vshard, static_cast<double>(mdl.embed));
+    const ops::Op loss = ops::vector_op("softmax_xent", tokens2 * Vshard, 6.0,
+                                        tokens2 * Vshard);
+    const ops::Op embed_gather =
+        ops::vector_op("embedding", tokens2 * static_cast<double>(mdl.embed),
+                       1.0, 0.0);
+    for (const ops::Op* op : {&logits, &loss, &embed_gather}) {
+      const OpTime f = op_time(*op, false, sys, cfg);
+      const OpTime b = op_time(*op, true, sys, cfg);
+      head_fwd.compute += f.compute;
+      head_fwd.memory += f.memory;
+      head_bwd.compute += b.compute;
+      head_bwd.memory += b.memory;
+    }
+    res.t_fwd_micro += head_fwd.compute + head_fwd.memory;
+    res.t_bwd_micro += head_bwd.compute + head_bwd.memory;
+    head_weight_params = static_cast<double>(mdl.vocab) *
+                         static_cast<double>(mdl.embed) /
+                         static_cast<double>(cfg.n1);
+  }
+
+  // Steady phase: m microbatches, plus the (possibly interleaved) 1F1B
+  // bubble.
+  res.time.compute = md * (Ld * (fwd.compute + bwd.compute) +
+                           head_fwd.compute + head_bwd.compute);
+  res.time.memory = md * (Ld * (fwd.memory + bwd.memory) + head_fwd.memory +
+                          head_bwd.memory);
+  res.time.tp_comm = md * Ld * (fwd.comm + bwd.comm);
+  res.time.bubble = pipeline::bubble_time(cfg.np, res.t_fwd_micro,
+                                          res.t_bwd_micro, cfg.interleave);
+  res.time.pp_comm =
+      pipeline::p2p_time(sys.net, cfg.np, m, layer.pp_boundary_bytes,
+                         cfg.nvsp > 1 ? 2 : 1, cfg.interleave);
+
+  // Data-parallel communication; the 2D-TP weight-gradient reduction across
+  // n2 joins the same group.
+  const double stage_params = layer.weight_params * Ld;
+  std::int64_t dp_size = cfg.nd;
+  std::int64_t dp_nvs = cfg.nvsd;
+  if (layer.dp_group_includes_tp2) {
+    dp_size *= cfg.n2;
+    dp_nvs *= cfg.nvs2;
+  }
+  if (dp_size > 1) {
+    const double grad_bytes = 2.0 * stage_params;
+    const comm::GroupPlacement g{dp_size, dp_nvs};
+    const double t_rs = comm::collective_time(
+        sys.net, ops::Collective::ReduceScatter, grad_bytes, g);
+    const double t_ag = comm::collective_time(
+        sys.net, ops::Collective::AllGather, grad_bytes, g);
+    if (cfg.zero == parallel::ZeroStage::kWeights) {
+      // ZeRO-3: weights are re-AllGathered for forward and backward and the
+      // gradients ReduceScattered on EVERY microbatch. Half of it overlaps
+      // with the adjacent compute (first-order model).
+      res.time.dp_comm = 0.5 * md * (2.0 * t_ag + t_rs);
+    } else {
+      // ZeRO-1: one gradient RS overlapped with the last microbatch's
+      // backward, one weight AG with the first forward; only the excess is
+      // exposed.
+      res.time.dp_comm = std::max(0.0, t_rs - res.t_bwd_micro) +
+                         std::max(0.0, t_ag - res.t_fwd_micro);
+    }
+  }
+
+  // Distributed Adam: each GPU updates its shard of the optimizer states
+  // (read m1/m2/master, write back, read grad, write weight: ~28 B/param).
+  double opt_shard = static_cast<double>(cfg.nd);
+  if (layer.dp_group_includes_tp2) opt_shard *= static_cast<double>(cfg.n2);
+  res.time.optimizer = 28.0 * stage_params / opt_shard / sys.gpu.hbm_bandwidth;
+
+  // Memory feasibility.
+  res.mem = memory::compute_memory(layer, cfg, layers,
+                                   pipeline::in_flight_microbatches(cfg.np, m));
+  if (opts.activation_recompute) {
+    // Only the block-boundary inputs stay resident.
+    res.mem.activations =
+        layer.pp_boundary_bytes * Ld *
+        static_cast<double>(pipeline::in_flight_microbatches(cfg.np, m));
+  }
+  res.mem.activations *= 1.0 - opts.activation_offload;
+  if (head_weight_params > 0) {
+    // The tied embedding/head shard lives on the boundary stages.
+    res.mem.weights += 2.0 * head_weight_params;
+    res.mem.gradients += 2.0 * head_weight_params;
+    res.mem.optimizer += 12.0 * head_weight_params / opt_shard;
+  }
+  if (res.mem.total() > sys.gpu.hbm_capacity) {
+    res.reason = "exceeds HBM capacity";
+    return res;
+  }
+
+  res.feasible = true;
+  return res;
+}
+
+EvalResult evaluate(const model::TransformerConfig& mdl,
+                    const hw::SystemConfig& sys,
+                    const parallel::ParallelConfig& cfg,
+                    std::int64_t global_batch, const EvalOptions& opts) {
+  EvalResult res;
+  res.cfg = cfg;
+  if (auto why = cfg.invalid_reason(mdl, sys, global_batch)) {
+    res.reason = *why;
+    return res;
+  }
+  const parallel::LayerCost layer =
+      parallel::build_layer(mdl, cfg, cfg.local_microbatch(global_batch));
+  return evaluate_with_layer(mdl, sys, cfg, global_batch, layer, opts);
+}
+
+}  // namespace tfpe::core

@@ -1,0 +1,46 @@
+#include "core/training_estimate.hpp"
+
+#include "util/units.hpp"
+
+namespace tfpe::core {
+
+namespace {
+TrainingEstimate from_steps(double steps, double iteration_seconds) {
+  TrainingEstimate est;
+  est.steps = steps;
+  est.step_time = iteration_seconds;
+  est.total_seconds = steps * iteration_seconds;
+  est.days = est.total_seconds / util::kSecondsPerDay;
+  return est;
+}
+}  // namespace
+
+TrainingEstimate estimate_token_training(const model::TransformerConfig& mdl,
+                                         std::int64_t global_batch,
+                                         double iteration_seconds,
+                                         double total_tokens) {
+  const double tokens_per_step = static_cast<double>(global_batch) *
+                                 static_cast<double>(mdl.seq_len);
+  return from_steps(total_tokens / tokens_per_step, iteration_seconds);
+}
+
+CostEstimate estimate_cost(const hw::SystemConfig& sys, std::int64_t n_gpus,
+                           double total_seconds, double pue,
+                           double usd_per_gpu_hour) {
+  CostEstimate cost;
+  const double hours = total_seconds / 3600.0;
+  cost.gpu_hours = hours * static_cast<double>(n_gpus);
+  cost.energy_mwh =
+      sys.gpu.tdp_watts * pue * static_cast<double>(n_gpus) * hours / 1e6;
+  cost.cost_usd = cost.gpu_hours * usd_per_gpu_hour;
+  return cost;
+}
+
+TrainingEstimate estimate_sample_training(std::int64_t global_batch,
+                                          double iteration_seconds,
+                                          double total_samples) {
+  return from_steps(total_samples / static_cast<double>(global_batch),
+                    iteration_seconds);
+}
+
+}  // namespace tfpe::core

@@ -1,0 +1,51 @@
+#pragma once
+// End-to-end training-time estimates (paper §III-B / Fig. 5):
+// GPT3-1T is pre-trained on 1T tokens; the ViT trains for 80 epochs on
+// 40 years of hourly ERA5 data. Both use a global batch of 4096 samples.
+
+#include <cstdint>
+
+#include "hw/system.hpp"
+#include "model/transformer.hpp"
+
+namespace tfpe::core {
+
+struct TrainingEstimate {
+  double steps = 0;          ///< Optimizer steps.
+  double step_time = 0;      ///< Seconds per iteration.
+  double total_seconds = 0;
+  double days = 0;
+};
+
+/// Token-budget training (LLM pre-training): steps = tokens / (b * l).
+TrainingEstimate estimate_token_training(const model::TransformerConfig& mdl,
+                                         std::int64_t global_batch,
+                                         double iteration_seconds,
+                                         double total_tokens);
+
+/// Sample-budget training (epochs over a dataset): steps = samples / b.
+TrainingEstimate estimate_sample_training(std::int64_t global_batch,
+                                          double iteration_seconds,
+                                          double total_samples);
+
+/// The paper's training budgets.
+inline constexpr double kGpt3PretrainTokens = 1e12;
+/// 40 years x 365 days x 24 hourly samples x 80 epochs.
+inline constexpr double kEra5TrainingSamples = 40.0 * 365.0 * 24.0 * 80.0;
+
+/// Accelerator budget and energy of a training run (the cost framing of the
+/// paper's introduction: "trained at large supercomputers at significant
+/// cost").
+struct CostEstimate {
+  double gpu_hours = 0;
+  double energy_mwh = 0;  ///< GPU board power x PUE over the run.
+  double cost_usd = 0;    ///< gpu_hours x hourly rate (0 if rate is 0).
+};
+
+/// `pue` is the facility power-usage-effectiveness multiplier;
+/// `usd_per_gpu_hour` of 0 skips the dollar estimate.
+CostEstimate estimate_cost(const hw::SystemConfig& sys, std::int64_t n_gpus,
+                           double total_seconds, double pue = 1.3,
+                           double usd_per_gpu_hour = 0.0);
+
+}  // namespace tfpe::core

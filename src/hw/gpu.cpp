@@ -1,0 +1,91 @@
+#include "hw/gpu.hpp"
+
+#include "util/units.hpp"
+
+namespace tfpe::hw {
+
+using util::kGB;
+using util::kTFLOPs;
+
+GpuSpec GpuSpec::with_memory(double capacity_bytes,
+                             double bandwidth_bytes_per_s) const {
+  GpuSpec out = *this;
+  out.hbm_capacity = capacity_bytes;
+  out.hbm_bandwidth = bandwidth_bytes_per_s;
+  return out;
+}
+
+GpuSpec GpuSpec::with_compute(double tensor, double vector) const {
+  GpuSpec out = *this;
+  out.tensor_flops = tensor;
+  out.vector_flops = vector;
+  return out;
+}
+
+GpuSpec a100() {
+  return GpuSpec{
+      .name = "A100",
+      .tensor_flops = 312 * kTFLOPs,
+      .vector_flops = 78 * kTFLOPs,
+      .flops_latency = 2e-5,
+      .hbm_bandwidth = 1555 * kGB,
+      .hbm_capacity = 80 * kGB,
+      .tdp_watts = 400,
+  };
+}
+
+GpuSpec h200() {
+  return GpuSpec{
+      .name = "H200",
+      .tensor_flops = 990 * kTFLOPs,
+      .vector_flops = 134 * kTFLOPs,
+      .flops_latency = 2e-5,
+      .hbm_bandwidth = 4800 * kGB,
+      .hbm_capacity = 141 * kGB,
+      .tdp_watts = 700,
+  };
+}
+
+GpuSpec b200() {
+  return GpuSpec{
+      .name = "B200",
+      .tensor_flops = 2500 * kTFLOPs,
+      .vector_flops = 339 * kTFLOPs,
+      .flops_latency = 2e-5,
+      .hbm_bandwidth = 8000 * kGB,
+      .hbm_capacity = 192 * kGB,
+      .tdp_watts = 1000,
+  };
+}
+
+GpuSpec h100() {
+  return GpuSpec{
+      .name = "H100",
+      .tensor_flops = 990 * kTFLOPs,
+      .vector_flops = 134 * kTFLOPs,
+      .flops_latency = 2e-5,
+      .hbm_bandwidth = 3350 * kGB,
+      .hbm_capacity = 80 * kGB,
+      .tdp_watts = 700,
+  };
+}
+
+GpuSpec gpu_preset(GpuGeneration gen) {
+  switch (gen) {
+    case GpuGeneration::A100: return a100();
+    case GpuGeneration::H200: return h200();
+    case GpuGeneration::B200: return b200();
+  }
+  return b200();
+}
+
+std::string to_string(GpuGeneration gen) {
+  switch (gen) {
+    case GpuGeneration::A100: return "A100";
+    case GpuGeneration::H200: return "H200";
+    case GpuGeneration::B200: return "B200";
+  }
+  return "?";
+}
+
+}  // namespace tfpe::hw

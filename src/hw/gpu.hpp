@@ -1,0 +1,42 @@
+#pragma once
+// GPU accelerator description (paper Table A3).
+//
+// All fields are SI units: FLOP/s, bytes/s, bytes, seconds. The paper's
+// roofline (S2) consumes tensor-core FLOP rate for matrix ops, vector FLOP
+// rate for element-wise ops, HBM bandwidth for memory-bound time, capacity
+// for feasibility, and a fixed "FLOPs latency" t_sf modeling small-matrix
+// inefficiency (first-order model from the CUDA matmul guide).
+
+#include <string>
+
+namespace tfpe::hw {
+
+struct GpuSpec {
+  std::string name;
+  double tensor_flops = 0;     ///< Peak FP16 tensor-core rate [FLOP/s].
+  double vector_flops = 0;     ///< Peak FP16 vector rate [FLOP/s].
+  double flops_latency = 0;    ///< Kernel launch / small-matmul latency t_sf [s].
+  double hbm_bandwidth = 0;    ///< Peak HBM bandwidth [bytes/s].
+  double hbm_capacity = 0;     ///< HBM capacity [bytes].
+  double tdp_watts = 0;        ///< Board power, for energy estimates.
+
+  /// Returns a copy with scaled memory system (used by Figs. A5/A6 sweeps).
+  GpuSpec with_memory(double capacity_bytes, double bandwidth_bytes_per_s) const;
+  /// Returns a copy with scaled compute rates (used by Fig. A5 sweep).
+  GpuSpec with_compute(double tensor, double vector) const;
+};
+
+enum class GpuGeneration { A100, H200, B200 };
+
+/// Table A3 presets.
+GpuSpec a100();
+GpuSpec h200();
+GpuSpec b200();
+
+/// H100-SXM (not in the paper's Table A3; public datasheet values, provided
+/// for planning on current deployments).
+GpuSpec h100();
+GpuSpec gpu_preset(GpuGeneration gen);
+std::string to_string(GpuGeneration gen);
+
+}  // namespace tfpe::hw

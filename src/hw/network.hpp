@@ -1,0 +1,58 @@
+#pragma once
+// Dual-bandwidth network description (paper §III S2, Table A3).
+//
+// The system exposes two communication tiers:
+//  * a fast domain (NVSwitch/NVLink) connecting `nvs_domain` GPUs with
+//    (alpha_f, beta_f) latency/bandwidth, and
+//  * a slow domain (InfiniBand / Slingshot) across fast domains with
+//    (alpha_s, beta_s) per NIC rail; NCCL drives up to `nics_per_node`
+//    rails concurrently, so a collective occupying g_nvs GPUs of a node can
+//    sustain ~ g_nvs * (nics_per_node / nvs_domain) * beta_s across nodes.
+// A measured bandwidth-efficiency factor (0.7 on Perlmutter) derates both.
+
+#include <string>
+
+#include "hw/gpu.hpp"
+
+namespace tfpe::hw {
+
+struct NetworkSpec {
+  double nvs_bandwidth = 0;   ///< One-directional NVS bandwidth per GPU [bytes/s].
+  double nvs_latency = 0;     ///< Fast-domain per-hop latency alpha_f [s].
+  double ib_bandwidth = 0;    ///< Per-NIC IB bandwidth beta_s [bytes/s].
+  double ib_latency = 0;      ///< Slow-domain per-hop latency alpha_s [s].
+  double nics_per_gpu = 1.0;  ///< NIC rails per GPU (nics_per_node / nvs_domain).
+  double efficiency = 0.7;    ///< Achievable fraction of peak bandwidth.
+
+  /// Allow NCCL-style tree algorithms in addition to rings: the collective
+  /// model then takes the faster of ring and double-binary-tree time
+  /// (latency O(log g) instead of O(g); extension, off by default to match
+  /// the paper's ring-only model).
+  bool enable_tree = false;
+
+  /// Fat-tree oversubscription (extension; the paper assumes full
+  /// bisection): collectives spanning more than `pod_size` GPUs see their
+  /// slow-network bandwidth divided by `oversubscription`. pod_size = 0
+  /// disables the effect.
+  std::int64_t pod_size = 0;
+  double oversubscription = 1.0;
+
+  /// NCCL low-latency (LL) protocol (extension): small messages can use a
+  /// protocol with ~5x lower per-hop latency at ~half the bandwidth; the
+  /// model then takes min(simple, LL) per collective. Targets the
+  /// small-volume regime the paper's Fig. A1 leaves unmodeled.
+  bool enable_ll = false;
+  double ll_latency_scale = 0.2;
+  double ll_bandwidth_scale = 0.5;
+
+  double effective_nvs_bandwidth() const { return nvs_bandwidth * efficiency; }
+  double effective_ib_bandwidth_per_gpu() const {
+    return ib_bandwidth * nics_per_gpu * efficiency;
+  }
+};
+
+/// Table A3 network presets, matched to the GPU generation (NVLink gen and
+/// ConnectX-6/7/8 respectively).
+NetworkSpec network_preset(GpuGeneration gen);
+
+}  // namespace tfpe::hw

@@ -1,0 +1,38 @@
+#include "hw/system.hpp"
+
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace tfpe::hw {
+
+std::string SystemConfig::describe() const {
+  std::ostringstream os;
+  os << n_gpus << "x " << gpu.name << " (NVS domain " << nvs_domain << ", "
+     << util::format_bandwidth(net.nvs_bandwidth) << " NVS, "
+     << util::format_bandwidth(net.ib_bandwidth) << "/NIC IB)";
+  return os.str();
+}
+
+SystemConfig make_system(GpuGeneration gen, std::int64_t nvs_domain,
+                         std::int64_t n_gpus) {
+  SystemConfig sys;
+  sys.gpu = gpu_preset(gen);
+  sys.net = network_preset(gen);
+  sys.nvs_domain = nvs_domain;
+  sys.n_gpus = n_gpus;
+  return sys;
+}
+
+SystemConfig perlmutter(std::int64_t n_gpus) {
+  SystemConfig sys;
+  sys.gpu = a100();
+  sys.net = network_preset(GpuGeneration::A100);
+  // 4 NVLink-connected A100s per node, 4 Slingshot NICs of ~25 GB/s each.
+  sys.nvs_domain = 4;
+  sys.net.nics_per_gpu = 1.0;
+  sys.n_gpus = n_gpus;
+  return sys;
+}
+
+}  // namespace tfpe::hw

@@ -1,0 +1,36 @@
+#pragma once
+// A full system description: GPU type, network tiers, fast-domain (NVS) size
+// and total GPU count. This is the "system" input of the performance model.
+
+#include <cstdint>
+#include <string>
+
+#include "hw/gpu.hpp"
+#include "hw/network.hpp"
+
+namespace tfpe::hw {
+
+struct SystemConfig {
+  GpuSpec gpu;
+  NetworkSpec net;
+  std::int64_t nvs_domain = 8;  ///< GPUs per NVSwitch domain (node).
+  std::int64_t n_gpus = 0;      ///< Total GPUs available.
+
+  /// Host (CPU) link per GPU, used by the activation-offload extension
+  /// (paper §V limitations: "offloading to the CPU ... may be very useful
+  /// for large sequences"). Defaults to a PCIe Gen5 x16-class link.
+  double host_bandwidth = 64e9;  ///< [bytes/s]
+
+  std::string describe() const;
+};
+
+/// Build a system from presets: `gen` GPUs in NVS domains of `nvs_domain`,
+/// `n_gpus` total.
+SystemConfig make_system(GpuGeneration gen, std::int64_t nvs_domain,
+                         std::int64_t n_gpus);
+
+/// Perlmutter-like system used by the paper's empirical validation: A100
+/// GPUs, 4 per node, all-to-all NVLink inside the node, 4 Slingshot NICs.
+SystemConfig perlmutter(std::int64_t n_gpus);
+
+}  // namespace tfpe::hw

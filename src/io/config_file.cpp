@@ -1,0 +1,198 @@
+#include "io/config_file.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace tfpe::io {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::int64_t to_int(const Section& s, const std::string& key,
+                    std::int64_t fallback) {
+  const auto it = s.find(key);
+  if (it == s.end()) return fallback;
+  std::size_t pos = 0;
+  const std::int64_t v = std::stoll(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::runtime_error("config: '" + key + "' expects an integer, got '" +
+                             it->second + "'");
+  }
+  return v;
+}
+
+double to_double(const Section& s, const std::string& key, double fallback) {
+  const auto it = s.find(key);
+  if (it == s.end()) return fallback;
+  std::size_t pos = 0;
+  const double v = std::stod(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::runtime_error("config: '" + key + "' expects a number, got '" +
+                             it->second + "'");
+  }
+  return v;
+}
+
+void reject_unknown(const Section& s, const std::set<std::string>& known,
+                    const std::string& section) {
+  for (const auto& [key, value] : s) {
+    (void)value;
+    if (!known.count(key)) {
+      throw std::runtime_error("config: unknown key '" + key + "' in [" +
+                               section + "]");
+    }
+  }
+}
+
+}  // namespace
+
+ConfigSections parse_config(std::istream& in) {
+  ConfigSections sections;
+  std::string line;
+  std::string current = "";
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        throw std::runtime_error("config line " + std::to_string(lineno) +
+                                 ": unterminated section header");
+      }
+      current = trim(line.substr(1, line.size() - 2));
+      sections[current];
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("config line " + std::to_string(lineno) +
+                               ": expected 'key = value'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw std::runtime_error("config line " + std::to_string(lineno) +
+                               ": empty key");
+    }
+    sections[current][key] = value;
+  }
+  return sections;
+}
+
+model::TransformerConfig model_from_section(const Section& s) {
+  reject_unknown(s,
+                 {"name", "seq_len", "embed", "heads", "depth", "hidden",
+                  "kv_heads", "vocab", "attention", "window", "moe_experts",
+                  "moe_top_k", "preset"},
+                 "model");
+  if (const auto it = s.find("preset"); it != s.end()) {
+    const auto preset = model::preset_by_name(it->second);
+    if (!preset) {
+      throw std::runtime_error("config: unknown model preset '" + it->second +
+                               "'");
+    }
+    return *preset;
+  }
+  model::TransformerConfig m;
+  const auto name = s.find("name");
+  m.name = name != s.end() ? name->second : "custom";
+  m.seq_len = to_int(s, "seq_len", 0);
+  m.embed = to_int(s, "embed", 0);
+  m.heads = to_int(s, "heads", 0);
+  m.depth = to_int(s, "depth", 0);
+  m.hidden = to_int(s, "hidden", 4 * m.embed);
+  m.kv_heads = to_int(s, "kv_heads", 0);
+  m.vocab = to_int(s, "vocab", 0);
+  m.window = to_int(s, "window", 0);
+  m.moe_experts = to_int(s, "moe_experts", 0);
+  m.moe_top_k = to_int(s, "moe_top_k", 2);
+  if (const auto it = s.find("attention"); it != s.end()) {
+    if (it->second == "full") m.attention = model::AttentionKind::kFull;
+    else if (it->second == "windowed") m.attention = model::AttentionKind::kWindowed;
+    else if (it->second == "linear") m.attention = model::AttentionKind::kLinear;
+    else {
+      throw std::runtime_error("config: unknown attention '" + it->second +
+                               "' (full|windowed|linear)");
+    }
+  }
+  try {
+    m.validate();
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("config: invalid [model]: ") +
+                             e.what());
+  }
+  return m;
+}
+
+hw::SystemConfig system_from_section(const Section& s) {
+  reject_unknown(s,
+                 {"gpu", "tensor_tflops", "vector_tflops", "flops_latency",
+                  "hbm_gb", "hbm_gbs", "nvs_gbs", "nvs_latency", "ib_gbs",
+                  "ib_latency", "nics_per_gpu", "efficiency", "nvs_domain",
+                  "n_gpus", "host_gbs", "enable_tree", "pod_size",
+                  "oversubscription"},
+                 "system");
+  hw::SystemConfig sys = hw::make_system(hw::GpuGeneration::B200, 8, 1024);
+  if (const auto it = s.find("gpu"); it != s.end()) {
+    if (it->second == "a100") sys = hw::make_system(hw::GpuGeneration::A100, 8, 1024);
+    else if (it->second == "h200") sys = hw::make_system(hw::GpuGeneration::H200, 8, 1024);
+    else if (it->second == "b200") sys = hw::make_system(hw::GpuGeneration::B200, 8, 1024);
+    else {
+      throw std::runtime_error("config: unknown gpu preset '" + it->second +
+                               "' (a100|h200|b200)");
+    }
+  }
+  sys.gpu.tensor_flops =
+      to_double(s, "tensor_tflops", sys.gpu.tensor_flops / 1e12) * 1e12;
+  sys.gpu.vector_flops =
+      to_double(s, "vector_tflops", sys.gpu.vector_flops / 1e12) * 1e12;
+  sys.gpu.flops_latency = to_double(s, "flops_latency", sys.gpu.flops_latency);
+  sys.gpu.hbm_capacity = to_double(s, "hbm_gb", sys.gpu.hbm_capacity / 1e9) * 1e9;
+  sys.gpu.hbm_bandwidth =
+      to_double(s, "hbm_gbs", sys.gpu.hbm_bandwidth / 1e9) * 1e9;
+  sys.net.nvs_bandwidth =
+      to_double(s, "nvs_gbs", sys.net.nvs_bandwidth / 1e9) * 1e9;
+  sys.net.nvs_latency = to_double(s, "nvs_latency", sys.net.nvs_latency);
+  sys.net.ib_bandwidth =
+      to_double(s, "ib_gbs", sys.net.ib_bandwidth / 1e9) * 1e9;
+  sys.net.ib_latency = to_double(s, "ib_latency", sys.net.ib_latency);
+  sys.net.nics_per_gpu = to_double(s, "nics_per_gpu", sys.net.nics_per_gpu);
+  sys.net.efficiency = to_double(s, "efficiency", sys.net.efficiency);
+  sys.net.enable_tree = to_int(s, "enable_tree", 0) != 0;
+  sys.net.pod_size = to_int(s, "pod_size", 0);
+  sys.net.oversubscription = to_double(s, "oversubscription", 1.0);
+  sys.nvs_domain = to_int(s, "nvs_domain", sys.nvs_domain);
+  sys.n_gpus = to_int(s, "n_gpus", sys.n_gpus);
+  sys.host_bandwidth =
+      to_double(s, "host_gbs", sys.host_bandwidth / 1e9) * 1e9;
+  return sys;
+}
+
+LoadedConfig load_config_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open config file " + path);
+  const ConfigSections sections = parse_config(in);
+  LoadedConfig out;
+  if (const auto it = sections.find("model"); it != sections.end()) {
+    out.model = model_from_section(it->second);
+  }
+  if (const auto it = sections.find("system"); it != sections.end()) {
+    out.system = system_from_section(it->second);
+  }
+  return out;
+}
+
+}  // namespace tfpe::io

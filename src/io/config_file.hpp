@@ -1,0 +1,64 @@
+#pragma once
+// Plain-text configuration files for custom models and systems, so users
+// can describe their own foundation model / cluster without recompiling:
+//
+//   # comments and blank lines are ignored
+//   [model]
+//   name = my-foundation-model
+//   seq_len = 16384
+//   embed = 8192
+//   heads = 64
+//   depth = 32
+//   hidden = 32768        # optional, default 4*embed
+//   kv_heads = 8          # optional (GQA)
+//   attention = windowed  # full | windowed | linear
+//   window = 4096
+//   moe_experts = 64      # optional
+//   moe_top_k = 2
+//
+//   [system]
+//   gpu = b200            # preset, or give the fields below
+//   tensor_tflops = 2500
+//   vector_tflops = 339
+//   hbm_gb = 192
+//   hbm_gbs = 8000
+//   nvs_gbs = 900
+//   ib_gbs = 100
+//   nvs_domain = 8
+//   n_gpus = 4096
+//
+// Unknown keys are errors (typo protection). Either section may be absent.
+
+#include <istream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "hw/system.hpp"
+#include "model/transformer.hpp"
+
+namespace tfpe::io {
+
+using Section = std::map<std::string, std::string>;
+using ConfigSections = std::map<std::string, Section>;
+
+/// Parse "[section]" / "key = value" syntax. Throws std::runtime_error with
+/// a line number on malformed input.
+ConfigSections parse_config(std::istream& in);
+
+/// Build a validated TransformerConfig from a [model] section.
+model::TransformerConfig model_from_section(const Section& s);
+
+/// Build a SystemConfig from a [system] section. Preset fields may be
+/// overridden by explicit values.
+hw::SystemConfig system_from_section(const Section& s);
+
+struct LoadedConfig {
+  std::optional<model::TransformerConfig> model;
+  std::optional<hw::SystemConfig> system;
+};
+
+/// Parse a whole file; throws std::runtime_error if it cannot be read.
+LoadedConfig load_config_file(const std::string& path);
+
+}  // namespace tfpe::io

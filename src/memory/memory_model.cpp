@@ -1,0 +1,33 @@
+#include "memory/memory_model.hpp"
+
+namespace tfpe::memory {
+
+MemoryBreakdown compute_memory(const parallel::LayerCost& layer,
+                               const parallel::ParallelConfig& cfg,
+                               std::int64_t layers_per_stage,
+                               std::int64_t in_flight_microbatches) {
+  MemoryBreakdown mem;
+  const double stage_params =
+      layer.weight_params * static_cast<double>(layers_per_stage);
+  // ZeRO-1 shards the optimizer states over the data-parallel group; in 2D
+  // TP the weights are additionally replicated over n2, so the states shard
+  // over nd * n2 (the same group that reduces the weight gradients). ZeRO-3
+  // shards the FP16 weights and gradients over the same group too, keeping
+  // one layer's worth of gathered weights as working set.
+  double shard = static_cast<double>(cfg.nd);
+  if (layer.dp_group_includes_tp2) shard *= static_cast<double>(cfg.n2);
+  if (cfg.zero == parallel::ZeroStage::kWeights) {
+    mem.weights = 2.0 * (stage_params / shard + layer.weight_params);
+    mem.gradients = 2.0 * (stage_params / shard + layer.weight_params);
+  } else {
+    mem.weights = 2.0 * stage_params;
+    mem.gradients = 2.0 * stage_params;
+  }
+  mem.optimizer = 12.0 * stage_params / shard;
+  mem.activations = layer.stored_bytes() *
+                    static_cast<double>(layers_per_stage) *
+                    static_cast<double>(in_flight_microbatches);
+  return mem;
+}
+
+}  // namespace tfpe::memory

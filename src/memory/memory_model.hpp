@@ -1,0 +1,37 @@
+#pragma once
+// HBM memory-consumption model (paper §III S2 "Memory Used on HBM").
+//
+// Mixed-precision training with a distributed Adam optimizer:
+//   * weights:          2 bytes / resident parameter (FP16)
+//   * weight gradients: 2 bytes / resident parameter
+//   * optimizer states: 12 bytes / parameter, sharded over the nd
+//     data-parallel group (FP32 master weights + two Adam moments, ZeRO-1)
+//   * activations: per-op stored tensors for every in-flight microbatch;
+//     the 1F1B schedule keeps min(m, np) microbatches resident, and
+//     FlashAttention recomputation already removed the l x l logits.
+
+#include <cstdint>
+
+#include "hw/system.hpp"
+#include "parallel/layer_builder.hpp"
+#include "parallel/parallel_config.hpp"
+
+namespace tfpe::memory {
+
+struct MemoryBreakdown {
+  double weights = 0;
+  double gradients = 0;
+  double optimizer = 0;
+  double activations = 0;
+
+  double total() const { return weights + gradients + optimizer + activations; }
+};
+
+/// Memory resident on one GPU for `layers_per_stage` blocks of the given
+/// per-block cost, with `in_flight` microbatches of activations.
+MemoryBreakdown compute_memory(const parallel::LayerCost& layer,
+                               const parallel::ParallelConfig& cfg,
+                               std::int64_t layers_per_stage,
+                               std::int64_t in_flight_microbatches);
+
+}  // namespace tfpe::memory

@@ -1,0 +1,75 @@
+#pragma once
+// Operation descriptors — the unit of the paper's S1 counting stage.
+//
+// Each transformer-block operation is described by its per-GPU, per-microbatch
+// FLOP count, HBM traffic, stored-activation footprint and communication
+// requests (collective type, group, bytes). The evaluator (S2) converts these
+// into time with the roofline + collective models.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tfpe::ops {
+
+/// Which execution unit services the op's FLOPs (paper: tensor-core rate for
+/// matrix multiplies, vector rate for LN/Softmax/GeLU/Dropout/residual).
+enum class ComputeUnit { TensorCore, Vector, None };
+
+enum class Collective {
+  None,
+  AllGather,
+  ReduceScatter,
+  AllReduce,
+  Broadcast,
+  Reduce,
+  PointToPoint,
+  AllToAll,  ///< MoE token dispatch/combine (expert parallelism).
+};
+
+/// Which orthogonal GPU group a communication runs over.
+/// TP1 = first tensor-parallel dimension (n1), TP2 = second (n2),
+/// DP = data parallel, PP = pipeline neighbors.
+enum class CommGroup { TP1, TP2, DP, PP };
+
+struct CommRequest {
+  Collective collective = Collective::None;
+  CommGroup group = CommGroup::TP1;
+  double bytes = 0;  ///< V: bytes per GPU entering the collective.
+};
+
+struct Op {
+  std::string name;
+  /// Human-readable partitioned-shape description ("(b, l/n2, e) x (e, f/n1)")
+  /// used to regenerate the paper's Tables I / II / A2.
+  std::string detail;
+  ComputeUnit unit = ComputeUnit::Vector;
+
+  // Forward pass counts (per GPU, per microbatch).
+  double fwd_flops = 0;
+  double fwd_bytes = 0;
+  std::vector<CommRequest> fwd_comm;
+
+  // Backward pass counts (per GPU, per microbatch).
+  double bwd_flops = 0;
+  double bwd_bytes = 0;
+  std::vector<CommRequest> bwd_comm;
+
+  /// Bytes of intermediate activations this op keeps resident per microbatch
+  /// for its backward pass (FlashAttention recomputation already accounted).
+  double stored_bytes = 0;
+
+  // SUMMA panel metadata: when `summa_panels` > 1, the fwd/bwd TP comm of
+  // this op is a sequence of per-panel broadcasts that overlap with the
+  // per-panel matmuls; the evaluator applies the prologue/exposed model.
+  // `summa_k` is the full contraction dimension (per-GPU) so panel matmul
+  // efficiency can be derated via the FLOPs-latency term.
+  std::int64_t summa_panels = 1;
+  double summa_k = 0;
+};
+
+std::string to_string(Collective c);
+std::string to_string(CommGroup g);
+std::string to_string(ComputeUnit u);
+
+}  // namespace tfpe::ops

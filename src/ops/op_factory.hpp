@@ -1,0 +1,68 @@
+#pragma once
+// Factories that perform the paper's S1 counting for each operation class:
+// plain / batched matrix multiplies, SUMMA-distributed multiplies, fused
+// FlashAttention Logit/Attend, and element-wise vector ops.
+//
+// Conventions:
+//  * All counts are per GPU and per microbatch.
+//  * FP16 storage: kBytesPerElement = 2 for activations and weights.
+//  * CommRequest.bytes is the size of the FULL tensor entering the
+//    collective (the paper's "Vol" column, in bytes); the collective model
+//    applies the ring (g-1)/g factor.
+//  * Backward matmul = two matmuls (dA = dC B^T, dB = A^T dC) so ~2x the
+//    forward FLOPs and bytes; backward collectives are the conjugates of the
+//    forward ones (AG <-> RS) with equal volume.
+
+#include <cstdint>
+
+#include "ops/op.hpp"
+
+namespace tfpe::ops {
+
+inline constexpr double kBytesPerElement = 2.0;  ///< FP16.
+inline constexpr double kBytesPerMaskElement = 1.0;
+
+/// C[m x n] = A[m x k] B[k x n], `batch` independent instances.
+/// λf = (2k-1)mn, λm = 2(mk + kn + mn) per instance.
+/// If `store_a`, A is kept for backward (counts toward activation memory);
+/// B is a weight matrix accounted in the weight-memory model unless
+/// `store_b` is set (activation-activation multiplies).
+Op matmul(std::string name, double m, double n, double k, double batch = 1.0,
+          bool store_a = true, bool store_b = false);
+
+/// Fused FlashAttention Logit/Attend: softmax(Q K^T) V for `batch` samples
+/// and `heads` local heads, query length lq, key/value length lkv, head dim
+/// eh. Memory traffic touches only inputs/outputs (no l x l intermediate);
+/// the backward pass recomputes the forward (2.5x forward FLOPs).
+/// `stored_elems` is the caller-determined activation storage (e.g. the
+/// pre-AllGather K/V shards in 2D TP). `kv_heads` (grouped-query attention)
+/// shrinks the K/V traffic; 0 means kv_heads == heads.
+Op fused_attention(std::string name, double batch, double heads, double lq,
+                   double lkv, double eh, double stored_elems,
+                   double kv_heads = 0);
+
+/// Element-wise vector op over `elements` values with `flops_per_element`.
+/// `stored_elems` activation elements are retained for backward.
+/// `stored_mask_elems` retains 1-byte mask elements (dropout).
+Op vector_op(std::string name, double elements, double flops_per_element,
+             double stored_elems, double stored_mask_elems = 0.0);
+
+// Canonical vector ops used by the transformer block.
+Op layernorm(std::string name, double elements);
+Op gelu(std::string name, double elements);
+Op dropout(std::string name, double elements);
+Op residual_add(std::string name, double elements);
+
+/// SUMMA-distributed C[M x N] = A[M x K] B[K x N] on an n1 x n2 grid with
+/// nb contraction panels (paper Appendix A, Table A2). Global (unpartitioned)
+/// M, N, K. Per-GPU comm: A row-block broadcast over TP1 of M*K/n2 elements
+/// and B column-block broadcast over TP2 of K*N/n1 elements.
+Op summa_matmul(std::string name, double M, double N, double K,
+                std::int64_t n1, std::int64_t n2, std::int64_t nb,
+                bool store_a = true);
+
+/// Append a communication request to the op's forward list and its conjugate
+/// (AG <-> RS, B <-> R, AR/P2P self-conjugate) to the backward list.
+void add_conjugate_comm(Op& op, Collective coll, CommGroup group, double bytes);
+
+}  // namespace tfpe::ops

@@ -1,0 +1,53 @@
+#include "parallel/layer_builder.hpp"
+
+#include <stdexcept>
+
+namespace tfpe::parallel {
+
+double LayerCost::stored_bytes() const {
+  double sum = 0;
+  for (const auto& op : ops) sum += op.stored_bytes;
+  return sum;
+}
+
+double LayerCost::fwd_flops() const {
+  double sum = 0;
+  for (const auto& op : ops) sum += op.fwd_flops;
+  return sum;
+}
+
+double LayerCost::bwd_flops() const {
+  double sum = 0;
+  for (const auto& op : ops) sum += op.bwd_flops;
+  return sum;
+}
+
+double LayerCost::fwd_hbm_bytes() const {
+  double sum = 0;
+  for (const auto& op : ops) sum += op.fwd_bytes;
+  return sum;
+}
+
+double LayerCost::fwd_comm_bytes(ops::CommGroup group) const {
+  double sum = 0;
+  for (const auto& op : ops) {
+    for (const auto& req : op.fwd_comm) {
+      if (req.group == group) sum += req.bytes;
+    }
+  }
+  return sum;
+}
+
+LayerCost build_layer(const model::TransformerConfig& mdl,
+                      const ParallelConfig& cfg,
+                      std::int64_t local_microbatch) {
+  switch (cfg.strategy) {
+    case TpStrategy::TP1D: return build_layer_1d(mdl, cfg, local_microbatch);
+    case TpStrategy::TP2D: return build_layer_2d(mdl, cfg, local_microbatch);
+    case TpStrategy::Summa2D:
+      return build_layer_summa(mdl, cfg, local_microbatch);
+  }
+  throw std::logic_error("build_layer: unknown strategy");
+}
+
+}  // namespace tfpe::parallel

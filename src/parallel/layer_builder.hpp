@@ -1,0 +1,57 @@
+#pragma once
+// Per-block operation lists under each tensor-parallel strategy
+// (paper Tables I, II and A2).
+//
+// build_layer() returns the cost description of ONE transformer block for
+// one microbatch on one GPU: the op sequence (with FLOPs, HBM bytes,
+// collectives and stored activations), the resident weight parameters, and
+// the pipeline-boundary activation volume.
+
+#include <cstdint>
+#include <vector>
+
+#include "model/transformer.hpp"
+#include "ops/op.hpp"
+#include "parallel/parallel_config.hpp"
+
+namespace tfpe::parallel {
+
+struct LayerCost {
+  std::vector<ops::Op> ops;
+
+  /// Learnable parameters resident per GPU for this block (includes the
+  /// replication across n2 in plain 2D TP; SUMMA shards fully).
+  double weight_params = 0;
+
+  /// Unique (unreplicated) parameters this GPU contributes to the
+  /// data-parallel gradient reduction: equals weight_params for 1D TP and
+  /// SUMMA; for 2D TP the reduction group is extended over n2 instead.
+  bool dp_group_includes_tp2 = false;
+
+  /// Activation bytes crossing a pipeline-stage boundary per microbatch.
+  double pp_boundary_bytes = 0;
+
+  double stored_bytes() const;
+  double fwd_flops() const;
+  double bwd_flops() const;
+  double fwd_hbm_bytes() const;
+  /// Sum of forward collective volumes (bytes) over a given group.
+  double fwd_comm_bytes(ops::CommGroup group) const;
+};
+
+/// Dispatches on cfg.strategy. `local_microbatch` is b/(nd*m).
+LayerCost build_layer(const model::TransformerConfig& mdl,
+                      const ParallelConfig& cfg, std::int64_t local_microbatch);
+
+// Strategy-specific builders (exposed for tests and the table bench).
+LayerCost build_layer_1d(const model::TransformerConfig& mdl,
+                         const ParallelConfig& cfg,
+                         std::int64_t local_microbatch);
+LayerCost build_layer_2d(const model::TransformerConfig& mdl,
+                         const ParallelConfig& cfg,
+                         std::int64_t local_microbatch);
+LayerCost build_layer_summa(const model::TransformerConfig& mdl,
+                            const ParallelConfig& cfg,
+                            std::int64_t local_microbatch);
+
+}  // namespace tfpe::parallel

@@ -1,0 +1,36 @@
+#pragma once
+// Mixture-of-experts MLP block for the 1D / 2D TP layer builders
+// (extension; the paper's §V outlook lists architecture types beyond dense
+// LLMs as future work).
+//
+// Experts shard over the data-parallel group (expert parallelism, degree
+// ep = min(nd, E)); tokens move to their routed experts by AllToAll over
+// that group and return after the expert MLP. Each expert's (W1, W2) is
+// additionally sharded over the first TP dimension, exactly like the dense
+// MLP. Routing is assumed balanced (capacity factor 1).
+
+#include <cstdint>
+#include <vector>
+
+#include "model/transformer.hpp"
+#include "ops/op.hpp"
+#include "parallel/parallel_config.hpp"
+
+namespace tfpe::parallel {
+
+/// Expert-parallel degree for a configuration: min(nd, E).
+std::int64_t expert_parallel_degree(const model::TransformerConfig& mdl,
+                                    const ParallelConfig& cfg);
+
+/// Appends router + dispatch + expert MLP + combine ops to `v` and returns
+/// the MLP weight parameters resident per GPU.
+///   matmul_tokens  tokens entering the (replicated) matmul region
+///                  (1D TP: B*l; 2D TP: B*l/n2)
+///   owned_tokens   tokens this GPU owns in the sequence-parallel layout
+///                  (1D TP: B*l/nt; 2D TP: B*l/(n1*n2))
+double append_moe_mlp(std::vector<ops::Op>& v,
+                      const model::TransformerConfig& mdl,
+                      const ParallelConfig& cfg, double matmul_tokens,
+                      double owned_tokens);
+
+}  // namespace tfpe::parallel

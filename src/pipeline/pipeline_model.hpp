@@ -1,0 +1,40 @@
+#pragma once
+// 1F1B non-interleaved pipeline schedule model (paper §III S1/S2).
+//
+// A global batch is split into m microbatches; stages run one-forward-
+// one-backward in steady state. Idle (bubble) time is (np - 1)(tf + tb) and
+// the schedule keeps at most np microbatches of activations in flight.
+// Stage-boundary activations move by point-to-point messages which the model
+// does not overlap with compute (shown small in §IV).
+
+#include <cstdint>
+
+#include "comm/collective_model.hpp"
+#include "hw/network.hpp"
+
+namespace tfpe::pipeline {
+
+/// Bubble time for an np-stage pipeline with per-microbatch forward/backward
+/// times tf / tb. With `interleave` v > 1 (interleaved 1F1B, v virtual
+/// chunks per GPU) the bubble shrinks by a factor v (Narayanan et al.).
+double bubble_time(std::int64_t np, double t_fwd, double t_bwd,
+                   std::int64_t interleave = 1);
+
+/// Microbatches whose activations are simultaneously resident on the most
+/// loaded stage: min(m, np).
+std::int64_t in_flight_microbatches(std::int64_t np, std::int64_t m);
+
+/// Total exposed point-to-point time per iteration for one stage:
+/// m microbatches x (forward activation + backward gradient) messages of
+/// `boundary_bytes` each, times the interleave factor (each microbatch
+/// crosses every stage boundary v times). `nvs_neighbors` > 1 places
+/// pipeline neighbors in the same fast domain.
+double p2p_time(const hw::NetworkSpec& net, std::int64_t np, std::int64_t m,
+                double boundary_bytes, std::int64_t nvs_neighbors,
+                std::int64_t interleave = 1);
+
+/// End-to-end iteration time: m steady microbatches plus the bubble.
+double iteration_time(std::int64_t np, std::int64_t m, double t_fwd,
+                      double t_bwd);
+
+}  // namespace tfpe::pipeline

@@ -1,0 +1,89 @@
+#include "report/breakdown_report.hpp"
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace tfpe::report {
+
+namespace {
+
+std::string pct(double part, double total) {
+  if (total <= 0) return "-";
+  return util::format_fixed(100.0 * part / total, 1);
+}
+
+std::string num(std::int64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+void print_config_panel(std::ostream& os,
+                        const std::vector<LabeledResult>& results) {
+  util::TextTable t;
+  t.set_header({"config", "strategy", "DP", "TP n1", "TP n2", "PP", "m", "nb",
+                "nvs(1,2,p,d)", "HBM used"});
+  for (const auto& [label, r] : results) {
+    const auto& c = r.cfg;
+    t.add_row({label, parallel::to_string(c.strategy), num(c.nd), num(c.n1),
+               num(c.n2), num(c.np), num(c.microbatches), num(c.nb),
+               "(" + num(c.nvs1) + "," + num(c.nvs2) + "," + num(c.nvsp) + "," +
+                   num(c.nvsd) + ")",
+               r.feasible ? util::format_bytes(r.mem.total())
+                          : "infeasible: " + r.reason});
+  }
+  t.print(os);
+}
+
+void print_time_panel(std::ostream& os,
+                      const std::vector<LabeledResult>& results) {
+  util::TextTable t;
+  t.set_header({"config", "compute%", "mem%", "TPcomm%", "DPcomm%", "PPcomm%",
+                "bubble%", "opt%", "iter time"});
+  for (const auto& [label, r] : results) {
+    if (!r.feasible) {
+      t.add_row({label, "-", "-", "-", "-", "-", "-", "-",
+                 "infeasible: " + r.reason});
+      continue;
+    }
+    const double total = r.iteration();
+    t.add_row({label, pct(r.time.compute, total), pct(r.time.memory, total),
+               pct(r.time.tp_comm, total), pct(r.time.dp_comm, total),
+               pct(r.time.pp_comm, total), pct(r.time.bubble, total),
+               pct(r.time.optimizer, total), util::format_time(total)});
+  }
+  t.print(os);
+}
+
+void print_panels(std::ostream& os, const std::string& caption,
+                  const std::vector<LabeledResult>& results) {
+  os << "== " << caption << " ==\n";
+  os << "-- PARALLELIZATION CONFIGURATION --\n";
+  print_config_panel(os, results);
+  os << "-- TIME (fraction of iteration) --\n";
+  print_time_panel(os, results);
+  os << '\n';
+}
+
+void write_results_csv(const std::string& path,
+                       const std::vector<LabeledResult>& results) {
+  util::CsvWriter csv(path);
+  csv.write_header({"label", "strategy", "nd", "n1", "n2", "np", "m", "nb",
+                    "nvs1", "nvs2", "nvsp", "nvsd", "feasible", "hbm_bytes",
+                    "iter_s", "compute_s", "memory_s", "tp_comm_s", "dp_comm_s",
+                    "pp_comm_s", "bubble_s", "optimizer_s"});
+  for (const auto& [label, r] : results) {
+    const auto& c = r.cfg;
+    csv.write_row(std::vector<std::string>{
+        label, parallel::to_string(c.strategy), num(c.nd), num(c.n1), num(c.n2),
+        num(c.np), num(c.microbatches), num(c.nb), num(c.nvs1), num(c.nvs2),
+        num(c.nvsp), num(c.nvsd), r.feasible ? "1" : "0",
+        util::format_fixed(r.mem.total(), 0),
+        util::format_fixed(r.feasible ? r.iteration() : 0.0, 6),
+        util::format_fixed(r.time.compute, 6), util::format_fixed(r.time.memory, 6),
+        util::format_fixed(r.time.tp_comm, 6), util::format_fixed(r.time.dp_comm, 6),
+        util::format_fixed(r.time.pp_comm, 6), util::format_fixed(r.time.bubble, 6),
+        util::format_fixed(r.time.optimizer, 6)});
+  }
+}
+
+}  // namespace tfpe::report

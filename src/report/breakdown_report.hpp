@@ -1,0 +1,37 @@
+#pragma once
+// Paper-style result presentation: the PARALLELIZATION CONFIGURATION panel
+// (grid factors, microbatches, HBM GB) and the TIME panel (per-iteration
+// breakdown in percent plus the absolute total), matching the two-panel
+// layout of Figs. 1-4.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+
+namespace tfpe::report {
+
+struct LabeledResult {
+  std::string label;
+  core::EvalResult result;
+};
+
+/// Top panel: DP/TP/PP/microbatch allocation and memory per configuration.
+void print_config_panel(std::ostream& os,
+                        const std::vector<LabeledResult>& results);
+
+/// Bottom panel: % of iteration time in compute / memory / TP / DP / PP /
+/// bubble / optimizer, plus total seconds per iteration.
+void print_time_panel(std::ostream& os,
+                      const std::vector<LabeledResult>& results);
+
+/// Both panels with a caption.
+void print_panels(std::ostream& os, const std::string& caption,
+                  const std::vector<LabeledResult>& results);
+
+/// CSV mirror of both panels (one row per configuration).
+void write_results_csv(const std::string& path,
+                       const std::vector<LabeledResult>& results);
+
+}  // namespace tfpe::report

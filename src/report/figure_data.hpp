@@ -1,0 +1,32 @@
+#pragma once
+// Shared helpers for the figure-reproduction benches: scale ranges, optimal
+// configurations per GPU count, and strategy comparisons.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/training_estimate.hpp"
+#include "hw/system.hpp"
+#include "report/breakdown_report.hpp"
+#include "search/search.hpp"
+
+namespace tfpe::report {
+
+/// Powers of two in [lo, hi].
+std::vector<std::int64_t> pow2_range(std::int64_t lo, std::int64_t hi);
+
+/// Run the full S3 search for `strategy` on `n` GPUs of the given system.
+core::EvalResult optimal_at_scale(const model::TransformerConfig& mdl,
+                                  hw::SystemConfig sys,
+                                  parallel::TpStrategy strategy,
+                                  std::int64_t global_batch, std::int64_t n);
+
+/// Optimal configurations across a strong-scaling sweep (Figs. 4, A3).
+std::vector<LabeledResult> scaling_sweep(const model::TransformerConfig& mdl,
+                                         const hw::SystemConfig& sys,
+                                         parallel::TpStrategy strategy,
+                                         std::int64_t global_batch,
+                                         const std::vector<std::int64_t>& scales);
+
+}  // namespace tfpe::report

@@ -1,0 +1,28 @@
+#pragma once
+// Markdown report generation: renders search results as a self-contained
+// Markdown document (configuration table, time-breakdown table, memory
+// table, notes) for pasting into issues / design docs. The CLI exposes it
+// via --markdown.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "report/breakdown_report.hpp"
+
+namespace tfpe::report {
+
+/// Render a full report: title, system/model context lines and the three
+/// tables. Infeasible rows carry their reason.
+void write_markdown_report(std::ostream& os, const std::string& title,
+                           const std::vector<std::string>& context_lines,
+                           const std::vector<LabeledResult>& results);
+
+/// Convenience file writer; throws std::runtime_error when the path cannot
+/// be opened.
+void write_markdown_report_file(const std::string& path,
+                                const std::string& title,
+                                const std::vector<std::string>& context_lines,
+                                const std::vector<LabeledResult>& results);
+
+}  // namespace tfpe::report

@@ -1,0 +1,24 @@
+#pragma once
+// Per-operation roofline report: for one configuration, the S1 counts and
+// S2 times of every op in a transformer block — FLOPs, HBM bytes, arithmetic
+// intensity, forward/backward time, exposed communication and whether the
+// op is compute- or memory-bound. The op-level view behind the aggregate
+// time panels.
+
+#include <ostream>
+
+#include "core/evaluator.hpp"
+#include "hw/system.hpp"
+#include "model/transformer.hpp"
+#include "parallel/parallel_config.hpp"
+
+namespace tfpe::report {
+
+/// Print the per-op table for one block of `mdl` under `cfg` with the given
+/// global batch. Throws std::invalid_argument for invalid configurations.
+void print_op_report(std::ostream& os, const model::TransformerConfig& mdl,
+                     const hw::SystemConfig& sys,
+                     const parallel::ParallelConfig& cfg,
+                     std::int64_t global_batch);
+
+}  // namespace tfpe::report

@@ -1,0 +1,133 @@
+#include "search/enumerate.hpp"
+
+#include <algorithm>
+
+#include "util/math.hpp"
+
+namespace tfpe::search {
+
+using util::divisors;
+
+std::vector<parallel::ParallelConfig> enumerate_parallel(
+    const model::TransformerConfig& mdl, const hw::SystemConfig& sys,
+    const EnumerationOptions& opts) {
+  const std::int64_t n = opts.n_gpus > 0 ? opts.n_gpus : sys.n_gpus;
+  const std::int64_t b = opts.global_batch;
+  std::vector<parallel::ParallelConfig> out;
+  if (mdl.is_moe() && opts.strategy == parallel::TpStrategy::Summa2D) {
+    return out;  // MoE is not supported with SUMMA.
+  }
+
+  std::vector<std::int64_t> nb_candidates = opts.nb_candidates;
+  if (opts.strategy != parallel::TpStrategy::Summa2D) {
+    nb_candidates = {1};
+  } else if (nb_candidates.empty()) {
+    nb_candidates = {1, 2, 4, 8, 16};
+  }
+
+  auto keep = [](std::int64_t fixed, std::int64_t v) {
+    return fixed == 0 || fixed == v;
+  };
+
+  for (std::int64_t n1 : divisors(n)) {
+    if (!keep(opts.fixed_n1, n1)) continue;
+    if (mdl.heads % n1 || mdl.hidden % n1 || mdl.embed % n1) continue;
+    if (mdl.kv_heads_or_default() % n1) continue;
+    const std::int64_t rem1 = n / n1;
+    for (std::int64_t n2 : divisors(rem1)) {
+      if (opts.strategy == parallel::TpStrategy::TP1D && n2 != 1) continue;
+      if (!keep(opts.fixed_n2, n2)) continue;
+      if (mdl.seq_len % (n1 * n2)) continue;
+      if (opts.strategy == parallel::TpStrategy::Summa2D &&
+          (mdl.embed % n2 || mdl.hidden % n2)) {
+        continue;
+      }
+      const std::int64_t rem2 = rem1 / n2;
+      for (std::int64_t np : divisors(rem2)) {
+        if (!keep(opts.fixed_np, np)) continue;
+        if (mdl.depth % np) continue;
+        const std::int64_t nd = rem2 / np;
+        if (!keep(opts.fixed_nd, nd)) continue;
+        if (b % nd) continue;
+        if (mdl.is_moe() &&
+            (nd <= mdl.moe_experts ? mdl.moe_experts % nd != 0
+                                   : nd % mdl.moe_experts != 0)) {
+          continue;
+        }
+        const std::int64_t local_batch = b / nd;
+        for (std::int64_t m : divisors(local_batch)) {
+          if (!keep(opts.fixed_m, m)) continue;
+          const std::int64_t b_loc = local_batch / m;
+          if (opts.fixed_local_microbatch != 0 &&
+              b_loc != opts.fixed_local_microbatch) {
+            continue;
+          }
+          for (std::int64_t nb : nb_candidates) {
+            if (opts.strategy == parallel::TpStrategy::Summa2D &&
+                (mdl.embed % nb || mdl.hidden % nb)) {
+              continue;
+            }
+            parallel::ParallelConfig cfg;
+            cfg.strategy = opts.strategy;
+            cfg.n1 = n1;
+            cfg.n2 = n2;
+            cfg.np = np;
+            cfg.nd = nd;
+            cfg.microbatches = m;
+            cfg.nb = nb;
+            out.push_back(cfg);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::array<std::int64_t, 4>> enumerate_placements(
+    const parallel::ParallelConfig& cfg, std::int64_t nvs_domain) {
+  auto group_divs = [&](std::int64_t size) {
+    std::vector<std::int64_t> ds;
+    for (std::int64_t d : divisors(size)) {
+      if (d <= nvs_domain) ds.push_back(d);
+    }
+    return ds;
+  };
+  const auto d1 = group_divs(cfg.n1);
+  const auto d2 = group_divs(cfg.n2);
+  const auto dp = group_divs(cfg.np);
+  const auto dd = group_divs(cfg.nd);
+
+  std::vector<std::array<std::int64_t, 4>> all;
+  for (std::int64_t a1 : d1) {
+    if (a1 > nvs_domain) break;
+    for (std::int64_t a2 : d2) {
+      if (a1 * a2 > nvs_domain) break;
+      for (std::int64_t ap : dp) {
+        if (a1 * a2 * ap > nvs_domain) break;
+        for (std::int64_t ad : dd) {
+          if (a1 * a2 * ap * ad > nvs_domain) break;
+          all.push_back({a1, a2, ap, ad});
+        }
+      }
+    }
+  }
+  // Drop dominated placements: more fast-domain GPUs for any group never
+  // hurts in the time model.
+  std::vector<std::array<std::int64_t, 4>> keep;
+  for (const auto& c : all) {
+    bool dominated = false;
+    for (const auto& o : all) {
+      if (&o == &c) continue;
+      if (o[0] >= c[0] && o[1] >= c[1] && o[2] >= c[2] && o[3] >= c[3] &&
+          (o[0] > c[0] || o[1] > c[1] || o[2] > c[2] || o[3] > c[3])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) keep.push_back(c);
+  }
+  return keep;
+}
+
+}  // namespace tfpe::search

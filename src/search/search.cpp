@@ -1,0 +1,183 @@
+#include "search/search.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
+#include "parallel/layer_builder.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tfpe::search {
+
+namespace {
+
+/// True when `a` is strictly better: faster, or equal and lighter on HBM.
+bool better(const core::EvalResult& a, const core::EvalResult& b) {
+  if (!a.feasible) return false;
+  if (!b.feasible) return true;
+  if (a.iteration() != b.iteration()) return a.iteration() < b.iteration();
+  return a.mem.total() < b.mem.total();
+}
+
+/// Greedy packing of the fast domain when placement search is disabled:
+/// give NVS GPUs to TP1 first, then TP2, PP, DP.
+void pack_placement(parallel::ParallelConfig& cfg, std::int64_t nvs_domain) {
+  auto largest_divisor_leq = [](std::int64_t n, std::int64_t cap) {
+    std::int64_t best = 1;
+    for (std::int64_t d = 1; d * d <= n; ++d) {
+      if (n % d) continue;
+      if (d <= cap) best = std::max(best, d);
+      if (n / d <= cap) best = std::max(best, n / d);
+    }
+    return best;
+  };
+  std::int64_t budget = nvs_domain;
+  cfg.nvs1 = largest_divisor_leq(cfg.n1, budget);
+  budget /= cfg.nvs1;
+  cfg.nvs2 = largest_divisor_leq(cfg.n2, budget);
+  budget /= cfg.nvs2;
+  cfg.nvsp = largest_divisor_leq(cfg.np, budget);
+  budget /= cfg.nvsp;
+  cfg.nvsd = largest_divisor_leq(cfg.nd, budget);
+}
+
+}  // namespace
+
+core::EvalResult best_placement(const model::TransformerConfig& mdl,
+                                const hw::SystemConfig& sys,
+                                parallel::ParallelConfig cfg,
+                                std::int64_t global_batch,
+                                const core::EvalOptions& eval) {
+  core::EvalResult best;
+  best.cfg = cfg;
+  best.reason = "no valid placement";
+  // Divisibility failures are placement-independent: report them directly.
+  cfg.nvs1 = cfg.nvs2 = cfg.nvsp = cfg.nvsd = 1;
+  if (auto why = cfg.invalid_reason(mdl, sys, global_batch)) {
+    best.reason = *why;
+    return best;
+  }
+  const parallel::LayerCost layer =
+      parallel::build_layer(mdl, cfg, cfg.local_microbatch(global_batch));
+  for (const auto& pl : enumerate_placements(cfg, sys.nvs_domain)) {
+    cfg.nvs1 = pl[0];
+    cfg.nvs2 = pl[1];
+    cfg.nvsp = pl[2];
+    cfg.nvsd = pl[3];
+    core::EvalResult r =
+        core::evaluate_with_layer(mdl, sys, cfg, global_batch, layer, eval);
+    if (better(r, best)) best = r;
+    if (!r.feasible && !best.feasible) best = r;  // keep a concrete reason
+  }
+  return best;
+}
+
+SearchResult find_optimal(const model::TransformerConfig& mdl,
+                          const hw::SystemConfig& sys,
+                          const SearchOptions& opts) {
+  const std::int64_t b = opts.global_batch;
+  const auto base_configs = enumerate_parallel(mdl, sys, opts);
+
+  // Expand by the extension axes (interleave chunks, ZeRO stage).
+  std::vector<parallel::ParallelConfig> configs;
+  std::vector<std::int64_t> interleaves = opts.interleave_candidates;
+  if (interleaves.empty()) interleaves = {1};
+  configs.reserve(base_configs.size() * interleaves.size() *
+                  (opts.allow_zero3 ? 2 : 1));
+  for (const auto& base : base_configs) {
+    for (std::int64_t v : interleaves) {
+      if (v > 1 && (base.np <= 1 || (mdl.depth / base.np) % v != 0)) continue;
+      parallel::ParallelConfig cfg = base;
+      cfg.interleave = v;
+      const bool ring_ok = opts.allow_ring_attention && cfg.n2 > 1 &&
+                           mdl.attention != model::AttentionKind::kLinear;
+      for (int ring = 0; ring <= (ring_ok ? 1 : 0); ++ring) {
+        cfg.ring_attention = ring != 0;
+        configs.push_back(cfg);
+        if (opts.allow_zero3) {
+          cfg.zero = parallel::ZeroStage::kWeights;
+          configs.push_back(cfg);
+          cfg.zero = parallel::ZeroStage::kOptimizer;
+        }
+      }
+    }
+  }
+
+  SearchResult result;
+  result.best.reason = "no feasible configuration";
+  if (configs.empty()) return result;
+
+  std::vector<core::EvalResult> best_per_config(configs.size());
+  std::vector<std::size_t> evals_per_config(configs.size(), 0);
+
+  util::ThreadPool pool(opts.threads);
+  util::parallel_for_index(pool, configs.size(), [&](std::size_t i) {
+    parallel::ParallelConfig cfg = configs[i];
+    if (opts.search_placement) {
+      const parallel::LayerCost layer =
+          parallel::build_layer(mdl, cfg, cfg.local_microbatch(b));
+      core::EvalResult best;
+      best.cfg = cfg;
+      best.reason = "no valid placement";
+      std::size_t evals = 0;
+      for (const auto& pl : enumerate_placements(cfg, sys.nvs_domain)) {
+        cfg.nvs1 = pl[0];
+        cfg.nvs2 = pl[1];
+        cfg.nvsp = pl[2];
+        cfg.nvsd = pl[3];
+        core::EvalResult r =
+            core::evaluate_with_layer(mdl, sys, cfg, b, layer, opts.eval);
+        ++evals;
+        if (better(r, best)) best = r;
+        if (!r.feasible && !best.feasible) best = r;
+      }
+      best_per_config[i] = best;
+      evals_per_config[i] = evals;
+    } else {
+      pack_placement(cfg, sys.nvs_domain);
+      best_per_config[i] = core::evaluate(mdl, sys, cfg, b, opts.eval);
+      evals_per_config[i] = 1;
+    }
+  });
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    result.evaluated += evals_per_config[i];
+    if (best_per_config[i].feasible) ++result.feasible;
+    if (better(best_per_config[i], result.best)) {
+      result.best = best_per_config[i];
+    }
+  }
+
+  if (opts.top_k > 0) {
+    std::vector<core::EvalResult> feasible;
+    for (auto& r : best_per_config) {
+      if (r.feasible) feasible.push_back(std::move(r));
+    }
+    std::sort(feasible.begin(), feasible.end(),
+              [](const core::EvalResult& a, const core::EvalResult& b2) {
+                return better(a, b2);
+              });
+    if (feasible.size() > opts.top_k) feasible.resize(opts.top_k);
+    result.top = std::move(feasible);
+  }
+  return result;
+}
+
+std::vector<core::EvalResult> pareto_frontier(
+    const model::TransformerConfig& mdl, const hw::SystemConfig& sys,
+    SearchOptions opts) {
+  opts.top_k = std::numeric_limits<std::size_t>::max();
+  SearchResult all = find_optimal(mdl, sys, opts);
+  // `top` is sorted fastest-first; walk it keeping strictly lighter entries.
+  std::vector<core::EvalResult> frontier;
+  double best_mem = std::numeric_limits<double>::infinity();
+  for (auto& r : all.top) {
+    if (r.mem.total() < best_mem) {
+      best_mem = r.mem.total();
+      frontier.push_back(std::move(r));
+    }
+  }
+  return frontier;
+}
+
+}  // namespace tfpe::search

@@ -1,0 +1,68 @@
+#pragma once
+// Brute-force optimal-configuration search (paper §III S3): evaluate every
+// valid (parallelization x placement x panel) configuration and return the
+// feasible one with minimum iteration time. The search is embarrassingly
+// parallel and runs on the utility thread pool.
+
+#include <cstdint>
+
+#include "core/evaluator.hpp"
+#include "search/enumerate.hpp"
+
+namespace tfpe::search {
+
+struct SearchOptions : EnumerationOptions {
+  /// Search the NVS-domain placement of each group (S3 item 2). When false,
+  /// the fast domain is packed greedily onto TP1, then TP2, PP, DP.
+  bool search_placement = true;
+  /// Worker threads; 0 -> hardware concurrency.
+  unsigned threads = 0;
+
+  /// Interleaved-pipeline chunk counts to try (extension; {1} = the paper's
+  /// non-interleaved schedule).
+  std::vector<std::int64_t> interleave_candidates{1};
+  /// Also try ZeRO-3 weight sharding per configuration (extension).
+  bool allow_zero3 = false;
+  /// Also try ring attention for n2 > 1 configurations (extension).
+  bool allow_ring_attention = false;
+  /// Modeling extensions applied to every evaluation.
+  core::EvalOptions eval;
+
+  /// Keep the k best distinct parallelizations in SearchResult::top
+  /// (0 = just the optimum).
+  std::size_t top_k = 0;
+};
+
+struct SearchResult {
+  core::EvalResult best;  ///< best.feasible == false if nothing fits.
+  std::size_t evaluated = 0;
+  std::size_t feasible = 0;
+  /// The top_k fastest feasible results, best first (one per
+  /// parallelization, each with its best placement).
+  std::vector<core::EvalResult> top;
+};
+
+SearchResult find_optimal(const model::TransformerConfig& mdl,
+                          const hw::SystemConfig& sys,
+                          const SearchOptions& opts);
+
+/// The (iteration time, HBM memory) Pareto frontier of the feasible space:
+/// configurations for which no other feasible configuration is both faster
+/// and lighter. Sorted fastest-first (memory strictly decreasing along the
+/// frontier). Answers "what is the fastest plan under X GB?" for system
+/// co-design.
+std::vector<core::EvalResult> pareto_frontier(
+    const model::TransformerConfig& mdl, const hw::SystemConfig& sys,
+    SearchOptions opts);
+
+/// Best placement for a fixed parallelization configuration: evaluates every
+/// non-dominated placement and returns the fastest feasible result (used by
+/// the paper's Q1 sweeps, which fix the parallelization and optimize the
+/// placement).
+core::EvalResult best_placement(const model::TransformerConfig& mdl,
+                                const hw::SystemConfig& sys,
+                                parallel::ParallelConfig cfg,
+                                std::int64_t global_batch,
+                                const core::EvalOptions& eval = {});
+
+}  // namespace tfpe::search

@@ -1,0 +1,32 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tfpe::sim {
+
+void EventQueue::schedule(double time, Handler fn) {
+  if (time < now_) throw std::invalid_argument("EventQueue: time in the past");
+  queue_.push(Event{time, seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_after(double delay, Handler fn) {
+  schedule(now_ + delay, std::move(fn));
+}
+
+double EventQueue::run() {
+  double last = 0;
+  while (!queue_.empty()) {
+    // Move the handler out before popping so re-entrant schedule() calls in
+    // the handler see a consistent queue.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    last = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  return last;
+}
+
+}  // namespace tfpe::sim

@@ -1,0 +1,49 @@
+#pragma once
+// Minimal discrete-event simulation engine: a time-ordered event queue with
+// deterministic FIFO tie-breaking. Used by the ring-collective simulator.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace tfpe::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `time` (must be >= now()).
+  void schedule(double time, Handler fn);
+
+  /// Schedule `fn` `delay` seconds from now.
+  void schedule_after(double delay, Handler fn);
+
+  /// Process events in time order until the queue drains. Returns the time
+  /// of the last processed event (0 when no event ran).
+  double run();
+
+  double now() const { return now_; }
+  std::size_t processed() const { return processed_; }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace tfpe::sim

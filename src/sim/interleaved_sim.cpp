@@ -1,0 +1,144 @@
+#include "sim/interleaved_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tfpe::sim {
+
+namespace {
+
+/// Megatron's forward execution order on every rank: microbatches advance
+/// in groups of np, cycling through the v chunks group by group. The k-th
+/// forward (k in [0, m*v)) touches:
+///   group = k / np, chunk = group % v, micro = (group / v) * np + k % np.
+struct TaskRef {
+  std::int64_t chunk;
+  std::int64_t micro;
+};
+
+TaskRef forward_order(std::int64_t k, std::int64_t np, std::int64_t v) {
+  const std::int64_t group = k / np;
+  return {group % v, (group / v) * np + (k % np)};
+}
+
+TaskRef backward_order(std::int64_t k, std::int64_t np, std::int64_t v) {
+  const std::int64_t group = k / np;
+  return {v - 1 - (group % v), (group / v) * np + (k % np)};
+}
+
+}  // namespace
+
+PipelineTrace simulate_interleaved_pipeline(const InterleavedParams& p) {
+  const std::int64_t np = p.stages, v = p.chunks, m = p.microbatches;
+  if (np < 1 || v < 1 || m < 1) {
+    throw std::invalid_argument("simulate_interleaved_pipeline: bad params");
+  }
+  if (v == 1) {
+    return simulate_pipeline({np, m, p.t_fwd_chunk, p.t_bwd_chunk, p.t_p2p});
+  }
+  if (m % np != 0) {
+    throw std::invalid_argument(
+        "simulate_interleaved_pipeline: m must be a multiple of np for v > 1");
+  }
+
+  const std::int64_t total = m * v;  // chunk-tasks per rank per direction
+  const std::int64_t vstages = np * v;
+  constexpr double kNotDone = -1.0;
+  // Completion times indexed by [virtual stage][microbatch].
+  std::vector<std::vector<double>> fwd_done(vstages,
+                                            std::vector<double>(m, kNotDone));
+  std::vector<std::vector<double>> bwd_done(vstages,
+                                            std::vector<double>(m, kNotDone));
+
+  // Per-rank Megatron task order.
+  struct Task {
+    bool backward;
+    std::int64_t chunk;
+    std::int64_t micro;
+  };
+  std::vector<std::vector<Task>> tasks(np);
+  for (std::int64_t r = 0; r < np; ++r) {
+    const std::int64_t warmup =
+        std::min(total, (np - r - 1) * 2 + (v - 1) * np);
+    auto& list = tasks[r];
+    list.reserve(static_cast<std::size_t>(2 * total));
+    for (std::int64_t k = 0; k < warmup; ++k) {
+      const TaskRef f = forward_order(k, np, v);
+      list.push_back({false, f.chunk, f.micro});
+    }
+    for (std::int64_t k = warmup; k < total; ++k) {
+      // Steady 1F1B: forward first, then the matching backward (Megatron's
+      // interleaved schedule ordering).
+      const TaskRef f = forward_order(k, np, v);
+      list.push_back({false, f.chunk, f.micro});
+      const TaskRef b = backward_order(k - warmup, np, v);
+      list.push_back({true, b.chunk, b.micro});
+    }
+    for (std::int64_t k = total - warmup; k < total; ++k) {
+      const TaskRef b = backward_order(k, np, v);
+      list.push_back({true, b.chunk, b.micro});
+    }
+  }
+
+  std::vector<std::size_t> next_task(np, 0);
+  std::vector<double> clock(np, 0.0);
+  double rank0_busy = 0;
+  std::size_t remaining = 0;
+  for (const auto& t : tasks) remaining += t.size();
+
+  PipelineTrace trace;
+  trace.tasks.reserve(remaining);
+
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::int64_t r = 0; r < np; ++r) {
+      while (next_task[r] < tasks[r].size()) {
+        const Task& t = tasks[r][next_task[r]];
+        const std::int64_t s = t.chunk * np + r;  // virtual stage
+        double ready;
+        double duration;
+        if (!t.backward) {
+          if (s == 0) {
+            ready = 0.0;
+          } else {
+            const double dep = fwd_done[s - 1][t.micro];
+            if (dep == kNotDone) break;
+            ready = dep + p.t_p2p;
+          }
+          duration = p.t_fwd_chunk;
+        } else {
+          if (s == vstages - 1) {
+            const double dep = fwd_done[s][t.micro];
+            if (dep == kNotDone) break;
+            ready = dep;
+          } else {
+            const double dep = bwd_done[s + 1][t.micro];
+            if (dep == kNotDone) break;
+            ready = dep + p.t_p2p;
+          }
+          duration = p.t_bwd_chunk;
+        }
+        const double start = std::max(ready, clock[r]);
+        const double finish = start + duration;
+        clock[r] = finish;
+        if (r == 0) rank0_busy += duration;
+        (t.backward ? bwd_done : fwd_done)[s][t.micro] = finish;
+        trace.tasks.push_back({r, t.micro, t.backward, start, finish});
+        ++next_task[r];
+        --remaining;
+        progressed = true;
+      }
+    }
+    if (!progressed) {
+      throw std::logic_error("simulate_interleaved_pipeline: deadlocked");
+    }
+  }
+
+  for (std::int64_t r = 0; r < np; ++r) {
+    trace.completion_time = std::max(trace.completion_time, clock[r]);
+  }
+  trace.stage0_idle = trace.completion_time - rank0_busy;
+  return trace;
+}
+
+}  // namespace tfpe::sim

@@ -1,0 +1,63 @@
+#include "sim/memory_timeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tfpe::sim {
+
+std::vector<StageMemoryProfile> activation_timeline(const PipelineTrace& trace,
+                                                    std::int64_t stages) {
+  if (stages < 1) {
+    throw std::invalid_argument("activation_timeline: stages must be >= 1");
+  }
+  // Events per stage: +1 at forward start, -1 at backward end.
+  struct Event {
+    double time;
+    int delta;
+  };
+  std::vector<std::vector<Event>> events(stages);
+  for (const auto& t : trace.tasks) {
+    if (t.stage < 0 || t.stage >= stages) {
+      throw std::invalid_argument("activation_timeline: stage out of range");
+    }
+    if (t.backward) {
+      events[t.stage].push_back({t.end, -1});
+    } else {
+      events[t.stage].push_back({t.start, +1});
+    }
+  }
+
+  std::vector<StageMemoryProfile> profiles(stages);
+  for (std::int64_t s = 0; s < stages; ++s) {
+    auto& ev = events[s];
+    // Releases before acquisitions at equal times (backward frees first).
+    std::sort(ev.begin(), ev.end(), [](const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time < b.time;
+      return a.delta < b.delta;
+    });
+    std::int64_t level = 0;
+    StageMemoryProfile& p = profiles[s];
+    p.stage = s;
+    for (const Event& e : ev) {
+      level += e.delta;
+      if (level > p.high_water_microbatches) {
+        p.high_water_microbatches = level;
+        p.peak_time = e.time;
+      }
+    }
+    if (level != 0) {
+      throw std::logic_error("activation_timeline: unbalanced schedule");
+    }
+  }
+  return profiles;
+}
+
+std::int64_t peak_in_flight(const PipelineTrace& trace, std::int64_t stages) {
+  std::int64_t peak = 0;
+  for (const auto& p : activation_timeline(trace, stages)) {
+    peak = std::max(peak, p.high_water_microbatches);
+  }
+  return peak;
+}
+
+}  // namespace tfpe::sim

@@ -1,0 +1,30 @@
+#pragma once
+// Activation-residency timeline: replay a simulated pipeline schedule and
+// track how many microbatches' activations are simultaneously resident on
+// each stage. Validates the memory model's 1F1B assumption — stage s keeps
+// min(m, np - s) microbatches in flight, with stage 0 the busiest — by
+// execution rather than by formula.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/pipeline_sim.hpp"
+
+namespace tfpe::sim {
+
+struct StageMemoryProfile {
+  std::int64_t stage = 0;
+  std::int64_t high_water_microbatches = 0;  ///< Peak simultaneous residency.
+  double peak_time = 0;  ///< When the peak was first reached.
+};
+
+/// Replay the trace: a microbatch's activations become resident on a stage
+/// when its forward starts there and are released when its backward
+/// finishes there. Returns one profile per stage, ordered by stage.
+std::vector<StageMemoryProfile> activation_timeline(const PipelineTrace& trace,
+                                                    std::int64_t stages);
+
+/// The busiest stage's high-water mark (what the HBM model must cover).
+std::int64_t peak_in_flight(const PipelineTrace& trace, std::int64_t stages);
+
+}  // namespace tfpe::sim

@@ -1,0 +1,103 @@
+#include "sim/pipeline_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace tfpe::sim {
+
+std::vector<std::pair<bool, std::int64_t>> schedule_1f1b(std::int64_t stages,
+                                                         std::int64_t stage,
+                                                         std::int64_t m) {
+  // Warmup depth shrinks toward the last stage so the steady phase strictly
+  // alternates 1F1B (Narayanan et al., SC'21).
+  const std::int64_t warmup = std::min(m, stages - stage);
+  std::vector<std::pair<bool, std::int64_t>> tasks;
+  tasks.reserve(static_cast<std::size_t>(2 * m));
+  for (std::int64_t j = 0; j < warmup; ++j) tasks.emplace_back(false, j);
+  for (std::int64_t j = warmup; j < m; ++j) {
+    tasks.emplace_back(true, j - warmup);
+    tasks.emplace_back(false, j);
+  }
+  for (std::int64_t j = m - warmup; j < m; ++j) tasks.emplace_back(true, j);
+  return tasks;
+}
+
+PipelineTrace simulate_pipeline(const PipelineParams& params) {
+  const std::int64_t np = params.stages;
+  const std::int64_t m = params.microbatches;
+  if (np < 1 || m < 1) {
+    throw std::invalid_argument("simulate_pipeline: stages and m must be >= 1");
+  }
+
+  constexpr double kNotDone = -1.0;
+  // fwd_done[s][j] / bwd_done[s][j]: completion time of microbatch j's
+  // forward/backward on stage s.
+  std::vector<std::vector<double>> fwd_done(np, std::vector<double>(m, kNotDone));
+  std::vector<std::vector<double>> bwd_done(np, std::vector<double>(m, kNotDone));
+
+  std::vector<std::vector<std::pair<bool, std::int64_t>>> tasks(np);
+  std::vector<std::size_t> next_task(np, 0);
+  std::vector<double> stage_clock(np, 0.0);
+  for (std::int64_t s = 0; s < np; ++s) tasks[s] = schedule_1f1b(np, s, m);
+
+  double stage0_busy = 0;
+  std::size_t remaining = 0;
+  for (const auto& t : tasks) remaining += t.size();
+
+  PipelineTrace trace;
+  trace.tasks.reserve(remaining);
+
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::int64_t s = 0; s < np; ++s) {
+      while (next_task[s] < tasks[s].size()) {
+        const auto [is_bwd, j] = tasks[s][next_task[s]];
+        double ready;
+        double duration;
+        if (!is_bwd) {
+          if (s == 0) {
+            ready = 0.0;
+          } else {
+            if (fwd_done[s - 1][j] == kNotDone) break;
+            ready = fwd_done[s - 1][j] + params.t_p2p;
+          }
+          duration = params.t_fwd;
+        } else {
+          if (s == np - 1) {
+            if (fwd_done[s][j] == kNotDone) break;
+            ready = fwd_done[s][j];
+          } else {
+            if (bwd_done[s + 1][j] == kNotDone) break;
+            ready = bwd_done[s + 1][j] + params.t_p2p;
+          }
+          duration = params.t_bwd;
+        }
+        const double start = std::max(ready, stage_clock[s]);
+        const double finish = start + duration;
+        stage_clock[s] = finish;
+        if (s == 0) stage0_busy += duration;
+        trace.tasks.push_back({s, j, is_bwd, start, finish});
+        if (!is_bwd) {
+          fwd_done[s][j] = finish;
+        } else {
+          bwd_done[s][j] = finish;
+        }
+        ++next_task[s];
+        --remaining;
+        progressed = true;
+      }
+    }
+    if (!progressed) {
+      throw std::logic_error("simulate_pipeline: schedule deadlocked");
+    }
+  }
+
+  for (std::int64_t s = 0; s < np; ++s) {
+    trace.completion_time = std::max(trace.completion_time, stage_clock[s]);
+  }
+  trace.stage0_idle = trace.completion_time - stage0_busy;
+  return trace;
+}
+
+}  // namespace tfpe::sim

@@ -1,0 +1,213 @@
+#include "sim/ring_sim.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+
+namespace tfpe::sim {
+
+RingTopology RingTopology::two_level(std::int64_t g, std::int64_t nvs,
+                                     double alpha_f, double bw_f,
+                                     double alpha_s, double bw_s) {
+  if (g < 1) throw std::invalid_argument("two_level: g must be >= 1");
+  nvs = std::clamp<std::int64_t>(nvs, 1, g);
+  if (g % nvs != 0) throw std::invalid_argument("two_level: nvs must divide g");
+  RingTopology ring;
+  ring.links.resize(g);
+  for (std::int64_t i = 0; i < g; ++i) {
+    // Link i -> i+1 crosses a domain boundary when i is the last GPU of its
+    // fast domain.
+    const bool crossing = ((i + 1) % nvs) == 0 && nvs < g;
+    ring.links[i] = crossing ? RingLink{alpha_s, bw_s} : RingLink{alpha_f, bw_f};
+  }
+  return ring;
+}
+
+double simulate_allgather(const RingTopology& ring, double total_bytes,
+                          int slices) {
+  const std::int64_t g = ring.size();
+  if (g <= 1) return 0.0;
+  if (slices < 1) throw std::invalid_argument("simulate_allgather: slices >= 1");
+
+  const double slice_bytes =
+      total_bytes / static_cast<double>(g) / static_cast<double>(slices);
+
+  EventQueue queue;
+  std::vector<double> link_free(g, 0.0);
+
+  // One in-flight message: slice `s` of block `b`, currently departing GPU
+  // `at`, with `hops_left` hops to traverse.
+  struct Message {
+    std::int64_t block;
+    int slice;
+    std::int64_t at;
+    std::int64_t hops_left;
+  };
+
+  // The send of a message over link `at`: waits for the link, then arrives
+  // at the next GPU after alpha + bytes/bw.
+  std::function<void(Message)> send = [&](Message msg) {
+    const std::int64_t link = msg.at;
+    const double start = std::max(queue.now(), link_free[link]);
+    const double duration =
+        ring.links[link].alpha + slice_bytes / ring.links[link].bandwidth;
+    const double finish = start + duration;
+    link_free[link] = finish;
+    queue.schedule(finish, [&, msg] {
+      Message next = msg;
+      next.at = (msg.at + 1) % g;
+      next.hops_left = msg.hops_left - 1;
+      if (next.hops_left > 0) send(next);
+    });
+  };
+
+  for (std::int64_t b = 0; b < g; ++b) {
+    for (int s = 0; s < slices; ++s) {
+      queue.schedule(0.0, [&, b, s] {
+        send(Message{b, s, b, g - 1});
+      });
+    }
+  }
+  return queue.run();
+}
+
+double simulate_collective(const hw::NetworkSpec& net, ops::Collective coll,
+                           double bytes, std::int64_t g, std::int64_t nvs,
+                           int slices) {
+  if (g <= 1 || bytes <= 0) return 0.0;
+  nvs = std::clamp<std::int64_t>(nvs, 1, g);
+  // NCCL drives one ring per rail; each rail ring carries 1/rails of the
+  // tensor, owns one NIC share, and shares the NVS bandwidth.
+  const double rails =
+      nvs < g ? static_cast<double>(nvs) * net.nics_per_gpu : 1.0;
+  const double bw_fast = net.effective_nvs_bandwidth() / rails;
+  const double bw_slow = net.ib_bandwidth * net.efficiency;
+  const RingTopology ring = RingTopology::two_level(
+      g, nvs, net.nvs_latency, bw_fast, net.ib_latency, bw_slow);
+  const double per_ring_bytes = bytes / rails;
+
+  switch (coll) {
+    case ops::Collective::AllGather:
+    case ops::Collective::ReduceScatter:
+    case ops::Collective::AllToAll:
+      // RS is the time-reversed traffic pattern of AG on the same ring;
+      // ring AllToAll moves the same per-link volume.
+      return simulate_allgather(ring, per_ring_bytes, slices);
+    case ops::Collective::AllReduce:
+      return 2.0 * simulate_allgather(ring, per_ring_bytes, slices);
+    case ops::Collective::Broadcast:
+    case ops::Collective::Reduce: {
+      // One pipelined pass of the full tensor around the ring: model as an
+      // AllGather whose per-block volume equals the tensor (g blocks of
+      // V/g is the same aggregate link load as one V-sized pipeline).
+      return simulate_allgather(ring, per_ring_bytes, slices);
+    }
+    case ops::Collective::PointToPoint: {
+      const RingLink& link = ring.links[0];
+      return link.alpha + per_ring_bytes / link.bandwidth;
+    }
+    case ops::Collective::None:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double simulate_tree_allreduce(const hw::NetworkSpec& net, double bytes,
+                               std::int64_t g, std::int64_t nvs,
+                               int slices) {
+  if (g <= 1 || bytes <= 0) return 0.0;
+  nvs = std::clamp<std::int64_t>(nvs, 1, g);
+  if (slices < 1) throw std::invalid_argument("simulate_tree_allreduce: slices");
+  if (g % nvs != 0) {
+    throw std::invalid_argument("simulate_tree_allreduce: nvs must divide g");
+  }
+
+  // As with rings, NCCL builds one tree per NIC rail; each rail tree moves
+  // 1/rails of the tensor, owns a NIC, and shares the NVS bandwidth.
+  const double rails =
+      nvs < g ? static_cast<double>(nvs) * net.nics_per_gpu : 1.0;
+  const double per_tree_bytes = bytes / rails;
+  const double bw_fast = net.effective_nvs_bandwidth() / rails;
+  const double bw_slow = net.ib_bandwidth * net.efficiency;
+
+  // Two-level tree: inside each fast domain a heap-shaped fast tree rooted
+  // at the domain leader (local index 0); the leaders form a heap-shaped
+  // slow tree across domains.
+  auto parent = [&](std::int64_t i) -> std::int64_t {
+    const std::int64_t node = i / nvs, local = i % nvs;
+    if (local > 0) return node * nvs + (local - 1) / 2;
+    if (node > 0) return ((node - 1) / 2) * nvs;
+    return -1;  // global root
+  };
+  auto edge_time = [&](std::int64_t child) {
+    const bool crossing = child % nvs == 0;  // leader-to-leader edge
+    const double bw = crossing ? bw_slow : bw_fast;
+    const double alpha = crossing ? net.ib_latency : net.nvs_latency;
+    return alpha + per_tree_bytes / static_cast<double>(slices) / bw;
+  };
+
+  EventQueue queue;
+  // reduce_ready[i][s]: how many children of i have delivered slice s
+  // (leaves start ready). up_free / down_free: FIFO edge availability.
+  const std::int64_t S = slices;
+  std::vector<std::vector<int>> pending(g, std::vector<int>(S, 0));
+  std::vector<double> up_free(g, 0.0), down_free(g, 0.0);
+  double completion = 0.0;
+
+  std::vector<std::vector<std::int64_t>> children(g);
+  for (std::int64_t i = 0; i < g; ++i) {
+    const std::int64_t p = parent(i);
+    if (p >= 0) children[p].push_back(i);
+  }
+  auto children_of = [&](std::int64_t i) -> const std::vector<std::int64_t>& {
+    return children[i];
+  };
+
+  std::function<void(std::int64_t, std::int64_t)> send_down =
+      [&](std::int64_t node, std::int64_t s) {
+        // Broadcast slice s from `node` to its children.
+        for (std::int64_t c : children_of(node)) {
+          const double start = std::max(queue.now(), down_free[c]);
+          const double finish = start + edge_time(c);
+          down_free[c] = finish;
+          queue.schedule(finish, [&, c, s] {
+            completion = std::max(completion, queue.now());
+            send_down(c, s);
+          });
+        }
+        if (children_of(node).empty()) {
+          completion = std::max(completion, queue.now());
+        }
+      };
+
+  std::function<void(std::int64_t, std::int64_t)> send_up =
+      [&](std::int64_t node, std::int64_t s) {
+        if (node == 0) {
+          send_down(0, s);
+          return;
+        }
+        const double start = std::max(queue.now(), up_free[node]);
+        const double finish = start + edge_time(node);
+        up_free[node] = finish;
+        const std::int64_t p = parent(node);
+        queue.schedule(finish, [&, p, s] {
+          if (++pending[p][s] ==
+              static_cast<int>(children_of(p).size())) {
+            send_up(p, s);
+          }
+        });
+      };
+
+  for (std::int64_t i = 0; i < g; ++i) {
+    if (!children_of(i).empty()) continue;  // leaves kick off the reduce
+    for (std::int64_t s = 0; s < S; ++s) {
+      queue.schedule(0.0, [&, i, s] { send_up(i, s); });
+    }
+  }
+  queue.run();
+  return completion;
+}
+
+}  // namespace tfpe::sim

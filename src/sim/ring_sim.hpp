@@ -1,0 +1,66 @@
+#pragma once
+// Discrete-event simulation of ring collectives on a two-level topology.
+//
+// This is the repo's substitute for the paper's NCCL-tests measurements on
+// Perlmutter (Fig. A1): instead of running on hardware, collectives are
+// executed message-by-message on a simulated ring whose links are either
+// fast (intra fast-domain) or slow (inter-node), with NCCL-style multi-rail
+// rings. The analytic collective model is validated against these runs.
+//
+// AllGather: g data blocks of V/g bytes each start on their home GPU and
+// travel g-1 hops; each link is a FIFO resource with per-message time
+// alpha + bytes/bw. Messages are sliced to expose pipelining. With R rails,
+// R independent rings each carry V/R (fast links share NVS bandwidth, each
+// rail has its own NIC).
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/network.hpp"
+#include "ops/op.hpp"
+
+namespace tfpe::sim {
+
+struct RingLink {
+  double alpha = 0;      ///< Per-message latency [s].
+  double bandwidth = 0;  ///< [bytes/s].
+};
+
+/// Ring of g GPUs; links[i] connects GPU i -> (i+1) mod g.
+struct RingTopology {
+  std::vector<RingLink> links;
+
+  std::int64_t size() const { return static_cast<std::int64_t>(links.size()); }
+
+  /// Two-level ring: GPUs grouped in fast domains of `nvs` consecutive
+  /// members; domain-internal links are (alpha_f, bw_f), domain-crossing
+  /// links (alpha_s, bw_s). `nvs` must divide g.
+  static RingTopology two_level(std::int64_t g, std::int64_t nvs,
+                                double alpha_f, double bw_f, double alpha_s,
+                                double bw_s);
+};
+
+/// Simulate an AllGather of a `total_bytes` tensor on the ring, slicing each
+/// block into `slices` messages. Returns completion time (all GPUs hold the
+/// full tensor).
+double simulate_allgather(const RingTopology& ring, double total_bytes,
+                          int slices = 4);
+
+/// Multi-rail wrapper mirroring the analytic model's assumptions: a group of
+/// `g` GPUs placed `nvs` per node, driving `nvs` NIC rails. Supports
+/// AllGather, ReduceScatter (time-symmetric), AllReduce (RS + AG) and
+/// Broadcast/Reduce (one ring pass). Returns completion time for the full
+/// tensor of `bytes`.
+double simulate_collective(const hw::NetworkSpec& net, ops::Collective coll,
+                           double bytes, std::int64_t g, std::int64_t nvs,
+                           int slices = 4);
+
+/// Discrete-event execution of a binary-tree AllReduce: slices flow
+/// leaf-to-root (reduce) and back (broadcast) over FIFO edges; edges
+/// crossing a fast-domain boundary use the slow network. Validates the
+/// analytic tree_time model.
+double simulate_tree_allreduce(const hw::NetworkSpec& net, double bytes,
+                               std::int64_t g, std::int64_t nvs,
+                               int slices = 8);
+
+}  // namespace tfpe::sim

@@ -1,0 +1,31 @@
+#include "sim/trace_export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace tfpe::sim {
+
+void write_chrome_trace(std::ostream& os, const PipelineTrace& trace) {
+  os << "[\n";
+  bool first = true;
+  for (const auto& t : trace.tasks) {
+    if (!first) os << ",\n";
+    first = false;
+    const double us = 1e6;
+    os << R"(  {"name": ")" << (t.backward ? "B" : "F") << t.microbatch
+       << R"(", "cat": ")" << (t.backward ? "backward" : "forward")
+       << R"(", "ph": "X", "ts": )" << t.start * us << R"(, "dur": )"
+       << (t.end - t.start) * us << R"(, "pid": 0, "tid": )" << t.stage
+       << "}";
+  }
+  os << "\n]\n";
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const PipelineTrace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_chrome_trace_file: cannot open " + path);
+  write_chrome_trace(out, trace);
+}
+
+}  // namespace tfpe::sim

@@ -1,0 +1,23 @@
+#pragma once
+// Chrome-trace (chrome://tracing / Perfetto) export of a simulated pipeline
+// schedule: one track per pipeline stage, "F<j>" / "B<j>" duration events.
+// Lets users see the warmup / 1F1B-steady / drain phases and the bubble
+// visually for any configuration.
+
+#include <ostream>
+#include <string>
+
+#include "sim/pipeline_sim.hpp"
+
+namespace tfpe::sim {
+
+/// Serialize the trace in Chrome trace-event JSON (array format).
+/// Times are emitted in microseconds, as the format requires.
+void write_chrome_trace(std::ostream& os, const PipelineTrace& trace);
+
+/// Convenience: write to a file. Throws std::runtime_error when the file
+/// cannot be opened.
+void write_chrome_trace_file(const std::string& path,
+                             const PipelineTrace& trace);
+
+}  // namespace tfpe::sim

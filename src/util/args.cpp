@@ -1,0 +1,81 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tfpe::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--flag value" when the next token is not itself a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "";
+    }
+  }
+}
+
+std::optional<std::string> ArgParser::get(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::get_or(const std::string& name,
+                              const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+std::int64_t ArgParser::get_int_or(const std::string& name,
+                                   std::int64_t fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const std::int64_t out = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                *v + "'");
+  }
+  return out;
+}
+
+double ArgParser::get_double_or(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double out = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                *v + "'");
+  }
+  return out;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  queried_[name] = true;
+  return flags_.count(name) > 0;
+}
+
+std::vector<std::string> ArgParser::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    if (!queried_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace tfpe::util

@@ -1,0 +1,110 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+
+namespace tfpe::util {
+
+namespace {
+constexpr const char* kRamp = " .:-=+*#%@";
+constexpr int kRampLen = 10;
+}  // namespace
+
+void ascii_heatmap(std::ostream& os, const std::vector<std::vector<double>>& grid,
+                   const std::vector<std::string>& row_labels,
+                   const std::vector<std::string>& col_labels, bool log_scale) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& row : grid) {
+    for (double v : row) {
+      if (std::isnan(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!std::isfinite(lo)) {
+    os << "(empty heatmap)\n";
+    return;
+  }
+  auto xform = [&](double v) { return log_scale ? std::log(std::max(v, 1e-300)) : v; };
+  const double tlo = xform(lo), thi = xform(hi);
+  const double span = (thi > tlo) ? (thi - tlo) : 1.0;
+
+  std::size_t label_w = 0;
+  for (const auto& s : row_labels) label_w = std::max(label_w, s.size());
+
+  for (std::size_t r = 0; r < grid.size(); ++r) {
+    const std::string label = r < row_labels.size() ? row_labels[r] : "";
+    os << std::setw(static_cast<int>(label_w)) << label << " |";
+    for (double v : grid[r]) {
+      if (std::isnan(v)) {
+        os << "  . ";
+        continue;
+      }
+      int idx = static_cast<int>((xform(v) - tlo) / span * (kRampLen - 1) + 0.5);
+      idx = std::clamp(idx, 0, kRampLen - 1);
+      os << ' ' << kRamp[idx] << kRamp[idx] << ' ';
+    }
+    os << '\n';
+  }
+  if (!col_labels.empty()) {
+    os << std::string(label_w, ' ') << "  ";
+    for (const auto& c : col_labels) {
+      std::string s = c.substr(0, 3);
+      os << ' ' << std::setw(3) << s;
+    }
+    os << '\n';
+  }
+  os << "scale: min=" << lo << " ('" << kRamp[0] << "') max=" << hi << " ('"
+     << kRamp[kRampLen - 1] << "')"
+     << (log_scale ? " [log]" : "") << '\n';
+}
+
+void ascii_chart(std::ostream& os, const std::vector<Series>& series, int width,
+                 int height) {
+  double xlo = std::numeric_limits<double>::infinity(), xhi = -xlo;
+  double ylo = xlo, yhi = -xlo;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (s.x[i] <= 0 || s.y[i] <= 0) continue;
+      xlo = std::min(xlo, s.x[i]);
+      xhi = std::max(xhi, s.x[i]);
+      ylo = std::min(ylo, s.y[i]);
+      yhi = std::max(yhi, s.y[i]);
+    }
+  }
+  if (!std::isfinite(xlo)) {
+    os << "(empty chart)\n";
+    return;
+  }
+  const double lx0 = std::log(xlo), lx1 = std::log(xhi);
+  const double ly0 = std::log(ylo), ly1 = std::log(yhi);
+  const double sx = (lx1 > lx0) ? (lx1 - lx0) : 1.0;
+  const double sy = (ly1 > ly0) ? (ly1 - ly0) : 1.0;
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  const char marks[] = "ox+*sdv^";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char mark = marks[si % (sizeof(marks) - 1)];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (s.x[i] <= 0 || s.y[i] <= 0) continue;
+      int cx = static_cast<int>((std::log(s.x[i]) - lx0) / sx * (width - 1) + 0.5);
+      int cy = static_cast<int>((std::log(s.y[i]) - ly0) / sy * (height - 1) + 0.5);
+      cx = std::clamp(cx, 0, width - 1);
+      cy = std::clamp(cy, 0, height - 1);
+      canvas[height - 1 - cy][cx] = mark;
+    }
+  }
+  os << "y: " << ylo << " .. " << yhi << " (log)\n";
+  for (const auto& line : canvas) os << '|' << line << "|\n";
+  os << "x: " << xlo << " .. " << xhi << " (log)\n";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "  '" << marks[si % (sizeof(marks) - 1)] << "' = " << series[si].name
+       << '\n';
+  }
+}
+
+}  // namespace tfpe::util

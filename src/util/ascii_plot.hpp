@@ -1,0 +1,29 @@
+#pragma once
+// Terminal plotting for the bench harness: heatmaps (Figs. A5/A6) and simple
+// series plots (Figs. 4/5) rendered with ASCII intensity ramps so that the
+// figure *shape* is visible directly in bench output.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tfpe::util {
+
+/// Render a row-major grid of values as an ASCII heatmap. Lower values map to
+/// lighter glyphs. `row_labels`/`col_labels` annotate axes (may be empty).
+/// NaN cells render as blanks (used for infeasible configurations).
+void ascii_heatmap(std::ostream& os, const std::vector<std::vector<double>>& grid,
+                   const std::vector<std::string>& row_labels,
+                   const std::vector<std::string>& col_labels,
+                   bool log_scale = true);
+
+/// Render one or more (x, y) series as a log-log ASCII scatter chart.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+void ascii_chart(std::ostream& os, const std::vector<Series>& series, int width = 72,
+                 int height = 20);
+
+}  // namespace tfpe::util

@@ -1,0 +1,50 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tfpe::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string q = "\"";
+  for (char ch : cell) {
+    if (ch == '"') q += "\"\"";
+    else q += ch;
+  }
+  q += '"';
+  return q;
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& cols) {
+  arity_ = cols.size();
+  write_row(cols);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (arity_ != 0 && cells.size() != arity_) {
+    throw std::invalid_argument("CsvWriter: arity mismatch");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os << v;
+    s.push_back(os.str());
+  }
+  write_row(s);
+}
+
+}  // namespace tfpe::util

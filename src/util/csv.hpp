@@ -1,0 +1,28 @@
+#pragma once
+// Minimal CSV emitter for the figure-reproduction benches: each bench can
+// mirror its printed series into a CSV file for external plotting.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tfpe::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_header(const std::vector<std::string>& cols);
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: all-numeric row.
+  void write_row(const std::vector<double>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+  std::size_t arity_ = 0;
+};
+
+}  // namespace tfpe::util

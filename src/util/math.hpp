@@ -1,0 +1,26 @@
+#pragma once
+// Small integer-math helpers used by the configuration enumeration (S3).
+
+#include <cstdint>
+#include <vector>
+
+namespace tfpe::util {
+
+/// All positive divisors of n, ascending. n must be >= 1.
+std::vector<std::int64_t> divisors(std::int64_t n);
+
+/// All ordered k-tuples (f0,...,f{k-1}) of positive integers with
+/// f0*...*f{k-1} == n. Order matters: (2,4) and (4,2) are distinct.
+std::vector<std::vector<std::int64_t>> ordered_factorizations(std::int64_t n,
+                                                              int k);
+
+/// True if v is a power of two (v >= 1).
+bool is_power_of_two(std::int64_t v);
+
+/// Ceiling division for non-negative integers.
+std::int64_t ceil_div(std::int64_t a, std::int64_t b);
+
+/// Greatest common divisor.
+std::int64_t gcd(std::int64_t a, std::int64_t b);
+
+}  // namespace tfpe::util

@@ -1,0 +1,39 @@
+#include "util/strings.hpp"
+
+namespace tfpe::util {
+
+namespace {
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+}  // namespace
+
+std::vector<std::string> split_list(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto pos = text.find(sep, start);
+    const std::string piece =
+        trim(text.substr(start, pos == std::string::npos ? std::string::npos
+                                                         : pos - start));
+    if (!piece.empty()) out.push_back(piece);
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace tfpe::util

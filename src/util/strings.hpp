@@ -1,0 +1,17 @@
+#pragma once
+// Small string helpers shared by the tools (list flags, sweep specs).
+
+#include <string>
+#include <vector>
+
+namespace tfpe::util {
+
+/// Split on `sep`, trimming spaces/tabs around each piece; empty pieces are
+/// dropped ("a, b,,c" -> {"a","b","c"}).
+std::vector<std::string> split_list(const std::string& text, char sep = ',');
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace tfpe::util

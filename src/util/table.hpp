@@ -1,0 +1,33 @@
+#pragma once
+// Column-aligned plain-text table printer used by the report layer and the
+// bench binaries to reproduce the paper's configuration / time-breakdown
+// panels as text output.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tfpe::util {
+
+class TextTable {
+ public:
+  /// Define the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows currently stored.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with single-space-padded columns and a rule under the header.
+  void print(std::ostream& os) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tfpe::util

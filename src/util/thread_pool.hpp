@@ -1,0 +1,53 @@
+#pragma once
+// Fixed-size thread pool used by the brute-force configuration search (S3).
+//
+// The search evaluates hundreds of thousands of independent configurations;
+// parallel_for_index() splits an index range into contiguous chunks and runs
+// the body on pool threads. The pool is also exercised directly by the unit
+// tests as a standalone substrate.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tfpe::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw; exceptions terminate.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run body(i) for i in [0, count) across the pool, blocking until done.
+/// The body must be safe to invoke concurrently for distinct i.
+void parallel_for_index(ThreadPool& pool, std::size_t count,
+                        const std::function<void(std::size_t)>& body);
+
+}  // namespace tfpe::util

@@ -1,0 +1,54 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace tfpe::util {
+
+namespace {
+
+std::string scaled(double value, double scale, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", value / scale, suffix);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  if (bytes < kKB) return scaled(bytes, 1.0, "B");
+  if (bytes < kMB) return scaled(bytes, kKB, "KB");
+  if (bytes < kGB) return scaled(bytes, kMB, "MB");
+  if (bytes < kTB) return scaled(bytes, kGB, "GB");
+  return scaled(bytes, kTB, "TB");
+}
+
+std::string format_time(double seconds) {
+  if (seconds < 0) return "-" + format_time(-seconds);
+  if (seconds < kMicro) return scaled(seconds, 1e-9, "ns");
+  if (seconds < kMilli) return scaled(seconds, kMicro, "us");
+  if (seconds < 1.0) return scaled(seconds, kMilli, "ms");
+  if (seconds < 600.0) return scaled(seconds, 1.0, "s");
+  if (seconds < kSecondsPerDay) return scaled(seconds, 3600.0, "hr");
+  return scaled(seconds, kSecondsPerDay, "days");
+}
+
+std::string format_flops(double flops) {
+  if (flops < kGFLOPs) return scaled(flops, 1e6, "MFLOP");
+  if (flops < kTFLOPs) return scaled(flops, kGFLOPs, "GFLOP");
+  if (flops < kPFLOPs) return scaled(flops, kTFLOPs, "TFLOP");
+  return scaled(flops, kPFLOPs, "PFLOP");
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  return format_bytes(bytes_per_second) + "/s";
+}
+
+std::string format_fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace tfpe::util

@@ -1,0 +1,43 @@
+#pragma once
+// Unit constants and human-readable formatting helpers.
+//
+// All quantities inside the library are SI: bytes, bytes/second, FLOP/s,
+// seconds. These helpers exist only at the presentation boundary.
+
+#include <string>
+
+namespace tfpe::util {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+
+inline constexpr double kGFLOPs = 1e9;
+inline constexpr double kTFLOPs = 1e12;
+inline constexpr double kPFLOPs = 1e15;
+
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kSecondsPerDay = 86400.0;
+
+/// Format a byte count as e.g. "12.3 GB" (decimal units, as in GPU datasheets).
+std::string format_bytes(double bytes);
+
+/// Format a duration as e.g. "123.4 us", "1.23 ms", "4.56 s", "2.3 days".
+std::string format_time(double seconds);
+
+/// Format a FLOP count as e.g. "312.0 TFLOP".
+std::string format_flops(double flops);
+
+/// Format a rate as e.g. "900.0 GB/s".
+std::string format_bandwidth(double bytes_per_second);
+
+/// Fixed-precision double formatting ("%.*f").
+std::string format_fixed(double value, int precision);
+
+}  // namespace tfpe::util

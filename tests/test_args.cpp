@@ -1,0 +1,72 @@
+// Tests for the CLI flag parser.
+
+#include <gtest/gtest.h>
+
+#include "util/args.hpp"
+
+namespace tfpe::util {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv);
+  return ArgParser(static_cast<int>(v.size()), v.data());
+}
+
+TEST(ArgParser, SpaceSeparatedValue) {
+  const auto a = parse({"--model", "gpt3-1t"});
+  EXPECT_EQ(a.get_or("model", ""), "gpt3-1t");
+}
+
+TEST(ArgParser, EqualsSeparatedValue) {
+  const auto a = parse({"--gpus=4096"});
+  EXPECT_EQ(a.get_int_or("gpus", 0), 4096);
+}
+
+TEST(ArgParser, BooleanFlag) {
+  const auto a = parse({"--ops", "--model", "x"});
+  EXPECT_TRUE(a.has("ops"));
+  EXPECT_FALSE(a.has("sensitivity"));
+  EXPECT_EQ(a.get_or("model", ""), "x");
+}
+
+TEST(ArgParser, BooleanFollowedByFlag) {
+  const auto a = parse({"--interleave", "--zero3"});
+  EXPECT_TRUE(a.has("interleave"));
+  EXPECT_TRUE(a.has("zero3"));
+}
+
+TEST(ArgParser, DoubleParsing) {
+  const auto a = parse({"--tokens", "1e12", "--tp-overlap=0.5"});
+  EXPECT_DOUBLE_EQ(a.get_double_or("tokens", 0), 1e12);
+  EXPECT_DOUBLE_EQ(a.get_double_or("tp-overlap", 0), 0.5);
+}
+
+TEST(ArgParser, DefaultsApply) {
+  const auto a = parse({});
+  EXPECT_EQ(a.get_int_or("gpus", 1024), 1024);
+  EXPECT_EQ(a.get(std::string("missing")), std::nullopt);
+}
+
+TEST(ArgParser, RejectsMalformedNumbers) {
+  const auto a = parse({"--gpus", "many"});
+  EXPECT_THROW(a.get_int_or("gpus", 0), std::invalid_argument);
+  const auto b = parse({"--tokens", "1e12x"});
+  EXPECT_THROW(b.get_double_or("tokens", 0), std::invalid_argument);
+}
+
+TEST(ArgParser, PositionalArguments) {
+  const auto a = parse({"file1", "--flag", "v", "file2"});
+  EXPECT_EQ(a.positional(), (std::vector<std::string>{"file1", "file2"}));
+}
+
+TEST(ArgParser, UnusedDetectsTypos) {
+  const auto a = parse({"--model", "x", "--tpyo", "y"});
+  (void)a.get("model");
+  const auto stray = a.unused();
+  ASSERT_EQ(stray.size(), 1u);
+  EXPECT_EQ(stray[0], "tpyo");
+}
+
+}  // namespace
+}  // namespace tfpe::util

@@ -1,0 +1,97 @@
+// Tests for the efficiency-calibration module: recovery of known
+// efficiencies from synthetic measurements.
+
+#include <gtest/gtest.h>
+
+#include "calibrate/calibration.hpp"
+#include "core/evaluator.hpp"
+
+namespace tfpe::calibrate {
+namespace {
+
+using parallel::ParallelConfig;
+using parallel::TpStrategy;
+
+ParallelConfig cfg_1d(std::int64_t nt, std::int64_t np, std::int64_t nd,
+                      std::int64_t b) {
+  ParallelConfig c;
+  c.strategy = TpStrategy::TP1D;
+  c.n1 = nt;
+  c.np = np;
+  c.nd = nd;
+  c.microbatches = b / nd;
+  c.nvs1 = std::min<std::int64_t>(4, nt);
+  return c;
+}
+
+/// Synthetic measurements: the model itself evaluated under known
+/// efficiencies, with a small deterministic multiplicative perturbation.
+std::vector<Observation> synthetic(const model::TransformerConfig& mdl,
+                                   const hw::SystemConfig& sys,
+                                   std::int64_t b, double ce, double be,
+                                   double noise) {
+  const hw::SystemConfig truth = apply_efficiencies(sys, ce, be);
+  std::vector<Observation> obs;
+  int i = 0;
+  for (const auto& cfg :
+       {cfg_1d(4, 16, 8, 1024), cfg_1d(8, 8, 8, 1024), cfg_1d(2, 32, 8, 1024),
+        cfg_1d(4, 8, 16, 1024), cfg_1d(16, 4, 8, 1024)}) {
+    const auto r = core::evaluate(mdl, truth, cfg, 1024);
+    if (!r.feasible) continue;
+    const double wiggle = 1.0 + noise * ((i % 2 == 0) ? 1.0 : -1.0);
+    obs.push_back({cfg, r.iteration() * wiggle});
+    ++i;
+  }
+  return obs;
+}
+
+TEST(Calibration, RecoversKnownEfficiencies) {
+  const auto mdl = model::gpt3_175b();
+  const auto sys = hw::perlmutter(512);
+  const auto obs = synthetic(mdl, sys, 1024, 0.85, 0.6, 0.0);
+  ASSERT_GE(obs.size(), 4u);
+  const EfficiencyFit fit = fit_efficiencies(mdl, sys, 1024, obs);
+  EXPECT_NEAR(fit.compute_efficiency, 0.85, 0.05);
+  EXPECT_NEAR(fit.bandwidth_efficiency, 0.6, 0.1);
+  EXPECT_LT(fit.rms_pct_error, 2.0);
+}
+
+TEST(Calibration, ToleratesMeasurementNoise) {
+  const auto mdl = model::gpt3_175b();
+  const auto sys = hw::perlmutter(512);
+  const auto obs = synthetic(mdl, sys, 1024, 0.7, 0.7, 0.05);
+  const EfficiencyFit fit = fit_efficiencies(mdl, sys, 1024, obs);
+  EXPECT_NEAR(fit.compute_efficiency, 0.7, 0.1);
+  EXPECT_LT(fit.rms_pct_error, 10.0);
+}
+
+TEST(Calibration, ResidualGrowsAwayFromOptimum) {
+  const auto mdl = model::gpt3_175b();
+  const auto sys = hw::perlmutter(512);
+  const auto obs = synthetic(mdl, sys, 1024, 0.8, 0.7, 0.0);
+  const double at_truth = rms_pct_error(mdl, sys, 1024, obs, 0.8, 0.7);
+  const double off = rms_pct_error(mdl, sys, 1024, obs, 0.4, 0.7);
+  EXPECT_LT(at_truth, off);
+}
+
+TEST(Calibration, AppliesEfficienciesCorrectly) {
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 64);
+  const auto derated = apply_efficiencies(sys, 0.5, 0.6);
+  EXPECT_DOUBLE_EQ(derated.gpu.tensor_flops, 0.5 * sys.gpu.tensor_flops);
+  EXPECT_DOUBLE_EQ(derated.gpu.vector_flops, 0.5 * sys.gpu.vector_flops);
+  EXPECT_DOUBLE_EQ(derated.net.efficiency, 0.6);
+  // Memory system untouched.
+  EXPECT_DOUBLE_EQ(derated.gpu.hbm_bandwidth, sys.gpu.hbm_bandwidth);
+}
+
+TEST(Calibration, RejectsBadInput) {
+  const auto mdl = model::gpt3_175b();
+  const auto sys = hw::perlmutter(512);
+  EXPECT_THROW(fit_efficiencies(mdl, sys, 1024, {}), std::invalid_argument);
+  std::vector<Observation> bad{{cfg_1d(4, 16, 8, 1024), -1.0}};
+  EXPECT_THROW(rms_pct_error(mdl, sys, 1024, bad, 1.0, 0.7),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tfpe::calibrate

@@ -1,0 +1,160 @@
+// Cross-cutting coverage: corners of the API combinations (SUMMA op report,
+// MoE reporting, single-GPU edge cases, config files exercising every
+// extension key, evaluator corner configurations).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/evaluator.hpp"
+#include "io/config_file.hpp"
+#include "report/markdown_report.hpp"
+#include "report/op_report.hpp"
+#include "search/search.hpp"
+
+namespace tfpe {
+namespace {
+
+using parallel::ParallelConfig;
+using parallel::TpStrategy;
+
+TEST(CoverageExtra, OpReportForSummaShowsPanels) {
+  ParallelConfig cfg;
+  cfg.strategy = TpStrategy::Summa2D;
+  cfg.n1 = 4;
+  cfg.n2 = 2;
+  cfg.nb = 4;
+  cfg.nd = 8;
+  cfg.np = 2;
+  cfg.microbatches = 64;
+  cfg.nvs1 = 4;
+  cfg.nvs2 = 2;
+  std::ostringstream os;
+  report::print_op_report(os, model::gpt3_1t(),
+                          hw::make_system(hw::GpuGeneration::B200, 8, 64 * 2),
+                          cfg, 512);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("qkv_proj"), std::string::npos);
+  EXPECT_NE(s.find("nb=4"), std::string::npos);
+}
+
+TEST(CoverageExtra, OpReportForMoeListsExpertOps) {
+  ParallelConfig cfg;
+  cfg.strategy = TpStrategy::TP1D;
+  cfg.n1 = 4;
+  cfg.nd = 64;
+  cfg.microbatches = 8;
+  std::ostringstream os;
+  report::print_op_report(os, model::gpt_moe_1t(),
+                          hw::make_system(hw::GpuGeneration::B200, 8, 256),
+                          cfg, 512);
+  EXPECT_NE(os.str().find("moe_dispatch"), std::string::npos);
+  EXPECT_NE(os.str().find("moe_fc1"), std::string::npos);
+}
+
+TEST(CoverageExtra, SingleGpuEvaluation) {
+  // np = nd = nt = 1: no communication at all, pure roofline.
+  auto mdl = model::gpt3_175b();
+  mdl.depth = 4;  // shrink so it fits on one GPU with ZeRO off
+  mdl.validate();
+  ParallelConfig cfg;
+  cfg.microbatches = 1;
+  const auto r = core::evaluate(
+      mdl, hw::make_system(hw::GpuGeneration::B200, 8, 1), cfg, 1);
+  ASSERT_TRUE(r.feasible) << r.reason;
+  EXPECT_DOUBLE_EQ(r.time.tp_comm, 0.0);
+  EXPECT_DOUBLE_EQ(r.time.dp_comm, 0.0);
+  EXPECT_DOUBLE_EQ(r.time.pp_comm, 0.0);
+  EXPECT_DOUBLE_EQ(r.time.bubble, 0.0);
+  EXPECT_GT(r.time.compute, 0.0);
+}
+
+TEST(CoverageExtra, ConfigFileWithEveryModelExtension) {
+  std::istringstream in(
+      "[model]\n"
+      "name = kitchen-sink\n"
+      "seq_len = 4096\nembed = 1024\nheads = 16\ndepth = 8\n"
+      "kv_heads = 4\nvocab = 32000\n"
+      "moe_experts = 8\nmoe_top_k = 2\n");
+  const auto sections = io::parse_config(in);
+  const auto m = io::model_from_section(sections.at("model"));
+  EXPECT_EQ(m.kv_heads, 4);
+  EXPECT_EQ(m.vocab, 32000);
+  EXPECT_TRUE(m.is_moe());
+  EXPECT_GT(m.total_params(), 0);
+}
+
+TEST(CoverageExtra, ConfigFileWithEverySystemExtension) {
+  std::istringstream in(
+      "[system]\n"
+      "gpu = h200\npod_size = 256\noversubscription = 2\n"
+      "enable_tree = 1\nhost_gbs = 128\nnics_per_gpu = 2\n");
+  const auto sections = io::parse_config(in);
+  const auto sys = io::system_from_section(sections.at("system"));
+  EXPECT_EQ(sys.net.pod_size, 256);
+  EXPECT_DOUBLE_EQ(sys.net.oversubscription, 2.0);
+  EXPECT_TRUE(sys.net.enable_tree);
+  EXPECT_DOUBLE_EQ(sys.host_bandwidth, 128e9);
+  EXPECT_DOUBLE_EQ(sys.net.nics_per_gpu, 2.0);
+}
+
+TEST(CoverageExtra, MarkdownReportForMoeResult) {
+  ParallelConfig cfg;
+  cfg.strategy = TpStrategy::TP1D;
+  cfg.n1 = 4;
+  cfg.nd = 64;
+  cfg.microbatches = 8;
+  const auto r = core::evaluate(
+      model::gpt_moe_1t(), hw::make_system(hw::GpuGeneration::B200, 8, 256),
+      cfg, 512);
+  ASSERT_TRUE(r.feasible) << r.reason;
+  std::ostringstream os;
+  report::write_markdown_report(os, "moe", {}, {{"m", r}});
+  EXPECT_NE(os.str().find("## Memory per GPU"), std::string::npos);
+}
+
+TEST(CoverageExtra, DescribeStringsCoverExtensions) {
+  ParallelConfig cfg;
+  cfg.strategy = TpStrategy::Summa2D;
+  cfg.n1 = 2;
+  cfg.n2 = 2;
+  cfg.np = 4;
+  cfg.nb = 8;
+  cfg.interleave = 2;
+  cfg.zero = parallel::ZeroStage::kWeights;
+  const std::string s = cfg.describe();
+  EXPECT_NE(s.find("SUMMA"), std::string::npos);
+  EXPECT_NE(s.find("nb=8"), std::string::npos);
+  EXPECT_NE(s.find("v=2"), std::string::npos);
+  EXPECT_NE(s.find("ZeRO3"), std::string::npos);
+}
+
+TEST(CoverageExtra, SearchWithOversubscribedFabricStaysFeasible) {
+  hw::SystemConfig sys = hw::make_system(hw::GpuGeneration::B200, 8, 1024);
+  sys.net.pod_size = 128;
+  sys.net.oversubscription = 8.0;
+  search::SearchOptions opts;
+  opts.strategy = TpStrategy::TP1D;
+  opts.global_batch = 1024;
+  const auto r = search::find_optimal(model::gpt3_175b(), sys, opts);
+  ASSERT_TRUE(r.best.feasible);
+}
+
+TEST(CoverageExtra, EvaluateIsDeterministic) {
+  const auto mdl = model::vit_64k();
+  ParallelConfig cfg;
+  cfg.strategy = TpStrategy::TP2D;
+  cfg.n1 = 2;
+  cfg.n2 = 8;
+  cfg.np = 2;
+  cfg.nd = 128;
+  cfg.microbatches = 32;
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 4096);
+  const auto a = core::evaluate(mdl, sys, cfg, 4096);
+  const auto b = core::evaluate(mdl, sys, cfg, 4096);
+  EXPECT_DOUBLE_EQ(a.iteration(), b.iteration());
+  EXPECT_DOUBLE_EQ(a.mem.total(), b.mem.total());
+}
+
+}  // namespace
+}  // namespace tfpe

@@ -1,0 +1,189 @@
+// Tests for the iteration-time evaluator (S2): roofline attribution, SUMMA
+// overlap, DP overlap, feasibility and breakdown consistency.
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "ops/op_factory.hpp"
+
+namespace tfpe::core {
+namespace {
+
+using parallel::ParallelConfig;
+using parallel::TpStrategy;
+
+hw::SystemConfig b200(std::int64_t nvs = 8, std::int64_t n = 16384) {
+  return hw::make_system(hw::GpuGeneration::B200, nvs, n);
+}
+
+ParallelConfig fig1_optimum() {
+  ParallelConfig c;
+  c.strategy = TpStrategy::TP1D;
+  c.n1 = 8;
+  c.np = 64;
+  c.nd = 32;
+  c.microbatches = 128;
+  c.nvs1 = 8;
+  return c;
+}
+
+TEST(OpTime, LargeMatmulIsComputeBound) {
+  const ops::Op op = ops::matmul("mm", 4096, 4096, 4096);
+  const OpTime t = op_time(op, false, b200(), fig1_optimum());
+  EXPECT_GT(t.compute, 0.0);
+  EXPECT_DOUBLE_EQ(t.memory, 0.0);
+  // Roofline: t >= flops/peak + launch latency.
+  EXPECT_GE(t.compute, op.fwd_flops / 2500e12);
+}
+
+TEST(OpTime, TinyVectorOpIsMemoryBound) {
+  const ops::Op op = ops::layernorm("ln", 1e6);
+  const OpTime t = op_time(op, false, b200(), fig1_optimum());
+  EXPECT_DOUBLE_EQ(t.compute, 0.0);
+  EXPECT_GT(t.memory, 0.0);
+}
+
+TEST(OpTime, FlopsLatencyAppliesToTensorOps) {
+  // A minuscule matmul still costs at least t_sf = 2e-5 s.
+  const ops::Op op = ops::matmul("mm", 2, 2, 2);
+  const OpTime t = op_time(op, false, b200(), fig1_optimum());
+  EXPECT_GE(t.compute + t.memory, 2e-5);
+  const ops::Op vec = ops::residual_add("res", 4);
+  const OpTime tv = op_time(vec, false, b200(), fig1_optimum());
+  EXPECT_LT(tv.compute + tv.memory, 2e-5);
+}
+
+TEST(OpTime, BackwardCostsMore) {
+  const ops::Op op = ops::matmul("mm", 2048, 2048, 2048);
+  const OpTime f = op_time(op, false, b200(), fig1_optimum());
+  const OpTime b = op_time(op, true, b200(), fig1_optimum());
+  EXPECT_GT(b.compute, f.compute);
+}
+
+TEST(OpTime, SummaOverlapHidesCommWhenComputeDominates) {
+  // A SUMMA op whose per-panel compute far exceeds the broadcast time must
+  // expose only ~one panel's communication (the prologue).
+  ops::Op op = ops::summa_matmul("s", 65536, 65536, 8192, 2, 2, 8);
+  const auto sys = b200();
+  ParallelConfig cfg = fig1_optimum();
+  cfg.strategy = TpStrategy::Summa2D;
+  cfg.n1 = 2;
+  cfg.n2 = 2;
+  cfg.nvs1 = 2;
+  cfg.nvs2 = 2;
+  const OpTime t = op_time(op, false, sys, cfg);
+  // exposed comm <= 1.5x a single panel's broadcasts.
+  ops::Op one_panel = op;
+  one_panel.summa_panels = 1;
+  one_panel.fwd_comm[0].bytes /= 8;
+  one_panel.fwd_comm[1].bytes /= 8;
+  const OpTime tp = op_time(one_panel, false, sys, cfg);
+  EXPECT_LE(t.comm, 1.5 * tp.comm);
+}
+
+TEST(OpTime, MorePanelsCostMoreLaunchLatency) {
+  const auto sys = b200();
+  ParallelConfig cfg = fig1_optimum();
+  cfg.strategy = TpStrategy::Summa2D;
+  cfg.n1 = cfg.n2 = 2;
+  const ops::Op p1 = ops::summa_matmul("s", 1024, 1024, 1024, 2, 2, 1);
+  const ops::Op p16 = ops::summa_matmul("s", 1024, 1024, 1024, 2, 2, 16);
+  const OpTime t1 = op_time(p1, false, sys, cfg);
+  const OpTime t16 = op_time(p16, false, sys, cfg);
+  EXPECT_GT(t16.compute + t16.memory, t1.compute + t1.memory);
+}
+
+TEST(Evaluate, PaperFig1OptimumFeasibleAndComputeDominated) {
+  const EvalResult r = evaluate(model::gpt3_1t(), b200(), fig1_optimum(), 4096);
+  ASSERT_TRUE(r.feasible) << r.reason;
+  EXPECT_GT(r.time.compute, r.time.tp_comm);
+  EXPECT_GT(r.time.compute, r.time.bubble);
+  EXPECT_GT(r.time.bubble, 0.0);
+  // ~40-60 GB HBM at this configuration (paper: ~40 GB).
+  EXPECT_GT(r.mem.total(), 30e9);
+  EXPECT_LT(r.mem.total(), 80e9);
+}
+
+TEST(Evaluate, InfeasibleWhenMemoryOverflows) {
+  // GPT3-1T on 128 GPUs with no DP sharding of the optimizer and tiny TP:
+  // np=128, nt=1, nd=1 -> one layer per GPU but full optimizer states.
+  ParallelConfig c;
+  c.strategy = TpStrategy::TP1D;
+  c.n1 = 1;
+  c.np = 1;
+  c.nd = 1;
+  c.microbatches = 1;
+  const EvalResult r =
+      evaluate(model::gpt3_1t(), b200(8, 1), c, 4096);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Evaluate, ReportsInvalidConfigReason) {
+  ParallelConfig c = fig1_optimum();
+  c.np = 96;
+  const EvalResult r = evaluate(model::gpt3_1t(), b200(), c, 4096);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.reason, "np must divide model depth");
+}
+
+TEST(Evaluate, BubbleMatchesClosedForm) {
+  const EvalResult r = evaluate(model::gpt3_1t(), b200(), fig1_optimum(), 4096);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.time.bubble, 63.0 * (r.t_fwd_micro + r.t_bwd_micro),
+              1e-9 * r.time.bubble);
+}
+
+TEST(Evaluate, TotalIsSumOfBreakdown) {
+  const EvalResult r = evaluate(model::gpt3_1t(), b200(), fig1_optimum(), 4096);
+  ASSERT_TRUE(r.feasible);
+  const auto& t = r.time;
+  EXPECT_NEAR(r.iteration(), t.compute + t.memory + t.tp_comm + t.pp_comm +
+                                 t.dp_comm + t.bubble + t.optimizer,
+              1e-12);
+}
+
+TEST(Evaluate, FasterGpuGenerationIsFaster) {
+  const auto cfg = fig1_optimum();
+  const EvalResult a =
+      evaluate(model::gpt3_1t(), hw::make_system(hw::GpuGeneration::A100, 8, 16384),
+               cfg, 4096);
+  const EvalResult h =
+      evaluate(model::gpt3_1t(), hw::make_system(hw::GpuGeneration::H200, 8, 16384),
+               cfg, 4096);
+  const EvalResult b = evaluate(model::gpt3_1t(), b200(), cfg, 4096);
+  ASSERT_TRUE(h.feasible && b.feasible);
+  if (a.feasible) EXPECT_GT(a.iteration(), h.iteration());
+  EXPECT_GT(h.iteration(), b.iteration());
+}
+
+TEST(Evaluate, LargerNvsDomainNeverSlower) {
+  ParallelConfig cfg = fig1_optimum();
+  const EvalResult small = evaluate(model::gpt3_1t(), b200(8), cfg, 4096);
+  cfg.nvsd = 8;  // use a 64-GPU domain for DP too
+  const EvalResult large = evaluate(model::gpt3_1t(), b200(64), cfg, 4096);
+  ASSERT_TRUE(small.feasible && large.feasible);
+  EXPECT_LE(large.iteration(), small.iteration() * (1 + 1e-12));
+}
+
+TEST(Evaluate, DpCommOverlapExposesOnlyExcess) {
+  // With few DP replicas and heavy per-microbatch compute the DP collectives
+  // hide entirely.
+  ParallelConfig c = fig1_optimum();
+  const EvalResult r = evaluate(model::gpt3_1t(), b200(), c, 4096);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LT(r.time.dp_comm, 0.25 * r.iteration());
+}
+
+TEST(EvaluateWithLayer, MatchesEvaluate) {
+  const auto mdl = model::gpt3_1t();
+  const auto sys = b200();
+  const auto cfg = fig1_optimum();
+  const auto layer = parallel::build_layer(mdl, cfg, cfg.local_microbatch(4096));
+  const EvalResult a = evaluate(mdl, sys, cfg, 4096);
+  const EvalResult b = evaluate_with_layer(mdl, sys, cfg, 4096, layer);
+  EXPECT_DOUBLE_EQ(a.iteration(), b.iteration());
+  EXPECT_DOUBLE_EQ(a.mem.total(), b.mem.total());
+}
+
+}  // namespace
+}  // namespace tfpe::core

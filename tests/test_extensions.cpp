@@ -1,0 +1,343 @@
+// Tests for the modeling extensions beyond the paper's baseline (its §V
+// limitations/outlook list): interleaved pipelines, ZeRO-3 weight sharding,
+// TP-communication overlap, activation offload, grouped-query attention,
+// windowed/linear attention and tree collectives.
+
+#include <gtest/gtest.h>
+
+#include "comm/collective_model.hpp"
+#include "core/evaluator.hpp"
+#include "ops/op_factory.hpp"
+#include "parallel/layer_builder.hpp"
+#include "pipeline/pipeline_model.hpp"
+#include "search/search.hpp"
+
+namespace tfpe {
+namespace {
+
+using parallel::ParallelConfig;
+using parallel::TpStrategy;
+using parallel::ZeroStage;
+
+hw::SystemConfig b200(std::int64_t nvs = 8, std::int64_t n = 16384) {
+  return hw::make_system(hw::GpuGeneration::B200, nvs, n);
+}
+
+ParallelConfig gpt_cfg() {
+  ParallelConfig c;
+  c.strategy = TpStrategy::TP1D;
+  c.n1 = 8;
+  c.np = 64;
+  c.nd = 32;
+  c.microbatches = 128;
+  c.nvs1 = 8;
+  return c;
+}
+
+// ---- Interleaved 1F1B ----
+
+TEST(Interleave, BubbleShrinksByV) {
+  EXPECT_DOUBLE_EQ(pipeline::bubble_time(8, 1.0, 2.0, 1), 21.0);
+  EXPECT_DOUBLE_EQ(pipeline::bubble_time(8, 1.0, 2.0, 2), 10.5);
+}
+
+TEST(Interleave, P2pGrowsByV) {
+  const auto net = hw::network_preset(hw::GpuGeneration::B200);
+  EXPECT_DOUBLE_EQ(pipeline::p2p_time(net, 4, 8, 1e6, 1, 2),
+                   2.0 * pipeline::p2p_time(net, 4, 8, 1e6, 1, 1));
+}
+
+TEST(Interleave, ReducesIterationWhenBubblesDominate) {
+  const auto mdl = model::gpt3_1t();
+  ParallelConfig cfg = gpt_cfg();
+  const auto base = core::evaluate(mdl, b200(), cfg, 4096);
+  cfg.interleave = 2;  // 128/64 = 2 layers per stage -> v=2 valid
+  const auto inter = core::evaluate(mdl, b200(), cfg, 4096);
+  ASSERT_TRUE(base.feasible && inter.feasible);
+  EXPECT_NEAR(inter.time.bubble, base.time.bubble / 2.0,
+              1e-9 * base.time.bubble);
+  EXPECT_GT(inter.time.pp_comm, base.time.pp_comm);
+  EXPECT_LT(inter.iteration(), base.iteration());
+}
+
+TEST(Interleave, ValidationRules) {
+  const auto mdl = model::gpt3_1t();
+  ParallelConfig cfg = gpt_cfg();
+  cfg.interleave = 4;  // 2 layers per stage, 4 does not divide 2
+  EXPECT_EQ(*cfg.invalid_reason(mdl, b200(), 4096),
+            "interleave must divide the layers per stage");
+  cfg = gpt_cfg();
+  cfg.np = 1;
+  cfg.nd = 2048;
+  cfg.microbatches = 2;
+  cfg.interleave = 2;
+  EXPECT_EQ(*cfg.invalid_reason(mdl, b200(), 4096),
+            "interleaving requires np > 1");
+}
+
+// ---- ZeRO-3 ----
+
+TEST(Zero3, ShrinksWeightAndGradientMemory) {
+  // Deep stages (np=8 -> 16 layers per stage) so the sharding dominates the
+  // one-layer gathered working set.
+  const auto mdl = model::gpt3_1t();
+  ParallelConfig cfg;
+  cfg.strategy = TpStrategy::TP1D;
+  cfg.n1 = 8;
+  cfg.np = 8;
+  cfg.nd = 256;
+  cfg.microbatches = 16;
+  cfg.nvs1 = 8;
+  const auto base = core::evaluate(mdl, b200(), cfg, 4096);
+  cfg.zero = ZeroStage::kWeights;
+  const auto z3 = core::evaluate(mdl, b200(), cfg, 4096);
+  ASSERT_TRUE(base.feasible) << base.reason;
+  ASSERT_TRUE(z3.feasible) << z3.reason;
+  EXPECT_LT(z3.mem.weights, 0.15 * base.mem.weights);
+  EXPECT_LT(z3.mem.gradients, 0.15 * base.mem.gradients);
+  EXPECT_DOUBLE_EQ(z3.mem.optimizer, base.mem.optimizer);
+}
+
+TEST(Zero3, PaysPerMicrobatchCommunication) {
+  const auto mdl = model::gpt3_1t();
+  ParallelConfig cfg = gpt_cfg();
+  const auto base = core::evaluate(mdl, b200(), cfg, 4096);
+  cfg.zero = ZeroStage::kWeights;
+  const auto z3 = core::evaluate(mdl, b200(), cfg, 4096);
+  ASSERT_TRUE(base.feasible && z3.feasible);
+  EXPECT_GT(z3.time.dp_comm, base.time.dp_comm);
+  EXPECT_GT(z3.time.dp_comm, 10.0 * base.time.dp_comm + 1e-12);
+}
+
+TEST(Zero3, DescribeMentionsIt) {
+  ParallelConfig cfg = gpt_cfg();
+  cfg.zero = ZeroStage::kWeights;
+  EXPECT_NE(cfg.describe().find("ZeRO3"), std::string::npos);
+  EXPECT_EQ(parallel::to_string(ZeroStage::kWeights), "ZeRO-3");
+}
+
+// ---- TP overlap ----
+
+TEST(TpOverlap, ScalesExposedCommunication) {
+  const auto mdl = model::gpt3_1t();
+  const auto cfg = gpt_cfg();
+  const auto base = core::evaluate(mdl, b200(), cfg, 4096);
+  core::EvalOptions opts;
+  opts.tp_overlap = 0.5;
+  const auto half = core::evaluate(mdl, b200(), cfg, 4096, opts);
+  ASSERT_TRUE(base.feasible && half.feasible);
+  EXPECT_NEAR(half.time.tp_comm, 0.5 * base.time.tp_comm,
+              1e-9 * base.time.tp_comm);
+  EXPECT_LT(half.iteration(), base.iteration());
+  EXPECT_DOUBLE_EQ(half.time.compute, base.time.compute);
+}
+
+TEST(TpOverlap, DoesNotTouchSummaOps) {
+  // SUMMA carries its own prologue/overlap model; tp_overlap must leave its
+  // exposed communication unchanged.
+  const ops::Op op = ops::summa_matmul("s", 4096, 4096, 4096, 2, 2, 4);
+  ParallelConfig cfg;
+  cfg.strategy = TpStrategy::Summa2D;
+  cfg.n1 = cfg.n2 = 2;
+  const auto sys = b200();
+  const auto t = core::op_time(op, false, sys, cfg);
+  EXPECT_GT(t.comm, 0.0);  // present regardless of overlap options
+}
+
+// ---- Activation offload ----
+
+TEST(Offload, FreesHbmAndPaysHostTraffic) {
+  const auto mdl = model::vit_64k();
+  ParallelConfig cfg;
+  cfg.strategy = TpStrategy::TP2D;
+  cfg.n1 = 2;
+  cfg.n2 = 8;
+  cfg.np = 2;
+  cfg.nd = 128;
+  cfg.microbatches = 32;
+  cfg.nvs1 = 2;
+  cfg.nvs2 = 4;
+  const auto sys = b200(8, 4096);
+  const auto base = core::evaluate(mdl, sys, cfg, 4096);
+  core::EvalOptions opts;
+  opts.activation_offload = 0.5;
+  const auto off = core::evaluate(mdl, sys, cfg, 4096, opts);
+  ASSERT_TRUE(base.feasible && off.feasible);
+  EXPECT_NEAR(off.mem.activations, 0.5 * base.mem.activations,
+              1e-9 * base.mem.activations);
+  EXPECT_GT(off.time.memory, base.time.memory);
+  EXPECT_GT(off.iteration(), base.iteration());
+}
+
+TEST(Offload, CanMakeInfeasibleConfigFit) {
+  // A config that overflows HBM without offload fits with it.
+  const auto mdl = model::vit_64k();
+  ParallelConfig cfg;
+  cfg.strategy = TpStrategy::TP2D;
+  cfg.n1 = 1;
+  cfg.n2 = 8;
+  cfg.np = 4;
+  cfg.nd = 8;
+  cfg.microbatches = 512;  // b_loc = 1; activations still overflow un-offloaded
+  const auto sys = b200(8, 256);
+  const auto base = core::evaluate(mdl, sys, cfg, 4096);
+  ASSERT_FALSE(base.feasible);
+  core::EvalOptions opts;
+  opts.activation_offload = 0.9;
+  const auto off = core::evaluate(mdl, sys, cfg, 4096, opts);
+  EXPECT_TRUE(off.feasible) << off.reason;
+}
+
+// ---- Grouped-query attention / Llama ----
+
+TEST(Gqa, PresetDimensions) {
+  const auto m = model::llama3_405b();
+  EXPECT_EQ(m.kv_heads, 8);
+  EXPECT_EQ(m.kv_embed(), 8 * 128);
+  EXPECT_NEAR(static_cast<double>(m.total_params()), 405e9, 25e9);
+}
+
+TEST(Gqa, ShrinksKvWeightsAndStorage) {
+  auto mha = model::llama3_405b();
+  mha.kv_heads = 0;  // full MHA variant of the same model
+  const auto gqa = model::llama3_405b();
+  ParallelConfig cfg;
+  cfg.strategy = TpStrategy::TP1D;
+  cfg.n1 = 8;
+  const auto lc_mha = parallel::build_layer(mha, cfg, 1);
+  const auto lc_gqa = parallel::build_layer(gqa, cfg, 1);
+  EXPECT_LT(lc_gqa.weight_params, lc_mha.weight_params);
+  EXPECT_LT(lc_gqa.stored_bytes(), lc_mha.stored_bytes());
+  // Attention FLOPs are unchanged by GQA (all query heads still attend).
+  const ops::Op* att_gqa = nullptr;
+  const ops::Op* att_mha = nullptr;
+  for (const auto& op : lc_gqa.ops) {
+    if (op.name == "attention") att_gqa = &op;
+  }
+  for (const auto& op : lc_mha.ops) {
+    if (op.name == "attention") att_mha = &op;
+  }
+  ASSERT_TRUE(att_gqa && att_mha);
+  EXPECT_DOUBLE_EQ(att_gqa->fwd_flops, att_mha->fwd_flops);
+  EXPECT_LT(att_gqa->fwd_bytes, att_mha->fwd_bytes);
+}
+
+TEST(Gqa, TpLimitedByKvHeads) {
+  const auto m = model::llama3_405b();
+  ParallelConfig cfg;
+  cfg.strategy = TpStrategy::TP1D;
+  cfg.n1 = 16;  // > 8 kv heads
+  EXPECT_EQ(*cfg.invalid_reason(m, b200(8, 16), 4096),
+            "n1 must divide kv heads");
+}
+
+TEST(Gqa, EndToEndSearchFindsConfig) {
+  // Llama's depth (126 = 2 * 3^2 * 7) limits PP on power-of-two clusters and
+  // its 8 KV heads cap 1D TP at nt=8, so SUMMA's fully sharded weights are
+  // what make 405B fit here.
+  const auto m = model::llama3_405b();
+  const auto sys = b200(8, 2048);
+  search::SearchOptions opts;
+  opts.strategy = TpStrategy::Summa2D;
+  opts.global_batch = 1024;
+  const auto r = search::find_optimal(m, sys, opts);
+  ASSERT_TRUE(r.best.feasible) << r.best.reason;
+  EXPECT_LE(r.best.cfg.n1, 8);
+}
+
+// ---- Attention variants ----
+
+TEST(AttentionVariants, AttendedLen) {
+  EXPECT_EQ(model::vit_64k().attended_len(), 64800);
+  EXPECT_EQ(model::vit_64k_windowed(4096).attended_len(), 4096);
+  EXPECT_EQ(model::vit_64k_linear().attended_len(),
+            model::vit_64k().head_dim());
+}
+
+TEST(AttentionVariants, WindowedCutsAttentionFlops) {
+  ParallelConfig cfg;
+  cfg.strategy = TpStrategy::TP2D;
+  cfg.n1 = 4;
+  cfg.n2 = 4;
+  const auto full = parallel::build_layer(model::vit_64k(), cfg, 1);
+  const auto win =
+      parallel::build_layer(model::vit_64k_windowed(4050), cfg, 1);
+  EXPECT_LT(win.fwd_flops(), full.fwd_flops());
+  // The K/V gather volume shrinks toward the window halo.
+  EXPECT_LT(win.fwd_comm_bytes(ops::CommGroup::TP2),
+            full.fwd_comm_bytes(ops::CommGroup::TP2));
+}
+
+TEST(AttentionVariants, LinearRemovesQuadraticTerm) {
+  ParallelConfig cfg;
+  cfg.strategy = TpStrategy::TP2D;
+  cfg.n1 = 4;
+  cfg.n2 = 4;
+  const auto lin = parallel::build_layer(model::vit_64k_linear(), cfg, 1);
+  const auto full = parallel::build_layer(model::vit_64k(), cfg, 1);
+  // Removing the O(l^2) Logit/Attend leaves the projections + MLP:
+  // for the ViT that is a bit over half the layer FLOPs.
+  EXPECT_LT(lin.fwd_flops(), 0.62 * full.fwd_flops());
+  // The n2 collective becomes a tiny state AllReduce.
+  EXPECT_LT(lin.fwd_comm_bytes(ops::CommGroup::TP2),
+            0.01 * full.fwd_comm_bytes(ops::CommGroup::TP2));
+}
+
+TEST(AttentionVariants, WindowedVitTrainsFaster) {
+  const auto sys = b200(8, 2048);
+  search::SearchOptions opts;
+  opts.strategy = TpStrategy::TP2D;
+  opts.global_batch = 4096;
+  const auto full = search::find_optimal(model::vit_64k(), sys, opts).best;
+  const auto win =
+      search::find_optimal(model::vit_64k_windowed(4050), sys, opts).best;
+  ASSERT_TRUE(full.feasible && win.feasible);
+  EXPECT_LT(win.iteration(), full.iteration());
+}
+
+TEST(AttentionVariants, ValidationRejectsZeroWindow) {
+  auto m = model::vit_64k();
+  m.attention = model::AttentionKind::kWindowed;
+  m.window = 0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+// ---- Tree collectives ----
+
+TEST(TreeCollectives, HelpLatencyBoundAllReduce) {
+  auto net = hw::network_preset(hw::GpuGeneration::B200);
+  const comm::GroupPlacement g{512, 8};
+  const double ring =
+      comm::collective_time(net, ops::Collective::AllReduce, 1e5, g);
+  net.enable_tree = true;
+  const double best =
+      comm::collective_time(net, ops::Collective::AllReduce, 1e5, g);
+  EXPECT_LT(best, ring);
+  EXPECT_DOUBLE_EQ(best, comm::tree_time(net, ops::Collective::AllReduce, 1e5, g));
+}
+
+TEST(TreeCollectives, RingStillWinsAtLargeVolume) {
+  auto net = hw::network_preset(hw::GpuGeneration::B200);
+  net.enable_tree = true;
+  const comm::GroupPlacement g{16, 8};
+  const double with_tree =
+      comm::collective_time(net, ops::Collective::AllReduce, 10e9, g);
+  net.enable_tree = false;
+  const double ring =
+      comm::collective_time(net, ops::Collective::AllReduce, 10e9, g);
+  // Tree pays 2V/bw vs ring's 2(g-1)/g V/bw: ring is (slightly) better.
+  EXPECT_LE(ring, with_tree);
+}
+
+TEST(TreeCollectives, NeverUsedForAllGather) {
+  auto net = hw::network_preset(hw::GpuGeneration::B200);
+  const comm::GroupPlacement g{512, 8};
+  const double off =
+      comm::collective_time(net, ops::Collective::AllGather, 1e5, g);
+  net.enable_tree = true;
+  EXPECT_DOUBLE_EQ(
+      comm::collective_time(net, ops::Collective::AllGather, 1e5, g), off);
+}
+
+}  // namespace
+}  // namespace tfpe

@@ -1,0 +1,137 @@
+// Tests for the second wave of extensions: full activation recomputation
+// (checkpointing) and fat-tree oversubscription.
+
+#include <gtest/gtest.h>
+
+#include "comm/collective_model.hpp"
+#include "core/evaluator.hpp"
+#include "search/search.hpp"
+
+namespace tfpe {
+namespace {
+
+using parallel::ParallelConfig;
+using parallel::TpStrategy;
+
+hw::SystemConfig b200(std::int64_t nvs = 8, std::int64_t n = 16384) {
+  return hw::make_system(hw::GpuGeneration::B200, nvs, n);
+}
+
+ParallelConfig gpt_cfg() {
+  ParallelConfig c;
+  c.strategy = TpStrategy::TP1D;
+  c.n1 = 8;
+  c.np = 64;
+  c.nd = 32;
+  c.microbatches = 128;
+  c.nvs1 = 8;
+  return c;
+}
+
+// ---- activation recompute ----
+
+TEST(Recompute, ShrinksActivationsToBlockBoundaries) {
+  const auto mdl = model::gpt3_1t();
+  const auto cfg = gpt_cfg();
+  const auto base = core::evaluate(mdl, b200(), cfg, 4096);
+  core::EvalOptions opts;
+  opts.activation_recompute = true;
+  const auto rc = core::evaluate(mdl, b200(), cfg, 4096, opts);
+  ASSERT_TRUE(base.feasible && rc.feasible);
+  EXPECT_LT(rc.mem.activations, 0.1 * base.mem.activations);
+  EXPECT_DOUBLE_EQ(rc.mem.weights, base.mem.weights);
+}
+
+TEST(Recompute, PaysRoughlyOneExtraForward) {
+  const auto mdl = model::gpt3_1t();
+  const auto cfg = gpt_cfg();
+  const auto base = core::evaluate(mdl, b200(), cfg, 4096);
+  core::EvalOptions opts;
+  opts.activation_recompute = true;
+  const auto rc = core::evaluate(mdl, b200(), cfg, 4096, opts);
+  ASSERT_TRUE(base.feasible && rc.feasible);
+  // Backward per microbatch grows by ~the forward time.
+  EXPECT_NEAR(rc.t_bwd_micro, base.t_bwd_micro + base.t_fwd_micro,
+              0.02 * base.t_bwd_micro);
+  EXPECT_DOUBLE_EQ(rc.t_fwd_micro, base.t_fwd_micro);
+  EXPECT_GT(rc.iteration(), base.iteration());
+}
+
+TEST(Recompute, UnlocksOtherwiseInfeasibleConfigs) {
+  // A large-microbatch ViT config that overflows HBM fits with recompute.
+  const auto mdl = model::vit_64k();
+  ParallelConfig cfg;
+  cfg.strategy = TpStrategy::TP2D;
+  cfg.n1 = 1;
+  cfg.n2 = 8;
+  cfg.np = 4;
+  cfg.nd = 8;
+  cfg.microbatches = 512;
+  const auto sys = b200(8, 256);
+  ASSERT_FALSE(core::evaluate(mdl, sys, cfg, 4096).feasible);
+  core::EvalOptions opts;
+  opts.activation_recompute = true;
+  const auto rc = core::evaluate(mdl, sys, cfg, 4096, opts);
+  EXPECT_TRUE(rc.feasible) << rc.reason;
+}
+
+TEST(Recompute, ComposesWithOffload) {
+  const auto mdl = model::gpt3_1t();
+  const auto cfg = gpt_cfg();
+  core::EvalOptions opts;
+  opts.activation_recompute = true;
+  opts.activation_offload = 0.5;
+  const auto r = core::evaluate(mdl, b200(), cfg, 4096, opts);
+  ASSERT_TRUE(r.feasible);
+  core::EvalOptions only_rc;
+  only_rc.activation_recompute = true;
+  const auto rc = core::evaluate(mdl, b200(), cfg, 4096, only_rc);
+  EXPECT_NEAR(r.mem.activations, 0.5 * rc.mem.activations,
+              1e-9 * rc.mem.activations);
+}
+
+// ---- fat-tree oversubscription ----
+
+TEST(Oversubscription, OnlyAffectsGroupsSpanningPods) {
+  auto net = hw::network_preset(hw::GpuGeneration::B200);
+  const double in_pod_before =
+      comm::collective_time(net, ops::Collective::AllGather, 1e9, {64, 8});
+  const double cross_before =
+      comm::collective_time(net, ops::Collective::AllGather, 1e9, {1024, 8});
+  net.pod_size = 256;
+  net.oversubscription = 4.0;
+  const double in_pod_after =
+      comm::collective_time(net, ops::Collective::AllGather, 1e9, {64, 8});
+  const double cross_after =
+      comm::collective_time(net, ops::Collective::AllGather, 1e9, {1024, 8});
+  EXPECT_DOUBLE_EQ(in_pod_after, in_pod_before);
+  EXPECT_GT(cross_after, 2.0 * cross_before);
+}
+
+TEST(Oversubscription, DisabledByDefault) {
+  const auto net = hw::network_preset(hw::GpuGeneration::B200);
+  EXPECT_EQ(net.pod_size, 0);
+  EXPECT_DOUBLE_EQ(net.oversubscription, 1.0);
+}
+
+TEST(Oversubscription, SearchAvoidsCrossPodTpGroups) {
+  // With a 4:1 oversubscribed 512-GPU pod, the optimizer should keep the
+  // iteration time close to the full-bisection result by routing the heavy
+  // TP traffic inside pods — the slowdown stays well under the 4x raw
+  // bandwidth loss.
+  const auto mdl = model::gpt3_1t();
+  hw::SystemConfig sys = b200(8, 8192);
+  search::SearchOptions opts;
+  opts.strategy = TpStrategy::TP1D;
+  opts.global_batch = 4096;
+  const auto full = search::find_optimal(mdl, sys, opts).best;
+  sys.net.pod_size = 512;
+  sys.net.oversubscription = 4.0;
+  const auto oversub = search::find_optimal(mdl, sys, opts).best;
+  ASSERT_TRUE(full.feasible && oversub.feasible);
+  EXPECT_GE(oversub.iteration(), full.iteration());
+  EXPECT_LT(oversub.iteration(), 1.5 * full.iteration());
+}
+
+}  // namespace
+}  // namespace tfpe

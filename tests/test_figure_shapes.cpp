@@ -1,0 +1,175 @@
+// Regression tests pinning the *shapes* of the appendix figures (the main
+// ones are covered by test_paper_properties): the qualitative claims each
+// figure makes must hold in the model so a refactor cannot silently bend a
+// curve. See EXPERIMENTS.md for the full paper-vs-repro record.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "report/figure_data.hpp"
+#include "search/search.hpp"
+#include "sim/validation.hpp"
+
+namespace tfpe {
+namespace {
+
+using parallel::TpStrategy;
+
+hw::SystemConfig b200(std::int64_t nvs, std::int64_t n) {
+  return hw::make_system(hw::GpuGeneration::B200, nvs, n);
+}
+
+// Fig. 2a: the DP communication fraction is non-convex over the PP sweep —
+// it rises to a transition point and then falls as the placement hands NVS
+// GPUs to DP.
+TEST(FigureShapes, Fig2DpCommNonConvex) {
+  const auto mdl = model::gpt3_1t();
+  const auto sys = b200(8, 16384);
+  std::vector<double> dp_frac;
+  for (std::int64_t np : {4, 8, 16, 32, 64, 128}) {
+    parallel::ParallelConfig cfg;
+    cfg.strategy = TpStrategy::TP1D;
+    cfg.n1 = 8;
+    cfg.np = np;
+    cfg.nd = 2048 / np;
+    cfg.microbatches = 4096 / cfg.nd;
+    const auto r = search::best_placement(mdl, sys, cfg, 4096);
+    ASSERT_TRUE(r.feasible) << cfg.describe();
+    dp_frac.push_back(r.time.dp_comm / r.iteration());
+  }
+  const auto peak = std::max_element(dp_frac.begin(), dp_frac.end());
+  // The peak is strictly interior: smaller at both ends of the sweep.
+  EXPECT_NE(peak, dp_frac.begin());
+  EXPECT_NE(peak, dp_frac.end() - 1);
+  EXPECT_GT(*peak, 2.0 * dp_frac.back());
+}
+
+// Fig. 3: within the SUMMA low-DP block, time degrades monotonically as n2
+// grows (the second dimension inflates SUMMA volume over the slow network).
+TEST(FigureShapes, Fig3SummaPrefersN2Of1OnSmallNvs) {
+  const auto mdl = model::gpt3_1t();
+  const auto sys = b200(8, 16384);
+  double prev = 0;
+  for (std::int64_t n1 : {8, 4, 2, 1}) {
+    parallel::ParallelConfig cfg;
+    cfg.strategy = TpStrategy::Summa2D;
+    cfg.n1 = n1;
+    cfg.n2 = 8 / n1;
+    cfg.np = 128;
+    cfg.nd = 16;
+    cfg.microbatches = 256;
+    cfg.nb = 4;
+    const auto r = search::best_placement(mdl, sys, cfg, 4096);
+    ASSERT_TRUE(r.feasible) << cfg.describe();
+    if (prev > 0) EXPECT_GT(r.iteration(), prev) << cfg.describe();
+    prev = r.iteration();
+  }
+}
+
+// Fig. A3a: on a 64-GPU NVS domain the optimal PP at the largest scale is
+// lower than on the 8-GPU domain (the domain absorbs DP costs).
+TEST(FigureShapes, FigA3LargeNvsLowersOptimalPp) {
+  const auto mdl = model::gpt3_1t();
+  const auto small = report::optimal_at_scale(mdl, b200(8, 16384),
+                                              TpStrategy::TP1D, 4096, 16384);
+  const auto large = report::optimal_at_scale(mdl, b200(64, 16384),
+                                              TpStrategy::TP1D, 4096, 16384);
+  ASSERT_TRUE(small.feasible && large.feasible);
+  EXPECT_LE(large.cfg.np, small.cfg.np);
+  EXPECT_LE(large.iteration(), small.iteration());
+}
+
+// Fig. A4: plain 2D TP gives a positive speedup over 1D TP at the largest
+// scale, and the speedup grows with scale.
+TEST(FigureShapes, FigA4TwoDTpSpeedupGrowsWithScale) {
+  const auto mdl = model::gpt3_1t();
+  auto speedup = [&](std::int64_t n) {
+    const auto sys = b200(8, n);
+    const auto r1 =
+        report::optimal_at_scale(mdl, sys, TpStrategy::TP1D, 4096, n);
+    const auto r2 =
+        report::optimal_at_scale(mdl, sys, TpStrategy::TP2D, 4096, n);
+    EXPECT_TRUE(r1.feasible && r2.feasible);
+    return r1.iteration() / r2.iteration();
+  };
+  const double at_4k = speedup(4096);
+  const double at_16k = speedup(16384);
+  EXPECT_GT(at_16k, 1.05);
+  EXPECT_GT(at_16k, at_4k);
+}
+
+// Fig. A5: at 8192 GPUs, halving the FLOP rate hurts GPT3-1T far more than
+// halving the memory system; for the ViT the memory axis matters too.
+TEST(FigureShapes, FigA5FlopVsMemorySensitivity) {
+  const std::int64_t n = 8192;
+  auto time_scaled = [&](const model::TransformerConfig& mdl,
+                         TpStrategy strat, double flop_scale,
+                         double mem_scale) {
+    hw::SystemConfig sys = b200(8, n);
+    sys.gpu = sys.gpu
+                  .with_compute(sys.gpu.tensor_flops * flop_scale,
+                                sys.gpu.vector_flops * flop_scale)
+                  .with_memory(sys.gpu.hbm_capacity * mem_scale,
+                               sys.gpu.hbm_bandwidth * mem_scale);
+    const auto r = report::optimal_at_scale(mdl, sys, strat, 4096, n);
+    EXPECT_TRUE(r.feasible);
+    return r.iteration();
+  };
+  const auto gpt = model::gpt3_1t();
+  const double gpt_base = time_scaled(gpt, TpStrategy::TP1D, 1.0, 1.0);
+  const double gpt_half_flops = time_scaled(gpt, TpStrategy::TP1D, 0.5, 1.0);
+  const double gpt_half_mem = time_scaled(gpt, TpStrategy::TP1D, 1.0, 0.5);
+  EXPECT_GT(gpt_half_flops / gpt_base, 1.4);   // flops dominate
+  EXPECT_LT(gpt_half_mem / gpt_base, 1.25);    // memory matters little
+
+  const auto vit = model::vit_64k();
+  const double vit_base = time_scaled(vit, TpStrategy::TP2D, 1.0, 1.0);
+  const double vit_half_mem = time_scaled(vit, TpStrategy::TP2D, 1.0, 0.5);
+  const double gpt_mem_ratio = gpt_half_mem / gpt_base;
+  EXPECT_GT(vit_half_mem / vit_base, gpt_mem_ratio);  // ViT more sensitive
+}
+
+// Fig. A6: the high-capacity/low-bandwidth (LPDDR-like) corner stays within
+// a modest factor of the balanced HBM design for both models.
+TEST(FigureShapes, FigA6LpddrCornerViable) {
+  const std::int64_t n = 8192;
+  auto lpddr_ratio = [&](const model::TransformerConfig& mdl,
+                         TpStrategy strat) {
+    hw::SystemConfig base = b200(8, n);
+    hw::SystemConfig lpddr = base;
+    lpddr.gpu = lpddr.gpu.with_memory(4.0 * base.gpu.hbm_capacity,
+                                      0.25 * base.gpu.hbm_bandwidth);
+    const auto rb = report::optimal_at_scale(mdl, base, strat, 4096, n);
+    const auto rl = report::optimal_at_scale(mdl, lpddr, strat, 4096, n);
+    EXPECT_TRUE(rb.feasible && rl.feasible);
+    return rl.iteration() / rb.iteration();
+  };
+  EXPECT_LT(lpddr_ratio(model::gpt3_1t(), TpStrategy::TP1D), 1.3);
+  EXPECT_LT(lpddr_ratio(model::vit_64k(), TpStrategy::TP2D), 1.5);
+}
+
+// §IV: the validation errors on the Perlmutter-like system stay within the
+// paper's reported band for the whole sub-optimal set.
+TEST(FigureShapes, ValidationErrorsWithinPaperBand) {
+  const auto mdl = model::gpt3_175b();
+  const auto sys = hw::perlmutter(512);
+  for (const auto [nt, np, nd] :
+       {std::tuple<std::int64_t, std::int64_t, std::int64_t>{4, 16, 8},
+        {8, 8, 8},
+        {2, 32, 8},
+        {4, 8, 16}}) {
+    parallel::ParallelConfig cfg;
+    cfg.strategy = TpStrategy::TP1D;
+    cfg.n1 = nt;
+    cfg.np = np;
+    cfg.nd = nd;
+    cfg.microbatches = 1024 / nd;
+    cfg.nvs1 = std::min<std::int64_t>(4, nt);
+    const auto p = sim::validate_iteration(mdl, sys, cfg, 1024, "cfg");
+    EXPECT_LT(p.abs_pct_error(), 26.0) << cfg.describe();
+  }
+}
+
+}  // namespace
+}  // namespace tfpe

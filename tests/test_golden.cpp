@@ -1,0 +1,129 @@
+// Golden regression tests: pin the headline reproduced numbers to windows
+// so model refactors cannot silently change the figures. The windows are
+// intentionally loose enough to survive small counting changes but tight
+// enough to catch real regressions (a factor-2 FLOP bug, a lost collective,
+// a broken overlap rule).
+
+#include <gtest/gtest.h>
+
+#include "comm/collective_model.hpp"
+#include "core/training_estimate.hpp"
+#include "report/figure_data.hpp"
+#include "search/search.hpp"
+#include "sim/validation.hpp"
+
+namespace tfpe {
+namespace {
+
+using parallel::TpStrategy;
+
+TEST(Golden, Fig1OptimumIterationTime) {
+  // Paper Fig. 1 config D on 16384 B200: our model gives 2.63 s.
+  parallel::ParallelConfig cfg;
+  cfg.strategy = TpStrategy::TP1D;
+  cfg.n1 = 8;
+  cfg.np = 64;
+  cfg.nd = 32;
+  cfg.microbatches = 128;
+  cfg.nvs1 = 8;
+  const auto r = core::evaluate(
+      model::gpt3_1t(), hw::make_system(hw::GpuGeneration::B200, 8, 16384),
+      cfg, 4096);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.iteration(), 2.0);
+  EXPECT_LT(r.iteration(), 3.3);
+  EXPECT_GT(r.mem.total(), 45e9);
+  EXPECT_LT(r.mem.total(), 80e9);
+}
+
+TEST(Golden, Gpt3DaysOn16kB200) {
+  // Fig. 5a: O(3-5) days in the paper; 3.6 in this model.
+  const auto best = report::optimal_at_scale(
+      model::gpt3_1t(), hw::make_system(hw::GpuGeneration::B200, 8, 16384),
+      TpStrategy::TP1D, 4096, 16384);
+  ASSERT_TRUE(best.feasible);
+  const auto est = core::estimate_token_training(model::gpt3_1t(), 4096,
+                                                 best.iteration(), 1e12);
+  EXPECT_GT(est.days, 2.5);
+  EXPECT_LT(est.days, 5.0);
+}
+
+TEST(Golden, Gpt3DaysOn16kA100) {
+  // Fig. 5a: O(30) days in the paper; ~23 in this model.
+  const auto best = report::optimal_at_scale(
+      model::gpt3_1t(), hw::make_system(hw::GpuGeneration::A100, 8, 16384),
+      TpStrategy::TP1D, 4096, 16384);
+  ASSERT_TRUE(best.feasible);
+  const auto est = core::estimate_token_training(model::gpt3_1t(), 4096,
+                                                 best.iteration(), 1e12);
+  EXPECT_GT(est.days, 15.0);
+  EXPECT_LT(est.days, 35.0);
+}
+
+TEST(Golden, VitEra5DaysOn4kB200) {
+  // Fig. 5b-scale check: ~3 days for 80 epochs on 4096 B200 (2D TP).
+  const auto best = report::optimal_at_scale(
+      model::vit_64k(), hw::make_system(hw::GpuGeneration::B200, 8, 4096),
+      TpStrategy::TP2D, 4096, 4096);
+  ASSERT_TRUE(best.feasible);
+  const auto est = core::estimate_sample_training(
+      4096, best.iteration(), core::kEra5TrainingSamples);
+  EXPECT_GT(est.days, 1.5);
+  EXPECT_LT(est.days, 6.0);
+}
+
+TEST(Golden, Gpt3MfuAtModerateScale) {
+  // ~80% model-FLOPs utilization at 1024 B200 (compute-dominated regime).
+  const auto mdl = model::gpt3_1t();
+  const auto best = report::optimal_at_scale(
+      mdl, hw::make_system(hw::GpuGeneration::B200, 8, 1024), TpStrategy::TP1D,
+      4096, 1024);
+  ASSERT_TRUE(best.feasible);
+  const double useful = 6.0 * static_cast<double>(mdl.total_params()) * 4096.0 *
+                        static_cast<double>(mdl.seq_len);
+  const double mfu = useful / (best.iteration() * 2500e12 * 1024.0);
+  EXPECT_GT(mfu, 0.6);
+  EXPECT_LT(mfu, 0.95);
+}
+
+TEST(Golden, ValidationErrorBand) {
+  // The DES-based validation of the GPT3-175B optimum stays under 10%.
+  parallel::ParallelConfig cfg;
+  cfg.strategy = TpStrategy::TP1D;
+  cfg.n1 = 4;
+  cfg.np = 16;
+  cfg.nd = 8;
+  cfg.microbatches = 128;
+  cfg.nvs1 = 4;
+  const auto p = sim::validate_iteration(model::gpt3_175b(),
+                                         hw::perlmutter(512), cfg, 1024, "opt");
+  EXPECT_LT(p.abs_pct_error(), 10.0);
+}
+
+TEST(Golden, CollectiveTimeAnchors) {
+  // 1 GB AllGather across 32 B200 GPUs, 8 per domain:
+  //   bw = min(8 rails * 70 GB/s, 630 GB/s) = 560 GB/s;
+  //   t ~ 31/32 * 1 GB / 560 GB/s = 1.73 ms.
+  const auto net = hw::network_preset(hw::GpuGeneration::B200);
+  const double t = comm::collective_time(net, ops::Collective::AllGather, 1e9,
+                                         {32, 8});
+  EXPECT_NEAR(t, 1.73e-3, 0.1e-3);
+}
+
+TEST(Golden, InterleaveSpeedupAtScale) {
+  // Interleaved schedules buy 20-35% at 16K B200 in this model.
+  search::SearchOptions opts;
+  opts.strategy = TpStrategy::TP1D;
+  opts.global_batch = 4096;
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 16384);
+  const auto base = search::find_optimal(model::gpt3_1t(), sys, opts);
+  opts.interleave_candidates = {1, 2, 4, 8};
+  const auto inter = search::find_optimal(model::gpt3_1t(), sys, opts);
+  ASSERT_TRUE(base.best.feasible && inter.best.feasible);
+  const double speedup = base.best.iteration() / inter.best.iteration() - 1.0;
+  EXPECT_GT(speedup, 0.10);
+  EXPECT_LT(speedup, 0.45);
+}
+
+}  // namespace
+}  // namespace tfpe

@@ -1,0 +1,126 @@
+// Tests for the 1D tensor-parallel layer builder against paper Table I.
+
+#include <gtest/gtest.h>
+
+#include "parallel/layer_builder.hpp"
+
+namespace tfpe::parallel {
+namespace {
+
+model::TransformerConfig tiny() {
+  model::TransformerConfig m{"tiny", 256, 128, 8, 4, 512};
+  m.validate();
+  return m;
+}
+
+ParallelConfig cfg_1d(std::int64_t nt) {
+  ParallelConfig c;
+  c.strategy = TpStrategy::TP1D;
+  c.n1 = nt;
+  return c;
+}
+
+TEST(Layer1D, CommVolumeIndependentOfNt) {
+  // Table I: every collective moves b*l*e regardless of nt.
+  const auto m = tiny();
+  const LayerCost a = build_layer_1d(m, cfg_1d(2), 4);
+  const LayerCost b = build_layer_1d(m, cfg_1d(8), 4);
+  EXPECT_DOUBLE_EQ(a.fwd_comm_bytes(ops::CommGroup::TP1),
+                   b.fwd_comm_bytes(ops::CommGroup::TP1));
+}
+
+TEST(Layer1D, FourCollectivesOfBle) {
+  // 2 AllGathers (LN1, LN2) + 2 ReduceScatters (proj, fc2), each b*l*e.
+  const auto m = tiny();
+  const std::int64_t B = 4;
+  const LayerCost lc = build_layer_1d(m, cfg_1d(2), B);
+  const double ble = 2.0 * B * m.seq_len * m.embed;  // bytes
+  EXPECT_DOUBLE_EQ(lc.fwd_comm_bytes(ops::CommGroup::TP1), 4.0 * ble);
+  int ag = 0, rs = 0;
+  for (const auto& op : lc.ops) {
+    for (const auto& r : op.fwd_comm) {
+      if (r.collective == ops::Collective::AllGather) ++ag;
+      if (r.collective == ops::Collective::ReduceScatter) ++rs;
+    }
+  }
+  EXPECT_EQ(ag, 2);
+  EXPECT_EQ(rs, 2);
+}
+
+TEST(Layer1D, NoTp2Communication) {
+  const LayerCost lc = build_layer_1d(tiny(), cfg_1d(4), 2);
+  EXPECT_DOUBLE_EQ(lc.fwd_comm_bytes(ops::CommGroup::TP2), 0.0);
+}
+
+TEST(Layer1D, FlopsConservedAcrossPartitioning) {
+  // Total matmul FLOPs across all nt GPUs must not depend on nt (modulo the
+  // -1 in (2k-1), negligible here).
+  const auto m = tiny();
+  const LayerCost a = build_layer_1d(m, cfg_1d(1), 2);
+  const LayerCost b = build_layer_1d(m, cfg_1d(8), 2);
+  EXPECT_NEAR(a.fwd_flops(), 8.0 * b.fwd_flops(), 0.01 * a.fwd_flops());
+}
+
+TEST(Layer1D, WeightShardScalesWithNt) {
+  const auto m = tiny();
+  const double w1 = build_layer_1d(m, cfg_1d(1), 1).weight_params;
+  const double w8 = build_layer_1d(m, cfg_1d(8), 1).weight_params;
+  // LN params (4e) stay replicated; matrices shard by 8.
+  const double e = static_cast<double>(m.embed);
+  const double f = static_cast<double>(m.hidden);
+  EXPECT_NEAR(w8, (4 * e * e + 2 * e * f + 5 * e + f) / 8.0 + 4 * e, 1.0);
+  EXPECT_GT(w1, w8);
+}
+
+TEST(Layer1D, UnshardedWeightsMatchModelCount) {
+  const auto m = tiny();
+  const double w = build_layer_1d(m, cfg_1d(1), 1).weight_params;
+  EXPECT_DOUBLE_EQ(w, static_cast<double>(m.params_per_layer()));
+}
+
+TEST(Layer1D, ReplicatedActivationsDominateStorage) {
+  // The gathered X~ and Y~ are replicated: stored activation bytes contain
+  // the full 2 * b*l*e twice, independent of nt.
+  const auto m = tiny();
+  const std::int64_t B = 2;
+  const double full = 2.0 * B * m.seq_len * m.embed;
+  const LayerCost lc = build_layer_1d(m, cfg_1d(8), B);
+  EXPECT_GE(lc.stored_bytes(), 2.0 * full);
+}
+
+TEST(Layer1D, StoredBytesDecreaseWithNt) {
+  const auto m = tiny();
+  const double s2 = build_layer_1d(m, cfg_1d(2), 2).stored_bytes();
+  const double s8 = build_layer_1d(m, cfg_1d(8), 2).stored_bytes();
+  EXPECT_LT(s8, s2);
+}
+
+TEST(Layer1D, PipelineBoundaryIsShardedActivation) {
+  const auto m = tiny();
+  const std::int64_t B = 4;
+  const LayerCost lc = build_layer_1d(m, cfg_1d(4), B);
+  EXPECT_DOUBLE_EQ(lc.pp_boundary_bytes, 2.0 * B * m.seq_len * m.embed / 4);
+}
+
+TEST(Layer1D, DpGroupExcludesTp2) {
+  EXPECT_FALSE(build_layer_1d(tiny(), cfg_1d(2), 1).dp_group_includes_tp2);
+}
+
+TEST(Layer1D, BackwardCostsExceedForward) {
+  const LayerCost lc = build_layer_1d(tiny(), cfg_1d(2), 2);
+  EXPECT_GT(lc.bwd_flops(), lc.fwd_flops());
+  EXPECT_LT(lc.bwd_flops(), 3.0 * lc.fwd_flops());
+}
+
+TEST(Layer1D, OpSequenceShape) {
+  const LayerCost lc = build_layer_1d(tiny(), cfg_1d(2), 1);
+  ASSERT_EQ(lc.ops.size(), 12u);
+  EXPECT_EQ(lc.ops[0].name, "ln1");
+  EXPECT_EQ(lc.ops[1].name, "qkv_proj");
+  EXPECT_EQ(lc.ops[2].name, "attention");
+  EXPECT_EQ(lc.ops[3].name, "out_proj");
+  EXPECT_EQ(lc.ops.back().name, "mlp_residual");
+}
+
+}  // namespace
+}  // namespace tfpe::parallel

@@ -1,0 +1,116 @@
+// Tests for the 2D tensor-parallel layer builder against paper Table II.
+
+#include <gtest/gtest.h>
+
+#include "parallel/layer_builder.hpp"
+
+namespace tfpe::parallel {
+namespace {
+
+model::TransformerConfig tiny() {
+  model::TransformerConfig m{"tiny", 256, 128, 8, 4, 512};
+  m.validate();
+  return m;
+}
+
+ParallelConfig cfg_2d(std::int64_t n1, std::int64_t n2) {
+  ParallelConfig c;
+  c.strategy = TpStrategy::TP2D;
+  c.n1 = n1;
+  c.n2 = n2;
+  return c;
+}
+
+TEST(Layer2D, Tp1VolumeScalesWithN2) {
+  // Table II: the LN AllGathers and projection ReduceScatters move
+  // b*(l/n2)*e — doubling n2 halves the TP1 volume.
+  const auto m = tiny();
+  const double v1 = build_layer_2d(m, cfg_2d(2, 2), 4)
+                        .fwd_comm_bytes(ops::CommGroup::TP1);
+  const double v2 = build_layer_2d(m, cfg_2d(2, 4), 4)
+                        .fwd_comm_bytes(ops::CommGroup::TP1);
+  EXPECT_DOUBLE_EQ(v1, 2.0 * v2);
+}
+
+TEST(Layer2D, KvGatherVolumeScalesWithN1) {
+  // The two K/V AllGathers move b*l*(e/n1) each over the n2 group.
+  const auto m = tiny();
+  const std::int64_t B = 4;
+  const double expected = 2.0 * (2.0 * B * m.seq_len * m.embed / 2);
+  EXPECT_DOUBLE_EQ(build_layer_2d(m, cfg_2d(2, 4), B)
+                       .fwd_comm_bytes(ops::CommGroup::TP2),
+                   expected);
+  EXPECT_DOUBLE_EQ(build_layer_2d(m, cfg_2d(4, 4), B)
+                       .fwd_comm_bytes(ops::CommGroup::TP2),
+                   expected / 2.0);
+}
+
+TEST(Layer2D, ReducesToTableIVolumesWhenN2IsOne) {
+  // With n2 == 1 the TP1 collectives carry the full b*l*e, as in 1D TP.
+  const auto m = tiny();
+  const std::int64_t B = 2;
+  const LayerCost lc1d = build_layer_1d(m, [] {
+    ParallelConfig c;
+    c.strategy = TpStrategy::TP1D;
+    c.n1 = 4;
+    return c;
+  }(), B);
+  const LayerCost lc2d = build_layer_2d(m, cfg_2d(4, 1), B);
+  EXPECT_DOUBLE_EQ(lc1d.fwd_comm_bytes(ops::CommGroup::TP1),
+                   lc2d.fwd_comm_bytes(ops::CommGroup::TP1));
+  // FLOPs also agree (same shards).
+  EXPECT_NEAR(lc1d.fwd_flops(), lc2d.fwd_flops(), 1e-6 * lc1d.fwd_flops());
+}
+
+TEST(Layer2D, WeightsSharedAcrossN2) {
+  // weight_params depends on n1 only — the paper's "redundant memory" note.
+  const auto m = tiny();
+  EXPECT_DOUBLE_EQ(build_layer_2d(m, cfg_2d(4, 1), 1).weight_params,
+                   build_layer_2d(m, cfg_2d(4, 8), 1).weight_params);
+  EXPECT_TRUE(build_layer_2d(m, cfg_2d(4, 2), 1).dp_group_includes_tp2);
+}
+
+TEST(Layer2D, ActivationStorageShrinksWithN2) {
+  const auto m = tiny();
+  const double s1 = build_layer_2d(m, cfg_2d(4, 1), 2).stored_bytes();
+  const double s4 = build_layer_2d(m, cfg_2d(4, 4), 2).stored_bytes();
+  EXPECT_GT(s1, 2.0 * s4);  // roughly linear in 1/n2
+}
+
+TEST(Layer2D, FlopsConservedAcrossGrid) {
+  const auto m = tiny();
+  const double total = build_layer_2d(m, cfg_2d(1, 1), 2).fwd_flops();
+  const double sharded = build_layer_2d(m, cfg_2d(4, 2), 2).fwd_flops();
+  EXPECT_NEAR(total, 8.0 * sharded, 0.02 * total);
+}
+
+TEST(Layer2D, AttentionQueriesShardedKeysFull) {
+  const auto m = tiny();
+  const LayerCost lc = build_layer_2d(m, cfg_2d(2, 4), 1);
+  const ops::Op* att = nullptr;
+  for (const auto& op : lc.ops) {
+    if (op.name == "attention") att = &op;
+  }
+  ASSERT_NE(att, nullptr);
+  // Logit/Attend FLOPs: 2 matmuls over (l/n2) x l x eh for h/n1 heads, plus
+  // the fused softmax. Check the l x (l/n2) asymmetry is present: halving
+  // only the query length (n2: 4 -> 8 invalid for l=256? use ratio check).
+  const LayerCost wide = build_layer_2d(m, cfg_2d(2, 2), 1);
+  const ops::Op* att_wide = nullptr;
+  for (const auto& op : wide.ops) {
+    if (op.name == "attention") att_wide = &op;
+  }
+  ASSERT_NE(att_wide, nullptr);
+  EXPECT_NEAR(att_wide->fwd_flops, 2.0 * att->fwd_flops,
+              0.01 * att_wide->fwd_flops);
+}
+
+TEST(Layer2D, PipelineBoundaryShardedByGrid) {
+  const auto m = tiny();
+  const std::int64_t B = 2;
+  EXPECT_DOUBLE_EQ(build_layer_2d(m, cfg_2d(2, 4), B).pp_boundary_bytes,
+                   2.0 * B * m.seq_len * m.embed / 8);
+}
+
+}  // namespace
+}  // namespace tfpe::parallel

@@ -1,0 +1,114 @@
+// Tests for the SUMMA layer builder against paper Table A2 / Appendix A.
+
+#include <gtest/gtest.h>
+
+#include "parallel/layer_builder.hpp"
+
+namespace tfpe::parallel {
+namespace {
+
+model::TransformerConfig tiny() {
+  model::TransformerConfig m{"tiny", 256, 128, 8, 4, 512};
+  m.validate();
+  return m;
+}
+
+ParallelConfig cfg_summa(std::int64_t n1, std::int64_t n2, std::int64_t nb = 1) {
+  ParallelConfig c;
+  c.strategy = TpStrategy::Summa2D;
+  c.n1 = n1;
+  c.n2 = n2;
+  c.nb = nb;
+  return c;
+}
+
+TEST(LayerSumma, NoSharedWeights) {
+  // SUMMA shards WQKV/W1/W2 over both grid dims (Wp over n1 only, Table A2):
+  // growing n2 must shrink the resident weights.
+  const auto m = tiny();
+  const double w1 = build_layer_summa(m, cfg_summa(4, 1), 1).weight_params;
+  const double w4 = build_layer_summa(m, cfg_summa(4, 4), 1).weight_params;
+  EXPECT_GT(w1, 2.0 * w4);
+  EXPECT_FALSE(build_layer_summa(m, cfg_summa(4, 4), 1).dp_group_includes_tp2);
+}
+
+TEST(LayerSumma, LighterThan2dTp) {
+  const auto m = tiny();
+  const LayerCost summa = build_layer_summa(m, cfg_summa(4, 4), 2);
+  ParallelConfig c2d = cfg_summa(4, 4);
+  c2d.strategy = TpStrategy::TP2D;
+  c2d.nb = 1;
+  const LayerCost tp2d = build_layer_2d(m, c2d, 2);
+  EXPECT_LT(summa.weight_params, tp2d.weight_params);
+  EXPECT_LT(summa.stored_bytes(), tp2d.stored_bytes());
+}
+
+TEST(LayerSumma, BroadcastVolumesMatchTableA2) {
+  // For QKV: V1 = b*l*e/n2 (A blocks over TP1) + e*3e/n1 (B blocks over TP2).
+  const auto m = tiny();
+  const std::int64_t B = 2;
+  const LayerCost lc = build_layer_summa(m, cfg_summa(2, 4), B);
+  const ops::Op* qkv = nullptr;
+  for (const auto& op : lc.ops) {
+    if (op.name == "qkv_proj") qkv = &op;
+  }
+  ASSERT_NE(qkv, nullptr);
+  ASSERT_EQ(qkv->fwd_comm.size(), 2u);
+  const double e = m.embed, l = m.seq_len;
+  EXPECT_DOUBLE_EQ(qkv->fwd_comm[0].bytes, 2.0 * B * l * e / 4);
+  EXPECT_DOUBLE_EQ(qkv->fwd_comm[1].bytes, 2.0 * e * 3 * e / 2);
+}
+
+TEST(LayerSumma, CommVolumeScalesWithBothDims) {
+  // Unlike 1D TP, growing either grid dimension reduces total volume.
+  const auto m = tiny();
+  auto total = [&](std::int64_t n1, std::int64_t n2) {
+    const LayerCost lc = build_layer_summa(m, cfg_summa(n1, n2), 2);
+    return lc.fwd_comm_bytes(ops::CommGroup::TP1) +
+           lc.fwd_comm_bytes(ops::CommGroup::TP2);
+  };
+  EXPECT_LT(total(4, 2), total(2, 2));
+  EXPECT_LT(total(2, 4), total(2, 2));
+}
+
+TEST(LayerSumma, HigherAbsoluteVolumeThan2dTp) {
+  // SUMMA also moves the weight panels, so its absolute volume exceeds the
+  // activation-only 2D TP volume for small grids (paper §III).
+  const auto m = tiny();
+  const LayerCost summa = build_layer_summa(m, cfg_summa(2, 2), 1);
+  ParallelConfig c2d = cfg_summa(2, 2);
+  c2d.strategy = TpStrategy::TP2D;
+  const LayerCost tp2d = build_layer_2d(m, c2d, 1);
+  auto vol = [](const LayerCost& lc) {
+    return lc.fwd_comm_bytes(ops::CommGroup::TP1) +
+           lc.fwd_comm_bytes(ops::CommGroup::TP2);
+  };
+  EXPECT_GT(vol(summa), vol(tp2d));
+}
+
+TEST(LayerSumma, PanelsPropagateToMatmulOps) {
+  const LayerCost lc = build_layer_summa(tiny(), cfg_summa(2, 2, 8), 1);
+  int panelled = 0;
+  for (const auto& op : lc.ops) {
+    if (op.summa_panels == 8) ++panelled;
+  }
+  EXPECT_EQ(panelled, 3);  // qkv, fc1, fc2
+}
+
+TEST(LayerSumma, LayerNormUsesAllReduce) {
+  const LayerCost lc = build_layer_summa(tiny(), cfg_summa(2, 2), 1);
+  EXPECT_EQ(lc.ops[0].name, "ln1");
+  ASSERT_EQ(lc.ops[0].fwd_comm.size(), 1u);
+  EXPECT_EQ(lc.ops[0].fwd_comm[0].collective, ops::Collective::AllReduce);
+  EXPECT_EQ(lc.ops[0].fwd_comm[0].group, ops::CommGroup::TP1);
+}
+
+TEST(LayerSumma, FlopsConservedAcrossGrid) {
+  const auto m = tiny();
+  const double total = build_layer_summa(m, cfg_summa(1, 1), 2).fwd_flops();
+  const double sharded = build_layer_summa(m, cfg_summa(2, 4), 2).fwd_flops();
+  EXPECT_NEAR(total, 8.0 * sharded, 0.02 * total);
+}
+
+}  // namespace
+}  // namespace tfpe::parallel

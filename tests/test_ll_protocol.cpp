@@ -1,0 +1,70 @@
+// Tests for the NCCL LL-protocol extension and the H100 preset.
+
+#include <gtest/gtest.h>
+
+#include "comm/collective_model.hpp"
+#include "hw/gpu.hpp"
+
+namespace tfpe {
+namespace {
+
+TEST(LlProtocol, OffByDefault) {
+  const auto net = hw::network_preset(hw::GpuGeneration::B200);
+  EXPECT_FALSE(net.enable_ll);
+}
+
+TEST(LlProtocol, WinsAtSmallVolumes) {
+  auto net = hw::network_preset(hw::GpuGeneration::B200);
+  const comm::GroupPlacement g{256, 8};
+  const double simple =
+      comm::collective_time(net, ops::Collective::AllGather, 1e4, g);
+  net.enable_ll = true;
+  const double with_ll =
+      comm::collective_time(net, ops::Collective::AllGather, 1e4, g);
+  EXPECT_LT(with_ll, 0.5 * simple);  // latency-dominated: LL wins big
+}
+
+TEST(LlProtocol, SimpleWinsAtLargeVolumes) {
+  auto net = hw::network_preset(hw::GpuGeneration::B200);
+  const comm::GroupPlacement g{16, 8};
+  const double simple =
+      comm::collective_time(net, ops::Collective::AllGather, 4e9, g);
+  net.enable_ll = true;
+  const double with_ll =
+      comm::collective_time(net, ops::Collective::AllGather, 4e9, g);
+  // min() semantics: never worse, and equal when Simple dominates.
+  EXPECT_DOUBLE_EQ(with_ll, simple);
+}
+
+TEST(LlProtocol, CrossoverExists) {
+  auto net = hw::network_preset(hw::GpuGeneration::B200);
+  net.enable_ll = true;
+  const comm::GroupPlacement g{256, 8};
+  // Find volumes on both sides of the protocol switch.
+  auto simple_only = hw::network_preset(hw::GpuGeneration::B200);
+  bool ll_used_small = false, simple_used_large = false;
+  for (double v : {1e3, 1e5, 1e7, 1e9, 1e10}) {
+    const double t =
+        comm::collective_time(net, ops::Collective::AllGather, v, g);
+    const double ts =
+        comm::collective_time(simple_only, ops::Collective::AllGather, v, g);
+    if (t < ts - 1e-15) ll_used_small = true;
+    if (t == ts && v >= 1e9) simple_used_large = true;
+  }
+  EXPECT_TRUE(ll_used_small);
+  EXPECT_TRUE(simple_used_large);
+}
+
+TEST(H100Preset, DatasheetValues) {
+  const auto g = hw::h100();
+  EXPECT_EQ(g.name, "H100");
+  EXPECT_DOUBLE_EQ(g.tensor_flops, 990e12);
+  EXPECT_DOUBLE_EQ(g.hbm_bandwidth, 3350e9);
+  EXPECT_DOUBLE_EQ(g.hbm_capacity, 80e9);
+  // Same compute generation as H200, smaller/slower memory.
+  EXPECT_LT(g.hbm_bandwidth, hw::h200().hbm_bandwidth);
+  EXPECT_LT(g.hbm_capacity, hw::h200().hbm_capacity);
+}
+
+}  // namespace
+}  // namespace tfpe

@@ -1,0 +1,94 @@
+// Tests for the Markdown report generator.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "report/markdown_report.hpp"
+
+namespace tfpe::report {
+namespace {
+
+LabeledResult feasible_row() {
+  parallel::ParallelConfig cfg;
+  cfg.strategy = parallel::TpStrategy::TP1D;
+  cfg.n1 = 8;
+  cfg.np = 64;
+  cfg.nd = 32;
+  cfg.microbatches = 128;
+  cfg.nvs1 = 8;
+  return {"opt", core::evaluate(model::gpt3_1t(),
+                                hw::make_system(hw::GpuGeneration::B200, 8,
+                                                16384),
+                                cfg, 4096)};
+}
+
+LabeledResult infeasible_row() {
+  core::EvalResult r;
+  r.feasible = false;
+  r.reason = "exceeds HBM capacity";
+  return {"bad", r};
+}
+
+TEST(MarkdownReport, ContainsAllSections) {
+  std::ostringstream os;
+  write_markdown_report(os, "My plan", {"line one", "line two"},
+                        {feasible_row()});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("# My plan"), std::string::npos);
+  EXPECT_NE(s.find("> line one"), std::string::npos);
+  EXPECT_NE(s.find("## Configurations"), std::string::npos);
+  EXPECT_NE(s.find("## Iteration time"), std::string::npos);
+  EXPECT_NE(s.find("## Memory per GPU"), std::string::npos);
+  EXPECT_NE(s.find("1D TP"), std::string::npos);
+}
+
+TEST(MarkdownReport, TablesAreWellFormed) {
+  std::ostringstream os;
+  write_markdown_report(os, "t", {}, {feasible_row()});
+  std::istringstream in(os.str());
+  std::string line;
+  // Every table row must start and end with '|' and the rule rows must
+  // follow a header immediately.
+  bool prev_was_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '|') {
+      prev_was_header = false;
+      continue;
+    }
+    EXPECT_EQ(line.back(), '|') << line;
+    if (line.find("---") != std::string::npos) {
+      EXPECT_TRUE(prev_was_header) << "rule without header: " << line;
+    }
+    prev_was_header = line.find("---") == std::string::npos;
+  }
+}
+
+TEST(MarkdownReport, MarksInfeasibleRows) {
+  std::ostringstream os;
+  write_markdown_report(os, "t", {}, {infeasible_row()});
+  EXPECT_NE(os.str().find("infeasible: exceeds HBM capacity"),
+            std::string::npos);
+}
+
+TEST(MarkdownReport, PercentagesPresent) {
+  std::ostringstream os;
+  write_markdown_report(os, "t", {}, {feasible_row()});
+  EXPECT_NE(os.str().find('%'), std::string::npos);
+}
+
+TEST(MarkdownReport, FileWriter) {
+  const std::string path = "tfpe_md_test.md";
+  write_markdown_report_file(path, "t", {}, {feasible_row()});
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+  EXPECT_THROW(
+      write_markdown_report_file("/nonexistent/x.md", "t", {}, {}),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tfpe::report

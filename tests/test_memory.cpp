@@ -1,0 +1,94 @@
+// Tests for the HBM memory model (S2).
+
+#include <gtest/gtest.h>
+
+#include "memory/memory_model.hpp"
+#include "parallel/layer_builder.hpp"
+
+namespace tfpe::memory {
+namespace {
+
+using parallel::ParallelConfig;
+using parallel::TpStrategy;
+
+model::TransformerConfig tiny() {
+  model::TransformerConfig m{"tiny", 256, 128, 8, 8, 512};
+  m.validate();
+  return m;
+}
+
+ParallelConfig cfg_1d(std::int64_t nt, std::int64_t np, std::int64_t nd,
+                      std::int64_t m) {
+  ParallelConfig c;
+  c.strategy = TpStrategy::TP1D;
+  c.n1 = nt;
+  c.np = np;
+  c.nd = nd;
+  c.microbatches = m;
+  return c;
+}
+
+TEST(MemoryModel, WeightAndGradientBytes) {
+  const auto m = tiny();
+  const ParallelConfig c = cfg_1d(2, 2, 1, 1);
+  const auto layer = parallel::build_layer(m, c, 1);
+  const MemoryBreakdown mem = compute_memory(layer, c, 4, 1);
+  EXPECT_DOUBLE_EQ(mem.weights, 2.0 * layer.weight_params * 4);
+  EXPECT_DOUBLE_EQ(mem.gradients, mem.weights);
+}
+
+TEST(MemoryModel, OptimizerIs12BytesPerParamShardedByDp) {
+  const auto m = tiny();
+  const ParallelConfig c1 = cfg_1d(2, 2, 1, 1);
+  const ParallelConfig c4 = cfg_1d(2, 2, 4, 1);
+  const auto layer = parallel::build_layer(m, c1, 1);
+  const MemoryBreakdown m1 = compute_memory(layer, c1, 4, 1);
+  const MemoryBreakdown m4 = compute_memory(layer, c4, 4, 1);
+  EXPECT_DOUBLE_EQ(m1.optimizer, 12.0 * layer.weight_params * 4);
+  EXPECT_DOUBLE_EQ(m4.optimizer, m1.optimizer / 4.0);
+}
+
+TEST(MemoryModel, OptimizerShardsOverN2In2dTp) {
+  const auto m = tiny();
+  ParallelConfig c;
+  c.strategy = TpStrategy::TP2D;
+  c.n1 = 2;
+  c.n2 = 4;
+  c.nd = 2;
+  const auto layer = parallel::build_layer(m, c, 1);
+  ASSERT_TRUE(layer.dp_group_includes_tp2);
+  const MemoryBreakdown mem = compute_memory(layer, c, 1, 1);
+  EXPECT_DOUBLE_EQ(mem.optimizer, 12.0 * layer.weight_params / 8.0);
+}
+
+TEST(MemoryModel, ActivationsScaleWithInFlightMicrobatches) {
+  const auto m = tiny();
+  const ParallelConfig c = cfg_1d(2, 4, 1, 8);
+  const auto layer = parallel::build_layer(m, c, 2);
+  const MemoryBreakdown one = compute_memory(layer, c, 2, 1);
+  const MemoryBreakdown four = compute_memory(layer, c, 2, 4);
+  EXPECT_DOUBLE_EQ(four.activations, 4.0 * one.activations);
+}
+
+TEST(MemoryModel, ActivationsScaleWithLayersPerStage) {
+  const auto m = tiny();
+  const ParallelConfig c = cfg_1d(2, 1, 1, 1);
+  const auto layer = parallel::build_layer(m, c, 1);
+  const MemoryBreakdown a = compute_memory(layer, c, 2, 1);
+  const MemoryBreakdown b = compute_memory(layer, c, 8, 1);
+  EXPECT_DOUBLE_EQ(b.activations, 4.0 * a.activations);
+  EXPECT_DOUBLE_EQ(b.weights, 4.0 * a.weights);
+}
+
+TEST(MemoryModel, TotalIsSumOfParts) {
+  const auto m = tiny();
+  const ParallelConfig c = cfg_1d(2, 2, 2, 2);
+  const auto layer = parallel::build_layer(m, c, 1);
+  const MemoryBreakdown mem = compute_memory(layer, c, 4, 2);
+  EXPECT_DOUBLE_EQ(mem.total(), mem.weights + mem.gradients + mem.optimizer +
+                                    mem.activations);
+  EXPECT_GT(mem.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace tfpe::memory

@@ -1,0 +1,81 @@
+// Tests for the activation-residency timeline: the executed 1F1B schedule
+// must exhibit exactly the in-flight counts the HBM model assumes.
+
+#include <gtest/gtest.h>
+
+#include "pipeline/pipeline_model.hpp"
+#include "sim/interleaved_sim.hpp"
+#include "sim/memory_timeline.hpp"
+
+namespace tfpe::sim {
+namespace {
+
+TEST(MemoryTimeline, MatchesMinOfMAndNpPerStage) {
+  // Deep pipeline, many microbatches: stage s holds min(m, np - s).
+  const std::int64_t np = 8, m = 64;
+  const auto trace = simulate_pipeline({np, m, 1.0, 2.0, 0.0});
+  const auto profiles = activation_timeline(trace, np);
+  ASSERT_EQ(profiles.size(), static_cast<std::size_t>(np));
+  for (std::int64_t s = 0; s < np; ++s) {
+    EXPECT_EQ(profiles[s].high_water_microbatches, np - s) << "stage " << s;
+  }
+}
+
+TEST(MemoryTimeline, CappedByMicrobatchCount) {
+  // Fewer microbatches than stages: residency is capped at m everywhere it
+  // would otherwise exceed it.
+  const std::int64_t np = 8, m = 3;
+  const auto trace = simulate_pipeline({np, m, 1.0, 1.0, 0.0});
+  const auto profiles = activation_timeline(trace, np);
+  for (std::int64_t s = 0; s < np; ++s) {
+    EXPECT_EQ(profiles[s].high_water_microbatches,
+              std::min<std::int64_t>(m, np - s))
+        << "stage " << s;
+  }
+}
+
+TEST(MemoryTimeline, PeakMatchesMemoryModelAssumption) {
+  for (const auto [np, m] : {std::pair<std::int64_t, std::int64_t>{4, 16},
+                             {16, 4}, {1, 8}, {8, 8}}) {
+    const auto trace = simulate_pipeline({np, m, 0.5, 1.0, 0.01});
+    EXPECT_EQ(peak_in_flight(trace, np),
+              pipeline::in_flight_microbatches(np, m))
+        << "np=" << np << " m=" << m;
+  }
+}
+
+TEST(MemoryTimeline, Stage0IsTheBusiest) {
+  const auto trace = simulate_pipeline({6, 32, 1.0, 2.0, 0.0});
+  const auto profiles = activation_timeline(trace, 6);
+  for (std::size_t s = 1; s < profiles.size(); ++s) {
+    EXPECT_LE(profiles[s].high_water_microbatches,
+              profiles[0].high_water_microbatches);
+  }
+}
+
+TEST(MemoryTimeline, InterleavedScheduleHoldsMoreChunkActivations) {
+  // With v chunks each microbatch contributes v resident chunk-activations
+  // on a GPU; the interleaved schedule's deeper warmup raises the peak in
+  // chunk units (its bubble advantage is paid in memory).
+  const std::int64_t np = 4, m = 16;
+  const auto plain = simulate_pipeline({np, m, 1.0, 1.0, 0.0});
+  const auto inter = simulate_interleaved_pipeline({np, 2, m, 0.5, 0.5, 0.0});
+  EXPECT_GT(peak_in_flight(inter, np), peak_in_flight(plain, np));
+}
+
+TEST(MemoryTimeline, PeakTimeIsDuringWarmup) {
+  const std::int64_t np = 4, m = 32;
+  const auto trace = simulate_pipeline({np, m, 1.0, 1.0, 0.0});
+  const auto profiles = activation_timeline(trace, np);
+  // Stage 0 reaches its peak by the time its warmup forwards are done.
+  EXPECT_LE(profiles[0].peak_time, np * 1.0 + 1e-9);
+}
+
+TEST(MemoryTimeline, RejectsBadInput) {
+  const auto trace = simulate_pipeline({2, 2, 1.0, 1.0, 0.0});
+  EXPECT_THROW(activation_timeline(trace, 0), std::invalid_argument);
+  EXPECT_THROW(activation_timeline(trace, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tfpe::sim

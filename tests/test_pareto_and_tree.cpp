@@ -1,0 +1,98 @@
+// Tests for the Pareto-frontier search and the tree-AllReduce simulation.
+
+#include <gtest/gtest.h>
+
+#include "comm/collective_model.hpp"
+#include "search/search.hpp"
+#include "sim/ring_sim.hpp"
+
+namespace tfpe {
+namespace {
+
+TEST(Pareto, FrontierIsMonotoneAndNonDominated) {
+  const auto mdl = model::gpt3_1t();
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 1024);
+  search::SearchOptions opts;
+  opts.strategy = parallel::TpStrategy::TP1D;
+  opts.global_batch = 4096;
+  const auto frontier = search::pareto_frontier(mdl, sys, opts);
+  ASSERT_GE(frontier.size(), 2u);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    // Time increases, memory strictly decreases along the frontier.
+    EXPECT_GE(frontier[i].iteration(), frontier[i - 1].iteration());
+    EXPECT_LT(frontier[i].mem.total(), frontier[i - 1].mem.total());
+  }
+}
+
+TEST(Pareto, FirstEntryIsTheOptimum) {
+  const auto mdl = model::gpt3_175b();
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 128);
+  search::SearchOptions opts;
+  opts.strategy = parallel::TpStrategy::TP1D;
+  opts.global_batch = 512;
+  const auto best = search::find_optimal(mdl, sys, opts).best;
+  const auto frontier = search::pareto_frontier(mdl, sys, opts);
+  ASSERT_FALSE(frontier.empty());
+  EXPECT_DOUBLE_EQ(frontier.front().iteration(), best.iteration());
+}
+
+TEST(Pareto, AnswersMemoryBudgetQuestions) {
+  // "Fastest configuration under half the HBM": must exist on the frontier
+  // and be slower than (or equal to) the unconstrained optimum.
+  const auto mdl = model::gpt3_1t();
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 1024);
+  search::SearchOptions opts;
+  opts.strategy = parallel::TpStrategy::TP1D;
+  opts.global_batch = 4096;
+  const auto frontier = search::pareto_frontier(mdl, sys, opts);
+  const double budget = 0.5 * sys.gpu.hbm_capacity;
+  const core::EvalResult* pick = nullptr;
+  for (const auto& r : frontier) {
+    if (r.mem.total() <= budget) {
+      pick = &r;
+      break;  // frontier is fastest-first
+    }
+  }
+  ASSERT_NE(pick, nullptr);
+  EXPECT_GE(pick->iteration(), frontier.front().iteration());
+}
+
+TEST(TreeSim, MatchesAnalyticTreeModel) {
+  const auto net = hw::network_preset(hw::GpuGeneration::B200);
+  for (const auto [g, nvs] : {std::pair<std::int64_t, std::int64_t>{16, 8},
+                              {64, 8}, {64, 64}}) {
+    const double V = 1e9;
+    const double analytic =
+        comm::tree_time(net, ops::Collective::AllReduce, V, {g, nvs});
+    const double sim = sim::simulate_tree_allreduce(net, V, g, nvs, 16);
+    EXPECT_NEAR(sim, analytic, 0.5 * analytic) << "g=" << g << " nvs=" << nvs;
+  }
+}
+
+TEST(TreeSim, BeatsRingSimAtSmallVolumeLargeGroup) {
+  const auto net = hw::network_preset(hw::GpuGeneration::B200);
+  const double V = 1e5;
+  const std::int64_t g = 512, nvs = 8;
+  const double ring =
+      sim::simulate_collective(net, ops::Collective::AllReduce, V, g, nvs);
+  const double tree = sim::simulate_tree_allreduce(net, V, g, nvs, 4);
+  EXPECT_LT(tree, ring);
+}
+
+TEST(TreeSim, TrivialCases) {
+  const auto net = hw::network_preset(hw::GpuGeneration::B200);
+  EXPECT_DOUBLE_EQ(sim::simulate_tree_allreduce(net, 1e9, 1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(sim::simulate_tree_allreduce(net, 0.0, 16, 8), 0.0);
+  EXPECT_THROW(sim::simulate_tree_allreduce(net, 1e9, 16, 8, 0),
+               std::invalid_argument);
+}
+
+TEST(TreeSim, SlicingImprovesPipelining) {
+  const auto net = hw::network_preset(hw::GpuGeneration::B200);
+  const double coarse = sim::simulate_tree_allreduce(net, 1e9, 64, 8, 1);
+  const double fine = sim::simulate_tree_allreduce(net, 1e9, 64, 8, 32);
+  EXPECT_LT(fine, coarse);
+}
+
+}  // namespace
+}  // namespace tfpe

@@ -1,0 +1,113 @@
+// Tests for training-plan serialization round trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "io/plan_io.hpp"
+
+namespace tfpe::io {
+namespace {
+
+core::EvalResult sample_result() {
+  parallel::ParallelConfig cfg;
+  cfg.strategy = parallel::TpStrategy::Summa2D;
+  cfg.n1 = 4;
+  cfg.n2 = 2;
+  cfg.np = 8;
+  cfg.nd = 16;
+  cfg.microbatches = 32;
+  cfg.nb = 4;
+  cfg.interleave = 2;
+  cfg.zero = parallel::ZeroStage::kWeights;
+  cfg.nvs1 = 4;
+  cfg.nvs2 = 2;
+  core::EvalResult r;
+  r.cfg = cfg;
+  r.feasible = true;
+  r.time.compute = 1.0;
+  return r;
+}
+
+TEST(PlanIo, RoundTripsEveryField) {
+  std::ostringstream os;
+  write_plan(os, sample_result(), 4096);
+  std::istringstream in(os.str());
+  const auto sections = parse_config(in);
+  const LoadedPlan plan = plan_from_section(sections.at("plan"));
+  const auto& a = sample_result().cfg;
+  const auto& b = plan.cfg;
+  EXPECT_EQ(a.strategy, b.strategy);
+  EXPECT_EQ(a.n1, b.n1);
+  EXPECT_EQ(a.n2, b.n2);
+  EXPECT_EQ(a.np, b.np);
+  EXPECT_EQ(a.nd, b.nd);
+  EXPECT_EQ(a.microbatches, b.microbatches);
+  EXPECT_EQ(a.nb, b.nb);
+  EXPECT_EQ(a.interleave, b.interleave);
+  EXPECT_EQ(a.zero, b.zero);
+  EXPECT_EQ(a.nvs1, b.nvs1);
+  EXPECT_EQ(a.nvs2, b.nvs2);
+  EXPECT_EQ(plan.global_batch, 4096);
+}
+
+TEST(PlanIo, DefaultsOmittedFromOutput) {
+  core::EvalResult r = sample_result();
+  r.cfg.nb = 1;
+  r.cfg.interleave = 1;
+  r.cfg.zero = parallel::ZeroStage::kOptimizer;
+  std::ostringstream os;
+  write_plan(os, r, 64);
+  const std::string s = os.str();
+  EXPECT_EQ(s.find("nb ="), std::string::npos);
+  EXPECT_EQ(s.find("interleave ="), std::string::npos);
+  EXPECT_EQ(s.find("zero ="), std::string::npos);
+}
+
+TEST(PlanIo, LoadedPlanEvaluatesIdentically) {
+  // A plan written from a search result must evaluate to the same time.
+  const auto mdl = model::gpt3_1t();
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 16384);
+  parallel::ParallelConfig cfg;
+  cfg.strategy = parallel::TpStrategy::TP1D;
+  cfg.n1 = 8;
+  cfg.np = 64;
+  cfg.nd = 32;
+  cfg.microbatches = 128;
+  cfg.nvs1 = 8;
+  const auto original = core::evaluate(mdl, sys, cfg, 4096);
+  ASSERT_TRUE(original.feasible);
+
+  const std::string path = "tfpe_plan_test.tfpe";
+  write_plan_file(path, original, 4096);
+  const LoadedPlan plan = load_plan_file(path);
+  std::remove(path.c_str());
+  const auto reloaded = core::evaluate(mdl, sys, plan.cfg, plan.global_batch);
+  ASSERT_TRUE(reloaded.feasible);
+  EXPECT_DOUBLE_EQ(original.iteration(), reloaded.iteration());
+}
+
+TEST(PlanIo, RejectsMalformedPlans) {
+  auto section_of = [](const std::string& text) {
+    std::istringstream in(text);
+    return parse_config(in).at("plan");
+  };
+  EXPECT_THROW(plan_from_section(section_of("[plan]\nn1 = 2\n")),
+               std::runtime_error);  // missing strategy
+  EXPECT_THROW(
+      plan_from_section(section_of("[plan]\nstrategy = 3d\nn1 = 2\n")),
+      std::runtime_error);
+  EXPECT_THROW(plan_from_section(section_of(
+                   "[plan]\nstrategy = 1d\nn1 = 2\nnp = 1\nnd = 1\n"
+                   "microbatches = 1\nglobal_batch = 4\nbogus = 1\n")),
+               std::runtime_error);
+  EXPECT_THROW(plan_from_section(section_of(
+                   "[plan]\nstrategy = 1d\nn1 = 0\nnp = 1\nnd = 1\n"
+                   "microbatches = 1\nglobal_batch = 4\n")),
+               std::runtime_error);
+  EXPECT_THROW(load_plan_file("missing_plan.tfpe"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tfpe::io

@@ -1,0 +1,105 @@
+// Tests for the paper-style report panels and figure helpers.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "report/breakdown_report.hpp"
+#include "report/figure_data.hpp"
+
+namespace tfpe::report {
+namespace {
+
+core::EvalResult sample_result() {
+  parallel::ParallelConfig cfg;
+  cfg.strategy = parallel::TpStrategy::TP1D;
+  cfg.n1 = 8;
+  cfg.np = 64;
+  cfg.nd = 32;
+  cfg.microbatches = 128;
+  cfg.nvs1 = 8;
+  return core::evaluate(model::gpt3_1t(),
+                        hw::make_system(hw::GpuGeneration::B200, 8, 16384),
+                        cfg, 4096);
+}
+
+TEST(Panels, ConfigPanelShowsGridAndMemory) {
+  std::ostringstream os;
+  print_config_panel(os, {{"A", sample_result()}});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("1D TP"), std::string::npos);
+  EXPECT_NE(s.find("GB"), std::string::npos);
+  EXPECT_NE(s.find("(8,1,1,1)"), std::string::npos);
+}
+
+TEST(Panels, TimePanelPercentagesSumToHundred) {
+  std::ostringstream os;
+  const auto r = sample_result();
+  ASSERT_TRUE(r.feasible);
+  print_time_panel(os, {{"A", r}});
+  // Parse the data row and sum the percentage columns.
+  std::istringstream in(os.str());
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);  // rule
+  std::getline(in, line);  // row
+  std::istringstream row(line);
+  std::string label;
+  double sum = 0, v;
+  row >> label;
+  for (int i = 0; i < 7; ++i) {
+    row >> v;
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 100.0, 0.5);
+}
+
+TEST(Panels, InfeasibleRowsAnnotated) {
+  core::EvalResult bad;
+  bad.feasible = false;
+  bad.reason = "exceeds HBM capacity";
+  std::ostringstream os;
+  print_panels(os, "cap", {{"X", bad}});
+  EXPECT_NE(os.str().find("infeasible: exceeds HBM capacity"),
+            std::string::npos);
+}
+
+TEST(Csv, RoundTrips) {
+  const std::string path = "tfpe_test_report.csv";
+  write_results_csv(path, {{"A", sample_result()}});
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_NE(header.find("iter_s"), std::string::npos);
+  EXPECT_NE(row.find("1D TP"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FigureData, Pow2Range) {
+  EXPECT_EQ(pow2_range(128, 1024),
+            (std::vector<std::int64_t>{128, 256, 512, 1024}));
+  EXPECT_EQ(pow2_range(8, 8), (std::vector<std::int64_t>{8}));
+}
+
+TEST(FigureData, OptimalAtScaleRespectsGpuCount) {
+  const auto r = optimal_at_scale(
+      model::gpt3_175b(), hw::make_system(hw::GpuGeneration::B200, 8, 4096),
+      parallel::TpStrategy::TP1D, 512, 128);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.cfg.total_gpus(), 128);
+}
+
+TEST(FigureData, ScalingSweepLabels) {
+  const auto rows = scaling_sweep(
+      model::gpt3_175b(), hw::make_system(hw::GpuGeneration::B200, 8, 4096),
+      parallel::TpStrategy::TP1D, 512, {64, 128});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].label, "64 GPUs");
+  EXPECT_EQ(rows[1].label, "128 GPUs");
+}
+
+}  // namespace
+}  // namespace tfpe::report

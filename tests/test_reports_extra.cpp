@@ -1,0 +1,134 @@
+// Tests for the op-level roofline report, hardware sensitivities and the
+// Chrome-trace exporter.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "report/op_report.hpp"
+#include "report/sensitivity.hpp"
+#include "sim/trace_export.hpp"
+
+namespace tfpe {
+namespace {
+
+parallel::ParallelConfig fig1_optimum() {
+  parallel::ParallelConfig c;
+  c.strategy = parallel::TpStrategy::TP1D;
+  c.n1 = 8;
+  c.np = 64;
+  c.nd = 32;
+  c.microbatches = 128;
+  c.nvs1 = 8;
+  return c;
+}
+
+TEST(OpReport, ListsEveryOpWithBoundness) {
+  std::ostringstream os;
+  report::print_op_report(os, model::gpt3_1t(),
+                          hw::make_system(hw::GpuGeneration::B200, 8, 16384),
+                          fig1_optimum(), 4096);
+  const std::string s = os.str();
+  for (const char* op : {"ln1", "qkv_proj", "attention", "out_proj", "gelu",
+                         "mlp_fc1", "mlp_fc2"}) {
+    EXPECT_NE(s.find(op), std::string::npos) << op;
+  }
+  EXPECT_NE(s.find("compute"), std::string::npos);
+  EXPECT_NE(s.find("memory"), std::string::npos);
+  EXPECT_NE(s.find("block totals"), std::string::npos);
+}
+
+TEST(OpReport, RejectsInvalidConfig) {
+  std::ostringstream os;
+  auto cfg = fig1_optimum();
+  cfg.np = 96;
+  EXPECT_THROW(
+      report::print_op_report(os, model::gpt3_1t(),
+                              hw::make_system(hw::GpuGeneration::B200, 8, 16384),
+                              cfg, 4096),
+      std::invalid_argument);
+}
+
+TEST(Sensitivity, TensorFlopsDominateForGpt) {
+  // Paper Fig. A5a: FLOP rate is the primary factor for GPT3-1T.
+  const auto sens = report::hardware_sensitivities(
+      model::gpt3_175b(), hw::make_system(hw::GpuGeneration::B200, 8, 256),
+      parallel::TpStrategy::TP1D, 512);
+  double tensor = 0, hbm_bw = 0;
+  for (const auto& s : sens) {
+    if (s.parameter == "tensor_flops") tensor = s.elasticity;
+    if (s.parameter == "hbm_bandwidth") hbm_bw = s.elasticity;
+  }
+  EXPECT_LT(tensor, -0.4);           // strongly negative: faster cores help
+  EXPECT_GT(hbm_bw, tensor);         // memory bandwidth matters less
+  EXPECT_EQ(sens.size(), 6u);
+}
+
+TEST(Sensitivity, ElasticitiesAreNonPositive) {
+  // More of any resource never slows the optimum down.
+  const auto sens = report::hardware_sensitivities(
+      model::gpt3_175b(), hw::make_system(hw::GpuGeneration::A100, 4, 128),
+      parallel::TpStrategy::TP1D, 256);
+  for (const auto& s : sens) {
+    if (std::isnan(s.elasticity)) continue;
+    EXPECT_LE(s.elasticity, 1e-9) << s.parameter;
+  }
+}
+
+TEST(Sensitivity, RejectsBadStep) {
+  EXPECT_THROW(report::hardware_sensitivities(
+                   model::gpt3_175b(),
+                   hw::make_system(hw::GpuGeneration::B200, 8, 64),
+                   parallel::TpStrategy::TP1D, 64, 1.5),
+               std::invalid_argument);
+}
+
+TEST(ChromeTrace, EmitsOneEventPerTask) {
+  const auto trace = sim::simulate_pipeline({4, 8, 1.0, 2.0, 0.1});
+  ASSERT_EQ(trace.tasks.size(), 4u * 16u);
+  std::ostringstream os;
+  sim::write_chrome_trace(os, trace);
+  const std::string s = os.str();
+  // JSON array with one "ph": "X" event per task.
+  std::size_t events = 0, pos = 0;
+  while ((pos = s.find("\"ph\": \"X\"", pos)) != std::string::npos) {
+    ++events;
+    ++pos;
+  }
+  EXPECT_EQ(events, trace.tasks.size());
+  EXPECT_EQ(s.front(), '[');
+  EXPECT_NE(s.find("\"tid\": 3"), std::string::npos);  // last stage present
+  EXPECT_NE(s.find("\"name\": \"B7\""), std::string::npos);
+}
+
+TEST(ChromeTrace, TasksAreConsistentWithSchedule) {
+  const auto trace = sim::simulate_pipeline({2, 4, 1.0, 1.0, 0.0});
+  for (const auto& t : trace.tasks) {
+    EXPECT_GE(t.start, 0.0);
+    EXPECT_GT(t.end, t.start);
+    EXPECT_LE(t.end, trace.completion_time + 1e-12);
+  }
+  // Forward of microbatch 0 on stage 1 starts only after stage 0 finishes it.
+  double f0_s0_end = -1, f0_s1_start = -1;
+  for (const auto& t : trace.tasks) {
+    if (!t.backward && t.microbatch == 0 && t.stage == 0) f0_s0_end = t.end;
+    if (!t.backward && t.microbatch == 0 && t.stage == 1) f0_s1_start = t.start;
+  }
+  EXPECT_GE(f0_s1_start, f0_s0_end);
+}
+
+TEST(ChromeTrace, FileWriter) {
+  const auto trace = sim::simulate_pipeline({2, 2, 1.0, 1.0, 0.0});
+  const std::string path = "tfpe_trace_test.json";
+  sim::write_chrome_trace_file(path, trace);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+  EXPECT_THROW(sim::write_chrome_trace_file("/nonexistent/dir/x.json", trace),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tfpe

@@ -1,0 +1,101 @@
+// Tests for the ring-attention extension: P2P K/V circulation across n2,
+// overlapped with blockwise attention compute.
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "parallel/layer_builder.hpp"
+#include "search/search.hpp"
+
+namespace tfpe {
+namespace {
+
+using parallel::ParallelConfig;
+using parallel::TpStrategy;
+
+ParallelConfig vit_cfg(bool ring) {
+  ParallelConfig c;
+  c.strategy = TpStrategy::TP2D;
+  c.n1 = 2;
+  c.n2 = 8;
+  c.np = 2;
+  c.nd = 128;
+  c.microbatches = 32;
+  c.nvs1 = 2;
+  c.nvs2 = 4;
+  c.ring_attention = ring;
+  return c;
+}
+
+TEST(RingAttention, SameTotalVolumeDifferentExposure) {
+  const auto mdl = model::vit_64k();
+  const auto ag = parallel::build_layer(mdl, vit_cfg(false), 1);
+  const auto ring = parallel::build_layer(mdl, vit_cfg(true), 1);
+  // Ring moves (n2-1)/n2 of what the two AllGathers move in total.
+  const double ag_vol = ag.fwd_comm_bytes(ops::CommGroup::TP2);
+  const double ring_vol = ring.fwd_comm_bytes(ops::CommGroup::TP2);
+  EXPECT_NEAR(ring_vol, ag_vol * 7.0 / 8.0, 1e-6 * ag_vol);
+  // Attention FLOPs identical (full sequence still attended).
+  EXPECT_NEAR(ag.fwd_flops(), ring.fwd_flops(), 1e-9 * ag.fwd_flops());
+}
+
+TEST(RingAttention, AttentionOpGetsRingSteps) {
+  const auto ring = parallel::build_layer(model::vit_64k(), vit_cfg(true), 1);
+  for (const auto& op : ring.ops) {
+    if (op.name == "attention") {
+      EXPECT_EQ(op.summa_panels, 8);
+      ASSERT_EQ(op.fwd_comm.size(), 1u);
+      EXPECT_EQ(op.fwd_comm[0].collective, ops::Collective::PointToPoint);
+      return;
+    }
+  }
+  FAIL() << "attention op not found";
+}
+
+TEST(RingAttention, ReducesExposedTpCommForVit) {
+  // The ViT is TP-comm heavy (Fig. 4b); ring attention overlaps the K/V
+  // movement and must strictly reduce the exposed TP time.
+  const auto mdl = model::vit_64k();
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 4096);
+  const auto ag = core::evaluate(mdl, sys, vit_cfg(false), 4096);
+  const auto ring = core::evaluate(mdl, sys, vit_cfg(true), 4096);
+  ASSERT_TRUE(ag.feasible && ring.feasible);
+  EXPECT_LT(ring.time.tp_comm, ag.time.tp_comm);
+  EXPECT_LT(ring.iteration(), ag.iteration());
+}
+
+TEST(RingAttention, ValidationRules) {
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 4096);
+  ParallelConfig c = vit_cfg(true);
+  c.strategy = TpStrategy::TP1D;
+  c.n2 = 1;
+  c.n1 = 16;
+  EXPECT_EQ(*c.invalid_reason(model::vit_64k(), sys, 4096),
+            "ring attention requires n2 > 1");
+  c = vit_cfg(true);
+  EXPECT_EQ(*c.invalid_reason(model::vit_64k_linear(), sys, 4096),
+            "ring attention is incompatible with linear attention");
+}
+
+TEST(RingAttention, SearchExpansionNeverWorse) {
+  const auto mdl = model::vit_64k();
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 2048);
+  search::SearchOptions opts;
+  opts.strategy = TpStrategy::TP2D;
+  opts.global_batch = 4096;
+  const auto base = search::find_optimal(mdl, sys, opts);
+  opts.allow_ring_attention = true;
+  const auto with = search::find_optimal(mdl, sys, opts);
+  ASSERT_TRUE(base.best.feasible && with.best.feasible);
+  EXPECT_LE(with.best.iteration(), base.best.iteration() * (1 + 1e-12));
+  EXPECT_GT(with.evaluated, base.evaluated);
+  // For the comm-heavy ViT the optimum should actually use the ring.
+  EXPECT_TRUE(with.best.cfg.ring_attention);
+}
+
+TEST(RingAttention, DescribeMentionsIt) {
+  EXPECT_NE(vit_cfg(true).describe().find("ringattn"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tfpe

@@ -1,0 +1,210 @@
+// Tests for configuration enumeration and the brute-force search (S3).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "search/search.hpp"
+
+namespace tfpe::search {
+namespace {
+
+hw::SystemConfig b200(std::int64_t nvs, std::int64_t n) {
+  return hw::make_system(hw::GpuGeneration::B200, nvs, n);
+}
+
+TEST(Enumerate, AllConfigsSatisfyConstraints) {
+  const auto mdl = model::gpt3_1t();
+  const auto sys = b200(8, 512);
+  EnumerationOptions opts;
+  opts.strategy = parallel::TpStrategy::TP1D;
+  opts.global_batch = 4096;
+  const auto configs = enumerate_parallel(mdl, sys, opts);
+  EXPECT_FALSE(configs.empty());
+  for (const auto& c : configs) {
+    EXPECT_EQ(c.invalid_reason(mdl, sys, 4096), std::nullopt)
+        << c.describe();
+    EXPECT_EQ(c.total_gpus(), 512);
+    EXPECT_EQ(c.n2, 1);
+  }
+}
+
+TEST(Enumerate, CoversAllFactorizations) {
+  // 1D TP over 64 GPUs: every (nt, np, nd) triple with nt*np*nd = 64 whose
+  // divisibility holds must be present for every valid m.
+  const auto mdl = model::gpt3_1t();
+  const auto sys = b200(8, 64);
+  EnumerationOptions opts;
+  opts.strategy = parallel::TpStrategy::TP1D;
+  opts.global_batch = 64;
+  opts.fixed_m = 1;
+  const auto configs = enumerate_parallel(mdl, sys, opts);
+  std::set<std::tuple<std::int64_t, std::int64_t, std::int64_t>> seen;
+  for (const auto& c : configs) seen.insert({c.n1, c.np, c.nd});
+  // nt in {1..32} (64 does not divide heads=160), np in divisors of 64 that
+  // divide depth=128 (all of them), nd | 64.
+  std::size_t expected = 0;
+  for (std::int64_t nt : {1, 2, 4, 8, 16, 32}) {
+    for (std::int64_t np = 1; nt * np <= 64; np *= 2) {
+      const std::int64_t nd = 64 / (nt * np);
+      if (nt * np * nd == 64) ++expected;
+    }
+  }
+  EXPECT_EQ(seen.size(), expected);
+}
+
+TEST(Enumerate, FixedFactorsRespected) {
+  const auto mdl = model::gpt3_1t();
+  const auto sys = b200(8, 1024);
+  EnumerationOptions opts;
+  opts.strategy = parallel::TpStrategy::TP1D;
+  opts.global_batch = 4096;
+  opts.fixed_np = 16;
+  opts.fixed_local_microbatch = 1;
+  const auto configs = enumerate_parallel(mdl, sys, opts);
+  EXPECT_FALSE(configs.empty());
+  for (const auto& c : configs) {
+    EXPECT_EQ(c.np, 16);
+    EXPECT_EQ(c.local_microbatch(4096), 1);
+  }
+}
+
+TEST(Enumerate, SummaGeneratesPanelVariants) {
+  const auto mdl = model::gpt3_1t();
+  const auto sys = b200(8, 64);
+  EnumerationOptions opts;
+  opts.strategy = parallel::TpStrategy::Summa2D;
+  opts.global_batch = 64;
+  opts.fixed_n1 = 4;
+  opts.fixed_n2 = 4;
+  opts.fixed_np = 1;
+  opts.fixed_m = 1;
+  const auto configs = enumerate_parallel(mdl, sys, opts);
+  std::set<std::int64_t> nbs;
+  for (const auto& c : configs) nbs.insert(c.nb);
+  EXPECT_EQ(nbs, (std::set<std::int64_t>{1, 2, 4, 8, 16}));
+}
+
+TEST(Enumerate, NonSummaHasSinglePanel) {
+  const auto mdl = model::gpt3_1t();
+  EnumerationOptions opts;
+  opts.strategy = parallel::TpStrategy::TP2D;
+  opts.global_batch = 64;
+  const auto configs = enumerate_parallel(mdl, b200(8, 64), opts);
+  for (const auto& c : configs) EXPECT_EQ(c.nb, 1);
+}
+
+TEST(Placements, AllValidAndNonDominated) {
+  parallel::ParallelConfig c;
+  c.n1 = 8;
+  c.n2 = 1;
+  c.np = 16;
+  c.nd = 4;
+  const auto pls = enumerate_placements(c, 8);
+  EXPECT_FALSE(pls.empty());
+  for (const auto& p : pls) {
+    EXPECT_EQ(c.n1 % p[0], 0);
+    EXPECT_EQ(c.n2 % p[1], 0);
+    EXPECT_EQ(c.np % p[2], 0);
+    EXPECT_EQ(c.nd % p[3], 0);
+    EXPECT_LE(p[0] * p[1] * p[2] * p[3], 8);
+  }
+  // Dominated check: no pair where one placement >= the other everywhere.
+  for (const auto& a : pls) {
+    for (const auto& b : pls) {
+      if (&a == &b) continue;
+      const bool dominates = a[0] >= b[0] && a[1] >= b[1] && a[2] >= b[2] &&
+                             a[3] >= b[3] &&
+                             (a[0] > b[0] || a[1] > b[1] || a[2] > b[2] ||
+                              a[3] > b[3]);
+      EXPECT_FALSE(dominates);
+    }
+  }
+}
+
+TEST(Placements, FullTpPackingAvailable) {
+  parallel::ParallelConfig c;
+  c.n1 = 8;
+  c.np = 64;
+  c.nd = 32;
+  const auto pls = enumerate_placements(c, 8);
+  bool has_full_tp = false;
+  for (const auto& p : pls) {
+    if (p[0] == 8) has_full_tp = true;
+  }
+  EXPECT_TRUE(has_full_tp);
+}
+
+TEST(FindOptimal, BeatsEveryManualConfig) {
+  const auto mdl = model::gpt3_175b();
+  const auto sys = b200(8, 64);
+  SearchOptions opts;
+  opts.strategy = parallel::TpStrategy::TP1D;
+  opts.global_batch = 256;
+  const SearchResult res = find_optimal(mdl, sys, opts);
+  ASSERT_TRUE(res.best.feasible);
+  EXPECT_GT(res.evaluated, 0u);
+  EXPECT_GT(res.feasible, 0u);
+  // Spot-check against a handful of manual configurations.
+  for (std::int64_t nt : {1, 2, 4, 8}) {
+    for (std::int64_t np : {1, 2, 4, 8}) {
+      parallel::ParallelConfig c;
+      c.strategy = parallel::TpStrategy::TP1D;
+      c.n1 = nt;
+      c.np = np;
+      c.nd = 64 / (nt * np);
+      c.microbatches = 256 / c.nd;
+      const auto r = best_placement(mdl, sys, c, 256);
+      if (r.feasible) {
+        EXPECT_LE(res.best.iteration(), r.iteration() * (1 + 1e-12))
+            << c.describe();
+      }
+    }
+  }
+}
+
+TEST(FindOptimal, DeterministicAcrossThreadCounts) {
+  const auto mdl = model::gpt3_175b();
+  const auto sys = b200(8, 128);
+  SearchOptions opts;
+  opts.strategy = parallel::TpStrategy::TP1D;
+  opts.global_batch = 512;
+  opts.threads = 1;
+  const SearchResult a = find_optimal(mdl, sys, opts);
+  opts.threads = 8;
+  const SearchResult b = find_optimal(mdl, sys, opts);
+  ASSERT_TRUE(a.best.feasible && b.best.feasible);
+  EXPECT_DOUBLE_EQ(a.best.iteration(), b.best.iteration());
+  EXPECT_EQ(a.best.cfg.describe(), b.best.cfg.describe());
+  EXPECT_EQ(a.evaluated, b.evaluated);
+}
+
+TEST(FindOptimal, GreedyPlacementFallback) {
+  const auto mdl = model::gpt3_175b();
+  const auto sys = b200(8, 64);
+  SearchOptions opts;
+  opts.strategy = parallel::TpStrategy::TP1D;
+  opts.global_batch = 256;
+  opts.search_placement = false;
+  const SearchResult res = find_optimal(mdl, sys, opts);
+  ASSERT_TRUE(res.best.feasible);
+  // With placement search the result can only improve.
+  opts.search_placement = true;
+  const SearchResult full = find_optimal(mdl, sys, opts);
+  EXPECT_LE(full.best.iteration(), res.best.iteration() * (1 + 1e-12));
+}
+
+TEST(FindOptimal, ReportsInfeasibleWhenNothingFits) {
+  // 1D TP cannot fit the ViT-64K on a single A100 node.
+  const auto mdl = model::vit_64k();
+  const auto sys = hw::make_system(hw::GpuGeneration::A100, 4, 4);
+  SearchOptions opts;
+  opts.strategy = parallel::TpStrategy::TP1D;
+  opts.global_batch = 4096;
+  const SearchResult res = find_optimal(mdl, sys, opts);
+  EXPECT_FALSE(res.best.feasible);
+  EXPECT_FALSE(res.best.reason.empty());
+}
+
+}  // namespace
+}  // namespace tfpe::search

@@ -1,0 +1,96 @@
+// Tests for the extension-aware search: interleave/ZeRO-3 candidate axes,
+// eval-option passthrough and top-k result collection.
+
+#include <gtest/gtest.h>
+
+#include "search/search.hpp"
+
+namespace tfpe::search {
+namespace {
+
+hw::SystemConfig b200(std::int64_t n) {
+  return hw::make_system(hw::GpuGeneration::B200, 8, n);
+}
+
+SearchOptions base_opts() {
+  SearchOptions opts;
+  opts.strategy = parallel::TpStrategy::TP1D;
+  opts.global_batch = 4096;
+  return opts;
+}
+
+TEST(TopK, ReturnsSortedDistinctConfigs) {
+  SearchOptions opts = base_opts();
+  opts.top_k = 5;
+  const auto r = find_optimal(model::gpt3_1t(), b200(1024), opts);
+  ASSERT_TRUE(r.best.feasible);
+  ASSERT_EQ(r.top.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.top[0].iteration(), r.best.iteration());
+  for (std::size_t i = 1; i < r.top.size(); ++i) {
+    EXPECT_GE(r.top[i].iteration(), r.top[i - 1].iteration());
+    EXPECT_NE(r.top[i].cfg.describe(), r.top[i - 1].cfg.describe());
+  }
+}
+
+TEST(TopK, EmptyWhenNotRequested) {
+  const auto r = find_optimal(model::gpt3_1t(), b200(1024), base_opts());
+  EXPECT_TRUE(r.top.empty());
+}
+
+TEST(InterleaveSearch, NeverWorseThanBaseline) {
+  SearchOptions opts = base_opts();
+  const auto base = find_optimal(model::gpt3_1t(), b200(16384), opts);
+  opts.interleave_candidates = {1, 2, 4};
+  const auto inter = find_optimal(model::gpt3_1t(), b200(16384), opts);
+  ASSERT_TRUE(base.best.feasible && inter.best.feasible);
+  EXPECT_LE(inter.best.iteration(), base.best.iteration() * (1 + 1e-12));
+  EXPECT_GT(inter.evaluated, base.evaluated);
+}
+
+TEST(InterleaveSearch, PicksInterleavingAtBubbleBoundScale) {
+  // At 16K GPUs bubbles are ~30% of the iteration (Fig. 4a), so the search
+  // should use virtual chunks when offered.
+  SearchOptions opts = base_opts();
+  opts.interleave_candidates = {1, 2, 4, 8};
+  const auto r = find_optimal(model::gpt3_1t(), b200(16384), opts);
+  ASSERT_TRUE(r.best.feasible);
+  EXPECT_GT(r.best.cfg.interleave, 1);
+}
+
+TEST(Zero3Search, ExpandsTheSpace) {
+  SearchOptions opts = base_opts();
+  const auto base = find_optimal(model::gpt3_1t(), b200(512), opts);
+  opts.allow_zero3 = true;
+  const auto z = find_optimal(model::gpt3_1t(), b200(512), opts);
+  ASSERT_TRUE(base.best.feasible && z.best.feasible);
+  EXPECT_LE(z.best.iteration(), base.best.iteration() * (1 + 1e-12));
+  EXPECT_GT(z.evaluated, base.evaluated);
+}
+
+TEST(EvalOptionsPassthrough, OverlapSpeedsUpOptimum) {
+  SearchOptions opts = base_opts();
+  const auto base = find_optimal(model::gpt3_1t(), b200(4096), opts);
+  opts.eval.tp_overlap = 0.8;
+  const auto fast = find_optimal(model::gpt3_1t(), b200(4096), opts);
+  ASSERT_TRUE(base.best.feasible && fast.best.feasible);
+  EXPECT_LT(fast.best.iteration(), base.best.iteration());
+}
+
+TEST(BestPlacement, AcceptsEvalOptions) {
+  parallel::ParallelConfig cfg;
+  cfg.strategy = parallel::TpStrategy::TP1D;
+  cfg.n1 = 8;
+  cfg.np = 64;
+  cfg.nd = 32;
+  cfg.microbatches = 128;
+  core::EvalOptions eval;
+  eval.tp_overlap = 0.5;
+  const auto plain = best_placement(model::gpt3_1t(), b200(16384), cfg, 4096);
+  const auto overlapped =
+      best_placement(model::gpt3_1t(), b200(16384), cfg, 4096, eval);
+  ASSERT_TRUE(plain.feasible && overlapped.feasible);
+  EXPECT_LT(overlapped.iteration(), plain.iteration());
+}
+
+}  // namespace
+}  // namespace tfpe::search

@@ -1,0 +1,140 @@
+// Parameterized cross-strategy property suite: invariants that must hold for
+// every TP strategy and grid shape (FLOP conservation, memory monotonicity,
+// evaluator consistency).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/evaluator.hpp"
+#include "parallel/layer_builder.hpp"
+
+namespace tfpe {
+namespace {
+
+using parallel::ParallelConfig;
+using parallel::TpStrategy;
+
+model::TransformerConfig test_model() {
+  model::TransformerConfig m{"tm", 1024, 512, 16, 8, 2048};
+  m.validate();
+  return m;
+}
+
+using Param = std::tuple<TpStrategy, std::int64_t, std::int64_t>;  // strat,n1,n2
+
+class StrategyProperty : public ::testing::TestWithParam<Param> {
+ protected:
+  ParallelConfig make_cfg(std::int64_t np = 1, std::int64_t nd = 1,
+                          std::int64_t m = 1) const {
+    const auto [strat, n1, n2] = GetParam();
+    ParallelConfig c;
+    c.strategy = strat;
+    c.n1 = n1;
+    c.n2 = n2;
+    c.np = np;
+    c.nd = nd;
+    c.microbatches = m;
+    return c;
+  }
+};
+
+TEST_P(StrategyProperty, FlopsConservedVsSingleGpu) {
+  const auto mdl = test_model();
+  const ParallelConfig cfg = make_cfg();
+  ParallelConfig ref = cfg;
+  ref.n1 = ref.n2 = 1;
+  const auto sharded = parallel::build_layer(mdl, cfg, 2);
+  const auto single = parallel::build_layer(mdl, ref, 2);
+  const double p = static_cast<double>(cfg.tp());
+  EXPECT_NEAR(single.fwd_flops(), p * sharded.fwd_flops(),
+              0.03 * single.fwd_flops());
+  EXPECT_NEAR(single.bwd_flops(), p * sharded.bwd_flops(),
+              0.03 * single.bwd_flops());
+}
+
+TEST_P(StrategyProperty, StoredActivationsShrinkWithTp) {
+  const auto mdl = test_model();
+  const ParallelConfig cfg = make_cfg();
+  ParallelConfig ref = cfg;
+  ref.n1 = ref.n2 = 1;
+  if (cfg.tp() == 1) GTEST_SKIP();
+  EXPECT_LT(parallel::build_layer(mdl, cfg, 2).stored_bytes(),
+            parallel::build_layer(mdl, ref, 2).stored_bytes());
+}
+
+TEST_P(StrategyProperty, WeightShardsNeverExceedFullWeights) {
+  const auto mdl = test_model();
+  const auto layer = parallel::build_layer(mdl, make_cfg(), 1);
+  EXPECT_LE(layer.weight_params,
+            static_cast<double>(mdl.params_per_layer()) + 1.0);
+  EXPECT_GT(layer.weight_params, 0.0);
+}
+
+TEST_P(StrategyProperty, CostsScaleLinearlyWithMicrobatch) {
+  const auto mdl = test_model();
+  const ParallelConfig cfg = make_cfg();
+  const auto b1 = parallel::build_layer(mdl, cfg, 1);
+  const auto b4 = parallel::build_layer(mdl, cfg, 4);
+  EXPECT_NEAR(b4.fwd_flops(), 4.0 * b1.fwd_flops(), 0.01 * b4.fwd_flops());
+  EXPECT_NEAR(b4.stored_bytes(), 4.0 * b1.stored_bytes(),
+              0.01 * b4.stored_bytes());
+  EXPECT_DOUBLE_EQ(b4.pp_boundary_bytes, 4.0 * b1.pp_boundary_bytes);
+  // Weights are microbatch-independent.
+  EXPECT_DOUBLE_EQ(b4.weight_params, b1.weight_params);
+}
+
+TEST_P(StrategyProperty, EvaluatorProducesConsistentBreakdown) {
+  const auto mdl = test_model();
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8,
+                                   make_cfg(2, 2, 4).total_gpus() * 4);
+  const ParallelConfig cfg = make_cfg(2, 2, 4);
+  const core::EvalResult r = core::evaluate(mdl, sys, cfg, 64);
+  ASSERT_TRUE(r.feasible) << r.reason;
+  EXPECT_GT(r.time.compute + r.time.memory, 0.0);
+  EXPECT_GE(r.time.tp_comm, 0.0);
+  EXPECT_GT(r.time.bubble, 0.0);  // np == 2
+  EXPECT_NEAR(r.iteration(),
+              r.time.compute + r.time.memory + r.time.tp_comm + r.time.pp_comm +
+                  r.time.dp_comm + r.time.bubble + r.time.optimizer,
+              1e-12);
+  EXPECT_GT(r.mem.total(), 0.0);
+}
+
+TEST_P(StrategyProperty, MoreMicrobatchesReduceBubbleFraction) {
+  const auto mdl = test_model();
+  const ParallelConfig few = make_cfg(4, 1, 2);
+  const ParallelConfig many = make_cfg(4, 1, 16);
+  const auto sys =
+      hw::make_system(hw::GpuGeneration::B200, 8, few.total_gpus());
+  const auto a = core::evaluate(mdl, sys, few, 32);
+  const auto b = core::evaluate(mdl, sys, many, 32);
+  ASSERT_TRUE(a.feasible && b.feasible) << a.reason << "/" << b.reason;
+  EXPECT_GT(a.time.bubble / a.iteration(), b.time.bubble / b.iteration());
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  const TpStrategy strat = std::get<0>(info.param);
+  const std::string s = strat == TpStrategy::TP1D   ? "TP1D"
+                        : strat == TpStrategy::TP2D ? "TP2D"
+                                                    : "SUMMA";
+  return s + "_n1_" + std::to_string(std::get<1>(info.param)) + "_n2_" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, StrategyProperty,
+    ::testing::Values(Param{TpStrategy::TP1D, 1, 1},
+                      Param{TpStrategy::TP1D, 2, 1},
+                      Param{TpStrategy::TP1D, 8, 1},
+                      Param{TpStrategy::TP2D, 2, 2},
+                      Param{TpStrategy::TP2D, 4, 2},
+                      Param{TpStrategy::TP2D, 2, 4},
+                      Param{TpStrategy::TP2D, 1, 4},
+                      Param{TpStrategy::Summa2D, 2, 2},
+                      Param{TpStrategy::Summa2D, 4, 2},
+                      Param{TpStrategy::Summa2D, 2, 4}),
+    param_name);
+
+}  // namespace
+}  // namespace tfpe

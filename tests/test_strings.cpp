@@ -1,0 +1,38 @@
+// Tests for the string-list helpers used by the tools.
+
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace tfpe::util {
+namespace {
+
+TEST(SplitList, Basic) {
+  EXPECT_EQ(split_list("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitList, TrimsAndDropsEmpties) {
+  EXPECT_EQ(split_list(" a , b ,, c ,"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_list(""), (std::vector<std::string>{}));
+  EXPECT_EQ(split_list(" , ,"), (std::vector<std::string>{}));
+}
+
+TEST(SplitList, SingleElement) {
+  EXPECT_EQ(split_list("gpt3-1t"), (std::vector<std::string>{"gpt3-1t"}));
+}
+
+TEST(SplitList, CustomSeparator) {
+  EXPECT_EQ(split_list("a|b|c", '|'), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> v{"x", "y", "z"};
+  EXPECT_EQ(join(v, ","), "x,y,z");
+  EXPECT_EQ(split_list(join(v, ",")), v);
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+}  // namespace
+}  // namespace tfpe::util

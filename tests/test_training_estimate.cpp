@@ -1,0 +1,62 @@
+// Tests for the days-to-train estimates (Fig. 5 inputs).
+
+#include <gtest/gtest.h>
+
+#include "core/training_estimate.hpp"
+
+namespace tfpe::core {
+namespace {
+
+TEST(TokenTraining, StepArithmetic) {
+  const auto mdl = model::gpt3_1t();
+  // 1T tokens / (4096 * 2048 tokens per step) = 119209.3 steps.
+  const TrainingEstimate est =
+      estimate_token_training(mdl, 4096, 2.0, kGpt3PretrainTokens);
+  EXPECT_NEAR(est.steps, 1e12 / (4096.0 * 2048.0), 1.0);
+  EXPECT_DOUBLE_EQ(est.total_seconds, est.steps * 2.0);
+  EXPECT_NEAR(est.days, est.total_seconds / 86400.0, 1e-9);
+}
+
+TEST(SampleTraining, StepArithmetic) {
+  const TrainingEstimate est =
+      estimate_sample_training(4096, 1.5, kEra5TrainingSamples);
+  EXPECT_NEAR(est.steps, 40.0 * 365 * 24 * 80 / 4096.0, 1e-6);
+  EXPECT_DOUBLE_EQ(est.step_time, 1.5);
+}
+
+TEST(Budgets, MatchPaperNumbers) {
+  EXPECT_DOUBLE_EQ(kGpt3PretrainTokens, 1e12);
+  EXPECT_NEAR(kEra5TrainingSamples, 2.8e7, 0.3e6);
+}
+
+TEST(Cost, ArithmeticAndPue) {
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 1024);
+  // 1024 GPUs x 1 kW x PUE 1.3 for one hour = 1.33 MWh, 1024 GPU-hours.
+  const CostEstimate c = estimate_cost(sys, 1024, 3600.0, 1.3, 5.0);
+  EXPECT_DOUBLE_EQ(c.gpu_hours, 1024.0);
+  EXPECT_NEAR(c.energy_mwh, 1.3312, 1e-9);
+  EXPECT_DOUBLE_EQ(c.cost_usd, 5120.0);
+}
+
+TEST(Cost, ZeroRateSkipsDollars) {
+  const auto sys = hw::make_system(hw::GpuGeneration::A100, 8, 16);
+  const CostEstimate c = estimate_cost(sys, 16, 7200.0);
+  EXPECT_DOUBLE_EQ(c.cost_usd, 0.0);
+  EXPECT_GT(c.energy_mwh, 0.0);
+}
+
+TEST(Cost, TdpPresetsOrdered) {
+  EXPECT_DOUBLE_EQ(hw::a100().tdp_watts, 400.0);
+  EXPECT_DOUBLE_EQ(hw::h200().tdp_watts, 700.0);
+  EXPECT_DOUBLE_EQ(hw::b200().tdp_watts, 1000.0);
+}
+
+TEST(TokenTraining, ScalesInverselyWithIterationTime) {
+  const auto mdl = model::gpt3_1t();
+  const auto slow = estimate_token_training(mdl, 4096, 4.0, 1e12);
+  const auto fast = estimate_token_training(mdl, 4096, 1.0, 1e12);
+  EXPECT_DOUBLE_EQ(slow.days, 4.0 * fast.days);
+}
+
+}  // namespace
+}  // namespace tfpe::core

@@ -1,0 +1,131 @@
+// Unit tests for formatting, tables, CSV, thread pool and ASCII plots.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace tfpe::util {
+namespace {
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(2e3), "2.00 KB");
+  EXPECT_EQ(format_bytes(80e9), "80.00 GB");
+  EXPECT_EQ(format_bytes(1.5e12), "1.50 TB");
+}
+
+TEST(Units, FormatTime) {
+  EXPECT_EQ(format_time(5e-7), "500.00 ns");
+  EXPECT_EQ(format_time(2.5e-5), "25.00 us");
+  EXPECT_EQ(format_time(0.004), "4.00 ms");
+  EXPECT_EQ(format_time(12.0), "12.00 s");
+  EXPECT_EQ(format_time(7200.0), "2.00 hr");
+  EXPECT_EQ(format_time(3.0 * kSecondsPerDay), "3.00 days");
+}
+
+TEST(Units, FormatFlopsAndBandwidth) {
+  EXPECT_EQ(format_flops(312e12), "312.00 TFLOP");
+  EXPECT_EQ(format_bandwidth(900e9), "900.00 GB/s");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.set_header({"a", "long_column"});
+  t.add_row({"xx", "1"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("a   long_column"), std::string::npos);
+  EXPECT_NE(s.find("xx  1"), std::string::npos);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(CsvWriter, EscapesAndRoundTrips) {
+  const std::string path = "tfpe_test_csv.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_header({"x", "note"});
+    csv.write_row(std::vector<std::string>{"1", "has,comma"});
+    csv.write_row(std::vector<double>{2.5, 3.0});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,note");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"has,comma\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2.5,3");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsArityMismatch) {
+  const std::string path = "tfpe_test_csv2.csv";
+  CsvWriter csv(path);
+  csv.write_header({"a", "b"});
+  EXPECT_THROW(csv.write_row(std::vector<std::string>{"1"}),
+               std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for_index(pool, hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for_index(pool, 0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(AsciiHeatmap, RendersAndScales) {
+  std::ostringstream os;
+  ascii_heatmap(os, {{1.0, 10.0}, {100.0, 1000.0}}, {"r0", "r1"}, {"c0", "c1"});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("scale:"), std::string::npos);
+  EXPECT_NE(s.find('@'), std::string::npos);  // max glyph present
+}
+
+TEST(AsciiHeatmap, HandlesNaN) {
+  std::ostringstream os;
+  ascii_heatmap(os, {{std::nan(""), 2.0}}, {}, {});
+  EXPECT_NE(os.str().find('.'), std::string::npos);
+}
+
+TEST(AsciiChart, RendersSeries) {
+  std::ostringstream os;
+  ascii_chart(os, {{"a", {1, 10, 100}, {1, 2, 4}}});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("'o' = a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tfpe::util

@@ -1,0 +1,86 @@
+// Tests for the model-vs-simulation validation layer (the repo's substitute
+// for the paper's Perlmutter empirical validation).
+
+#include <gtest/gtest.h>
+
+#include "sim/validation.hpp"
+
+namespace tfpe::sim {
+namespace {
+
+TEST(ValidateCollective, SmallErrorInBandwidthRegime) {
+  const auto net = hw::network_preset(hw::GpuGeneration::A100);
+  const ValidationPoint p = validate_collective(
+      net, ops::Collective::AllGather, 8e9, 32, 4, "AG 8GB 32 GPUs");
+  EXPECT_LT(p.abs_pct_error(), 20.0);
+  EXPECT_EQ(p.label, "AG 8GB 32 GPUs");
+}
+
+TEST(ValidateIteration, Gpt175bWithinPaperErrorBand) {
+  // Paper: the 512-GPU GPT3-175B validation configs show 4-15% error.
+  const auto mdl = model::gpt3_175b();
+  const auto sys = hw::perlmutter(512);
+  parallel::ParallelConfig cfg;
+  cfg.strategy = parallel::TpStrategy::TP1D;
+  cfg.n1 = 4;
+  cfg.np = 16;
+  cfg.nd = 8;
+  cfg.microbatches = 128;  // b=1024, nd=8 -> local batch 128, b_loc=1
+  cfg.nvs1 = 4;
+  const ValidationPoint p = validate_iteration(mdl, sys, cfg, 1024, "opt");
+  EXPECT_GT(p.analytic_seconds, 0.0);
+  EXPECT_GT(p.simulated_seconds, 0.0);
+  EXPECT_LT(p.abs_pct_error(), 30.0);
+}
+
+TEST(ValidateIteration, OrderingConsistentAcrossConfigs) {
+  // The paper checks that larger observed times correspond to larger
+  // predicted times across sub-optimal configurations.
+  const auto mdl = model::gpt3_175b();
+  const auto sys = hw::perlmutter(512);
+  struct Cfg {
+    std::int64_t nt, np, nd;
+  };
+  std::vector<double> analytic, simulated;
+  for (const Cfg& c : {Cfg{4, 16, 8}, Cfg{8, 8, 8}, Cfg{2, 32, 8}, Cfg{4, 8, 16}}) {
+    parallel::ParallelConfig cfg;
+    cfg.strategy = parallel::TpStrategy::TP1D;
+    cfg.n1 = c.nt;
+    cfg.np = c.np;
+    cfg.nd = c.nd;
+    cfg.microbatches = 1024 / c.nd;
+    cfg.nvs1 = std::min<std::int64_t>(4, c.nt);
+    const ValidationPoint p = validate_iteration(mdl, sys, cfg, 1024, "cfg");
+    analytic.push_back(p.analytic_seconds);
+    simulated.push_back(p.simulated_seconds);
+  }
+  // Kendall-style concordance: every pair ordered the same way.
+  for (std::size_t i = 0; i < analytic.size(); ++i) {
+    for (std::size_t j = i + 1; j < analytic.size(); ++j) {
+      EXPECT_GT((analytic[i] - analytic[j]) * (simulated[i] - simulated[j]),
+                0.0)
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(ValidateIteration, ThrowsOnInfeasibleConfig) {
+  const auto mdl = model::gpt3_1t();
+  const auto sys = hw::perlmutter(4);
+  parallel::ParallelConfig cfg;  // 1 GPU, everything unsharded: overflows
+  cfg.microbatches = 1;
+  EXPECT_THROW(validate_iteration(mdl, sys, cfg, 4096, "x"),
+               std::invalid_argument);
+}
+
+TEST(ValidationPoint, PctError) {
+  ValidationPoint p{"x", 1.1, 1.0};
+  EXPECT_NEAR(p.pct_error(), 10.0, 1e-9);
+  EXPECT_NEAR(p.abs_pct_error(), 10.0, 1e-9);
+  p.analytic_seconds = 0.9;
+  EXPECT_NEAR(p.pct_error(), -10.0, 1e-9);
+  EXPECT_NEAR(p.abs_pct_error(), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tfpe::sim

@@ -1,0 +1,86 @@
+// Tests for the vocabulary/embedding-head extension.
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "search/search.hpp"
+
+namespace tfpe {
+namespace {
+
+using parallel::ParallelConfig;
+using parallel::TpStrategy;
+
+model::TransformerConfig gpt_with_vocab(std::int64_t vocab) {
+  auto m = model::gpt3_175b();
+  m.vocab = vocab;
+  return m;
+}
+
+ParallelConfig cfg_1d(std::int64_t nt, std::int64_t np, std::int64_t nd,
+                      std::int64_t m) {
+  ParallelConfig c;
+  c.strategy = TpStrategy::TP1D;
+  c.n1 = nt;
+  c.np = np;
+  c.nd = nd;
+  c.microbatches = m;
+  c.nvs1 = std::min<std::int64_t>(8, nt);
+  return c;
+}
+
+TEST(Vocab, ZeroMatchesPaperBaseline) {
+  // vocab = 0 must reproduce the block-level model exactly.
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 512);
+  const auto base =
+      core::evaluate(model::gpt3_175b(), sys, cfg_1d(8, 8, 8, 64), 1024);
+  const auto zero =
+      core::evaluate(gpt_with_vocab(0), sys, cfg_1d(8, 8, 8, 64), 1024);
+  ASSERT_TRUE(base.feasible && zero.feasible);
+  EXPECT_DOUBLE_EQ(base.iteration(), zero.iteration());
+  EXPECT_DOUBLE_EQ(base.mem.total(), zero.mem.total());
+}
+
+TEST(Vocab, AddsTiedEmbeddingParams) {
+  const auto m = gpt_with_vocab(51200);
+  EXPECT_EQ(m.total_params(),
+            model::gpt3_175b().total_params() + 51200 * m.embed);
+}
+
+TEST(Vocab, HeadCostsShowUpInTimeAndMemory) {
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 512);
+  const auto cfg = cfg_1d(8, 8, 8, 64);
+  const auto base = core::evaluate(gpt_with_vocab(0), sys, cfg, 1024);
+  const auto with = core::evaluate(gpt_with_vocab(51200), sys, cfg, 1024);
+  ASSERT_TRUE(base.feasible && with.feasible);
+  EXPECT_GT(with.iteration(), base.iteration());
+  EXPECT_GT(with.t_fwd_micro, base.t_fwd_micro);
+  EXPECT_GT(with.mem.weights, base.mem.weights);
+  // The head matmul is a small fraction of 96 transformer layers.
+  EXPECT_LT(with.iteration(), 1.10 * base.iteration());
+}
+
+TEST(Vocab, HeadShardedOverTp) {
+  // More TP shards the head: the vocab overhead shrinks with n1.
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 512);
+  const auto over = [&](std::int64_t nt) {
+    // Same DP (so the same microbatch size); PP absorbs the grid change.
+    const auto cfg = cfg_1d(nt, 64 / nt, 8, 16);
+    const auto base = core::evaluate(gpt_with_vocab(0), sys, cfg, 1024);
+    const auto with = core::evaluate(gpt_with_vocab(51200), sys, cfg, 1024);
+    return with.t_fwd_micro - base.t_fwd_micro;
+  };
+  EXPECT_GT(over(2), over(8));
+}
+
+TEST(Vocab, SearchStillWorks) {
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 256);
+  search::SearchOptions opts;
+  opts.strategy = TpStrategy::TP1D;
+  opts.global_batch = 512;
+  const auto r = search::find_optimal(gpt_with_vocab(51200), sys, opts);
+  ASSERT_TRUE(r.best.feasible) << r.best.reason;
+}
+
+}  // namespace
+}  // namespace tfpe

@@ -1,0 +1,274 @@
+// tfpe — command-line front end to the performance model.
+//
+// Examples:
+//   tfpe --model gpt3-1t --gpu b200 --gpus 16384 --nvs 8 --batch 4096
+//   tfpe --model vit-64k --gpu a100 --gpus 4096 --strategy 2d --top 5
+//   tfpe --model llama3-405b --gpu b200 --gpus 2048 --strategy summa
+//        --interleave --zero3 --csv out.csv --ops --sensitivity
+//   tfpe --model custom --l 4096 --e 8192 --heads 64 --depth 32
+//        --gpu h200 --gpus 512
+//
+// Prints the optimal configuration panel, optionally the top-k list, the
+// per-op roofline report, hardware elasticities, and a CSV mirror.
+
+#include <iostream>
+
+#include "core/training_estimate.hpp"
+#include "io/config_file.hpp"
+#include "io/plan_io.hpp"
+#include "report/breakdown_report.hpp"
+#include "report/markdown_report.hpp"
+#include "report/op_report.hpp"
+#include "report/sensitivity.hpp"
+#include "search/search.hpp"
+#include "util/args.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace tfpe;
+
+int usage(const char* msg) {
+  if (msg) std::cerr << "error: " << msg << "\n\n";
+  std::cerr <<
+      "usage: tfpe --model NAME --gpu {a100|h200|b200} --gpus N [options]\n"
+      "\n"
+      "model selection:\n"
+      "  --model NAME        one of:";
+  for (const auto& n : model::preset_names()) std::cerr << " " << n;
+  std::cerr <<
+      " | custom\n"
+      "  --l --e --heads --depth [--hidden --kv-heads --window]   (custom)\n"
+      "  --config PATH       load [model] and/or [system] from a file\n"
+      "\n"
+      "system:\n"
+      "  --gpu GEN           GPU generation preset (default b200)\n"
+      "  --gpus N            total GPUs (default 1024)\n"
+      "  --nvs N             fast-domain size (default 8)\n"
+      "\n"
+      "search:\n"
+      "  --strategy S        1d | 2d | summa | all (default 1d)\n"
+      "  --batch B           global batch (default 4096)\n"
+      "  --top K             also print the K best configurations\n"
+      "  --interleave        allow interleaved pipeline schedules\n"
+      "  --zero3             allow ZeRO-3 weight sharding\n"
+      "  --tp-overlap F      hide fraction F of TP communication\n"
+      "  --offload F         offload fraction F of activations to host\n"
+      "  --recompute         full activation checkpointing\n"
+      "  --plan PATH         evaluate a saved plan instead of searching\n"
+      "  --save-plan PATH    write the best configuration as a plan file\n"
+      "\n"
+      "output:\n"
+      "  --rate USD          $/GPU-hour for cost estimates (with --tokens/--samples)\n"
+      "  --tokens T          report days to train on T tokens\n"
+      "  --samples S         report days to train on S samples\n"
+      "  --ops               per-op roofline report for the optimum\n"
+      "  --sensitivity       hardware elasticities (re-searches 12 designs)\n"
+      "  --csv PATH          write results as CSV\n"
+      "  --markdown PATH     write a Markdown report\n";
+  return msg ? 2 : 0;
+}
+
+std::optional<hw::GpuGeneration> gen_by_name(const std::string& s) {
+  if (s == "a100") return hw::GpuGeneration::A100;
+  if (s == "h200") return hw::GpuGeneration::H200;
+  if (s == "b200") return hw::GpuGeneration::B200;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  if (args.has("help")) return usage(nullptr);
+
+  // --- config file (flags still override the GPU-count style fields) ---
+  io::LoadedConfig file_cfg;
+  if (const auto path = args.get("config")) {
+    try {
+      file_cfg = io::load_config_file(*path);
+    } catch (const std::exception& e) {
+      return usage(e.what());
+    }
+  }
+
+  // --- model ---
+  const std::string model_name =
+      args.get_or("model", file_cfg.model ? "from-config" : "gpt3-1t");
+  model::TransformerConfig mdl;
+  if (model_name == "from-config") {
+    mdl = *file_cfg.model;
+  } else if (model_name == "custom") {
+    mdl.name = "custom";
+    mdl.seq_len = args.get_int_or("l", 0);
+    mdl.embed = args.get_int_or("e", 0);
+    mdl.heads = args.get_int_or("heads", 0);
+    mdl.depth = args.get_int_or("depth", 0);
+    mdl.hidden = args.get_int_or("hidden", 4 * mdl.embed);
+    mdl.kv_heads = args.get_int_or("kv-heads", 0);
+    if (args.has("window")) {
+      mdl.attention = model::AttentionKind::kWindowed;
+      mdl.window = args.get_int_or("window", 0);
+    }
+    try {
+      mdl.validate();
+    } catch (const std::exception& e) {
+      return usage(e.what());
+    }
+  } else if (auto preset = model::preset_by_name(model_name)) {
+    mdl = *preset;
+  } else {
+    return usage(("unknown model '" + model_name + "'").c_str());
+  }
+
+  // --- system ---
+  hw::SystemConfig sys;
+  if (file_cfg.system) {
+    sys = *file_cfg.system;
+    if (args.has("gpus")) sys.n_gpus = args.get_int_or("gpus", sys.n_gpus);
+    if (args.has("nvs")) sys.nvs_domain = args.get_int_or("nvs", sys.nvs_domain);
+    (void)args.get("gpu");  // config file wins; mark as consumed
+  } else {
+    const auto gen = gen_by_name(args.get_or("gpu", "b200"));
+    if (!gen) return usage("unknown --gpu (a100|h200|b200)");
+    sys = hw::make_system(*gen, args.get_int_or("nvs", 8),
+                          args.get_int_or("gpus", 1024));
+  }
+
+  // --- search options ---
+  const std::string strat = args.get_or("strategy", "1d");
+  std::vector<parallel::TpStrategy> strategies;
+  if (strat == "1d") strategies = {parallel::TpStrategy::TP1D};
+  else if (strat == "2d") strategies = {parallel::TpStrategy::TP2D};
+  else if (strat == "summa") strategies = {parallel::TpStrategy::Summa2D};
+  else if (strat == "all") {
+    strategies = {parallel::TpStrategy::TP1D, parallel::TpStrategy::TP2D,
+                  parallel::TpStrategy::Summa2D};
+  } else {
+    return usage("unknown --strategy (1d|2d|summa|all)");
+  }
+
+  search::SearchOptions opts;
+  opts.global_batch = args.get_int_or("batch", 4096);
+  opts.top_k = static_cast<std::size_t>(args.get_int_or("top", 0));
+  if (args.has("interleave")) opts.interleave_candidates = {1, 2, 4, 8};
+  opts.allow_zero3 = args.has("zero3");
+  opts.eval.tp_overlap = args.get_double_or("tp-overlap", 0.0);
+  opts.eval.activation_offload = args.get_double_or("offload", 0.0);
+  opts.eval.activation_recompute = args.has("recompute");
+  const std::string plan_path = args.get_or("plan", "");
+  const std::string save_plan = args.get_or("save-plan", "");
+  const double tokens = args.get_double_or("tokens", 0.0);
+  const double samples = args.get_double_or("samples", 0.0);
+  const double rate = args.get_double_or("rate", 0.0);
+  const bool want_ops = args.has("ops");
+  const bool want_sens = args.has("sensitivity");
+  const std::string csv = args.get_or("csv", "");
+  const std::string markdown = args.get_or("markdown", "");
+
+  const auto stray = args.unused();
+  if (!stray.empty()) {
+    return usage(("unknown flag --" + stray.front()).c_str());
+  }
+
+  std::cout << "Model:  " << mdl.name << " ("
+            << util::format_fixed(mdl.total_params() / 1e9, 1)
+            << "B params, l=" << mdl.seq_len << ", e=" << mdl.embed
+            << ", h=" << mdl.heads << ", d=" << mdl.depth << ")\n";
+  std::cout << "System: " << sys.describe() << "\n\n";
+
+  std::vector<report::LabeledResult> rows;
+  core::EvalResult best;
+  parallel::TpStrategy best_strategy = strategies.front();
+  if (!plan_path.empty()) {
+    // Evaluate a saved plan directly, skipping the search.
+    try {
+      const io::LoadedPlan plan = io::load_plan_file(plan_path);
+      opts.global_batch = plan.global_batch;
+      best = core::evaluate(mdl, sys, plan.cfg, plan.global_batch, opts.eval);
+      best_strategy = plan.cfg.strategy;
+      rows.push_back({"plan", best});
+    } catch (const std::exception& e) {
+      return usage(e.what());
+    }
+  } else
+  for (auto s : strategies) {
+    opts.strategy = s;
+    const auto found = search::find_optimal(mdl, sys, opts);
+    rows.push_back({parallel::to_string(s), found.best});
+    if (found.best.feasible &&
+        (!best.feasible || found.best.iteration() < best.iteration())) {
+      best = found.best;
+      best_strategy = s;
+    }
+    if (opts.top_k > 0 && found.best.feasible) {
+      for (std::size_t i = 1; i < found.top.size(); ++i) {
+        rows.push_back({"  #" + std::to_string(i + 1), found.top[i]});
+      }
+    }
+  }
+  report::print_panels(std::cout, "optimal configurations", rows);
+
+  if (!best.feasible) {
+    std::cout << "No feasible configuration: " << best.reason << "\n";
+    return 1;
+  }
+  std::cout << "Best: " << best.cfg.describe() << " — "
+            << util::format_time(best.iteration()) << "/iteration\n";
+
+  auto report_budget = [&](const core::TrainingEstimate& est,
+                           const std::string& what) {
+    const core::CostEstimate cost = core::estimate_cost(
+        sys, sys.n_gpus, est.total_seconds, 1.3, rate);
+    std::cout << "Training on " << what << ": "
+              << util::format_fixed(est.days, 1) << " days, "
+              << util::format_fixed(cost.gpu_hours / 1e6, 2) << "M GPU-hours, "
+              << util::format_fixed(cost.energy_mwh, 0) << " MWh";
+    if (rate > 0) {
+      std::cout << ", $" << util::format_fixed(cost.cost_usd / 1e6, 1) << "M";
+    }
+    std::cout << "\n";
+  };
+  if (tokens > 0) {
+    report_budget(core::estimate_token_training(mdl, opts.global_batch,
+                                                best.iteration(), tokens),
+                  std::to_string(tokens) + " tokens");
+  }
+  if (samples > 0) {
+    report_budget(core::estimate_sample_training(opts.global_batch,
+                                                 best.iteration(), samples),
+                  std::to_string(samples) + " samples");
+  }
+
+  if (want_ops) {
+    std::cout << '\n';
+    report::print_op_report(std::cout, mdl, sys, best.cfg, opts.global_batch);
+  }
+
+  if (want_sens) {
+    std::cout << "\nHardware elasticities (d log time / d log parameter):\n";
+    for (const auto& s : report::hardware_sensitivities(
+             mdl, sys, best_strategy, opts.global_batch)) {
+      std::cout << "  " << s.parameter << ": "
+                << util::format_fixed(s.elasticity, 3) << "\n";
+    }
+  }
+
+  if (!csv.empty()) {
+    report::write_results_csv(csv, rows);
+    std::cout << "\nCSV written to " << csv << "\n";
+  }
+  if (!save_plan.empty()) {
+    io::write_plan_file(save_plan, best, opts.global_batch);
+    std::cout << "Plan written to " << save_plan << "\n";
+  }
+  if (!markdown.empty()) {
+    report::write_markdown_report_file(
+        markdown, "tfpe plan: " + mdl.name,
+        {"Model: " + mdl.name, "System: " + sys.describe(),
+         "Global batch: " + std::to_string(opts.global_batch)},
+        rows);
+    std::cout << "Markdown report written to " << markdown << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,145 @@
+// tfpe-sweep — batch experiment runner: evaluates the optimal configuration
+// over the cross product of sweep axes and writes one CSV row per point.
+// This is the "figure factory" for user studies beyond the paper's set.
+//
+// Sweep spec (same syntax as model/system config files):
+//
+//   [sweep]
+//   model = gpt3-1t, vit-64k      # presets, comma-separated
+//   gpu = a100, b200
+//   nvs = 4, 8, 64
+//   gpus = 1024, 4096, 16384
+//   strategy = 1d, 2d, summa
+//   batch = 4096
+//   output = sweep.csv
+//
+// Usage: tfpe-sweep spec.tfpe [--output path]
+
+#include <fstream>
+#include <iostream>
+
+#include "io/config_file.hpp"
+#include "report/figure_data.hpp"
+#include "util/args.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace tfpe;
+
+int usage(const char* msg) {
+  if (msg) std::cerr << "error: " << msg << "\n";
+  std::cerr << "usage: tfpe-sweep spec.tfpe [--output path]\n"
+               "see the header of tools/tfpe_sweep.cpp for the spec format\n";
+  return 2;
+}
+
+std::optional<parallel::TpStrategy> strategy_by_name(const std::string& s) {
+  if (s == "1d") return parallel::TpStrategy::TP1D;
+  if (s == "2d") return parallel::TpStrategy::TP2D;
+  if (s == "summa") return parallel::TpStrategy::Summa2D;
+  return std::nullopt;
+}
+
+std::optional<hw::GpuGeneration> gen_by_name(const std::string& s) {
+  if (s == "a100") return hw::GpuGeneration::A100;
+  if (s == "h200") return hw::GpuGeneration::H200;
+  if (s == "b200") return hw::GpuGeneration::B200;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  if (args.positional().empty()) return usage("missing sweep spec");
+
+  io::ConfigSections sections;
+  try {
+    std::ifstream in(args.positional().front());
+    if (!in) return usage("cannot open spec file");
+    sections = io::parse_config(in);
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+  const auto it = sections.find("sweep");
+  if (it == sections.end()) return usage("spec has no [sweep] section");
+  const io::Section& spec = it->second;
+
+  auto axis = [&](const char* key, const char* fallback) {
+    const auto found = spec.find(key);
+    return util::split_list(found != spec.end() ? found->second : fallback);
+  };
+  const auto models = axis("model", "gpt3-1t");
+  const auto gpus_axis = axis("gpu", "b200");
+  const auto nvs_axis = axis("nvs", "8");
+  const auto scale_axis = axis("gpus", "1024");
+  const auto strat_axis = axis("strategy", "1d");
+  const auto batch_axis = axis("batch", "4096");
+
+  std::string output = args.get_or("output", "");
+  if (output.empty()) {
+    const auto out_it = spec.find("output");
+    output = out_it != spec.end() ? out_it->second : "sweep.csv";
+  }
+
+  util::CsvWriter csv(output);
+  csv.write_header({"model", "gpu", "nvs", "gpus", "strategy", "batch",
+                    "feasible", "config", "iter_s", "tokens_per_s_per_gpu",
+                    "hbm_gb"});
+
+  std::size_t points = 0, feasible = 0;
+  for (const auto& model_name : models) {
+    const auto mdl = model::preset_by_name(model_name);
+    if (!mdl) return usage(("unknown model '" + model_name + "'").c_str());
+    for (const auto& gpu_name : gpus_axis) {
+      const auto gen = gen_by_name(gpu_name);
+      if (!gen) return usage(("unknown gpu '" + gpu_name + "'").c_str());
+      for (const auto& nvs_s : nvs_axis) {
+        for (const auto& n_s : scale_axis) {
+          for (const auto& strat_s : strat_axis) {
+            const auto strat = strategy_by_name(strat_s);
+            if (!strat) {
+              return usage(("unknown strategy '" + strat_s + "'").c_str());
+            }
+            for (const auto& b_s : batch_axis) {
+              const std::int64_t nvs = std::stoll(nvs_s);
+              const std::int64_t n = std::stoll(n_s);
+              const std::int64_t b = std::stoll(b_s);
+              const hw::SystemConfig sys = hw::make_system(*gen, nvs, n);
+              const auto r =
+                  report::optimal_at_scale(*mdl, sys, *strat, b, n);
+              ++points;
+              if (r.feasible) ++feasible;
+              const double tps =
+                  r.feasible ? static_cast<double>(b) *
+                                   static_cast<double>(mdl->seq_len) /
+                                   r.iteration() / static_cast<double>(n)
+                             : 0.0;
+              csv.write_row(std::vector<std::string>{
+                  model_name, gpu_name, nvs_s, n_s, strat_s, b_s,
+                  r.feasible ? "1" : "0",
+                  r.feasible ? r.cfg.describe() : r.reason,
+                  util::format_fixed(r.feasible ? r.iteration() : 0.0, 6),
+                  util::format_fixed(tps, 1),
+                  util::format_fixed(r.feasible ? r.mem.total() / 1e9 : 0.0,
+                                     2)});
+              std::cout << "[" << points << "] " << model_name << " "
+                        << gpu_name << " nvs" << nvs_s << " n" << n_s << " "
+                        << strat_s << " b" << b_s << ": "
+                        << (r.feasible
+                                ? util::format_time(r.iteration())
+                                : "infeasible")
+                        << "\n";
+            }
+          }
+        }
+      }
+    }
+  }
+  std::cout << points << " sweep points (" << feasible
+            << " feasible) written to " << output << "\n";
+  return 0;
+}
