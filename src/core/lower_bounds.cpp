@@ -1,0 +1,85 @@
+#include "core/lower_bounds.hpp"
+
+#include <algorithm>
+
+namespace tfpe::core {
+
+namespace {
+
+/// Per-GPU FLOP floor of an (m x k)(k x n) matmul sharded across `tp`
+/// GPUs, whichever dimensions the split uses (see header).
+double matmul_floor(double m, double n, double k, double tp) {
+  return std::max(0.0, 2.0 * k - tp) * m * n / tp;
+}
+
+}  // namespace
+
+SearchBounds search_bounds(const model::TransformerConfig& mdl,
+                           const hw::SystemConfig& sys,
+                           const parallel::ParallelConfig& cfg,
+                           std::int64_t global_batch,
+                           const EvalOptions& opts) {
+  SearchBounds out;
+  const double tp = static_cast<double>(cfg.n1 * cfg.n2);
+  const double b_loc = static_cast<double>(cfg.local_microbatch(global_batch));
+  const double l = static_cast<double>(mdl.seq_len);
+  const double e = static_cast<double>(mdl.embed);
+  const double f = static_cast<double>(mdl.hidden);
+  const double eh = static_cast<double>(mdl.head_dim());
+  const double ekv = static_cast<double>(mdl.kv_embed());
+  const double bl = b_loc * l;
+
+  // --- Compute-only FLOP floor per block, per microbatch, per GPU. ---
+  // Attention projections: Q and output (e x e), K and V (e x kv_embed).
+  double fwd = matmul_floor(bl, e, e, tp) + matmul_floor(bl, e, e, tp) +
+               2.0 * matmul_floor(bl, ekv, e, tp);
+  // Logit + Attend: two bh-batched (l x e_h)(e_h x lkv) matmuls. The
+  // attended length covers full/windowed/linear attention uniformly, and
+  // ring attention moves the same FLOPs.
+  const double lkv = static_cast<double>(mdl.attended_len());
+  fwd += 2.0 * static_cast<double>(mdl.heads) * b_loc * l * lkv *
+         std::max(0.0, 2.0 * eh - tp) / tp;
+  // Dense MLP: (bl x e)(e x f) and (bl x f)(f x e). MoE routing and
+  // capacity factors are strategy-dependent; the floor skips the MLP there.
+  if (!mdl.is_moe()) {
+    fwd += matmul_floor(bl, f, e, tp) + matmul_floor(bl, e, f, tp);
+  }
+
+  // 1F1B: m steady microbatches plus the (np-1)/v bubble, each at least the
+  // per-stage FLOP time; backward costs at least one forward.
+  const double layers = static_cast<double>(mdl.depth / cfg.np);
+  const double micros = static_cast<double>(cfg.microbatches) +
+                        static_cast<double>(cfg.np - 1) /
+                            static_cast<double>(cfg.interleave);
+  out.time_floor = micros * layers * 2.0 * fwd / sys.gpu.tensor_flops;
+
+  // Distributed Adam reads/writes ~28 B per locally updated parameter at
+  // HBM bandwidth; it never overlaps in the model.
+  const double moe_shard =
+      mdl.is_moe() ? static_cast<double>(std::min(cfg.nd, mdl.moe_experts))
+                   : 1.0;
+  const double stage_params_floor =
+      static_cast<double>(mdl.params_per_layer()) / (tp * moe_shard) * layers;
+  const double shard_max = static_cast<double>(cfg.nd * cfg.n2);
+  out.time_floor +=
+      28.0 * stage_params_floor / shard_max / sys.gpu.hbm_bandwidth;
+
+  // --- Placement-independent memory floor. ---
+  // FP16 weights + gradients (ZeRO-3 additionally shards them over at most
+  // nd * n2), optimizer states sharded over at most nd * n2, and at least
+  // the block-boundary activation (b_loc x l x e over at most tp GPUs) per
+  // layer per in-flight microbatch — the floor both with and without full
+  // activation recompute.
+  const double wg = cfg.zero == parallel::ZeroStage::kWeights
+                        ? 4.0 * stage_params_floor / shard_max
+                        : 4.0 * stage_params_floor;
+  const double opt_states = 12.0 * stage_params_floor / shard_max;
+  const double in_flight =
+      static_cast<double>(std::min(cfg.np, cfg.microbatches));
+  const double act = 2.0 * bl * e / tp * layers * in_flight *
+                     (1.0 - opts.activation_offload);
+  out.memory_floor = wg + opt_states + act;
+  return out;
+}
+
+}  // namespace tfpe::core

@@ -1,0 +1,60 @@
+#pragma once
+// Cheap analytic lower bounds for the S3 configuration search.
+//
+// For a parallelization configuration these bound, WITHOUT building the op
+// list (no build_layer call):
+//   * time_floor   — a compute-only FLOP-time floor on the iteration time,
+//                    valid for every NVS placement and every EvalOptions
+//                    setting (overlap/offload/recompute only add time or
+//                    move communication, never reduce the matmul FLOPs).
+//   * memory_floor — a placement-independent floor on the busiest GPU's
+//                    resident bytes, valid for every placement.
+//
+// Both are conservative: time_floor <= iteration() and memory_floor <=
+// mem.total() for every evaluation of the configuration. The search uses
+// them to reject configurations before the (much more expensive) op-list
+// construction and placement scan run: a candidate whose time_floor already
+// exceeds the incumbent's achieved iteration time cannot improve the
+// optimum, and one whose memory_floor exceeds HBM capacity is infeasible
+// under every placement.
+//
+// Construction of the floors (see docs/API.md "Search complexity & pruning"
+// for when they are exact):
+//   * Every matmul of m x n x k sharded across the tp = n1*n2 tensor-
+//     parallel GPUs executes at least max(0, 2k - tp) * m * n / tp FLOPs on
+//     one GPU, whichever dimensions the strategy splits (splitting the
+//     contraction dim k by s <= tp gives (2k/s - 1) * mn/(tp/s) =
+//     (2k - s) * mn / tp >= (2k - tp) * mn / tp; splitting m or n keeps the
+//     (2k - 1) coefficient and is larger still; replication only adds).
+//   * The backward pass of every op costs at least its forward FLOPs.
+//   * 1F1B iteration time is at least (m + (np-1)/v) per-stage microbatch
+//     times, and each of those is at least the stage's FLOP time at the
+//     tensor-core peak.
+
+#include <cstdint>
+
+#include "core/evaluator.hpp"
+#include "hw/system.hpp"
+#include "model/transformer.hpp"
+#include "parallel/parallel_config.hpp"
+
+namespace tfpe::core {
+
+struct SearchBounds {
+  /// Lower bound on iteration() [s]; <= every placement's evaluated time.
+  double time_floor = 0;
+  /// Lower bound on mem.total() [bytes]; placement-independent.
+  double memory_floor = 0;
+};
+
+/// Bounds for `cfg` on `sys`. `cfg` must satisfy the divisibility
+/// constraints (invalid_reason() == nullopt with unit placement); the
+/// placement fields are ignored. `opts` is consulted for the extensions
+/// that change the memory floor (activation offload).
+SearchBounds search_bounds(const model::TransformerConfig& mdl,
+                           const hw::SystemConfig& sys,
+                           const parallel::ParallelConfig& cfg,
+                           std::int64_t global_batch,
+                           const EvalOptions& opts = {});
+
+}  // namespace tfpe::core

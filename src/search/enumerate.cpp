@@ -1,6 +1,7 @@
 #include "search/enumerate.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "util/math.hpp"
 
@@ -113,12 +114,16 @@ std::vector<std::array<std::int64_t, 4>> enumerate_placements(
     }
   }
   // Drop dominated placements: more fast-domain GPUs for any group never
-  // hurts in the time model.
+  // hurts in the time model. Sort-and-sweep instead of the all-pairs scan:
+  // in descending lexicographic order every dominator of c precedes c, and
+  // dominance is transitive, so c only needs to be compared against the
+  // non-dominated placements kept so far — O(n * frontier) not O(n^2).
+  std::sort(all.begin(), all.end(),
+            std::greater<std::array<std::int64_t, 4>>());
   std::vector<std::array<std::int64_t, 4>> keep;
   for (const auto& c : all) {
     bool dominated = false;
-    for (const auto& o : all) {
-      if (&o == &c) continue;
+    for (const auto& o : keep) {
       if (o[0] >= c[0] && o[1] >= c[1] && o[2] >= c[2] && o[3] >= c[3] &&
           (o[0] > c[0] || o[1] > c[1] || o[2] > c[2] || o[3] > c[3])) {
         dominated = true;
@@ -127,6 +132,9 @@ std::vector<std::array<std::int64_t, 4>> enumerate_placements(
     }
     if (!dominated) keep.push_back(c);
   }
+  // Restore generation order (ascending lexicographic) so downstream
+  // first-wins tie-breaking is unchanged.
+  std::sort(keep.begin(), keep.end());
   return keep;
 }
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <limits>
 
+#include "core/lower_bounds.hpp"
 #include "parallel/layer_builder.hpp"
+#include "search/search_cache.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tfpe::search {
@@ -41,47 +44,47 @@ void pack_placement(parallel::ParallelConfig& cfg, std::int64_t nvs_domain) {
   cfg.nvsd = largest_divisor_leq(cfg.nd, budget);
 }
 
-}  // namespace
-
-core::EvalResult best_placement(const model::TransformerConfig& mdl,
-                                const hw::SystemConfig& sys,
-                                parallel::ParallelConfig cfg,
-                                std::int64_t global_batch,
-                                const core::EvalOptions& eval) {
+/// Evaluate `cfg` under every placement in `placements`, returning the best
+/// result (shared by best_placement and both find_optimal engines).
+/// Increments `evals` once per evaluation. Infeasibility of a valid
+/// placement can only come from the (placement-independent) memory model,
+/// so `stop_after_infeasible` lets the pruned engine cut the scan short.
+core::EvalResult scan_placements(
+    const model::TransformerConfig& mdl, const hw::SystemConfig& sys,
+    parallel::ParallelConfig cfg, std::int64_t global_batch,
+    const parallel::LayerCost& layer,
+    const std::vector<std::array<std::int64_t, 4>>& placements,
+    const core::EvalOptions& eval, std::size_t& evals,
+    bool stop_after_infeasible) {
   core::EvalResult best;
   best.cfg = cfg;
   best.reason = "no valid placement";
-  // Divisibility failures are placement-independent: report them directly.
-  cfg.nvs1 = cfg.nvs2 = cfg.nvsp = cfg.nvsd = 1;
-  if (auto why = cfg.invalid_reason(mdl, sys, global_batch)) {
-    best.reason = *why;
-    return best;
-  }
-  const parallel::LayerCost layer =
-      parallel::build_layer(mdl, cfg, cfg.local_microbatch(global_batch));
-  for (const auto& pl : enumerate_placements(cfg, sys.nvs_domain)) {
+  for (const auto& pl : placements) {
     cfg.nvs1 = pl[0];
     cfg.nvs2 = pl[1];
     cfg.nvsp = pl[2];
     cfg.nvsd = pl[3];
     core::EvalResult r =
         core::evaluate_with_layer(mdl, sys, cfg, global_batch, layer, eval);
+    ++evals;
     if (better(r, best)) best = r;
-    if (!r.feasible && !best.feasible) best = r;  // keep a concrete reason
+    if (!r.feasible) {
+      if (!best.feasible) best = r;  // keep a concrete reason
+      if (stop_after_infeasible) break;
+    }
   }
   return best;
 }
 
-SearchResult find_optimal(const model::TransformerConfig& mdl,
-                          const hw::SystemConfig& sys,
-                          const SearchOptions& opts) {
-  const std::int64_t b = opts.global_batch;
+/// Expand the enumerated parallelizations by the extension axes
+/// (interleave chunks, ZeRO stage, ring attention).
+std::vector<parallel::ParallelConfig> expand_candidates(
+    const model::TransformerConfig& mdl, const hw::SystemConfig& sys,
+    const SearchOptions& opts) {
   const auto base_configs = enumerate_parallel(mdl, sys, opts);
-
-  // Expand by the extension axes (interleave chunks, ZeRO stage).
-  std::vector<parallel::ParallelConfig> configs;
   std::vector<std::int64_t> interleaves = opts.interleave_candidates;
   if (interleaves.empty()) interleaves = {1};
+  std::vector<parallel::ParallelConfig> configs;
   configs.reserve(base_configs.size() * interleaves.size() *
                   (opts.allow_zero3 ? 2 : 1));
   for (const auto& base : base_configs) {
@@ -102,63 +105,280 @@ SearchResult find_optimal(const model::TransformerConfig& mdl,
       }
     }
   }
+  return configs;
+}
+
+void atomic_min(std::atomic<double>& target, double value) {
+  double cur = target.load();
+  while (value < cur && !target.compare_exchange_weak(cur, value)) {
+  }
+}
+
+/// Per-candidate results of one sweep over the configuration space.
+struct SweepState {
+  std::vector<parallel::ParallelConfig> configs;
+  std::vector<core::EvalResult> best_per_config;
+  std::vector<std::size_t> evals_per_config;
+  SearchStats stats;
+};
+
+/// Evaluate the candidate space. With opts.prune, uses the memoization
+/// caches and the memory-floor rejection; `use_incumbent` additionally
+/// enables the branch-and-bound incumbent (disabled when every feasible
+/// candidate must survive, i.e. top-k ranking and Pareto frontiers).
+SweepState sweep(const model::TransformerConfig& mdl,
+                 const hw::SystemConfig& sys, const SearchOptions& opts,
+                 bool use_incumbent) {
+  SweepState st;
+  st.configs = expand_candidates(mdl, sys, opts);
+  const std::size_t n = st.configs.size();
+  st.best_per_config.resize(n);
+  st.evals_per_config.assign(n, 0);
+  st.stats.candidates = n;
+  if (n == 0) return st;
+
+  const std::int64_t b = opts.global_batch;
+  util::ThreadPool pool(opts.threads);
+
+  if (!opts.prune) {
+    // Exhaustive brute force (the seed engine): one op list per candidate,
+    // one placement enumeration per candidate, no rejection.
+    util::parallel_for_dynamic(pool, n, [&](std::size_t i) {
+      parallel::ParallelConfig cfg = st.configs[i];
+      if (opts.search_placement) {
+        const parallel::LayerCost layer =
+            parallel::build_layer(mdl, cfg, cfg.local_microbatch(b));
+        st.best_per_config[i] = scan_placements(
+            mdl, sys, cfg, b, layer, enumerate_placements(cfg, sys.nvs_domain),
+            opts.eval, st.evals_per_config[i], /*stop_after_infeasible=*/false);
+      } else {
+        pack_placement(cfg, sys.nvs_domain);
+        st.best_per_config[i] = core::evaluate(mdl, sys, cfg, b, opts.eval);
+        st.evals_per_config[i] = 1;
+      }
+    });
+    st.stats.build_layer_calls = n;
+    st.stats.placement_sets = opts.search_placement ? n : 0;
+    return st;
+  }
+
+  LayerCostCache layer_cache;
+  PlacementCache placement_cache;
+  enum : std::uint8_t { kPending, kInvalid, kMemPruned, kBoundPruned };
+  std::vector<std::uint8_t> state(n, kPending);
+  std::vector<double> lb(n, 0.0);
+
+  // Phase 1: divisibility checks and analytic bounds — no op lists built.
+  util::parallel_for_dynamic(
+      pool, n,
+      [&](std::size_t i) {
+        const parallel::ParallelConfig& cfg = st.configs[i];
+        core::EvalResult& slot = st.best_per_config[i];
+        slot.cfg = cfg;
+        if (auto why = cfg.invalid_reason(mdl, sys, b)) {
+          slot.reason = *why;
+          state[i] = kInvalid;
+          return;
+        }
+        const core::SearchBounds bounds =
+            core::search_bounds(mdl, sys, cfg, b, opts.eval);
+        if (bounds.memory_floor > sys.gpu.hbm_capacity) {
+          slot.reason = "exceeds HBM capacity";
+          state[i] = kMemPruned;
+          return;
+        }
+        lb[i] = bounds.time_floor;
+      },
+      /*grain=*/64);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (state[i] == kMemPruned) ++st.stats.memory_pruned;
+  }
+
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (state[i] == kPending) order.push_back(i);
+  }
+  // Cheapest bound first, so early rounds likely contain the optimum and
+  // the incumbent tightens as fast as possible.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t c) {
+    return lb[a] != lb[c] ? lb[a] < lb[c] : a < c;
+  });
+
+  std::atomic<double> incumbent{std::numeric_limits<double>::infinity()};
+  std::atomic<std::size_t> racy_pruned{0};
+
+  auto evaluate_candidate = [&](std::size_t i) {
+    parallel::ParallelConfig cfg = st.configs[i];
+    const auto layer = layer_cache.get(mdl, cfg, b);
+    core::EvalResult r;
+    if (opts.search_placement) {
+      const auto placements = placement_cache.get(cfg, sys.nvs_domain);
+      r = scan_placements(mdl, sys, cfg, b, *layer, *placements, opts.eval,
+                          st.evals_per_config[i],
+                          /*stop_after_infeasible=*/true);
+    } else {
+      pack_placement(cfg, sys.nvs_domain);
+      r = core::evaluate_with_layer(mdl, sys, cfg, b, *layer, opts.eval);
+      st.evals_per_config[i] = 1;
+    }
+    if (r.feasible) atomic_min(incumbent, r.iteration());
+    st.best_per_config[i] = std::move(r);
+  };
+
+  if (!use_incumbent) {
+    util::parallel_for_dynamic(pool, order.size(), [&](std::size_t j) {
+      evaluate_candidate(order[j]);
+    });
+  } else {
+    // Branch-and-bound rounds: evaluate round_size candidates, re-read the
+    // incumbent at the barrier, and cut off the sorted suffix whose lower
+    // bound it beats. The incumbent after a barrier is a min over a
+    // completed set of evaluations, so with opts.deterministic the pruning
+    // decisions — and all counters — are independent of the thread count.
+    // A pruned candidate satisfies time >= lb > incumbent >= optimum, so
+    // it can change neither the optimum nor its memory tie-break.
+    const std::size_t round_size = std::max<std::size_t>(1, opts.round_size);
+    std::size_t pos = 0;
+    std::size_t active_end = order.size();
+    while (pos < active_end) {
+      const double t_best = incumbent.load();
+      const auto cut = std::upper_bound(
+          order.begin() + pos, order.begin() + active_end, t_best,
+          [&](double t, std::size_t idx) { return t < lb[idx]; });
+      const std::size_t new_end =
+          static_cast<std::size_t>(cut - order.begin());
+      for (std::size_t j = new_end; j < active_end; ++j) {
+        state[order[j]] = kBoundPruned;
+        st.best_per_config[order[j]].reason =
+            "pruned: lower bound above incumbent";
+        ++st.stats.bound_pruned;
+      }
+      active_end = new_end;
+      if (pos >= active_end) break;
+
+      const std::size_t round_end = std::min(pos + round_size, active_end);
+      const double round_min_lb = lb[order[pos]];
+      std::function<bool()> stop;
+      if (!opts.deterministic) {
+        stop = [&incumbent, round_min_lb] {
+          return incumbent.load() < round_min_lb;
+        };
+      }
+      util::parallel_for_dynamic(
+          pool, round_end - pos,
+          [&, pos](std::size_t j) {
+            const std::size_t i = order[pos + j];
+            if (!opts.deterministic && lb[i] > incumbent.load()) {
+              state[i] = kBoundPruned;
+              st.best_per_config[i].reason =
+                  "pruned: lower bound above incumbent";
+              racy_pruned.fetch_add(1, std::memory_order_relaxed);
+              return;
+            }
+            evaluate_candidate(i);
+          },
+          /*grain=*/1, stop);
+      if (!opts.deterministic) {
+        // A stopped round leaves an unexecuted tail; every such candidate
+        // was abandoned because the incumbent beat the round's minimum
+        // bound, so it is bound-pruned, not skipped.
+        for (std::size_t j = pos; j < round_end; ++j) {
+          const std::size_t i = order[j];
+          if (state[i] == kPending && st.evals_per_config[i] == 0 &&
+              !st.best_per_config[i].feasible &&
+              st.best_per_config[i].reason.empty()) {
+            state[i] = kBoundPruned;
+            st.best_per_config[i].reason =
+                "pruned: lower bound above incumbent";
+            racy_pruned.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      pos = round_end;
+      ++st.stats.rounds;
+    }
+    st.stats.bound_pruned += racy_pruned.load();
+  }
+
+  st.stats.build_layer_calls = layer_cache.builds();
+  st.stats.layer_cache_hits = layer_cache.hits();
+  st.stats.placement_sets = placement_cache.builds();
+  st.stats.placement_cache_hits = placement_cache.hits();
+  return st;
+}
+
+/// Feasible candidate indices sorted best-first (time, then memory, then
+/// index for a deterministic order on exact ties).
+std::vector<std::size_t> feasible_by_rank(const SweepState& st) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < st.best_per_config.size(); ++i) {
+    if (st.best_per_config[i].feasible) idx.push_back(i);
+  }
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t c) {
+    const core::EvalResult& ra = st.best_per_config[a];
+    const core::EvalResult& rc = st.best_per_config[c];
+    if (ra.iteration() != rc.iteration()) {
+      return ra.iteration() < rc.iteration();
+    }
+    if (ra.mem.total() != rc.mem.total()) {
+      return ra.mem.total() < rc.mem.total();
+    }
+    return a < c;
+  });
+  return idx;
+}
+
+}  // namespace
+
+core::EvalResult best_placement(const model::TransformerConfig& mdl,
+                                const hw::SystemConfig& sys,
+                                parallel::ParallelConfig cfg,
+                                std::int64_t global_batch,
+                                const core::EvalOptions& eval) {
+  core::EvalResult best;
+  best.cfg = cfg;
+  best.reason = "no valid placement";
+  // Divisibility failures are placement-independent: report them directly.
+  cfg.nvs1 = cfg.nvs2 = cfg.nvsp = cfg.nvsd = 1;
+  if (auto why = cfg.invalid_reason(mdl, sys, global_batch)) {
+    best.reason = *why;
+    return best;
+  }
+  const parallel::LayerCost layer =
+      parallel::build_layer(mdl, cfg, cfg.local_microbatch(global_batch));
+  std::size_t evals = 0;
+  return scan_placements(mdl, sys, cfg, global_batch, layer,
+                         enumerate_placements(cfg, sys.nvs_domain), eval,
+                         evals, /*stop_after_infeasible=*/false);
+}
+
+SearchResult find_optimal(const model::TransformerConfig& mdl,
+                          const hw::SystemConfig& sys,
+                          const SearchOptions& opts) {
+  // Incumbent pruning discards everything provably slower than the optimum,
+  // which is exactly what a top-k ranking must keep — bypass it there.
+  SweepState st = sweep(mdl, sys, opts,
+                        /*use_incumbent=*/opts.prune && opts.top_k == 0);
 
   SearchResult result;
   result.best.reason = "no feasible configuration";
-  if (configs.empty()) return result;
-
-  std::vector<core::EvalResult> best_per_config(configs.size());
-  std::vector<std::size_t> evals_per_config(configs.size(), 0);
-
-  util::ThreadPool pool(opts.threads);
-  util::parallel_for_index(pool, configs.size(), [&](std::size_t i) {
-    parallel::ParallelConfig cfg = configs[i];
-    if (opts.search_placement) {
-      const parallel::LayerCost layer =
-          parallel::build_layer(mdl, cfg, cfg.local_microbatch(b));
-      core::EvalResult best;
-      best.cfg = cfg;
-      best.reason = "no valid placement";
-      std::size_t evals = 0;
-      for (const auto& pl : enumerate_placements(cfg, sys.nvs_domain)) {
-        cfg.nvs1 = pl[0];
-        cfg.nvs2 = pl[1];
-        cfg.nvsp = pl[2];
-        cfg.nvsd = pl[3];
-        core::EvalResult r =
-            core::evaluate_with_layer(mdl, sys, cfg, b, layer, opts.eval);
-        ++evals;
-        if (better(r, best)) best = r;
-        if (!r.feasible && !best.feasible) best = r;
-      }
-      best_per_config[i] = best;
-      evals_per_config[i] = evals;
-    } else {
-      pack_placement(cfg, sys.nvs_domain);
-      best_per_config[i] = core::evaluate(mdl, sys, cfg, b, opts.eval);
-      evals_per_config[i] = 1;
-    }
-  });
-
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    result.evaluated += evals_per_config[i];
-    if (best_per_config[i].feasible) ++result.feasible;
-    if (better(best_per_config[i], result.best)) {
-      result.best = best_per_config[i];
+  result.stats = st.stats;
+  for (std::size_t i = 0; i < st.best_per_config.size(); ++i) {
+    result.evaluated += st.evals_per_config[i];
+    if (st.best_per_config[i].feasible) ++result.feasible;
+    if (better(st.best_per_config[i], result.best)) {
+      result.best = st.best_per_config[i];
     }
   }
 
   if (opts.top_k > 0) {
-    std::vector<core::EvalResult> feasible;
-    for (auto& r : best_per_config) {
-      if (r.feasible) feasible.push_back(std::move(r));
+    std::vector<std::size_t> idx = feasible_by_rank(st);
+    if (idx.size() > opts.top_k) idx.resize(opts.top_k);
+    result.top.reserve(idx.size());
+    for (std::size_t i : idx) {
+      result.top.push_back(std::move(st.best_per_config[i]));
     }
-    std::sort(feasible.begin(), feasible.end(),
-              [](const core::EvalResult& a, const core::EvalResult& b2) {
-                return better(a, b2);
-              });
-    if (feasible.size() > opts.top_k) feasible.resize(opts.top_k);
-    result.top = std::move(feasible);
   }
   return result;
 }
@@ -166,15 +386,18 @@ SearchResult find_optimal(const model::TransformerConfig& mdl,
 std::vector<core::EvalResult> pareto_frontier(
     const model::TransformerConfig& mdl, const hw::SystemConfig& sys,
     SearchOptions opts) {
-  opts.top_k = std::numeric_limits<std::size_t>::max();
-  SearchResult all = find_optimal(mdl, sys, opts);
-  // `top` is sorted fastest-first; walk it keeping strictly lighter entries.
+  opts.top_k = 0;
+  // Every feasible candidate must be inspected; the caches still apply.
+  SweepState st = sweep(mdl, sys, opts, /*use_incumbent=*/false);
+  // Walk the ranking fastest-first, keeping strictly lighter entries —
+  // the frontier is streamed out of the per-candidate slots rather than
+  // materializing a copy of the whole feasible set.
   std::vector<core::EvalResult> frontier;
   double best_mem = std::numeric_limits<double>::infinity();
-  for (auto& r : all.top) {
-    if (r.mem.total() < best_mem) {
-      best_mem = r.mem.total();
-      frontier.push_back(std::move(r));
+  for (std::size_t i : feasible_by_rank(st)) {
+    if (st.best_per_config[i].mem.total() < best_mem) {
+      best_mem = st.best_per_config[i].mem.total();
+      frontier.push_back(std::move(st.best_per_config[i]));
     }
   }
   return frontier;

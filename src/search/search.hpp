@@ -1,8 +1,26 @@
 #pragma once
-// Brute-force optimal-configuration search (paper §III S3): evaluate every
-// valid (parallelization x placement x panel) configuration and return the
-// feasible one with minimum iteration time. The search is embarrassingly
-// parallel and runs on the utility thread pool.
+// Optimal-configuration search (paper §III S3): find the feasible
+// (parallelization x placement x panel) configuration with minimum
+// iteration time.
+//
+// The default engine is a prune-and-memoize branch-and-bound over the
+// enumerated space:
+//   * cheap analytic lower bounds (core/lower_bounds.hpp) reject
+//     configurations whose compute-only FLOP floor already exceeds the
+//     shared incumbent (best achieved iteration time) or whose
+//     placement-independent memory floor exceeds HBM, before any op list
+//     is built;
+//   * a concurrent LayerCost cache shares one op list across all
+//     (np, nd, m) combinations with the same tensor shapes, and a
+//     placement cache shares the non-dominated placement sets across the
+//     interleave/ZeRO/ring expansion axes;
+//   * candidates are evaluated cheapest-bound-first in fixed-size rounds
+//     with dynamically scheduled workers; the incumbent is re-read at each
+//     round barrier, which keeps the pruning decisions (and therefore
+//     SearchResult::evaluated) independent of the thread count.
+// Pruning is conservative: the returned optimum is identical — same
+// configuration, same iteration time — to the exhaustive sweep's
+// (SearchOptions::prune = false).
 
 #include <cstdint>
 
@@ -17,6 +35,25 @@ struct SearchOptions : EnumerationOptions {
   bool search_placement = true;
   /// Worker threads; 0 -> hardware concurrency.
   unsigned threads = 0;
+
+  /// Prune-and-memoize engine (default). Set false for the exhaustive
+  /// brute-force sweep; the optimum is identical either way, only the work
+  /// performed (SearchStats) differs. Incumbent-based pruning is
+  /// automatically bypassed when top_k > 0, because near-optimal
+  /// configurations must then survive to be ranked (the memory-floor
+  /// rejection and both caches still apply).
+  bool prune = true;
+
+  /// When true (default), incumbent pruning decisions happen only at round
+  /// barriers, making the evaluated/pruned counts — not just the optimum —
+  /// invariant to the thread count. When false, workers additionally skip
+  /// candidates mid-round against the live incumbent and abandon a round
+  /// early once the incumbent beats every remaining lower bound: slightly
+  /// faster, but the stats become schedule-dependent.
+  bool deterministic = true;
+
+  /// Candidates evaluated between incumbent re-reads in the pruned engine.
+  std::size_t round_size = 64;
 
   /// Interleaved-pipeline chunk counts to try (extension; {1} = the paper's
   /// non-interleaved schedule).
@@ -33,13 +70,39 @@ struct SearchOptions : EnumerationOptions {
   std::size_t top_k = 0;
 };
 
+/// Work counters for one search, for perf tracking and the pruned-vs-
+/// exhaustive A/B benches.
+struct SearchStats {
+  /// Parallelizations after the interleave/ZeRO/ring expansion (the size of
+  /// the candidate space before any pruning).
+  std::size_t candidates = 0;
+  /// Candidates rejected because their iteration-time lower bound exceeded
+  /// the incumbent.
+  std::size_t bound_pruned = 0;
+  /// Candidates rejected because their placement-independent memory floor
+  /// exceeded HBM capacity.
+  std::size_t memory_pruned = 0;
+  /// build_layer invocations (exhaustive: one per candidate; pruned: one
+  /// per distinct LayerCost cache key actually needed).
+  std::size_t build_layer_calls = 0;
+  std::size_t layer_cache_hits = 0;
+  /// enumerate_placements invocations / placement-set cache hits.
+  std::size_t placement_sets = 0;
+  std::size_t placement_cache_hits = 0;
+  /// Incumbent rounds executed by the pruned engine.
+  std::size_t rounds = 0;
+};
+
 struct SearchResult {
   core::EvalResult best;  ///< best.feasible == false if nothing fits.
+  /// Placement evaluations actually performed (pruned candidates perform
+  /// none; memory-infeasible candidates perform one).
   std::size_t evaluated = 0;
   std::size_t feasible = 0;
   /// The top_k fastest feasible results, best first (one per
   /// parallelization, each with its best placement).
   std::vector<core::EvalResult> top;
+  SearchStats stats;
 };
 
 SearchResult find_optimal(const model::TransformerConfig& mdl,
@@ -50,7 +113,9 @@ SearchResult find_optimal(const model::TransformerConfig& mdl,
 /// configurations for which no other feasible configuration is both faster
 /// and lighter. Sorted fastest-first (memory strictly decreasing along the
 /// frontier). Answers "what is the fastest plan under X GB?" for system
-/// co-design.
+/// co-design. Runs without incumbent pruning (every feasible candidate must
+/// be inspected) and streams the frontier out of the per-candidate results
+/// instead of materializing the whole feasible set.
 std::vector<core::EvalResult> pareto_frontier(
     const model::TransformerConfig& mdl, const hw::SystemConfig& sys,
     SearchOptions opts);

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace tfpe::util {
 
@@ -52,6 +53,34 @@ void ThreadPool::worker_loop() {
       if (in_flight_ == 0) cv_idle_.notify_all();
     }
   }
+}
+
+std::size_t parallel_for_dynamic(ThreadPool& pool, std::size_t count,
+                                 const std::function<void(std::size_t)>& body,
+                                 std::size_t grain,
+                                 const std::function<bool()>& stop) {
+  if (count == 0) return 0;
+  if (grain == 0) grain = 1;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> executed{0};
+  const std::size_t chunks = (count + grain - 1) / grain;
+  const std::size_t workers =
+      std::min<std::size_t>(pool.size(), chunks);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([&cursor, &executed, &body, &stop, count, grain] {
+      for (;;) {
+        if (stop && stop()) return;
+        const std::size_t begin =
+            cursor.fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= count) return;
+        const std::size_t end = std::min(count, begin + grain);
+        for (std::size_t i = begin; i < end; ++i) body(i);
+        executed.fetch_add(end - begin, std::memory_order_relaxed);
+      }
+    });
+  }
+  pool.wait_idle();
+  return executed.load();
 }
 
 void parallel_for_index(ThreadPool& pool, std::size_t count,

@@ -47,7 +47,25 @@ class ThreadPool {
 
 /// Run body(i) for i in [0, count) across the pool, blocking until done.
 /// The body must be safe to invoke concurrently for distinct i.
+/// Splits the range into fixed contiguous chunks up-front; prefer
+/// parallel_for_dynamic when per-index cost is uneven.
 void parallel_for_index(ThreadPool& pool, std::size_t count,
                         const std::function<void(std::size_t)>& body);
+
+/// Dynamically scheduled parallel-for: workers claim chunks of `grain`
+/// consecutive indices from a shared atomic cursor, so uneven per-index
+/// work (e.g. configurations with very different placement counts) cannot
+/// straggle one statically assigned worker.
+///
+/// If `stop` is provided, it is polled before each chunk claim; once it
+/// returns true no further chunks are claimed (in-flight chunks finish).
+/// The search uses this for incumbent-aware early exit: when the shared
+/// best-so-far already beats every remaining candidate's lower bound, the
+/// rest of the range is abandoned. Returns the number of indices executed
+/// (== count when the loop was not stopped).
+std::size_t parallel_for_dynamic(ThreadPool& pool, std::size_t count,
+                                 const std::function<void(std::size_t)>& body,
+                                 std::size_t grain = 1,
+                                 const std::function<bool()>& stop = {});
 
 }  // namespace tfpe::util

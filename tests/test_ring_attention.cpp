@@ -88,7 +88,7 @@ TEST(RingAttention, SearchExpansionNeverWorse) {
   const auto with = search::find_optimal(mdl, sys, opts);
   ASSERT_TRUE(base.best.feasible && with.best.feasible);
   EXPECT_LE(with.best.iteration(), base.best.iteration() * (1 + 1e-12));
-  EXPECT_GT(with.evaluated, base.evaluated);
+  EXPECT_GT(with.stats.candidates, base.stats.candidates);
   // For the comm-heavy ViT the optimum should actually use the ring.
   EXPECT_TRUE(with.best.cfg.ring_attention);
 }

@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "core/lower_bounds.hpp"
 #include "search/search.hpp"
 
 namespace tfpe::search {
@@ -192,6 +193,186 @@ TEST(FindOptimal, GreedyPlacementFallback) {
   opts.search_placement = true;
   const SearchResult full = find_optimal(mdl, sys, opts);
   EXPECT_LE(full.best.iteration(), res.best.iteration() * (1 + 1e-12));
+}
+
+// --- Prune-and-memoize engine (branch-and-bound + caches) ---
+
+void expect_same_optimum(const SearchResult& a, const SearchResult& b) {
+  ASSERT_EQ(a.best.feasible, b.best.feasible);
+  if (!a.best.feasible) return;
+  EXPECT_EQ(a.best.cfg.describe(), b.best.cfg.describe());
+  EXPECT_EQ(a.best.iteration(), b.best.iteration());  // bitwise
+  EXPECT_EQ(a.best.mem.total(), b.best.mem.total());
+}
+
+TEST(Pruning, MatchesExhaustiveOnGpt3175b) {
+  const auto mdl = model::gpt3_175b();
+  const auto sys = b200(8, 128);
+  SearchOptions opts;
+  opts.strategy = parallel::TpStrategy::TP1D;
+  opts.global_batch = 512;
+  opts.prune = false;
+  const SearchResult brute = find_optimal(mdl, sys, opts);
+  opts.prune = true;
+  const SearchResult pruned = find_optimal(mdl, sys, opts);
+  expect_same_optimum(pruned, brute);
+  // The engine must actually prune, and share op lists across candidates:
+  // >= 5x fewer build_layer invocations than one-per-candidate.
+  EXPECT_GT(pruned.stats.bound_pruned + pruned.stats.memory_pruned, 0u);
+  EXPECT_LE(pruned.stats.build_layer_calls * 5, brute.stats.build_layer_calls);
+  EXPECT_LT(pruned.evaluated, brute.evaluated);
+}
+
+TEST(Pruning, MatchesExhaustiveOnVit32k) {
+  // 2D TP with the ring/interleave expansion axes on the comm-heavy ViT.
+  const auto mdl = model::vit_32k();
+  const auto sys = b200(8, 256);
+  SearchOptions opts;
+  opts.strategy = parallel::TpStrategy::TP2D;
+  opts.global_batch = 4096;
+  opts.allow_ring_attention = true;
+  opts.interleave_candidates = {1, 2};
+  opts.prune = false;
+  const SearchResult brute = find_optimal(mdl, sys, opts);
+  opts.prune = true;
+  const SearchResult pruned = find_optimal(mdl, sys, opts);
+  expect_same_optimum(pruned, brute);
+  EXPECT_LE(pruned.stats.build_layer_calls * 5, brute.stats.build_layer_calls);
+}
+
+TEST(Pruning, CountersInvariantAcrossThreadCounts) {
+  // Round-barrier pruning makes the work counters — not just the optimum —
+  // independent of the thread count in deterministic mode.
+  const auto mdl = model::gpt3_175b();
+  const auto sys = b200(8, 128);
+  SearchOptions opts;
+  opts.strategy = parallel::TpStrategy::TP1D;
+  opts.global_batch = 512;
+  opts.threads = 1;
+  const SearchResult a = find_optimal(mdl, sys, opts);
+  opts.threads = 8;
+  const SearchResult b = find_optimal(mdl, sys, opts);
+  expect_same_optimum(a, b);
+  EXPECT_EQ(a.evaluated, b.evaluated);
+  EXPECT_EQ(a.stats.bound_pruned, b.stats.bound_pruned);
+  EXPECT_EQ(a.stats.memory_pruned, b.stats.memory_pruned);
+  EXPECT_EQ(a.stats.build_layer_calls, b.stats.build_layer_calls);
+  EXPECT_EQ(a.stats.layer_cache_hits, b.stats.layer_cache_hits);
+  EXPECT_EQ(a.stats.placement_sets, b.stats.placement_sets);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+}
+
+TEST(Pruning, NonDeterministicModeFindsSameOptimum) {
+  // deterministic = false allows mid-round skips and round abandonment;
+  // the counters become schedule-dependent but the optimum may not.
+  const auto mdl = model::gpt3_175b();
+  const auto sys = b200(8, 128);
+  SearchOptions opts;
+  opts.strategy = parallel::TpStrategy::TP1D;
+  opts.global_batch = 512;
+  opts.prune = false;
+  const SearchResult brute = find_optimal(mdl, sys, opts);
+  opts.prune = true;
+  opts.deterministic = false;
+  opts.threads = 8;
+  const SearchResult racy = find_optimal(mdl, sys, opts);
+  expect_same_optimum(racy, brute);
+}
+
+TEST(Pruning, TopKRankingUnaffected) {
+  // top_k > 0 bypasses incumbent pruning; the ranking must match the
+  // brute-force sweep exactly.
+  const auto mdl = model::gpt3_175b();
+  const auto sys = b200(8, 64);
+  SearchOptions opts;
+  opts.strategy = parallel::TpStrategy::TP1D;
+  opts.global_batch = 256;
+  opts.top_k = 5;
+  opts.prune = false;
+  const SearchResult brute = find_optimal(mdl, sys, opts);
+  opts.prune = true;
+  const SearchResult pruned = find_optimal(mdl, sys, opts);
+  ASSERT_EQ(pruned.top.size(), brute.top.size());
+  for (std::size_t i = 0; i < brute.top.size(); ++i) {
+    EXPECT_EQ(pruned.top[i].cfg.describe(), brute.top[i].cfg.describe());
+    EXPECT_EQ(pruned.top[i].iteration(), brute.top[i].iteration());
+  }
+}
+
+TEST(Pruning, RoundSizeDoesNotChangeOptimum) {
+  const auto mdl = model::gpt3_175b();
+  const auto sys = b200(8, 64);
+  SearchOptions opts;
+  opts.strategy = parallel::TpStrategy::TP1D;
+  opts.global_batch = 256;
+  const SearchResult a = find_optimal(mdl, sys, opts);
+  opts.round_size = 1;
+  const SearchResult b = find_optimal(mdl, sys, opts);
+  opts.round_size = 100000;
+  const SearchResult c = find_optimal(mdl, sys, opts);
+  expect_same_optimum(a, b);
+  expect_same_optimum(a, c);
+  // A single all-candidate round cannot prune anything after the barrier.
+  EXPECT_GE(b.stats.bound_pruned, c.stats.bound_pruned);
+}
+
+// Property test for the analytic bounds: the floors must never exceed the
+// achieved iteration time / HBM footprint of any valid configuration,
+// across strategies, models (incl. MoE) and the expansion axes.
+TEST(LowerBounds, FloorsNeverExceedActuals) {
+  struct Case {
+    model::TransformerConfig mdl;
+    hw::SystemConfig sys;
+    parallel::TpStrategy strategy;
+    std::int64_t batch;
+  };
+  const Case cases[] = {
+      {model::gpt3_175b(), b200(8, 64), parallel::TpStrategy::TP1D, 256},
+      {model::vit_32k(), b200(8, 64), parallel::TpStrategy::TP2D, 4096},
+      {model::gpt_moe_1t(), b200(8, 64), parallel::TpStrategy::TP1D, 256},
+  };
+  for (const auto& cs : cases) {
+    EnumerationOptions eopts;
+    eopts.strategy = cs.strategy;
+    eopts.global_batch = cs.batch;
+    const auto base = enumerate_parallel(cs.mdl, cs.sys, eopts);
+    ASSERT_FALSE(base.empty());
+    std::size_t checked = 0;
+    const std::size_t step = std::max<std::size_t>(1, base.size() / 32);
+    for (std::size_t i = 0; i < base.size(); i += step) {
+      // Exercise the plain config plus the ZeRO-3 / ring / interleave
+      // variants the search expands into.
+      std::vector<parallel::ParallelConfig> variants{base[i]};
+      variants.push_back(base[i]);
+      variants.back().zero = parallel::ZeroStage::kWeights;
+      if (base[i].n2 > 1 &&
+          cs.mdl.attention != model::AttentionKind::kLinear) {
+        variants.push_back(base[i]);
+        variants.back().ring_attention = true;
+      }
+      if (base[i].np > 1 && (cs.mdl.depth / base[i].np) % 2 == 0) {
+        variants.push_back(base[i]);
+        variants.back().interleave = 2;
+      }
+      for (const auto& cfg : variants) {
+        auto valid = cfg;
+        valid.nvs1 = valid.nvs2 = valid.nvsp = valid.nvsd = 1;
+        if (valid.invalid_reason(cs.mdl, cs.sys, cs.batch)) continue;
+        const auto bounds =
+            core::search_bounds(cs.mdl, cs.sys, cfg, cs.batch);
+        const auto r = best_placement(cs.mdl, cs.sys, cfg, cs.batch);
+        if (!r.feasible) {
+          continue;  // memory floor <= actual is only meaningful if it fits
+        }
+        ++checked;
+        EXPECT_LE(bounds.time_floor, r.iteration() * (1 + 1e-9))
+            << cfg.describe();
+        EXPECT_LE(bounds.memory_floor, r.mem.total() * (1 + 1e-9))
+            << cfg.describe();
+      }
+    }
+    EXPECT_GT(checked, 0u);
+  }
 }
 
 TEST(FindOptimal, ReportsInfeasibleWhenNothingFits) {

@@ -44,7 +44,7 @@ TEST(InterleaveSearch, NeverWorseThanBaseline) {
   const auto inter = find_optimal(model::gpt3_1t(), b200(16384), opts);
   ASSERT_TRUE(base.best.feasible && inter.best.feasible);
   EXPECT_LE(inter.best.iteration(), base.best.iteration() * (1 + 1e-12));
-  EXPECT_GT(inter.evaluated, base.evaluated);
+  EXPECT_GT(inter.stats.candidates, base.stats.candidates);
 }
 
 TEST(InterleaveSearch, PicksInterleavingAtBubbleBoundScale) {
@@ -64,7 +64,7 @@ TEST(Zero3Search, ExpandsTheSpace) {
   const auto z = find_optimal(model::gpt3_1t(), b200(512), opts);
   ASSERT_TRUE(base.best.feasible && z.best.feasible);
   EXPECT_LE(z.best.iteration(), base.best.iteration() * (1 + 1e-12));
-  EXPECT_GT(z.evaluated, base.evaluated);
+  EXPECT_GT(z.stats.candidates, base.stats.candidates);
 }
 
 TEST(EvalOptionsPassthrough, OverlapSpeedsUpOptimum) {
