@@ -61,10 +61,10 @@ int main() {
     for (std::int64_t g : {std::int64_t{64}, std::int64_t{1024}}) {
       for (double v : {1e5, 1e7, 1e9}) {
         const comm::GroupPlacement pl{g, 8};
-        const double ring =
-            comm::collective_time(net, ops::Collective::AllReduce, v, pl);
-        const double tree =
-            comm::tree_time(net, ops::Collective::AllReduce, v, pl);
+        const Seconds ring =
+            comm::collective_time(net, ops::Collective::AllReduce, Bytes(v), pl);
+        const Seconds tree =
+            comm::tree_time(net, ops::Collective::AllReduce, Bytes(v), pl);
         t.add_row({std::to_string(g), util::format_bytes(v),
                    util::format_time(ring), util::format_time(tree),
                    tree < ring ? "tree" : "ring"});

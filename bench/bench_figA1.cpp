@@ -35,8 +35,8 @@ int main() {
     util::Series sim{"sim NVL" + std::to_string(nvs), {}, {}};
     for (double v = 1e6; v <= 16e9; v *= 4) {
       const sim::ValidationPoint p = sim::validate_collective(
-          net, ops::Collective::AllGather, v, g, nvs,
-          "AG " + util::format_bytes(v));
+          net, ops::Collective::AllGather, Bytes(v), g, nvs,
+          "AG " + util::format_bytes(Bytes(v)));
       table.add_row({util::format_bytes(v), "NVL" + std::to_string(nvs),
                      util::format_time(p.analytic_seconds),
                      util::format_time(p.simulated_seconds),

@@ -54,7 +54,7 @@ int main() {
       std::vector<double> row;
       for (double cap : capacity_gb) {
         hw::SystemConfig sys = hw::make_system(hw::GpuGeneration::B200, 8, n);
-        sys.gpu = base.with_memory(cap * 1e9, bw * 1e9);
+        sys.gpu = base.with_memory(Bytes(cap * 1e9), BytesPerSec(bw * 1e9));
         const auto r =
             report::optimal_at_scale(panel.mdl, sys, panel.strategy, b, n);
         const double v = r.feasible ? r.iteration() : std::nan("");

@@ -43,7 +43,7 @@ double predicted_mfu(const model::TransformerConfig& mdl, std::int64_t n,
                         static_cast<double>(b) *
                         static_cast<double>(mdl.seq_len);
   // MFU against the UN-derated peak (as published numbers are reported).
-  return useful / (r.iteration() * hw::a100().tensor_flops *
+  return useful / (r.iteration() * hw::a100().tensor_flops.value() *
                    static_cast<double>(n));
 }
 

@@ -26,17 +26,18 @@ void print_layer_table(const std::string& caption,
                 "Vol fwd [elems]", "stored [elems]"});
   for (const auto& op : layer.ops) {
     std::string colls;
-    double vol = 0;
+    Bytes vol;
     for (const auto& r : op.fwd_comm) {
       if (!colls.empty()) colls += "+";
       colls += ops::to_string(r.collective) + "(" + ops::to_string(r.group) + ")";
       vol += r.bytes;
     }
     if (colls.empty()) colls = "-";
-    t.add_row({op.name, op.detail.empty() ? "-" : op.detail,
-               ops::to_string(op.unit), colls,
-               util::format_fixed(vol / ops::kBytesPerElement, 0),
-               util::format_fixed(op.stored_bytes / ops::kBytesPerElement, 0)});
+    t.add_row(
+        {op.name, op.detail.empty() ? "-" : op.detail, ops::to_string(op.unit),
+         colls, util::format_fixed(vol.value() / ops::kBytesPerElement, 0),
+         util::format_fixed(op.stored_bytes.value() / ops::kBytesPerElement,
+                            0)});
   }
   std::cout << "== " << caption << " ==\n";
   t.print(std::cout);
@@ -88,31 +89,31 @@ int main() {
     t.add_row({name, getter(0), getter(1), getter(2)});
   };
   row("Tensor core FP16 (TFLOPs/s)", [&](int i) {
-    return util::format_fixed(g[i].tensor_flops / 1e12, 0);
+    return util::format_fixed(g[i].tensor_flops.value() / 1e12, 0);
   });
   row("Vector FP16 (TFLOPs/s)", [&](int i) {
-    return util::format_fixed(g[i].vector_flops / 1e12, 0);
+    return util::format_fixed(g[i].vector_flops.value() / 1e12, 0);
   });
   row("Flops latency (s)", [&](int i) {
-    return util::format_fixed(g[i].flops_latency, 5);
+    return util::format_fixed(g[i].flops_latency.value(), 5);
   });
   row("HBM bandwidth (GB/s)", [&](int i) {
-    return util::format_fixed(g[i].hbm_bandwidth / 1e9, 0);
+    return util::format_fixed(g[i].hbm_bandwidth.value() / 1e9, 0);
   });
   row("HBM capacity (GB)", [&](int i) {
-    return util::format_fixed(g[i].hbm_capacity / 1e9, 0);
+    return util::format_fixed(g[i].hbm_capacity.value() / 1e9, 0);
   });
   row("NVS 1-dir bandwidth (GB/s)", [&](int i) {
-    return util::format_fixed(n[i].nvs_bandwidth / 1e9, 0);
+    return util::format_fixed(n[i].nvs_bandwidth.value() / 1e9, 0);
   });
   row("NVS latency (s)", [&](int i) {
-    return util::format_fixed(n[i].nvs_latency * 1e6, 1) + "e-6";
+    return util::format_fixed(n[i].nvs_latency.value() * 1e6, 1) + "e-6";
   });
   row("IB bandwidth (GB/s)", [&](int i) {
-    return util::format_fixed(n[i].ib_bandwidth / 1e9, 0);
+    return util::format_fixed(n[i].ib_bandwidth.value() / 1e9, 0);
   });
   row("IB latency (s)", [&](int i) {
-    return util::format_fixed(n[i].ib_latency * 1e6, 1) + "e-6";
+    return util::format_fixed(n[i].ib_latency.value() * 1e6, 1) + "e-6";
   });
   std::cout << "== Table A3 | GPU and network parameters ==\n";
   t.print(std::cout);

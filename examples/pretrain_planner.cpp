@@ -51,8 +51,9 @@ int main(int argc, char** argv) {
       const double useful =
           6.0 * static_cast<double>(mdl.total_params()) *
           static_cast<double>(b) * static_cast<double>(mdl.seq_len);
-      const double mfu = useful / (r.iteration() * sys.gpu.tensor_flops *
-                                   static_cast<double>(n));
+      const double mfu =
+          useful / (r.iteration() * sys.gpu.tensor_flops.value() *
+                    static_cast<double>(n));
       const core::CostEstimate cost =
           core::estimate_cost(sys, n, est.total_seconds);
       t.add_row({hw::to_string(gen), std::to_string(n), r.cfg.describe(),

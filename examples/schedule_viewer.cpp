@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   }
 
   const sim::PipelineTrace trace = sim::simulate_pipeline(
-      {np, m, r.t_fwd_micro, r.t_bwd_micro, 1e-4});
+      {np, m, Seconds(r.t_fwd_micro), Seconds(r.t_bwd_micro), Seconds(1e-4)});
   sim::write_chrome_trace_file(out, trace);
 
   std::cout << "Simulated " << np << "-stage 1F1B with " << m

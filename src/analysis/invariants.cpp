@@ -1,0 +1,490 @@
+#include "analysis/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "ops/op_factory.hpp"
+
+namespace tfpe::analysis {
+
+namespace {
+
+using ops::Collective;
+using ops::CommGroup;
+using ops::kBytesPerElement;
+using ops::kBytesPerMaskElement;
+
+double rel_diff(double expected, double actual) {
+  const double scale = std::max(std::abs(expected), std::abs(actual));
+  if (scale == 0.0) return 0.0;
+  return std::abs(expected - actual) / scale;
+}
+
+Collective conjugate(Collective c) {
+  switch (c) {
+    case Collective::AllGather: return Collective::ReduceScatter;
+    case Collective::ReduceScatter: return Collective::AllGather;
+    case Collective::Broadcast: return Collective::Reduce;
+    case Collective::Reduce: return Collective::Broadcast;
+    default: return c;  // AR, P2P, A2A are self-conjugate.
+  }
+}
+
+struct ExpectedComm {
+  Collective coll = Collective::None;
+  CommGroup group = CommGroup::TP1;
+  double bytes = 0;
+};
+
+/// Independent re-derivation of one op's table row: its stored-activation
+/// bytes and forward collectives (paper Tables I / II / A2).
+struct ExpectedOp {
+  std::string name;
+  double stored = 0;
+  std::vector<ExpectedComm> fwd;
+};
+
+/// The per-op expectations for the block (mdl, cfg, B) in canonical order.
+/// Formulas mirror the tables, NOT the builder code: volumes are written as
+/// the paper's Vol column entries so a builder regression is caught even if
+/// it is self-consistent.
+std::vector<ExpectedOp> expected_ops(const model::TransformerConfig& mdl,
+                                     const parallel::ParallelConfig& cfg,
+                                     std::int64_t local_microbatch) {
+  const double B = static_cast<double>(local_microbatch);
+  const double l = static_cast<double>(mdl.seq_len);
+  const double e = static_cast<double>(mdl.embed);
+  const double f = static_cast<double>(mdl.hidden);
+  const double h = static_cast<double>(mdl.heads);
+  const double eh = static_cast<double>(mdl.head_dim());
+  const double ekv = static_cast<double>(mdl.kv_embed());
+  const double hkv = static_cast<double>(mdl.kv_heads_or_default());
+  const double n1 = static_cast<double>(cfg.n1);
+  const double n2 = static_cast<double>(cfg.n2);
+  const bool two_d = cfg.strategy != parallel::TpStrategy::TP1D;
+  const bool summa = cfg.strategy == parallel::TpStrategy::Summa2D;
+  const double eps = kBytesPerElement;
+
+  // Sequence shard the weight matmuls see (full l under 1D TP) and the
+  // fully partitioned shard in the LayerNorm/dropout regions.
+  const double lq = two_d ? l / n2 : l;
+  const double ln_elems = B * l * e / (n1 * n2);
+
+  // K/V volume gathered across n2 (Table II): full sequence for dense
+  // attention, the window halo for windowed attention.
+  const double kv_gather_len =
+      mdl.attention == model::AttentionKind::kWindowed
+          ? std::min(l, l / n2 + static_cast<double>(mdl.window))
+          : l;
+  const double vol_kv = eps * B * kv_gather_len * ekv / n1;
+
+  // Sequence-parallel AllGather/ReduceScatter volume: b*l*e under 1D TP
+  // (Table I), b*(l/n2)*e per grid row under 2D TP (Table II).
+  const double vol_seq = eps * B * lq * e;
+
+  std::vector<ExpectedOp> exp;
+  auto add = [&](std::string name, double stored,
+                 std::vector<ExpectedComm> fwd = {}) {
+    exp.push_back({std::move(name), stored, std::move(fwd)});
+  };
+
+  // --- Self-attention ---
+  if (summa) {
+    // LN statistics AllReduce across the embedding shards (Table A2).
+    add("ln1", eps * ln_elems, {{Collective::AllReduce, CommGroup::TP1, vol_seq}});
+  } else {
+    add("ln1", eps * ln_elems, {{Collective::AllGather, CommGroup::TP1, vol_seq}});
+  }
+  if (summa) {
+    // SUMMA QKV: A row-panels over TP1 (b*l*e/n2) + B column-panels over
+    // TP2 (e*(e+2ekv)/n1), Table A2 V1.
+    add("qkv_proj", eps * B * l * e / (n1 * n2),
+        {{Collective::Broadcast, CommGroup::TP1, eps * B * l * e / n2},
+         {Collective::Broadcast, CommGroup::TP2, eps * e * (e + 2.0 * ekv) / n1}});
+  } else {
+    // Stores the gathered X~ (replicated over n1).
+    add("qkv_proj", eps * B * lq * e);
+  }
+  {
+    // FlashAttention keeps Q/K/V shards + output + softmax statistics.
+    const double bh = B * h / n1;
+    const double stored = eps * (B * lq * (e + 2.0 * ekv) / n1 + bh * lq * eh) +
+                          4.0 * bh * lq;
+    std::vector<ExpectedComm> fwd;
+    if (two_d) {
+      if (mdl.attention == model::AttentionKind::kLinear) {
+        // Linear attention reduces the per-head (eh x eh) state across n2.
+        fwd.push_back({Collective::AllReduce, CommGroup::TP2,
+                       eps * B * (hkv / n1) * eh * eh});
+      } else if (cfg.ring_attention) {
+        // n2-1 P2P steps circulate both K and V shards around the ring.
+        fwd.push_back({Collective::PointToPoint, CommGroup::TP2,
+                       2.0 * vol_kv * (n2 - 1.0) / n2});
+      } else {
+        fwd.push_back({Collective::AllGather, CommGroup::TP2, vol_kv});
+        fwd.push_back({Collective::AllGather, CommGroup::TP2, vol_kv});
+      }
+    }
+    add("attention", stored, std::move(fwd));
+  }
+  add("out_proj", eps * B * lq * e / n1,
+      {{Collective::ReduceScatter, CommGroup::TP1, vol_seq}});
+  add("attn_dropout", kBytesPerMaskElement * ln_elems);
+  add("attn_residual", 0.0);
+
+  // --- MLP ---
+  if (summa) {
+    add("ln2", eps * ln_elems, {{Collective::AllReduce, CommGroup::TP1, vol_seq}});
+  } else {
+    add("ln2", eps * ln_elems, {{Collective::AllGather, CommGroup::TP1, vol_seq}});
+  }
+  // The SUMMA builder keeps the MLP dense (Table A2 has no MoE variant).
+  if (mdl.is_moe() && !summa) {
+    const double E = static_cast<double>(mdl.moe_experts);
+    const double topk = static_cast<double>(mdl.moe_top_k);
+    const double owned = ln_elems / e;        // tokens this GPU owns
+    const double routed = B * lq * topk;      // tokens through the experts
+    const double a2a = eps * owned * e * topk;
+    add("moe_router", 0.0);
+    add("moe_route_softmax", eps * owned * E);
+    add("moe_dispatch", 0.0, {{Collective::AllToAll, CommGroup::DP, a2a}});
+    add("moe_fc1", eps * routed * e);
+    add("moe_gelu", eps * routed * f / n1);
+    add("moe_fc2", eps * routed * f / n1,
+        {{Collective::ReduceScatter, CommGroup::TP1, eps * B * lq * e * topk}});
+    add("moe_combine", 0.0, {{Collective::AllToAll, CommGroup::DP, a2a}});
+  } else if (summa) {
+    add("mlp_fc1", eps * B * l * e / (n1 * n2),
+        {{Collective::Broadcast, CommGroup::TP1, eps * B * l * e / n2},
+         {Collective::Broadcast, CommGroup::TP2, eps * e * f / n1}});
+    add("gelu", eps * B * lq * f / n1);
+    add("mlp_fc2", eps * B * l * f / (n1 * n2),
+        {{Collective::Broadcast, CommGroup::TP1, eps * B * l * f / n2},
+         {Collective::Broadcast, CommGroup::TP2, eps * f * e / n1}});
+  } else {
+    add("mlp_fc1", eps * B * lq * e);
+    add("gelu", eps * B * lq * f / n1);
+    add("mlp_fc2", eps * B * lq * f / n1,
+        {{Collective::ReduceScatter, CommGroup::TP1, vol_seq}});
+  }
+  add("mlp_dropout", kBytesPerMaskElement * ln_elems);
+  add("mlp_residual", 0.0);
+  return exp;
+}
+
+class Linter {
+ public:
+  Linter(const model::TransformerConfig& mdl,
+         const parallel::ParallelConfig& cfg, std::int64_t local_microbatch,
+         const parallel::LayerCost& layer, const LintOptions& opts)
+      : mdl_(mdl), cfg_(cfg), b_(local_microbatch), layer_(layer),
+        opts_(opts) {}
+
+  LintReport run() {
+    const bool aligned = check_sequence();
+    if (aligned) {
+      check_activations();
+      check_collectives();
+    }
+    check_shape_chain();
+    check_fwd_bwd_comm();
+    check_fwd_bwd_flops();
+    check_flop_invariance();
+    check_pp_boundary();
+    return std::move(report_);
+  }
+
+ private:
+  void emit(std::string rule, std::string op, double expected, double actual,
+            std::string message, Severity sev = Severity::kError) {
+    report_.diagnostics.push_back({std::move(rule), std::move(op), expected,
+                                   actual, std::move(message), sev});
+  }
+
+  bool check_sequence() {
+    const auto exp = expected_ops(mdl_, cfg_, b_);
+    bool aligned = layer_.ops.size() == exp.size();
+    if (!aligned) {
+      std::ostringstream msg;
+      msg << "expected " << exp.size() << " ops, layer has "
+          << layer_.ops.size();
+      emit("op-sequence", "<layer>", static_cast<double>(exp.size()),
+           static_cast<double>(layer_.ops.size()), msg.str());
+      return false;
+    }
+    for (std::size_t i = 0; i < exp.size(); ++i) {
+      if (layer_.ops[i].name != exp[i].name) {
+        emit("op-sequence", layer_.ops[i].name, 0, 0,
+             "op #" + std::to_string(i) + " is '" + layer_.ops[i].name +
+                 "', expected '" + exp[i].name + "'");
+        aligned = false;
+      }
+    }
+    return aligned;
+  }
+
+  void check_activations() {
+    const auto exp = expected_ops(mdl_, cfg_, b_);
+    double exp_total = 0;
+    for (std::size_t i = 0; i < exp.size(); ++i) {
+      exp_total += exp[i].stored;
+      const double actual = layer_.ops[i].stored_bytes.value();
+      if (rel_diff(exp[i].stored, actual) > opts_.bytes_rtol) {
+        std::ostringstream msg;
+        msg << "op '" << exp[i].name << "' stores " << actual
+            << " B, table prescribes " << exp[i].stored << " B";
+        emit("activation-term", exp[i].name, exp[i].stored, actual, msg.str());
+      }
+    }
+    const double actual_total = layer_.stored_bytes().value();
+    if (rel_diff(exp_total, actual_total) > opts_.bytes_rtol) {
+      std::ostringstream msg;
+      msg << "block stores " << actual_total
+          << " B total, activation partition sums to " << exp_total << " B";
+      emit("activation-sum", "<layer>", exp_total, actual_total, msg.str());
+    }
+  }
+
+  void check_collectives() {
+    const auto exp = expected_ops(mdl_, cfg_, b_);
+    for (std::size_t i = 0; i < exp.size(); ++i) {
+      const auto& op = layer_.ops[i];
+      if (op.fwd_comm.size() != exp[i].fwd.size()) {
+        std::ostringstream msg;
+        msg << "op '" << op.name << "' has " << op.fwd_comm.size()
+            << " forward collectives, table prescribes " << exp[i].fwd.size();
+        emit("collective-structure", op.name,
+             static_cast<double>(exp[i].fwd.size()),
+             static_cast<double>(op.fwd_comm.size()), msg.str());
+        continue;
+      }
+      for (std::size_t j = 0; j < exp[i].fwd.size(); ++j) {
+        const auto& want = exp[i].fwd[j];
+        const auto& got = op.fwd_comm[j];
+        if (got.collective != want.coll || got.group != want.group) {
+          std::ostringstream msg;
+          msg << "op '" << op.name << "' collective #" << j << " is "
+              << ops::to_string(got.collective) << " over "
+              << ops::to_string(got.group) << ", table prescribes "
+              << ops::to_string(want.coll) << " over "
+              << ops::to_string(want.group);
+          emit("collective-structure", op.name, 0, 0, msg.str());
+          continue;
+        }
+        if (rel_diff(want.bytes, got.bytes.value()) > opts_.bytes_rtol) {
+          std::ostringstream msg;
+          msg << "op '" << op.name << "' " << ops::to_string(want.coll)
+              << " volume is " << got.bytes.value() << " B, table Vol is "
+              << want.bytes << " B";
+          emit("collective-volume", op.name, want.bytes, got.bytes.value(),
+               msg.str());
+        }
+      }
+    }
+  }
+
+  void check_shape_chain() {
+    for (std::size_t i = 0; i + 1 < layer_.ops.size(); ++i) {
+      const auto& prod = layer_.ops[i];
+      const auto& cons = layer_.ops[i + 1];
+      if (prod.out_elems <= 0 || cons.in_elems <= 0) continue;  // unchecked
+      if (rel_diff(prod.out_elems, cons.in_elems) > opts_.shape_rtol) {
+        std::ostringstream msg;
+        msg << "'" << prod.name << "' produces " << prod.out_elems
+            << " elements but '" << cons.name << "' consumes "
+            << cons.in_elems;
+        emit("shape-chain", cons.name, prod.out_elems, cons.in_elems,
+             msg.str());
+      }
+    }
+  }
+
+  void check_fwd_bwd_comm() {
+    for (const auto& op : layer_.ops) {
+      if (op.bwd_comm.size() == op.fwd_comm.size()) {
+        for (std::size_t j = 0; j < op.fwd_comm.size(); ++j) {
+          const auto& fr = op.fwd_comm[j];
+          const auto& br = op.bwd_comm[j];
+          if (br.collective != conjugate(fr.collective) ||
+              br.group != fr.group) {
+            std::ostringstream msg;
+            msg << "op '" << op.name << "' backward collective #" << j
+                << " is " << ops::to_string(br.collective) << " over "
+                << ops::to_string(br.group) << ", conjugate of forward is "
+                << ops::to_string(conjugate(fr.collective)) << " over "
+                << ops::to_string(fr.group);
+            emit("fwd-bwd-comm", op.name, 0, 0, msg.str());
+          } else if (rel_diff(fr.bytes.value(), br.bytes.value()) >
+                     opts_.bytes_rtol) {
+            std::ostringstream msg;
+            msg << "op '" << op.name << "' backward volume "
+                << br.bytes.value() << " B != forward volume "
+                << fr.bytes.value() << " B";
+            emit("fwd-bwd-comm", op.name, fr.bytes.value(), br.bytes.value(),
+                 msg.str());
+          }
+        }
+      } else if (op.bwd_comm.size() == 2 * op.fwd_comm.size()) {
+        // SUMMA multiplies: dA and dB are each a broadcast+reduce pair, so
+        // the backward carries 2x the forward volume per group.
+        for (CommGroup g : {CommGroup::TP1, CommGroup::TP2, CommGroup::DP,
+                            CommGroup::PP}) {
+          double fwd_vol = 0, bwd_vol = 0;
+          for (const auto& r : op.fwd_comm)
+            if (r.group == g) fwd_vol += r.bytes.value();
+          for (const auto& r : op.bwd_comm)
+            if (r.group == g) bwd_vol += r.bytes.value();
+          if (rel_diff(2.0 * fwd_vol, bwd_vol) > opts_.bytes_rtol) {
+            std::ostringstream msg;
+            msg << "op '" << op.name << "' backward volume over "
+                << ops::to_string(g) << " is " << bwd_vol
+                << " B, expected 2x forward = " << 2.0 * fwd_vol << " B";
+            emit("fwd-bwd-comm", op.name, 2.0 * fwd_vol, bwd_vol, msg.str());
+          }
+        }
+      } else {
+        std::ostringstream msg;
+        msg << "op '" << op.name << "' has " << op.bwd_comm.size()
+            << " backward collectives for " << op.fwd_comm.size()
+            << " forward ones (expected equal, or 2x for SUMMA)";
+        emit("fwd-bwd-comm", op.name,
+             static_cast<double>(op.fwd_comm.size()),
+             static_cast<double>(op.bwd_comm.size()), msg.str());
+      }
+    }
+  }
+
+  void check_fwd_bwd_flops() {
+    for (const auto& op : layer_.ops) {
+      if (op.fwd_flops.value() <= 0) continue;
+      const double ratio = op.bwd_flops.value() / op.fwd_flops.value();
+      // Matmuls: two backward multiplies (~2x, exactly 2.5x for fused
+      // attention's recompute). Vector ops: same element count (~1x).
+      const double lo = op.unit == ops::ComputeUnit::TensorCore ? 1.5 : 0.5;
+      const double hi = op.unit == ops::ComputeUnit::TensorCore ? 3.0 : 1.5;
+      if (ratio < lo || ratio > hi) {
+        std::ostringstream msg;
+        msg << "op '" << op.name << "' bwd/fwd FLOP ratio " << ratio
+            << " outside [" << lo << ", " << hi << "] for "
+            << ops::to_string(op.unit) << " ops";
+        emit("fwd-bwd-flops", op.name, lo, ratio, msg.str(),
+             Severity::kWarning);
+      }
+    }
+  }
+
+  void check_flop_invariance() {
+    // The SUMMA builder intentionally keeps a dense MLP for MoE models, so
+    // the serial MoE baseline is not comparable.
+    if (cfg_.strategy == parallel::TpStrategy::Summa2D && mdl_.is_moe())
+      return;
+    parallel::ParallelConfig serial = cfg_;
+    serial.strategy = parallel::TpStrategy::TP1D;
+    serial.n1 = 1;
+    serial.n2 = 1;
+    serial.ring_attention = false;
+    const parallel::LayerCost base = parallel::build_layer_1d(mdl_, serial, b_);
+    const double tp = static_cast<double>(cfg_.tp());
+    const double fwd_scaled = tp * layer_.fwd_flops().value();
+    const double bwd_scaled = tp * layer_.bwd_flops().value();
+    if (rel_diff(base.fwd_flops().value(), fwd_scaled) > opts_.flop_rtol) {
+      std::ostringstream msg;
+      msg << "n1*n2 * per-GPU forward FLOPs = " << fwd_scaled
+          << ", serial block = " << base.fwd_flops().value()
+          << " (dimension splits must conserve work)";
+      emit("flop-invariance", "<layer>", base.fwd_flops().value(), fwd_scaled,
+           msg.str());
+    }
+    if (rel_diff(base.bwd_flops().value(), bwd_scaled) > opts_.flop_rtol) {
+      std::ostringstream msg;
+      msg << "n1*n2 * per-GPU backward FLOPs = " << bwd_scaled
+          << ", serial block = " << base.bwd_flops().value();
+      emit("flop-invariance", "<layer>", base.bwd_flops().value(), bwd_scaled,
+           msg.str());
+    }
+  }
+
+  void check_pp_boundary() {
+    const double expected = kBytesPerElement * static_cast<double>(b_) *
+                            static_cast<double>(mdl_.seq_len) *
+                            static_cast<double>(mdl_.embed) /
+                            (static_cast<double>(cfg_.n1) *
+                             static_cast<double>(cfg_.n2));
+    const double actual = layer_.pp_boundary_bytes.value();
+    if (rel_diff(expected, actual) > opts_.bytes_rtol) {
+      std::ostringstream msg;
+      msg << "pipeline boundary is " << actual
+          << " B, one (b,l,e)/(n1 n2) activation tensor is " << expected
+          << " B";
+      emit("pp-boundary", "<layer>", expected, actual, msg.str());
+    }
+  }
+
+  const model::TransformerConfig& mdl_;
+  const parallel::ParallelConfig& cfg_;
+  std::int64_t b_;
+  const parallel::LayerCost& layer_;
+  LintOptions opts_;
+  LintReport report_;
+};
+
+}  // namespace
+
+std::string to_string(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+std::size_t LintReport::errors() const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::kError;
+                    }));
+}
+
+std::size_t LintReport::warnings() const {
+  return diagnostics.size() - errors();
+}
+
+std::string LintReport::summary() const {
+  std::ostringstream out;
+  for (const auto& d : diagnostics) {
+    out << "[" << to_string(d.severity) << "] " << d.rule << " @ " << d.op
+        << ": " << d.message << "\n";
+  }
+  out << errors() << " error(s), " << warnings() << " warning(s)";
+  return out.str();
+}
+
+LintReport lint_layer(const model::TransformerConfig& mdl,
+                      const parallel::ParallelConfig& cfg,
+                      std::int64_t local_microbatch,
+                      const parallel::LayerCost& layer,
+                      const LintOptions& opts) {
+  return Linter(mdl, cfg, local_microbatch, layer, opts).run();
+}
+
+LintReport lint_config(const model::TransformerConfig& mdl,
+                       const parallel::ParallelConfig& cfg,
+                       std::int64_t local_microbatch,
+                       const LintOptions& opts) {
+  const parallel::LayerCost layer =
+      parallel::build_layer(mdl, cfg, local_microbatch);
+  return lint_layer(mdl, cfg, local_microbatch, layer, opts);
+}
+
+void assert_layer_invariants(const model::TransformerConfig& mdl,
+                             const parallel::ParallelConfig& cfg,
+                             std::int64_t local_microbatch,
+                             const parallel::LayerCost& layer) {
+  const LintReport report = lint_layer(mdl, cfg, local_microbatch, layer);
+  if (report.errors() > 0) {
+    throw std::logic_error("layer invariants violated for " + cfg.describe() +
+                           ":\n" + report.summary());
+  }
+}
+
+}  // namespace tfpe::analysis

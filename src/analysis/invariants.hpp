@@ -1,0 +1,100 @@
+#pragma once
+// Op-graph invariant analyzer (model-invariant linter).
+//
+// The layer builders (parallel/layer_builder_*.cpp) implement the paper's
+// Tables I / II / A2 op lists. This pass independently re-derives what each
+// built op MUST look like from the conservation laws of the parallelization
+// algebra and checks the construction against them:
+//
+//   op-sequence          the block emits the canonical op order
+//   flop-invariance      splitting dimensions conserves total FLOPs:
+//                        n1*n2 * per-GPU FLOPs == the serial (n1=n2=1) block
+//   activation-term      each op stores exactly its table entry;
+//   activation-sum       the per-block total partitions accordingly
+//   collective-structure every op carries the collectives (type, group,
+//                        count) its table row prescribes
+//   collective-volume    with the re-derived Table I/II/A2 volumes
+//   shape-chain          each op's output element count feeds the next op's
+//                        input (collectives resize tensors in between)
+//   fwd-bwd-comm         backward collectives are the conjugates of the
+//                        forward ones (AG <-> RS, B <-> R) at equal volume
+//                        (SUMMA: two conjugate pairs, 2x volume per group)
+//   fwd-bwd-flops        backward/forward FLOP ratios stay in the ranges
+//                        implied by the counting rules (warning only)
+//   pp-boundary          the pipeline handoff is one (b, l, e)/(n1 n2)
+//                        activation tensor
+//
+// The analyzer is pure and cheap (a few hundred float ops per layer); debug
+// builds run it on every evaluator call, tests and `tfpe_cli lint` consume
+// the structured diagnostics directly.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/transformer.hpp"
+#include "parallel/layer_builder.hpp"
+#include "parallel/parallel_config.hpp"
+
+namespace tfpe::analysis {
+
+enum class Severity {
+  kWarning,  ///< Suspicious but heuristic (e.g. bwd/fwd FLOP ratio range).
+  kError,    ///< A conservation law is violated; the op list is wrong.
+};
+
+std::string to_string(Severity s);
+
+/// One violated invariant, tied to the rule that derived it and the op (or
+/// layer-level aggregate) it fired on.
+struct Diagnostic {
+  std::string rule;     ///< Stable rule id, e.g. "collective-volume".
+  std::string op;       ///< Op name, or "<layer>" for aggregate rules.
+  double expected = 0;  ///< Value the invariant prescribes.
+  double actual = 0;    ///< Value found in the built op list.
+  std::string message;  ///< Human-readable explanation with units.
+  Severity severity = Severity::kError;
+};
+
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+
+  bool clean() const { return diagnostics.empty(); }
+  std::size_t errors() const;
+  std::size_t warnings() const;
+  /// Multi-line report: one line per diagnostic plus a trailing count line.
+  std::string summary() const;
+};
+
+struct LintOptions {
+  /// Relative tolerance for the FLOP-invariance rule. The (2k-1) terms of
+  /// split contraction dimensions legitimately deviate by ~(split-1)/(2k).
+  double flop_rtol = 1e-2;
+  /// Relative tolerance for byte-exact quantities (volumes, stored bytes).
+  double bytes_rtol = 1e-9;
+  /// Relative tolerance for element counts in the producer/consumer chain.
+  double shape_rtol = 1e-6;
+};
+
+/// Lint a pre-built layer against the model/config that produced it.
+LintReport lint_layer(const model::TransformerConfig& mdl,
+                      const parallel::ParallelConfig& cfg,
+                      std::int64_t local_microbatch,
+                      const parallel::LayerCost& layer,
+                      const LintOptions& opts = {});
+
+/// Build the layer for (mdl, cfg) and lint it.
+LintReport lint_config(const model::TransformerConfig& mdl,
+                       const parallel::ParallelConfig& cfg,
+                       std::int64_t local_microbatch,
+                       const LintOptions& opts = {});
+
+/// Debug-build hook: throws std::logic_error with the report summary when
+/// the layer violates any error-severity invariant.
+void assert_layer_invariants(const model::TransformerConfig& mdl,
+                             const parallel::ParallelConfig& cfg,
+                             std::int64_t local_microbatch,
+                             const parallel::LayerCost& layer);
+
+}  // namespace tfpe::analysis

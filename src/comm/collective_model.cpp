@@ -6,7 +6,7 @@
 
 namespace tfpe::comm {
 
-double ring_latency(const hw::NetworkSpec& net, GroupPlacement g) {
+Seconds ring_latency(const hw::NetworkSpec& net, GroupPlacement g) {
   const std::int64_t nvs = std::clamp<std::int64_t>(g.nvs, 1, g.size);
   const double nodes = static_cast<double>(g.size) / static_cast<double>(nvs);
   const double slow_hops = nodes - 1.0;
@@ -14,13 +14,13 @@ double ring_latency(const hw::NetworkSpec& net, GroupPlacement g) {
   return net.ib_latency * slow_hops + net.nvs_latency * fast_hops;
 }
 
-double effective_bandwidth(const hw::NetworkSpec& net, GroupPlacement g) {
+BytesPerSec effective_bandwidth(const hw::NetworkSpec& net, GroupPlacement g) {
   const std::int64_t nvs = std::clamp<std::int64_t>(g.nvs, 1, g.size);
-  const double bw_fast = net.effective_nvs_bandwidth();
+  const BytesPerSec bw_fast = net.effective_nvs_bandwidth();
   if (nvs == g.size) return bw_fast;  // fits inside one fast domain
   // The group occupies `nvs` GPUs per node, so NCCL can drive that many
   // rail-shares of the slow network concurrently.
-  double bw_slow =
+  BytesPerSec bw_slow =
       static_cast<double>(nvs) * net.effective_ib_bandwidth_per_gpu();
   // Fat-tree oversubscription: traffic leaving the pod shares the thinner
   // spine links.
@@ -30,43 +30,43 @@ double effective_bandwidth(const hw::NetworkSpec& net, GroupPlacement g) {
   return std::min(bw_slow, bw_fast);
 }
 
-double tree_time(const hw::NetworkSpec& net, ops::Collective coll,
-                 double bytes, GroupPlacement g) {
-  if (g.size <= 1 || bytes <= 0) return 0.0;
+Seconds tree_time(const hw::NetworkSpec& net, ops::Collective coll,
+                  Bytes bytes, GroupPlacement g) {
+  if (g.size <= 1 || bytes <= Bytes(0)) return Seconds(0);
   const std::int64_t nvs = std::clamp<std::int64_t>(g.nvs, 1, g.size);
   const double nodes = static_cast<double>(g.size) / static_cast<double>(nvs);
   // Tree depth: slow hops between node roots, fast hops inside nodes.
   const double slow_depth = nodes > 1 ? std::ceil(std::log2(nodes)) : 0.0;
   const double fast_depth =
       nvs > 1 ? std::ceil(std::log2(static_cast<double>(nvs))) : 0.0;
-  double latency = net.ib_latency * slow_depth + net.nvs_latency * fast_depth;
+  Seconds latency = net.ib_latency * slow_depth + net.nvs_latency * fast_depth;
   double passes = 1.0;  // Broadcast / Reduce: one pipelined pass
   if (coll == ops::Collective::AllReduce) {
     passes = 2.0;  // reduce up + broadcast down
     latency *= 2.0;
   }
-  return latency + passes * bytes / effective_bandwidth(net, g);
+  return latency + passes * (bytes / effective_bandwidth(net, g));
 }
 
-double collective_time(const hw::NetworkSpec& net, ops::Collective coll,
-                       double bytes, GroupPlacement g) {
-  if (bytes < 0) throw std::invalid_argument("collective_time: bytes < 0");
-  if (coll == ops::Collective::None || bytes == 0) return 0.0;
+Seconds collective_time(const hw::NetworkSpec& net, ops::Collective coll,
+                        Bytes bytes, GroupPlacement g) {
+  if (bytes < Bytes(0)) throw std::invalid_argument("collective_time: bytes < 0");
+  if (coll == ops::Collective::None || bytes == Bytes(0)) return Seconds(0);
 
   if (coll == ops::Collective::PointToPoint) {
     const bool in_domain = g.nvs >= 2;
-    const double bw = in_domain ? net.effective_nvs_bandwidth()
-                                : net.effective_ib_bandwidth_per_gpu();
-    const double alpha = in_domain ? net.nvs_latency : net.ib_latency;
+    const BytesPerSec bw = in_domain ? net.effective_nvs_bandwidth()
+                                     : net.effective_ib_bandwidth_per_gpu();
+    const Seconds alpha = in_domain ? net.nvs_latency : net.ib_latency;
     return alpha + bytes / bw;
   }
 
-  if (g.size <= 1) return 0.0;
+  if (g.size <= 1) return Seconds(0);
 
   const double gsz = static_cast<double>(g.size);
   const double ring_factor = (gsz - 1.0) / gsz;
   double factor = ring_factor;
-  double latency = ring_latency(net, g);
+  Seconds latency = ring_latency(net, g);
   switch (coll) {
     case ops::Collective::AllGather:
     case ops::Collective::ReduceScatter:
@@ -84,13 +84,13 @@ double collective_time(const hw::NetworkSpec& net, ops::Collective coll,
     default:
       break;
   }
-  double best = latency + factor * bytes / effective_bandwidth(net, g);
+  Seconds best = latency + factor * (bytes / effective_bandwidth(net, g));
   if (net.enable_ll) {
     // NCCL LL protocol: flag-based synchronization cuts the per-hop latency
     // at the cost of half the payload bandwidth.
-    const double ll = latency * net.ll_latency_scale +
-                      factor * bytes /
-                          (effective_bandwidth(net, g) * net.ll_bandwidth_scale);
+    const Seconds ll =
+        latency * net.ll_latency_scale +
+        factor * (bytes / (effective_bandwidth(net, g) * net.ll_bandwidth_scale));
     best = std::min(best, ll);
   }
   if (net.enable_tree && (coll == ops::Collective::AllReduce ||

@@ -29,25 +29,25 @@ struct GroupPlacement {
 
 /// Latency term of the two-level ring: slow hops between fast domains plus
 /// fast hops inside them.
-double ring_latency(const hw::NetworkSpec& net, GroupPlacement g);
+Seconds ring_latency(const hw::NetworkSpec& net, GroupPlacement g);
 
-/// Effective per-ring bandwidth available to the group [bytes/s]: the slower
-/// of the multi-rail IB path and the NVS path (pure NVS when the group fits
-/// in one fast domain).
-double effective_bandwidth(const hw::NetworkSpec& net, GroupPlacement g);
+/// Effective per-ring bandwidth available to the group: the slower of the
+/// multi-rail IB path and the NVS path (pure NVS when the group fits in one
+/// fast domain).
+BytesPerSec effective_bandwidth(const hw::NetworkSpec& net, GroupPlacement g);
 
 /// Time for one collective moving a full tensor of `bytes` over the group.
 /// Returns 0 for groups of size <= 1 (PointToPoint excepted: `bytes` is the
 /// message size between two neighbors, and `g.nvs >= 2` marks an in-domain
 /// neighbor). When net.enable_tree is set, AllReduce / Broadcast / Reduce
 /// use min(ring, tree).
-double collective_time(const hw::NetworkSpec& net, ops::Collective coll,
-                       double bytes, GroupPlacement g);
+Seconds collective_time(const hw::NetworkSpec& net, ops::Collective coll,
+                        Bytes bytes, GroupPlacement g);
 
 /// Double-binary-tree time for AllReduce / Broadcast / Reduce: latency
 /// scales with the tree depth instead of the ring length, bandwidth stays
 /// pipelined. Exposed for tests and the collective-algorithm ablation.
-double tree_time(const hw::NetworkSpec& net, ops::Collective coll,
-                 double bytes, GroupPlacement g);
+Seconds tree_time(const hw::NetworkSpec& net, ops::Collective coll,
+                  Bytes bytes, GroupPlacement g);
 
 }  // namespace tfpe::comm

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/invariants.hpp"
 #include "comm/collective_model.hpp"
 #include "ops/op_factory.hpp"
 #include "pipeline/pipeline_model.hpp"
@@ -24,10 +25,10 @@ comm::GroupPlacement placement_for(const parallel::ParallelConfig& cfg,
 
 /// Sum of collective times for a request list, with volumes scaled by
 /// 1/panels (per-panel time; latency paid per panel).
-double comm_time(const std::vector<ops::CommRequest>& reqs,
-                 const hw::SystemConfig& sys,
-                 const parallel::ParallelConfig& cfg, double inv_panels) {
-  double t = 0;
+Seconds comm_time(const std::vector<ops::CommRequest>& reqs,
+                  const hw::SystemConfig& sys,
+                  const parallel::ParallelConfig& cfg, double inv_panels) {
+  Seconds t;
   for (const auto& req : reqs) {
     t += comm::collective_time(sys.net, req.collective, req.bytes * inv_panels,
                                placement_for(cfg, req.group));
@@ -39,32 +40,33 @@ double comm_time(const std::vector<ops::CommRequest>& reqs,
 
 OpTime op_time(const ops::Op& op, bool backward, const hw::SystemConfig& sys,
                const parallel::ParallelConfig& cfg) {
-  const double flops = backward ? op.bwd_flops : op.fwd_flops;
-  const double bytes = backward ? op.bwd_bytes : op.fwd_bytes;
+  const Flops flops = backward ? op.bwd_flops : op.fwd_flops;
+  const Bytes bytes = backward ? op.bwd_bytes : op.fwd_bytes;
   const auto& reqs = backward ? op.bwd_comm : op.fwd_comm;
 
-  const double peak = op.unit == ops::ComputeUnit::TensorCore
-                          ? sys.gpu.tensor_flops
-                          : sys.gpu.vector_flops;
-  const double t_sf =
-      op.unit == ops::ComputeUnit::TensorCore ? sys.gpu.flops_latency : 0.0;
+  const FlopsPerSec peak = op.unit == ops::ComputeUnit::TensorCore
+                               ? sys.gpu.tensor_flops
+                               : sys.gpu.vector_flops;
+  const Seconds t_sf = op.unit == ops::ComputeUnit::TensorCore
+                           ? sys.gpu.flops_latency
+                           : Seconds(0);
 
   OpTime out;
   const std::int64_t panels = std::max<std::int64_t>(1, op.summa_panels);
   const double inv_panels = 1.0 / static_cast<double>(panels);
 
   // Per-panel roofline (panels == 1 for everything but SUMMA multiplies).
-  const double t_flop = flops * inv_panels / peak;
-  const double t_mem = bytes * inv_panels / sys.gpu.hbm_bandwidth;
-  const double t_panel = t_sf + std::max(t_flop, t_mem);
+  const Seconds t_flop = flops * inv_panels / peak;
+  const Seconds t_mem = bytes * inv_panels / sys.gpu.hbm_bandwidth;
+  const Seconds t_panel = t_sf + std::max(t_flop, t_mem);
   if (t_flop >= t_mem) {
-    out.compute = static_cast<double>(panels) * t_panel;
+    out.compute = t_panel * static_cast<double>(panels);
   } else {
-    out.memory = static_cast<double>(panels) * t_panel;
+    out.memory = t_panel * static_cast<double>(panels);
   }
 
   if (reqs.empty()) return out;
-  const double t_panel_comm = comm_time(reqs, sys, cfg, inv_panels);
+  const Seconds t_panel_comm = comm_time(reqs, sys, cfg, inv_panels);
   if (panels == 1) {
     // Non-SUMMA collectives are fully exposed (partial sums must complete
     // before the collective; successors wait on the synced tensor).
@@ -73,8 +75,8 @@ OpTime op_time(const ops::Op& op, bool backward, const hw::SystemConfig& sys,
     // SUMMA: the first panel's broadcasts are a prologue; later panels'
     // broadcasts overlap the previous panel's matmul and only the excess is
     // exposed (Appendix A).
-    out.comm = t_panel_comm + static_cast<double>(panels - 1) *
-                                  std::max(0.0, t_panel_comm - t_panel);
+    out.comm = t_panel_comm + std::max(Seconds(0), t_panel_comm - t_panel) *
+                                  static_cast<double>(panels - 1);
   }
   return out;
 }
@@ -91,6 +93,13 @@ EvalResult evaluate_with_layer(const model::TransformerConfig& mdl,
     res.reason = *why;
     return res;
   }
+
+#ifndef NDEBUG
+  // Debug builds cross-check every evaluated op list against the invariant
+  // analyzer's independent re-derivation of the paper tables.
+  analysis::assert_layer_invariants(mdl, cfg, cfg.local_microbatch(global_batch),
+                                    layer);
+#endif
 
   const std::int64_t m = cfg.microbatches;
   const std::int64_t layers = mdl.depth / cfg.np;
@@ -126,15 +135,17 @@ EvalResult evaluate_with_layer(const model::TransformerConfig& mdl,
   // Activation offload: write out and read back the offloaded fraction of
   // every stored tensor over the host link, once per microbatch per stage.
   if (opts.activation_offload > 0) {
-    const double per_micro =
-        2.0 * opts.activation_offload * layer.stored_bytes() /
-        sys.host_bandwidth;
-    fwd.memory += 0.5 * per_micro;  // write-out during forward
-    bwd.memory += 0.5 * per_micro;  // read-back during backward
+    const Seconds per_micro = layer.stored_bytes() *
+                              (2.0 * opts.activation_offload) /
+                              sys.host_bandwidth;
+    fwd.memory += per_micro * 0.5;  // write-out during forward
+    bwd.memory += per_micro * 0.5;  // read-back during backward
   }
 
-  res.t_fwd_micro = Ld * (fwd.compute + fwd.memory + fwd.comm);
-  res.t_bwd_micro = Ld * (bwd.compute + bwd.memory + bwd.comm);
+  const Seconds t_fwd_micro = (fwd.compute + fwd.memory + fwd.comm) * Ld;
+  const Seconds t_bwd_micro = (bwd.compute + bwd.memory + bwd.comm) * Ld;
+  Seconds t_fwd_stage = t_fwd_micro;
+  Seconds t_bwd_stage = t_bwd_micro;
 
   // Optional vocabulary modeling: the embedding gather on the first stage
   // and the logits matmul + softmax/cross-entropy on the last. The last
@@ -163,25 +174,33 @@ EvalResult evaluate_with_layer(const model::TransformerConfig& mdl,
       head_bwd.compute += b.compute;
       head_bwd.memory += b.memory;
     }
-    res.t_fwd_micro += head_fwd.compute + head_fwd.memory;
-    res.t_bwd_micro += head_bwd.compute + head_bwd.memory;
+    t_fwd_stage += head_fwd.compute + head_fwd.memory;
+    t_bwd_stage += head_bwd.compute + head_bwd.memory;
     head_weight_params = static_cast<double>(mdl.vocab) *
                          static_cast<double>(mdl.embed) /
                          static_cast<double>(cfg.n1);
   }
+  res.t_fwd_micro = t_fwd_stage.value();
+  res.t_bwd_micro = t_bwd_stage.value();
 
   // Steady phase: m microbatches, plus the (possibly interleaved) 1F1B
   // bubble.
-  res.time.compute = md * (Ld * (fwd.compute + bwd.compute) +
-                           head_fwd.compute + head_bwd.compute);
-  res.time.memory = md * (Ld * (fwd.memory + bwd.memory) + head_fwd.memory +
-                          head_bwd.memory);
-  res.time.tp_comm = md * Ld * (fwd.comm + bwd.comm);
-  res.time.bubble = pipeline::bubble_time(cfg.np, res.t_fwd_micro,
-                                          res.t_bwd_micro, cfg.interleave);
+  res.time.compute = (((fwd.compute + bwd.compute) * Ld + head_fwd.compute +
+                       head_bwd.compute) *
+                      md)
+                         .value();
+  res.time.memory =
+      (((fwd.memory + bwd.memory) * Ld + head_fwd.memory + head_bwd.memory) *
+       md)
+          .value();
+  res.time.tp_comm = ((fwd.comm + bwd.comm) * (md * Ld)).value();
+  res.time.bubble =
+      pipeline::bubble_time(cfg.np, t_fwd_stage, t_bwd_stage, cfg.interleave)
+          .value();
   res.time.pp_comm =
       pipeline::p2p_time(sys.net, cfg.np, m, layer.pp_boundary_bytes,
-                         cfg.nvsp > 1 ? 2 : 1, cfg.interleave);
+                         cfg.nvsp > 1 ? 2 : 1, cfg.interleave)
+          .value();
 
   // Data-parallel communication; the 2D-TP weight-gradient reduction across
   // n2 joins the same group.
@@ -193,23 +212,24 @@ EvalResult evaluate_with_layer(const model::TransformerConfig& mdl,
     dp_nvs *= cfg.nvs2;
   }
   if (dp_size > 1) {
-    const double grad_bytes = 2.0 * stage_params;
+    const Bytes grad_bytes = Bytes(2.0 * stage_params);
     const comm::GroupPlacement g{dp_size, dp_nvs};
-    const double t_rs = comm::collective_time(
+    const Seconds t_rs = comm::collective_time(
         sys.net, ops::Collective::ReduceScatter, grad_bytes, g);
-    const double t_ag = comm::collective_time(
+    const Seconds t_ag = comm::collective_time(
         sys.net, ops::Collective::AllGather, grad_bytes, g);
     if (cfg.zero == parallel::ZeroStage::kWeights) {
       // ZeRO-3: weights are re-AllGathered for forward and backward and the
       // gradients ReduceScattered on EVERY microbatch. Half of it overlaps
       // with the adjacent compute (first-order model).
-      res.time.dp_comm = 0.5 * md * (2.0 * t_ag + t_rs);
+      res.time.dp_comm = ((t_ag * 2.0 + t_rs) * (0.5 * md)).value();
     } else {
       // ZeRO-1: one gradient RS overlapped with the last microbatch's
       // backward, one weight AG with the first forward; only the excess is
       // exposed.
-      res.time.dp_comm = std::max(0.0, t_rs - res.t_bwd_micro) +
-                         std::max(0.0, t_ag - res.t_fwd_micro);
+      res.time.dp_comm = (std::max(Seconds(0), t_rs - t_bwd_stage) +
+                          std::max(Seconds(0), t_ag - t_fwd_stage))
+                             .value();
     }
   }
 
@@ -217,7 +237,8 @@ EvalResult evaluate_with_layer(const model::TransformerConfig& mdl,
   // (read m1/m2/master, write back, read grad, write weight: ~28 B/param).
   double opt_shard = static_cast<double>(cfg.nd);
   if (layer.dp_group_includes_tp2) opt_shard *= static_cast<double>(cfg.n2);
-  res.time.optimizer = 28.0 * stage_params / opt_shard / sys.gpu.hbm_bandwidth;
+  res.time.optimizer =
+      (Bytes(28.0 * stage_params / opt_shard) / sys.gpu.hbm_bandwidth).value();
 
   // Memory feasibility.
   res.mem = memory::compute_memory(layer, cfg, layers,
@@ -225,15 +246,15 @@ EvalResult evaluate_with_layer(const model::TransformerConfig& mdl,
   if (opts.activation_recompute) {
     // Only the block-boundary inputs stay resident.
     res.mem.activations =
-        layer.pp_boundary_bytes * Ld *
-        static_cast<double>(pipeline::in_flight_microbatches(cfg.np, m));
+        layer.pp_boundary_bytes *
+        (Ld * static_cast<double>(pipeline::in_flight_microbatches(cfg.np, m)));
   }
   res.mem.activations *= 1.0 - opts.activation_offload;
   if (head_weight_params > 0) {
     // The tied embedding/head shard lives on the boundary stages.
-    res.mem.weights += 2.0 * head_weight_params;
-    res.mem.gradients += 2.0 * head_weight_params;
-    res.mem.optimizer += 12.0 * head_weight_params / opt_shard;
+    res.mem.weights += Bytes(2.0 * head_weight_params);
+    res.mem.gradients += Bytes(2.0 * head_weight_params);
+    res.mem.optimizer += Bytes(12.0 * head_weight_params / opt_shard);
   }
   if (res.mem.total() > sys.gpu.hbm_capacity) {
     res.reason = "exceeds HBM capacity";

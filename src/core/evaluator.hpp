@@ -95,9 +95,9 @@ EvalResult evaluate_with_layer(const model::TransformerConfig& mdl,
 /// Roofline time of a single op's forward (or backward) pass, excluding
 /// communication. Exposed for unit tests.
 struct OpTime {
-  double compute = 0;  ///< Attributed FLOP-bound time.
-  double memory = 0;   ///< Attributed memory-bound time.
-  double comm = 0;     ///< Exposed communication time.
+  Seconds compute;  ///< Attributed FLOP-bound time.
+  Seconds memory;   ///< Attributed memory-bound time.
+  Seconds comm;     ///< Exposed communication time.
 };
 OpTime op_time(const ops::Op& op, bool backward, const hw::SystemConfig& sys,
                const parallel::ParallelConfig& cfg);

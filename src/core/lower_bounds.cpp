@@ -51,7 +51,8 @@ SearchBounds search_bounds(const model::TransformerConfig& mdl,
   const double micros = static_cast<double>(cfg.microbatches) +
                         static_cast<double>(cfg.np - 1) /
                             static_cast<double>(cfg.interleave);
-  out.time_floor = micros * layers * 2.0 * fwd / sys.gpu.tensor_flops;
+  out.time_floor =
+      (Flops(micros * layers * 2.0 * fwd) / sys.gpu.tensor_flops).value();
 
   // Distributed Adam reads/writes ~28 B per locally updated parameter at
   // HBM bandwidth; it never overlaps in the model.
@@ -62,7 +63,8 @@ SearchBounds search_bounds(const model::TransformerConfig& mdl,
       static_cast<double>(mdl.params_per_layer()) / (tp * moe_shard) * layers;
   const double shard_max = static_cast<double>(cfg.nd * cfg.n2);
   out.time_floor +=
-      28.0 * stage_params_floor / shard_max / sys.gpu.hbm_bandwidth;
+      (Bytes(28.0 * stage_params_floor / shard_max) / sys.gpu.hbm_bandwidth)
+          .value();
 
   // --- Placement-independent memory floor. ---
   // FP16 weights + gradients (ZeRO-3 additionally shards them over at most

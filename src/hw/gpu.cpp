@@ -1,21 +1,18 @@
 #include "hw/gpu.hpp"
 
-#include "util/units.hpp"
-
 namespace tfpe::hw {
 
 using util::kGB;
 using util::kTFLOPs;
 
-GpuSpec GpuSpec::with_memory(double capacity_bytes,
-                             double bandwidth_bytes_per_s) const {
+GpuSpec GpuSpec::with_memory(Bytes capacity, BytesPerSec bandwidth) const {
   GpuSpec out = *this;
-  out.hbm_capacity = capacity_bytes;
-  out.hbm_bandwidth = bandwidth_bytes_per_s;
+  out.hbm_capacity = capacity;
+  out.hbm_bandwidth = bandwidth;
   return out;
 }
 
-GpuSpec GpuSpec::with_compute(double tensor, double vector) const {
+GpuSpec GpuSpec::with_compute(FlopsPerSec tensor, FlopsPerSec vector) const {
   GpuSpec out = *this;
   out.tensor_flops = tensor;
   out.vector_flops = vector;
@@ -25,11 +22,11 @@ GpuSpec GpuSpec::with_compute(double tensor, double vector) const {
 GpuSpec a100() {
   return GpuSpec{
       .name = "A100",
-      .tensor_flops = 312 * kTFLOPs,
-      .vector_flops = 78 * kTFLOPs,
-      .flops_latency = 2e-5,
-      .hbm_bandwidth = 1555 * kGB,
-      .hbm_capacity = 80 * kGB,
+      .tensor_flops = FlopsPerSec(312 * kTFLOPs),
+      .vector_flops = FlopsPerSec(78 * kTFLOPs),
+      .flops_latency = Seconds(2e-5),
+      .hbm_bandwidth = BytesPerSec(1555 * kGB),
+      .hbm_capacity = Bytes(80 * kGB),
       .tdp_watts = 400,
   };
 }
@@ -37,11 +34,11 @@ GpuSpec a100() {
 GpuSpec h200() {
   return GpuSpec{
       .name = "H200",
-      .tensor_flops = 990 * kTFLOPs,
-      .vector_flops = 134 * kTFLOPs,
-      .flops_latency = 2e-5,
-      .hbm_bandwidth = 4800 * kGB,
-      .hbm_capacity = 141 * kGB,
+      .tensor_flops = FlopsPerSec(990 * kTFLOPs),
+      .vector_flops = FlopsPerSec(134 * kTFLOPs),
+      .flops_latency = Seconds(2e-5),
+      .hbm_bandwidth = BytesPerSec(4800 * kGB),
+      .hbm_capacity = Bytes(141 * kGB),
       .tdp_watts = 700,
   };
 }
@@ -49,11 +46,11 @@ GpuSpec h200() {
 GpuSpec b200() {
   return GpuSpec{
       .name = "B200",
-      .tensor_flops = 2500 * kTFLOPs,
-      .vector_flops = 339 * kTFLOPs,
-      .flops_latency = 2e-5,
-      .hbm_bandwidth = 8000 * kGB,
-      .hbm_capacity = 192 * kGB,
+      .tensor_flops = FlopsPerSec(2500 * kTFLOPs),
+      .vector_flops = FlopsPerSec(339 * kTFLOPs),
+      .flops_latency = Seconds(2e-5),
+      .hbm_bandwidth = BytesPerSec(8000 * kGB),
+      .hbm_capacity = Bytes(192 * kGB),
       .tdp_watts = 1000,
   };
 }
@@ -61,11 +58,11 @@ GpuSpec b200() {
 GpuSpec h100() {
   return GpuSpec{
       .name = "H100",
-      .tensor_flops = 990 * kTFLOPs,
-      .vector_flops = 134 * kTFLOPs,
-      .flops_latency = 2e-5,
-      .hbm_bandwidth = 3350 * kGB,
-      .hbm_capacity = 80 * kGB,
+      .tensor_flops = FlopsPerSec(990 * kTFLOPs),
+      .vector_flops = FlopsPerSec(134 * kTFLOPs),
+      .flops_latency = Seconds(2e-5),
+      .hbm_bandwidth = BytesPerSec(3350 * kGB),
+      .hbm_capacity = Bytes(80 * kGB),
       .tdp_watts = 700,
   };
 }

@@ -1,29 +1,32 @@
 #pragma once
 // GPU accelerator description (paper Table A3).
 //
-// All fields are SI units: FLOP/s, bytes/s, bytes, seconds. The paper's
-// roofline (S2) consumes tensor-core FLOP rate for matrix ops, vector FLOP
-// rate for element-wise ops, HBM bandwidth for memory-bound time, capacity
-// for feasibility, and a fixed "FLOPs latency" t_sf modeling small-matrix
-// inefficiency (first-order model from the CUDA matmul guide).
+// All fields are strongly-typed SI units: FLOP/s, bytes/s, bytes, seconds
+// (util/units.hpp). The paper's roofline (S2) consumes tensor-core FLOP rate
+// for matrix ops, vector FLOP rate for element-wise ops, HBM bandwidth for
+// memory-bound time, capacity for feasibility, and a fixed "FLOPs latency"
+// t_sf modeling small-matrix inefficiency (first-order model from the CUDA
+// matmul guide).
 
 #include <string>
+
+#include "util/units.hpp"
 
 namespace tfpe::hw {
 
 struct GpuSpec {
   std::string name;
-  double tensor_flops = 0;     ///< Peak FP16 tensor-core rate [FLOP/s].
-  double vector_flops = 0;     ///< Peak FP16 vector rate [FLOP/s].
-  double flops_latency = 0;    ///< Kernel launch / small-matmul latency t_sf [s].
-  double hbm_bandwidth = 0;    ///< Peak HBM bandwidth [bytes/s].
-  double hbm_capacity = 0;     ///< HBM capacity [bytes].
+  FlopsPerSec tensor_flops;    ///< Peak FP16 tensor-core rate.
+  FlopsPerSec vector_flops;    ///< Peak FP16 vector rate.
+  Seconds flops_latency;       ///< Kernel launch / small-matmul latency t_sf.
+  BytesPerSec hbm_bandwidth;   ///< Peak HBM bandwidth.
+  Bytes hbm_capacity;          ///< HBM capacity.
   double tdp_watts = 0;        ///< Board power, for energy estimates.
 
   /// Returns a copy with scaled memory system (used by Figs. A5/A6 sweeps).
-  GpuSpec with_memory(double capacity_bytes, double bandwidth_bytes_per_s) const;
+  GpuSpec with_memory(Bytes capacity, BytesPerSec bandwidth) const;
   /// Returns a copy with scaled compute rates (used by Fig. A5 sweep).
-  GpuSpec with_compute(double tensor, double vector) const;
+  GpuSpec with_compute(FlopsPerSec tensor, FlopsPerSec vector) const;
 };
 
 enum class GpuGeneration { A100, H200, B200 };

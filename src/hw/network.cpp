@@ -1,29 +1,27 @@
 #include "hw/network.hpp"
 
-#include "util/units.hpp"
-
 namespace tfpe::hw {
 
 using util::kGB;
 
 NetworkSpec network_preset(GpuGeneration gen) {
   NetworkSpec net;
-  net.nvs_latency = 2.5e-6;
-  net.ib_latency = 5e-6;
+  net.nvs_latency = Seconds(2.5e-6);
+  net.ib_latency = Seconds(5e-6);
   net.nics_per_gpu = 1.0;
   net.efficiency = 0.7;
   switch (gen) {
     case GpuGeneration::A100:
-      net.nvs_bandwidth = 300 * kGB;
-      net.ib_bandwidth = 25 * kGB;
+      net.nvs_bandwidth = BytesPerSec(300 * kGB);
+      net.ib_bandwidth = BytesPerSec(25 * kGB);
       break;
     case GpuGeneration::H200:
-      net.nvs_bandwidth = 450 * kGB;
-      net.ib_bandwidth = 50 * kGB;
+      net.nvs_bandwidth = BytesPerSec(450 * kGB);
+      net.ib_bandwidth = BytesPerSec(50 * kGB);
       break;
     case GpuGeneration::B200:
-      net.nvs_bandwidth = 900 * kGB;
-      net.ib_bandwidth = 100 * kGB;
+      net.nvs_bandwidth = BytesPerSec(900 * kGB);
+      net.ib_bandwidth = BytesPerSec(100 * kGB);
       break;
   }
   return net;

@@ -10,17 +10,19 @@
 //    sustain ~ g_nvs * (nics_per_node / nvs_domain) * beta_s across nodes.
 // A measured bandwidth-efficiency factor (0.7 on Perlmutter) derates both.
 
+#include <cstdint>
 #include <string>
 
 #include "hw/gpu.hpp"
+#include "util/units.hpp"
 
 namespace tfpe::hw {
 
 struct NetworkSpec {
-  double nvs_bandwidth = 0;   ///< One-directional NVS bandwidth per GPU [bytes/s].
-  double nvs_latency = 0;     ///< Fast-domain per-hop latency alpha_f [s].
-  double ib_bandwidth = 0;    ///< Per-NIC IB bandwidth beta_s [bytes/s].
-  double ib_latency = 0;      ///< Slow-domain per-hop latency alpha_s [s].
+  BytesPerSec nvs_bandwidth;  ///< One-directional NVS bandwidth per GPU.
+  Seconds nvs_latency;        ///< Fast-domain per-hop latency alpha_f.
+  BytesPerSec ib_bandwidth;   ///< Per-NIC IB bandwidth beta_s.
+  Seconds ib_latency;         ///< Slow-domain per-hop latency alpha_s.
   double nics_per_gpu = 1.0;  ///< NIC rails per GPU (nics_per_node / nvs_domain).
   double efficiency = 0.7;    ///< Achievable fraction of peak bandwidth.
 
@@ -45,9 +47,11 @@ struct NetworkSpec {
   double ll_latency_scale = 0.2;
   double ll_bandwidth_scale = 0.5;
 
-  double effective_nvs_bandwidth() const { return nvs_bandwidth * efficiency; }
-  double effective_ib_bandwidth_per_gpu() const {
-    return ib_bandwidth * nics_per_gpu * efficiency;
+  BytesPerSec effective_nvs_bandwidth() const {
+    return nvs_bandwidth * efficiency;
+  }
+  BytesPerSec effective_ib_bandwidth_per_gpu() const {
+    return ib_bandwidth * (nics_per_gpu * efficiency);
   }
 };
 

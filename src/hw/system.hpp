@@ -19,7 +19,7 @@ struct SystemConfig {
   /// Host (CPU) link per GPU, used by the activation-offload extension
   /// (paper §V limitations: "offloading to the CPU ... may be very useful
   /// for large sequences"). Defaults to a PCIe Gen5 x16-class link.
-  double host_bandwidth = 64e9;  ///< [bytes/s]
+  BytesPerSec host_bandwidth{64e9};
 
   std::string describe() const;
 };

@@ -155,20 +155,24 @@ hw::SystemConfig system_from_section(const Section& s) {
                                "' (a100|h200|b200)");
     }
   }
-  sys.gpu.tensor_flops =
-      to_double(s, "tensor_tflops", sys.gpu.tensor_flops / 1e12) * 1e12;
-  sys.gpu.vector_flops =
-      to_double(s, "vector_tflops", sys.gpu.vector_flops / 1e12) * 1e12;
-  sys.gpu.flops_latency = to_double(s, "flops_latency", sys.gpu.flops_latency);
-  sys.gpu.hbm_capacity = to_double(s, "hbm_gb", sys.gpu.hbm_capacity / 1e9) * 1e9;
-  sys.gpu.hbm_bandwidth =
-      to_double(s, "hbm_gbs", sys.gpu.hbm_bandwidth / 1e9) * 1e9;
-  sys.net.nvs_bandwidth =
-      to_double(s, "nvs_gbs", sys.net.nvs_bandwidth / 1e9) * 1e9;
-  sys.net.nvs_latency = to_double(s, "nvs_latency", sys.net.nvs_latency);
-  sys.net.ib_bandwidth =
-      to_double(s, "ib_gbs", sys.net.ib_bandwidth / 1e9) * 1e9;
-  sys.net.ib_latency = to_double(s, "ib_latency", sys.net.ib_latency);
+  sys.gpu.tensor_flops = FlopsPerSec(
+      to_double(s, "tensor_tflops", sys.gpu.tensor_flops.value() / 1e12) * 1e12);
+  sys.gpu.vector_flops = FlopsPerSec(
+      to_double(s, "vector_tflops", sys.gpu.vector_flops.value() / 1e12) * 1e12);
+  sys.gpu.flops_latency =
+      Seconds(to_double(s, "flops_latency", sys.gpu.flops_latency.value()));
+  sys.gpu.hbm_capacity =
+      Bytes(to_double(s, "hbm_gb", sys.gpu.hbm_capacity.value() / 1e9) * 1e9);
+  sys.gpu.hbm_bandwidth = BytesPerSec(
+      to_double(s, "hbm_gbs", sys.gpu.hbm_bandwidth.value() / 1e9) * 1e9);
+  sys.net.nvs_bandwidth = BytesPerSec(
+      to_double(s, "nvs_gbs", sys.net.nvs_bandwidth.value() / 1e9) * 1e9);
+  sys.net.nvs_latency =
+      Seconds(to_double(s, "nvs_latency", sys.net.nvs_latency.value()));
+  sys.net.ib_bandwidth = BytesPerSec(
+      to_double(s, "ib_gbs", sys.net.ib_bandwidth.value() / 1e9) * 1e9);
+  sys.net.ib_latency =
+      Seconds(to_double(s, "ib_latency", sys.net.ib_latency.value()));
   sys.net.nics_per_gpu = to_double(s, "nics_per_gpu", sys.net.nics_per_gpu);
   sys.net.efficiency = to_double(s, "efficiency", sys.net.efficiency);
   sys.net.enable_tree = to_int(s, "enable_tree", 0) != 0;
@@ -176,8 +180,8 @@ hw::SystemConfig system_from_section(const Section& s) {
   sys.net.oversubscription = to_double(s, "oversubscription", 1.0);
   sys.nvs_domain = to_int(s, "nvs_domain", sys.nvs_domain);
   sys.n_gpus = to_int(s, "n_gpus", sys.n_gpus);
-  sys.host_bandwidth =
-      to_double(s, "host_gbs", sys.host_bandwidth / 1e9) * 1e9;
+  sys.host_bandwidth = BytesPerSec(
+      to_double(s, "host_gbs", sys.host_bandwidth.value() / 1e9) * 1e9);
   return sys;
 }
 

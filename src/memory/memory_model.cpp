@@ -17,16 +17,16 @@ MemoryBreakdown compute_memory(const parallel::LayerCost& layer,
   double shard = static_cast<double>(cfg.nd);
   if (layer.dp_group_includes_tp2) shard *= static_cast<double>(cfg.n2);
   if (cfg.zero == parallel::ZeroStage::kWeights) {
-    mem.weights = 2.0 * (stage_params / shard + layer.weight_params);
-    mem.gradients = 2.0 * (stage_params / shard + layer.weight_params);
+    mem.weights = Bytes(2.0 * (stage_params / shard + layer.weight_params));
+    mem.gradients = Bytes(2.0 * (stage_params / shard + layer.weight_params));
   } else {
-    mem.weights = 2.0 * stage_params;
-    mem.gradients = 2.0 * stage_params;
+    mem.weights = Bytes(2.0 * stage_params);
+    mem.gradients = Bytes(2.0 * stage_params);
   }
-  mem.optimizer = 12.0 * stage_params / shard;
+  mem.optimizer = Bytes(12.0 * stage_params / shard);
   mem.activations = layer.stored_bytes() *
-                    static_cast<double>(layers_per_stage) *
-                    static_cast<double>(in_flight_microbatches);
+                    (static_cast<double>(layers_per_stage) *
+                     static_cast<double>(in_flight_microbatches));
   return mem;
 }
 

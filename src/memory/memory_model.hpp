@@ -19,12 +19,12 @@
 namespace tfpe::memory {
 
 struct MemoryBreakdown {
-  double weights = 0;
-  double gradients = 0;
-  double optimizer = 0;
-  double activations = 0;
+  Bytes weights;
+  Bytes gradients;
+  Bytes optimizer;
+  Bytes activations;
 
-  double total() const { return weights + gradients + optimizer + activations; }
+  Bytes total() const { return weights + gradients + optimizer + activations; }
 };
 
 /// Memory resident on one GPU for `layers_per_stage` blocks of the given

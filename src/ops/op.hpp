@@ -4,11 +4,14 @@
 // Each transformer-block operation is described by its per-GPU, per-microbatch
 // FLOP count, HBM traffic, stored-activation footprint and communication
 // requests (collective type, group, bytes). The evaluator (S2) converts these
-// into time with the roofline + collective models.
+// into time with the roofline + collective models. All counts carry strong
+// unit types (util/units.hpp) so a bytes/flops mix-up cannot compile.
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "util/units.hpp"
 
 namespace tfpe::ops {
 
@@ -35,7 +38,7 @@ enum class CommGroup { TP1, TP2, DP, PP };
 struct CommRequest {
   Collective collective = Collective::None;
   CommGroup group = CommGroup::TP1;
-  double bytes = 0;  ///< V: bytes per GPU entering the collective.
+  Bytes bytes;  ///< V: bytes per GPU entering the collective.
 };
 
 struct Op {
@@ -46,18 +49,27 @@ struct Op {
   ComputeUnit unit = ComputeUnit::Vector;
 
   // Forward pass counts (per GPU, per microbatch).
-  double fwd_flops = 0;
-  double fwd_bytes = 0;
+  Flops fwd_flops;
+  Bytes fwd_bytes;
   std::vector<CommRequest> fwd_comm;
 
   // Backward pass counts (per GPU, per microbatch).
-  double bwd_flops = 0;
-  double bwd_bytes = 0;
+  Flops bwd_flops;
+  Bytes bwd_bytes;
   std::vector<CommRequest> bwd_comm;
 
   /// Bytes of intermediate activations this op keeps resident per microbatch
   /// for its backward pass (FlashAttention recomputation already accounted).
-  double stored_bytes = 0;
+  Bytes stored_bytes;
+
+  /// Forward dataflow interface in activation ELEMENTS (not bytes): the
+  /// number of input elements this op consumes from its predecessor and the
+  /// number of output elements it hands to its successor, after any
+  /// collective attached to this op has resized the tensor. 0 means
+  /// "unchecked" — the invariant analyzer skips the producer/consumer chain
+  /// link at such ops (e.g. MoE dispatch, whose layout is data-dependent).
+  double in_elems = 0;
+  double out_elems = 0;
 
   // SUMMA panel metadata: when `summa_panels` > 1, the fwd/bwd TP comm of
   // this op is a sequence of per-panel broadcasts that overlap with the

@@ -18,7 +18,7 @@ Collective conjugate(Collective c) {
 
 }  // namespace
 
-void add_conjugate_comm(Op& op, Collective coll, CommGroup group, double bytes) {
+void add_conjugate_comm(Op& op, Collective coll, CommGroup group, Bytes bytes) {
   op.fwd_comm.push_back({coll, group, bytes});
   op.bwd_comm.push_back({conjugate(coll), group, bytes});
 }
@@ -28,13 +28,16 @@ Op matmul(std::string name, double m, double n, double k, double batch,
   Op op;
   op.name = std::move(name);
   op.unit = ComputeUnit::TensorCore;
-  op.fwd_flops = batch * (2.0 * k - 1.0) * m * n;
-  op.fwd_bytes = batch * kBytesPerElement * (m * k + k * n + m * n);
+  op.fwd_flops = Flops(batch * (2.0 * k - 1.0) * m * n);
+  op.fwd_bytes = Bytes(batch * kBytesPerElement * (m * k + k * n + m * n));
   // dA = dC B^T : (2n-1) m k FLOPs; dB = A^T dC : (2m-1) k n FLOPs.
-  op.bwd_flops = batch * ((2.0 * n - 1.0) * m * k + (2.0 * m - 1.0) * k * n);
+  op.bwd_flops =
+      Flops(batch * ((2.0 * n - 1.0) * m * k + (2.0 * m - 1.0) * k * n));
   op.bwd_bytes = 2.0 * op.fwd_bytes;
-  op.stored_bytes = batch * kBytesPerElement *
-                    ((store_a ? m * k : 0.0) + (store_b ? k * n : 0.0));
+  op.stored_bytes = Bytes(batch * kBytesPerElement *
+                          ((store_a ? m * k : 0.0) + (store_b ? k * n : 0.0)));
+  op.in_elems = batch * m * k;
+  op.out_elems = batch * m * n;
   return op;
 }
 
@@ -51,18 +54,22 @@ Op fused_attention(std::string name, double batch, double heads, double lq,
   // head attends, so GQA does not change the FLOPs — only the K/V traffic.
   const double mm = bh * (2.0 * eh - 1.0) * lq * lkv * 2.0;
   const double sm = bh * 5.0 * lq * lkv;
-  op.fwd_flops = mm + sm;
+  op.fwd_flops = Flops(mm + sm);
   // IO-aware fusion: traffic is Q + K + V + output only (FLASHATTENTION).
-  op.fwd_bytes = kBytesPerElement *
-                 (bh * 2.0 * lq * eh + bh_kv * 2.0 * lkv * eh);
+  op.fwd_bytes = Bytes(kBytesPerElement *
+                       (bh * 2.0 * lq * eh + bh_kv * 2.0 * lkv * eh));
   // Backward recomputes the forward attention then runs the gradient
   // matmuls: ~2.5x the forward FLOPs (Dao et al. 2022).
   op.bwd_flops = 2.5 * op.fwd_flops;
   op.bwd_bytes = 2.0 * op.fwd_bytes;
   // Stored: caller-provided tensors, the attention output (the FlashAttention
   // backward needs Q, K, V and O), and per-row softmax statistics.
-  op.stored_bytes =
-      kBytesPerElement * (stored_elems + bh * lq * eh) + 4.0 * bh * lq;
+  op.stored_bytes = Bytes(kBytesPerElement * (stored_elems + bh * lq * eh) +
+                          4.0 * bh * lq);
+  // Dense-attention default: Q plus full K/V; builders override `in_elems`
+  // when K/V arrive sharded (2D gather/ring) or the kind is windowed/linear.
+  op.in_elems = bh * lq * eh + bh_kv * 2.0 * lkv * eh;
+  op.out_elems = bh * lq * eh;
   return op;
 }
 
@@ -71,14 +78,16 @@ Op vector_op(std::string name, double elements, double flops_per_element,
   Op op;
   op.name = std::move(name);
   op.unit = ComputeUnit::Vector;
-  op.fwd_flops = elements * flops_per_element;
-  op.fwd_bytes = 2.0 * kBytesPerElement * elements;  // read + write
+  op.fwd_flops = Flops(elements * flops_per_element);
+  op.fwd_bytes = Bytes(2.0 * kBytesPerElement * elements);  // read + write
   op.bwd_flops = op.fwd_flops;
   // Backward reads the incoming gradient and the stored input, writes the
   // outgoing gradient.
-  op.bwd_bytes = 3.0 * kBytesPerElement * elements;
-  op.stored_bytes = kBytesPerElement * stored_elems +
-                    kBytesPerMaskElement * stored_mask_elems;
+  op.bwd_bytes = Bytes(3.0 * kBytesPerElement * elements);
+  op.stored_bytes = Bytes(kBytesPerElement * stored_elems +
+                          kBytesPerMaskElement * stored_mask_elems);
+  op.in_elems = elements;
+  op.out_elems = elements;
   return op;
 }
 
@@ -108,18 +117,23 @@ Op summa_matmul(std::string name, double M, double N, double K, std::int64_t n1,
   op.name = std::move(name);
   op.unit = ComputeUnit::TensorCore;
   const double p = static_cast<double>(n1) * static_cast<double>(n2);
-  op.fwd_flops = (2.0 * K - 1.0) * M * N / p;
+  op.fwd_flops = Flops((2.0 * K - 1.0) * M * N / p);
   // The gathered row/column blocks stream through HBM in addition to the
   // local C tile.
-  op.fwd_bytes = kBytesPerElement *
-                 (M * K / static_cast<double>(n2) + K * N / static_cast<double>(n1) +
-                  M * N / p);
+  op.fwd_bytes =
+      Bytes(kBytesPerElement *
+            (M * K / static_cast<double>(n2) +
+             K * N / static_cast<double>(n1) + M * N / p));
   op.bwd_flops = 2.0 * op.fwd_flops;
   op.bwd_bytes = 2.0 * op.fwd_bytes;
-  op.stored_bytes = store_a ? kBytesPerElement * M * K / p : 0.0;
+  op.stored_bytes = Bytes(store_a ? kBytesPerElement * M * K / p : 0.0);
+  op.in_elems = M * K / p;
+  op.out_elems = M * N / p;
 
-  const double a_block_bytes = kBytesPerElement * M * K / static_cast<double>(n2);
-  const double b_block_bytes = kBytesPerElement * K * N / static_cast<double>(n1);
+  const Bytes a_block_bytes =
+      Bytes(kBytesPerElement * M * K / static_cast<double>(n2));
+  const Bytes b_block_bytes =
+      Bytes(kBytesPerElement * K * N / static_cast<double>(n1));
   // Forward: broadcast A panels along process rows (TP1 group of n1) and B
   // panels along process columns (TP2 group of n2).
   op.fwd_comm.push_back({Collective::Broadcast, CommGroup::TP1, a_block_bytes});

@@ -63,6 +63,6 @@ Op summa_matmul(std::string name, double M, double N, double K,
 
 /// Append a communication request to the op's forward list and its conjugate
 /// (AG <-> RS, B <-> R, AR/P2P self-conjugate) to the backward list.
-void add_conjugate_comm(Op& op, Collective coll, CommGroup group, double bytes);
+void add_conjugate_comm(Op& op, Collective coll, CommGroup group, Bytes bytes);
 
 }  // namespace tfpe::ops

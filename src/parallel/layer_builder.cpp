@@ -4,32 +4,32 @@
 
 namespace tfpe::parallel {
 
-double LayerCost::stored_bytes() const {
-  double sum = 0;
+Bytes LayerCost::stored_bytes() const {
+  Bytes sum;
   for (const auto& op : ops) sum += op.stored_bytes;
   return sum;
 }
 
-double LayerCost::fwd_flops() const {
-  double sum = 0;
+Flops LayerCost::fwd_flops() const {
+  Flops sum;
   for (const auto& op : ops) sum += op.fwd_flops;
   return sum;
 }
 
-double LayerCost::bwd_flops() const {
-  double sum = 0;
+Flops LayerCost::bwd_flops() const {
+  Flops sum;
   for (const auto& op : ops) sum += op.bwd_flops;
   return sum;
 }
 
-double LayerCost::fwd_hbm_bytes() const {
-  double sum = 0;
+Bytes LayerCost::fwd_hbm_bytes() const {
+  Bytes sum;
   for (const auto& op : ops) sum += op.fwd_bytes;
   return sum;
 }
 
-double LayerCost::fwd_comm_bytes(ops::CommGroup group) const {
-  double sum = 0;
+Bytes LayerCost::fwd_comm_bytes(ops::CommGroup group) const {
+  Bytes sum;
   for (const auto& op : ops) {
     for (const auto& req : op.fwd_comm) {
       if (req.group == group) sum += req.bytes;

@@ -29,14 +29,14 @@ struct LayerCost {
   bool dp_group_includes_tp2 = false;
 
   /// Activation bytes crossing a pipeline-stage boundary per microbatch.
-  double pp_boundary_bytes = 0;
+  Bytes pp_boundary_bytes;
 
-  double stored_bytes() const;
-  double fwd_flops() const;
-  double bwd_flops() const;
-  double fwd_hbm_bytes() const;
-  /// Sum of forward collective volumes (bytes) over a given group.
-  double fwd_comm_bytes(ops::CommGroup group) const;
+  Bytes stored_bytes() const;
+  Flops fwd_flops() const;
+  Flops bwd_flops() const;
+  Bytes fwd_hbm_bytes() const;
+  /// Sum of forward collective volumes over a given group.
+  Bytes fwd_comm_bytes(ops::CommGroup group) const;
 };
 
 /// Dispatches on cfg.strategy. `local_microbatch` is b/(nd*m).

@@ -43,8 +43,9 @@ LayerCost build_layer_1d(const model::TransformerConfig& mdl,
   {
     auto ln = ops::layernorm("ln1", seq_local * e);
     ln.detail = "X~:(b,l,e) <- AG <- X:(b,l/nt,e)";
+    ln.out_elems = ble;  // AllGather re-materializes the full activations
     add_conjugate_comm(ln, Collective::AllGather, CommGroup::TP1,
-                       kBytesPerElement * ble);
+                       Bytes(kBytesPerElement * ble));
     v.push_back(std::move(ln));
   }
   {
@@ -62,13 +63,15 @@ LayerCost build_layer_1d(const model::TransformerConfig& mdl,
     auto att = ops::fused_attention("attention", B, h / nt, l, lkv, eh,
                                     B * l * (e + 2.0 * ekv) / nt, hkv / nt);
     att.detail = "A=SM(QK^T), S=AV : (b,h/nt,l,lkv)";
+    att.in_elems = B * l * (e + 2.0 * ekv) / nt;  // local Q/K/V shards
     v.push_back(std::move(att));
   }
   {
     auto proj = ops::matmul("out_proj", B * l, e, e / nt);
     proj.detail = "Y:(b,l/nt,e) <- RS <- S:(b,h/nt,l,eh) x Wp:(e/nt,e)";
+    proj.out_elems = seq_local * e;  // ReduceScatter back to sequence shards
     add_conjugate_comm(proj, Collective::ReduceScatter, CommGroup::TP1,
-                       kBytesPerElement * ble);
+                       Bytes(kBytesPerElement * ble));
     v.push_back(std::move(proj));
   }
   v.push_back(ops::dropout("attn_dropout", seq_local * e));
@@ -78,8 +81,9 @@ LayerCost build_layer_1d(const model::TransformerConfig& mdl,
   {
     auto ln = ops::layernorm("ln2", seq_local * e);
     ln.detail = "Y~:(b,l,e) <- AG <- Y:(b,l/nt,e)";
+    ln.out_elems = ble;
     add_conjugate_comm(ln, Collective::AllGather, CommGroup::TP1,
-                       kBytesPerElement * ble);
+                       Bytes(kBytesPerElement * ble));
     v.push_back(std::move(ln));
   }
   double mlp_weight_params;
@@ -96,8 +100,9 @@ LayerCost build_layer_1d(const model::TransformerConfig& mdl,
     {
       auto mlp2 = ops::matmul("mlp_fc2", B * l, e, f / nt);
       mlp2.detail = "X:(b,l/nt,e) <- RS <- Z x W2:(f/nt,e)";
+      mlp2.out_elems = seq_local * e;
       add_conjugate_comm(mlp2, Collective::ReduceScatter, CommGroup::TP1,
-                         kBytesPerElement * ble);
+                         Bytes(kBytesPerElement * ble));
       v.push_back(std::move(mlp2));
     }
     mlp_weight_params = (2.0 * e * f + f + e) / nt;
@@ -110,7 +115,7 @@ LayerCost build_layer_1d(const model::TransformerConfig& mdl,
   // replicated.
   lc.weight_params = (2.0 * e * e + 2.0 * e * ekv) / nt +
                      (2.0 * e + 2.0 * ekv) / nt + mlp_weight_params + 4.0 * e;
-  lc.pp_boundary_bytes = kBytesPerElement * ble / nt;
+  lc.pp_boundary_bytes = Bytes(kBytesPerElement * ble / nt);
   return lc;
 }
 

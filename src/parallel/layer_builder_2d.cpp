@@ -35,7 +35,7 @@ LayerCost build_layer_2d(const model::TransformerConfig& mdl,
 
   const double l2 = l / n2;           // sequence shard seen by matmuls
   const double l12 = l / (n1 * n2);   // sequence shard in the LN regions
-  const double vol_ag = kBytesPerElement * B * l2 * e;  // b*(l/n2)*e
+  const Bytes vol_ag = Bytes(kBytesPerElement * B * l2 * e);  // b*(l/n2)*e
   // K/V gather across n2: the full sequence for dense attention, only the
   // window halo for windowed attention (linear attention reduces an
   // (e_h x e_h) state instead — see below).
@@ -43,7 +43,7 @@ LayerCost build_layer_2d(const model::TransformerConfig& mdl,
       mdl.attention == model::AttentionKind::kWindowed
           ? std::min(l, l2 + static_cast<double>(mdl.window))
           : l;
-  const double vol_kv = kBytesPerElement * B * kv_gather_len * ekv / n1;
+  const Bytes vol_kv = Bytes(kBytesPerElement * B * kv_gather_len * ekv / n1);
 
   LayerCost lc;
   auto& v = lc.ops;
@@ -52,6 +52,7 @@ LayerCost build_layer_2d(const model::TransformerConfig& mdl,
   {
     auto ln = ops::layernorm("ln1", B * l12 * e);
     ln.detail = "X~:(b,l/n2,e) <- AG(n1) <- X:(b,l/n1n2,e)";
+    ln.out_elems = B * l2 * e;  // AllGather over n1 restores the l/n2 shard
     add_conjugate_comm(ln, Collective::AllGather, CommGroup::TP1, vol_ag);
     v.push_back(std::move(ln));
   }
@@ -67,9 +68,10 @@ LayerCost build_layer_2d(const model::TransformerConfig& mdl,
     auto att = ops::fused_attention("attention", B, h / n1, l2, lkv, eh,
                                     B * l2 * (e + 2.0 * ekv) / n1, hkv / n1);
     att.detail = "A:(b,h/n1,l/n2,lkv); K,V <- AG(n2)";
+    att.in_elems = B * l2 * (e + 2.0 * ekv) / n1;  // pre-gather Q/K/V shards
     if (mdl.attention == model::AttentionKind::kLinear) {
       add_conjugate_comm(att, Collective::AllReduce, CommGroup::TP2,
-                         kBytesPerElement * B * (hkv / n1) * eh * eh);
+                         Bytes(kBytesPerElement * B * (hkv / n1) * eh * eh));
     } else if (cfg.ring_attention) {
       // Ring attention: the K/V shards circulate in n2 - 1 point-to-point
       // steps, each overlapped with the attention on the resident block
@@ -77,7 +79,7 @@ LayerCost build_layer_2d(const model::TransformerConfig& mdl,
       att.detail = "A:(b,h/n1,l/n2,lkv); K,V ring over n2";
       att.summa_panels = cfg.n2;
       add_conjugate_comm(att, Collective::PointToPoint, CommGroup::TP2,
-                         2.0 * vol_kv * (n2 - 1.0) / n2);
+                         vol_kv * (2.0 * (n2 - 1.0) / n2));
     } else {
       add_conjugate_comm(att, Collective::AllGather, CommGroup::TP2, vol_kv);
       add_conjugate_comm(att, Collective::AllGather, CommGroup::TP2, vol_kv);
@@ -87,6 +89,7 @@ LayerCost build_layer_2d(const model::TransformerConfig& mdl,
   {
     auto proj = ops::matmul("out_proj", B * l2, e, e / n1);
     proj.detail = "Y:(b,l/n1n2,e) <- RS(n1) <- S x Wp:(e/n1,e)";
+    proj.out_elems = B * l12 * e;  // ReduceScatter back to l/(n1 n2) shards
     add_conjugate_comm(proj, Collective::ReduceScatter, CommGroup::TP1, vol_ag);
     v.push_back(std::move(proj));
   }
@@ -97,6 +100,7 @@ LayerCost build_layer_2d(const model::TransformerConfig& mdl,
   {
     auto ln = ops::layernorm("ln2", B * l12 * e);
     ln.detail = "Y~:(b,l/n2,e) <- AG(n1) <- Y:(b,l/n1n2,e)";
+    ln.out_elems = B * l2 * e;
     add_conjugate_comm(ln, Collective::AllGather, CommGroup::TP1, vol_ag);
     v.push_back(std::move(ln));
   }
@@ -114,6 +118,7 @@ LayerCost build_layer_2d(const model::TransformerConfig& mdl,
     {
       auto mlp2 = ops::matmul("mlp_fc2", B * l2, e, f / n1);
       mlp2.detail = "X:(b,l/n1n2,e) <- RS(n1) <- Z x W2:(f/n1,e)";
+      mlp2.out_elems = B * l12 * e;
       add_conjugate_comm(mlp2, Collective::ReduceScatter, CommGroup::TP1,
                          vol_ag);
       v.push_back(std::move(mlp2));
@@ -128,7 +133,7 @@ LayerCost build_layer_2d(const model::TransformerConfig& mdl,
   lc.weight_params = (2.0 * e * e + 2.0 * e * ekv) / n1 +
                      (2.0 * e + 2.0 * ekv) / n1 + mlp_weight_params + 4.0 * e;
   lc.dp_group_includes_tp2 = true;
-  lc.pp_boundary_bytes = kBytesPerElement * B * l * e / (n1 * n2);
+  lc.pp_boundary_bytes = Bytes(kBytesPerElement * B * l * e / (n1 * n2));
   return lc;
 }
 

@@ -37,12 +37,12 @@ LayerCost build_layer_summa(const model::TransformerConfig& mdl,
   const double n2 = static_cast<double>(cfg.n2);
 
   const double l2 = l / n2;
-  const double vol_ln = kBytesPerElement * B * l2 * e;  // b*(l/n2)*e
+  const Bytes vol_ln = Bytes(kBytesPerElement * B * l2 * e);  // b*(l/n2)*e
   const double kv_gather_len =
       mdl.attention == model::AttentionKind::kWindowed
           ? std::min(l, l2 + static_cast<double>(mdl.window))
           : l;
-  const double vol_kv = kBytesPerElement * B * kv_gather_len * ekv / n1;
+  const Bytes vol_kv = Bytes(kBytesPerElement * B * kv_gather_len * ekv / n1);
 
   LayerCost lc;
   auto& v = lc.ops;
@@ -66,14 +66,15 @@ LayerCost build_layer_summa(const model::TransformerConfig& mdl,
     auto att = ops::fused_attention("attention", B, h / n1, l2, lkv, eh,
                                     B * l2 * (e + 2.0 * ekv) / n1, hkv / n1);
     att.detail = "A:(b,h/n1,l/n2,lkv); K,V <- AG(n2)";
+    att.in_elems = B * l2 * (e + 2.0 * ekv) / n1;  // pre-gather Q/K/V shards
     if (mdl.attention == model::AttentionKind::kLinear) {
       add_conjugate_comm(att, Collective::AllReduce, CommGroup::TP2,
-                         kBytesPerElement * B * (hkv / n1) * eh * eh);
+                         Bytes(kBytesPerElement * B * (hkv / n1) * eh * eh));
     } else if (cfg.ring_attention) {
       att.detail = "A:(b,h/n1,l/n2,lkv); K,V ring over n2";
       att.summa_panels = cfg.n2;
       add_conjugate_comm(att, Collective::PointToPoint, CommGroup::TP2,
-                         2.0 * vol_kv * (n2 - 1.0) / n2);
+                         vol_kv * (2.0 * (n2 - 1.0) / n2));
     } else {
       add_conjugate_comm(att, Collective::AllGather, CommGroup::TP2, vol_kv);
       add_conjugate_comm(att, Collective::AllGather, CommGroup::TP2, vol_kv);
@@ -85,6 +86,7 @@ LayerCost build_layer_summa(const model::TransformerConfig& mdl,
     // (Table A2): Wp is sharded over n1 only.
     auto proj = ops::matmul("out_proj", B * l2, e, e / n1);
     proj.detail = "Y:(b,l/n1n2,e) <- RS(n1) <- S x Wp:(e/n1,e)";
+    proj.out_elems = B * l2 * e / n1;  // ReduceScatter back to (e/n1) shards
     add_conjugate_comm(proj, Collective::ReduceScatter, CommGroup::TP1, vol_ln);
     v.push_back(std::move(proj));
   }
@@ -121,7 +123,7 @@ LayerCost build_layer_summa(const model::TransformerConfig& mdl,
   lc.weight_params = (e * e + 2.0 * e * ekv + 2.0 * e * f) / (n1 * n2) +
                      e * e / n1 +
                      (2.0 * e + 2.0 * ekv + f + e) / (n1 * n2) + 4.0 * e / n1;
-  lc.pp_boundary_bytes = kBytesPerElement * B * l * e / (n1 * n2);
+  lc.pp_boundary_bytes = Bytes(kBytesPerElement * B * l * e / (n1 * n2));
   return lc;
 }
 

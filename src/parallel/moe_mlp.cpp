@@ -32,6 +32,7 @@ double append_moe_mlp(std::vector<ops::Op>& v,
     auto router = ops::matmul("moe_router", owned_tokens, E, e, 1.0,
                               /*store_a=*/false);
     router.detail = "G:(tokens,E) = Y~ x Wr:(e,E)";
+    router.in_elems = 0;  // gate branch: not the residual-stream interface
     v.push_back(std::move(router));
   }
   v.push_back(ops::vector_op("moe_route_softmax", owned_tokens * E, 5.0,
@@ -39,7 +40,7 @@ double append_moe_mlp(std::vector<ops::Op>& v,
 
   // Dispatch: each owned token is sent to top_k experts across the
   // expert-parallel (DP) group; balanced routing returns the same volume.
-  const double a2a_bytes = kBytesPerElement * owned_tokens * e * topk;
+  const Bytes a2a_bytes = Bytes(kBytesPerElement * owned_tokens * e * topk);
   {
     ops::Op dispatch;
     dispatch.name = "moe_dispatch";
@@ -63,8 +64,9 @@ double append_moe_mlp(std::vector<ops::Op>& v,
   {
     auto fc2 = ops::matmul("moe_fc2", routed_tokens, e, f / n1);
     fc2.detail = "X <- RS(n1) <- Z x W2[expert]:(f/n1,e)";
+    fc2.out_elems = 0;  // token layout is data-dependent until the combine
     add_conjugate_comm(fc2, Collective::ReduceScatter, CommGroup::TP1,
-                       kBytesPerElement * matmul_tokens * e * topk);
+                       Bytes(kBytesPerElement * matmul_tokens * e * topk));
     v.push_back(std::move(fc2));
   }
 
@@ -74,7 +76,7 @@ double append_moe_mlp(std::vector<ops::Op>& v,
     ops::Op combine;
     combine.name = "moe_combine";
     combine.unit = ops::ComputeUnit::Vector;
-    combine.fwd_flops = owned_tokens * e * (2.0 * topk);  // weighted sum
+    combine.fwd_flops = Flops(owned_tokens * e * (2.0 * topk));  // weighted sum
     combine.fwd_bytes = 2.0 * a2a_bytes;
     combine.bwd_flops = combine.fwd_flops;
     combine.bwd_bytes = 2.0 * a2a_bytes;

@@ -6,32 +6,33 @@
 
 namespace tfpe::pipeline {
 
-double bubble_time(std::int64_t np, double t_fwd, double t_bwd,
-                   std::int64_t interleave) {
-  return static_cast<double>(np - 1) * (t_fwd + t_bwd) /
-         static_cast<double>(interleave);
+Seconds bubble_time(std::int64_t np, Seconds t_fwd, Seconds t_bwd,
+                    std::int64_t interleave) {
+  return (t_fwd + t_bwd) *
+         (static_cast<double>(np - 1) / static_cast<double>(interleave));
 }
 
 std::int64_t in_flight_microbatches(std::int64_t np, std::int64_t m) {
   return std::min(np, m);
 }
 
-double p2p_time(const hw::NetworkSpec& net, std::int64_t np, std::int64_t m,
-                double boundary_bytes, std::int64_t nvs_neighbors,
-                std::int64_t interleave) {
-  if (np <= 1) return 0.0;
-  const double one_hop = comm::collective_time(
+Seconds p2p_time(const hw::NetworkSpec& net, std::int64_t np, std::int64_t m,
+                 Bytes boundary_bytes, std::int64_t nvs_neighbors,
+                 std::int64_t interleave) {
+  if (np <= 1) return Seconds(0);
+  const Seconds one_hop = comm::collective_time(
       net, ops::Collective::PointToPoint, boundary_bytes,
       {.size = 2, .nvs = nvs_neighbors});
   // Forward activation send + backward gradient send per microbatch, once
   // per virtual chunk.
-  return 2.0 * static_cast<double>(m) * static_cast<double>(interleave) *
-         one_hop;
+  return one_hop *
+         (2.0 * static_cast<double>(m) * static_cast<double>(interleave));
 }
 
-double iteration_time(std::int64_t np, std::int64_t m, double t_fwd,
-                      double t_bwd) {
-  return static_cast<double>(m) * (t_fwd + t_bwd) + bubble_time(np, t_fwd, t_bwd);
+Seconds iteration_time(std::int64_t np, std::int64_t m, Seconds t_fwd,
+                       Seconds t_bwd) {
+  return (t_fwd + t_bwd) * static_cast<double>(m) +
+         bubble_time(np, t_fwd, t_bwd);
 }
 
 }  // namespace tfpe::pipeline

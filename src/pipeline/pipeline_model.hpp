@@ -17,8 +17,8 @@ namespace tfpe::pipeline {
 /// Bubble time for an np-stage pipeline with per-microbatch forward/backward
 /// times tf / tb. With `interleave` v > 1 (interleaved 1F1B, v virtual
 /// chunks per GPU) the bubble shrinks by a factor v (Narayanan et al.).
-double bubble_time(std::int64_t np, double t_fwd, double t_bwd,
-                   std::int64_t interleave = 1);
+Seconds bubble_time(std::int64_t np, Seconds t_fwd, Seconds t_bwd,
+                    std::int64_t interleave = 1);
 
 /// Microbatches whose activations are simultaneously resident on the most
 /// loaded stage: min(m, np).
@@ -29,12 +29,12 @@ std::int64_t in_flight_microbatches(std::int64_t np, std::int64_t m);
 /// `boundary_bytes` each, times the interleave factor (each microbatch
 /// crosses every stage boundary v times). `nvs_neighbors` > 1 places
 /// pipeline neighbors in the same fast domain.
-double p2p_time(const hw::NetworkSpec& net, std::int64_t np, std::int64_t m,
-                double boundary_bytes, std::int64_t nvs_neighbors,
-                std::int64_t interleave = 1);
+Seconds p2p_time(const hw::NetworkSpec& net, std::int64_t np, std::int64_t m,
+                 Bytes boundary_bytes, std::int64_t nvs_neighbors,
+                 std::int64_t interleave = 1);
 
 /// End-to-end iteration time: m steady microbatches plus the bubble.
-double iteration_time(std::int64_t np, std::int64_t m, double t_fwd,
-                      double t_bwd);
+Seconds iteration_time(std::int64_t np, std::int64_t m, Seconds t_fwd,
+                       Seconds t_bwd);
 
 }  // namespace tfpe::pipeline

@@ -26,8 +26,11 @@ void print_config_panel(std::ostream& os,
     const auto& c = r.cfg;
     t.add_row({label, parallel::to_string(c.strategy), num(c.nd), num(c.n1),
                num(c.n2), num(c.np), num(c.microbatches), num(c.nb),
-               "(" + num(c.nvs1) + "," + num(c.nvs2) + "," + num(c.nvsp) + "," +
-                   num(c.nvsd) + ")",
+               // Chain starts from std::string so concatenation appends; the
+               // `"(" + str` overload inlines string::insert, which trips a
+               // GCC 12 -Wrestrict false positive (PR105651) under -Werror.
+               std::string("(") + num(c.nvs1) + "," + num(c.nvs2) + "," +
+                   num(c.nvsp) + "," + num(c.nvsd) + ")",
                r.feasible ? util::format_bytes(r.mem.total())
                           : "infeasible: " + r.reason});
   }
@@ -77,7 +80,7 @@ void write_results_csv(const std::string& path,
         label, parallel::to_string(c.strategy), num(c.nd), num(c.n1), num(c.n2),
         num(c.np), num(c.microbatches), num(c.nb), num(c.nvs1), num(c.nvs2),
         num(c.nvsp), num(c.nvsd), r.feasible ? "1" : "0",
-        util::format_fixed(r.mem.total(), 0),
+        util::format_fixed(r.mem.total().value(), 0),
         util::format_fixed(r.feasible ? r.iteration() : 0.0, 6),
         util::format_fixed(r.time.compute, 6), util::format_fixed(r.time.memory, 6),
         util::format_fixed(r.time.tp_comm, 6), util::format_fixed(r.time.dp_comm, 6),

@@ -21,13 +21,15 @@ void print_op_report(std::ostream& os, const model::TransformerConfig& mdl,
   util::TextTable t;
   t.set_header({"op", "unit", "FLOPs", "HBM bytes", "AI [FLOP/B]", "fwd",
                 "bwd", "comm", "bound", "stored"});
-  double total_fwd = 0, total_bwd = 0, total_comm = 0;
+  Seconds total_fwd, total_bwd, total_comm;
   for (const auto& op : layer.ops) {
     const core::OpTime f = core::op_time(op, false, sys, cfg);
     const core::OpTime b = core::op_time(op, true, sys, cfg);
-    const double ai = op.fwd_bytes > 0 ? op.fwd_flops / op.fwd_bytes : 0.0;
-    const double fwd = f.compute + f.memory;
-    const double bwd = b.compute + b.memory;
+    const double ai = op.fwd_bytes > Bytes(0)
+                          ? op.fwd_flops.value() / op.fwd_bytes.value()
+                          : 0.0;
+    const Seconds fwd = f.compute + f.memory;
+    const Seconds bwd = b.compute + b.memory;
     total_fwd += fwd;
     total_bwd += bwd;
     total_comm += f.comm + b.comm;
@@ -35,7 +37,7 @@ void print_op_report(std::ostream& os, const model::TransformerConfig& mdl,
                util::format_bytes(op.fwd_bytes), util::format_fixed(ai, 1),
                util::format_time(fwd), util::format_time(bwd),
                util::format_time(f.comm + b.comm),
-               f.compute > 0 ? "compute" : "memory",
+               f.compute > Seconds(0) ? "compute" : "memory",
                util::format_bytes(op.stored_bytes)});
   }
   os << "Per-op roofline for " << mdl.name << " | " << cfg.describe()

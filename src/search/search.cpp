@@ -182,7 +182,7 @@ SweepState sweep(const model::TransformerConfig& mdl,
         }
         const core::SearchBounds bounds =
             core::search_bounds(mdl, sys, cfg, b, opts.eval);
-        if (bounds.memory_floor > sys.gpu.hbm_capacity) {
+        if (Bytes(bounds.memory_floor) > sys.gpu.hbm_capacity) {
           slot.reason = "exceeds HBM capacity";
           state[i] = kMemPruned;
           return;
@@ -244,7 +244,8 @@ SweepState sweep(const model::TransformerConfig& mdl,
     while (pos < active_end) {
       const double t_best = incumbent.load();
       const auto cut = std::upper_bound(
-          order.begin() + pos, order.begin() + active_end, t_best,
+          order.begin() + static_cast<std::ptrdiff_t>(pos),
+          order.begin() + static_cast<std::ptrdiff_t>(active_end), t_best,
           [&](double t, std::size_t idx) { return t < lb[idx]; });
       const std::size_t new_end =
           static_cast<std::size_t>(cut - order.begin());
@@ -395,8 +396,8 @@ std::vector<core::EvalResult> pareto_frontier(
   std::vector<core::EvalResult> frontier;
   double best_mem = std::numeric_limits<double>::infinity();
   for (std::size_t i : feasible_by_rank(st)) {
-    if (st.best_per_config[i].mem.total() < best_mem) {
-      best_mem = st.best_per_config[i].mem.total();
+    if (st.best_per_config[i].mem.total().value() < best_mem) {
+      best_mem = st.best_per_config[i].mem.total().value();
       frontier.push_back(std::move(st.best_per_config[i]));
     }
   }

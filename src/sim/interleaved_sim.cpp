@@ -7,6 +7,8 @@ namespace tfpe::sim {
 
 namespace {
 
+constexpr std::size_t uz(std::int64_t v) { return static_cast<std::size_t>(v); }
+
 /// Megatron's forward execution order on every rank: microbatches advance
 /// in groups of np, cycling through the v chunks group by group. The k-th
 /// forward (k in [0, m*v)) touches:
@@ -34,7 +36,8 @@ PipelineTrace simulate_interleaved_pipeline(const InterleavedParams& p) {
     throw std::invalid_argument("simulate_interleaved_pipeline: bad params");
   }
   if (v == 1) {
-    return simulate_pipeline({np, m, p.t_fwd_chunk, p.t_bwd_chunk, p.t_p2p});
+    return simulate_pipeline({np, m, Seconds(p.t_fwd_chunk),
+                              Seconds(p.t_bwd_chunk), Seconds(p.t_p2p)});
   }
   if (m % np != 0) {
     throw std::invalid_argument(
@@ -45,10 +48,10 @@ PipelineTrace simulate_interleaved_pipeline(const InterleavedParams& p) {
   const std::int64_t vstages = np * v;
   constexpr double kNotDone = -1.0;
   // Completion times indexed by [virtual stage][microbatch].
-  std::vector<std::vector<double>> fwd_done(vstages,
-                                            std::vector<double>(m, kNotDone));
-  std::vector<std::vector<double>> bwd_done(vstages,
-                                            std::vector<double>(m, kNotDone));
+  std::vector<std::vector<double>> fwd_done(
+      uz(vstages), std::vector<double>(uz(m), kNotDone));
+  std::vector<std::vector<double>> bwd_done(
+      uz(vstages), std::vector<double>(uz(m), kNotDone));
 
   // Per-rank Megatron task order.
   struct Task {
@@ -56,11 +59,11 @@ PipelineTrace simulate_interleaved_pipeline(const InterleavedParams& p) {
     std::int64_t chunk;
     std::int64_t micro;
   };
-  std::vector<std::vector<Task>> tasks(np);
+  std::vector<std::vector<Task>> tasks(uz(np));
   for (std::int64_t r = 0; r < np; ++r) {
     const std::int64_t warmup =
         std::min(total, (np - r - 1) * 2 + (v - 1) * np);
-    auto& list = tasks[r];
+    auto& list = tasks[uz(r)];
     list.reserve(static_cast<std::size_t>(2 * total));
     for (std::int64_t k = 0; k < warmup; ++k) {
       const TaskRef f = forward_order(k, np, v);
@@ -80,8 +83,8 @@ PipelineTrace simulate_interleaved_pipeline(const InterleavedParams& p) {
     }
   }
 
-  std::vector<std::size_t> next_task(np, 0);
-  std::vector<double> clock(np, 0.0);
+  std::vector<std::size_t> next_task(uz(np), 0);
+  std::vector<double> clock(uz(np), 0.0);
   double rank0_busy = 0;
   std::size_t remaining = 0;
   for (const auto& t : tasks) remaining += t.size();
@@ -91,28 +94,29 @@ PipelineTrace simulate_interleaved_pipeline(const InterleavedParams& p) {
 
   while (remaining > 0) {
     bool progressed = false;
-    for (std::int64_t r = 0; r < np; ++r) {
+    for (std::size_t r = 0; r < uz(np); ++r) {
       while (next_task[r] < tasks[r].size()) {
         const Task& t = tasks[r][next_task[r]];
-        const std::int64_t s = t.chunk * np + r;  // virtual stage
+        const std::size_t s =
+            uz(t.chunk) * uz(np) + r;  // virtual stage
         double ready;
         double duration;
         if (!t.backward) {
           if (s == 0) {
             ready = 0.0;
           } else {
-            const double dep = fwd_done[s - 1][t.micro];
+            const double dep = fwd_done[s - 1][uz(t.micro)];
             if (dep == kNotDone) break;
             ready = dep + p.t_p2p;
           }
           duration = p.t_fwd_chunk;
         } else {
-          if (s == vstages - 1) {
-            const double dep = fwd_done[s][t.micro];
+          if (s == uz(vstages) - 1) {
+            const double dep = fwd_done[s][uz(t.micro)];
             if (dep == kNotDone) break;
             ready = dep;
           } else {
-            const double dep = bwd_done[s + 1][t.micro];
+            const double dep = bwd_done[s + 1][uz(t.micro)];
             if (dep == kNotDone) break;
             ready = dep + p.t_p2p;
           }
@@ -122,8 +126,9 @@ PipelineTrace simulate_interleaved_pipeline(const InterleavedParams& p) {
         const double finish = start + duration;
         clock[r] = finish;
         if (r == 0) rank0_busy += duration;
-        (t.backward ? bwd_done : fwd_done)[s][t.micro] = finish;
-        trace.tasks.push_back({r, t.micro, t.backward, start, finish});
+        (t.backward ? bwd_done : fwd_done)[s][uz(t.micro)] = finish;
+        trace.tasks.push_back({static_cast<std::int64_t>(r), t.micro,
+                               t.backward, start, finish});
         ++next_task[r];
         --remaining;
         progressed = true;
@@ -134,7 +139,7 @@ PipelineTrace simulate_interleaved_pipeline(const InterleavedParams& p) {
     }
   }
 
-  for (std::int64_t r = 0; r < np; ++r) {
+  for (std::size_t r = 0; r < uz(np); ++r) {
     trace.completion_time = std::max(trace.completion_time, clock[r]);
   }
   trace.stage0_idle = trace.completion_time - rank0_busy;

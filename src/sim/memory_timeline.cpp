@@ -15,28 +15,29 @@ std::vector<StageMemoryProfile> activation_timeline(const PipelineTrace& trace,
     double time;
     int delta;
   };
-  std::vector<std::vector<Event>> events(stages);
+  std::vector<std::vector<Event>> events(static_cast<std::size_t>(stages));
   for (const auto& t : trace.tasks) {
     if (t.stage < 0 || t.stage >= stages) {
       throw std::invalid_argument("activation_timeline: stage out of range");
     }
+    auto& stage_events = events[static_cast<std::size_t>(t.stage)];
     if (t.backward) {
-      events[t.stage].push_back({t.end, -1});
+      stage_events.push_back({t.end, -1});
     } else {
-      events[t.stage].push_back({t.start, +1});
+      stage_events.push_back({t.start, +1});
     }
   }
 
-  std::vector<StageMemoryProfile> profiles(stages);
+  std::vector<StageMemoryProfile> profiles(static_cast<std::size_t>(stages));
   for (std::int64_t s = 0; s < stages; ++s) {
-    auto& ev = events[s];
+    auto& ev = events[static_cast<std::size_t>(s)];
     // Releases before acquisitions at equal times (backward frees first).
     std::sort(ev.begin(), ev.end(), [](const Event& a, const Event& b) {
       if (a.time != b.time) return a.time < b.time;
       return a.delta < b.delta;
     });
     std::int64_t level = 0;
-    StageMemoryProfile& p = profiles[s];
+    StageMemoryProfile& p = profiles[static_cast<std::size_t>(s)];
     p.stage = s;
     for (const Event& e : ev) {
       level += e.delta;

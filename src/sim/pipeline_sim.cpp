@@ -6,6 +6,10 @@
 
 namespace tfpe::sim {
 
+namespace {
+constexpr std::size_t uz(std::int64_t v) { return static_cast<std::size_t>(v); }
+}  // namespace
+
 std::vector<std::pair<bool, std::int64_t>> schedule_1f1b(std::int64_t stages,
                                                          std::int64_t stage,
                                                          std::int64_t m) {
@@ -33,13 +37,17 @@ PipelineTrace simulate_pipeline(const PipelineParams& params) {
   constexpr double kNotDone = -1.0;
   // fwd_done[s][j] / bwd_done[s][j]: completion time of microbatch j's
   // forward/backward on stage s.
-  std::vector<std::vector<double>> fwd_done(np, std::vector<double>(m, kNotDone));
-  std::vector<std::vector<double>> bwd_done(np, std::vector<double>(m, kNotDone));
+  std::vector<std::vector<double>> fwd_done(
+      uz(np), std::vector<double>(uz(m), kNotDone));
+  std::vector<std::vector<double>> bwd_done(
+      uz(np), std::vector<double>(uz(m), kNotDone));
 
-  std::vector<std::vector<std::pair<bool, std::int64_t>>> tasks(np);
-  std::vector<std::size_t> next_task(np, 0);
-  std::vector<double> stage_clock(np, 0.0);
-  for (std::int64_t s = 0; s < np; ++s) tasks[s] = schedule_1f1b(np, s, m);
+  std::vector<std::vector<std::pair<bool, std::int64_t>>> tasks(uz(np));
+  std::vector<std::size_t> next_task(uz(np), 0);
+  std::vector<double> stage_clock(uz(np), 0.0);
+  for (std::int64_t s = 0; s < np; ++s) {
+    tasks[uz(s)] = schedule_1f1b(np, s, m);
+  }
 
   double stage0_busy = 0;
   std::size_t remaining = 0;
@@ -50,9 +58,10 @@ PipelineTrace simulate_pipeline(const PipelineParams& params) {
 
   while (remaining > 0) {
     bool progressed = false;
-    for (std::int64_t s = 0; s < np; ++s) {
+    for (std::size_t s = 0; s < uz(np); ++s) {
       while (next_task[s] < tasks[s].size()) {
-        const auto [is_bwd, j] = tasks[s][next_task[s]];
+        const auto [is_bwd, j64] = tasks[s][next_task[s]];
+        const std::size_t j = uz(j64);
         double ready;
         double duration;
         if (!is_bwd) {
@@ -60,24 +69,25 @@ PipelineTrace simulate_pipeline(const PipelineParams& params) {
             ready = 0.0;
           } else {
             if (fwd_done[s - 1][j] == kNotDone) break;
-            ready = fwd_done[s - 1][j] + params.t_p2p;
+            ready = fwd_done[s - 1][j] + params.t_p2p.value();
           }
-          duration = params.t_fwd;
+          duration = params.t_fwd.value();
         } else {
-          if (s == np - 1) {
+          if (s == uz(np) - 1) {
             if (fwd_done[s][j] == kNotDone) break;
             ready = fwd_done[s][j];
           } else {
             if (bwd_done[s + 1][j] == kNotDone) break;
-            ready = bwd_done[s + 1][j] + params.t_p2p;
+            ready = bwd_done[s + 1][j] + params.t_p2p.value();
           }
-          duration = params.t_bwd;
+          duration = params.t_bwd.value();
         }
         const double start = std::max(ready, stage_clock[s]);
         const double finish = start + duration;
         stage_clock[s] = finish;
         if (s == 0) stage0_busy += duration;
-        trace.tasks.push_back({s, j, is_bwd, start, finish});
+        trace.tasks.push_back(
+            {static_cast<std::int64_t>(s), j64, is_bwd, start, finish});
         if (!is_bwd) {
           fwd_done[s][j] = finish;
         } else {
@@ -93,7 +103,7 @@ PipelineTrace simulate_pipeline(const PipelineParams& params) {
     }
   }
 
-  for (std::int64_t s = 0; s < np; ++s) {
+  for (std::size_t s = 0; s < uz(np); ++s) {
     trace.completion_time = std::max(trace.completion_time, stage_clock[s]);
   }
   trace.stage0_idle = trace.completion_time - stage0_busy;

@@ -11,14 +11,16 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/units.hpp"
+
 namespace tfpe::sim {
 
 struct PipelineParams {
   std::int64_t stages = 1;        ///< np
   std::int64_t microbatches = 1;  ///< m
-  double t_fwd = 0;               ///< Per-microbatch forward time per stage.
-  double t_bwd = 0;               ///< Per-microbatch backward time per stage.
-  double t_p2p = 0;               ///< Boundary transfer time per message.
+  Seconds t_fwd;                  ///< Per-microbatch forward time per stage.
+  Seconds t_bwd;                  ///< Per-microbatch backward time per stage.
+  Seconds t_p2p;                  ///< Boundary transfer time per message.
 };
 
 /// One executed task in the simulated schedule.

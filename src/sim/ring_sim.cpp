@@ -8,34 +8,39 @@
 
 namespace tfpe::sim {
 
+namespace {
+constexpr std::size_t uz(std::int64_t v) { return static_cast<std::size_t>(v); }
+}  // namespace
+
 RingTopology RingTopology::two_level(std::int64_t g, std::int64_t nvs,
-                                     double alpha_f, double bw_f,
-                                     double alpha_s, double bw_s) {
+                                     Seconds alpha_f, BytesPerSec bw_f,
+                                     Seconds alpha_s, BytesPerSec bw_s) {
   if (g < 1) throw std::invalid_argument("two_level: g must be >= 1");
   nvs = std::clamp<std::int64_t>(nvs, 1, g);
   if (g % nvs != 0) throw std::invalid_argument("two_level: nvs must divide g");
   RingTopology ring;
-  ring.links.resize(g);
+  ring.links.resize(uz(g));
   for (std::int64_t i = 0; i < g; ++i) {
     // Link i -> i+1 crosses a domain boundary when i is the last GPU of its
     // fast domain.
     const bool crossing = ((i + 1) % nvs) == 0 && nvs < g;
-    ring.links[i] = crossing ? RingLink{alpha_s, bw_s} : RingLink{alpha_f, bw_f};
+    ring.links[uz(i)] =
+        crossing ? RingLink{alpha_s, bw_s} : RingLink{alpha_f, bw_f};
   }
   return ring;
 }
 
-double simulate_allgather(const RingTopology& ring, double total_bytes,
-                          int slices) {
+Seconds simulate_allgather(const RingTopology& ring, Bytes total_bytes,
+                           int slices) {
   const std::int64_t g = ring.size();
-  if (g <= 1) return 0.0;
+  if (g <= 1) return Seconds(0);
   if (slices < 1) throw std::invalid_argument("simulate_allgather: slices >= 1");
 
-  const double slice_bytes =
+  const Bytes slice_bytes =
       total_bytes / static_cast<double>(g) / static_cast<double>(slices);
 
   EventQueue queue;
-  std::vector<double> link_free(g, 0.0);
+  std::vector<double> link_free(uz(g), 0.0);
 
   // One in-flight message: slice `s` of block `b`, currently departing GPU
   // `at`, with `hops_left` hops to traverse.
@@ -49,10 +54,11 @@ double simulate_allgather(const RingTopology& ring, double total_bytes,
   // The send of a message over link `at`: waits for the link, then arrives
   // at the next GPU after alpha + bytes/bw.
   std::function<void(Message)> send = [&](Message msg) {
-    const std::int64_t link = msg.at;
+    const std::size_t link = uz(msg.at);
     const double start = std::max(queue.now(), link_free[link]);
     const double duration =
-        ring.links[link].alpha + slice_bytes / ring.links[link].bandwidth;
+        (ring.links[link].alpha + slice_bytes / ring.links[link].bandwidth)
+            .value();
     const double finish = start + duration;
     link_free[link] = finish;
     queue.schedule(finish, [&, msg] {
@@ -70,23 +76,23 @@ double simulate_allgather(const RingTopology& ring, double total_bytes,
       });
     }
   }
-  return queue.run();
+  return Seconds(queue.run());
 }
 
-double simulate_collective(const hw::NetworkSpec& net, ops::Collective coll,
-                           double bytes, std::int64_t g, std::int64_t nvs,
-                           int slices) {
-  if (g <= 1 || bytes <= 0) return 0.0;
+Seconds simulate_collective(const hw::NetworkSpec& net, ops::Collective coll,
+                            Bytes bytes, std::int64_t g, std::int64_t nvs,
+                            int slices) {
+  if (g <= 1 || bytes <= Bytes(0)) return Seconds(0);
   nvs = std::clamp<std::int64_t>(nvs, 1, g);
   // NCCL drives one ring per rail; each rail ring carries 1/rails of the
   // tensor, owns one NIC share, and shares the NVS bandwidth.
   const double rails =
       nvs < g ? static_cast<double>(nvs) * net.nics_per_gpu : 1.0;
-  const double bw_fast = net.effective_nvs_bandwidth() / rails;
-  const double bw_slow = net.ib_bandwidth * net.efficiency;
+  const BytesPerSec bw_fast = net.effective_nvs_bandwidth() / rails;
+  const BytesPerSec bw_slow = net.ib_bandwidth * net.efficiency;
   const RingTopology ring = RingTopology::two_level(
       g, nvs, net.nvs_latency, bw_fast, net.ib_latency, bw_slow);
-  const double per_ring_bytes = bytes / rails;
+  const Bytes per_ring_bytes = bytes / rails;
 
   switch (coll) {
     case ops::Collective::AllGather:
@@ -109,15 +115,15 @@ double simulate_collective(const hw::NetworkSpec& net, ops::Collective coll,
       return link.alpha + per_ring_bytes / link.bandwidth;
     }
     case ops::Collective::None:
-      return 0.0;
+      return Seconds(0);
   }
-  return 0.0;
+  return Seconds(0);
 }
 
-double simulate_tree_allreduce(const hw::NetworkSpec& net, double bytes,
-                               std::int64_t g, std::int64_t nvs,
-                               int slices) {
-  if (g <= 1 || bytes <= 0) return 0.0;
+Seconds simulate_tree_allreduce(const hw::NetworkSpec& net, Bytes bytes,
+                                std::int64_t g, std::int64_t nvs,
+                                int slices) {
+  if (g <= 1 || bytes <= Bytes(0)) return Seconds(0);
   nvs = std::clamp<std::int64_t>(nvs, 1, g);
   if (slices < 1) throw std::invalid_argument("simulate_tree_allreduce: slices");
   if (g % nvs != 0) {
@@ -128,9 +134,9 @@ double simulate_tree_allreduce(const hw::NetworkSpec& net, double bytes,
   // 1/rails of the tensor, owns a NIC, and shares the NVS bandwidth.
   const double rails =
       nvs < g ? static_cast<double>(nvs) * net.nics_per_gpu : 1.0;
-  const double per_tree_bytes = bytes / rails;
-  const double bw_fast = net.effective_nvs_bandwidth() / rails;
-  const double bw_slow = net.ib_bandwidth * net.efficiency;
+  const Bytes per_tree_bytes = bytes / rails;
+  const BytesPerSec bw_fast = net.effective_nvs_bandwidth() / rails;
+  const BytesPerSec bw_slow = net.ib_bandwidth * net.efficiency;
 
   // Two-level tree: inside each fast domain a heap-shaped fast tree rooted
   // at the domain leader (local index 0); the leaders form a heap-shaped
@@ -143,35 +149,36 @@ double simulate_tree_allreduce(const hw::NetworkSpec& net, double bytes,
   };
   auto edge_time = [&](std::int64_t child) {
     const bool crossing = child % nvs == 0;  // leader-to-leader edge
-    const double bw = crossing ? bw_slow : bw_fast;
-    const double alpha = crossing ? net.ib_latency : net.nvs_latency;
-    return alpha + per_tree_bytes / static_cast<double>(slices) / bw;
+    const BytesPerSec bw = crossing ? bw_slow : bw_fast;
+    const Seconds alpha = crossing ? net.ib_latency : net.nvs_latency;
+    return (alpha + per_tree_bytes / static_cast<double>(slices) / bw).value();
   };
 
   EventQueue queue;
   // reduce_ready[i][s]: how many children of i have delivered slice s
   // (leaves start ready). up_free / down_free: FIFO edge availability.
   const std::int64_t S = slices;
-  std::vector<std::vector<int>> pending(g, std::vector<int>(S, 0));
-  std::vector<double> up_free(g, 0.0), down_free(g, 0.0);
+  std::vector<std::vector<int>> pending(
+      uz(g), std::vector<int>(uz(S), 0));
+  std::vector<double> up_free(uz(g), 0.0), down_free(uz(g), 0.0);
   double completion = 0.0;
 
-  std::vector<std::vector<std::int64_t>> children(g);
+  std::vector<std::vector<std::int64_t>> children(uz(g));
   for (std::int64_t i = 0; i < g; ++i) {
     const std::int64_t p = parent(i);
-    if (p >= 0) children[p].push_back(i);
+    if (p >= 0) children[uz(p)].push_back(i);
   }
   auto children_of = [&](std::int64_t i) -> const std::vector<std::int64_t>& {
-    return children[i];
+    return children[uz(i)];
   };
 
   std::function<void(std::int64_t, std::int64_t)> send_down =
       [&](std::int64_t node, std::int64_t s) {
         // Broadcast slice s from `node` to its children.
         for (std::int64_t c : children_of(node)) {
-          const double start = std::max(queue.now(), down_free[c]);
+          const double start = std::max(queue.now(), down_free[uz(c)]);
           const double finish = start + edge_time(c);
-          down_free[c] = finish;
+          down_free[uz(c)] = finish;
           queue.schedule(finish, [&, c, s] {
             completion = std::max(completion, queue.now());
             send_down(c, s);
@@ -188,12 +195,12 @@ double simulate_tree_allreduce(const hw::NetworkSpec& net, double bytes,
           send_down(0, s);
           return;
         }
-        const double start = std::max(queue.now(), up_free[node]);
+        const double start = std::max(queue.now(), up_free[uz(node)]);
         const double finish = start + edge_time(node);
-        up_free[node] = finish;
+        up_free[uz(node)] = finish;
         const std::int64_t p = parent(node);
         queue.schedule(finish, [&, p, s] {
-          if (++pending[p][s] ==
+          if (++pending[uz(p)][uz(s)] ==
               static_cast<int>(children_of(p).size())) {
             send_up(p, s);
           }
@@ -207,7 +214,7 @@ double simulate_tree_allreduce(const hw::NetworkSpec& net, double bytes,
     }
   }
   queue.run();
-  return completion;
+  return Seconds(completion);
 }
 
 }  // namespace tfpe::sim

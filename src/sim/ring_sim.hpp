@@ -22,8 +22,8 @@
 namespace tfpe::sim {
 
 struct RingLink {
-  double alpha = 0;      ///< Per-message latency [s].
-  double bandwidth = 0;  ///< [bytes/s].
+  Seconds alpha;         ///< Per-message latency.
+  BytesPerSec bandwidth;
 };
 
 /// Ring of g GPUs; links[i] connects GPU i -> (i+1) mod g.
@@ -36,31 +36,31 @@ struct RingTopology {
   /// members; domain-internal links are (alpha_f, bw_f), domain-crossing
   /// links (alpha_s, bw_s). `nvs` must divide g.
   static RingTopology two_level(std::int64_t g, std::int64_t nvs,
-                                double alpha_f, double bw_f, double alpha_s,
-                                double bw_s);
+                                Seconds alpha_f, BytesPerSec bw_f,
+                                Seconds alpha_s, BytesPerSec bw_s);
 };
 
 /// Simulate an AllGather of a `total_bytes` tensor on the ring, slicing each
 /// block into `slices` messages. Returns completion time (all GPUs hold the
 /// full tensor).
-double simulate_allgather(const RingTopology& ring, double total_bytes,
-                          int slices = 4);
+Seconds simulate_allgather(const RingTopology& ring, Bytes total_bytes,
+                           int slices = 4);
 
 /// Multi-rail wrapper mirroring the analytic model's assumptions: a group of
 /// `g` GPUs placed `nvs` per node, driving `nvs` NIC rails. Supports
 /// AllGather, ReduceScatter (time-symmetric), AllReduce (RS + AG) and
 /// Broadcast/Reduce (one ring pass). Returns completion time for the full
 /// tensor of `bytes`.
-double simulate_collective(const hw::NetworkSpec& net, ops::Collective coll,
-                           double bytes, std::int64_t g, std::int64_t nvs,
-                           int slices = 4);
+Seconds simulate_collective(const hw::NetworkSpec& net, ops::Collective coll,
+                            Bytes bytes, std::int64_t g, std::int64_t nvs,
+                            int slices = 4);
 
 /// Discrete-event execution of a binary-tree AllReduce: slices flow
 /// leaf-to-root (reduce) and back (broadcast) over FIFO edges; edges
 /// crossing a fast-domain boundary use the slow network. Validates the
 /// analytic tree_time model.
-double simulate_tree_allreduce(const hw::NetworkSpec& net, double bytes,
-                               std::int64_t g, std::int64_t nvs,
-                               int slices = 8);
+Seconds simulate_tree_allreduce(const hw::NetworkSpec& net, Bytes bytes,
+                                std::int64_t g, std::int64_t nvs,
+                                int slices = 8);
 
 }  // namespace tfpe::sim

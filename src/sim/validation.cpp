@@ -26,34 +26,34 @@ std::pair<std::int64_t, std::int64_t> group_of(
 
 /// Exposed communication time of one op via the discrete-event ring
 /// simulator, mirroring the evaluator's SUMMA prologue/overlap treatment.
-double op_comm_sim(const ops::Op& op, bool backward,
-                   const hw::SystemConfig& sys,
-                   const parallel::ParallelConfig& cfg, double t_panel_comp) {
+Seconds op_comm_sim(const ops::Op& op, bool backward,
+                    const hw::SystemConfig& sys,
+                    const parallel::ParallelConfig& cfg, Seconds t_panel_comp) {
   const auto& reqs = backward ? op.bwd_comm : op.fwd_comm;
-  if (reqs.empty()) return 0.0;
+  if (reqs.empty()) return Seconds(0);
   const std::int64_t panels = std::max<std::int64_t>(1, op.summa_panels);
-  double t_panel_comm = 0;
+  Seconds t_panel_comm;
   for (const auto& req : reqs) {
     const auto [g, nvs] = group_of(cfg, req.group);
     t_panel_comm += simulate_collective(
         sys.net, req.collective, req.bytes / static_cast<double>(panels), g, nvs);
   }
   if (panels == 1) return t_panel_comm;
-  return t_panel_comm + static_cast<double>(panels - 1) *
-                            std::max(0.0, t_panel_comm - t_panel_comp);
+  return t_panel_comm + std::max(Seconds(0), t_panel_comm - t_panel_comp) *
+                            static_cast<double>(panels - 1);
 }
 
 }  // namespace
 
 ValidationPoint validate_collective(const hw::NetworkSpec& net,
-                                    ops::Collective coll, double bytes,
+                                    ops::Collective coll, Bytes bytes,
                                     std::int64_t g, std::int64_t nvs,
                                     std::string label) {
   ValidationPoint point;
   point.label = std::move(label);
   point.analytic_seconds =
-      comm::collective_time(net, coll, bytes, {.size = g, .nvs = nvs});
-  point.simulated_seconds = simulate_collective(net, coll, bytes, g, nvs);
+      comm::collective_time(net, coll, bytes, {.size = g, .nvs = nvs}).value();
+  point.simulated_seconds = simulate_collective(net, coll, bytes, g, nvs).value();
   return point;
 }
 
@@ -75,22 +75,22 @@ ValidationPoint validate_iteration(const model::TransformerConfig& mdl,
   // Per-microbatch per-stage times: analytic roofline for compute (the
   // validation targets the schedule and communication, as in the paper),
   // simulated ring collectives for TP communication.
-  double fwd = 0, bwd = 0;
+  Seconds fwd, bwd;
   for (const auto& op : layer.ops) {
     const core::OpTime f = core::op_time(op, false, sys, cfg);
     const core::OpTime b = core::op_time(op, true, sys, cfg);
-    const double f_comp = f.compute + f.memory;
-    const double b_comp = b.compute + b.memory;
+    const Seconds f_comp = f.compute + f.memory;
+    const Seconds b_comp = b.compute + b.memory;
     const std::int64_t panels = std::max<std::int64_t>(1, op.summa_panels);
     fwd += f_comp + op_comm_sim(op, false, sys, cfg,
                                 f_comp / static_cast<double>(panels));
     bwd += b_comp + op_comm_sim(op, true, sys, cfg,
                                 b_comp / static_cast<double>(panels));
   }
-  const double t_fwd = layers * fwd;
-  const double t_bwd = layers * bwd;
+  const Seconds t_fwd = fwd * layers;
+  const Seconds t_bwd = bwd * layers;
 
-  double t_p2p = 0;
+  Seconds t_p2p;
   if (cfg.np > 1) {
     t_p2p = simulate_collective(sys.net, ops::Collective::PointToPoint,
                                 layer.pp_boundary_bytes, 2,
@@ -100,7 +100,7 @@ ValidationPoint validate_iteration(const model::TransformerConfig& mdl,
       {cfg.np, cfg.microbatches, t_fwd, t_bwd, t_p2p});
 
   // DP exposure with simulated collectives.
-  double dp_exposed = 0;
+  Seconds dp_exposed;
   std::int64_t dp_size = cfg.nd, dp_nvs = cfg.nvsd;
   if (layer.dp_group_includes_tp2) {
     dp_size *= cfg.n2;
@@ -108,19 +108,20 @@ ValidationPoint validate_iteration(const model::TransformerConfig& mdl,
   }
   const double stage_params = layer.weight_params * layers;
   if (dp_size > 1) {
-    const double grad_bytes = 2.0 * stage_params;
-    const double t_rs = simulate_collective(
+    const Bytes grad_bytes = Bytes(2.0 * stage_params);
+    const Seconds t_rs = simulate_collective(
         sys.net, ops::Collective::ReduceScatter, grad_bytes, dp_size, dp_nvs);
-    const double t_ag = simulate_collective(
+    const Seconds t_ag = simulate_collective(
         sys.net, ops::Collective::AllGather, grad_bytes, dp_size, dp_nvs);
-    dp_exposed = std::max(0.0, t_rs - t_bwd) + std::max(0.0, t_ag - t_fwd);
+    dp_exposed = std::max(Seconds(0), t_rs - t_bwd) +
+                 std::max(Seconds(0), t_ag - t_fwd);
   }
 
   ValidationPoint point;
   point.label = std::move(label);
   point.analytic_seconds = analytic.iteration();
   point.simulated_seconds =
-      trace.completion_time + dp_exposed + analytic.time.optimizer;
+      trace.completion_time + dp_exposed.value() + analytic.time.optimizer;
   return point;
 }
 

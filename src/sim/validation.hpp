@@ -32,7 +32,7 @@ struct ValidationPoint {
 /// Compare the analytic collective-time model against the ring simulator
 /// for one collective of `bytes` over `g` GPUs placed `nvs` per node.
 ValidationPoint validate_collective(const hw::NetworkSpec& net,
-                                    ops::Collective coll, double bytes,
+                                    ops::Collective coll, Bytes bytes,
                                     std::int64_t g, std::int64_t nvs,
                                     std::string label);
 

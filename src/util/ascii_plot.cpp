@@ -84,7 +84,8 @@ void ascii_chart(std::ostream& os, const std::vector<Series>& series, int width,
   const double sx = (lx1 > lx0) ? (lx1 - lx0) : 1.0;
   const double sy = (ly1 > ly0) ? (ly1 - ly0) : 1.0;
 
-  std::vector<std::string> canvas(height, std::string(width, ' '));
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
   const char marks[] = "ox+*sdv^";
   for (std::size_t si = 0; si < series.size(); ++si) {
     const char mark = marks[si % (sizeof(marks) - 1)];
@@ -95,7 +96,8 @@ void ascii_chart(std::ostream& os, const std::vector<Series>& series, int width,
       int cy = static_cast<int>((std::log(s.y[i]) - ly0) / sy * (height - 1) + 0.5);
       cx = std::clamp(cx, 0, width - 1);
       cy = std::clamp(cy, 0, height - 1);
-      canvas[height - 1 - cy][cx] = mark;
+      canvas[static_cast<std::size_t>(height - 1 - cy)]
+            [static_cast<std::size_t>(cx)] = mark;
     }
   }
   os << "y: " << ylo << " .. " << yhi << " (log)\n";

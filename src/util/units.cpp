@@ -25,7 +25,14 @@ std::string format_bytes(double bytes) {
 }
 
 std::string format_time(double seconds) {
-  if (seconds < 0) return "-" + format_time(-seconds);
+  if (seconds < 0) {
+    // Built with += rather than `"-" + format_time(...)`: the operator+
+    // overload inlines string::insert, which trips a GCC 12 libstdc++
+    // -Wrestrict false positive at -O3 (PR105651) and breaks -Werror builds.
+    std::string negated = "-";
+    negated += format_time(-seconds);
+    return negated;
+  }
   if (seconds < kMicro) return scaled(seconds, 1e-9, "ns");
   if (seconds < kMilli) return scaled(seconds, kMicro, "us");
   if (seconds < 1.0) return scaled(seconds, kMilli, "ms");

@@ -1,12 +1,110 @@
 #pragma once
-// Unit constants and human-readable formatting helpers.
+// Unit constants, compile-time dimensional safety, and human-readable
+// formatting helpers.
 //
 // All quantities inside the library are SI: bytes, bytes/second, FLOP/s,
-// seconds. These helpers exist only at the presentation boundary.
+// seconds. The strong unit types below make the dimension part of the type
+// so that mixing them up (the classic "passed bytes where flops were
+// expected" bug) is a compile error rather than a silently skewed figure:
+//
+//   Seconds t = Bytes(1e9) / BytesPerSec(1e12);   // ok: 1 ms
+//   Seconds u = Flops(1e12) / BytesPerSec(1e12);  // compile error
+//   Bytes b   = Bytes(8) + Seconds(1);            // compile error
+//
+// Construction from a raw double is explicit; dimensionally valid products
+// and quotients compose (Flops / FlopsPerSec -> Seconds, BytesPerSec *
+// Seconds -> Bytes, ...); same-dimension ratios collapse to plain double.
 
+#include <compare>
 #include <string>
 
 namespace tfpe::util {
+
+/// A double tagged with its physical dimension, expressed as integer
+/// exponents over the library's three base dimensions (FLOPs, bytes,
+/// seconds). Arithmetic follows dimensional algebra: addition requires the
+/// same dimension, multiplication/division add/subtract exponents, and the
+/// all-zero (dimensionless) case converts implicitly to double.
+template <int FlopDim, int ByteDim, int SecondDim>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : v_(value) {}
+
+  /// The raw SI magnitude. The presentation boundary (formatting, CSV,
+  /// gtest comparisons) reads this; model code should stay in unit space.
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  /// Dimensionless quantities (e.g. Bytes / Bytes) are just numbers.
+  constexpr operator double() const  // NOLINT(google-explicit-constructor)
+    requires(FlopDim == 0 && ByteDim == 0 && SecondDim == 0)
+  {
+    return v_;
+  }
+
+  // Same-dimension linear arithmetic.
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(a.v_ + b.v_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(a.v_ - b.v_);
+  }
+  constexpr Quantity operator-() const { return Quantity(-v_); }
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+
+  // Scaling by dimensionless factors.
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity(a.v_ * s);
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity(a.v_ * s);
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity(a.v_ / s);
+  }
+  constexpr Quantity& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    v_ /= s;
+    return *this;
+  }
+
+  friend constexpr bool operator==(const Quantity&, const Quantity&) = default;
+  friend constexpr auto operator<=>(const Quantity&, const Quantity&) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Dimensional product: exponents add (Bytes * per-second -> Bytes/s, ...).
+template <int F1, int B1, int S1, int F2, int B2, int S2>
+constexpr Quantity<F1 + F2, B1 + B2, S1 + S2> operator*(Quantity<F1, B1, S1> a,
+                                                        Quantity<F2, B2, S2> b) {
+  return Quantity<F1 + F2, B1 + B2, S1 + S2>(a.value() * b.value());
+}
+
+/// Dimensional quotient: exponents subtract (Bytes / BytesPerSec -> Seconds,
+/// Flops / FlopsPerSec -> Seconds, Bytes / Bytes -> double).
+template <int F1, int B1, int S1, int F2, int B2, int S2>
+constexpr Quantity<F1 - F2, B1 - B2, S1 - S2> operator/(Quantity<F1, B1, S1> a,
+                                                        Quantity<F2, B2, S2> b) {
+  return Quantity<F1 - F2, B1 - B2, S1 - S2>(a.value() / b.value());
+}
+
+using Flops = Quantity<1, 0, 0>;        ///< Floating-point operation count.
+using Bytes = Quantity<0, 1, 0>;        ///< Data volume.
+using Seconds = Quantity<0, 0, 1>;      ///< Duration.
+using BytesPerSec = Quantity<0, 1, -1>; ///< Bandwidth.
+using FlopsPerSec = Quantity<1, 0, -1>; ///< Compute rate.
 
 inline constexpr double kKiB = 1024.0;
 inline constexpr double kMiB = 1024.0 * 1024.0;
@@ -27,17 +125,33 @@ inline constexpr double kSecondsPerDay = 86400.0;
 
 /// Format a byte count as e.g. "12.3 GB" (decimal units, as in GPU datasheets).
 std::string format_bytes(double bytes);
+inline std::string format_bytes(Bytes b) { return format_bytes(b.value()); }
 
 /// Format a duration as e.g. "123.4 us", "1.23 ms", "4.56 s", "2.3 days".
 std::string format_time(double seconds);
+inline std::string format_time(Seconds s) { return format_time(s.value()); }
 
 /// Format a FLOP count as e.g. "312.0 TFLOP".
 std::string format_flops(double flops);
+inline std::string format_flops(Flops f) { return format_flops(f.value()); }
 
 /// Format a rate as e.g. "900.0 GB/s".
 std::string format_bandwidth(double bytes_per_second);
+inline std::string format_bandwidth(BytesPerSec b) {
+  return format_bandwidth(b.value());
+}
 
 /// Fixed-precision double formatting ("%.*f").
 std::string format_fixed(double value, int precision);
 
 }  // namespace tfpe::util
+
+namespace tfpe {
+// The unit vocabulary is used across every module; promote it to the
+// project namespace so signatures stay readable.
+using util::Bytes;
+using util::BytesPerSec;
+using util::Flops;
+using util::FlopsPerSec;
+using util::Seconds;
+}  // namespace tfpe

@@ -1,0 +1,7 @@
+// MUST NOT COMPILE: adding quantities of different dimensions.
+#include "util/units.hpp"
+
+int main() {
+  auto x = tfpe::util::Bytes(8.0) + tfpe::util::Seconds(1.0);
+  return static_cast<int>(x.value());
+}

@@ -1,0 +1,12 @@
+// Positive control for the negative-compile harness: dimensionally sound
+// unit arithmetic must be ACCEPTED by the same compiler invocation.
+#include "util/units.hpp"
+
+int main() {
+  using namespace tfpe::util;
+  const Seconds t = Bytes(1e9) / BytesPerSec(1e12);
+  const Seconds u = Flops(1e12) / FlopsPerSec(1e15);
+  const Bytes moved = BytesPerSec(1e12) * (t + u);
+  const double ratio = moved / Bytes(2e9);  // dimensionless -> double
+  return ratio > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: only dimensionless quantities convert to double; a
+// Bytes value must be read out explicitly via .value().
+#include "util/units.hpp"
+
+int main() {
+  double d = tfpe::util::Bytes(1e9);
+  return static_cast<int>(d);
+}

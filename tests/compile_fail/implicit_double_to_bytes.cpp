@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: construction from a raw double is explicit, so an
+// untagged magnitude cannot silently acquire a dimension.
+#include "util/units.hpp"
+
+int main() {
+  tfpe::util::Bytes b = 1e9;
+  return static_cast<int>(b.value());
+}

@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: double / Quantity is not provided — the numerator's
+// dimension must be stated, e.g. Bytes(x) / BytesPerSec(y).
+#include "util/units.hpp"
+
+int main() {
+  auto t = 1e9 / tfpe::util::BytesPerSec(1e12);
+  return static_cast<int>(t.value());
+}

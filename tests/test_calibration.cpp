@@ -77,11 +77,11 @@ TEST(Calibration, ResidualGrowsAwayFromOptimum) {
 TEST(Calibration, AppliesEfficienciesCorrectly) {
   const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 64);
   const auto derated = apply_efficiencies(sys, 0.5, 0.6);
-  EXPECT_DOUBLE_EQ(derated.gpu.tensor_flops, 0.5 * sys.gpu.tensor_flops);
-  EXPECT_DOUBLE_EQ(derated.gpu.vector_flops, 0.5 * sys.gpu.vector_flops);
+  EXPECT_DOUBLE_EQ(derated.gpu.tensor_flops.value(), 0.5 * sys.gpu.tensor_flops.value());
+  EXPECT_DOUBLE_EQ(derated.gpu.vector_flops.value(), 0.5 * sys.gpu.vector_flops.value());
   EXPECT_DOUBLE_EQ(derated.net.efficiency, 0.6);
   // Memory system untouched.
-  EXPECT_DOUBLE_EQ(derated.gpu.hbm_bandwidth, sys.gpu.hbm_bandwidth);
+  EXPECT_DOUBLE_EQ(derated.gpu.hbm_bandwidth.value(), sys.gpu.hbm_bandwidth.value());
 }
 
 TEST(Calibration, RejectsBadInput) {

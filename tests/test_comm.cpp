@@ -16,88 +16,99 @@ hw::NetworkSpec b200_net() {
 
 TEST(RingLatency, PureFastDomain) {
   // 8 GPUs all in one fast domain: 7 fast hops, no slow hops.
-  const double t = ring_latency(b200_net(), {8, 8});
+  const double t = ring_latency(b200_net(), {8, 8}).value();
   EXPECT_DOUBLE_EQ(t, 7 * 2.5e-6);
 }
 
 TEST(RingLatency, TwoLevel) {
   // 32 GPUs, 8 per domain: 3 slow hops + 28 fast hops (paper's formula).
-  const double t = ring_latency(b200_net(), {32, 8});
+  const double t = ring_latency(b200_net(), {32, 8}).value();
   EXPECT_DOUBLE_EQ(t, 3 * 5e-6 + 28 * 2.5e-6);
 }
 
 TEST(RingLatency, AllCrossNode) {
-  const double t = ring_latency(b200_net(), {16, 1});
+  const double t = ring_latency(b200_net(), {16, 1}).value();
   EXPECT_DOUBLE_EQ(t, 15 * 5e-6);
 }
 
 TEST(EffectiveBandwidth, InsideFastDomain) {
-  EXPECT_DOUBLE_EQ(effective_bandwidth(b200_net(), {8, 8}), 0.7 * 900e9);
+  EXPECT_DOUBLE_EQ(effective_bandwidth(b200_net(), {8, 8}).value(),
+                   0.7 * 900e9);
 }
 
 TEST(EffectiveBandwidth, MultiRailAmplifiesIb) {
   const auto net = b200_net();
   // 1 GPU per node: a single NIC rail.
-  EXPECT_DOUBLE_EQ(effective_bandwidth(net, {16, 1}), 0.7 * 100e9);
+  EXPECT_DOUBLE_EQ(effective_bandwidth(net, {16, 1}).value(), 0.7 * 100e9);
   // 4 GPUs per node: 4 rails.
-  EXPECT_DOUBLE_EQ(effective_bandwidth(net, {16, 4}), 0.7 * 400e9);
+  EXPECT_DOUBLE_EQ(effective_bandwidth(net, {16, 4}).value(), 0.7 * 400e9);
 }
 
 TEST(EffectiveBandwidth, CappedByNvs) {
   // With enough rails the NVS bandwidth is the ceiling (paper: "eventually
   // constrained by beta_f for large NVS domains").
   auto net = b200_net();
-  EXPECT_DOUBLE_EQ(effective_bandwidth(net, {128, 64}),
-                   net.effective_nvs_bandwidth());
+  EXPECT_DOUBLE_EQ(effective_bandwidth(net, {128, 64}).value(),
+                   net.effective_nvs_bandwidth().value());
 }
 
 TEST(CollectiveTime, AllGatherMatchesClosedForm) {
   const auto net = b200_net();
-  const double V = 1e9;
+  const Bytes V{1e9};
   const GroupPlacement g{32, 8};
-  const double expected = ring_latency(net, g) +
-                          (31.0 / 32.0) * V / effective_bandwidth(net, g);
+  const Seconds expected =
+      ring_latency(net, g) + V * (31.0 / 32.0) / effective_bandwidth(net, g);
   EXPECT_DOUBLE_EQ(
-      collective_time(net, ops::Collective::AllGather, V, g), expected);
+      collective_time(net, ops::Collective::AllGather, V, g).value(),
+      expected.value());
 }
 
 TEST(CollectiveTime, ReduceScatterEqualsAllGather) {
   const auto net = b200_net();
   EXPECT_DOUBLE_EQ(
-      collective_time(net, ops::Collective::AllGather, 5e8, {16, 4}),
-      collective_time(net, ops::Collective::ReduceScatter, 5e8, {16, 4}));
+      collective_time(net, ops::Collective::AllGather, Bytes(5e8), {16, 4})
+          .value(),
+      collective_time(net, ops::Collective::ReduceScatter, Bytes(5e8), {16, 4})
+          .value());
 }
 
 TEST(CollectiveTime, AllReduceIsTwoPasses) {
   const auto net = b200_net();
   const GroupPlacement g{16, 4};
-  const double ag = collective_time(net, ops::Collective::AllGather, 1e9, g);
-  const double ar = collective_time(net, ops::Collective::AllReduce, 1e9, g);
-  EXPECT_DOUBLE_EQ(ar, 2.0 * ag);
+  const Seconds ag =
+      collective_time(net, ops::Collective::AllGather, Bytes(1e9), g);
+  const Seconds ar =
+      collective_time(net, ops::Collective::AllReduce, Bytes(1e9), g);
+  EXPECT_DOUBLE_EQ(ar.value(), 2.0 * ag.value());
 }
 
 TEST(CollectiveTime, TrivialGroupIsFree) {
   const auto net = b200_net();
-  EXPECT_DOUBLE_EQ(collective_time(net, ops::Collective::AllGather, 1e9, {1, 1}),
-                   0.0);
-  EXPECT_DOUBLE_EQ(collective_time(net, ops::Collective::AllReduce, 0.0, {8, 8}),
-                   0.0);
+  EXPECT_DOUBLE_EQ(
+      collective_time(net, ops::Collective::AllGather, Bytes(1e9), {1, 1})
+          .value(),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      collective_time(net, ops::Collective::AllReduce, Bytes(0), {8, 8})
+          .value(),
+      0.0);
 }
 
 TEST(CollectiveTime, PointToPointUsesLinkType) {
   const auto net = b200_net();
-  const double fast =
-      collective_time(net, ops::Collective::PointToPoint, 1e8, {2, 2});
-  const double slow =
-      collective_time(net, ops::Collective::PointToPoint, 1e8, {2, 1});
-  EXPECT_LT(fast, slow);
-  EXPECT_DOUBLE_EQ(fast, 2.5e-6 + 1e8 / (0.7 * 900e9));
-  EXPECT_DOUBLE_EQ(slow, 5e-6 + 1e8 / (0.7 * 100e9));
+  const Seconds fast =
+      collective_time(net, ops::Collective::PointToPoint, Bytes(1e8), {2, 2});
+  const Seconds slow =
+      collective_time(net, ops::Collective::PointToPoint, Bytes(1e8), {2, 1});
+  EXPECT_LT(fast.value(), slow.value());
+  EXPECT_DOUBLE_EQ(fast.value(), 2.5e-6 + 1e8 / (0.7 * 900e9));
+  EXPECT_DOUBLE_EQ(slow.value(), 5e-6 + 1e8 / (0.7 * 100e9));
 }
 
 TEST(CollectiveTime, RejectsNegativeBytes) {
   EXPECT_THROW(
-      collective_time(b200_net(), ops::Collective::AllGather, -1.0, {8, 8}),
+      collective_time(b200_net(), ops::Collective::AllGather, Bytes(-1.0),
+                      {8, 8}),
       std::invalid_argument);
 }
 
@@ -112,9 +123,11 @@ TEST_P(CollectiveProperty, MoreNvsNeverHurts) {
   if (nvs * 2 > size) GTEST_SKIP();
   const auto net = b200_net();
   const double t1 =
-      collective_time(net, ops::Collective::AllGather, 1e9, {size, nvs});
-  const double t2 =
-      collective_time(net, ops::Collective::AllGather, 1e9, {size, nvs * 2});
+      collective_time(net, ops::Collective::AllGather, Bytes(1e9), {size, nvs})
+          .value();
+  const double t2 = collective_time(net, ops::Collective::AllGather, Bytes(1e9),
+                                    {size, nvs * 2})
+                        .value();
   EXPECT_LE(t2, t1 * (1.0 + 1e-12));
 }
 
@@ -124,7 +137,8 @@ TEST_P(CollectiveProperty, TimeIncreasesWithVolume) {
   const GroupPlacement g{size, nvs};
   double prev = 0;
   for (double v = 1e6; v <= 1e10; v *= 10) {
-    const double t = collective_time(net, ops::Collective::AllGather, v, g);
+    const double t =
+        collective_time(net, ops::Collective::AllGather, Bytes(v), g).value();
     EXPECT_GT(t, prev);
     prev = t;
   }
@@ -134,8 +148,9 @@ TEST_P(CollectiveProperty, LatencyFloorRespected) {
   const auto [size, nvs] = GetParam();
   const auto net = b200_net();
   const GroupPlacement g{size, nvs};
-  const double t = collective_time(net, ops::Collective::AllGather, 1.0, g);
-  EXPECT_GE(t, ring_latency(net, g));
+  const double t =
+      collective_time(net, ops::Collective::AllGather, Bytes(1.0), g).value();
+  EXPECT_GE(t, ring_latency(net, g).value());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -87,8 +87,8 @@ TEST(SystemSection, PresetWithOverrides) {
       "enable_tree = 1\n");
   const auto sys = system_from_section(s.at("system"));
   EXPECT_EQ(sys.gpu.name, "A100");
-  EXPECT_DOUBLE_EQ(sys.gpu.hbm_capacity, 40e9);
-  EXPECT_DOUBLE_EQ(sys.gpu.tensor_flops, 312e12);  // preset retained
+  EXPECT_DOUBLE_EQ(sys.gpu.hbm_capacity.value(), 40e9);
+  EXPECT_DOUBLE_EQ(sys.gpu.tensor_flops.value(), 312e12);  // preset retained
   EXPECT_EQ(sys.nvs_domain, 4);
   EXPECT_EQ(sys.n_gpus, 512);
   EXPECT_TRUE(sys.net.enable_tree);
@@ -106,8 +106,8 @@ TEST(SystemSection, FullyCustomHardware) {
       "efficiency = 0.8\n"
       "n_gpus = 64\n");
   const auto sys = system_from_section(s.at("system"));
-  EXPECT_DOUBLE_EQ(sys.gpu.tensor_flops, 1000e12);
-  EXPECT_DOUBLE_EQ(sys.gpu.hbm_capacity, 256e9);
+  EXPECT_DOUBLE_EQ(sys.gpu.tensor_flops.value(), 1000e12);
+  EXPECT_DOUBLE_EQ(sys.gpu.hbm_capacity.value(), 256e9);
   EXPECT_DOUBLE_EQ(sys.net.efficiency, 0.8);
 }
 

@@ -94,7 +94,7 @@ TEST(CoverageExtra, ConfigFileWithEverySystemExtension) {
   EXPECT_EQ(sys.net.pod_size, 256);
   EXPECT_DOUBLE_EQ(sys.net.oversubscription, 2.0);
   EXPECT_TRUE(sys.net.enable_tree);
-  EXPECT_DOUBLE_EQ(sys.host_bandwidth, 128e9);
+  EXPECT_DOUBLE_EQ(sys.host_bandwidth.value(), 128e9);
   EXPECT_DOUBLE_EQ(sys.net.nics_per_gpu, 2.0);
 }
 
@@ -153,7 +153,7 @@ TEST(CoverageExtra, EvaluateIsDeterministic) {
   const auto a = core::evaluate(mdl, sys, cfg, 4096);
   const auto b = core::evaluate(mdl, sys, cfg, 4096);
   EXPECT_DOUBLE_EQ(a.iteration(), b.iteration());
-  EXPECT_DOUBLE_EQ(a.mem.total(), b.mem.total());
+  EXPECT_DOUBLE_EQ(a.mem.total().value(), b.mem.total().value());
 }
 
 }  // namespace

@@ -30,27 +30,27 @@ ParallelConfig fig1_optimum() {
 TEST(OpTime, LargeMatmulIsComputeBound) {
   const ops::Op op = ops::matmul("mm", 4096, 4096, 4096);
   const OpTime t = op_time(op, false, b200(), fig1_optimum());
-  EXPECT_GT(t.compute, 0.0);
-  EXPECT_DOUBLE_EQ(t.memory, 0.0);
+  EXPECT_GT(t.compute.value(), 0.0);
+  EXPECT_DOUBLE_EQ(t.memory.value(), 0.0);
   // Roofline: t >= flops/peak + launch latency.
-  EXPECT_GE(t.compute, op.fwd_flops / 2500e12);
+  EXPECT_GE(t.compute.value(), op.fwd_flops.value() / 2500e12);
 }
 
 TEST(OpTime, TinyVectorOpIsMemoryBound) {
   const ops::Op op = ops::layernorm("ln", 1e6);
   const OpTime t = op_time(op, false, b200(), fig1_optimum());
-  EXPECT_DOUBLE_EQ(t.compute, 0.0);
-  EXPECT_GT(t.memory, 0.0);
+  EXPECT_DOUBLE_EQ(t.compute.value(), 0.0);
+  EXPECT_GT(t.memory.value(), 0.0);
 }
 
 TEST(OpTime, FlopsLatencyAppliesToTensorOps) {
   // A minuscule matmul still costs at least t_sf = 2e-5 s.
   const ops::Op op = ops::matmul("mm", 2, 2, 2);
   const OpTime t = op_time(op, false, b200(), fig1_optimum());
-  EXPECT_GE(t.compute + t.memory, 2e-5);
+  EXPECT_GE((t.compute + t.memory).value(), 2e-5);
   const ops::Op vec = ops::residual_add("res", 4);
   const OpTime tv = op_time(vec, false, b200(), fig1_optimum());
-  EXPECT_LT(tv.compute + tv.memory, 2e-5);
+  EXPECT_LT((tv.compute + tv.memory).value(), 2e-5);
 }
 
 TEST(OpTime, BackwardCostsMore) {
@@ -100,8 +100,8 @@ TEST(Evaluate, PaperFig1OptimumFeasibleAndComputeDominated) {
   EXPECT_GT(r.time.compute, r.time.bubble);
   EXPECT_GT(r.time.bubble, 0.0);
   // ~40-60 GB HBM at this configuration (paper: ~40 GB).
-  EXPECT_GT(r.mem.total(), 30e9);
-  EXPECT_LT(r.mem.total(), 80e9);
+  EXPECT_GT(r.mem.total().value(), 30e9);
+  EXPECT_LT(r.mem.total().value(), 80e9);
 }
 
 TEST(Evaluate, InfeasibleWhenMemoryOverflows) {
@@ -182,7 +182,7 @@ TEST(EvaluateWithLayer, MatchesEvaluate) {
   const EvalResult a = evaluate(mdl, sys, cfg, 4096);
   const EvalResult b = evaluate_with_layer(mdl, sys, cfg, 4096, layer);
   EXPECT_DOUBLE_EQ(a.iteration(), b.iteration());
-  EXPECT_DOUBLE_EQ(a.mem.total(), b.mem.total());
+  EXPECT_DOUBLE_EQ(a.mem.total().value(), b.mem.total().value());
 }
 
 }  // namespace

@@ -37,14 +37,17 @@ ParallelConfig gpt_cfg() {
 // ---- Interleaved 1F1B ----
 
 TEST(Interleave, BubbleShrinksByV) {
-  EXPECT_DOUBLE_EQ(pipeline::bubble_time(8, 1.0, 2.0, 1), 21.0);
-  EXPECT_DOUBLE_EQ(pipeline::bubble_time(8, 1.0, 2.0, 2), 10.5);
+  EXPECT_DOUBLE_EQ(
+      pipeline::bubble_time(8, Seconds(1.0), Seconds(2.0), 1).value(), 21.0);
+  EXPECT_DOUBLE_EQ(
+      pipeline::bubble_time(8, Seconds(1.0), Seconds(2.0), 2).value(), 10.5);
 }
 
 TEST(Interleave, P2pGrowsByV) {
   const auto net = hw::network_preset(hw::GpuGeneration::B200);
-  EXPECT_DOUBLE_EQ(pipeline::p2p_time(net, 4, 8, 1e6, 1, 2),
-                   2.0 * pipeline::p2p_time(net, 4, 8, 1e6, 1, 1));
+  EXPECT_DOUBLE_EQ(
+      pipeline::p2p_time(net, 4, 8, Bytes(1e6), 1, 2).value(),
+      2.0 * pipeline::p2p_time(net, 4, 8, Bytes(1e6), 1, 1).value());
 }
 
 TEST(Interleave, ReducesIterationWhenBubblesDominate) {
@@ -93,9 +96,9 @@ TEST(Zero3, ShrinksWeightAndGradientMemory) {
   const auto z3 = core::evaluate(mdl, b200(), cfg, 4096);
   ASSERT_TRUE(base.feasible) << base.reason;
   ASSERT_TRUE(z3.feasible) << z3.reason;
-  EXPECT_LT(z3.mem.weights, 0.15 * base.mem.weights);
-  EXPECT_LT(z3.mem.gradients, 0.15 * base.mem.gradients);
-  EXPECT_DOUBLE_EQ(z3.mem.optimizer, base.mem.optimizer);
+  EXPECT_LT(z3.mem.weights.value(), 0.15 * base.mem.weights.value());
+  EXPECT_LT(z3.mem.gradients.value(), 0.15 * base.mem.gradients.value());
+  EXPECT_DOUBLE_EQ(z3.mem.optimizer.value(), base.mem.optimizer.value());
 }
 
 TEST(Zero3, PaysPerMicrobatchCommunication) {
@@ -141,7 +144,7 @@ TEST(TpOverlap, DoesNotTouchSummaOps) {
   cfg.n1 = cfg.n2 = 2;
   const auto sys = b200();
   const auto t = core::op_time(op, false, sys, cfg);
-  EXPECT_GT(t.comm, 0.0);  // present regardless of overlap options
+  EXPECT_GT(t.comm.value(), 0.0);  // present regardless of overlap options
 }
 
 // ---- Activation offload ----
@@ -163,8 +166,8 @@ TEST(Offload, FreesHbmAndPaysHostTraffic) {
   opts.activation_offload = 0.5;
   const auto off = core::evaluate(mdl, sys, cfg, 4096, opts);
   ASSERT_TRUE(base.feasible && off.feasible);
-  EXPECT_NEAR(off.mem.activations, 0.5 * base.mem.activations,
-              1e-9 * base.mem.activations);
+  EXPECT_NEAR(off.mem.activations.value(), 0.5 * base.mem.activations.value(),
+              1e-9 * base.mem.activations.value());
   EXPECT_GT(off.time.memory, base.time.memory);
   EXPECT_GT(off.iteration(), base.iteration());
 }
@@ -207,7 +210,7 @@ TEST(Gqa, ShrinksKvWeightsAndStorage) {
   const auto lc_mha = parallel::build_layer(mha, cfg, 1);
   const auto lc_gqa = parallel::build_layer(gqa, cfg, 1);
   EXPECT_LT(lc_gqa.weight_params, lc_mha.weight_params);
-  EXPECT_LT(lc_gqa.stored_bytes(), lc_mha.stored_bytes());
+  EXPECT_LT(lc_gqa.stored_bytes().value(), lc_mha.stored_bytes().value());
   // Attention FLOPs are unchanged by GQA (all query heads still attend).
   const ops::Op* att_gqa = nullptr;
   const ops::Op* att_mha = nullptr;
@@ -218,8 +221,8 @@ TEST(Gqa, ShrinksKvWeightsAndStorage) {
     if (op.name == "attention") att_mha = &op;
   }
   ASSERT_TRUE(att_gqa && att_mha);
-  EXPECT_DOUBLE_EQ(att_gqa->fwd_flops, att_mha->fwd_flops);
-  EXPECT_LT(att_gqa->fwd_bytes, att_mha->fwd_bytes);
+  EXPECT_DOUBLE_EQ(att_gqa->fwd_flops.value(), att_mha->fwd_flops.value());
+  EXPECT_LT(att_gqa->fwd_bytes.value(), att_mha->fwd_bytes.value());
 }
 
 TEST(Gqa, TpLimitedByKvHeads) {
@@ -262,7 +265,7 @@ TEST(AttentionVariants, WindowedCutsAttentionFlops) {
   const auto full = parallel::build_layer(model::vit_64k(), cfg, 1);
   const auto win =
       parallel::build_layer(model::vit_64k_windowed(4050), cfg, 1);
-  EXPECT_LT(win.fwd_flops(), full.fwd_flops());
+  EXPECT_LT(win.fwd_flops().value(), full.fwd_flops().value());
   // The K/V gather volume shrinks toward the window halo.
   EXPECT_LT(win.fwd_comm_bytes(ops::CommGroup::TP2),
             full.fwd_comm_bytes(ops::CommGroup::TP2));
@@ -277,7 +280,7 @@ TEST(AttentionVariants, LinearRemovesQuadraticTerm) {
   const auto full = parallel::build_layer(model::vit_64k(), cfg, 1);
   // Removing the O(l^2) Logit/Attend leaves the projections + MLP:
   // for the ViT that is a bit over half the layer FLOPs.
-  EXPECT_LT(lin.fwd_flops(), 0.62 * full.fwd_flops());
+  EXPECT_LT(lin.fwd_flops().value(), 0.62 * full.fwd_flops().value());
   // The n2 collective becomes a tiny state AllReduce.
   EXPECT_LT(lin.fwd_comm_bytes(ops::CommGroup::TP2),
             0.01 * full.fwd_comm_bytes(ops::CommGroup::TP2));
@@ -307,36 +310,40 @@ TEST(AttentionVariants, ValidationRejectsZeroWindow) {
 TEST(TreeCollectives, HelpLatencyBoundAllReduce) {
   auto net = hw::network_preset(hw::GpuGeneration::B200);
   const comm::GroupPlacement g{512, 8};
-  const double ring =
-      comm::collective_time(net, ops::Collective::AllReduce, 1e5, g);
+  const Seconds ring =
+      comm::collective_time(net, ops::Collective::AllReduce, Bytes(1e5), g);
   net.enable_tree = true;
-  const double best =
-      comm::collective_time(net, ops::Collective::AllReduce, 1e5, g);
-  EXPECT_LT(best, ring);
-  EXPECT_DOUBLE_EQ(best, comm::tree_time(net, ops::Collective::AllReduce, 1e5, g));
+  const Seconds best =
+      comm::collective_time(net, ops::Collective::AllReduce, Bytes(1e5), g);
+  EXPECT_LT(best.value(), ring.value());
+  EXPECT_DOUBLE_EQ(
+      best.value(),
+      comm::tree_time(net, ops::Collective::AllReduce, Bytes(1e5), g).value());
 }
 
 TEST(TreeCollectives, RingStillWinsAtLargeVolume) {
   auto net = hw::network_preset(hw::GpuGeneration::B200);
   net.enable_tree = true;
   const comm::GroupPlacement g{16, 8};
-  const double with_tree =
-      comm::collective_time(net, ops::Collective::AllReduce, 10e9, g);
+  const Seconds with_tree =
+      comm::collective_time(net, ops::Collective::AllReduce, Bytes(10e9), g);
   net.enable_tree = false;
-  const double ring =
-      comm::collective_time(net, ops::Collective::AllReduce, 10e9, g);
+  const Seconds ring =
+      comm::collective_time(net, ops::Collective::AllReduce, Bytes(10e9), g);
   // Tree pays 2V/bw vs ring's 2(g-1)/g V/bw: ring is (slightly) better.
-  EXPECT_LE(ring, with_tree);
+  EXPECT_LE(ring.value(), with_tree.value());
 }
 
 TEST(TreeCollectives, NeverUsedForAllGather) {
   auto net = hw::network_preset(hw::GpuGeneration::B200);
   const comm::GroupPlacement g{512, 8};
-  const double off =
-      comm::collective_time(net, ops::Collective::AllGather, 1e5, g);
+  const Seconds off =
+      comm::collective_time(net, ops::Collective::AllGather, Bytes(1e5), g);
   net.enable_tree = true;
   EXPECT_DOUBLE_EQ(
-      comm::collective_time(net, ops::Collective::AllGather, 1e5, g), off);
+      comm::collective_time(net, ops::Collective::AllGather, Bytes(1e5), g)
+          .value(),
+      off.value());
 }
 
 }  // namespace

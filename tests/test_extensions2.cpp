@@ -38,8 +38,8 @@ TEST(Recompute, ShrinksActivationsToBlockBoundaries) {
   opts.activation_recompute = true;
   const auto rc = core::evaluate(mdl, b200(), cfg, 4096, opts);
   ASSERT_TRUE(base.feasible && rc.feasible);
-  EXPECT_LT(rc.mem.activations, 0.1 * base.mem.activations);
-  EXPECT_DOUBLE_EQ(rc.mem.weights, base.mem.weights);
+  EXPECT_LT(rc.mem.activations.value(), 0.1 * base.mem.activations.value());
+  EXPECT_DOUBLE_EQ(rc.mem.weights.value(), base.mem.weights.value());
 }
 
 TEST(Recompute, PaysRoughlyOneExtraForward) {
@@ -86,26 +86,26 @@ TEST(Recompute, ComposesWithOffload) {
   core::EvalOptions only_rc;
   only_rc.activation_recompute = true;
   const auto rc = core::evaluate(mdl, b200(), cfg, 4096, only_rc);
-  EXPECT_NEAR(r.mem.activations, 0.5 * rc.mem.activations,
-              1e-9 * rc.mem.activations);
+  EXPECT_NEAR(r.mem.activations.value(), 0.5 * rc.mem.activations.value(),
+              1e-9 * rc.mem.activations.value());
 }
 
 // ---- fat-tree oversubscription ----
 
 TEST(Oversubscription, OnlyAffectsGroupsSpanningPods) {
   auto net = hw::network_preset(hw::GpuGeneration::B200);
-  const double in_pod_before =
-      comm::collective_time(net, ops::Collective::AllGather, 1e9, {64, 8});
-  const double cross_before =
-      comm::collective_time(net, ops::Collective::AllGather, 1e9, {1024, 8});
+  const Seconds in_pod_before = comm::collective_time(
+      net, ops::Collective::AllGather, Bytes(1e9), {64, 8});
+  const Seconds cross_before = comm::collective_time(
+      net, ops::Collective::AllGather, Bytes(1e9), {1024, 8});
   net.pod_size = 256;
   net.oversubscription = 4.0;
-  const double in_pod_after =
-      comm::collective_time(net, ops::Collective::AllGather, 1e9, {64, 8});
-  const double cross_after =
-      comm::collective_time(net, ops::Collective::AllGather, 1e9, {1024, 8});
-  EXPECT_DOUBLE_EQ(in_pod_after, in_pod_before);
-  EXPECT_GT(cross_after, 2.0 * cross_before);
+  const Seconds in_pod_after = comm::collective_time(
+      net, ops::Collective::AllGather, Bytes(1e9), {64, 8});
+  const Seconds cross_after = comm::collective_time(
+      net, ops::Collective::AllGather, Bytes(1e9), {1024, 8});
+  EXPECT_DOUBLE_EQ(in_pod_after.value(), in_pod_before.value());
+  EXPECT_GT(cross_after.value(), 2.0 * cross_before.value());
 }
 
 TEST(Oversubscription, DisabledByDefault) {

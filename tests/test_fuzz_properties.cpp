@@ -8,6 +8,7 @@
 
 #include <cmath>
 
+#include "analysis/invariants.hpp"
 #include "core/evaluator.hpp"
 #include "parallel/layer_builder.hpp"
 #include "search/search.hpp"
@@ -101,13 +102,21 @@ TEST(Fuzz, EvaluatorInvariantsOverRandomSpace) {
       if (r.reason == "exceeds HBM capacity") {
         ++oom_seen;
         // Even infeasible-on-memory results carry a valid breakdown.
-        EXPECT_GT(r.mem.total(), sys.gpu.hbm_capacity);
+        EXPECT_GT(r.mem.total().value(), sys.gpu.hbm_capacity.value());
       } else {
         ++invalid_seen;
       }
       continue;
     }
     ++feasible_seen;
+    // Every feasible point's op list must satisfy the conservation laws.
+    // Looser FLOP tolerance: the fuzz grids include extreme aspect ratios
+    // where the (2k-1)-vs-2k counting deviation approaches its bound.
+    analysis::LintOptions lopts;
+    lopts.flop_rtol = 5e-2;
+    const analysis::LintReport lint =
+        analysis::lint_config(mdl, cfg, cfg.local_microbatch(b), lopts);
+    EXPECT_EQ(lint.errors(), 0u) << trial << "\n" << lint.summary();
     const auto& t = r.time;
     for (double part : {t.compute, t.memory, t.tp_comm, t.pp_comm, t.dp_comm,
                         t.bubble, t.optimizer}) {
@@ -122,8 +131,8 @@ TEST(Fuzz, EvaluatorInvariantsOverRandomSpace) {
         << trial;
     EXPECT_GT(r.t_fwd_micro, 0.0) << trial;
     EXPECT_GT(r.t_bwd_micro, r.t_fwd_micro * 0.5) << trial;
-    EXPECT_LE(r.mem.total(), sys.gpu.hbm_capacity) << trial;
-    EXPECT_GT(r.mem.weights, 0.0) << trial;
+    EXPECT_LE(r.mem.total().value(), sys.gpu.hbm_capacity.value()) << trial;
+    EXPECT_GT(r.mem.weights.value(), 0.0) << trial;
     if (cfg.np == 1) EXPECT_DOUBLE_EQ(t.bubble, 0.0) << trial;
   }
   // The sweep must exercise all three outcome classes.

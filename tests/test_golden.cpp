@@ -32,8 +32,8 @@ TEST(Golden, Fig1OptimumIterationTime) {
   ASSERT_TRUE(r.feasible);
   EXPECT_GT(r.iteration(), 2.0);
   EXPECT_LT(r.iteration(), 3.3);
-  EXPECT_GT(r.mem.total(), 45e9);
-  EXPECT_LT(r.mem.total(), 80e9);
+  EXPECT_GT(r.mem.total().value(), 45e9);
+  EXPECT_LT(r.mem.total().value(), 80e9);
 }
 
 TEST(Golden, Gpt3DaysOn16kB200) {
@@ -105,8 +105,9 @@ TEST(Golden, CollectiveTimeAnchors) {
   //   bw = min(8 rails * 70 GB/s, 630 GB/s) = 560 GB/s;
   //   t ~ 31/32 * 1 GB / 560 GB/s = 1.73 ms.
   const auto net = hw::network_preset(hw::GpuGeneration::B200);
-  const double t = comm::collective_time(net, ops::Collective::AllGather, 1e9,
-                                         {32, 8});
+  const double t = comm::collective_time(net, ops::Collective::AllGather,
+                                         Bytes(1e9), {32, 8})
+                       .value();
   EXPECT_NEAR(t, 1.73e-3, 0.1e-3);
 }
 

@@ -10,58 +10,60 @@ namespace {
 
 TEST(GpuPresets, TableA3Values) {
   const GpuSpec a = a100();
-  EXPECT_DOUBLE_EQ(a.tensor_flops, 312e12);
-  EXPECT_DOUBLE_EQ(a.vector_flops, 78e12);
-  EXPECT_DOUBLE_EQ(a.hbm_bandwidth, 1555e9);
-  EXPECT_DOUBLE_EQ(a.hbm_capacity, 80e9);
-  EXPECT_DOUBLE_EQ(a.flops_latency, 2e-5);
+  EXPECT_DOUBLE_EQ(a.tensor_flops.value(), 312e12);
+  EXPECT_DOUBLE_EQ(a.vector_flops.value(), 78e12);
+  EXPECT_DOUBLE_EQ(a.hbm_bandwidth.value(), 1555e9);
+  EXPECT_DOUBLE_EQ(a.hbm_capacity.value(), 80e9);
+  EXPECT_DOUBLE_EQ(a.flops_latency.value(), 2e-5);
 
   const GpuSpec h = h200();
-  EXPECT_DOUBLE_EQ(h.tensor_flops, 990e12);
-  EXPECT_DOUBLE_EQ(h.hbm_capacity, 141e9);
+  EXPECT_DOUBLE_EQ(h.tensor_flops.value(), 990e12);
+  EXPECT_DOUBLE_EQ(h.hbm_capacity.value(), 141e9);
 
   const GpuSpec b = b200();
-  EXPECT_DOUBLE_EQ(b.tensor_flops, 2500e12);
-  EXPECT_DOUBLE_EQ(b.vector_flops, 339e12);
-  EXPECT_DOUBLE_EQ(b.hbm_bandwidth, 8000e9);
-  EXPECT_DOUBLE_EQ(b.hbm_capacity, 192e9);
+  EXPECT_DOUBLE_EQ(b.tensor_flops.value(), 2500e12);
+  EXPECT_DOUBLE_EQ(b.vector_flops.value(), 339e12);
+  EXPECT_DOUBLE_EQ(b.hbm_bandwidth.value(), 8000e9);
+  EXPECT_DOUBLE_EQ(b.hbm_capacity.value(), 192e9);
 }
 
 TEST(GpuPresets, GenerationsImproveMonotonically) {
   const GpuSpec gens[] = {a100(), h200(), b200()};
   for (int i = 1; i < 3; ++i) {
-    EXPECT_GT(gens[i].tensor_flops, gens[i - 1].tensor_flops);
-    EXPECT_GT(gens[i].vector_flops, gens[i - 1].vector_flops);
-    EXPECT_GT(gens[i].hbm_bandwidth, gens[i - 1].hbm_bandwidth);
-    EXPECT_GT(gens[i].hbm_capacity, gens[i - 1].hbm_capacity);
+    EXPECT_GT(gens[i].tensor_flops.value(), gens[i - 1].tensor_flops.value());
+    EXPECT_GT(gens[i].vector_flops.value(), gens[i - 1].vector_flops.value());
+    EXPECT_GT(gens[i].hbm_bandwidth.value(), gens[i - 1].hbm_bandwidth.value());
+    EXPECT_GT(gens[i].hbm_capacity.value(), gens[i - 1].hbm_capacity.value());
   }
 }
 
 TEST(GpuPresets, WithMemoryAndCompute) {
-  const GpuSpec g = b200().with_memory(1e12, 2e12).with_compute(1e15, 1e14);
-  EXPECT_DOUBLE_EQ(g.hbm_capacity, 1e12);
-  EXPECT_DOUBLE_EQ(g.hbm_bandwidth, 2e12);
-  EXPECT_DOUBLE_EQ(g.tensor_flops, 1e15);
-  EXPECT_DOUBLE_EQ(g.vector_flops, 1e14);
+  const GpuSpec g = b200()
+                        .with_memory(Bytes(1e12), BytesPerSec(2e12))
+                        .with_compute(FlopsPerSec(1e15), FlopsPerSec(1e14));
+  EXPECT_DOUBLE_EQ(g.hbm_capacity.value(), 1e12);
+  EXPECT_DOUBLE_EQ(g.hbm_bandwidth.value(), 2e12);
+  EXPECT_DOUBLE_EQ(g.tensor_flops.value(), 1e15);
+  EXPECT_DOUBLE_EQ(g.vector_flops.value(), 1e14);
   EXPECT_EQ(g.name, "B200");  // identity preserved
 }
 
 TEST(NetworkPresets, TableA3Values) {
   const NetworkSpec a = network_preset(GpuGeneration::A100);
-  EXPECT_DOUBLE_EQ(a.nvs_bandwidth, 300e9);
-  EXPECT_DOUBLE_EQ(a.ib_bandwidth, 25e9);
-  EXPECT_DOUBLE_EQ(a.nvs_latency, 2.5e-6);
-  EXPECT_DOUBLE_EQ(a.ib_latency, 5e-6);
+  EXPECT_DOUBLE_EQ(a.nvs_bandwidth.value(), 300e9);
+  EXPECT_DOUBLE_EQ(a.ib_bandwidth.value(), 25e9);
+  EXPECT_DOUBLE_EQ(a.nvs_latency.value(), 2.5e-6);
+  EXPECT_DOUBLE_EQ(a.ib_latency.value(), 5e-6);
 
   const NetworkSpec b = network_preset(GpuGeneration::B200);
-  EXPECT_DOUBLE_EQ(b.nvs_bandwidth, 900e9);
-  EXPECT_DOUBLE_EQ(b.ib_bandwidth, 100e9);
+  EXPECT_DOUBLE_EQ(b.nvs_bandwidth.value(), 900e9);
+  EXPECT_DOUBLE_EQ(b.ib_bandwidth.value(), 100e9);
 }
 
 TEST(NetworkPresets, EfficiencyDeratesBandwidth) {
   const NetworkSpec n = network_preset(GpuGeneration::B200);
-  EXPECT_DOUBLE_EQ(n.effective_nvs_bandwidth(), 0.7 * 900e9);
-  EXPECT_DOUBLE_EQ(n.effective_ib_bandwidth_per_gpu(), 0.7 * 100e9);
+  EXPECT_DOUBLE_EQ(n.effective_nvs_bandwidth().value(), 0.7 * 900e9);
+  EXPECT_DOUBLE_EQ(n.effective_ib_bandwidth_per_gpu().value(), 0.7 * 100e9);
 }
 
 TEST(SystemConfig, MakeSystem) {
@@ -69,7 +71,7 @@ TEST(SystemConfig, MakeSystem) {
   EXPECT_EQ(sys.gpu.name, "H200");
   EXPECT_EQ(sys.nvs_domain, 8);
   EXPECT_EQ(sys.n_gpus, 2048);
-  EXPECT_DOUBLE_EQ(sys.net.nvs_bandwidth, 450e9);
+  EXPECT_DOUBLE_EQ(sys.net.nvs_bandwidth.value(), 450e9);
   EXPECT_NE(sys.describe().find("H200"), std::string::npos);
 }
 

@@ -11,7 +11,8 @@ namespace tfpe::sim {
 namespace {
 
 TEST(InterleavedSim, ReducesToPlain1F1BForOneChunk) {
-  const PipelineTrace plain = simulate_pipeline({4, 16, 1.0, 2.0, 0.0});
+  const PipelineTrace plain =
+      simulate_pipeline({4, 16, Seconds(1.0), Seconds(2.0), Seconds(0.0)});
   const PipelineTrace inter =
       simulate_interleaved_pipeline({4, 1, 16, 1.0, 2.0, 0.0});
   EXPECT_DOUBLE_EQ(plain.completion_time, inter.completion_time);
@@ -46,11 +47,14 @@ TEST(InterleavedSim, BubbleMatchesAnalyticFactor) {
   const std::int64_t np = 8, m = 64, v = 4;
   const double tfc = 0.25, tbc = 0.5;  // tf = 1.0, tb = 2.0
   const PipelineTrace t = simulate_interleaved_pipeline({np, v, m, tfc, tbc, 0.0});
-  const double analytic = pipeline::bubble_time(np, 1.0, 2.0, v);
+  const double analytic =
+      pipeline::bubble_time(np, Seconds(1.0), Seconds(2.0), v).value();
   EXPECT_LT(t.stage0_idle, 2.0 * analytic);
   EXPECT_GT(t.stage0_idle, 0.5 * analytic);
   // And decisively below the non-interleaved bubble.
-  EXPECT_LT(t.stage0_idle, 0.5 * pipeline::bubble_time(np, 1.0, 2.0, 1));
+  EXPECT_LT(t.stage0_idle,
+            0.5 * pipeline::bubble_time(np, Seconds(1.0), Seconds(2.0), 1)
+                      .value());
 }
 
 TEST(InterleavedSim, CompletionBoundedBelowBySteadyWork) {

@@ -25,8 +25,8 @@ TEST(Layer1D, CommVolumeIndependentOfNt) {
   const auto m = tiny();
   const LayerCost a = build_layer_1d(m, cfg_1d(2), 4);
   const LayerCost b = build_layer_1d(m, cfg_1d(8), 4);
-  EXPECT_DOUBLE_EQ(a.fwd_comm_bytes(ops::CommGroup::TP1),
-                   b.fwd_comm_bytes(ops::CommGroup::TP1));
+  EXPECT_DOUBLE_EQ(a.fwd_comm_bytes(ops::CommGroup::TP1).value(),
+                   b.fwd_comm_bytes(ops::CommGroup::TP1).value());
 }
 
 TEST(Layer1D, FourCollectivesOfBle) {
@@ -35,7 +35,8 @@ TEST(Layer1D, FourCollectivesOfBle) {
   const std::int64_t B = 4;
   const LayerCost lc = build_layer_1d(m, cfg_1d(2), B);
   const double ble = 2.0 * B * m.seq_len * m.embed;  // bytes
-  EXPECT_DOUBLE_EQ(lc.fwd_comm_bytes(ops::CommGroup::TP1), 4.0 * ble);
+  EXPECT_DOUBLE_EQ(lc.fwd_comm_bytes(ops::CommGroup::TP1).value(),
+                   4.0 * ble);
   int ag = 0, rs = 0;
   for (const auto& op : lc.ops) {
     for (const auto& r : op.fwd_comm) {
@@ -49,7 +50,7 @@ TEST(Layer1D, FourCollectivesOfBle) {
 
 TEST(Layer1D, NoTp2Communication) {
   const LayerCost lc = build_layer_1d(tiny(), cfg_1d(4), 2);
-  EXPECT_DOUBLE_EQ(lc.fwd_comm_bytes(ops::CommGroup::TP2), 0.0);
+  EXPECT_DOUBLE_EQ(lc.fwd_comm_bytes(ops::CommGroup::TP2).value(), 0.0);
 }
 
 TEST(Layer1D, FlopsConservedAcrossPartitioning) {
@@ -58,7 +59,7 @@ TEST(Layer1D, FlopsConservedAcrossPartitioning) {
   const auto m = tiny();
   const LayerCost a = build_layer_1d(m, cfg_1d(1), 2);
   const LayerCost b = build_layer_1d(m, cfg_1d(8), 2);
-  EXPECT_NEAR(a.fwd_flops(), 8.0 * b.fwd_flops(), 0.01 * a.fwd_flops());
+  EXPECT_NEAR(a.fwd_flops().value(), 8.0 * b.fwd_flops().value(), 0.01 * a.fwd_flops().value());
 }
 
 TEST(Layer1D, WeightShardScalesWithNt) {
@@ -85,13 +86,13 @@ TEST(Layer1D, ReplicatedActivationsDominateStorage) {
   const std::int64_t B = 2;
   const double full = 2.0 * B * m.seq_len * m.embed;
   const LayerCost lc = build_layer_1d(m, cfg_1d(8), B);
-  EXPECT_GE(lc.stored_bytes(), 2.0 * full);
+  EXPECT_GE(lc.stored_bytes().value(), 2.0 * full);
 }
 
 TEST(Layer1D, StoredBytesDecreaseWithNt) {
   const auto m = tiny();
-  const double s2 = build_layer_1d(m, cfg_1d(2), 2).stored_bytes();
-  const double s8 = build_layer_1d(m, cfg_1d(8), 2).stored_bytes();
+  const double s2 = build_layer_1d(m, cfg_1d(2), 2).stored_bytes().value();
+  const double s8 = build_layer_1d(m, cfg_1d(8), 2).stored_bytes().value();
   EXPECT_LT(s8, s2);
 }
 
@@ -99,7 +100,7 @@ TEST(Layer1D, PipelineBoundaryIsShardedActivation) {
   const auto m = tiny();
   const std::int64_t B = 4;
   const LayerCost lc = build_layer_1d(m, cfg_1d(4), B);
-  EXPECT_DOUBLE_EQ(lc.pp_boundary_bytes, 2.0 * B * m.seq_len * m.embed / 4);
+  EXPECT_DOUBLE_EQ(lc.pp_boundary_bytes.value(), 2.0 * B * m.seq_len * m.embed / 4);
 }
 
 TEST(Layer1D, DpGroupExcludesTp2) {
@@ -108,8 +109,8 @@ TEST(Layer1D, DpGroupExcludesTp2) {
 
 TEST(Layer1D, BackwardCostsExceedForward) {
   const LayerCost lc = build_layer_1d(tiny(), cfg_1d(2), 2);
-  EXPECT_GT(lc.bwd_flops(), lc.fwd_flops());
-  EXPECT_LT(lc.bwd_flops(), 3.0 * lc.fwd_flops());
+  EXPECT_GT(lc.bwd_flops().value(), lc.fwd_flops().value());
+  EXPECT_LT(lc.bwd_flops().value(), 3.0 * lc.fwd_flops().value());
 }
 
 TEST(Layer1D, OpSequenceShape) {

@@ -26,9 +26,11 @@ TEST(Layer2D, Tp1VolumeScalesWithN2) {
   // b*(l/n2)*e — doubling n2 halves the TP1 volume.
   const auto m = tiny();
   const double v1 = build_layer_2d(m, cfg_2d(2, 2), 4)
-                        .fwd_comm_bytes(ops::CommGroup::TP1);
+                        .fwd_comm_bytes(ops::CommGroup::TP1)
+                        .value();
   const double v2 = build_layer_2d(m, cfg_2d(2, 4), 4)
-                        .fwd_comm_bytes(ops::CommGroup::TP1);
+                        .fwd_comm_bytes(ops::CommGroup::TP1)
+                        .value();
   EXPECT_DOUBLE_EQ(v1, 2.0 * v2);
 }
 
@@ -38,10 +40,12 @@ TEST(Layer2D, KvGatherVolumeScalesWithN1) {
   const std::int64_t B = 4;
   const double expected = 2.0 * (2.0 * B * m.seq_len * m.embed / 2);
   EXPECT_DOUBLE_EQ(build_layer_2d(m, cfg_2d(2, 4), B)
-                       .fwd_comm_bytes(ops::CommGroup::TP2),
+                       .fwd_comm_bytes(ops::CommGroup::TP2)
+                       .value(),
                    expected);
   EXPECT_DOUBLE_EQ(build_layer_2d(m, cfg_2d(4, 4), B)
-                       .fwd_comm_bytes(ops::CommGroup::TP2),
+                       .fwd_comm_bytes(ops::CommGroup::TP2)
+                       .value(),
                    expected / 2.0);
 }
 
@@ -56,10 +60,10 @@ TEST(Layer2D, ReducesToTableIVolumesWhenN2IsOne) {
     return c;
   }(), B);
   const LayerCost lc2d = build_layer_2d(m, cfg_2d(4, 1), B);
-  EXPECT_DOUBLE_EQ(lc1d.fwd_comm_bytes(ops::CommGroup::TP1),
-                   lc2d.fwd_comm_bytes(ops::CommGroup::TP1));
+  EXPECT_DOUBLE_EQ(lc1d.fwd_comm_bytes(ops::CommGroup::TP1).value(),
+                   lc2d.fwd_comm_bytes(ops::CommGroup::TP1).value());
   // FLOPs also agree (same shards).
-  EXPECT_NEAR(lc1d.fwd_flops(), lc2d.fwd_flops(), 1e-6 * lc1d.fwd_flops());
+  EXPECT_NEAR(lc1d.fwd_flops().value(), lc2d.fwd_flops().value(), 1e-6 * lc1d.fwd_flops().value());
 }
 
 TEST(Layer2D, WeightsSharedAcrossN2) {
@@ -72,15 +76,17 @@ TEST(Layer2D, WeightsSharedAcrossN2) {
 
 TEST(Layer2D, ActivationStorageShrinksWithN2) {
   const auto m = tiny();
-  const double s1 = build_layer_2d(m, cfg_2d(4, 1), 2).stored_bytes();
-  const double s4 = build_layer_2d(m, cfg_2d(4, 4), 2).stored_bytes();
+  const double s1 = build_layer_2d(m, cfg_2d(4, 1), 2).stored_bytes().value();
+  const double s4 = build_layer_2d(m, cfg_2d(4, 4), 2).stored_bytes().value();
   EXPECT_GT(s1, 2.0 * s4);  // roughly linear in 1/n2
 }
 
 TEST(Layer2D, FlopsConservedAcrossGrid) {
   const auto m = tiny();
-  const double total = build_layer_2d(m, cfg_2d(1, 1), 2).fwd_flops();
-  const double sharded = build_layer_2d(m, cfg_2d(4, 2), 2).fwd_flops();
+  const double total =
+      build_layer_2d(m, cfg_2d(1, 1), 2).fwd_flops().value();
+  const double sharded =
+      build_layer_2d(m, cfg_2d(4, 2), 2).fwd_flops().value();
   EXPECT_NEAR(total, 8.0 * sharded, 0.02 * total);
 }
 
@@ -101,14 +107,14 @@ TEST(Layer2D, AttentionQueriesShardedKeysFull) {
     if (op.name == "attention") att_wide = &op;
   }
   ASSERT_NE(att_wide, nullptr);
-  EXPECT_NEAR(att_wide->fwd_flops, 2.0 * att->fwd_flops,
-              0.01 * att_wide->fwd_flops);
+  EXPECT_NEAR(att_wide->fwd_flops.value(), 2.0 * att->fwd_flops.value(),
+              0.01 * att_wide->fwd_flops.value());
 }
 
 TEST(Layer2D, PipelineBoundaryShardedByGrid) {
   const auto m = tiny();
   const std::int64_t B = 2;
-  EXPECT_DOUBLE_EQ(build_layer_2d(m, cfg_2d(2, 4), B).pp_boundary_bytes,
+  EXPECT_DOUBLE_EQ(build_layer_2d(m, cfg_2d(2, 4), B).pp_boundary_bytes.value(),
                    2.0 * B * m.seq_len * m.embed / 8);
 }
 

@@ -17,10 +17,12 @@ TEST(LlProtocol, WinsAtSmallVolumes) {
   auto net = hw::network_preset(hw::GpuGeneration::B200);
   const comm::GroupPlacement g{256, 8};
   const double simple =
-      comm::collective_time(net, ops::Collective::AllGather, 1e4, g);
+      comm::collective_time(net, ops::Collective::AllGather, Bytes(1e4), g)
+          .value();
   net.enable_ll = true;
   const double with_ll =
-      comm::collective_time(net, ops::Collective::AllGather, 1e4, g);
+      comm::collective_time(net, ops::Collective::AllGather, Bytes(1e4), g)
+          .value();
   EXPECT_LT(with_ll, 0.5 * simple);  // latency-dominated: LL wins big
 }
 
@@ -28,10 +30,12 @@ TEST(LlProtocol, SimpleWinsAtLargeVolumes) {
   auto net = hw::network_preset(hw::GpuGeneration::B200);
   const comm::GroupPlacement g{16, 8};
   const double simple =
-      comm::collective_time(net, ops::Collective::AllGather, 4e9, g);
+      comm::collective_time(net, ops::Collective::AllGather, Bytes(4e9), g)
+          .value();
   net.enable_ll = true;
   const double with_ll =
-      comm::collective_time(net, ops::Collective::AllGather, 4e9, g);
+      comm::collective_time(net, ops::Collective::AllGather, Bytes(4e9), g)
+          .value();
   // min() semantics: never worse, and equal when Simple dominates.
   EXPECT_DOUBLE_EQ(with_ll, simple);
 }
@@ -45,9 +49,11 @@ TEST(LlProtocol, CrossoverExists) {
   bool ll_used_small = false, simple_used_large = false;
   for (double v : {1e3, 1e5, 1e7, 1e9, 1e10}) {
     const double t =
-        comm::collective_time(net, ops::Collective::AllGather, v, g);
-    const double ts =
-        comm::collective_time(simple_only, ops::Collective::AllGather, v, g);
+        comm::collective_time(net, ops::Collective::AllGather, Bytes(v), g)
+            .value();
+    const double ts = comm::collective_time(
+                          simple_only, ops::Collective::AllGather, Bytes(v), g)
+                          .value();
     if (t < ts - 1e-15) ll_used_small = true;
     if (t == ts && v >= 1e9) simple_used_large = true;
   }
@@ -58,12 +64,12 @@ TEST(LlProtocol, CrossoverExists) {
 TEST(H100Preset, DatasheetValues) {
   const auto g = hw::h100();
   EXPECT_EQ(g.name, "H100");
-  EXPECT_DOUBLE_EQ(g.tensor_flops, 990e12);
-  EXPECT_DOUBLE_EQ(g.hbm_bandwidth, 3350e9);
-  EXPECT_DOUBLE_EQ(g.hbm_capacity, 80e9);
+  EXPECT_DOUBLE_EQ(g.tensor_flops.value(), 990e12);
+  EXPECT_DOUBLE_EQ(g.hbm_bandwidth.value(), 3350e9);
+  EXPECT_DOUBLE_EQ(g.hbm_capacity.value(), 80e9);
   // Same compute generation as H200, smaller/slower memory.
-  EXPECT_LT(g.hbm_bandwidth, hw::h200().hbm_bandwidth);
-  EXPECT_LT(g.hbm_capacity, hw::h200().hbm_capacity);
+  EXPECT_LT(g.hbm_bandwidth.value(), hw::h200().hbm_bandwidth.value());
+  EXPECT_LT(g.hbm_capacity.value(), hw::h200().hbm_capacity.value());
 }
 
 }  // namespace

@@ -33,8 +33,8 @@ TEST(MemoryModel, WeightAndGradientBytes) {
   const ParallelConfig c = cfg_1d(2, 2, 1, 1);
   const auto layer = parallel::build_layer(m, c, 1);
   const MemoryBreakdown mem = compute_memory(layer, c, 4, 1);
-  EXPECT_DOUBLE_EQ(mem.weights, 2.0 * layer.weight_params * 4);
-  EXPECT_DOUBLE_EQ(mem.gradients, mem.weights);
+  EXPECT_DOUBLE_EQ(mem.weights.value(), 2.0 * layer.weight_params * 4);
+  EXPECT_DOUBLE_EQ(mem.gradients.value(), mem.weights.value());
 }
 
 TEST(MemoryModel, OptimizerIs12BytesPerParamShardedByDp) {
@@ -44,8 +44,8 @@ TEST(MemoryModel, OptimizerIs12BytesPerParamShardedByDp) {
   const auto layer = parallel::build_layer(m, c1, 1);
   const MemoryBreakdown m1 = compute_memory(layer, c1, 4, 1);
   const MemoryBreakdown m4 = compute_memory(layer, c4, 4, 1);
-  EXPECT_DOUBLE_EQ(m1.optimizer, 12.0 * layer.weight_params * 4);
-  EXPECT_DOUBLE_EQ(m4.optimizer, m1.optimizer / 4.0);
+  EXPECT_DOUBLE_EQ(m1.optimizer.value(), 12.0 * layer.weight_params * 4);
+  EXPECT_DOUBLE_EQ(m4.optimizer.value(), m1.optimizer.value() / 4.0);
 }
 
 TEST(MemoryModel, OptimizerShardsOverN2In2dTp) {
@@ -58,7 +58,7 @@ TEST(MemoryModel, OptimizerShardsOverN2In2dTp) {
   const auto layer = parallel::build_layer(m, c, 1);
   ASSERT_TRUE(layer.dp_group_includes_tp2);
   const MemoryBreakdown mem = compute_memory(layer, c, 1, 1);
-  EXPECT_DOUBLE_EQ(mem.optimizer, 12.0 * layer.weight_params / 8.0);
+  EXPECT_DOUBLE_EQ(mem.optimizer.value(), 12.0 * layer.weight_params / 8.0);
 }
 
 TEST(MemoryModel, ActivationsScaleWithInFlightMicrobatches) {
@@ -67,7 +67,7 @@ TEST(MemoryModel, ActivationsScaleWithInFlightMicrobatches) {
   const auto layer = parallel::build_layer(m, c, 2);
   const MemoryBreakdown one = compute_memory(layer, c, 2, 1);
   const MemoryBreakdown four = compute_memory(layer, c, 2, 4);
-  EXPECT_DOUBLE_EQ(four.activations, 4.0 * one.activations);
+  EXPECT_DOUBLE_EQ(four.activations.value(), 4.0 * one.activations.value());
 }
 
 TEST(MemoryModel, ActivationsScaleWithLayersPerStage) {
@@ -76,8 +76,8 @@ TEST(MemoryModel, ActivationsScaleWithLayersPerStage) {
   const auto layer = parallel::build_layer(m, c, 1);
   const MemoryBreakdown a = compute_memory(layer, c, 2, 1);
   const MemoryBreakdown b = compute_memory(layer, c, 8, 1);
-  EXPECT_DOUBLE_EQ(b.activations, 4.0 * a.activations);
-  EXPECT_DOUBLE_EQ(b.weights, 4.0 * a.weights);
+  EXPECT_DOUBLE_EQ(b.activations.value(), 4.0 * a.activations.value());
+  EXPECT_DOUBLE_EQ(b.weights.value(), 4.0 * a.weights.value());
 }
 
 TEST(MemoryModel, TotalIsSumOfParts) {
@@ -85,9 +85,11 @@ TEST(MemoryModel, TotalIsSumOfParts) {
   const ParallelConfig c = cfg_1d(2, 2, 2, 2);
   const auto layer = parallel::build_layer(m, c, 1);
   const MemoryBreakdown mem = compute_memory(layer, c, 4, 2);
-  EXPECT_DOUBLE_EQ(mem.total(), mem.weights + mem.gradients + mem.optimizer +
-                                    mem.activations);
-  EXPECT_GT(mem.total(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      mem.total().value(),
+      (mem.weights + mem.gradients + mem.optimizer + mem.activations)
+          .value());
+  EXPECT_GT(mem.total().value(), 0.0);
 }
 
 }  // namespace

@@ -13,11 +13,14 @@ namespace {
 TEST(MemoryTimeline, MatchesMinOfMAndNpPerStage) {
   // Deep pipeline, many microbatches: stage s holds min(m, np - s).
   const std::int64_t np = 8, m = 64;
-  const auto trace = simulate_pipeline({np, m, 1.0, 2.0, 0.0});
+  const auto trace = simulate_pipeline(
+      {np, m, Seconds(1.0), Seconds(2.0), Seconds(0.0)});
   const auto profiles = activation_timeline(trace, np);
   ASSERT_EQ(profiles.size(), static_cast<std::size_t>(np));
   for (std::int64_t s = 0; s < np; ++s) {
-    EXPECT_EQ(profiles[s].high_water_microbatches, np - s) << "stage " << s;
+    EXPECT_EQ(profiles[static_cast<std::size_t>(s)].high_water_microbatches,
+              np - s)
+        << "stage " << s;
   }
 }
 
@@ -25,10 +28,11 @@ TEST(MemoryTimeline, CappedByMicrobatchCount) {
   // Fewer microbatches than stages: residency is capped at m everywhere it
   // would otherwise exceed it.
   const std::int64_t np = 8, m = 3;
-  const auto trace = simulate_pipeline({np, m, 1.0, 1.0, 0.0});
+  const auto trace = simulate_pipeline(
+      {np, m, Seconds(1.0), Seconds(1.0), Seconds(0.0)});
   const auto profiles = activation_timeline(trace, np);
   for (std::int64_t s = 0; s < np; ++s) {
-    EXPECT_EQ(profiles[s].high_water_microbatches,
+    EXPECT_EQ(profiles[static_cast<std::size_t>(s)].high_water_microbatches,
               std::min<std::int64_t>(m, np - s))
         << "stage " << s;
   }
@@ -37,7 +41,8 @@ TEST(MemoryTimeline, CappedByMicrobatchCount) {
 TEST(MemoryTimeline, PeakMatchesMemoryModelAssumption) {
   for (const auto [np, m] : {std::pair<std::int64_t, std::int64_t>{4, 16},
                              {16, 4}, {1, 8}, {8, 8}}) {
-    const auto trace = simulate_pipeline({np, m, 0.5, 1.0, 0.01});
+    const auto trace = simulate_pipeline(
+      {np, m, Seconds(0.5), Seconds(1.0), Seconds(0.01)});
     EXPECT_EQ(peak_in_flight(trace, np),
               pipeline::in_flight_microbatches(np, m))
         << "np=" << np << " m=" << m;
@@ -45,7 +50,8 @@ TEST(MemoryTimeline, PeakMatchesMemoryModelAssumption) {
 }
 
 TEST(MemoryTimeline, Stage0IsTheBusiest) {
-  const auto trace = simulate_pipeline({6, 32, 1.0, 2.0, 0.0});
+  const auto trace = simulate_pipeline(
+      {6, 32, Seconds(1.0), Seconds(2.0), Seconds(0.0)});
   const auto profiles = activation_timeline(trace, 6);
   for (std::size_t s = 1; s < profiles.size(); ++s) {
     EXPECT_LE(profiles[s].high_water_microbatches,
@@ -58,21 +64,24 @@ TEST(MemoryTimeline, InterleavedScheduleHoldsMoreChunkActivations) {
   // on a GPU; the interleaved schedule's deeper warmup raises the peak in
   // chunk units (its bubble advantage is paid in memory).
   const std::int64_t np = 4, m = 16;
-  const auto plain = simulate_pipeline({np, m, 1.0, 1.0, 0.0});
+  const auto plain = simulate_pipeline(
+      {np, m, Seconds(1.0), Seconds(1.0), Seconds(0.0)});
   const auto inter = simulate_interleaved_pipeline({np, 2, m, 0.5, 0.5, 0.0});
   EXPECT_GT(peak_in_flight(inter, np), peak_in_flight(plain, np));
 }
 
 TEST(MemoryTimeline, PeakTimeIsDuringWarmup) {
   const std::int64_t np = 4, m = 32;
-  const auto trace = simulate_pipeline({np, m, 1.0, 1.0, 0.0});
+  const auto trace = simulate_pipeline(
+      {np, m, Seconds(1.0), Seconds(1.0), Seconds(0.0)});
   const auto profiles = activation_timeline(trace, np);
   // Stage 0 reaches its peak by the time its warmup forwards are done.
   EXPECT_LE(profiles[0].peak_time, np * 1.0 + 1e-9);
 }
 
 TEST(MemoryTimeline, RejectsBadInput) {
-  const auto trace = simulate_pipeline({2, 2, 1.0, 1.0, 0.0});
+  const auto trace = simulate_pipeline(
+      {2, 2, Seconds(1.0), Seconds(1.0), Seconds(0.0)});
   EXPECT_THROW(activation_timeline(trace, 0), std::invalid_argument);
   EXPECT_THROW(activation_timeline(trace, 1), std::invalid_argument);
 }

@@ -83,7 +83,7 @@ TEST(MoeLayer, AllToAllVolumeMatchesRoutedTokens) {
   const auto m = tiny_moe(8, 2);
   const std::int64_t B = 2, nt = 2;
   const auto lc = parallel::build_layer(m, cfg_1d(nt, 4), B);
-  double a2a = 0;
+  Bytes a2a;
   int a2a_count = 0;
   for (const auto& op : lc.ops) {
     for (const auto& r : op.fwd_comm) {
@@ -97,7 +97,7 @@ TEST(MoeLayer, AllToAllVolumeMatchesRoutedTokens) {
   EXPECT_EQ(a2a_count, 2);  // dispatch + combine
   // Each: 2 bytes * (B*l/nt tokens) * e * top_k.
   const double expected = 2.0 * (2.0 * B * m.seq_len / nt * m.embed * 2.0);
-  EXPECT_DOUBLE_EQ(a2a, expected);
+  EXPECT_DOUBLE_EQ(a2a.value(), expected);
 }
 
 TEST(MoeLayer, ExpertFlopsScaleWithTopK) {
@@ -105,7 +105,7 @@ TEST(MoeLayer, ExpertFlopsScaleWithTopK) {
   const auto top2 = parallel::build_layer(tiny_moe(8, 2), cfg_1d(2, 4), 2);
   auto fc1_flops = [](const parallel::LayerCost& lc) {
     for (const auto& op : lc.ops) {
-      if (op.name == "moe_fc1") return op.fwd_flops;
+      if (op.name == "moe_fc1") return op.fwd_flops.value();
     }
     return 0.0;
   };

@@ -35,8 +35,8 @@ TEST(PaperFig1, ConvexWithMinimumAtTp8) {
     times.push_back(r.iteration());
     nts.push_back(nt);
   }
-  const std::size_t argmin =
-      std::min_element(times.begin(), times.end()) - times.begin();
+  const auto argmin = static_cast<std::size_t>(
+      std::min_element(times.begin(), times.end()) - times.begin());
   EXPECT_EQ(nts[argmin], 8);
   // Convex: strictly decreasing to the min, strictly increasing after.
   for (std::size_t i = 0; i < argmin; ++i) EXPECT_GT(times[i], times[i + 1]);
@@ -108,7 +108,7 @@ TEST(PaperFig4b, VitNeeds2dTp) {
   EXPECT_GT(r2d.best.cfg.n2, 1);
   if (r1d.best.feasible) {
     // 1D TP pinned to the memory cliff and clearly slower than 2D TP.
-    EXPECT_GT(r1d.best.mem.total(), 0.95 * sys.gpu.hbm_capacity);
+    EXPECT_GT(r1d.best.mem.total().value(), 0.95 * sys.gpu.hbm_capacity.value());
     EXPECT_GT(r1d.best.iteration(), 1.3 * r2d.best.iteration());
   }
   // TP communication dominates the other communication costs.
@@ -165,7 +165,7 @@ TEST(PaperQ2, VitKeepsHbmFull) {
   const auto vit = report::optimal_at_scale(model::vit_64k(), b200(8, 4096),
                                             TpStrategy::TP2D, 4096, 4096);
   ASSERT_TRUE(vit.feasible);
-  EXPECT_GT(vit.mem.total(), 0.5 * 192e9);
+  EXPECT_GT(vit.mem.total().value(), 0.5 * 192e9);
 }
 
 }  // namespace

@@ -45,7 +45,7 @@ TEST(Pareto, AnswersMemoryBudgetQuestions) {
   opts.strategy = parallel::TpStrategy::TP1D;
   opts.global_batch = 4096;
   const auto frontier = search::pareto_frontier(mdl, sys, opts);
-  const double budget = 0.5 * sys.gpu.hbm_capacity;
+  const Bytes budget = sys.gpu.hbm_capacity * 0.5;
   const core::EvalResult* pick = nullptr;
   for (const auto& r : frontier) {
     if (r.mem.total() <= budget) {
@@ -61,37 +61,42 @@ TEST(TreeSim, MatchesAnalyticTreeModel) {
   const auto net = hw::network_preset(hw::GpuGeneration::B200);
   for (const auto [g, nvs] : {std::pair<std::int64_t, std::int64_t>{16, 8},
                               {64, 8}, {64, 64}}) {
-    const double V = 1e9;
+    const Bytes V{1e9};
     const double analytic =
-        comm::tree_time(net, ops::Collective::AllReduce, V, {g, nvs});
-    const double sim = sim::simulate_tree_allreduce(net, V, g, nvs, 16);
+        comm::tree_time(net, ops::Collective::AllReduce, V, {g, nvs}).value();
+    const double sim =
+        sim::simulate_tree_allreduce(net, V, g, nvs, 16).value();
     EXPECT_NEAR(sim, analytic, 0.5 * analytic) << "g=" << g << " nvs=" << nvs;
   }
 }
 
 TEST(TreeSim, BeatsRingSimAtSmallVolumeLargeGroup) {
   const auto net = hw::network_preset(hw::GpuGeneration::B200);
-  const double V = 1e5;
+  const Bytes V{1e5};
   const std::int64_t g = 512, nvs = 8;
-  const double ring =
+  const Seconds ring =
       sim::simulate_collective(net, ops::Collective::AllReduce, V, g, nvs);
-  const double tree = sim::simulate_tree_allreduce(net, V, g, nvs, 4);
-  EXPECT_LT(tree, ring);
+  const Seconds tree = sim::simulate_tree_allreduce(net, V, g, nvs, 4);
+  EXPECT_LT(tree.value(), ring.value());
 }
 
 TEST(TreeSim, TrivialCases) {
   const auto net = hw::network_preset(hw::GpuGeneration::B200);
-  EXPECT_DOUBLE_EQ(sim::simulate_tree_allreduce(net, 1e9, 1, 1), 0.0);
-  EXPECT_DOUBLE_EQ(sim::simulate_tree_allreduce(net, 0.0, 16, 8), 0.0);
-  EXPECT_THROW(sim::simulate_tree_allreduce(net, 1e9, 16, 8, 0),
+  EXPECT_DOUBLE_EQ(
+      sim::simulate_tree_allreduce(net, Bytes(1e9), 1, 1).value(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      sim::simulate_tree_allreduce(net, Bytes(0), 16, 8).value(), 0.0);
+  EXPECT_THROW(sim::simulate_tree_allreduce(net, Bytes(1e9), 16, 8, 0),
                std::invalid_argument);
 }
 
 TEST(TreeSim, SlicingImprovesPipelining) {
   const auto net = hw::network_preset(hw::GpuGeneration::B200);
-  const double coarse = sim::simulate_tree_allreduce(net, 1e9, 64, 8, 1);
-  const double fine = sim::simulate_tree_allreduce(net, 1e9, 64, 8, 32);
-  EXPECT_LT(fine, coarse);
+  const Seconds coarse =
+      sim::simulate_tree_allreduce(net, Bytes(1e9), 64, 8, 1);
+  const Seconds fine =
+      sim::simulate_tree_allreduce(net, Bytes(1e9), 64, 8, 32);
+  EXPECT_LT(fine.value(), coarse.value());
 }
 
 }  // namespace

@@ -8,8 +8,9 @@ namespace tfpe::pipeline {
 namespace {
 
 TEST(Bubble, PaperFormula) {
-  EXPECT_DOUBLE_EQ(bubble_time(64, 0.01, 0.02), 63 * 0.03);
-  EXPECT_DOUBLE_EQ(bubble_time(1, 0.01, 0.02), 0.0);
+  EXPECT_DOUBLE_EQ(bubble_time(64, Seconds(0.01), Seconds(0.02)).value(),
+                   63 * 0.03);
+  EXPECT_DOUBLE_EQ(bubble_time(1, Seconds(0.01), Seconds(0.02)).value(), 0.0);
 }
 
 TEST(InFlight, OneF1BKeepsMinOfMAndNp) {
@@ -20,24 +21,26 @@ TEST(InFlight, OneF1BKeepsMinOfMAndNp) {
 
 TEST(IterationTime, SteadyPlusBubble) {
   // (m + np - 1)(tf + tb)
-  EXPECT_DOUBLE_EQ(iteration_time(4, 16, 1.0, 2.0), (16 + 3) * 3.0);
+  EXPECT_DOUBLE_EQ(iteration_time(4, 16, Seconds(1.0), Seconds(2.0)).value(),
+                   (16 + 3) * 3.0);
 }
 
 TEST(P2p, ZeroWithoutPipeline) {
   const auto net = hw::network_preset(hw::GpuGeneration::B200);
-  EXPECT_DOUBLE_EQ(p2p_time(net, 1, 128, 1e6, 1), 0.0);
+  EXPECT_DOUBLE_EQ(p2p_time(net, 1, 128, Bytes(1e6), 1).value(), 0.0);
 }
 
 TEST(P2p, ScalesWithMicrobatches) {
   const auto net = hw::network_preset(hw::GpuGeneration::B200);
-  const double t1 = p2p_time(net, 4, 8, 1e6, 1);
-  const double t2 = p2p_time(net, 4, 16, 1e6, 1);
+  const double t1 = p2p_time(net, 4, 8, Bytes(1e6), 1).value();
+  const double t2 = p2p_time(net, 4, 16, Bytes(1e6), 1).value();
   EXPECT_DOUBLE_EQ(t2, 2.0 * t1);
 }
 
 TEST(P2p, FasterInsideNvsDomain) {
   const auto net = hw::network_preset(hw::GpuGeneration::B200);
-  EXPECT_LT(p2p_time(net, 4, 8, 1e8, 2), p2p_time(net, 4, 8, 1e8, 1));
+  EXPECT_LT(p2p_time(net, 4, 8, Bytes(1e8), 2).value(),
+            p2p_time(net, 4, 8, Bytes(1e8), 1).value());
 }
 
 }  // namespace

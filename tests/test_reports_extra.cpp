@@ -86,7 +86,7 @@ TEST(Sensitivity, RejectsBadStep) {
 }
 
 TEST(ChromeTrace, EmitsOneEventPerTask) {
-  const auto trace = sim::simulate_pipeline({4, 8, 1.0, 2.0, 0.1});
+  const auto trace = sim::simulate_pipeline({4, 8, Seconds(1.0), Seconds(2.0), Seconds(0.1)});
   ASSERT_EQ(trace.tasks.size(), 4u * 16u);
   std::ostringstream os;
   sim::write_chrome_trace(os, trace);
@@ -104,7 +104,7 @@ TEST(ChromeTrace, EmitsOneEventPerTask) {
 }
 
 TEST(ChromeTrace, TasksAreConsistentWithSchedule) {
-  const auto trace = sim::simulate_pipeline({2, 4, 1.0, 1.0, 0.0});
+  const auto trace = sim::simulate_pipeline({2, 4, Seconds(1.0), Seconds(1.0), Seconds(0.0)});
   for (const auto& t : trace.tasks) {
     EXPECT_GE(t.start, 0.0);
     EXPECT_GT(t.end, t.start);
@@ -120,7 +120,7 @@ TEST(ChromeTrace, TasksAreConsistentWithSchedule) {
 }
 
 TEST(ChromeTrace, FileWriter) {
-  const auto trace = sim::simulate_pipeline({2, 2, 1.0, 1.0, 0.0});
+  const auto trace = sim::simulate_pipeline({2, 2, Seconds(1.0), Seconds(1.0), Seconds(0.0)});
   const std::string path = "tfpe_trace_test.json";
   sim::write_chrome_trace_file(path, trace);
   std::ifstream in(path);

@@ -367,7 +367,7 @@ TEST(LowerBounds, FloorsNeverExceedActuals) {
         ++checked;
         EXPECT_LE(bounds.time_floor, r.iteration() * (1 + 1e-9))
             << cfg.describe();
-        EXPECT_LE(bounds.memory_floor, r.mem.total() * (1 + 1e-9))
+        EXPECT_LE(bounds.memory_floor, r.mem.total().value() * (1 + 1e-9))
             << cfg.describe();
       }
     }

@@ -54,22 +54,31 @@ TEST(EventQueue, RejectsPastEvents) {
 }
 
 TEST(RingTopology, TwoLevelLinkPattern) {
-  const RingTopology ring = RingTopology::two_level(8, 4, 1e-6, 100.0, 1e-5, 10.0);
+  const RingTopology ring = RingTopology::two_level(
+      8, 4, Seconds(1e-6), BytesPerSec(100.0), Seconds(1e-5),
+      BytesPerSec(10.0));
   ASSERT_EQ(ring.size(), 8);
   // Links 3 and 7 cross domains.
   for (std::int64_t i = 0; i < 8; ++i) {
     const bool crossing = (i == 3 || i == 7);
-    EXPECT_DOUBLE_EQ(ring.links[i].bandwidth, crossing ? 10.0 : 100.0) << i;
+    EXPECT_DOUBLE_EQ(ring.links[static_cast<std::size_t>(i)].bandwidth.value(),
+                     crossing ? 10.0 : 100.0)
+        << i;
   }
 }
 
 TEST(RingTopology, SingleDomainHasNoSlowLinks) {
-  const RingTopology ring = RingTopology::two_level(4, 4, 1e-6, 100.0, 1e-5, 10.0);
-  for (const auto& l : ring.links) EXPECT_DOUBLE_EQ(l.bandwidth, 100.0);
+  const RingTopology ring = RingTopology::two_level(
+      4, 4, Seconds(1e-6), BytesPerSec(100.0), Seconds(1e-5),
+      BytesPerSec(10.0));
+  for (const auto& l : ring.links) {
+    EXPECT_DOUBLE_EQ(l.bandwidth.value(), 100.0);
+  }
 }
 
 TEST(RingTopology, RejectsIndivisibleGrouping) {
-  EXPECT_THROW(RingTopology::two_level(8, 3, 0, 1, 0, 1),
+  EXPECT_THROW(RingTopology::two_level(8, 3, Seconds(0), BytesPerSec(1),
+                                       Seconds(0), BytesPerSec(1)),
                std::invalid_argument);
 }
 
@@ -77,24 +86,28 @@ TEST(SimulateAllgather, HomogeneousRingMatchesClosedForm) {
   // g GPUs, bandwidth-dominated: t ~ (g-1)/g * V / bw.
   const std::int64_t g = 8;
   const double bw = 100e9, V = 1e9;
-  RingTopology ring = RingTopology::two_level(g, g, 0.0, bw, 0.0, bw);
-  const double t = simulate_allgather(ring, V, 8);
+  RingTopology ring = RingTopology::two_level(
+      g, g, Seconds(0), BytesPerSec(bw), Seconds(0), BytesPerSec(bw));
+  const double t = simulate_allgather(ring, Bytes(V), 8).value();
   const double expected = (g - 1.0) / g * V / bw;
   EXPECT_NEAR(t, expected, 0.15 * expected);
 }
 
 TEST(SimulateAllgather, SlowLinkBecomesBottleneck) {
   const std::int64_t g = 8;
-  RingTopology mixed = RingTopology::two_level(g, 4, 0.0, 100e9, 0.0, 10e9);
-  RingTopology fast = RingTopology::two_level(g, g, 0.0, 100e9, 0.0, 100e9);
-  const double tm = simulate_allgather(mixed, 1e9, 8);
-  const double tf = simulate_allgather(fast, 1e9, 8);
+  RingTopology mixed = RingTopology::two_level(
+      g, 4, Seconds(0), BytesPerSec(100e9), Seconds(0), BytesPerSec(10e9));
+  RingTopology fast = RingTopology::two_level(
+      g, g, Seconds(0), BytesPerSec(100e9), Seconds(0), BytesPerSec(100e9));
+  const double tm = simulate_allgather(mixed, Bytes(1e9), 8).value();
+  const double tf = simulate_allgather(fast, Bytes(1e9), 8).value();
   EXPECT_GT(tm, 3.0 * tf);
 }
 
 TEST(SimulateAllgather, TrivialRing) {
-  RingTopology ring = RingTopology::two_level(1, 1, 0, 1e9, 0, 1e9);
-  EXPECT_DOUBLE_EQ(simulate_allgather(ring, 1e9), 0.0);
+  RingTopology ring = RingTopology::two_level(
+      1, 1, Seconds(0), BytesPerSec(1e9), Seconds(0), BytesPerSec(1e9));
+  EXPECT_DOUBLE_EQ(simulate_allgather(ring, Bytes(1e9)).value(), 0.0);
 }
 
 TEST(SimulateCollective, AgreesWithAnalyticModelInBandwidthRegime) {
@@ -104,11 +117,13 @@ TEST(SimulateCollective, AgreesWithAnalyticModelInBandwidthRegime) {
   const auto net = hw::network_preset(hw::GpuGeneration::A100);
   for (const auto [g, nvs] : {std::pair<std::int64_t, std::int64_t>{8, 4},
                               {16, 4}, {32, 4}, {16, 2}}) {
-    const double V = 4e9;
-    const double analytic = comm::collective_time(
-        net, ops::Collective::AllGather, V, {g, nvs});
-    const double sim = simulate_collective(net, ops::Collective::AllGather, V,
-                                           g, nvs, 8);
+    const Bytes V{4e9};
+    const double analytic =
+        comm::collective_time(net, ops::Collective::AllGather, V, {g, nvs})
+            .value();
+    const double sim =
+        simulate_collective(net, ops::Collective::AllGather, V, g, nvs, 8)
+            .value();
     EXPECT_NEAR(sim, analytic, 0.2 * analytic) << "g=" << g << " nvs=" << nvs;
   }
 }
@@ -117,18 +132,22 @@ TEST(SimulateCollective, MoreGpusPerNodeIsFaster) {
   // Fig. A1's NVL2 vs NVL4 effect: more rails amplify the slow network.
   const auto net = hw::network_preset(hw::GpuGeneration::A100);
   const double t2 =
-      simulate_collective(net, ops::Collective::AllGather, 4e9, 32, 2);
+      simulate_collective(net, ops::Collective::AllGather, Bytes(4e9), 32, 2)
+          .value();
   const double t4 =
-      simulate_collective(net, ops::Collective::AllGather, 4e9, 32, 4);
+      simulate_collective(net, ops::Collective::AllGather, Bytes(4e9), 32, 4)
+          .value();
   EXPECT_GT(t2, 1.5 * t4);
 }
 
 TEST(SimulateCollective, AllReduceIsTwoPasses) {
   const auto net = hw::network_preset(hw::GpuGeneration::B200);
   const double ag =
-      simulate_collective(net, ops::Collective::AllGather, 1e9, 16, 8);
+      simulate_collective(net, ops::Collective::AllGather, Bytes(1e9), 16, 8)
+          .value();
   const double ar =
-      simulate_collective(net, ops::Collective::AllReduce, 1e9, 16, 8);
+      simulate_collective(net, ops::Collective::AllReduce, Bytes(1e9), 16, 8)
+          .value();
   EXPECT_DOUBLE_EQ(ar, 2.0 * ag);
 }
 
@@ -145,8 +164,10 @@ TEST(Schedule1F1B, WarmupShrinksTowardLastStage) {
 TEST(Schedule1F1B, EveryMicrobatchAppearsOnce) {
   const auto tasks = schedule_1f1b(4, 1, 16);
   std::vector<int> fwd(16, 0), bwd(16, 0);
-  for (const auto& [is_bwd, j] : tasks) (is_bwd ? bwd : fwd)[j]++;
-  for (int j = 0; j < 16; ++j) {
+  for (const auto& [is_bwd, j] : tasks) {
+    (is_bwd ? bwd : fwd)[static_cast<std::size_t>(j)]++;
+  }
+  for (std::size_t j = 0; j < 16; ++j) {
     EXPECT_EQ(fwd[j], 1);
     EXPECT_EQ(bwd[j], 1);
   }
@@ -154,30 +175,37 @@ TEST(Schedule1F1B, EveryMicrobatchAppearsOnce) {
 
 TEST(SimulatePipeline, MatchesClosedFormWithUniformTimes) {
   // No P2P cost: completion == (m + np - 1)(tf + tb).
-  const PipelineTrace t = simulate_pipeline({4, 16, 1.0, 2.0, 0.0});
+  const PipelineTrace t = simulate_pipeline(
+      {4, 16, Seconds(1.0), Seconds(2.0), Seconds(0.0)});
   EXPECT_NEAR(t.completion_time, (16 + 3) * 3.0, 1e-9);
 }
 
 TEST(SimulatePipeline, SingleStageHasNoBubble) {
-  const PipelineTrace t = simulate_pipeline({1, 8, 1.0, 2.0, 0.0});
+  const PipelineTrace t = simulate_pipeline(
+      {1, 8, Seconds(1.0), Seconds(2.0), Seconds(0.0)});
   EXPECT_NEAR(t.completion_time, 8 * 3.0, 1e-9);
   EXPECT_NEAR(t.stage0_idle, 0.0, 1e-9);
 }
 
 TEST(SimulatePipeline, BubbleMatchesPaperFormula) {
-  const PipelineTrace t = simulate_pipeline({8, 64, 0.5, 1.0, 0.0});
+  const PipelineTrace t = simulate_pipeline(
+      {8, 64, Seconds(0.5), Seconds(1.0), Seconds(0.0)});
   EXPECT_NEAR(t.stage0_idle, 7 * 1.5, 1e-9);
 }
 
 TEST(SimulatePipeline, P2pStretchesCompletion) {
-  const double base = simulate_pipeline({4, 8, 1.0, 1.0, 0.0}).completion_time;
-  const double slow = simulate_pipeline({4, 8, 1.0, 1.0, 0.5}).completion_time;
+  const double base = simulate_pipeline(
+      {4, 8, Seconds(1.0), Seconds(1.0), Seconds(0.0)}).completion_time;
+  const double slow = simulate_pipeline(
+      {4, 8, Seconds(1.0), Seconds(1.0), Seconds(0.5)}).completion_time;
   EXPECT_GT(slow, base);
 }
 
 TEST(SimulatePipeline, RejectsBadParams) {
-  EXPECT_THROW(simulate_pipeline({0, 8, 1, 1, 0}), std::invalid_argument);
-  EXPECT_THROW(simulate_pipeline({4, 0, 1, 1, 0}), std::invalid_argument);
+  EXPECT_THROW(simulate_pipeline(
+      {0, 8, Seconds(1), Seconds(1), Seconds(0)}), std::invalid_argument);
+  EXPECT_THROW(simulate_pipeline(
+      {4, 0, Seconds(1), Seconds(1), Seconds(0)}), std::invalid_argument);
 }
 
 }  // namespace

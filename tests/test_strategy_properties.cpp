@@ -47,10 +47,10 @@ TEST_P(StrategyProperty, FlopsConservedVsSingleGpu) {
   const auto sharded = parallel::build_layer(mdl, cfg, 2);
   const auto single = parallel::build_layer(mdl, ref, 2);
   const double p = static_cast<double>(cfg.tp());
-  EXPECT_NEAR(single.fwd_flops(), p * sharded.fwd_flops(),
-              0.03 * single.fwd_flops());
-  EXPECT_NEAR(single.bwd_flops(), p * sharded.bwd_flops(),
-              0.03 * single.bwd_flops());
+  EXPECT_NEAR(single.fwd_flops().value(), p * sharded.fwd_flops().value(),
+              0.03 * single.fwd_flops().value());
+  EXPECT_NEAR(single.bwd_flops().value(), p * sharded.bwd_flops().value(),
+              0.03 * single.bwd_flops().value());
 }
 
 TEST_P(StrategyProperty, StoredActivationsShrinkWithTp) {
@@ -76,10 +76,10 @@ TEST_P(StrategyProperty, CostsScaleLinearlyWithMicrobatch) {
   const ParallelConfig cfg = make_cfg();
   const auto b1 = parallel::build_layer(mdl, cfg, 1);
   const auto b4 = parallel::build_layer(mdl, cfg, 4);
-  EXPECT_NEAR(b4.fwd_flops(), 4.0 * b1.fwd_flops(), 0.01 * b4.fwd_flops());
-  EXPECT_NEAR(b4.stored_bytes(), 4.0 * b1.stored_bytes(),
-              0.01 * b4.stored_bytes());
-  EXPECT_DOUBLE_EQ(b4.pp_boundary_bytes, 4.0 * b1.pp_boundary_bytes);
+  EXPECT_NEAR(b4.fwd_flops().value(), 4.0 * b1.fwd_flops().value(), 0.01 * b4.fwd_flops().value());
+  EXPECT_NEAR(b4.stored_bytes().value(), 4.0 * b1.stored_bytes().value(),
+              0.01 * b4.stored_bytes().value());
+  EXPECT_DOUBLE_EQ(b4.pp_boundary_bytes.value(), 4.0 * b1.pp_boundary_bytes.value());
   // Weights are microbatch-independent.
   EXPECT_DOUBLE_EQ(b4.weight_params, b1.weight_params);
 }
@@ -98,7 +98,7 @@ TEST_P(StrategyProperty, EvaluatorProducesConsistentBreakdown) {
               r.time.compute + r.time.memory + r.time.tp_comm + r.time.pp_comm +
                   r.time.dp_comm + r.time.bubble + r.time.optimizer,
               1e-12);
-  EXPECT_GT(r.mem.total(), 0.0);
+  EXPECT_GT(r.mem.total().value(), 0.0);
 }
 
 TEST_P(StrategyProperty, MoreMicrobatchesReduceBubbleFraction) {

@@ -11,7 +11,7 @@ namespace {
 TEST(ValidateCollective, SmallErrorInBandwidthRegime) {
   const auto net = hw::network_preset(hw::GpuGeneration::A100);
   const ValidationPoint p = validate_collective(
-      net, ops::Collective::AllGather, 8e9, 32, 4, "AG 8GB 32 GPUs");
+      net, ops::Collective::AllGather, Bytes(8e9), 32, 4, "AG 8GB 32 GPUs");
   EXPECT_LT(p.abs_pct_error(), 20.0);
   EXPECT_EQ(p.label, "AG 8GB 32 GPUs");
 }

@@ -38,7 +38,7 @@ TEST(Vocab, ZeroMatchesPaperBaseline) {
       core::evaluate(gpt_with_vocab(0), sys, cfg_1d(8, 8, 8, 64), 1024);
   ASSERT_TRUE(base.feasible && zero.feasible);
   EXPECT_DOUBLE_EQ(base.iteration(), zero.iteration());
-  EXPECT_DOUBLE_EQ(base.mem.total(), zero.mem.total());
+  EXPECT_DOUBLE_EQ(base.mem.total().value(), zero.mem.total().value());
 }
 
 TEST(Vocab, AddsTiedEmbeddingParams) {

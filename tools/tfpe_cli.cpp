@@ -13,6 +13,7 @@
 
 #include <iostream>
 
+#include "analysis/invariants.hpp"
 #include "core/training_estimate.hpp"
 #include "io/config_file.hpp"
 #include "io/plan_io.hpp"
@@ -65,7 +66,11 @@ int usage(const char* msg) {
       "  --ops               per-op roofline report for the optimum\n"
       "  --sensitivity       hardware elasticities (re-searches 12 designs)\n"
       "  --csv PATH          write results as CSV\n"
-      "  --markdown PATH     write a Markdown report\n";
+      "  --markdown PATH     write a Markdown report\n"
+      "\n"
+      "subcommands:\n"
+      "  lint [PLAN_PATH]    check built op lists against the paper's\n"
+      "                      conservation laws (see: tfpe lint --help)\n";
   return msg ? 2 : 0;
 }
 
@@ -76,10 +81,139 @@ std::optional<hw::GpuGeneration> gen_by_name(const std::string& s) {
   return std::nullopt;
 }
 
+// --- `tfpe lint`: op-graph invariant analyzer front end -------------------
+
+int lint_usage(const char* msg) {
+  if (msg) std::cerr << "error: " << msg << "\n\n";
+  std::cerr <<
+      "usage: tfpe lint [PLAN_PATH] [--model NAME] [--batch N]\n"
+      "\n"
+      "Re-derives the paper's conservation laws (FLOP invariance, activation\n"
+      "partition sums, Table I/II/A2 collective volumes, producer/consumer\n"
+      "shape chaining, forward/backward conjugacy) for the built layer op\n"
+      "list and reports every violation.\n"
+      "\n"
+      "  PLAN_PATH     lint the configuration stored in a plan file\n"
+      "  --model NAME  model preset the plan applies to (default gpt3-1t)\n"
+      "  --batch N     global batch for the plan (default: the plan's own);\n"
+      "                with no PLAN_PATH, the per-GPU microbatch (default 2)\n"
+      "\n"
+      "With no PLAN_PATH, lints the built-in preset x strategy matrix.\n"
+      "Exits 0 when every op list is clean, 1 when any invariant fails.\n";
+  return msg ? 2 : 0;
+}
+
+parallel::ParallelConfig lint_cfg(parallel::TpStrategy s, std::int64_t n1,
+                                  std::int64_t n2, std::int64_t nb = 1,
+                                  bool ring = false) {
+  parallel::ParallelConfig c;
+  c.strategy = s;
+  c.n1 = n1;
+  c.n2 = n2;
+  c.nb = nb;
+  c.ring_attention = ring;
+  return c;
+}
+
+int run_lint(const util::ArgParser& args) {
+  if (args.has("help")) return lint_usage(nullptr);
+  const auto& pos = args.positional();
+  if (pos.size() > 2) return lint_usage("too many arguments");
+
+  if (pos.size() == 2) {
+    // Lint one saved plan.
+    const std::string model_name = args.get_or("model", "gpt3-1t");
+    const auto mdl = model::preset_by_name(model_name);
+    if (!mdl) return lint_usage(("unknown model '" + model_name + "'").c_str());
+    io::LoadedPlan plan;
+    try {
+      plan = io::load_plan_file(pos[1]);
+    } catch (const std::exception& e) {
+      return lint_usage(e.what());
+    }
+    const std::int64_t batch = args.get_int_or("batch", plan.global_batch);
+    const auto stray = args.unused();
+    if (!stray.empty()) {
+      return lint_usage(("unknown flag --" + stray.front()).c_str());
+    }
+    // Divisibility prechecks against a system just big enough for the plan:
+    // the builders assume them, so a violated one is itself a lint failure.
+    const auto sys = hw::make_system(hw::GpuGeneration::B200,
+                                     plan.cfg.placement_product(),
+                                     plan.cfg.total_gpus());
+    if (const auto why = plan.cfg.invalid_reason(*mdl, sys, batch)) {
+      std::cerr << "lint: invalid plan configuration: " << *why << "\n";
+      return 1;
+    }
+    const std::int64_t b = plan.cfg.local_microbatch(batch);
+    if (b < 1) return lint_usage("plan batch does not yield a microbatch >= 1");
+    analysis::LintReport report;
+    try {
+      report = analysis::lint_config(*mdl, plan.cfg, b);
+    } catch (const std::exception& e) {
+      std::cerr << "lint: cannot build layer for plan: " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "lint " << pos[1] << ": " << mdl->name << " "
+              << plan.cfg.describe() << " b=" << b << "\n"
+              << report.summary() << "\n";
+    return report.errors() > 0 ? 1 : 0;
+  }
+
+  // No plan: sweep the preset x strategy matrix.
+  const std::int64_t b = args.get_int_or("batch", 2);
+  const auto stray = args.unused();
+  if (!stray.empty()) {
+    return lint_usage(("unknown flag --" + stray.front()).c_str());
+  }
+  if (b < 1) return lint_usage("--batch must be >= 1");
+
+  using parallel::TpStrategy;
+  struct Case {
+    model::TransformerConfig mdl;
+    std::string label;
+    parallel::ParallelConfig cfg;
+  };
+  std::vector<Case> cases;
+  for (const auto& mdl : {model::gpt3_1t(), model::vit_64k()}) {
+    cases.push_back({mdl, "1d", lint_cfg(TpStrategy::TP1D, 8, 1)});
+    cases.push_back({mdl, "2d", lint_cfg(TpStrategy::TP2D, 8, 2)});
+    cases.push_back({mdl, "summa", lint_cfg(TpStrategy::Summa2D, 4, 4, 4)});
+    cases.push_back(
+        {mdl, "2d+ring", lint_cfg(TpStrategy::TP2D, 8, 2, 1, true)});
+  }
+  cases.push_back({model::gpt_moe_1t(), "1d", lint_cfg(TpStrategy::TP1D, 8, 1)});
+  cases.push_back({model::gpt_moe_1t(), "2d", lint_cfg(TpStrategy::TP2D, 8, 2)});
+
+  std::size_t total_errors = 0, total_warnings = 0;
+  for (const auto& c : cases) {
+    analysis::LintReport report;
+    try {
+      report = analysis::lint_config(c.mdl, c.cfg, b);
+    } catch (const std::exception& e) {
+      std::cout << "FAIL  " << c.mdl.name << " x " << c.label
+                << ": cannot build layer: " << e.what() << "\n";
+      ++total_errors;
+      continue;
+    }
+    total_errors += report.errors();
+    total_warnings += report.warnings();
+    std::cout << (report.errors() > 0 ? "FAIL  " : "ok    ") << c.mdl.name
+              << " x " << c.label << "\n";
+    if (!report.clean()) std::cout << report.summary() << "\n";
+  }
+  std::cout << cases.size() << " op lists linted, " << total_errors
+            << " error(s), " << total_warnings << " warning(s)\n";
+  return total_errors > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
+  if (!args.positional().empty() && args.positional().front() == "lint") {
+    return run_lint(args);
+  }
   if (args.has("help")) return usage(nullptr);
 
   // --- config file (flags still override the GPU-count style fields) ---

@@ -124,8 +124,8 @@ int main(int argc, char** argv) {
                   r.feasible ? r.cfg.describe() : r.reason,
                   util::format_fixed(r.feasible ? r.iteration() : 0.0, 6),
                   util::format_fixed(tps, 1),
-                  util::format_fixed(r.feasible ? r.mem.total() / 1e9 : 0.0,
-                                     2)});
+                  util::format_fixed(
+                      r.feasible ? r.mem.total().value() / 1e9 : 0.0, 2)});
               std::cout << "[" << points << "] " << model_name << " "
                         << gpu_name << " nvs" << nvs_s << " n" << n_s << " "
                         << strat_s << " b" << b_s << ": "
