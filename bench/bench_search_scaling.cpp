@@ -99,6 +99,9 @@ void write_json(const std::vector<Sample>& samples, const std::string& path) {
        << ", \"build_layer_calls\": " << s.stats.build_layer_calls
        << ", \"layer_cache_hits\": " << s.stats.layer_cache_hits
        << ", \"placement_sets\": " << s.stats.placement_sets
+       << ", \"placement_cache_hits\": " << s.stats.placement_cache_hits
+       << ", \"signature_compiles\": " << s.stats.signature_compiles
+       << ", \"signature_cache_hits\": " << s.stats.signature_cache_hits
        << ", \"bound_pruned\": " << s.stats.bound_pruned
        << ", \"memory_pruned\": " << s.stats.memory_pruned
        << ", \"rounds\": " << s.stats.rounds << "}"

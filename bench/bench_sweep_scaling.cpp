@@ -1,0 +1,237 @@
+// A/B benchmark of the cross-hardware sweep engines: the two-phase
+// signature engine (compile once, re-time per hardware point) against the
+// legacy per-point evaluator (one find_optimal per grid point), on the
+// paper-style generation x NVS-domain grid for GPT3-1T.
+//
+// Two outputs:
+//  * google-benchmark cases (BM_Sweep/<engine>/<prune>) for wall-clock
+//    comparisons under the standard benchmark harness;
+//  * a driver that times each (engine, prune, threads) combination over the
+//    A100/H200/B200 x NVS{4,8,16,32,64} grid at 4096 GPUs and writes
+//    BENCH_sweep.json — seconds, points/sec, compile-cache hit rate and the
+//    signature-vs-legacy speedups — so the >= 5x sweep speedup is
+//    machine-checkable. The driver also asserts (exit 1 otherwise) that the
+//    per-point optima are bitwise identical across engines, prune settings
+//    and thread counts.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "search/sweep.hpp"
+
+namespace {
+
+using namespace tfpe;
+
+constexpr std::int64_t kGpus = 4096;
+constexpr std::int64_t kBatch = 4096;
+
+std::vector<hw::SystemConfig> grid() {
+  return search::hardware_grid(
+      {hw::GpuGeneration::A100, hw::GpuGeneration::H200,
+       hw::GpuGeneration::B200},
+      {4, 8, 16, 32, 64}, kGpus);
+}
+
+search::SweepOptions sweep_opts(bool use_signatures, bool prune,
+                                unsigned threads) {
+  search::SweepOptions opts;
+  opts.search.strategy = parallel::TpStrategy::TP1D;
+  opts.search.global_batch = kBatch;
+  opts.search.prune = prune;
+  opts.use_signatures = use_signatures;
+  opts.threads = threads;
+  return opts;
+}
+
+void BM_Sweep(benchmark::State& state) {
+  const bool use_signatures = state.range(0) != 0;
+  const bool prune = state.range(1) != 0;
+  const auto mdl = model::gpt3_1t();
+  const auto points = grid();
+  const auto opts = sweep_opts(use_signatures, prune, 1);
+  search::SweepStats stats;
+  for (auto _ : state) {
+    const auto r = search::run_sweep(mdl, points, opts);
+    stats = r.stats;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["points"] = static_cast<double>(stats.points);
+  state.counters["evaluations"] = static_cast<double>(stats.evaluated);
+  state.counters["compiles"] = static_cast<double>(stats.signature_compiles);
+  state.counters["compile_hit_rate"] = stats.compile_hit_rate();
+}
+BENCHMARK(BM_Sweep)
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->ArgNames({"signatures", "prune"})
+    ->Unit(benchmark::kMillisecond);
+
+struct Sample {
+  bool use_signatures = false;
+  bool prune = false;
+  unsigned threads = 0;
+  double seconds = 0;
+  search::SweepStats stats;
+  std::vector<core::EvalResult> best;
+};
+
+Sample run_once(bool use_signatures, bool prune, unsigned threads,
+                int repeats) {
+  const auto mdl = model::gpt3_1t();
+  const auto points = grid();
+  const auto opts = sweep_opts(use_signatures, prune, threads);
+  Sample s;
+  s.use_signatures = use_signatures;
+  s.prune = prune;
+  s.threads = threads;
+  s.seconds = 1e30;
+  // min-of-N timing: each run_sweep call builds its caches from scratch, so
+  // repeats stay honest about the compile work.
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = search::run_sweep(mdl, points, opts);
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    s.seconds = std::min(s.seconds, sec);
+    s.stats = r.stats;
+    if (rep + 1 == repeats) s.best = std::move(r.best);
+  }
+  return s;
+}
+
+bool same_optimum(const core::EvalResult& a, const core::EvalResult& b) {
+  if (a.feasible != b.feasible) return false;
+  if (!a.feasible) return true;
+  return a.cfg.describe() == b.cfg.describe() &&
+         a.iteration() == b.iteration() &&
+         a.mem.total().value() == b.mem.total().value();
+}
+
+void write_json(const std::vector<Sample>& samples, std::size_t n_points,
+                bool identical, const std::string& path) {
+  std::ofstream os(path);
+  os << "{\n  \"model\": \"GPT3-1T\",\n  \"global_batch\": " << kBatch
+     << ",\n  \"n_gpus\": " << kGpus << ",\n"
+     << "  \"grid\": {\"generations\": [\"a100\", \"h200\", \"b200\"], "
+     << "\"nvs_domains\": [4, 8, 16, 32, 64], \"points\": " << n_points
+     << "},\n  \"identical_optima\": " << (identical ? "true" : "false")
+     << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    const double rate =
+        s.seconds > 0 ? static_cast<double>(s.stats.points) / s.seconds : 0.0;
+    os << "    {\"engine\": \""
+       << (s.use_signatures ? "signature" : "legacy") << "\""
+       << ", \"prune\": " << (s.prune ? "true" : "false")
+       << ", \"threads\": " << s.threads
+       << ", \"seconds\": " << s.seconds
+       << ", \"points_per_sec\": " << rate
+       << ", \"candidates\": " << s.stats.candidates
+       << ", \"evaluations\": " << s.stats.evaluated
+       << ", \"bound_pruned\": " << s.stats.bound_pruned
+       << ", \"memory_pruned\": " << s.stats.memory_pruned
+       << ", \"build_layer_calls\": " << s.stats.build_layer_calls
+       << ", \"layer_cache_hits\": " << s.stats.layer_cache_hits
+       << ", \"signature_compiles\": " << s.stats.signature_compiles
+       << ", \"signature_cache_hits\": " << s.stats.signature_cache_hits
+       << ", \"compile_hit_rate\": " << s.stats.compile_hit_rate() << "}"
+       << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"speedups\": [\n";
+  // Signature vs legacy at equal thread count and prune setting.
+  bool first = true;
+  for (const Sample& sig : samples) {
+    if (!sig.use_signatures) continue;
+    for (const Sample& leg : samples) {
+      if (leg.use_signatures || leg.prune != sig.prune ||
+          leg.threads != sig.threads) {
+        continue;
+      }
+      if (!first) os << ",\n";
+      first = false;
+      os << "    {\"threads\": " << sig.threads
+         << ", \"prune\": " << (sig.prune ? "true" : "false")
+         << ", \"legacy_seconds\": " << leg.seconds
+         << ", \"signature_seconds\": " << sig.seconds
+         << ", \"speedup\": " << leg.seconds / sig.seconds << "}";
+    }
+  }
+  os << "\n  ]\n}\n";
+}
+
+int run_driver() {
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> thread_axis{1};
+  if (cores / 2 > 1) thread_axis.push_back(cores / 2);
+  if (cores > 1 && cores != cores / 2) thread_axis.push_back(cores);
+
+  std::vector<Sample> samples;
+  for (bool prune : {false, true}) {
+    for (unsigned threads : thread_axis) {
+      for (bool use_signatures : {false, true}) {
+        samples.push_back(run_once(use_signatures, prune, threads, 5));
+        const Sample& s = samples.back();
+        std::cout << (s.use_signatures ? "signature" : "legacy   ")
+                  << (s.prune ? " pruned    " : " exhaustive")
+                  << " threads=" << s.threads << "  time=" << s.seconds << "s"
+                  << "  evaluations=" << s.stats.evaluated
+                  << "  compiles=" << s.stats.signature_compiles
+                  << "  compile-hits=" << s.stats.signature_cache_hits << "\n";
+      }
+      const Sample& leg = samples[samples.size() - 2];
+      const Sample& sig = samples.back();
+      std::cout << "  -> signature speedup " << leg.seconds / sig.seconds
+                << "x at threads=" << sig.threads << "\n";
+    }
+  }
+
+  // Every run must agree per point — engine, prune setting and thread count
+  // may change the work done, never the answer.
+  bool identical = true;
+  const std::size_t n_points = samples.front().best.size();
+  for (const Sample& s : samples) {
+    for (std::size_t p = 0; p < n_points; ++p) {
+      if (!same_optimum(samples.front().best[p], s.best[p])) {
+        identical = false;
+        std::cerr << "OPTIMUM MISMATCH at grid point " << p << " ("
+                  << (s.use_signatures ? "signature" : "legacy")
+                  << ", prune=" << s.prune << ", threads=" << s.threads
+                  << ")\n";
+      }
+    }
+  }
+
+  write_json(samples, n_points, identical, "BENCH_sweep.json");
+  std::cout << "wrote BENCH_sweep.json\n";
+  if (!identical) {
+    std::cerr << "per-point optima differ between runs\n";
+    return 1;
+  }
+  std::cout << "all per-point optima bitwise identical across engines\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // `--driver` (or no google-benchmark flags) runs the A/B driver that
+  // emits BENCH_sweep.json; benchmark flags run the registered cases.
+  const bool no_args = argc == 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--driver") return run_driver();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (no_args) return run_driver();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -487,4 +487,87 @@ void assert_layer_invariants(const model::TransformerConfig& mdl,
   }
 }
 
+LintReport lint_signature(const model::TransformerConfig& mdl,
+                          const parallel::ParallelConfig& cfg,
+                          const core::CostSignature& sig,
+                          const parallel::LayerCost& layer,
+                          const LintOptions& opts) {
+  (void)mdl;
+  LintReport report;
+  const auto diag = [&](const std::string& rule, const std::string& op,
+                        double expected, double actual,
+                        const std::string& what) {
+    std::ostringstream msg;
+    msg << what << ": expected " << expected << ", got " << actual;
+    report.diagnostics.push_back(
+        {rule, op, expected, actual, msg.str(), Severity::kError});
+  };
+  const auto nonneg = [&](const std::string& op, double v,
+                          const std::string& what) {
+    if (v < 0) diag("signature-nonnegative", op, 0.0, v, what + " < 0");
+  };
+
+  for (std::size_t i = 0; i < sig.ops.size(); ++i) {
+    const core::SigOp& op = sig.ops[i];
+    const std::string name = "op[" + std::to_string(i) + "]";
+    nonneg(name, op.fwd_flops.value(), "fwd flops");
+    nonneg(name, op.bwd_flops.value(), "bwd flops");
+    nonneg(name, op.fwd_bytes.value(), "fwd bytes");
+    nonneg(name, op.bwd_bytes.value(), "bwd bytes");
+    if (op.panels < 1) {
+      diag("signature-nonnegative", name, 1.0,
+           static_cast<double>(op.panels), "panels < 1");
+    }
+  }
+  for (const core::SigComm& c : sig.comm) {
+    nonneg("<comm>", c.bytes.value(), "collective volume");
+  }
+  nonneg("<layer>", sig.stored_activation_bytes.value(), "stored activations");
+  nonneg("<layer>", sig.pp_boundary_bytes.value(), "pp boundary bytes");
+  nonneg("<layer>", sig.weight_params, "weight params");
+  nonneg("<mem>", sig.mem.weights.value(), "weight memory");
+  nonneg("<mem>", sig.mem.gradients.value(), "gradient memory");
+  nonneg("<mem>", sig.mem.optimizer.value(), "optimizer memory");
+  nonneg("<mem>", sig.mem.activations.value(), "activation memory");
+
+  if (sig.ops.size() != layer.ops.size()) {
+    diag("signature-op-count", "<layer>",
+         static_cast<double>(layer.ops.size()),
+         static_cast<double>(sig.ops.size()), "op record count");
+  }
+
+  const auto match = [&](const std::string& rule, const std::string& op,
+                         double expected, double actual,
+                         const std::string& what) {
+    if (rel_diff(expected, actual) > opts.bytes_rtol) {
+      diag(rule, op, expected, actual, what);
+    }
+  };
+  match("signature-flop-total", "<layer>", layer.fwd_flops().value(),
+        sig.fwd_flops().value(), "forward FLOP total");
+  match("signature-flop-total", "<layer>", layer.bwd_flops().value(),
+        sig.bwd_flops().value(), "backward FLOP total");
+  match("signature-hbm-total", "<layer>", layer.fwd_hbm_bytes().value(),
+        sig.fwd_hbm_bytes().value(), "forward HBM total");
+  match("signature-hbm-total", "<layer>", layer.bwd_hbm_bytes().value(),
+        sig.bwd_hbm_bytes().value(), "backward HBM total");
+  for (CommGroup g : {CommGroup::TP1, CommGroup::TP2, CommGroup::DP,
+                      CommGroup::PP}) {
+    const auto gi = static_cast<std::size_t>(g);
+    match("signature-comm-volume", "<group " + std::to_string(gi) + ">",
+          layer.fwd_comm_bytes(g).value(), sig.fwd_comm_volume[gi].value(),
+          "forward collective volume");
+    match("signature-comm-volume", "<group " + std::to_string(gi) + ">",
+          layer.bwd_comm_bytes(g).value(), sig.bwd_comm_volume[gi].value(),
+          "backward collective volume");
+  }
+  match("signature-stored-bytes", "<layer>", layer.stored_bytes().value(),
+        sig.stored_activation_bytes.value(), "stored activation bytes");
+  match("signature-pp-boundary", "<layer>", layer.pp_boundary_bytes.value(),
+        sig.pp_boundary_bytes.value(), "pipeline boundary bytes");
+
+  (void)cfg;
+  return report;
+}
+
 }  // namespace tfpe::analysis

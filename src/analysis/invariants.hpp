@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cost_signature.hpp"
 #include "model/transformer.hpp"
 #include "parallel/layer_builder.hpp"
 #include "parallel/parallel_config.hpp"
@@ -96,5 +97,24 @@ void assert_layer_invariants(const model::TransformerConfig& mdl,
                              const parallel::ParallelConfig& cfg,
                              std::int64_t local_microbatch,
                              const parallel::LayerCost& layer);
+
+/// Lint a compiled CostSignature against the layer it was lowered from:
+///   signature-nonnegative  every roofline operand, collective volume and
+///                          memory term is >= 0 (panels >= 1)
+///   signature-op-count     one SigOp per layer op
+///   signature-flop-total   per-class FLOP sums reproduce the layer's
+///                          fwd/bwd totals (and thereby inherit the
+///                          analyzer's serial-block flop-invariance, which
+///                          lint_layer checks on the same layer)
+///   signature-hbm-total    per-class HBM byte sums reproduce the layer's
+///   signature-comm-volume  per-group fwd/bwd collective volumes match the
+///                          layer's fwd/bwd_comm_bytes extraction hooks
+///   signature-stored-bytes stored activations match layer.stored_bytes()
+///   signature-pp-boundary  the pipeline handoff volume is preserved
+LintReport lint_signature(const model::TransformerConfig& mdl,
+                          const parallel::ParallelConfig& cfg,
+                          const core::CostSignature& sig,
+                          const parallel::LayerCost& layer,
+                          const LintOptions& opts = {});
 
 }  // namespace tfpe::analysis

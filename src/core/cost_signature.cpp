@@ -1,0 +1,335 @@
+#include "core/cost_signature.hpp"
+
+#include <algorithm>
+
+#include "analysis/invariants.hpp"
+#include "comm/collective_model.hpp"
+#include "ops/op_factory.hpp"
+#include "pipeline/pipeline_model.hpp"
+
+namespace tfpe::core {
+
+namespace {
+
+comm::GroupPlacement placement_for(const parallel::ParallelConfig& cfg,
+                                   ops::CommGroup group) {
+  switch (group) {
+    case ops::CommGroup::TP1: return {cfg.n1, cfg.nvs1};
+    case ops::CommGroup::TP2: return {cfg.n2, cfg.nvs2};
+    case ops::CommGroup::DP: return {cfg.nd, cfg.nvsd};
+    case ops::CommGroup::PP: return {cfg.np, cfg.nvsp};
+  }
+  return {1, 1};
+}
+
+/// Exposed collective time of one op pass: the request sum at per-panel
+/// volume, with the SUMMA prologue/overlap model against the panel's
+/// roofline time. Mirrors core::op_time's comm path bitwise.
+Seconds exposed_comm(const CostSignature& sig, std::uint32_t begin,
+                     std::uint32_t count, std::int64_t panels, Seconds t_panel,
+                     const hw::SystemConfig& sys,
+                     const parallel::ParallelConfig& cfg) {
+  const double inv_panels = 1.0 / static_cast<double>(panels);
+  Seconds t_panel_comm;
+  for (std::uint32_t i = begin; i < begin + count; ++i) {
+    const SigComm& req = sig.comm[i];
+    t_panel_comm +=
+        comm::collective_time(sys.net, req.collective, req.bytes * inv_panels,
+                              placement_for(cfg, req.group));
+  }
+  if (panels == 1) return t_panel_comm;
+  return t_panel_comm + std::max(Seconds(0), t_panel_comm - t_panel) *
+                            static_cast<double>(panels - 1);
+}
+
+constexpr std::size_t group_index(ops::CommGroup g) {
+  return static_cast<std::size_t>(g);
+}
+
+}  // namespace
+
+CostSignature compile_signature(const model::TransformerConfig& mdl,
+                                const parallel::ParallelConfig& cfg,
+                                std::int64_t global_batch,
+                                const parallel::LayerCost& layer,
+                                const EvalOptions& opts) {
+  CostSignature sig;
+  sig.microbatches = cfg.microbatches;
+  sig.np = cfg.np;
+  sig.layers_per_stage = mdl.depth / cfg.np;
+  sig.local_microbatch = cfg.local_microbatch(global_batch);
+
+  sig.ops.reserve(layer.ops.size());
+  for (const auto& op : layer.ops) {
+    SigOp s;
+    s.fwd_flops = op.fwd_flops;
+    s.fwd_bytes = op.fwd_bytes;
+    s.bwd_flops = op.bwd_flops;
+    s.bwd_bytes = op.bwd_bytes;
+    s.panels = std::max<std::int64_t>(1, op.summa_panels);
+    s.tensor_core = op.unit == ops::ComputeUnit::TensorCore;
+    s.fwd_comm_begin = static_cast<std::uint32_t>(sig.comm.size());
+    for (const auto& req : op.fwd_comm) {
+      sig.comm.push_back({req.collective, req.group, req.bytes});
+      sig.fwd_comm_volume[group_index(req.group)] += req.bytes;
+    }
+    s.fwd_comm_count =
+        static_cast<std::uint32_t>(sig.comm.size()) - s.fwd_comm_begin;
+    s.bwd_comm_begin = static_cast<std::uint32_t>(sig.comm.size());
+    for (const auto& req : op.bwd_comm) {
+      sig.comm.push_back({req.collective, req.group, req.bytes});
+      sig.bwd_comm_volume[group_index(req.group)] += req.bytes;
+    }
+    s.bwd_comm_count =
+        static_cast<std::uint32_t>(sig.comm.size()) - s.bwd_comm_begin;
+    if (s.tensor_core) {
+      sig.matmul_fwd_flops += op.fwd_flops;
+      sig.matmul_bwd_flops += op.bwd_flops;
+      sig.matmul_fwd_bytes += op.fwd_bytes;
+      sig.matmul_bwd_bytes += op.bwd_bytes;
+    } else {
+      sig.vector_fwd_flops += op.fwd_flops;
+      sig.vector_bwd_flops += op.bwd_flops;
+      sig.vector_fwd_bytes += op.fwd_bytes;
+      sig.vector_bwd_bytes += op.bwd_bytes;
+    }
+    sig.ops.push_back(s);
+  }
+
+  sig.stored_activation_bytes = layer.stored_bytes();
+  sig.pp_boundary_bytes = layer.pp_boundary_bytes;
+  sig.weight_params = layer.weight_params;
+  const double Ld = static_cast<double>(sig.layers_per_stage);
+  sig.stage_params = layer.weight_params * Ld;
+  sig.dp_group_includes_tp2 = layer.dp_group_includes_tp2;
+  sig.dp_size = cfg.nd;
+  if (layer.dp_group_includes_tp2) sig.dp_size *= cfg.n2;
+  sig.dp_grad_bytes = Bytes(2.0 * sig.stage_params);
+  double opt_shard = static_cast<double>(cfg.nd);
+  if (layer.dp_group_includes_tp2) opt_shard *= static_cast<double>(cfg.n2);
+  sig.opt_shard = opt_shard;
+  sig.optimizer_traffic = Bytes(28.0 * sig.stage_params / opt_shard);
+
+  if (mdl.vocab > 0) {
+    const double B = static_cast<double>(sig.local_microbatch);
+    const double tokens2 =
+        B * static_cast<double>(mdl.seq_len) / static_cast<double>(cfg.n2);
+    const double Vshard =
+        static_cast<double>(mdl.vocab) / static_cast<double>(cfg.n1);
+    const ops::Op logits = ops::matmul(
+        "lm_head", tokens2, Vshard, static_cast<double>(mdl.embed));
+    const ops::Op loss = ops::vector_op("softmax_xent", tokens2 * Vshard, 6.0,
+                                        tokens2 * Vshard);
+    const ops::Op embed_gather =
+        ops::vector_op("embedding", tokens2 * static_cast<double>(mdl.embed),
+                       1.0, 0.0);
+    for (const ops::Op* op : {&logits, &loss, &embed_gather}) {
+      sig.head.push_back({op->fwd_flops, op->fwd_bytes, op->bwd_flops,
+                          op->bwd_bytes,
+                          op->unit == ops::ComputeUnit::TensorCore});
+    }
+    sig.head_weight_params = static_cast<double>(mdl.vocab) *
+                             static_cast<double>(mdl.embed) /
+                             static_cast<double>(cfg.n1);
+  }
+
+  const std::int64_t in_flight =
+      pipeline::in_flight_microbatches(cfg.np, cfg.microbatches);
+  sig.mem = memory::compute_memory(layer, cfg, sig.layers_per_stage, in_flight);
+  if (opts.activation_recompute) {
+    sig.mem.activations =
+        layer.pp_boundary_bytes * (Ld * static_cast<double>(in_flight));
+  }
+  sig.mem.activations *= 1.0 - opts.activation_offload;
+  if (sig.head_weight_params > 0) {
+    sig.mem.weights += Bytes(2.0 * sig.head_weight_params);
+    sig.mem.gradients += Bytes(2.0 * sig.head_weight_params);
+    sig.mem.optimizer += Bytes(12.0 * sig.head_weight_params / opt_shard);
+  }
+  return sig;
+}
+
+CostSignature compile_signature(const model::TransformerConfig& mdl,
+                                const parallel::ParallelConfig& cfg,
+                                std::int64_t global_batch,
+                                const EvalOptions& opts) {
+  const std::int64_t local = cfg.local_microbatch(global_batch);
+  const parallel::LayerCost layer = parallel::build_layer(mdl, cfg, local);
+#ifndef NDEBUG
+  analysis::assert_layer_invariants(mdl, cfg, local, layer);
+#endif
+  return compile_signature(mdl, cfg, global_batch, layer, opts);
+}
+
+SystemTiming bind_system(const CostSignature& sig, const hw::SystemConfig& sys,
+                         const EvalOptions& opts) {
+  SystemTiming bt;
+  Seconds fwd_c, fwd_m, bwd_c, bwd_m;
+  for (const SigOp& op : sig.ops) {
+    const PanelRoofline f =
+        panel_roofline(op.fwd_flops, op.fwd_bytes, op.panels, op.tensor_core,
+                       sys.gpu);
+    const PanelRoofline b =
+        panel_roofline(op.bwd_flops, op.bwd_bytes, op.panels, op.tensor_core,
+                       sys.gpu);
+    fwd_c += f.compute;
+    fwd_m += f.memory;
+    bwd_c += b.compute;
+    bwd_m += b.memory;
+    if (opts.activation_recompute) {
+      bwd_c += f.compute;
+      bwd_m += f.memory;
+    }
+    if (op.panels > 1) bt.summa_panel_time.push_back({f.t_panel, b.t_panel});
+  }
+
+  if (opts.activation_offload > 0) {
+    const Seconds per_micro = sig.stored_activation_bytes *
+                              (2.0 * opts.activation_offload) /
+                              sys.host_bandwidth;
+    fwd_m += per_micro * 0.5;
+    bwd_m += per_micro * 0.5;
+  }
+
+  Seconds head_fwd_c, head_fwd_m, head_bwd_c, head_bwd_m;
+  for (const SigHeadOp& op : sig.head) {
+    const PanelRoofline f =
+        panel_roofline(op.fwd_flops, op.fwd_bytes, 1, op.tensor_core, sys.gpu);
+    const PanelRoofline b =
+        panel_roofline(op.bwd_flops, op.bwd_bytes, 1, op.tensor_core, sys.gpu);
+    head_fwd_c += f.compute;
+    head_fwd_m += f.memory;
+    head_bwd_c += b.compute;
+    head_bwd_m += b.memory;
+  }
+
+  const double Ld = static_cast<double>(sig.layers_per_stage);
+  const double md = static_cast<double>(sig.microbatches);
+  bt.time_compute =
+      (((fwd_c + bwd_c) * Ld + head_fwd_c + head_bwd_c) * md).value();
+  bt.time_memory =
+      (((fwd_m + bwd_m) * Ld + head_fwd_m + head_bwd_m) * md).value();
+  bt.optimizer = (sig.optimizer_traffic / sys.gpu.hbm_bandwidth).value();
+  bt.fwd_cm = fwd_c + fwd_m;
+  bt.bwd_cm = bwd_c + bwd_m;
+  bt.head_fwd_cm = head_fwd_c + head_fwd_m;
+  bt.head_bwd_cm = head_bwd_c + head_bwd_m;
+  return bt;
+}
+
+PlacementTiming time_placement(const CostSignature& sig,
+                               const SystemTiming& base,
+                               const hw::SystemConfig& sys,
+                               const parallel::ParallelConfig& cfg,
+                               const EvalOptions& opts) {
+  PlacementTiming out;
+
+  const double Ld = static_cast<double>(sig.layers_per_stage);
+  const double md = static_cast<double>(sig.microbatches);
+
+  // Exposed communication per op, in op order — the only placement-
+  // dependent part of the per-microbatch stage time.
+  Seconds fwd_comm, bwd_comm;
+  std::size_t summa = 0;
+  for (const SigOp& op : sig.ops) {
+    std::array<Seconds, 2> panel{};
+    if (op.panels > 1) panel = base.summa_panel_time[summa++];
+    Seconds f_comm, b_comm;
+    if (op.fwd_comm_count > 0) {
+      f_comm = exposed_comm(sig, op.fwd_comm_begin, op.fwd_comm_count,
+                            op.panels, panel[0], sys, cfg);
+    }
+    if (op.bwd_comm_count > 0) {
+      b_comm = exposed_comm(sig, op.bwd_comm_begin, op.bwd_comm_count,
+                            op.panels, panel[1], sys, cfg);
+    }
+    if (op.panels <= 1 && opts.tp_overlap > 0) {
+      f_comm *= 1.0 - opts.tp_overlap;
+      b_comm *= 1.0 - opts.tp_overlap;
+    }
+    fwd_comm += f_comm;
+    bwd_comm += b_comm;
+    if (opts.activation_recompute) bwd_comm += f_comm;
+  }
+
+  const Seconds t_fwd_micro = (base.fwd_cm + fwd_comm) * Ld;
+  const Seconds t_bwd_micro = (base.bwd_cm + bwd_comm) * Ld;
+  Seconds t_fwd_stage = t_fwd_micro;
+  Seconds t_bwd_stage = t_bwd_micro;
+  if (!sig.head.empty()) {
+    t_fwd_stage += base.head_fwd_cm;
+    t_bwd_stage += base.head_bwd_cm;
+  }
+  out.t_fwd_stage = t_fwd_stage;
+  out.t_bwd_stage = t_bwd_stage;
+
+  out.time.compute = base.time_compute;
+  out.time.memory = base.time_memory;
+  out.time.tp_comm = ((fwd_comm + bwd_comm) * (md * Ld)).value();
+  out.time.bubble =
+      pipeline::bubble_time(cfg.np, t_fwd_stage, t_bwd_stage, cfg.interleave)
+          .value();
+  out.time.pp_comm =
+      pipeline::p2p_time(sys.net, cfg.np, sig.microbatches,
+                         sig.pp_boundary_bytes, cfg.nvsp > 1 ? 2 : 1,
+                         cfg.interleave)
+          .value();
+
+  std::int64_t dp_nvs = cfg.nvsd;
+  if (sig.dp_group_includes_tp2) dp_nvs *= cfg.nvs2;
+  if (sig.dp_size > 1) {
+    const comm::GroupPlacement g{sig.dp_size, dp_nvs};
+    const Seconds t_rs = comm::collective_time(
+        sys.net, ops::Collective::ReduceScatter, sig.dp_grad_bytes, g);
+    const Seconds t_ag = comm::collective_time(
+        sys.net, ops::Collective::AllGather, sig.dp_grad_bytes, g);
+    if (cfg.zero == parallel::ZeroStage::kWeights) {
+      out.time.dp_comm = ((t_ag * 2.0 + t_rs) * (0.5 * md)).value();
+    } else {
+      out.time.dp_comm = (std::max(Seconds(0), t_rs - t_bwd_stage) +
+                          std::max(Seconds(0), t_ag - t_fwd_stage))
+                             .value();
+    }
+  }
+
+  out.time.optimizer = base.optimizer;
+  return out;
+}
+
+EvalResult time_signature(const CostSignature& sig, const SystemTiming& base,
+                          const model::TransformerConfig& mdl,
+                          const hw::SystemConfig& sys,
+                          const parallel::ParallelConfig& cfg,
+                          std::int64_t global_batch, const EvalOptions& opts) {
+  EvalResult res;
+  res.cfg = cfg;
+  if (auto why = cfg.invalid_reason(mdl, sys, global_batch)) {
+    res.reason = *why;
+    return res;
+  }
+
+  const PlacementTiming pt = time_placement(sig, base, sys, cfg, opts);
+  res.t_fwd_micro = pt.t_fwd_stage.value();
+  res.t_bwd_micro = pt.t_bwd_stage.value();
+  res.time = pt.time;
+
+  res.mem = sig.mem;
+  if (res.mem.total() > sys.gpu.hbm_capacity) {
+    res.reason = "exceeds HBM capacity";
+    return res;
+  }
+
+  res.feasible = true;
+  return res;
+}
+
+EvalResult time_signature(const CostSignature& sig,
+                          const model::TransformerConfig& mdl,
+                          const hw::SystemConfig& sys,
+                          const parallel::ParallelConfig& cfg,
+                          std::int64_t global_batch, const EvalOptions& opts) {
+  return time_signature(sig, bind_system(sig, sys, opts), mdl, sys, cfg,
+                        global_batch, opts);
+}
+
+}  // namespace tfpe::core

@@ -1,0 +1,226 @@
+#pragma once
+// Two-phase evaluation (build-once / re-time): hardware-invariant cost
+// signatures compiled from a built layer, timed against a system in O(ops).
+//
+// A configuration's S1 op list depends only on (model, parallel config,
+// microbatch) — never on the hardware — yet the paper's §IV sweeps re-run
+// the full evaluation per hardware point (GPU generation, NVS domain size,
+// bandwidth/capacity what-ifs). compile_signature() lowers a LayerCost into
+// a CostSignature once:
+//   * per-op roofline operands (FLOPs + HBM bytes per class, SUMMA panel
+//     structure, tensor-core vs vector unit),
+//   * flattened collective requests with per-group volumes,
+//   * the vocabulary-head ops and the stored-activation / pipeline-boundary
+//     bytes,
+//   * the full hardware-free memory breakdown (weights, gradients, Adam
+//     shard, in-flight activations) and the DP/optimizer traffic scalars.
+// Timing then splits again:
+//   * bind_system() — per (signature, system): the roofline dot products
+//     that do not depend on the NVS placement (compute/HBM time, optimizer
+//     update, SUMMA panel times);
+//   * time_signature() — per placement: collective latencies, pipeline
+//     bubble/P2P and the DP exposure, producing an EvalResult that is
+//     BITWISE identical to core::evaluate_with_layer (guarded by
+//     tests/test_signature.cpp). Keep the floating-point evaluation order
+//     in this file in lockstep with core/evaluator.cpp.
+//
+// Thread-safety: CostSignature and SystemTiming are immutable after
+// construction; any number of threads may share them. The compile phase is
+// pure. Cross-sweep sharing lives in search::SignatureCache.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "hw/system.hpp"
+#include "memory/memory_model.hpp"
+#include "model/transformer.hpp"
+#include "ops/op.hpp"
+#include "parallel/layer_builder.hpp"
+#include "parallel/parallel_config.hpp"
+
+namespace tfpe::core {
+
+/// Roofline of one op pass split per SUMMA panel: t_sf + max(flop, mem)
+/// per panel, attributed to compute or memory by the dominant side. This is
+/// the single source of the innermost evaluator arithmetic — core::op_time
+/// and the two-phase binder both call it, so they cannot drift apart.
+struct PanelRoofline {
+  Seconds compute;  ///< Attributed FLOP-bound time (all panels).
+  Seconds memory;   ///< Attributed memory-bound time (all panels).
+  Seconds t_panel;  ///< One panel (the SUMMA broadcast-overlap budget).
+};
+
+inline PanelRoofline panel_roofline(Flops flops, Bytes bytes,
+                                    std::int64_t panels, bool tensor_core,
+                                    const hw::GpuSpec& gpu) {
+  const FlopsPerSec peak = tensor_core ? gpu.tensor_flops : gpu.vector_flops;
+  const Seconds t_sf = tensor_core ? gpu.flops_latency : Seconds(0);
+  const double inv_panels = 1.0 / static_cast<double>(panels);
+  const Seconds t_flop = flops * inv_panels / peak;
+  const Seconds t_mem = bytes * inv_panels / gpu.hbm_bandwidth;
+  PanelRoofline out;
+  out.t_panel = t_sf + std::max(t_flop, t_mem);
+  if (t_flop >= t_mem) {
+    out.compute = out.t_panel * static_cast<double>(panels);
+  } else {
+    out.memory = out.t_panel * static_cast<double>(panels);
+  }
+  return out;
+}
+
+/// One flattened collective request (the signature's comm pool; ops index
+/// into it so the request vectors need no per-op allocation at time time).
+struct SigComm {
+  ops::Collective collective = ops::Collective::None;
+  ops::CommGroup group = ops::CommGroup::TP1;
+  Bytes bytes;  ///< Full tensor volume (per-panel scaling applied at time).
+};
+
+/// Roofline operands of one block op, forward and backward.
+struct SigOp {
+  Flops fwd_flops;
+  Bytes fwd_bytes;
+  Flops bwd_flops;
+  Bytes bwd_bytes;
+  std::int64_t panels = 1;   ///< SUMMA contraction panels (1 = plain op).
+  bool tensor_core = false;  ///< Tensor-core vs vector FLOP rate.
+  // [begin, begin+count) ranges into CostSignature::comm.
+  std::uint32_t fwd_comm_begin = 0;
+  std::uint32_t fwd_comm_count = 0;
+  std::uint32_t bwd_comm_begin = 0;
+  std::uint32_t bwd_comm_count = 0;
+};
+
+/// Vocabulary-head op (embedding gather / logits matmul / softmax+xent):
+/// compute + HBM only, no collectives, never SUMMA-split.
+struct SigHeadOp {
+  Flops fwd_flops;
+  Bytes fwd_bytes;
+  Flops bwd_flops;
+  Bytes bwd_bytes;
+  bool tensor_core = false;
+};
+
+/// Hardware-invariant compilation of one candidate: everything the time
+/// phase needs, with no reference back to the op list. Valid for any
+/// hw::SystemConfig and any NVS placement of the same (n1, n2, np, nd);
+/// also interleave-invariant (the schedule enters only at time time).
+/// Depends on EvalOptions (recompute/offload shape the memory breakdown),
+/// so cache signatures per (model, global batch, EvalOptions).
+struct CostSignature {
+  // Identity of the hardware-free slice this was compiled for.
+  std::int64_t microbatches = 1;      ///< m
+  std::int64_t np = 1;                ///< pipeline stages
+  std::int64_t layers_per_stage = 1;  ///< depth / np
+  std::int64_t local_microbatch = 1;  ///< b / (nd * m)
+
+  std::vector<SigOp> ops;
+  std::vector<SigComm> comm;   ///< Flattened fwd+bwd requests of all ops.
+  std::vector<SigHeadOp> head; ///< Empty when the model has no vocabulary.
+  double head_weight_params = 0;
+
+  Bytes stored_activation_bytes;  ///< Per microbatch per block.
+  Bytes pp_boundary_bytes;        ///< Pipeline handoff per microbatch.
+  double weight_params = 0;       ///< Per block.
+  double stage_params = 0;        ///< weight_params * layers_per_stage.
+  bool dp_group_includes_tp2 = false;
+  std::int64_t dp_size = 1;  ///< nd (x n2 when the flag is set).
+  Bytes dp_grad_bytes;       ///< 2 B/param gradient volume per stage.
+  double opt_shard = 1;      ///< Adam shard width (dp_size).
+  Bytes optimizer_traffic;   ///< 28 B/param HBM traffic of the Adam update.
+
+  /// Busiest-GPU residency, hardware-free (recompute override, offload
+  /// fraction and head-shard adjustments already applied).
+  memory::MemoryBreakdown mem;
+
+  // Aggregate totals per op class and comm group — summaries for the
+  // invariant analyzer and reports; the per-op records drive the timing.
+  Flops matmul_fwd_flops, matmul_bwd_flops;
+  Bytes matmul_fwd_bytes, matmul_bwd_bytes;
+  Flops vector_fwd_flops, vector_bwd_flops;
+  Bytes vector_fwd_bytes, vector_bwd_bytes;
+  std::array<Bytes, 4> fwd_comm_volume{};  ///< Indexed by ops::CommGroup.
+  std::array<Bytes, 4> bwd_comm_volume{};
+
+  Flops fwd_flops() const { return matmul_fwd_flops + vector_fwd_flops; }
+  Flops bwd_flops() const { return matmul_bwd_flops + vector_bwd_flops; }
+  Bytes fwd_hbm_bytes() const { return matmul_fwd_bytes + vector_fwd_bytes; }
+  Bytes bwd_hbm_bytes() const { return matmul_bwd_bytes + vector_bwd_bytes; }
+};
+
+/// Lower a built layer into its signature. `cfg` must satisfy the
+/// hardware-free divisibility constraints (np | depth, nd*m | b, ...);
+/// the placement fields are ignored. `layer` must match cfg's parallel
+/// dims and local microbatch, as for evaluate_with_layer.
+CostSignature compile_signature(const model::TransformerConfig& mdl,
+                                const parallel::ParallelConfig& cfg,
+                                std::int64_t global_batch,
+                                const parallel::LayerCost& layer,
+                                const EvalOptions& opts = {});
+
+/// Convenience: build the layer, then compile. Debug builds cross-check the
+/// op list against the invariant analyzer first (same hook as the
+/// single-phase evaluator).
+CostSignature compile_signature(const model::TransformerConfig& mdl,
+                                const parallel::ParallelConfig& cfg,
+                                std::int64_t global_batch,
+                                const EvalOptions& opts = {});
+
+/// Placement-independent part of timing a signature on one system: the
+/// roofline dot products over the op records. Amortizes across the NVS
+/// placement scan — per placement only the collective terms remain.
+struct SystemTiming {
+  double time_compute = 0;  ///< TimeBreakdown::compute, all microbatches.
+  double time_memory = 0;   ///< TimeBreakdown::memory.
+  double optimizer = 0;     ///< TimeBreakdown::optimizer.
+  Seconds fwd_cm;           ///< Per-microbatch per-block compute+memory.
+  Seconds bwd_cm;
+  Seconds head_fwd_cm;      ///< Head compute+memory per microbatch.
+  Seconds head_bwd_cm;
+  /// (fwd t_panel, bwd t_panel) for each SUMMA op, in op order — the
+  /// overlap budget of the panel broadcasts (empty for non-SUMMA layers).
+  std::vector<std::array<Seconds, 2>> summa_panel_time;
+};
+
+SystemTiming bind_system(const CostSignature& sig, const hw::SystemConfig& sys,
+                         const EvalOptions& opts = {});
+
+/// Placement-dependent timing terms: the full TimeBreakdown (base fields
+/// copied through, collective/pipeline/DP terms computed for cfg's NVS
+/// placement) plus the per-microbatch stage times. This is the inner body
+/// of time_signature without validity checks or EvalResult packaging — the
+/// placement scan calls it directly, so every statement must stay in FP
+/// lockstep with evaluate_with_layer.
+struct PlacementTiming {
+  TimeBreakdown time;
+  Seconds t_fwd_stage;
+  Seconds t_bwd_stage;
+};
+
+PlacementTiming time_placement(const CostSignature& sig,
+                               const SystemTiming& base,
+                               const hw::SystemConfig& sys,
+                               const parallel::ParallelConfig& cfg,
+                               const EvalOptions& opts = {});
+
+/// Time a compiled signature for one concrete placement, reusing the bound
+/// system partial. Bitwise-identical to evaluate_with_layer on the layer
+/// the signature was compiled from (same mdl/cfg/batch/opts).
+EvalResult time_signature(const CostSignature& sig, const SystemTiming& base,
+                          const model::TransformerConfig& mdl,
+                          const hw::SystemConfig& sys,
+                          const parallel::ParallelConfig& cfg,
+                          std::int64_t global_batch,
+                          const EvalOptions& opts = {});
+
+/// One-shot convenience: bind + time.
+EvalResult time_signature(const CostSignature& sig,
+                          const model::TransformerConfig& mdl,
+                          const hw::SystemConfig& sys,
+                          const parallel::ParallelConfig& cfg,
+                          std::int64_t global_batch,
+                          const EvalOptions& opts = {});
+
+}  // namespace tfpe::core

@@ -5,6 +5,7 @@
 
 #include "analysis/invariants.hpp"
 #include "comm/collective_model.hpp"
+#include "core/cost_signature.hpp"
 #include "ops/op_factory.hpp"
 #include "pipeline/pipeline_model.hpp"
 
@@ -44,26 +45,17 @@ OpTime op_time(const ops::Op& op, bool backward, const hw::SystemConfig& sys,
   const Bytes bytes = backward ? op.bwd_bytes : op.fwd_bytes;
   const auto& reqs = backward ? op.bwd_comm : op.fwd_comm;
 
-  const FlopsPerSec peak = op.unit == ops::ComputeUnit::TensorCore
-                               ? sys.gpu.tensor_flops
-                               : sys.gpu.vector_flops;
-  const Seconds t_sf = op.unit == ops::ComputeUnit::TensorCore
-                           ? sys.gpu.flops_latency
-                           : Seconds(0);
-
-  OpTime out;
   const std::int64_t panels = std::max<std::int64_t>(1, op.summa_panels);
   const double inv_panels = 1.0 / static_cast<double>(panels);
 
-  // Per-panel roofline (panels == 1 for everything but SUMMA multiplies).
-  const Seconds t_flop = flops * inv_panels / peak;
-  const Seconds t_mem = bytes * inv_panels / sys.gpu.hbm_bandwidth;
-  const Seconds t_panel = t_sf + std::max(t_flop, t_mem);
-  if (t_flop >= t_mem) {
-    out.compute = t_panel * static_cast<double>(panels);
-  } else {
-    out.memory = t_panel * static_cast<double>(panels);
-  }
+  // Per-panel roofline (panels == 1 for everything but SUMMA multiplies);
+  // shared with the two-phase binder so both evaluators time ops with the
+  // exact same arithmetic.
+  const PanelRoofline r = panel_roofline(
+      flops, bytes, panels, op.unit == ops::ComputeUnit::TensorCore, sys.gpu);
+  OpTime out;
+  out.compute = r.compute;
+  out.memory = r.memory;
 
   if (reqs.empty()) return out;
   const Seconds t_panel_comm = comm_time(reqs, sys, cfg, inv_panels);
@@ -75,7 +67,7 @@ OpTime op_time(const ops::Op& op, bool backward, const hw::SystemConfig& sys,
     // SUMMA: the first panel's broadcasts are a prologue; later panels'
     // broadcasts overlap the previous panel's matmul and only the excess is
     // exposed (Appendix A).
-    out.comm = t_panel_comm + std::max(Seconds(0), t_panel_comm - t_panel) *
+    out.comm = t_panel_comm + std::max(Seconds(0), t_panel_comm - r.t_panel) *
                                   static_cast<double>(panels - 1);
   }
   return out;

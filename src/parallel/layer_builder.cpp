@@ -28,10 +28,26 @@ Bytes LayerCost::fwd_hbm_bytes() const {
   return sum;
 }
 
+Bytes LayerCost::bwd_hbm_bytes() const {
+  Bytes sum;
+  for (const auto& op : ops) sum += op.bwd_bytes;
+  return sum;
+}
+
 Bytes LayerCost::fwd_comm_bytes(ops::CommGroup group) const {
   Bytes sum;
   for (const auto& op : ops) {
     for (const auto& req : op.fwd_comm) {
+      if (req.group == group) sum += req.bytes;
+    }
+  }
+  return sum;
+}
+
+Bytes LayerCost::bwd_comm_bytes(ops::CommGroup group) const {
+  Bytes sum;
+  for (const auto& op : ops) {
+    for (const auto& req : op.bwd_comm) {
       if (req.group == group) sum += req.bytes;
     }
   }

@@ -35,8 +35,14 @@ struct LayerCost {
   Flops fwd_flops() const;
   Flops bwd_flops() const;
   Bytes fwd_hbm_bytes() const;
+  Bytes bwd_hbm_bytes() const;
   /// Sum of forward collective volumes over a given group.
   Bytes fwd_comm_bytes(ops::CommGroup group) const;
+  /// Sum of backward collective volumes over a given group. Together with
+  /// fwd_comm_bytes these are the extraction hooks the cost-signature
+  /// compiler's aggregate totals are checked against (analysis::
+  /// lint_signature).
+  Bytes bwd_comm_bytes(ops::CommGroup group) const;
 };
 
 /// Dispatches on cfg.strategy. `local_microbatch` is b/(nd*m).

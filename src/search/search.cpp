@@ -12,18 +12,13 @@
 
 namespace tfpe::search {
 
-namespace {
-
-/// True when `a` is strictly better: faster, or equal and lighter on HBM.
-bool better(const core::EvalResult& a, const core::EvalResult& b) {
+bool better_result(const core::EvalResult& a, const core::EvalResult& b) {
   if (!a.feasible) return false;
   if (!b.feasible) return true;
   if (a.iteration() != b.iteration()) return a.iteration() < b.iteration();
   return a.mem.total() < b.mem.total();
 }
 
-/// Greedy packing of the fast domain when placement search is disabled:
-/// give NVS GPUs to TP1 first, then TP2, PP, DP.
 void pack_placement(parallel::ParallelConfig& cfg, std::int64_t nvs_domain) {
   auto largest_divisor_leq = [](std::int64_t n, std::int64_t cap) {
     std::int64_t best = 1;
@@ -44,11 +39,70 @@ void pack_placement(parallel::ParallelConfig& cfg, std::int64_t nvs_domain) {
   cfg.nvsd = largest_divisor_leq(cfg.nd, budget);
 }
 
-/// Evaluate `cfg` under every placement in `placements`, returning the best
-/// result (shared by best_placement and both find_optimal engines).
-/// Increments `evals` once per evaluation. Infeasibility of a valid
-/// placement can only come from the (placement-independent) memory model,
-/// so `stop_after_infeasible` lets the pruned engine cut the scan short.
+core::EvalResult scan_placements_signature(
+    const model::TransformerConfig& mdl, const hw::SystemConfig& sys,
+    parallel::ParallelConfig cfg, std::int64_t global_batch,
+    const core::CostSignature& sig, const core::SystemTiming& base,
+    const std::vector<std::array<std::int64_t, 4>>& placements,
+    const core::EvalOptions& eval, std::size_t& evals,
+    bool stop_after_infeasible) {
+  if (placements.empty()) {
+    core::EvalResult best;
+    best.cfg = cfg;
+    best.reason = "no valid placement";
+    return best;
+  }
+  const auto apply = [&](std::size_t idx) {
+    cfg.nvs1 = placements[idx][0];
+    cfg.nvs2 = placements[idx][1];
+    cfg.nvsp = placements[idx][2];
+    cfg.nvsd = placements[idx][3];
+  };
+
+  // Feasibility is placement-invariant over an enumerate_placements list:
+  // every tuple satisfies the nvs divisibility + domain constraints by
+  // construction, and the remaining checks (validity, HBM capacity) do not
+  // read the placement fields. So decide it once. When infeasible, the
+  // reference scan keeps the first placement's result under
+  // stop_after_infeasible and the last one's otherwise — reproduce that.
+  apply(0);
+  const bool invalid = cfg.invalid_reason(mdl, sys, global_batch).has_value();
+  const bool over_capacity =
+      !invalid && sig.mem.total() > sys.gpu.hbm_capacity;
+  if (invalid || over_capacity) {
+    evals += stop_after_infeasible ? 1 : placements.size();
+    apply(stop_after_infeasible ? 0 : placements.size() - 1);
+    return core::time_signature(sig, base, mdl, sys, cfg, global_batch, eval);
+  }
+
+  // All placements feasible: argmin of the breakdown total, first index
+  // winning ties — exactly better_result's ordering when time and memory
+  // (placement-invariant) are equal. Only the winner is materialized into
+  // a full EvalResult.
+  std::size_t best_idx = 0;
+  double best_total = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    apply(i);
+    const core::PlacementTiming pt =
+        core::time_placement(sig, base, sys, cfg, eval);
+    ++evals;
+    const double total = pt.time.total();
+    if (total < best_total) {
+      best_total = total;
+      best_idx = i;
+    }
+  }
+  apply(best_idx);
+  return core::time_signature(sig, base, mdl, sys, cfg, global_batch, eval);
+}
+
+namespace {
+
+/// Single-phase variant of scan_placements_signature, used by the
+/// exhaustive reference engine (one full evaluate_with_layer per
+/// placement). Kept deliberately on the legacy path so the pruned/
+/// exhaustive equivalence tests compare the two-phase pipeline against an
+/// independent evaluation, not against itself.
 core::EvalResult scan_placements(
     const model::TransformerConfig& mdl, const hw::SystemConfig& sys,
     parallel::ParallelConfig cfg, std::int64_t global_batch,
@@ -67,7 +121,7 @@ core::EvalResult scan_placements(
     core::EvalResult r =
         core::evaluate_with_layer(mdl, sys, cfg, global_batch, layer, eval);
     ++evals;
-    if (better(r, best)) best = r;
+    if (better_result(r, best)) best = r;
     if (!r.feasible) {
       if (!best.feasible) best = r;  // keep a concrete reason
       if (stop_after_infeasible) break;
@@ -76,8 +130,10 @@ core::EvalResult scan_placements(
   return best;
 }
 
-/// Expand the enumerated parallelizations by the extension axes
-/// (interleave chunks, ZeRO stage, ring attention).
+}  // namespace
+
+// Expands the enumerated parallelizations by the extension axes
+// (interleave chunks, ZeRO stage, ring attention).
 std::vector<parallel::ParallelConfig> expand_candidates(
     const model::TransformerConfig& mdl, const hw::SystemConfig& sys,
     const SearchOptions& opts) {
@@ -107,6 +163,8 @@ std::vector<parallel::ParallelConfig> expand_candidates(
   }
   return configs;
 }
+
+namespace {
 
 void atomic_min(std::atomic<double>& target, double value) {
   double cur = target.load();
@@ -164,6 +222,7 @@ SweepState sweep(const model::TransformerConfig& mdl,
 
   LayerCostCache layer_cache;
   PlacementCache placement_cache;
+  SignatureCache signature_cache;
   enum : std::uint8_t { kPending, kInvalid, kMemPruned, kBoundPruned };
   std::vector<std::uint8_t> state(n, kPending);
   std::vector<double> lb(n, 0.0);
@@ -208,18 +267,24 @@ SweepState sweep(const model::TransformerConfig& mdl,
   std::atomic<double> incumbent{std::numeric_limits<double>::infinity()};
   std::atomic<std::size_t> racy_pruned{0};
 
+  // The pruned engine evaluates through the two-phase pipeline: compile the
+  // candidate once (shared across the interleave axis via the signature
+  // cache), bind the system once, then re-time per placement — the
+  // placement scan re-does only the collective/pipeline/DP terms instead of
+  // the whole op-list roofline.
   auto evaluate_candidate = [&](std::size_t i) {
     parallel::ParallelConfig cfg = st.configs[i];
-    const auto layer = layer_cache.get(mdl, cfg, b);
+    const auto sig = signature_cache.get(mdl, cfg, b, opts.eval, layer_cache);
+    const core::SystemTiming base = core::bind_system(*sig, sys, opts.eval);
     core::EvalResult r;
     if (opts.search_placement) {
       const auto placements = placement_cache.get(cfg, sys.nvs_domain);
-      r = scan_placements(mdl, sys, cfg, b, *layer, *placements, opts.eval,
-                          st.evals_per_config[i],
-                          /*stop_after_infeasible=*/true);
+      r = scan_placements_signature(mdl, sys, cfg, b, *sig, base, *placements,
+                                    opts.eval, st.evals_per_config[i],
+                                    /*stop_after_infeasible=*/true);
     } else {
       pack_placement(cfg, sys.nvs_domain);
-      r = core::evaluate_with_layer(mdl, sys, cfg, b, *layer, opts.eval);
+      r = core::time_signature(*sig, base, mdl, sys, cfg, b, opts.eval);
       st.evals_per_config[i] = 1;
     }
     if (r.feasible) atomic_min(incumbent, r.iteration());
@@ -306,6 +371,8 @@ SweepState sweep(const model::TransformerConfig& mdl,
   st.stats.layer_cache_hits = layer_cache.hits();
   st.stats.placement_sets = placement_cache.builds();
   st.stats.placement_cache_hits = placement_cache.hits();
+  st.stats.signature_compiles = signature_cache.compiles();
+  st.stats.signature_cache_hits = signature_cache.hits();
   return st;
 }
 
@@ -346,12 +413,15 @@ core::EvalResult best_placement(const model::TransformerConfig& mdl,
     best.reason = *why;
     return best;
   }
-  const parallel::LayerCost layer =
-      parallel::build_layer(mdl, cfg, cfg.local_microbatch(global_batch));
+  // Two-phase: compile once, bind once, re-time per placement.
+  const core::CostSignature sig =
+      core::compile_signature(mdl, cfg, global_batch, eval);
+  const core::SystemTiming base = core::bind_system(sig, sys, eval);
   std::size_t evals = 0;
-  return scan_placements(mdl, sys, cfg, global_batch, layer,
-                         enumerate_placements(cfg, sys.nvs_domain), eval,
-                         evals, /*stop_after_infeasible=*/false);
+  return scan_placements_signature(mdl, sys, cfg, global_batch, sig, base,
+                                   enumerate_placements(cfg, sys.nvs_domain),
+                                   eval, evals,
+                                   /*stop_after_infeasible=*/false);
 }
 
 SearchResult find_optimal(const model::TransformerConfig& mdl,
@@ -368,7 +438,7 @@ SearchResult find_optimal(const model::TransformerConfig& mdl,
   for (std::size_t i = 0; i < st.best_per_config.size(); ++i) {
     result.evaluated += st.evals_per_config[i];
     if (st.best_per_config[i].feasible) ++result.feasible;
-    if (better(st.best_per_config[i], result.best)) {
+    if (better_result(st.best_per_config[i], result.best)) {
       result.best = st.best_per_config[i];
     }
   }

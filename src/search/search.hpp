@@ -24,6 +24,7 @@
 
 #include <cstdint>
 
+#include "core/cost_signature.hpp"
 #include "core/evaluator.hpp"
 #include "search/enumerate.hpp"
 
@@ -89,6 +90,13 @@ struct SearchStats {
   /// enumerate_placements invocations / placement-set cache hits.
   std::size_t placement_sets = 0;
   std::size_t placement_cache_hits = 0;
+  /// compile_signature invocations / signature cache hits of the two-phase
+  /// engine. Distinct from the layer-cache counters: a layer hit reuses an
+  /// op LIST (hardware-free S1 counts), a signature hit reuses the full
+  /// COMPILED candidate (op records + memory breakdown + DP/optimizer
+  /// scalars), and a placement hit reuses the enumerated placement SET.
+  std::size_t signature_compiles = 0;
+  std::size_t signature_cache_hits = 0;
   /// Incumbent rounds executed by the pruned engine.
   std::size_t rounds = 0;
 };
@@ -129,5 +137,42 @@ core::EvalResult best_placement(const model::TransformerConfig& mdl,
                                 parallel::ParallelConfig cfg,
                                 std::int64_t global_batch,
                                 const core::EvalOptions& eval = {});
+
+// -- Building blocks shared with the cross-hardware sweep engine
+//    (search/sweep.hpp) ----------------------------------------------------
+
+/// True when `a` is strictly better than `b`: faster, or equally fast and
+/// lighter on HBM. find_optimal and run_sweep both reduce per-candidate
+/// results in candidate-index order with this predicate, which is what
+/// makes their optima identical configuration-for-configuration.
+bool better_result(const core::EvalResult& a, const core::EvalResult& b);
+
+/// The candidate parallelizations find_optimal scans: enumerate_parallel
+/// expanded by the interleave / ZeRO-3 / ring-attention axes. Depends on
+/// the system only through its GPU count (or opts.n_gpus), never on the
+/// GPU type or NVS domain size — a hardware sweep at fixed scale enumerates
+/// once and reuses the list for every grid point.
+std::vector<parallel::ParallelConfig> expand_candidates(
+    const model::TransformerConfig& mdl, const hw::SystemConfig& sys,
+    const SearchOptions& opts);
+
+/// Greedy packing of the fast domain when placement search is disabled:
+/// give NVS GPUs to TP1 first, then TP2, PP, DP.
+void pack_placement(parallel::ParallelConfig& cfg, std::int64_t nvs_domain);
+
+/// Evaluate a compiled candidate under every placement in `placements` via
+/// the two-phase path (per placement only the collective/pipeline/DP terms
+/// are recomputed), returning the best result. `sig`/`base` must come from
+/// compile_signature/bind_system for the same (mdl, cfg, batch, eval, sys).
+/// Increments `evals` once per placement evaluated. Infeasibility of a
+/// valid placement can only come from the placement-independent memory
+/// model, so `stop_after_infeasible` lets callers cut the scan short.
+core::EvalResult scan_placements_signature(
+    const model::TransformerConfig& mdl, const hw::SystemConfig& sys,
+    parallel::ParallelConfig cfg, std::int64_t global_batch,
+    const core::CostSignature& sig, const core::SystemTiming& base,
+    const std::vector<std::array<std::int64_t, 4>>& placements,
+    const core::EvalOptions& eval, std::size_t& evals,
+    bool stop_after_infeasible);
 
 }  // namespace tfpe::search

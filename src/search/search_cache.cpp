@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/invariants.hpp"
 #include "search/enumerate.hpp"
 
 namespace tfpe::search {
@@ -80,6 +81,62 @@ PlacementCache::get(const parallel::ParallelConfig& cfg,
           enumerate_placements(cfg, nvs_domain));
   shard.map.emplace(key, placements);
   return placements;
+}
+
+SignatureKey signature_key(const parallel::ParallelConfig& cfg) {
+  SignatureKey k;
+  k.strategy = cfg.strategy;
+  k.n1 = cfg.n1;
+  k.n2 = cfg.n2;
+  k.np = cfg.np;
+  k.nd = cfg.nd;
+  k.m = cfg.microbatches;
+  k.nb = cfg.nb;
+  k.ring_attention = cfg.ring_attention;
+  k.zero = cfg.zero;
+  return k;
+}
+
+std::size_t SignatureCache::KeyHash::operator()(const SignatureKey& k) const {
+  std::size_t h = static_cast<std::size_t>(k.strategy);
+  h = hash_combine(h, static_cast<std::size_t>(k.n1));
+  h = hash_combine(h, static_cast<std::size_t>(k.n2));
+  h = hash_combine(h, static_cast<std::size_t>(k.np));
+  h = hash_combine(h, static_cast<std::size_t>(k.nd));
+  h = hash_combine(h, static_cast<std::size_t>(k.m));
+  h = hash_combine(h, static_cast<std::size_t>(k.nb));
+  h = hash_combine(h, static_cast<std::size_t>(k.ring_attention));
+  h = hash_combine(h, static_cast<std::size_t>(k.zero));
+  return h;
+}
+
+std::shared_ptr<const core::CostSignature> SignatureCache::get(
+    const model::TransformerConfig& mdl, const parallel::ParallelConfig& cfg,
+    std::int64_t global_batch, const core::EvalOptions& opts,
+    LayerCostCache& layers) {
+  const SignatureKey key = signature_key(cfg);
+  Shard& shard = shards_[KeyHash{}(key) % kShards];
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  compiles_.fetch_add(1, std::memory_order_relaxed);
+  // Lock order is always signature shard -> layer shard, so the nested
+  // acquisition cannot deadlock against LayerCostCache users.
+  const auto layer = layers.get(mdl, cfg, global_batch);
+#ifndef NDEBUG
+  // Debug builds cross-check each compiled op list against the invariant
+  // analyzer, mirroring the single-phase evaluator's hook (once per
+  // compile instead of once per evaluation).
+  analysis::assert_layer_invariants(mdl, cfg, cfg.local_microbatch(global_batch),
+                                    *layer);
+#endif
+  auto sig = std::make_shared<const core::CostSignature>(
+      core::compile_signature(mdl, cfg, global_batch, *layer, opts));
+  shard.map.emplace(key, sig);
+  return sig;
 }
 
 }  // namespace tfpe::search

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/cost_signature.hpp"
 #include "model/transformer.hpp"
 #include "parallel/layer_builder.hpp"
 #include "parallel/parallel_config.hpp"
@@ -99,6 +100,60 @@ class PlacementCache {
   static constexpr std::size_t kShards = 16;
   std::array<Shard, kShards> shards_;
   std::atomic<std::size_t> builds_{0};
+  std::atomic<std::size_t> hits_{0};
+};
+
+/// The slice of a ParallelConfig that compile_signature's output depends on
+/// — a hardware-free key, so one cache instance can be shared across every
+/// hw::SystemConfig of a sweep. Excluded on purpose: the NVS placement
+/// fields and the interleave factor (signatures are invariant to both; the
+/// schedule enters only at time_signature). The key does NOT capture the
+/// model, the global batch or the EvalOptions: use one SignatureCache per
+/// (model, global batch, EvalOptions) tuple, as the search and the sweep
+/// engine do.
+struct SignatureKey {
+  parallel::TpStrategy strategy = parallel::TpStrategy::TP1D;
+  std::int64_t n1 = 1;
+  std::int64_t n2 = 1;
+  std::int64_t np = 1;
+  std::int64_t nd = 1;
+  std::int64_t m = 1;
+  std::int64_t nb = 1;
+  bool ring_attention = false;
+  parallel::ZeroStage zero = parallel::ZeroStage::kOptimizer;
+
+  bool operator==(const SignatureKey&) const = default;
+};
+
+SignatureKey signature_key(const parallel::ParallelConfig& cfg);
+
+class SignatureCache {
+ public:
+  /// The compiled CostSignature for cfg, compiling it on first use (the op
+  /// list comes from `layers`, so build_layer reuse across signatures is
+  /// still counted there). Thread-safe; the returned signature is immutable
+  /// and shared.
+  std::shared_ptr<const core::CostSignature> get(
+      const model::TransformerConfig& mdl, const parallel::ParallelConfig& cfg,
+      std::int64_t global_batch, const core::EvalOptions& opts,
+      LayerCostCache& layers);
+
+  std::size_t compiles() const { return compiles_.load(); }
+  std::size_t hits() const { return hits_.load(); }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const SignatureKey& k) const;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<SignatureKey,
+                       std::shared_ptr<const core::CostSignature>, KeyHash>
+        map;
+  };
+  static constexpr std::size_t kShards = 16;
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::size_t> compiles_{0};
   std::atomic<std::size_t> hits_{0};
 };
 

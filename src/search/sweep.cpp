@@ -1,0 +1,218 @@
+#include "search/sweep.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+
+#include "core/lower_bounds.hpp"
+#include "search/search_cache.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tfpe::search {
+
+namespace {
+
+struct PointOutcome {
+  core::EvalResult best;
+  std::size_t evaluated = 0;
+  std::size_t bound_pruned = 0;
+  std::size_t memory_pruned = 0;
+};
+
+/// One grid point: scan the shared candidate list sequentially,
+/// cheapest-lower-bound-first with a point-local incumbent. Sequential on
+/// purpose — the sweep's parallelism is across points, and a sequential
+/// scan both updates the incumbent after every single candidate (tighter
+/// than find_optimal's round barriers) and keeps the per-point counters
+/// independent of the worker count.
+PointOutcome scan_point(const model::TransformerConfig& mdl,
+                        const hw::SystemConfig& sys,
+                        const std::vector<parallel::ParallelConfig>& configs,
+                        const SweepOptions& opts, LayerCostCache& layer_cache,
+                        PlacementCache& placement_cache,
+                        SignatureCache& signature_cache) {
+  const std::int64_t b = opts.search.global_batch;
+  const core::EvalOptions& eval = opts.search.eval;
+  const std::size_t n = configs.size();
+  PointOutcome out;
+
+  std::vector<core::EvalResult> results(n);
+  std::vector<double> lb(n, 0.0);
+  std::vector<bool> pending(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const parallel::ParallelConfig& cfg = configs[i];
+    results[i].cfg = cfg;
+    if (auto why = cfg.invalid_reason(mdl, sys, b)) {
+      results[i].reason = *why;
+      continue;
+    }
+    if (opts.search.prune) {
+      const core::SearchBounds bounds =
+          core::search_bounds(mdl, sys, cfg, b, eval);
+      if (Bytes(bounds.memory_floor) > sys.gpu.hbm_capacity) {
+        results[i].reason = "exceeds HBM capacity";
+        ++out.memory_pruned;
+        continue;
+      }
+      lb[i] = bounds.time_floor;
+    }
+    pending[i] = true;
+  }
+
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pending[i]) order.push_back(i);
+  }
+  if (opts.search.prune) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t c) {
+      return lb[a] != lb[c] ? lb[a] < lb[c] : a < c;
+    });
+  }
+
+  double incumbent = std::numeric_limits<double>::infinity();
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const std::size_t i = order[pos];
+    if (opts.search.prune && lb[i] > incumbent) {
+      // The order is lb-sorted: everything from here on is provably slower
+      // than an achieved time (and a pruned candidate cannot tie, so the
+      // index-order reduction below still picks find_optimal's answer).
+      for (std::size_t j = pos; j < order.size(); ++j) {
+        results[order[j]].reason = "pruned: lower bound above incumbent";
+        ++out.bound_pruned;
+      }
+      break;
+    }
+    parallel::ParallelConfig cfg = configs[i];
+    const auto sig = signature_cache.get(mdl, cfg, b, eval, layer_cache);
+    const core::SystemTiming base = core::bind_system(*sig, sys, eval);
+    core::EvalResult r;
+    if (opts.search.search_placement) {
+      const auto placements = placement_cache.get(cfg, sys.nvs_domain);
+      std::size_t evals = 0;
+      r = scan_placements_signature(mdl, sys, cfg, b, *sig, base, *placements,
+                                    eval, evals,
+                                    /*stop_after_infeasible=*/opts.search.prune);
+      out.evaluated += evals;
+    } else {
+      pack_placement(cfg, sys.nvs_domain);
+      r = core::time_signature(*sig, base, mdl, sys, cfg, b, eval);
+      ++out.evaluated;
+    }
+    if (r.feasible && r.iteration() < incumbent) incumbent = r.iteration();
+    results[i] = std::move(r);
+  }
+
+  // Reduce in candidate-index order with the shared predicate — the same
+  // tie-breaking walk find_optimal performs, so the two agree bitwise even
+  // between equal-time configurations.
+  out.best.reason = "no feasible configuration";
+  for (std::size_t i = 0; i < n; ++i) {
+    if (better_result(results[i], out.best)) out.best = results[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+SweepResult run_sweep(const model::TransformerConfig& mdl,
+                      const std::vector<hw::SystemConfig>& points,
+                      const SweepOptions& opts) {
+  SweepResult out;
+  const std::size_t n = points.size();
+  out.best.resize(n);
+  out.evaluated_per_point.assign(n, 0);
+  out.stats.points = n;
+  if (n == 0) return out;
+
+  if (!opts.use_signatures) {
+    // Legacy workflow: one independent find_optimal per grid point, its
+    // worker pool getting the sweep's thread budget.
+    SearchOptions per_point = opts.search;
+    per_point.threads = opts.threads;
+    for (std::size_t i = 0; i < n; ++i) {
+      SearchResult r = find_optimal(mdl, points[i], per_point);
+      out.evaluated_per_point[i] = r.evaluated;
+      out.stats.candidates += r.stats.candidates;
+      out.stats.evaluated += r.evaluated;
+      out.stats.bound_pruned += r.stats.bound_pruned;
+      out.stats.memory_pruned += r.stats.memory_pruned;
+      out.stats.build_layer_calls += r.stats.build_layer_calls;
+      out.stats.layer_cache_hits += r.stats.layer_cache_hits;
+      out.stats.placement_sets += r.stats.placement_sets;
+      out.stats.placement_cache_hits += r.stats.placement_cache_hits;
+      out.stats.signature_compiles += r.stats.signature_compiles;
+      out.stats.signature_cache_hits += r.stats.signature_cache_hits;
+      if (r.best.feasible) ++out.stats.feasible_points;
+      out.best[i] = std::move(r.best);
+    }
+    return out;
+  }
+
+  // Candidates depend on the system only through its GPU count: enumerate
+  // once per distinct count and share the list across the grid.
+  std::map<std::int64_t,
+           std::shared_ptr<const std::vector<parallel::ParallelConfig>>>
+      by_scale;
+  std::vector<const std::vector<parallel::ParallelConfig>*> candidates(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t scale =
+        opts.search.n_gpus > 0 ? opts.search.n_gpus : points[i].n_gpus;
+    auto& slot = by_scale[scale];
+    if (!slot) {
+      slot = std::make_shared<const std::vector<parallel::ParallelConfig>>(
+          expand_candidates(mdl, points[i], opts.search));
+    }
+    candidates[i] = slot.get();
+  }
+  for (const auto& [scale, list] : by_scale) {
+    (void)scale;
+    out.stats.candidates += list->size();
+  }
+
+  // One set of caches for the whole sweep: signatures compiled for one grid
+  // point are re-timed everywhere else.
+  LayerCostCache layer_cache;
+  PlacementCache placement_cache;
+  SignatureCache signature_cache;
+
+  util::ThreadPool pool(opts.threads);
+  std::vector<PointOutcome> outcomes(n);
+  util::parallel_for_dynamic(pool, n, [&](std::size_t i) {
+    outcomes[i] = scan_point(mdl, points[i], *candidates[i], opts, layer_cache,
+                             placement_cache, signature_cache);
+  });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    out.evaluated_per_point[i] = outcomes[i].evaluated;
+    out.stats.evaluated += outcomes[i].evaluated;
+    out.stats.bound_pruned += outcomes[i].bound_pruned;
+    out.stats.memory_pruned += outcomes[i].memory_pruned;
+    if (outcomes[i].best.feasible) ++out.stats.feasible_points;
+    out.best[i] = std::move(outcomes[i].best);
+  }
+  out.stats.build_layer_calls = layer_cache.builds();
+  out.stats.layer_cache_hits = layer_cache.hits();
+  out.stats.placement_sets = placement_cache.builds();
+  out.stats.placement_cache_hits = placement_cache.hits();
+  out.stats.signature_compiles = signature_cache.compiles();
+  out.stats.signature_cache_hits = signature_cache.hits();
+  return out;
+}
+
+std::vector<hw::SystemConfig> hardware_grid(
+    const std::vector<hw::GpuGeneration>& gens,
+    const std::vector<std::int64_t>& nvs_domains, std::int64_t n_gpus) {
+  std::vector<hw::SystemConfig> grid;
+  grid.reserve(gens.size() * nvs_domains.size());
+  for (hw::GpuGeneration gen : gens) {
+    for (std::int64_t nvs : nvs_domains) {
+      grid.push_back(hw::make_system(gen, nvs, n_gpus));
+    }
+  }
+  return grid;
+}
+
+}  // namespace tfpe::search

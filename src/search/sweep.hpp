@@ -1,0 +1,103 @@
+#pragma once
+// Cross-hardware sweep engine (paper §IV Figs. 2-5, A2-A6): the optimal
+// configuration of one model at many hardware points — GPU generations,
+// NVS-domain sizes, bandwidth/capacity what-ifs — computed with the
+// two-phase evaluator so the hardware axis re-times compiled signatures
+// instead of re-running the full per-point search.
+//
+// Contrast with a find_optimal loop over the grid (the legacy workflow):
+//   * candidates are enumerated ONCE per distinct GPU count (the candidate
+//     space never depends on the GPU type or NVS size);
+//   * each candidate is compiled ONCE into a hardware-invariant
+//     CostSignature, shared across every grid point through a cross-sweep
+//     search::SignatureCache (and across the interleave axis within one
+//     point);
+//   * grid points fan out over util::parallel_for_dynamic — one worker per
+//     point, each scanning its candidates cheapest-lower-bound-first with a
+//     point-local incumbent (sequential within the point, so the per-point
+//     work counters are thread-count invariant);
+//   * per point only bind_system (one roofline dot product per candidate)
+//     and the placement-dependent collective/pipeline/DP terms are
+//     recomputed.
+// The per-point optima are IDENTICAL — configuration, time and memory
+// bits — to find_optimal run at that point (bench_sweep_scaling asserts
+// this on every run).
+//
+// Supported per-point result is the optimum only (top_k / pareto still go
+// through find_optimal / pareto_frontier).
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/system.hpp"
+#include "search/search.hpp"
+
+namespace tfpe::search {
+
+struct SweepOptions {
+  /// Candidate space + evaluation extensions, shared by every grid point.
+  /// `search.threads` is ignored (the sweep parallelizes across points, not
+  /// within them); `search.prune` selects bounds + incumbent pruning per
+  /// point; `search.top_k` is not supported here.
+  SearchOptions search;
+
+  /// Workers across grid points; 0 = hardware concurrency.
+  unsigned threads = 0;
+
+  /// Two-phase engine (default). False falls back to one find_optimal call
+  /// per grid point — the legacy workflow, kept for the A/B bench and the
+  /// --verify-legacy CLI mode; identical optima either way.
+  bool use_signatures = true;
+};
+
+/// Work counters for one sweep, aggregated over all grid points.
+struct SweepStats {
+  std::size_t points = 0;
+  std::size_t feasible_points = 0;
+  /// Candidate parallelizations per distinct GPU count, summed over the
+  /// distinct counts (NOT multiplied by the points sharing them).
+  std::size_t candidates = 0;
+  /// Placement evaluations (time_signature calls) over all points.
+  std::size_t evaluated = 0;
+  std::size_t bound_pruned = 0;
+  std::size_t memory_pruned = 0;
+  /// Cross-sweep compile sharing: compiles is the number of distinct
+  /// signatures actually lowered; hits counts every reuse (across grid
+  /// points and across the interleave axis).
+  std::size_t signature_compiles = 0;
+  std::size_t signature_cache_hits = 0;
+  std::size_t build_layer_calls = 0;
+  std::size_t layer_cache_hits = 0;
+  std::size_t placement_sets = 0;
+  std::size_t placement_cache_hits = 0;
+
+  double compile_hit_rate() const {
+    const std::size_t total = signature_compiles + signature_cache_hits;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(signature_cache_hits) /
+                     static_cast<double>(total);
+  }
+};
+
+struct SweepResult {
+  /// Best configuration per grid point, in input order (feasible == false
+  /// with a reason when nothing fits that point).
+  std::vector<core::EvalResult> best;
+  /// Placement evaluations per grid point (thread-count invariant).
+  std::vector<std::size_t> evaluated_per_point;
+  SweepStats stats;
+};
+
+/// Optimal configuration of `mdl` at every system in `points`.
+SweepResult run_sweep(const model::TransformerConfig& mdl,
+                      const std::vector<hw::SystemConfig>& points,
+                      const SweepOptions& opts);
+
+/// The Fig. 2-style grid: every (generation, NVS-domain size) pair at a
+/// fixed GPU count, generations outer.
+std::vector<hw::SystemConfig> hardware_grid(
+    const std::vector<hw::GpuGeneration>& gens,
+    const std::vector<std::int64_t>& nvs_domains, std::int64_t n_gpus);
+
+}  // namespace tfpe::search

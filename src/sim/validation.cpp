@@ -125,4 +125,23 @@ ValidationPoint validate_iteration(const model::TransformerConfig& mdl,
   return point;
 }
 
+PipelineParams pipeline_params_from_signature(
+    const hw::SystemConfig& sys, const parallel::ParallelConfig& cfg,
+    const core::CostSignature& sig, const core::EvalOptions& opts) {
+  const core::SystemTiming base = core::bind_system(sig, sys, opts);
+  const core::PlacementTiming pt =
+      core::time_placement(sig, base, sys, cfg, opts);
+  PipelineParams params;
+  params.stages = sig.np;
+  params.microbatches = sig.microbatches;
+  params.t_fwd = pt.t_fwd_stage;
+  params.t_bwd = pt.t_bwd_stage;
+  if (sig.np > 1) {
+    params.t_p2p = comm::collective_time(
+        sys.net, ops::Collective::PointToPoint, sig.pp_boundary_bytes,
+        {.size = 2, .nvs = cfg.nvsp > 1 ? 2 : 1});
+  }
+  return params;
+}
+
 }  // namespace tfpe::sim

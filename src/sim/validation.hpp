@@ -10,7 +10,9 @@
 
 #include <string>
 
+#include "core/cost_signature.hpp"
 #include "core/evaluator.hpp"
+#include "sim/pipeline_sim.hpp"
 
 namespace tfpe::sim {
 
@@ -44,5 +46,15 @@ ValidationPoint validate_iteration(const model::TransformerConfig& mdl,
                                    const parallel::ParallelConfig& cfg,
                                    std::int64_t global_batch,
                                    std::string label);
+
+/// Derive the discrete-event pipeline simulator's inputs from a compiled
+/// cost signature: per-microbatch stage times via the two-phase bind/time
+/// path (so they match the analytic evaluator bitwise) and the analytic
+/// point-to-point boundary transfer for one handoff message. Lets sweeps
+/// replay a candidate through simulate_pipeline without rebuilding its op
+/// list. `cfg` must carry the placement the signature should be timed at.
+PipelineParams pipeline_params_from_signature(
+    const hw::SystemConfig& sys, const parallel::ParallelConfig& cfg,
+    const core::CostSignature& sig, const core::EvalOptions& opts = {});
 
 }  // namespace tfpe::sim

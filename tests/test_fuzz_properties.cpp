@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "analysis/invariants.hpp"
+#include "core/cost_signature.hpp"
 #include "core/evaluator.hpp"
 #include "parallel/layer_builder.hpp"
 #include "search/search.hpp"
@@ -134,6 +135,31 @@ TEST(Fuzz, EvaluatorInvariantsOverRandomSpace) {
     EXPECT_LE(r.mem.total().value(), sys.gpu.hbm_capacity.value()) << trial;
     EXPECT_GT(r.mem.weights.value(), 0.0) << trial;
     if (cfg.np == 1) EXPECT_DOUBLE_EQ(t.bubble, 0.0) << trial;
+
+    // The two-phase path (compile -> bind -> time) must reproduce the
+    // single-phase evaluator bitwise on every feasible fuzz point, and the
+    // compiled signature must satisfy its own conservation laws against the
+    // layer it was lowered from.
+    const parallel::LayerCost layer =
+        parallel::build_layer(mdl, cfg, cfg.local_microbatch(b));
+    const core::CostSignature sig =
+        core::compile_signature(mdl, cfg, b, layer, eopts);
+    const analysis::LintReport slint =
+        analysis::lint_signature(mdl, cfg, sig, layer, lopts);
+    EXPECT_EQ(slint.errors(), 0u) << trial << "\n" << slint.summary();
+    const core::EvalResult two =
+        core::time_signature(sig, mdl, sys, cfg, b, eopts);
+    EXPECT_EQ(two.feasible, r.feasible) << trial;
+    EXPECT_EQ(two.time.compute, t.compute) << trial;
+    EXPECT_EQ(two.time.memory, t.memory) << trial;
+    EXPECT_EQ(two.time.tp_comm, t.tp_comm) << trial;
+    EXPECT_EQ(two.time.pp_comm, t.pp_comm) << trial;
+    EXPECT_EQ(two.time.dp_comm, t.dp_comm) << trial;
+    EXPECT_EQ(two.time.bubble, t.bubble) << trial;
+    EXPECT_EQ(two.time.optimizer, t.optimizer) << trial;
+    EXPECT_EQ(two.t_fwd_micro, r.t_fwd_micro) << trial;
+    EXPECT_EQ(two.t_bwd_micro, r.t_bwd_micro) << trial;
+    EXPECT_EQ(two.mem.total().value(), r.mem.total().value()) << trial;
   }
   // The sweep must exercise all three outcome classes.
   EXPECT_GT(feasible_seen, 50);

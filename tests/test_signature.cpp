@@ -1,0 +1,394 @@
+// Two-phase evaluation: golden bitwise equivalence of
+// compile_signature + bind_system + time_signature against the single-phase
+// evaluate_with_layer, CostSignature invariants (analysis::lint_signature),
+// cross-sweep cache behaviour, and sweep-vs-find_optimal identity.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "analysis/invariants.hpp"
+#include "core/cost_signature.hpp"
+#include "core/evaluator.hpp"
+#include "search/search.hpp"
+#include "search/search_cache.hpp"
+#include "search/sweep.hpp"
+#include "sim/validation.hpp"
+
+namespace tfpe {
+namespace {
+
+hw::SystemConfig system_of(hw::GpuGeneration gen, std::int64_t nvs,
+                           std::int64_t n) {
+  return hw::make_system(gen, nvs, n);
+}
+
+/// Exact double-for-double comparison of two evaluation results — the
+/// two-phase pipeline must reproduce the reference evaluator bitwise, not
+/// approximately.
+void expect_bitwise(const core::EvalResult& ref, const core::EvalResult& two,
+                    const std::string& label) {
+  ASSERT_EQ(ref.feasible, two.feasible) << label;
+  EXPECT_EQ(ref.reason, two.reason) << label;
+  EXPECT_EQ(ref.time.compute, two.time.compute) << label;
+  EXPECT_EQ(ref.time.memory, two.time.memory) << label;
+  EXPECT_EQ(ref.time.tp_comm, two.time.tp_comm) << label;
+  EXPECT_EQ(ref.time.pp_comm, two.time.pp_comm) << label;
+  EXPECT_EQ(ref.time.dp_comm, two.time.dp_comm) << label;
+  EXPECT_EQ(ref.time.bubble, two.time.bubble) << label;
+  EXPECT_EQ(ref.time.optimizer, two.time.optimizer) << label;
+  EXPECT_EQ(ref.t_fwd_micro, two.t_fwd_micro) << label;
+  EXPECT_EQ(ref.t_bwd_micro, two.t_bwd_micro) << label;
+  EXPECT_EQ(ref.mem.weights.value(), two.mem.weights.value()) << label;
+  EXPECT_EQ(ref.mem.gradients.value(), two.mem.gradients.value()) << label;
+  EXPECT_EQ(ref.mem.optimizer.value(), two.mem.optimizer.value()) << label;
+  EXPECT_EQ(ref.mem.activations.value(), two.mem.activations.value()) << label;
+}
+
+struct Case {
+  model::TransformerConfig mdl;
+  parallel::TpStrategy strategy;
+  std::int64_t global_batch;
+  std::string name;
+};
+
+std::vector<Case> preset_matrix() {
+  return {
+      {model::gpt3_1t(), parallel::TpStrategy::TP1D, 4096, "gpt3-1t/1d"},
+      {model::gpt3_1t(), parallel::TpStrategy::Summa2D, 4096,
+       "gpt3-1t/summa"},
+      {model::gpt3_175b(), parallel::TpStrategy::TP1D, 1024, "gpt3-175b/1d"},
+      {model::vit_64k(), parallel::TpStrategy::TP2D, 4096, "vit-64k/2d"},
+  };
+}
+
+std::vector<core::EvalOptions> eval_variants() {
+  core::EvalOptions overlap;
+  overlap.tp_overlap = 0.6;
+  core::EvalOptions offload;
+  offload.activation_offload = 0.5;
+  core::EvalOptions recompute;
+  recompute.activation_recompute = true;
+  core::EvalOptions all;
+  all.tp_overlap = 0.3;
+  all.activation_offload = 0.25;
+  all.activation_recompute = true;
+  return {core::EvalOptions{}, overlap, offload, recompute, all};
+}
+
+/// Every candidate (stride-sampled) at every placement, compared bitwise.
+/// Covers the microbatch axis (enumeration expands every valid m), the
+/// interleave/ZeRO/ring extension axes and both vocab and vocab-free models.
+TEST(Signature, GoldenEquivalenceMatrix) {
+  const auto sys = system_of(hw::GpuGeneration::B200, 8, 512);
+  std::size_t compared = 0;
+  for (const Case& c : preset_matrix()) {
+    search::SearchOptions sopts;
+    sopts.strategy = c.strategy;
+    sopts.global_batch = c.global_batch;
+    sopts.allow_zero3 = true;
+    sopts.allow_ring_attention = true;
+    sopts.interleave_candidates = {1, 2};
+    const auto configs = search::expand_candidates(c.mdl, sys, sopts);
+    ASSERT_FALSE(configs.empty()) << c.name;
+    for (const core::EvalOptions& eval : eval_variants()) {
+      for (std::size_t i = 0; i < configs.size(); i += 7) {
+        parallel::ParallelConfig cfg = configs[i];
+        if (cfg.invalid_reason(c.mdl, sys, c.global_batch)) continue;
+        const parallel::LayerCost layer = parallel::build_layer(
+            c.mdl, cfg, cfg.local_microbatch(c.global_batch));
+        const core::CostSignature sig =
+            core::compile_signature(c.mdl, cfg, c.global_batch, layer, eval);
+        const core::SystemTiming base = core::bind_system(sig, sys, eval);
+        for (const auto& pl :
+             search::enumerate_placements(cfg, sys.nvs_domain)) {
+          cfg.nvs1 = pl[0];
+          cfg.nvs2 = pl[1];
+          cfg.nvsp = pl[2];
+          cfg.nvsd = pl[3];
+          const core::EvalResult ref = core::evaluate_with_layer(
+              c.mdl, sys, cfg, c.global_batch, layer, eval);
+          const core::EvalResult two = core::time_signature(
+              sig, base, c.mdl, sys, cfg, c.global_batch, eval);
+          expect_bitwise(ref, two, c.name + " " + cfg.describe());
+          ++compared;
+        }
+      }
+    }
+  }
+  // Guard against the matrix silently collapsing to nothing.
+  EXPECT_GT(compared, 500u);
+}
+
+/// The one-shot convenience overloads must agree with the staged calls.
+TEST(Signature, ConvenienceOverloads) {
+  const auto mdl = model::gpt3_1t();
+  const auto sys = system_of(hw::GpuGeneration::A100, 8, 512);
+  search::SearchOptions sopts;
+  sopts.strategy = parallel::TpStrategy::TP1D;
+  sopts.global_batch = 4096;
+  for (auto cfg : search::expand_candidates(mdl, sys, sopts)) {
+    if (cfg.invalid_reason(mdl, sys, 4096)) continue;
+    search::pack_placement(cfg, sys.nvs_domain);
+    const auto sig = core::compile_signature(mdl, cfg, 4096);
+    const auto ref = core::evaluate(mdl, sys, cfg, 4096);
+    const auto two = core::time_signature(sig, mdl, sys, cfg, 4096);
+    expect_bitwise(ref, two, cfg.describe());
+    break;
+  }
+}
+
+/// time_placement is the inner body of time_signature: its breakdown total
+/// must equal the packaged result's iteration time exactly.
+TEST(Signature, PlacementTimingMatchesFullResult) {
+  const auto mdl = model::gpt3_175b();
+  const auto sys = system_of(hw::GpuGeneration::H200, 8, 256);
+  search::SearchOptions sopts;
+  sopts.strategy = parallel::TpStrategy::TP1D;
+  sopts.global_batch = 512;
+  std::size_t checked = 0;
+  for (auto cfg : search::expand_candidates(mdl, sys, sopts)) {
+    if (cfg.invalid_reason(mdl, sys, 512)) continue;
+    search::pack_placement(cfg, sys.nvs_domain);
+    const auto sig = core::compile_signature(mdl, cfg, 512);
+    const auto base = core::bind_system(sig, sys);
+    const auto pt = core::time_placement(sig, base, sys, cfg);
+    const auto full = core::time_signature(sig, base, mdl, sys, cfg, 512);
+    if (!full.feasible) continue;
+    EXPECT_EQ(pt.time.total(), full.iteration()) << cfg.describe();
+    EXPECT_EQ(pt.t_fwd_stage.value(), full.t_fwd_micro) << cfg.describe();
+    EXPECT_EQ(pt.t_bwd_stage.value(), full.t_bwd_micro) << cfg.describe();
+    if (++checked == 24) break;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+/// The simulator bridge: pipeline parameters derived from a signature must
+/// carry the evaluator's stage times bitwise and drive simulate_pipeline to
+/// a sane schedule (completion bounded below by the serial critical path of
+/// one stage and above by the fully-serialized schedule).
+TEST(Signature, PipelineParamsFeedSimulator) {
+  const auto mdl = model::gpt3_175b();
+  const auto sys = system_of(hw::GpuGeneration::B200, 8, 128);
+  parallel::ParallelConfig cfg;
+  cfg.strategy = parallel::TpStrategy::TP1D;
+  cfg.n1 = 8;
+  cfg.np = 8;
+  cfg.nd = 2;
+  cfg.microbatches = 16;
+  search::pack_placement(cfg, sys.nvs_domain);
+  const core::EvalResult ref = core::evaluate(mdl, sys, cfg, 256);
+  ASSERT_TRUE(ref.feasible) << ref.reason;
+
+  const auto sig = core::compile_signature(mdl, cfg, 256);
+  const sim::PipelineParams params =
+      sim::pipeline_params_from_signature(sys, cfg, sig);
+  EXPECT_EQ(params.stages, cfg.np);
+  EXPECT_EQ(params.microbatches, cfg.microbatches);
+  EXPECT_EQ(params.t_fwd.value(), ref.t_fwd_micro);
+  EXPECT_EQ(params.t_bwd.value(), ref.t_bwd_micro);
+  EXPECT_GT(params.t_p2p.value(), 0.0);
+
+  const sim::PipelineTrace trace = sim::simulate_pipeline(params);
+  const double micro = params.t_fwd.value() + params.t_bwd.value();
+  EXPECT_GE(trace.completion_time,
+            micro * static_cast<double>(params.microbatches));
+  EXPECT_LE(trace.completion_time,
+            (micro + 2 * params.t_p2p.value()) *
+                static_cast<double>(params.microbatches * params.stages));
+}
+
+/// CostSignature structural invariants via the analyzer, across strategies.
+TEST(Signature, LintCleanAcrossMatrix) {
+  const auto sys = system_of(hw::GpuGeneration::B200, 8, 512);
+  for (const Case& c : preset_matrix()) {
+    search::SearchOptions sopts;
+    sopts.strategy = c.strategy;
+    sopts.global_batch = c.global_batch;
+    const auto configs = search::expand_candidates(c.mdl, sys, sopts);
+    for (std::size_t i = 0; i < configs.size(); i += 11) {
+      const parallel::ParallelConfig& cfg = configs[i];
+      if (cfg.invalid_reason(c.mdl, sys, c.global_batch)) continue;
+      const parallel::LayerCost layer = parallel::build_layer(
+          c.mdl, cfg, cfg.local_microbatch(c.global_batch));
+      const core::CostSignature sig =
+          core::compile_signature(c.mdl, cfg, c.global_batch, layer);
+      const auto report = analysis::lint_signature(c.mdl, cfg, sig, layer);
+      EXPECT_TRUE(report.clean())
+          << c.name << " " << cfg.describe() << "\n" << report.summary();
+    }
+  }
+}
+
+/// The lint must actually fire on a corrupted signature.
+TEST(Signature, LintDetectsCorruption) {
+  const auto mdl = model::gpt3_175b();
+  const auto sys = system_of(hw::GpuGeneration::B200, 8, 64);
+  search::SearchOptions sopts;
+  sopts.strategy = parallel::TpStrategy::TP1D;
+  sopts.global_batch = 256;
+  for (const auto& cfg : search::expand_candidates(mdl, sys, sopts)) {
+    if (cfg.invalid_reason(mdl, sys, 256)) continue;
+    const parallel::LayerCost layer =
+        parallel::build_layer(mdl, cfg, cfg.local_microbatch(256));
+    core::CostSignature sig = core::compile_signature(mdl, cfg, 256, layer);
+    sig.matmul_fwd_flops = sig.matmul_fwd_flops * 2.0;
+    const auto doubled = analysis::lint_signature(mdl, cfg, sig, layer);
+    EXPECT_FALSE(doubled.clean());
+    sig = core::compile_signature(mdl, cfg, 256, layer);
+    sig.ops.pop_back();
+    const auto truncated = analysis::lint_signature(mdl, cfg, sig, layer);
+    EXPECT_FALSE(truncated.clean());
+    return;
+  }
+  FAIL() << "no valid candidate found";
+}
+
+/// The cache key deliberately excludes interleave and the NVS placement:
+/// both enter only at time time, so all expansion points of one hardware-
+/// free slice must share a single compiled signature.
+TEST(Signature, CacheSharesAcrossInterleaveAndPlacement) {
+  const auto mdl = model::gpt3_1t();
+  const auto sys = system_of(hw::GpuGeneration::B200, 8, 512);
+  search::SearchOptions sopts;
+  sopts.strategy = parallel::TpStrategy::TP1D;
+  sopts.global_batch = 4096;
+  search::LayerCostCache layers;
+  search::SignatureCache cache;
+  for (const auto& cfg : search::expand_candidates(mdl, sys, sopts)) {
+    if (cfg.invalid_reason(mdl, sys, 4096)) continue;
+    if (mdl.depth / cfg.np % 2 != 0 || cfg.np <= 1) continue;
+    parallel::ParallelConfig a = cfg;
+    parallel::ParallelConfig b = cfg;
+    b.interleave = 2;
+    parallel::ParallelConfig c = cfg;
+    c.nvs1 = cfg.n1 > 1 ? 2 : 1;
+    const auto sa = cache.get(mdl, a, 4096, {}, layers);
+    const auto sb = cache.get(mdl, b, 4096, {}, layers);
+    const auto sc = cache.get(mdl, c, 4096, {}, layers);
+    EXPECT_EQ(sa.get(), sb.get());
+    EXPECT_EQ(sa.get(), sc.get());
+    EXPECT_EQ(cache.compiles(), 1u);
+    EXPECT_EQ(cache.hits(), 2u);
+    return;
+  }
+  FAIL() << "no candidate with interleavable np found";
+}
+
+/// Concurrent gets on one shared cache: every thread must observe the same
+/// compiled object, and the compile count must stay at the distinct-key
+/// count. Runs under the tsan preset.
+TEST(Signature, CacheIsThreadSafe) {
+  const auto mdl = model::gpt3_175b();
+  const auto sys = system_of(hw::GpuGeneration::B200, 8, 64);
+  search::SearchOptions sopts;
+  sopts.strategy = parallel::TpStrategy::TP1D;
+  sopts.global_batch = 256;
+  std::vector<parallel::ParallelConfig> valid;
+  for (const auto& cfg : search::expand_candidates(mdl, sys, sopts)) {
+    if (!cfg.invalid_reason(mdl, sys, 256)) valid.push_back(cfg);
+  }
+  ASSERT_GE(valid.size(), 4u);
+  valid.resize(4);
+
+  search::LayerCostCache layers;
+  search::SignatureCache cache;
+  std::vector<std::vector<const core::CostSignature*>> seen(4);
+  std::vector<std::thread> workers;
+  workers.reserve(4);
+  for (std::size_t t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int rep = 0; rep < 50; ++rep) {
+        for (const auto& cfg : valid) {
+          seen[t].push_back(cache.get(mdl, cfg, 256, {}, layers).get());
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(cache.compiles(), valid.size());
+  EXPECT_EQ(cache.compiles() + cache.hits(), 4u * 50u * valid.size());
+  for (std::size_t t = 1; t < 4; ++t) EXPECT_EQ(seen[t], seen[0]);
+}
+
+/// The sweep engine must return, at every grid point, exactly the result
+/// find_optimal computes at that point — configuration, placement, time and
+/// memory bits — for both engine arms and both prune settings.
+TEST(Sweep, MatchesFindOptimalPerPoint) {
+  const auto mdl = model::gpt3_175b();
+  const auto points = search::hardware_grid(
+      {hw::GpuGeneration::A100, hw::GpuGeneration::B200}, {4, 16}, 256);
+  ASSERT_EQ(points.size(), 4u);
+  for (bool prune : {false, true}) {
+    search::SweepOptions opts;
+    opts.search.strategy = parallel::TpStrategy::TP1D;
+    opts.search.global_batch = 1024;
+    opts.search.prune = prune;
+    opts.threads = 2;
+    const auto swept = search::run_sweep(mdl, points, opts);
+    search::SweepOptions legacy = opts;
+    legacy.use_signatures = false;
+    const auto ref = search::run_sweep(mdl, points, legacy);
+    ASSERT_EQ(swept.best.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      search::SearchOptions po = opts.search;
+      const auto direct = search::find_optimal(mdl, points[i], po);
+      ASSERT_EQ(swept.best[i].feasible, direct.best.feasible) << i;
+      ASSERT_EQ(ref.best[i].feasible, direct.best.feasible) << i;
+      if (!direct.best.feasible) continue;
+      EXPECT_EQ(swept.best[i].cfg.describe(), direct.best.cfg.describe());
+      EXPECT_EQ(swept.best[i].iteration(), direct.best.iteration());
+      EXPECT_EQ(swept.best[i].mem.total().value(),
+                direct.best.mem.total().value());
+      EXPECT_EQ(ref.best[i].cfg.describe(), direct.best.cfg.describe());
+      EXPECT_EQ(ref.best[i].iteration(), direct.best.iteration());
+    }
+    EXPECT_EQ(swept.stats.points, points.size());
+    if (prune) EXPECT_GT(swept.stats.bound_pruned, 0u);
+    EXPECT_GT(swept.stats.signature_cache_hits, 0u);
+    EXPECT_GT(swept.stats.signature_compiles, 0u);
+  }
+}
+
+/// Per-point counters must not depend on the worker count.
+TEST(Sweep, CountersThreadInvariant) {
+  const auto mdl = model::gpt3_175b();
+  const auto points = search::hardware_grid(
+      {hw::GpuGeneration::B200}, {4, 8, 16}, 128);
+  search::SweepOptions opts;
+  opts.search.strategy = parallel::TpStrategy::TP1D;
+  opts.search.global_batch = 512;
+  opts.threads = 1;
+  const auto one = search::run_sweep(mdl, points, opts);
+  opts.threads = 4;
+  const auto four = search::run_sweep(mdl, points, opts);
+  EXPECT_EQ(one.evaluated_per_point, four.evaluated_per_point);
+  EXPECT_EQ(one.stats.evaluated, four.stats.evaluated);
+  EXPECT_EQ(one.stats.bound_pruned, four.stats.bound_pruned);
+  EXPECT_EQ(one.stats.memory_pruned, four.stats.memory_pruned);
+  EXPECT_EQ(one.stats.signature_compiles, four.stats.signature_compiles);
+  EXPECT_EQ(one.stats.candidates, four.stats.candidates);
+}
+
+TEST(Sweep, HardwareGridOrderAndShape) {
+  const auto grid = search::hardware_grid(
+      {hw::GpuGeneration::A100, hw::GpuGeneration::H200}, {8, 64}, 2048);
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_EQ(grid[0].nvs_domain, 8);
+  EXPECT_EQ(grid[1].nvs_domain, 64);
+  for (const auto& sys : grid) EXPECT_EQ(sys.n_gpus, 2048);
+  // Generations outer: the first two entries share the A100 GPU spec.
+  EXPECT_EQ(grid[0].gpu.name, grid[1].gpu.name);
+  EXPECT_NE(grid[1].gpu.name, grid[2].gpu.name);
+}
+
+TEST(Sweep, EmptyGrid) {
+  const auto mdl = model::gpt3_175b();
+  const auto r = search::run_sweep(mdl, {}, {});
+  EXPECT_TRUE(r.best.empty());
+  EXPECT_EQ(r.stats.points, 0u);
+}
+
+}  // namespace
+}  // namespace tfpe

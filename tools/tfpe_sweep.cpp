@@ -13,13 +13,23 @@
 //   batch = 4096
 //   output = sweep.csv
 //
-// Usage: tfpe-sweep spec.tfpe [--output path]
+// Usage: tfpe-sweep spec.tfpe [--output path] [--engine signature|legacy]
+//                             [--threads N] [--verify-legacy]
+//
+// The hardware axes (gpu, nvs) of each (model, strategy, batch, gpus) slice
+// run through search::run_sweep: candidates are enumerated once, compiled
+// once into hardware-invariant cost signatures, and re-timed per hardware
+// point in parallel. --engine legacy falls back to one find_optimal call per
+// point; --verify-legacy runs both engines and exits nonzero unless every
+// per-point optimum is bitwise identical.
 
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 
 #include "io/config_file.hpp"
-#include "report/figure_data.hpp"
+#include "search/sweep.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
@@ -32,6 +42,8 @@ using namespace tfpe;
 int usage(const char* msg) {
   if (msg) std::cerr << "error: " << msg << "\n";
   std::cerr << "usage: tfpe-sweep spec.tfpe [--output path]\n"
+               "                  [--engine signature|legacy] [--threads N]\n"
+               "                  [--verify-legacy]\n"
                "see the header of tools/tfpe_sweep.cpp for the spec format\n";
   return 2;
 }
@@ -48,6 +60,19 @@ std::optional<hw::GpuGeneration> gen_by_name(const std::string& s) {
   if (s == "h200") return hw::GpuGeneration::H200;
   if (s == "b200") return hw::GpuGeneration::B200;
   return std::nullopt;
+}
+
+/// One fully-resolved sweep point, in spec nesting order.
+struct Point {
+  std::string model, gpu, nvs, gpus, strategy, batch;
+};
+
+bool identical_optimum(const core::EvalResult& a, const core::EvalResult& b) {
+  if (a.feasible != b.feasible) return false;
+  if (!a.feasible) return true;
+  return a.cfg.describe() == b.cfg.describe() &&
+         a.iteration() == b.iteration() &&
+         a.mem.total().value() == b.mem.total().value();
 }
 
 }  // namespace
@@ -84,62 +109,161 @@ int main(int argc, char** argv) {
     const auto out_it = spec.find("output");
     output = out_it != spec.end() ? out_it->second : "sweep.csv";
   }
+  const std::string engine = args.get_or("engine", "signature");
+  if (engine != "signature" && engine != "legacy") {
+    return usage("--engine must be 'signature' or 'legacy'");
+  }
+  const bool verify_legacy = args.has("verify-legacy");
+  const auto threads = static_cast<unsigned>(args.get_int_or("threads", 0));
 
-  util::CsvWriter csv(output);
-  csv.write_header({"model", "gpu", "nvs", "gpus", "strategy", "batch",
-                    "feasible", "config", "iter_s", "tokens_per_s_per_gpu",
-                    "hbm_gb"});
+  // Validate axes up front, before any work.
+  for (const auto& name : models) {
+    if (!model::preset_by_name(name)) {
+      return usage(("unknown model '" + name + "'").c_str());
+    }
+  }
+  for (const auto& name : gpus_axis) {
+    if (!gen_by_name(name)) return usage(("unknown gpu '" + name + "'").c_str());
+  }
+  for (const auto& name : strat_axis) {
+    if (!strategy_by_name(name)) {
+      return usage(("unknown strategy '" + name + "'").c_str());
+    }
+  }
 
-  std::size_t points = 0, feasible = 0;
+  // Flatten the cross product in spec nesting order (the CSV row order), and
+  // group points into hardware grids: within one (model, strategy, batch,
+  // gpus) slice the gpu × nvs axes share candidates and compiled signatures,
+  // so each slice is one run_sweep call.
+  std::vector<Point> points;
   for (const auto& model_name : models) {
-    const auto mdl = model::preset_by_name(model_name);
-    if (!mdl) return usage(("unknown model '" + model_name + "'").c_str());
     for (const auto& gpu_name : gpus_axis) {
-      const auto gen = gen_by_name(gpu_name);
-      if (!gen) return usage(("unknown gpu '" + gpu_name + "'").c_str());
       for (const auto& nvs_s : nvs_axis) {
         for (const auto& n_s : scale_axis) {
           for (const auto& strat_s : strat_axis) {
-            const auto strat = strategy_by_name(strat_s);
-            if (!strat) {
-              return usage(("unknown strategy '" + strat_s + "'").c_str());
-            }
             for (const auto& b_s : batch_axis) {
-              const std::int64_t nvs = std::stoll(nvs_s);
-              const std::int64_t n = std::stoll(n_s);
-              const std::int64_t b = std::stoll(b_s);
-              const hw::SystemConfig sys = hw::make_system(*gen, nvs, n);
-              const auto r =
-                  report::optimal_at_scale(*mdl, sys, *strat, b, n);
-              ++points;
-              if (r.feasible) ++feasible;
-              const double tps =
-                  r.feasible ? static_cast<double>(b) *
-                                   static_cast<double>(mdl->seq_len) /
-                                   r.iteration() / static_cast<double>(n)
-                             : 0.0;
-              csv.write_row(std::vector<std::string>{
-                  model_name, gpu_name, nvs_s, n_s, strat_s, b_s,
-                  r.feasible ? "1" : "0",
-                  r.feasible ? r.cfg.describe() : r.reason,
-                  util::format_fixed(r.feasible ? r.iteration() : 0.0, 6),
-                  util::format_fixed(tps, 1),
-                  util::format_fixed(
-                      r.feasible ? r.mem.total().value() / 1e9 : 0.0, 2)});
-              std::cout << "[" << points << "] " << model_name << " "
-                        << gpu_name << " nvs" << nvs_s << " n" << n_s << " "
-                        << strat_s << " b" << b_s << ": "
-                        << (r.feasible
-                                ? util::format_time(r.iteration())
-                                : "infeasible")
-                        << "\n";
+              points.push_back(
+                  {model_name, gpu_name, nvs_s, n_s, strat_s, b_s});
             }
           }
         }
       }
     }
   }
-  std::cout << points << " sweep points (" << feasible
+
+  std::vector<core::EvalResult> results(points.size());
+  search::SweepStats totals;
+  double sweep_seconds = 0.0;
+  std::size_t mismatches = 0;
+
+  for (const auto& model_name : models) {
+    const auto mdl = model::preset_by_name(model_name);
+    for (const auto& n_s : scale_axis) {
+      for (const auto& strat_s : strat_axis) {
+        for (const auto& b_s : batch_axis) {
+          std::vector<std::size_t> slice;  // indices into `points`
+          std::vector<hw::SystemConfig> grid;
+          for (std::size_t i = 0; i < points.size(); ++i) {
+            const Point& p = points[i];
+            if (p.model != model_name || p.gpus != n_s ||
+                p.strategy != strat_s || p.batch != b_s) {
+              continue;
+            }
+            slice.push_back(i);
+            grid.push_back(hw::make_system(*gen_by_name(p.gpu),
+                                           std::stoll(p.nvs),
+                                           std::stoll(p.gpus)));
+          }
+
+          search::SweepOptions opts;
+          opts.search.strategy = *strategy_by_name(strat_s);
+          opts.search.global_batch = std::stoll(b_s);
+          opts.search.n_gpus = std::stoll(n_s);
+          opts.threads = threads;
+          opts.use_signatures = engine == "signature";
+
+          const auto t0 = std::chrono::steady_clock::now();
+          search::SweepResult sr = run_sweep(*mdl, grid, opts);
+          sweep_seconds +=
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+          for (std::size_t j = 0; j < slice.size(); ++j) {
+            results[slice[j]] = std::move(sr.best[j]);
+          }
+          totals.candidates += sr.stats.candidates;
+          totals.evaluated += sr.stats.evaluated;
+          totals.signature_compiles += sr.stats.signature_compiles;
+          totals.signature_cache_hits += sr.stats.signature_cache_hits;
+
+          if (verify_legacy) {
+            search::SweepOptions other = opts;
+            other.use_signatures = !opts.use_signatures;
+            const search::SweepResult check = run_sweep(*mdl, grid, other);
+            for (std::size_t j = 0; j < slice.size(); ++j) {
+              if (!identical_optimum(results[slice[j]], check.best[j])) {
+                ++mismatches;
+                const Point& p = points[slice[j]];
+                std::cerr << "MISMATCH at " << p.model << " " << p.gpu
+                          << " nvs" << p.nvs << " n" << p.gpus << " "
+                          << p.strategy << " b" << p.batch << "\n";
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  util::CsvWriter csv(output);
+  csv.write_header({"model", "gpu", "nvs", "gpus", "strategy", "batch",
+                    "feasible", "config", "iter_s", "tokens_per_s_per_gpu",
+                    "hbm_gb"});
+  std::size_t feasible = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    const core::EvalResult& r = results[i];
+    if (r.feasible) ++feasible;
+    const auto mdl = model::preset_by_name(p.model);
+    const auto n = static_cast<double>(std::stoll(p.gpus));
+    const double tps =
+        r.feasible ? static_cast<double>(std::stoll(p.batch)) *
+                         static_cast<double>(mdl->seq_len) / r.iteration() / n
+                   : 0.0;
+    csv.write_row(std::vector<std::string>{
+        p.model, p.gpu, p.nvs, p.gpus, p.strategy, p.batch,
+        r.feasible ? "1" : "0", r.feasible ? r.cfg.describe() : r.reason,
+        util::format_fixed(r.feasible ? r.iteration() : 0.0, 6),
+        util::format_fixed(tps, 1),
+        util::format_fixed(r.feasible ? r.mem.total().value() / 1e9 : 0.0,
+                           2)});
+    std::cout << "[" << (i + 1) << "] " << p.model << " " << p.gpu << " nvs"
+              << p.nvs << " n" << p.gpus << " " << p.strategy << " b"
+              << p.batch << ": "
+              << (r.feasible ? util::format_time(r.iteration()) : "infeasible")
+              << "\n";
+  }
+
+  std::cout << points.size() << " sweep points (" << feasible
             << " feasible) written to " << output << "\n";
+  const double pps = sweep_seconds > 0.0
+                         ? static_cast<double>(points.size()) / sweep_seconds
+                         : 0.0;
+  std::printf("engine=%s  %.3fs  %.1f points/s", engine.c_str(), sweep_seconds,
+              pps);
+  if (engine == "signature") {
+    std::printf("  compiles=%zu  compile-cache hit rate=%.1f%%",
+                totals.signature_compiles, 100.0 * totals.compile_hit_rate());
+  }
+  std::printf("\n");
+  if (verify_legacy) {
+    if (mismatches != 0) {
+      std::cerr << mismatches << " grid points differ between the signature "
+                << "and legacy engines\n";
+      return 1;
+    }
+    std::cout << "verify-legacy: all " << points.size()
+              << " optima bitwise identical across engines\n";
+  }
   return 0;
 }
