@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "comm/collective_algorithm.hpp"
 #include "ops/op_factory.hpp"
 
 namespace tfpe::analysis {
@@ -567,6 +568,115 @@ LintReport lint_signature(const model::TransformerConfig& mdl,
         sig.pp_boundary_bytes.value(), "pipeline boundary bytes");
 
   (void)cfg;
+  return report;
+}
+
+LintReport lint_topology(const hw::Topology& topo, std::int64_t n_gpus,
+                         const LintOptions& opts) {
+  (void)opts;
+  LintReport report;
+  if (topo.empty()) return report;  // Resolves to the canonical two-level.
+  const auto diag = [&](const std::string& rule, const std::string& op,
+                        double expected, double actual,
+                        const std::string& what, Severity sev) {
+    std::ostringstream msg;
+    msg << what << ": expected " << expected << ", got " << actual;
+    report.diagnostics.push_back({rule, op, expected, actual, msg.str(), sev});
+  };
+
+  if (topo.depth() > hw::Topology::kMaxDepth) {
+    diag("topology-depth", "<topology>",
+         static_cast<double>(hw::Topology::kMaxDepth),
+         static_cast<double>(topo.depth()), "fabric depth over kMaxDepth",
+         Severity::kError);
+  }
+
+  bool shape_ok = true;
+  for (std::size_t i = 0; i < topo.levels.size(); ++i) {
+    const hw::FabricLevel& lvl = topo.levels[i];
+    const std::string name =
+        lvl.name.empty() ? "level[" + std::to_string(i) + "]" : lvl.name;
+    if (lvl.latency < Seconds(0)) {
+      diag("topology-positive", name, 0.0, lvl.latency.value(),
+           "negative hop latency", Severity::kError);
+      shape_ok = false;
+    }
+    if (!(lvl.bandwidth > BytesPerSec(0))) {
+      diag("topology-positive", name, 0.0, lvl.bandwidth.value(),
+           "link bandwidth must be > 0", Severity::kError);
+      shape_ok = false;
+    }
+    if (!(lvl.rails > 0.0)) {
+      diag("topology-positive", name, 1.0, lvl.rails,
+           "rail count must be > 0", Severity::kError);
+      shape_ok = false;
+    }
+    if (lvl.oversubscription < 1.0) {
+      diag("topology-positive", name, 1.0, lvl.oversubscription,
+           "oversubscription ratio below 1", Severity::kError);
+      shape_ok = false;
+    }
+  }
+
+  // Fan-in coverage: the product of bounded fan-ins is the GPU count the
+  // fabric can host. An unbounded top level (fan_in <= 0) covers any count.
+  if (n_gpus > 0) {
+    bool unbounded = false;
+    std::int64_t capacity = 1;
+    for (const hw::FabricLevel& lvl : topo.levels) {
+      if (lvl.fan_in <= 0) {
+        unbounded = true;
+        break;
+      }
+      capacity *= lvl.fan_in;
+    }
+    if (!unbounded && capacity < n_gpus) {
+      diag("topology-fan-in", "<topology>", static_cast<double>(n_gpus),
+           static_cast<double>(capacity),
+           "fan-in product smaller than the GPU count", Severity::kError);
+    } else if (!unbounded && capacity > n_gpus) {
+      diag("topology-fan-in", "<topology>", static_cast<double>(n_gpus),
+           static_cast<double>(capacity),
+           "fan-in product exceeds the GPU count (fabric oversized)",
+           Severity::kWarning);
+    }
+  }
+
+  // Per-member tier bandwidth should not increase outward: an outer level
+  // faster than an inner one is legal in the model but almost always means
+  // swapped levels or a units typo in the spec.
+  if (shape_ok) {
+    for (std::size_t i = 1; i < topo.levels.size(); ++i) {
+      const hw::FabricLevel& lvl = topo.levels[i];
+      const double inner =
+          i == 1 ? (topo.levels[0].bandwidth * topo.efficiency).value()
+                 : (topo.levels[i - 1].bandwidth *
+                    (topo.levels[i - 1].rails * topo.efficiency))
+                       .value();
+      const double outer =
+          (lvl.bandwidth * (lvl.rails * topo.efficiency)).value();
+      if (outer > inner) {
+        diag("topology-monotone-bw",
+             lvl.name.empty() ? "level[" + std::to_string(i) + "]" : lvl.name,
+             inner, outer,
+             "per-member bandwidth increases outward across this level",
+             Severity::kWarning);
+      }
+    }
+  }
+  return report;
+}
+
+LintReport lint_placement(const comm::GroupPlacement& g) {
+  LintReport report;
+  if (auto why = comm::invalid_placement_reason(g)) {
+    std::ostringstream msg;
+    msg << *why << " (size=" << g.size << ", nvs=" << g.nvs << ")";
+    report.diagnostics.push_back({"placement-valid", "<placement>",
+                                  static_cast<double>(g.size),
+                                  static_cast<double>(g.nvs), msg.str(),
+                                  Severity::kError});
+  }
   return report;
 }
 

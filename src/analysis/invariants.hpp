@@ -33,7 +33,9 @@
 #include <string>
 #include <vector>
 
+#include "comm/collective_model.hpp"
 #include "core/cost_signature.hpp"
+#include "hw/topology.hpp"
 #include "model/transformer.hpp"
 #include "parallel/layer_builder.hpp"
 #include "parallel/parallel_config.hpp"
@@ -116,5 +118,30 @@ LintReport lint_signature(const model::TransformerConfig& mdl,
                           const core::CostSignature& sig,
                           const parallel::LayerCost& layer,
                           const LintOptions& opts = {});
+
+/// Lint a fabric topology against the machine it claims to describe:
+///   topology-depth        1 <= depth <= hw::Topology::kMaxDepth
+///   topology-positive     every level has fan_in >= 1 (or <= 0 for
+///                         unbounded), latency >= 0, bandwidth > 0,
+///                         rails > 0, oversubscription >= 1
+///   topology-fan-in       the fan-in product covers n_gpus: an error when
+///                         the fabric is too small for the machine, a
+///                         warning when it is oversized
+///   topology-monotone-bw  per-member tier bandwidth (bandwidth * rails *
+///                         efficiency aggregated per member) non-increasing
+///                         outward — legal but almost always a spec typo,
+///                         so warning severity
+/// Empty topologies lint clean (they resolve to the canonical two-level
+/// fabric); pass hw::SystemConfig::resolved_fabric() to lint what the
+/// evaluator will actually walk.
+LintReport lint_topology(const hw::Topology& topo, std::int64_t n_gpus,
+                         const LintOptions& opts = {});
+
+/// Lint a collective group placement:
+///   placement-valid  size >= 1, 0 < nvs <= size, nvs divides size — the
+///                    same predicate comm::collective_time enforces (a
+///                    violating placement used to produce negative ring hop
+///                    counts instead of a diagnostic)
+LintReport lint_placement(const comm::GroupPlacement& g);
 
 }  // namespace tfpe::analysis

@@ -1,0 +1,108 @@
+#pragma once
+// Topology-aware collective model: latency and effective bandwidth computed
+// by walking the fabric levels a group placement spans, plus a pluggable
+// CollectiveAlgorithm interface (flat ring, double-binary tree,
+// hierarchical two-phase reduce-scatter/all-gather).
+//
+// For the canonical two-level fabric (hw::two_level_topology) every walk
+// reproduces the legacy closed-form comm/collective_model expressions
+// BITWISE — the legacy API is a thin adapter over this path, and the golden
+// matrix in tests/test_topology.cpp pins the equivalence. Keep the
+// floating-point expression groupings here in lockstep with the formulas
+// documented in collective_model.hpp.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "comm/collective_model.hpp"
+#include "hw/topology.hpp"
+#include "ops/op.hpp"
+
+namespace tfpe::comm {
+
+/// Per-level generalization of GroupPlacement: occupancy[i] = members of
+/// the group inside one level-i unit (occupancy[0] is the legacy `nvs`).
+/// Non-decreasing, and the outermost entry equals the group size — the top
+/// level always spans the whole group.
+struct TopoPlacement {
+  std::int64_t size = 1;
+  std::array<std::int64_t, hw::Topology::kMaxDepth> occupancy{};
+};
+
+/// Place a legacy (size, nvs) group on a fabric: occupancy[0] is the
+/// clamped nvs, intermediate levels fill at their fan-in, and the outermost
+/// level spans the whole group regardless of fan-in (sparse placements —
+/// nvs below the level-0 fan-in — spill members outward, they do not
+/// shrink the group).
+TopoPlacement make_placement(const hw::Topology& topo, GroupPlacement g);
+
+/// Why `g` is not a valid group placement (std::nullopt when valid):
+/// requires size >= 1, 1 <= nvs <= size, and nvs | size. The clamping
+/// helpers tolerate invalid placements; collective_time rejects them.
+std::optional<std::string> invalid_placement_reason(GroupPlacement g);
+
+/// Latency term of the flat ring: per-level hop counts derived from the
+/// occupancy vector (level-i hops = units(i-1) - units(i)).
+Seconds ring_latency(const hw::Topology& topo, const TopoPlacement& p);
+
+/// Effective per-ring bandwidth: the minimum over every level the group
+/// crosses of that level's aggregate uplink per fast-domain slice, with
+/// per-level oversubscription applied.
+BytesPerSec effective_bandwidth(const hw::Topology& topo,
+                                const TopoPlacement& p);
+
+/// Double-binary-tree time: latency scales with the per-level tree depths
+/// instead of the ring length.
+Seconds tree_time(const hw::Topology& topo, ops::Collective coll, Bytes bytes,
+                  const TopoPlacement& p);
+
+/// Hierarchical two-phase algorithm (NCCL-style): one ring phase per
+/// crossed level, innermost first, each operating on the shard that
+/// survives the previous phase (rail-parallel across the members of a
+/// unit). AllReduce = reduce-scatter up + all-gather down (2x).
+Seconds hierarchical_time(const hw::Topology& topo, ops::Collective coll,
+                          Bytes bytes, const TopoPlacement& p);
+
+/// Time for one collective over a placed group: the minimum over the
+/// algorithms the topology enables (ring always; tree when
+/// topo.enable_tree, hierarchical when topo.enable_hierarchical).
+/// PointToPoint uses the innermost level both endpoints share.
+Seconds collective_time(const hw::Topology& topo, ops::Collective coll,
+                        Bytes bytes, const TopoPlacement& p);
+
+/// Convenience: validate `g`, place it on the fabric, and time it.
+Seconds collective_time(const hw::Topology& topo, ops::Collective coll,
+                        Bytes bytes, GroupPlacement g);
+
+/// One collective algorithm: a strategy the dispatcher can price for the
+/// collectives it handles. Implementations are stateless singletons.
+class CollectiveAlgorithm {
+ public:
+  virtual ~CollectiveAlgorithm() = default;
+  virtual const char* name() const = 0;
+  virtual bool handles(ops::Collective coll) const = 0;
+  virtual Seconds time(const hw::Topology& topo, ops::Collective coll,
+                       Bytes bytes, const TopoPlacement& p) const = 0;
+};
+
+const CollectiveAlgorithm& ring_algorithm();          ///< All collectives.
+const CollectiveAlgorithm& tree_algorithm();          ///< AR / Bcast / Reduce.
+const CollectiveAlgorithm& hierarchical_algorithm();  ///< AR / AG / RS.
+
+/// Algorithm-independent lower bound on any collective of `bytes` over
+/// `group_size` members: the larger of the per-member ingress floor (every
+/// member must receive (g-1)/g * V through the sum of its link bandwidths)
+/// and, for each level a group that large necessarily crosses, the
+/// non-resident fraction of V through one full unit's aggregate uplink.
+/// Used by core/lower_bounds; conservative for every algorithm above
+/// (including LL and the hierarchical phases).
+Seconds collective_time_floor(const hw::Topology& topo,
+                              std::int64_t group_size, Bytes bytes);
+
+/// Fastest single-link bandwidth anywhere in the fabric — the best case a
+/// point-to-point hop can see. Used for the pipeline-handoff lower bound.
+BytesPerSec best_p2p_bandwidth(const hw::Topology& topo);
+
+}  // namespace tfpe::comm

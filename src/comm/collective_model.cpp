@@ -1,104 +1,51 @@
 #include "comm/collective_model.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
+
+#include "comm/collective_algorithm.hpp"
+#include "hw/topology.hpp"
 
 namespace tfpe::comm {
 
+// The legacy two-level API is a thin adapter over the topology walk: every
+// call lifts the NetworkSpec into the canonical two-level fabric and the
+// (size, nvs) pair into its occupancy vector. The golden matrix in
+// tests/test_topology.cpp pins this path bitwise against the original
+// closed-form expressions.
+
+namespace {
+
+hw::Topology lifted(const hw::NetworkSpec& net) {
+  // Fan-ins are irrelevant to the walks (only occupancies matter), so the
+  // lift needs neither the NVS-domain size nor the GPU count.
+  return hw::two_level_topology(net, 0, 0);
+}
+
+}  // namespace
+
 Seconds ring_latency(const hw::NetworkSpec& net, GroupPlacement g) {
-  const std::int64_t nvs = std::clamp<std::int64_t>(g.nvs, 1, g.size);
-  const double nodes = static_cast<double>(g.size) / static_cast<double>(nvs);
-  const double slow_hops = nodes - 1.0;
-  const double fast_hops = static_cast<double>(g.size) - nodes;
-  return net.ib_latency * slow_hops + net.nvs_latency * fast_hops;
+  const hw::Topology topo = lifted(net);
+  return ring_latency(topo, make_placement(topo, g));
 }
 
 BytesPerSec effective_bandwidth(const hw::NetworkSpec& net, GroupPlacement g) {
-  const std::int64_t nvs = std::clamp<std::int64_t>(g.nvs, 1, g.size);
-  const BytesPerSec bw_fast = net.effective_nvs_bandwidth();
-  if (nvs == g.size) return bw_fast;  // fits inside one fast domain
-  // The group occupies `nvs` GPUs per node, so NCCL can drive that many
-  // rail-shares of the slow network concurrently.
-  BytesPerSec bw_slow =
-      static_cast<double>(nvs) * net.effective_ib_bandwidth_per_gpu();
-  // Fat-tree oversubscription: traffic leaving the pod shares the thinner
-  // spine links.
-  if (net.pod_size > 0 && g.size > net.pod_size && net.oversubscription > 1) {
-    bw_slow /= net.oversubscription;
-  }
-  return std::min(bw_slow, bw_fast);
+  const hw::Topology topo = lifted(net);
+  return effective_bandwidth(topo, make_placement(topo, g));
 }
 
 Seconds tree_time(const hw::NetworkSpec& net, ops::Collective coll,
                   Bytes bytes, GroupPlacement g) {
-  if (g.size <= 1 || bytes <= Bytes(0)) return Seconds(0);
-  const std::int64_t nvs = std::clamp<std::int64_t>(g.nvs, 1, g.size);
-  const double nodes = static_cast<double>(g.size) / static_cast<double>(nvs);
-  // Tree depth: slow hops between node roots, fast hops inside nodes.
-  const double slow_depth = nodes > 1 ? std::ceil(std::log2(nodes)) : 0.0;
-  const double fast_depth =
-      nvs > 1 ? std::ceil(std::log2(static_cast<double>(nvs))) : 0.0;
-  Seconds latency = net.ib_latency * slow_depth + net.nvs_latency * fast_depth;
-  double passes = 1.0;  // Broadcast / Reduce: one pipelined pass
-  if (coll == ops::Collective::AllReduce) {
-    passes = 2.0;  // reduce up + broadcast down
-    latency *= 2.0;
-  }
-  return latency + passes * (bytes / effective_bandwidth(net, g));
+  const hw::Topology topo = lifted(net);
+  return tree_time(topo, coll, bytes, make_placement(topo, g));
 }
 
 Seconds collective_time(const hw::NetworkSpec& net, ops::Collective coll,
                         Bytes bytes, GroupPlacement g) {
-  if (bytes < Bytes(0)) throw std::invalid_argument("collective_time: bytes < 0");
+  if (bytes < Bytes(0)) {
+    throw std::invalid_argument("collective_time: bytes < 0");
+  }
   if (coll == ops::Collective::None || bytes == Bytes(0)) return Seconds(0);
-
-  if (coll == ops::Collective::PointToPoint) {
-    const bool in_domain = g.nvs >= 2;
-    const BytesPerSec bw = in_domain ? net.effective_nvs_bandwidth()
-                                     : net.effective_ib_bandwidth_per_gpu();
-    const Seconds alpha = in_domain ? net.nvs_latency : net.ib_latency;
-    return alpha + bytes / bw;
-  }
-
-  if (g.size <= 1) return Seconds(0);
-
-  const double gsz = static_cast<double>(g.size);
-  const double ring_factor = (gsz - 1.0) / gsz;
-  double factor = ring_factor;
-  Seconds latency = ring_latency(net, g);
-  switch (coll) {
-    case ops::Collective::AllGather:
-    case ops::Collective::ReduceScatter:
-    case ops::Collective::Broadcast:
-    case ops::Collective::Reduce:
-    // AllToAll: each GPU keeps 1/g of its tensor and exchanges the rest —
-    // the same (g-1)/g * V traffic as a ring AllGather of V.
-    case ops::Collective::AllToAll:
-      break;
-    case ops::Collective::AllReduce:
-      // Ring AllReduce = ReduceScatter + AllGather.
-      factor = 2.0 * ring_factor;
-      latency *= 2.0;
-      break;
-    default:
-      break;
-  }
-  Seconds best = latency + factor * (bytes / effective_bandwidth(net, g));
-  if (net.enable_ll) {
-    // NCCL LL protocol: flag-based synchronization cuts the per-hop latency
-    // at the cost of half the payload bandwidth.
-    const Seconds ll =
-        latency * net.ll_latency_scale +
-        factor * (bytes / (effective_bandwidth(net, g) * net.ll_bandwidth_scale));
-    best = std::min(best, ll);
-  }
-  if (net.enable_tree && (coll == ops::Collective::AllReduce ||
-                          coll == ops::Collective::Broadcast ||
-                          coll == ops::Collective::Reduce)) {
-    best = std::min(best, tree_time(net, coll, bytes, g));
-  }
-  return best;
+  return collective_time(lifted(net), coll, bytes, g);
 }
 
 }  // namespace tfpe::comm

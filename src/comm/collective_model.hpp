@@ -13,6 +13,12 @@
 // rails the group can drive — proportional to the GPUs-per-node it occupies,
 // which is how a larger fast domain "amplifies" the slow bandwidth
 // (validated in the paper's Fig. A1 and against our discrete-event simulator).
+//
+// This header is the legacy two-level entry point; since the hierarchical
+// topology layer landed it is a thin adapter over comm/collective_algorithm,
+// which walks an arbitrary-depth hw::Topology. The two paths are
+// bitwise-identical for the canonical two-level fabric (golden matrix in
+// tests/test_topology.cpp).
 
 #include <cstdint>
 
@@ -41,6 +47,12 @@ BytesPerSec effective_bandwidth(const hw::NetworkSpec& net, GroupPlacement g);
 /// message size between two neighbors, and `g.nvs >= 2` marks an in-domain
 /// neighbor). When net.enable_tree is set, AllReduce / Broadcast / Reduce
 /// use min(ring, tree).
+///
+/// Throws std::invalid_argument for negative `bytes` and — unless the
+/// collective is None or the volume is zero — for invalid placements
+/// (nvs <= 0, nvs > size, or size not a multiple of nvs), which previously
+/// produced silent negative hop counts in ring_latency. The clamping
+/// helpers above stay tolerant for exploratory use.
 Seconds collective_time(const hw::NetworkSpec& net, ops::Collective coll,
                         Bytes bytes, GroupPlacement g);
 

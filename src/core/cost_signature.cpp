@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/invariants.hpp"
+#include "comm/collective_algorithm.hpp"
 #include "comm/collective_model.hpp"
 #include "ops/op_factory.hpp"
 #include "pipeline/pipeline_model.hpp"
@@ -27,14 +28,14 @@ comm::GroupPlacement placement_for(const parallel::ParallelConfig& cfg,
 /// roofline time. Mirrors core::op_time's comm path bitwise.
 Seconds exposed_comm(const CostSignature& sig, std::uint32_t begin,
                      std::uint32_t count, std::int64_t panels, Seconds t_panel,
-                     const hw::SystemConfig& sys,
+                     const hw::Topology& fabric,
                      const parallel::ParallelConfig& cfg) {
   const double inv_panels = 1.0 / static_cast<double>(panels);
   Seconds t_panel_comm;
   for (std::uint32_t i = begin; i < begin + count; ++i) {
     const SigComm& req = sig.comm[i];
     t_panel_comm +=
-        comm::collective_time(sys.net, req.collective, req.bytes * inv_panels,
+        comm::collective_time(fabric, req.collective, req.bytes * inv_panels,
                               placement_for(cfg, req.group));
   }
   if (panels == 1) return t_panel_comm;
@@ -164,6 +165,7 @@ CostSignature compile_signature(const model::TransformerConfig& mdl,
 SystemTiming bind_system(const CostSignature& sig, const hw::SystemConfig& sys,
                          const EvalOptions& opts) {
   SystemTiming bt;
+  bt.fabric = sys.resolved_fabric();
   Seconds fwd_c, fwd_m, bwd_c, bwd_m;
   for (const SigOp& op : sig.ops) {
     const PanelRoofline f =
@@ -237,11 +239,11 @@ PlacementTiming time_placement(const CostSignature& sig,
     Seconds f_comm, b_comm;
     if (op.fwd_comm_count > 0) {
       f_comm = exposed_comm(sig, op.fwd_comm_begin, op.fwd_comm_count,
-                            op.panels, panel[0], sys, cfg);
+                            op.panels, panel[0], base.fabric, cfg);
     }
     if (op.bwd_comm_count > 0) {
       b_comm = exposed_comm(sig, op.bwd_comm_begin, op.bwd_comm_count,
-                            op.panels, panel[1], sys, cfg);
+                            op.panels, panel[1], base.fabric, cfg);
     }
     if (op.panels <= 1 && opts.tp_overlap > 0) {
       f_comm *= 1.0 - opts.tp_overlap;
@@ -270,7 +272,7 @@ PlacementTiming time_placement(const CostSignature& sig,
       pipeline::bubble_time(cfg.np, t_fwd_stage, t_bwd_stage, cfg.interleave)
           .value();
   out.time.pp_comm =
-      pipeline::p2p_time(sys.net, cfg.np, sig.microbatches,
+      pipeline::p2p_time(base.fabric, cfg.np, sig.microbatches,
                          sig.pp_boundary_bytes, cfg.nvsp > 1 ? 2 : 1,
                          cfg.interleave)
           .value();
@@ -280,9 +282,9 @@ PlacementTiming time_placement(const CostSignature& sig,
   if (sig.dp_size > 1) {
     const comm::GroupPlacement g{sig.dp_size, dp_nvs};
     const Seconds t_rs = comm::collective_time(
-        sys.net, ops::Collective::ReduceScatter, sig.dp_grad_bytes, g);
+        base.fabric, ops::Collective::ReduceScatter, sig.dp_grad_bytes, g);
     const Seconds t_ag = comm::collective_time(
-        sys.net, ops::Collective::AllGather, sig.dp_grad_bytes, g);
+        base.fabric, ops::Collective::AllGather, sig.dp_grad_bytes, g);
     if (cfg.zero == parallel::ZeroStage::kWeights) {
       out.time.dp_comm = ((t_ag * 2.0 + t_rs) * (0.5 * md)).value();
     } else {

@@ -175,6 +175,9 @@ struct SystemTiming {
   double time_compute = 0;  ///< TimeBreakdown::compute, all microbatches.
   double time_memory = 0;   ///< TimeBreakdown::memory.
   double optimizer = 0;     ///< TimeBreakdown::optimizer.
+  /// The system's resolved fabric, captured once per bind so the placement
+  /// scan walks it without re-deriving the topology per candidate.
+  hw::Topology fabric;
   Seconds fwd_cm;           ///< Per-microbatch per-block compute+memory.
   Seconds bwd_cm;
   Seconds head_fwd_cm;      ///< Head compute+memory per microbatch.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "analysis/invariants.hpp"
+#include "comm/collective_algorithm.hpp"
 #include "comm/collective_model.hpp"
 #include "core/cost_signature.hpp"
 #include "ops/op_factory.hpp"
@@ -27,11 +28,11 @@ comm::GroupPlacement placement_for(const parallel::ParallelConfig& cfg,
 /// Sum of collective times for a request list, with volumes scaled by
 /// 1/panels (per-panel time; latency paid per panel).
 Seconds comm_time(const std::vector<ops::CommRequest>& reqs,
-                  const hw::SystemConfig& sys,
+                  const hw::Topology& fabric,
                   const parallel::ParallelConfig& cfg, double inv_panels) {
   Seconds t;
   for (const auto& req : reqs) {
-    t += comm::collective_time(sys.net, req.collective, req.bytes * inv_panels,
+    t += comm::collective_time(fabric, req.collective, req.bytes * inv_panels,
                                placement_for(cfg, req.group));
   }
   return t;
@@ -41,6 +42,11 @@ Seconds comm_time(const std::vector<ops::CommRequest>& reqs,
 
 OpTime op_time(const ops::Op& op, bool backward, const hw::SystemConfig& sys,
                const parallel::ParallelConfig& cfg) {
+  return op_time(op, backward, sys, sys.resolved_fabric(), cfg);
+}
+
+OpTime op_time(const ops::Op& op, bool backward, const hw::SystemConfig& sys,
+               const hw::Topology& fabric, const parallel::ParallelConfig& cfg) {
   const Flops flops = backward ? op.bwd_flops : op.fwd_flops;
   const Bytes bytes = backward ? op.bwd_bytes : op.fwd_bytes;
   const auto& reqs = backward ? op.bwd_comm : op.fwd_comm;
@@ -58,7 +64,7 @@ OpTime op_time(const ops::Op& op, bool backward, const hw::SystemConfig& sys,
   out.memory = r.memory;
 
   if (reqs.empty()) return out;
-  const Seconds t_panel_comm = comm_time(reqs, sys, cfg, inv_panels);
+  const Seconds t_panel_comm = comm_time(reqs, fabric, cfg, inv_panels);
   if (panels == 1) {
     // Non-SUMMA collectives are fully exposed (partial sums must complete
     // before the collective; successors wait on the synced tensor).
@@ -98,13 +104,16 @@ EvalResult evaluate_with_layer(const model::TransformerConfig& mdl,
   const double Ld = static_cast<double>(layers);
   const double md = static_cast<double>(m);
 
+  // Resolve the fabric once per evaluation; every collective below walks it.
+  const hw::Topology fabric = sys.resolved_fabric();
+
   // Per-microbatch, per-stage forward/backward components. Non-SUMMA TP
   // collectives can be partially overlapped via the tp_overlap extension
   // (SUMMA broadcasts carry their own overlap model).
   OpTime fwd{}, bwd{};
   for (const auto& op : layer.ops) {
-    OpTime f = op_time(op, /*backward=*/false, sys, cfg);
-    OpTime b = op_time(op, /*backward=*/true, sys, cfg);
+    OpTime f = op_time(op, /*backward=*/false, sys, fabric, cfg);
+    OpTime b = op_time(op, /*backward=*/true, sys, fabric, cfg);
     if (op.summa_panels <= 1 && opts.tp_overlap > 0) {
       f.comm *= 1.0 - opts.tp_overlap;
       b.comm *= 1.0 - opts.tp_overlap;
@@ -159,8 +168,8 @@ EvalResult evaluate_with_layer(const model::TransformerConfig& mdl,
         ops::vector_op("embedding", tokens2 * static_cast<double>(mdl.embed),
                        1.0, 0.0);
     for (const ops::Op* op : {&logits, &loss, &embed_gather}) {
-      const OpTime f = op_time(*op, false, sys, cfg);
-      const OpTime b = op_time(*op, true, sys, cfg);
+      const OpTime f = op_time(*op, false, sys, fabric, cfg);
+      const OpTime b = op_time(*op, true, sys, fabric, cfg);
       head_fwd.compute += f.compute;
       head_fwd.memory += f.memory;
       head_bwd.compute += b.compute;
@@ -190,7 +199,7 @@ EvalResult evaluate_with_layer(const model::TransformerConfig& mdl,
       pipeline::bubble_time(cfg.np, t_fwd_stage, t_bwd_stage, cfg.interleave)
           .value();
   res.time.pp_comm =
-      pipeline::p2p_time(sys.net, cfg.np, m, layer.pp_boundary_bytes,
+      pipeline::p2p_time(fabric, cfg.np, m, layer.pp_boundary_bytes,
                          cfg.nvsp > 1 ? 2 : 1, cfg.interleave)
           .value();
 
@@ -207,9 +216,9 @@ EvalResult evaluate_with_layer(const model::TransformerConfig& mdl,
     const Bytes grad_bytes = Bytes(2.0 * stage_params);
     const comm::GroupPlacement g{dp_size, dp_nvs};
     const Seconds t_rs = comm::collective_time(
-        sys.net, ops::Collective::ReduceScatter, grad_bytes, g);
+        fabric, ops::Collective::ReduceScatter, grad_bytes, g);
     const Seconds t_ag = comm::collective_time(
-        sys.net, ops::Collective::AllGather, grad_bytes, g);
+        fabric, ops::Collective::AllGather, grad_bytes, g);
     if (cfg.zero == parallel::ZeroStage::kWeights) {
       // ZeRO-3: weights are re-AllGathered for forward and backward and the
       // gradients ReduceScattered on EVERY microbatch. Half of it overlaps

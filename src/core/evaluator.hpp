@@ -102,4 +102,10 @@ struct OpTime {
 OpTime op_time(const ops::Op& op, bool backward, const hw::SystemConfig& sys,
                const parallel::ParallelConfig& cfg);
 
+/// Same, against an already-resolved fabric (avoids re-deriving the
+/// topology per op). The 4-argument overload resolves sys.resolved_fabric()
+/// and delegates here.
+OpTime op_time(const ops::Op& op, bool backward, const hw::SystemConfig& sys,
+               const hw::Topology& fabric, const parallel::ParallelConfig& cfg);
+
 }  // namespace tfpe::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "comm/collective_algorithm.hpp"
+
 namespace tfpe::core {
 
 namespace {
@@ -65,6 +67,32 @@ SearchBounds search_bounds(const model::TransformerConfig& mdl,
   out.time_floor +=
       (Bytes(28.0 * stage_params_floor / shard_max) / sys.gpu.hbm_bandwidth)
           .value();
+
+  // --- Network floors from the fabric's bottleneck levels. ---
+  // Bandwidth-only (latency dropped), so they hold for every placement and
+  // every collective algorithm the topology may enable.
+  const hw::Topology fabric = sys.resolved_fabric();
+  if (cfg.np > 1) {
+    // Every microbatch hands the (b_loc x l x e)/tp boundary tensor across
+    // each stage boundary twice per virtual chunk, at best over the fastest
+    // single link of the fabric.
+    const Bytes boundary = Bytes(2.0 * bl * e / tp);
+    out.time_floor += (boundary / comm::best_p2p_bandwidth(fabric)).value() *
+                      (2.0 * static_cast<double>(cfg.microbatches) *
+                       static_cast<double>(cfg.interleave));
+  }
+  if (cfg.zero == parallel::ZeroStage::kWeights && cfg.nd > 1) {
+    // ZeRO-3 re-gathers the stage weights for forward and backward and
+    // reduce-scatters the gradients on every microbatch, half overlapped:
+    // three collectives of the 2 B/param stage volume over at least the nd
+    // data-parallel ranks (collective_time_floor is monotone in both the
+    // group size and the volume, so the nd-rank floor stays conservative
+    // when the DP group also absorbs n2).
+    const Bytes grads = Bytes(2.0 * stage_params_floor);
+    out.time_floor += (comm::collective_time_floor(fabric, cfg.nd, grads) *
+                       (3.0 * 0.5 * static_cast<double>(cfg.microbatches)))
+                          .value();
+  }
 
   // --- Placement-independent memory floor. ---
   // FP16 weights + gradients (ZeRO-3 additionally shards them over at most

@@ -30,6 +30,11 @@
 //   * 1F1B iteration time is at least (m + (np-1)/v) per-stage microbatch
 //     times, and each of those is at least the stage's FLOP time at the
 //     tensor-core peak.
+//   * Network floors walk the resolved hw::Topology: the pipeline handoff
+//     pays at least the boundary-tensor wire time over the fabric's fastest
+//     single link, and ZeRO-3's per-microbatch weight-gather/grad-scatter
+//     at least comm::collective_time_floor — the algorithm-independent
+//     ingress/bisection bound of the bottleneck level.
 
 #include <cstdint>
 

@@ -6,11 +6,17 @@
 
 namespace tfpe::hw {
 
+Topology SystemConfig::resolved_fabric() const {
+  if (!fabric.empty()) return fabric;
+  return two_level_topology(net, nvs_domain, n_gpus);
+}
+
 std::string SystemConfig::describe() const {
   std::ostringstream os;
   os << n_gpus << "x " << gpu.name << " (NVS domain " << nvs_domain << ", "
      << util::format_bandwidth(net.nvs_bandwidth) << " NVS, "
      << util::format_bandwidth(net.ib_bandwidth) << "/NIC IB)";
+  if (!fabric.empty()) os << " [" << fabric.describe() << "]";
   return os.str();
 }
 

@@ -7,6 +7,7 @@
 
 #include "hw/gpu.hpp"
 #include "hw/network.hpp"
+#include "hw/topology.hpp"
 
 namespace tfpe::hw {
 
@@ -20,6 +21,17 @@ struct SystemConfig {
   /// (paper §V limitations: "offloading to the CPU ... may be very useful
   /// for large sequences"). Defaults to a PCIe Gen5 x16-class link.
   BytesPerSec host_bandwidth{64e9};
+
+  /// Explicit fabric description. Empty (the default) means the canonical
+  /// two-level NVS+IB fabric derived from `net`/`nvs_domain` — bitwise
+  /// identical to the legacy closed-form model. Attach a deeper fabric
+  /// (leaf_spine_topology, rail_optimized_topology, a [topology] config
+  /// block) to model three-tier or oversubscribed networks.
+  Topology fabric;
+
+  /// The fabric the evaluator times against: `fabric` when set, otherwise
+  /// the derived two-level preset.
+  Topology resolved_fabric() const;
 
   std::string describe() const;
 };

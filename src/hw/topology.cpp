@@ -1,0 +1,123 @@
+#include "hw/topology.hpp"
+
+#include <stdexcept>
+
+namespace tfpe::hw {
+
+std::int64_t Topology::capacity(std::size_t level) const {
+  std::int64_t cap = 1;
+  for (std::size_t i = 0; i <= level && i < levels.size(); ++i) {
+    if (levels[i].fan_in <= 0) return 0;  // unbounded
+    cap *= levels[i].fan_in;
+  }
+  return cap;
+}
+
+std::int64_t Topology::total_capacity() const {
+  return levels.empty() ? 0 : capacity(levels.size() - 1);
+}
+
+std::string Topology::describe() const {
+  std::string out;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (i) out += " > ";
+    out += levels[i].name + std::to_string(levels[i].fan_in);
+    if (levels[i].oversubscription > 1.0 && levels[i].pod_size > 0) {
+      out += "(os" +
+             std::to_string(static_cast<long long>(levels[i].oversubscription)) +
+             ")";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return b > 0 ? (a + b - 1) / b : 0;
+}
+
+FabricLevel nvs_level(const NetworkSpec& net, std::int64_t nvs_domain) {
+  FabricLevel l;
+  l.name = "nvs";
+  l.fan_in = nvs_domain;
+  l.latency = net.nvs_latency;
+  l.bandwidth = net.nvs_bandwidth;
+  l.rails = 1.0;
+  return l;
+}
+
+FabricLevel ib_level(const NetworkSpec& net, std::int64_t fan_in) {
+  FabricLevel l;
+  l.name = "ib";
+  l.fan_in = fan_in;
+  l.latency = net.ib_latency;
+  l.bandwidth = net.ib_bandwidth;
+  l.rails = net.nics_per_gpu;
+  return l;
+}
+
+void copy_knobs(const NetworkSpec& net, Topology& t) {
+  t.efficiency = net.efficiency;
+  t.enable_tree = net.enable_tree;
+  t.enable_ll = net.enable_ll;
+  t.ll_latency_scale = net.ll_latency_scale;
+  t.ll_bandwidth_scale = net.ll_bandwidth_scale;
+}
+
+}  // namespace
+
+Topology two_level_topology(const NetworkSpec& net, std::int64_t nvs_domain,
+                            std::int64_t n_gpus) {
+  if (nvs_domain < 0) {
+    throw std::invalid_argument("two_level_topology: nvs_domain < 0");
+  }
+  Topology t;
+  copy_knobs(net, t);
+  t.levels.push_back(nvs_level(net, nvs_domain));
+  FabricLevel ib = ib_level(net, n_gpus > 0 ? ceil_div(n_gpus, nvs_domain) : 0);
+  ib.pod_size = net.pod_size;
+  ib.oversubscription = net.oversubscription;
+  t.levels.push_back(std::move(ib));
+  return t;
+}
+
+Topology leaf_spine_topology(const NetworkSpec& net, std::int64_t nvs_domain,
+                             std::int64_t leaf_size, std::int64_t n_gpus,
+                             double oversubscription) {
+  if (leaf_size < nvs_domain || nvs_domain <= 0 ||
+      leaf_size % nvs_domain != 0) {
+    throw std::invalid_argument(
+        "leaf_spine_topology: leaf_size must be a multiple of nvs_domain");
+  }
+  Topology t;
+  copy_knobs(net, t);
+  t.levels.push_back(nvs_level(net, nvs_domain));
+
+  FabricLevel leaf = ib_level(net, leaf_size / nvs_domain);
+  leaf.name = "leaf";
+  t.levels.push_back(std::move(leaf));
+
+  FabricLevel spine = ib_level(net, n_gpus > 0 ? ceil_div(n_gpus, leaf_size) : 0);
+  spine.name = "spine";
+  if (oversubscription > 1.0) {
+    spine.pod_size = leaf_size;
+    spine.oversubscription = oversubscription;
+  }
+  t.levels.push_back(std::move(spine));
+  return t;
+}
+
+Topology rail_optimized_topology(const NetworkSpec& net,
+                                 std::int64_t nvs_domain,
+                                 std::int64_t leaf_size, std::int64_t n_gpus) {
+  Topology t = leaf_spine_topology(net, nvs_domain, leaf_size, n_gpus, 1.0);
+  // Rail-optimized: each rail lands on its own leaf switch, so spine
+  // crossings keep the full per-rail bandwidth but pay one extra switch
+  // traversal of latency.
+  t.levels[2].name = "spine-rail";
+  t.levels[2].latency = net.ib_latency * 2.0;
+  return t;
+}
+
+}  // namespace tfpe::hw

@@ -1,0 +1,102 @@
+#pragma once
+// Hierarchical fabric description: an arbitrary-depth generalization of the
+// paper's two-level NVS+IB network (§III S2). Level 0 is the innermost
+// (fastest) tier — the NVSwitch domain; each further level is a switching
+// tier that aggregates `fan_in` units of the level below it (nodes into
+// leaf switches, leaves into spines, ...). Each level carries its own
+// (alpha, beta) latency/bandwidth pair, rail count and an optional
+// pod-size/oversubscription gate, so three-tier fat-trees, rail-optimized
+// leaf/spine fabrics and oversubscribed spines are all expressible.
+//
+// The canonical two-level preset built from a NetworkSpec reproduces the
+// legacy comm/collective_model results BITWISE (guarded by
+// tests/test_topology.cpp); extra levels and the hierarchical collective
+// algorithm are strict extensions.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/network.hpp"
+#include "util/units.hpp"
+
+namespace tfpe::hw {
+
+/// One switching tier of the fabric.
+struct FabricLevel {
+  std::string name;         ///< "nvs", "ib", "leaf", "spine", ...
+  /// Units of the level below aggregated into one unit of this level
+  /// (level 0: GPUs per fast domain). <= 0 means unbounded — the level can
+  /// grow to cover any machine size.
+  std::int64_t fan_in = 1;
+  Seconds latency;          ///< Per-hop latency alpha at this level.
+  /// Per-rail one-directional bandwidth beta at this level (level 0: per
+  /// GPU; outer levels: per NIC rail).
+  BytesPerSec bandwidth;
+  double rails = 1.0;       ///< Rails per member driving this level.
+  /// Oversubscription gate: groups spanning more than `pod_size` GPUs see
+  /// this level's bandwidth divided by `oversubscription`. pod_size = 0
+  /// disables the effect (full bisection).
+  std::int64_t pod_size = 0;
+  double oversubscription = 1.0;
+};
+
+/// The whole fabric plus the collective-model knobs shared across levels.
+struct Topology {
+  /// Placements carry a fixed-size per-level occupancy vector (no heap
+  /// allocation in the timing hot path), which caps the fabric depth.
+  static constexpr std::size_t kMaxDepth = 6;
+
+  std::vector<FabricLevel> levels;  ///< Innermost (fastest) first.
+  double efficiency = 0.7;          ///< Achievable fraction of peak bandwidth.
+
+  // Collective-algorithm knobs, mirroring NetworkSpec (same defaults).
+  bool enable_tree = false;
+  bool enable_ll = false;
+  double ll_latency_scale = 0.2;
+  double ll_bandwidth_scale = 0.5;
+  /// Allow the hierarchical two-phase reduce-scatter/all-gather algorithm:
+  /// collectives then take min(ring, hierarchical). Off by default — the
+  /// flat ring is the paper's model and the bitwise-preservation baseline.
+  bool enable_hierarchical = false;
+
+  std::size_t depth() const { return levels.size(); }
+  bool empty() const { return levels.empty(); }
+
+  /// GPUs per unit of `level` (product of fan-ins up to and including it);
+  /// 0 when any contributing fan-in is unbounded.
+  std::int64_t capacity(std::size_t level) const;
+  /// GPUs the whole fabric can host (capacity of the outermost level).
+  std::int64_t total_capacity() const;
+
+  std::string describe() const;  ///< e.g. "nvs8 > leaf4 > spine16(os4)"
+};
+
+/// The paper's two-level NVS+IB preset: level 0 is the fast domain of
+/// `nvs_domain` GPUs, level 1 the IB network with `net.nics_per_gpu` rails.
+/// Copies every collective-model knob from `net`; walking this fabric
+/// reproduces the legacy closed-form model bitwise. `n_gpus` sizes the top
+/// fan-in (0 = unbounded).
+Topology two_level_topology(const NetworkSpec& net, std::int64_t nvs_domain,
+                            std::int64_t n_gpus);
+
+/// Three-level leaf/spine fat-tree: fast domains under leaf switches of
+/// `leaf_size` GPUs, leaves under a spine tier with the given
+/// oversubscription (pod_size = leaf_size gates it, 1.0 = full bisection).
+/// Leaf and spine reuse the IB (alpha, beta) pair — the degenerate preset
+/// leaf_size == nvs_domain, oversubscription == 1 collapses bitwise onto
+/// the two-level fabric.
+Topology leaf_spine_topology(const NetworkSpec& net, std::int64_t nvs_domain,
+                             std::int64_t leaf_size, std::int64_t n_gpus,
+                             double oversubscription);
+
+/// Rail-optimized leaf/spine: every NIC rail keeps its full bandwidth
+/// across the spine (no oversubscription), at twice the IB per-hop latency
+/// for the extra switch traversal. Models the rail-optimized fabrics of
+/// large Ethernet/IB clusters.
+Topology rail_optimized_topology(const NetworkSpec& net,
+                                 std::int64_t nvs_domain,
+                                 std::int64_t leaf_size, std::int64_t n_gpus);
+
+}  // namespace tfpe::hw

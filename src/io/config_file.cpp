@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "util/units.hpp"
 
@@ -52,6 +53,56 @@ void reject_unknown(const Section& s, const std::set<std::string>& known,
                                section + "]");
     }
   }
+}
+
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(value);
+  while (std::getline(in, item, ',')) out.push_back(trim(item));
+  return out;
+}
+
+/// Per-level list of doubles: missing key -> `n` copies of `fallback`;
+/// present key must have exactly `n` comma-separated entries.
+std::vector<double> double_list(const Section& s, const std::string& key,
+                                std::size_t n, double fallback) {
+  const auto it = s.find(key);
+  if (it == s.end()) return std::vector<double>(n, fallback);
+  const auto items = split_list(it->second);
+  if (items.size() != n) {
+    throw std::runtime_error("config: '" + key + "' has " +
+                             std::to_string(items.size()) + " entries, [" +
+                             "topology] declares " + std::to_string(n) +
+                             " levels");
+  }
+  std::vector<double> out;
+  out.reserve(n);
+  for (const auto& item : items) {
+    std::size_t pos = 0;
+    double v = 0;
+    try {
+      v = std::stod(item, &pos);
+    } catch (const std::exception&) {
+      pos = std::string::npos;
+    }
+    if (pos != item.size()) {
+      throw std::runtime_error("config: '" + key + "' expects numbers, got '" +
+                               item + "'");
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::string join_list(const std::vector<double>& values) {
+  std::ostringstream out;
+  out.precision(17);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out << ", ";
+    out << values[i];
+  }
+  return out.str();
 }
 
 }  // namespace
@@ -185,6 +236,111 @@ hw::SystemConfig system_from_section(const Section& s) {
   return sys;
 }
 
+hw::Topology topology_from_section(const Section& s) {
+  reject_unknown(s,
+                 {"levels", "fan_in", "latency_us", "gbs", "rails", "pod_size",
+                  "oversubscription", "efficiency", "enable_tree", "enable_ll",
+                  "ll_latency_scale", "ll_bandwidth_scale",
+                  "enable_hierarchical"},
+                 "topology");
+  const auto lv = s.find("levels");
+  if (lv == s.end()) {
+    throw std::runtime_error("config: [topology] requires 'levels'");
+  }
+  const std::vector<std::string> names = split_list(lv->second);
+  const std::size_t n = names.size();
+  if (n == 0) {
+    throw std::runtime_error("config: [topology] 'levels' is empty");
+  }
+  if (n > hw::Topology::kMaxDepth) {
+    throw std::runtime_error(
+        "config: [topology] has " + std::to_string(n) + " levels, at most " +
+        std::to_string(hw::Topology::kMaxDepth) + " supported");
+  }
+  const auto fan = double_list(s, "fan_in", n, 1.0);
+  const auto latency_us = double_list(s, "latency_us", n, 0.0);
+  const auto gbs = double_list(s, "gbs", n, 0.0);
+  const auto rails = double_list(s, "rails", n, 1.0);
+  const auto pods = double_list(s, "pod_size", n, 0.0);
+  const auto oversub = double_list(s, "oversubscription", n, 1.0);
+  if (s.find("gbs") == s.end()) {
+    throw std::runtime_error("config: [topology] requires 'gbs'");
+  }
+
+  hw::Topology topo;
+  topo.efficiency = to_double(s, "efficiency", topo.efficiency);
+  topo.enable_tree = to_int(s, "enable_tree", 0) != 0;
+  topo.enable_ll = to_int(s, "enable_ll", 0) != 0;
+  topo.ll_latency_scale =
+      to_double(s, "ll_latency_scale", topo.ll_latency_scale);
+  topo.ll_bandwidth_scale =
+      to_double(s, "ll_bandwidth_scale", topo.ll_bandwidth_scale);
+  topo.enable_hierarchical = to_int(s, "enable_hierarchical", 0) != 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    hw::FabricLevel level;
+    level.name = names[i];
+    level.fan_in = static_cast<std::int64_t>(fan[i]);
+    level.latency = Seconds(latency_us[i] * 1e-6);
+    level.bandwidth = BytesPerSec(gbs[i] * 1e9);
+    level.rails = rails[i];
+    level.pod_size = static_cast<std::int64_t>(pods[i]);
+    level.oversubscription = oversub[i];
+    if (level.name.empty()) {
+      throw std::runtime_error("config: [topology] level " +
+                               std::to_string(i) + " has an empty name");
+    }
+    if (!(level.bandwidth > BytesPerSec(0))) {
+      throw std::runtime_error("config: [topology] level '" + level.name +
+                               "' needs a positive bandwidth");
+    }
+    if (level.latency < Seconds(0)) {
+      throw std::runtime_error("config: [topology] level '" + level.name +
+                               "' has a negative latency");
+    }
+    if (!(level.rails > 0.0)) {
+      throw std::runtime_error("config: [topology] level '" + level.name +
+                               "' needs positive rails");
+    }
+    if (level.oversubscription < 1.0) {
+      throw std::runtime_error("config: [topology] level '" + level.name +
+                               "' has oversubscription < 1");
+    }
+    topo.levels.push_back(level);
+  }
+  return topo;
+}
+
+Section topology_to_section(const hw::Topology& topo) {
+  Section s;
+  std::vector<double> fan, latency_us, gbs, rails, pods, oversub;
+  std::string names;
+  for (std::size_t i = 0; i < topo.levels.size(); ++i) {
+    const hw::FabricLevel& lvl = topo.levels[i];
+    if (i) names += ", ";
+    names += lvl.name;
+    fan.push_back(static_cast<double>(lvl.fan_in));
+    latency_us.push_back(lvl.latency.value() * 1e6);
+    gbs.push_back(lvl.bandwidth.value() / 1e9);
+    rails.push_back(lvl.rails);
+    pods.push_back(static_cast<double>(lvl.pod_size));
+    oversub.push_back(lvl.oversubscription);
+  }
+  s["levels"] = names;
+  s["fan_in"] = join_list(fan);
+  s["latency_us"] = join_list(latency_us);
+  s["gbs"] = join_list(gbs);
+  s["rails"] = join_list(rails);
+  s["pod_size"] = join_list(pods);
+  s["oversubscription"] = join_list(oversub);
+  s["efficiency"] = join_list({topo.efficiency});
+  s["enable_tree"] = topo.enable_tree ? "1" : "0";
+  s["enable_ll"] = topo.enable_ll ? "1" : "0";
+  s["ll_latency_scale"] = join_list({topo.ll_latency_scale});
+  s["ll_bandwidth_scale"] = join_list({topo.ll_bandwidth_scale});
+  s["enable_hierarchical"] = topo.enable_hierarchical ? "1" : "0";
+  return s;
+}
+
 LoadedConfig load_config_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open config file " + path);
@@ -195,6 +351,10 @@ LoadedConfig load_config_file(const std::string& path) {
   }
   if (const auto it = sections.find("system"); it != sections.end()) {
     out.system = system_from_section(it->second);
+  }
+  if (const auto it = sections.find("topology"); it != sections.end()) {
+    out.topology = topology_from_section(it->second);
+    if (out.system) out.system->fabric = *out.topology;
   }
   return out;
 }

@@ -27,7 +27,23 @@
 //   nvs_domain = 8
 //   n_gpus = 4096
 //
-// Unknown keys are errors (typo protection). Either section may be absent.
+//   [topology]                     # optional hierarchical fabric override
+//   levels = nvs, leaf, spine      # innermost first
+//   fan_in = 8, 4, 16              # children per element; 0 = unbounded top
+//   latency_us = 0.3, 2.5, 5.0     # per-hop latency [us]
+//   gbs = 900, 50, 50              # per-link bandwidth [GB/s]
+//   rails = 1, 8, 8                # optional NIC rails, default 1
+//   pod_size = 0, 0, 1024          # optional oversubscription gate
+//   oversubscription = 1, 1, 4     # optional taper ratio, default 1
+//   efficiency = 0.7               # scalar knobs (achievable fraction)
+//   enable_tree = 0
+//   enable_ll = 0
+//   enable_hierarchical = 0
+//
+// Unknown keys are errors (typo protection). Every section may be absent.
+// A [topology] section is attached to the [system] as its resolved fabric
+// (hw::SystemConfig::fabric); per-level lists must all have one entry per
+// named level.
 
 #include <istream>
 #include <map>
@@ -53,9 +69,20 @@ model::TransformerConfig model_from_section(const Section& s);
 /// overridden by explicit values.
 hw::SystemConfig system_from_section(const Section& s);
 
+/// Build a fabric Topology from a [topology] section. Throws
+/// std::runtime_error on mismatched list lengths, non-positive bandwidths /
+/// rails, oversubscription < 1 or depth > hw::Topology::kMaxDepth.
+hw::Topology topology_from_section(const Section& s);
+
+/// Serialize a fabric back into [topology]-section form; round-trips
+/// exactly through topology_from_section.
+Section topology_to_section(const hw::Topology& topo);
+
 struct LoadedConfig {
   std::optional<model::TransformerConfig> model;
   std::optional<hw::SystemConfig> system;
+  /// Parsed [topology], also attached to system->fabric when both exist.
+  std::optional<hw::Topology> topology;
 };
 
 /// Parse a whole file; throws std::runtime_error if it cannot be read.

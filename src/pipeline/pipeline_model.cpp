@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "comm/collective_algorithm.hpp"
 #include "ops/op.hpp"
 
 namespace tfpe::pipeline {
@@ -25,6 +26,17 @@ Seconds p2p_time(const hw::NetworkSpec& net, std::int64_t np, std::int64_t m,
       {.size = 2, .nvs = nvs_neighbors});
   // Forward activation send + backward gradient send per microbatch, once
   // per virtual chunk.
+  return one_hop *
+         (2.0 * static_cast<double>(m) * static_cast<double>(interleave));
+}
+
+Seconds p2p_time(const hw::Topology& fabric, std::int64_t np, std::int64_t m,
+                 Bytes boundary_bytes, std::int64_t nvs_neighbors,
+                 std::int64_t interleave) {
+  if (np <= 1) return Seconds(0);
+  const Seconds one_hop = comm::collective_time(
+      fabric, ops::Collective::PointToPoint, boundary_bytes,
+      {.size = 2, .nvs = nvs_neighbors});
   return one_hop *
          (2.0 * static_cast<double>(m) * static_cast<double>(interleave));
 }

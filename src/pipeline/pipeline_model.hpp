@@ -11,6 +11,7 @@
 
 #include "comm/collective_model.hpp"
 #include "hw/network.hpp"
+#include "hw/topology.hpp"
 
 namespace tfpe::pipeline {
 
@@ -30,6 +31,13 @@ std::int64_t in_flight_microbatches(std::int64_t np, std::int64_t m);
 /// crosses every stage boundary v times). `nvs_neighbors` > 1 places
 /// pipeline neighbors in the same fast domain.
 Seconds p2p_time(const hw::NetworkSpec& net, std::int64_t np, std::int64_t m,
+                 Bytes boundary_bytes, std::int64_t nvs_neighbors,
+                 std::int64_t interleave = 1);
+
+/// Same against a resolved fabric: the hop crosses the innermost level the
+/// two neighbors share. Bitwise identical to the NetworkSpec overload for
+/// the canonical two-level fabric.
+Seconds p2p_time(const hw::Topology& fabric, std::int64_t np, std::int64_t m,
                  Bytes boundary_bytes, std::int64_t nvs_neighbors,
                  std::int64_t interleave = 1);
 

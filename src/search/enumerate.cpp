@@ -138,4 +138,11 @@ std::vector<std::array<std::int64_t, 4>> enumerate_placements(
   return keep;
 }
 
+std::vector<std::array<std::int64_t, 4>> enumerate_placements(
+    const parallel::ParallelConfig& cfg, const hw::Topology& fabric) {
+  const std::int64_t domain =
+      fabric.empty() ? 1 : std::max<std::int64_t>(1, fabric.levels[0].fan_in);
+  return enumerate_placements(cfg, domain);
+}
+
 }  // namespace tfpe::search

@@ -50,4 +50,11 @@ std::vector<parallel::ParallelConfig> enumerate_parallel(
 std::vector<std::array<std::int64_t, 4>> enumerate_placements(
     const parallel::ParallelConfig& cfg, std::int64_t nvs_domain);
 
+/// Same against a resolved fabric: the fast-domain budget is the innermost
+/// level's fan-in (identical to the nvs_domain overload for the canonical
+/// two-level fabric; deeper fabrics do not change the placement space,
+/// only how placements are timed).
+std::vector<std::array<std::int64_t, 4>> enumerate_placements(
+    const parallel::ParallelConfig& cfg, const hw::Topology& fabric);
+
 }  // namespace tfpe::search

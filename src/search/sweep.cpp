@@ -215,4 +215,29 @@ std::vector<hw::SystemConfig> hardware_grid(
   return grid;
 }
 
+std::vector<hw::SystemConfig> hardware_grid(
+    const std::vector<hw::GpuGeneration>& gens,
+    const std::vector<std::int64_t>& nvs_domains,
+    const std::vector<double>& oversubscriptions, std::int64_t n_gpus,
+    std::int64_t leaf_size) {
+  std::vector<hw::SystemConfig> grid;
+  grid.reserve(gens.size() * nvs_domains.size() * oversubscriptions.size());
+  for (hw::GpuGeneration gen : gens) {
+    for (std::int64_t nvs : nvs_domains) {
+      for (double oversub : oversubscriptions) {
+        hw::SystemConfig sys = hw::make_system(gen, nvs, n_gpus);
+        if (oversub > 1.0) {
+          const std::int64_t leaf =
+              std::max(nvs, leaf_size - leaf_size % std::max<std::int64_t>(
+                                                        nvs, 1));
+          sys.fabric =
+              hw::leaf_spine_topology(sys.net, nvs, leaf, n_gpus, oversub);
+        }
+        grid.push_back(std::move(sys));
+      }
+    }
+  }
+  return grid;
+}
+
 }  // namespace tfpe::search

@@ -30,6 +30,43 @@ RingTopology RingTopology::two_level(std::int64_t g, std::int64_t nvs,
   return ring;
 }
 
+RingTopology RingTopology::hierarchical(const hw::Topology& topo,
+                                        const comm::TopoPlacement& p,
+                                        double rails) {
+  const std::int64_t g = p.size;
+  if (g < 1) {
+    throw std::invalid_argument("hierarchical: placement size must be >= 1");
+  }
+  if (topo.empty()) {
+    throw std::invalid_argument("hierarchical: empty topology");
+  }
+  if (!(rails >= 1.0)) {
+    throw std::invalid_argument("hierarchical: rails must be >= 1");
+  }
+  RingTopology ring;
+  ring.links.resize(uz(g));
+  for (std::int64_t i = 0; i < g; ++i) {
+    // The hop i -> i+1 exits every block whose occupancy divides i+1; the
+    // message must traverse the outermost (slowest) such level.
+    std::size_t level = 0;
+    for (std::size_t l = 1; l < topo.levels.size(); ++l) {
+      const std::int64_t block = p.occupancy[l - 1];
+      if (block >= 1 && block < g && (i + 1) % block == 0) level = l;
+    }
+    const hw::FabricLevel& lvl = topo.levels[level];
+    // Level-0 links share the fast-domain bandwidth across the rail rings;
+    // each outer-level link owns one NIC rail.
+    BytesPerSec bw = level == 0 ? lvl.bandwidth * topo.efficiency / rails
+                                : lvl.bandwidth * topo.efficiency;
+    if (level > 0 && lvl.pod_size > 0 && g > lvl.pod_size &&
+        lvl.oversubscription > 1.0) {
+      bw = bw / lvl.oversubscription;
+    }
+    ring.links[uz(i)] = RingLink{lvl.latency, bw};
+  }
+  return ring;
+}
+
 Seconds simulate_allgather(const RingTopology& ring, Bytes total_bytes,
                            int slices) {
   const std::int64_t g = ring.size();
@@ -118,6 +155,89 @@ Seconds simulate_collective(const hw::NetworkSpec& net, ops::Collective coll,
       return Seconds(0);
   }
   return Seconds(0);
+}
+
+Seconds simulate_collective(const hw::Topology& topo, ops::Collective coll,
+                            Bytes bytes, const comm::TopoPlacement& p,
+                            int slices) {
+  const std::int64_t g = p.size;
+  if (g <= 1 || bytes <= Bytes(0)) return Seconds(0);
+  if (topo.empty()) {
+    throw std::invalid_argument("simulate_collective: empty topology");
+  }
+  // One ring per NIC rail when the group leaves the fast domain, as in the
+  // NetworkSpec overload: rails = (GPUs per fast domain) x (NIC rails of
+  // the first boundary level).
+  const double nic_rails = topo.depth() > 1 ? topo.levels[1].rails : 1.0;
+  const double rails = p.occupancy[0] < g
+                           ? static_cast<double>(p.occupancy[0]) * nic_rails
+                           : 1.0;
+  const RingTopology ring = RingTopology::hierarchical(topo, p, rails);
+  const Bytes per_ring_bytes = bytes / rails;
+
+  switch (coll) {
+    case ops::Collective::AllGather:
+    case ops::Collective::ReduceScatter:
+    case ops::Collective::AllToAll:
+    case ops::Collective::Broadcast:
+    case ops::Collective::Reduce:
+      // Same per-link aggregate volumes as the two-level overload.
+      return simulate_allgather(ring, per_ring_bytes, slices);
+    case ops::Collective::AllReduce:
+      return 2.0 * simulate_allgather(ring, per_ring_bytes, slices);
+    case ops::Collective::PointToPoint: {
+      const RingLink& link = ring.links[0];
+      return link.alpha + per_ring_bytes / link.bandwidth;
+    }
+    case ops::Collective::None:
+      return Seconds(0);
+  }
+  return Seconds(0);
+}
+
+Seconds simulate_hierarchical(const hw::Topology& topo, ops::Collective coll,
+                              Bytes bytes, const comm::TopoPlacement& p,
+                              int slices) {
+  const std::int64_t g = p.size;
+  if (g <= 1 || bytes <= Bytes(0)) return Seconds(0);
+  if (topo.empty()) {
+    throw std::invalid_argument("simulate_hierarchical: empty topology");
+  }
+  if (coll != ops::Collective::AllGather &&
+      coll != ops::Collective::ReduceScatter &&
+      coll != ops::Collective::AllReduce) {
+    throw std::invalid_argument(
+        "simulate_hierarchical: only AG / RS / AllReduce");
+  }
+
+  // Phase i runs concurrent uniform rings of k = occ_i / occ_{i-1} members
+  // over level-i links, on the 1/occ_{i-1} shard the analytic two-phase
+  // schedule prescribes (comm::hierarchical_time).
+  Seconds total(0);
+  double shard = 1.0;
+  std::int64_t prev = 1;
+  for (std::size_t i = 0; i < topo.levels.size(); ++i) {
+    const std::int64_t occ = p.occupancy[i];
+    const std::int64_t k = occ / std::max<std::int64_t>(prev, 1);
+    if (k <= 1) {
+      prev = std::max(prev, occ);
+      continue;
+    }
+    const hw::FabricLevel& lvl = topo.levels[i];
+    BytesPerSec bw = i == 0 ? lvl.bandwidth * topo.efficiency
+                            : lvl.bandwidth * (lvl.rails * topo.efficiency);
+    if (i > 0 && lvl.pod_size > 0 && g > lvl.pod_size &&
+        lvl.oversubscription > 1.0) {
+      bw = bw / lvl.oversubscription;
+    }
+    RingTopology ring;
+    ring.links.assign(uz(k), RingLink{lvl.latency, bw});
+    total += simulate_allgather(ring, bytes * shard, slices);
+    shard /= static_cast<double>(k);
+    prev = occ;
+  }
+  if (coll == ops::Collective::AllReduce) total = total * 2.0;
+  return total;
 }
 
 Seconds simulate_tree_allreduce(const hw::NetworkSpec& net, Bytes bytes,

@@ -16,7 +16,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "comm/collective_algorithm.hpp"
 #include "hw/network.hpp"
+#include "hw/topology.hpp"
 #include "ops/op.hpp"
 
 namespace tfpe::sim {
@@ -38,6 +40,15 @@ struct RingTopology {
   static RingTopology two_level(std::int64_t g, std::int64_t nvs,
                                 Seconds alpha_f, BytesPerSec bw_f,
                                 Seconds alpha_s, BytesPerSec bw_s);
+
+  /// Multi-tier ring over an arbitrary-depth fabric: the hop i -> i+1 is
+  /// charged to the outermost level whose block (the placement occupancy
+  /// below it) ends at member i — the generalization of two_level's
+  /// domain-boundary rule. `rails` is the ring's NVS bandwidth share
+  /// (level-0 links divide by it; outer levels own a NIC rail each).
+  static RingTopology hierarchical(const hw::Topology& topo,
+                                   const comm::TopoPlacement& p,
+                                   double rails = 1.0);
 };
 
 /// Simulate an AllGather of a `total_bytes` tensor on the ring, slicing each
@@ -54,6 +65,23 @@ Seconds simulate_allgather(const RingTopology& ring, Bytes total_bytes,
 Seconds simulate_collective(const hw::NetworkSpec& net, ops::Collective coll,
                             Bytes bytes, std::int64_t g, std::int64_t nvs,
                             int slices = 4);
+
+/// Same against a resolved fabric: NCCL-style multi-rail flat rings on the
+/// hierarchical ring topology. For the canonical two-level fabric this is
+/// the same simulation as the NetworkSpec overload; deeper fabrics add the
+/// extra boundary tiers. Cross-validates comm::collective_time (Fig. A1).
+Seconds simulate_collective(const hw::Topology& topo, ops::Collective coll,
+                            Bytes bytes, const comm::TopoPlacement& p,
+                            int slices = 4);
+
+/// Discrete-event execution of the hierarchical two-phase schedule
+/// (comm::hierarchical_time): one uniform ring per crossed level, each phase
+/// moving the shard the analytic model prescribes; AllReduce runs the
+/// mirrored RS + AG sequence (2x). Supports AllGather, ReduceScatter and
+/// AllReduce only.
+Seconds simulate_hierarchical(const hw::Topology& topo, ops::Collective coll,
+                              Bytes bytes, const comm::TopoPlacement& p,
+                              int slices = 4);
 
 /// Discrete-event execution of a binary-tree AllReduce: slices flow
 /// leaf-to-root (reduce) and back (broadcast) over FIFO edges; edges

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "comm/collective_algorithm.hpp"
 #include "comm/collective_model.hpp"
 #include "parallel/layer_builder.hpp"
 #include "pipeline/pipeline_model.hpp"
@@ -137,9 +138,11 @@ PipelineParams pipeline_params_from_signature(
   params.t_fwd = pt.t_fwd_stage;
   params.t_bwd = pt.t_bwd_stage;
   if (sig.np > 1) {
+    // Same fabric the evaluator's pipeline term walks, so signature-driven
+    // pipeline simulation stays in lockstep with time_placement.
     params.t_p2p = comm::collective_time(
-        sys.net, ops::Collective::PointToPoint, sig.pp_boundary_bytes,
-        {.size = 2, .nvs = cfg.nvsp > 1 ? 2 : 1});
+        sys.resolved_fabric(), ops::Collective::PointToPoint,
+        sig.pp_boundary_bytes, {.size = 2, .nvs = cfg.nvsp > 1 ? 2 : 1});
   }
   return params;
 }

@@ -112,6 +112,119 @@ TEST(CollectiveTime, RejectsNegativeBytes) {
       std::invalid_argument);
 }
 
+TEST(CollectiveTime, RejectsInvalidPlacements) {
+  // Regression: these placements used to produce negative slow-hop counts
+  // (nodes = size/nvs < 1) silently; now they are rejected up front.
+  const auto net = b200_net();
+  const Bytes v{1e6};
+  // nvs exceeds the group size.
+  EXPECT_THROW(collective_time(net, ops::Collective::AllGather, v, {2, 8}),
+               std::invalid_argument);
+  // nvs not positive.
+  EXPECT_THROW(collective_time(net, ops::Collective::AllGather, v, {8, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(collective_time(net, ops::Collective::AllGather, v, {8, -1}),
+               std::invalid_argument);
+  // nvs does not divide the group size.
+  EXPECT_THROW(collective_time(net, ops::Collective::AllGather, v, {12, 8}),
+               std::invalid_argument);
+  EXPECT_THROW(collective_time(net, ops::Collective::AllReduce, v, {6, 4}),
+               std::invalid_argument);
+  // Negative group size.
+  EXPECT_THROW(collective_time(net, ops::Collective::AllGather, v, {-4, 1}),
+               std::invalid_argument);
+}
+
+TEST(CollectiveTime, NoneAndZeroVolumeBypassPlacementValidation) {
+  // Legacy ordering: None / zero-volume collectives returned 0 before the
+  // placement was ever inspected; the adapter preserves that.
+  const auto net = b200_net();
+  EXPECT_DOUBLE_EQ(
+      collective_time(net, ops::Collective::None, Bytes(1e6), {2, 8}).value(),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      collective_time(net, ops::Collective::AllGather, Bytes(0), {12, 8})
+          .value(),
+      0.0);
+  // Negative bytes still throw first.
+  EXPECT_THROW(
+      collective_time(net, ops::Collective::AllGather, Bytes(-1.0), {2, 8}),
+      std::invalid_argument);
+}
+
+TEST(CollectiveTime, ClampingHelpersStayTolerant) {
+  // ring_latency / effective_bandwidth keep the legacy clamp-to-size
+  // behaviour so exploratory callers can probe degenerate shapes.
+  const auto net = b200_net();
+  EXPECT_DOUBLE_EQ(ring_latency(net, {2, 8}).value(),
+                   ring_latency(net, {2, 2}).value());
+  EXPECT_DOUBLE_EQ(effective_bandwidth(net, {2, 8}).value(),
+                   effective_bandwidth(net, {2, 2}).value());
+}
+
+TEST(RingVsTree, TreeWinsTheLatencyBoundRegime) {
+  // Large group, tiny volume: the ring pays O(g) hops, the double-binary
+  // tree O(log g) — the dispatcher must pick the tree when enabled.
+  auto net = b200_net();
+  const GroupPlacement g{1024, 8};
+  const Bytes tiny{1e3};
+  const double ring_time =
+      collective_time(net, ops::Collective::AllReduce, tiny, g).value();
+  net.enable_tree = true;
+  const double with_tree =
+      collective_time(net, ops::Collective::AllReduce, tiny, g).value();
+  EXPECT_LT(with_tree, ring_time);
+  EXPECT_DOUBLE_EQ(with_tree,
+                   tree_time(net, ops::Collective::AllReduce, tiny, g).value());
+}
+
+TEST(RingVsTree, RingWinsTheBandwidthBoundRegime) {
+  // Huge volume: the ring's (g-1)/g factor beats the tree's full-tensor
+  // passes, so enabling the tree must not change the answer. At g=1024 the
+  // ring pays ~6 ms of hop latency, so the crossover sits near 1.7e12 bytes.
+  auto net = b200_net();
+  const GroupPlacement g{1024, 8};
+  const Bytes huge{1e13};
+  const double ring_time =
+      collective_time(net, ops::Collective::AllReduce, huge, g).value();
+  net.enable_tree = true;
+  EXPECT_DOUBLE_EQ(
+      collective_time(net, ops::Collective::AllReduce, huge, g).value(),
+      ring_time);
+}
+
+TEST(MultiRail, SingleRailEdge) {
+  // One GPU per node and one NIC per GPU: exactly one rail of slow
+  // bandwidth, no amplification.
+  auto net = b200_net();
+  net.nics_per_gpu = 1.0;
+  EXPECT_DOUBLE_EQ(effective_bandwidth(net, {16, 1}).value(),
+                   net.ib_bandwidth.value() * net.efficiency);
+}
+
+TEST(MultiRail, FullDomainRailsCapAtNvs) {
+  // nvs = full domain with many NICs: the aggregate rail bandwidth exceeds
+  // the fast-domain bandwidth, which must stay the ceiling.
+  auto net = b200_net();
+  net.nics_per_gpu = 4.0;
+  const GroupPlacement g{64, 8};
+  const double rails_bw =
+      8.0 * net.ib_bandwidth.value() * (net.nics_per_gpu * net.efficiency);
+  ASSERT_GT(rails_bw, net.effective_nvs_bandwidth().value());
+  EXPECT_DOUBLE_EQ(effective_bandwidth(net, g).value(),
+                   net.effective_nvs_bandwidth().value());
+}
+
+TEST(MultiRail, GroupInsideOneFastDomain) {
+  // A group smaller than the fast domain never touches the slow network:
+  // full NVS bandwidth and fast-only latency.
+  const auto net = b200_net();
+  const GroupPlacement g{4, 4};
+  EXPECT_DOUBLE_EQ(effective_bandwidth(net, g).value(),
+                   net.effective_nvs_bandwidth().value());
+  EXPECT_DOUBLE_EQ(ring_latency(net, g).value(), 3 * 2.5e-6);
+}
+
 // ---- Property suite: monotonicity of the model over the design space ----
 
 class CollectiveProperty

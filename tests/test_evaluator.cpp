@@ -86,6 +86,7 @@ TEST(OpTime, MorePanelsCostMoreLaunchLatency) {
   ParallelConfig cfg = fig1_optimum();
   cfg.strategy = TpStrategy::Summa2D;
   cfg.n1 = cfg.n2 = 2;
+  cfg.nvs1 = 2;  // collective_time rejects nvs1 > n1 placements
   const ops::Op p1 = ops::summa_matmul("s", 1024, 1024, 1024, 2, 2, 1);
   const ops::Op p16 = ops::summa_matmul("s", 1024, 1024, 1024, 2, 2, 16);
   const OpTime t1 = op_time(p1, false, sys, cfg);

@@ -8,6 +8,8 @@
 //   model = gpt3-1t, vit-64k      # presets, comma-separated
 //   gpu = a100, b200
 //   nvs = 4, 8, 64
+//   oversub = 1, 4                # spine oversubscription (1 = two-level)
+//   leaf = 64                     # leaf-pod size for oversub > 1 points
 //   gpus = 1024, 4096, 16384
 //   strategy = 1d, 2d, summa
 //   batch = 4096
@@ -15,19 +17,27 @@
 //
 // Usage: tfpe-sweep spec.tfpe [--output path] [--engine signature|legacy]
 //                             [--threads N] [--verify-legacy]
+//                             [--ablate-topology]
 //
-// The hardware axes (gpu, nvs) of each (model, strategy, batch, gpus) slice
-// run through search::run_sweep: candidates are enumerated once, compiled
-// once into hardware-invariant cost signatures, and re-timed per hardware
-// point in parallel. --engine legacy falls back to one find_optimal call per
-// point; --verify-legacy runs both engines and exits nonzero unless every
-// per-point optimum is bitwise identical.
+// The hardware axes (gpu, nvs, oversub) of each (model, strategy, batch,
+// gpus) slice run through search::run_sweep: candidates are enumerated once,
+// compiled once into hardware-invariant cost signatures, and re-timed per
+// hardware point in parallel. Oversubscription 1 keeps the canonical
+// two-level fabric; ratios > 1 attach a three-level leaf/spine fabric, so
+// the topology is swept exactly like the NVS-domain size. --engine legacy
+// falls back to one find_optimal call per point; --verify-legacy runs both
+// engines and exits nonzero unless every per-point optimum is bitwise
+// identical. --ablate-topology re-runs every two-level point with its
+// fabric replaced by the degenerate three-level preset (leaf = nvs, no
+// oversubscription) and exits nonzero unless the optima are bitwise
+// identical — the golden-equivalence contract of the topology layer.
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
+#include "hw/topology.hpp"
 #include "io/config_file.hpp"
 #include "search/sweep.hpp"
 #include "util/args.hpp"
@@ -43,7 +53,7 @@ int usage(const char* msg) {
   if (msg) std::cerr << "error: " << msg << "\n";
   std::cerr << "usage: tfpe-sweep spec.tfpe [--output path]\n"
                "                  [--engine signature|legacy] [--threads N]\n"
-               "                  [--verify-legacy]\n"
+               "                  [--verify-legacy] [--ablate-topology]\n"
                "see the header of tools/tfpe_sweep.cpp for the spec format\n";
   return 2;
 }
@@ -64,7 +74,7 @@ std::optional<hw::GpuGeneration> gen_by_name(const std::string& s) {
 
 /// One fully-resolved sweep point, in spec nesting order.
 struct Point {
-  std::string model, gpu, nvs, gpus, strategy, batch;
+  std::string model, gpu, nvs, oversub, gpus, strategy, batch;
 };
 
 bool identical_optimum(const core::EvalResult& a, const core::EvalResult& b) {
@@ -100,9 +110,13 @@ int main(int argc, char** argv) {
   const auto models = axis("model", "gpt3-1t");
   const auto gpus_axis = axis("gpu", "b200");
   const auto nvs_axis = axis("nvs", "8");
+  const auto oversub_axis = axis("oversub", "1");
   const auto scale_axis = axis("gpus", "1024");
   const auto strat_axis = axis("strategy", "1d");
   const auto batch_axis = axis("batch", "4096");
+  const auto leaf_it = spec.find("leaf");
+  const std::int64_t leaf_size =
+      leaf_it != spec.end() ? std::stoll(leaf_it->second) : 64;
 
   std::string output = args.get_or("output", "");
   if (output.empty()) {
@@ -114,6 +128,7 @@ int main(int argc, char** argv) {
     return usage("--engine must be 'signature' or 'legacy'");
   }
   const bool verify_legacy = args.has("verify-legacy");
+  const bool ablate_topology = args.has("ablate-topology");
   const auto threads = static_cast<unsigned>(args.get_int_or("threads", 0));
 
   // Validate axes up front, before any work.
@@ -139,11 +154,13 @@ int main(int argc, char** argv) {
   for (const auto& model_name : models) {
     for (const auto& gpu_name : gpus_axis) {
       for (const auto& nvs_s : nvs_axis) {
-        for (const auto& n_s : scale_axis) {
-          for (const auto& strat_s : strat_axis) {
-            for (const auto& b_s : batch_axis) {
-              points.push_back(
-                  {model_name, gpu_name, nvs_s, n_s, strat_s, b_s});
+        for (const auto& os_s : oversub_axis) {
+          for (const auto& n_s : scale_axis) {
+            for (const auto& strat_s : strat_axis) {
+              for (const auto& b_s : batch_axis) {
+                points.push_back(
+                    {model_name, gpu_name, nvs_s, os_s, n_s, strat_s, b_s});
+              }
             }
           }
         }
@@ -155,6 +172,8 @@ int main(int argc, char** argv) {
   search::SweepStats totals;
   double sweep_seconds = 0.0;
   std::size_t mismatches = 0;
+  std::size_t ablation_mismatches = 0;
+  std::size_t ablation_checked = 0;
 
   for (const auto& model_name : models) {
     const auto mdl = model::preset_by_name(model_name);
@@ -170,9 +189,13 @@ int main(int argc, char** argv) {
               continue;
             }
             slice.push_back(i);
-            grid.push_back(hw::make_system(*gen_by_name(p.gpu),
-                                           std::stoll(p.nvs),
-                                           std::stoll(p.gpus)));
+            // One-point call into the topology-axis grid builder so the
+            // fabric attachment (oversub 1 = two-level, > 1 = leaf/spine)
+            // stays in FP lockstep with search::hardware_grid.
+            grid.push_back(search::hardware_grid(
+                {*gen_by_name(p.gpu)}, {std::stoll(p.nvs)},
+                {std::stod(p.oversub)}, std::stoll(p.gpus),
+                leaf_size)[0]);
           }
 
           search::SweepOptions opts;
@@ -210,15 +233,43 @@ int main(int argc, char** argv) {
               }
             }
           }
+
+          if (ablate_topology) {
+            // Swap every two-level point's fabric for the degenerate
+            // three-level preset (leaf pod = NVS domain, full bisection):
+            // walking one extra level with fan-in 1 must not change a
+            // single bit of the optimum.
+            std::vector<hw::SystemConfig> degenerate = grid;
+            std::vector<bool> swapped(grid.size(), false);
+            for (std::size_t j = 0; j < grid.size(); ++j) {
+              if (!grid[j].fabric.levels.empty()) continue;  // already 3-level
+              degenerate[j].fabric = hw::leaf_spine_topology(
+                  grid[j].net, grid[j].nvs_domain, grid[j].nvs_domain,
+                  grid[j].n_gpus, 1.0);
+              swapped[j] = true;
+            }
+            const search::SweepResult check = run_sweep(*mdl, degenerate, opts);
+            for (std::size_t j = 0; j < slice.size(); ++j) {
+              if (!swapped[j]) continue;
+              ++ablation_checked;
+              if (!identical_optimum(results[slice[j]], check.best[j])) {
+                ++ablation_mismatches;
+                const Point& p = points[slice[j]];
+                std::cerr << "ABLATION MISMATCH at " << p.model << " "
+                          << p.gpu << " nvs" << p.nvs << " n" << p.gpus
+                          << " " << p.strategy << " b" << p.batch << "\n";
+              }
+            }
+          }
         }
       }
     }
   }
 
   util::CsvWriter csv(output);
-  csv.write_header({"model", "gpu", "nvs", "gpus", "strategy", "batch",
-                    "feasible", "config", "iter_s", "tokens_per_s_per_gpu",
-                    "hbm_gb"});
+  csv.write_header({"model", "gpu", "nvs", "oversub", "gpus", "strategy",
+                    "batch", "feasible", "config", "iter_s",
+                    "tokens_per_s_per_gpu", "hbm_gb"});
   std::size_t feasible = 0;
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
@@ -231,15 +282,15 @@ int main(int argc, char** argv) {
                          static_cast<double>(mdl->seq_len) / r.iteration() / n
                    : 0.0;
     csv.write_row(std::vector<std::string>{
-        p.model, p.gpu, p.nvs, p.gpus, p.strategy, p.batch,
+        p.model, p.gpu, p.nvs, p.oversub, p.gpus, p.strategy, p.batch,
         r.feasible ? "1" : "0", r.feasible ? r.cfg.describe() : r.reason,
         util::format_fixed(r.feasible ? r.iteration() : 0.0, 6),
         util::format_fixed(tps, 1),
         util::format_fixed(r.feasible ? r.mem.total().value() / 1e9 : 0.0,
                            2)});
     std::cout << "[" << (i + 1) << "] " << p.model << " " << p.gpu << " nvs"
-              << p.nvs << " n" << p.gpus << " " << p.strategy << " b"
-              << p.batch << ": "
+              << p.nvs << " os" << p.oversub << " n" << p.gpus << " "
+              << p.strategy << " b" << p.batch << ": "
               << (r.feasible ? util::format_time(r.iteration()) : "infeasible")
               << "\n";
   }
@@ -264,6 +315,16 @@ int main(int argc, char** argv) {
     }
     std::cout << "verify-legacy: all " << points.size()
               << " optima bitwise identical across engines\n";
+  }
+  if (ablate_topology) {
+    if (ablation_mismatches != 0) {
+      std::cerr << ablation_mismatches << " grid points differ between the "
+                << "two-level fabric and the degenerate three-level preset\n";
+      return 1;
+    }
+    std::cout << "ablate-topology: " << ablation_checked
+              << " two-level optima bitwise identical under the degenerate "
+              << "three-level fabric\n";
   }
   return 0;
 }
