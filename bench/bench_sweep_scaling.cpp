@@ -1,18 +1,23 @@
-// A/B benchmark of the cross-hardware sweep engines: the two-phase
-// signature engine (compile once, re-time per hardware point) against the
-// legacy per-point evaluator (one find_optimal per grid point), on the
-// paper-style generation x NVS-domain grid for GPT3-1T.
+// A/B benchmark of the cross-hardware sweep engines, four arms:
+//   legacy     — one find_optimal per grid point (the pre-signature flow);
+//   scalar     — the PR-3 two-phase signature engine (per-placement walk);
+//   batch      — the SoA batched placement kernel (time_placements_batch);
+//   batch-warm — batched plus warm-started incumbents along each chain;
+// on the paper-style generation x NVS-domain grid for GPT3-1T.
 //
 // Two outputs:
-//  * google-benchmark cases (BM_Sweep/<engine>/<prune>) for wall-clock
+//  * google-benchmark cases (BM_Sweep/<mode>/<prune>) for wall-clock
 //    comparisons under the standard benchmark harness;
-//  * a driver that times each (engine, prune, threads) combination over the
+//  * a driver that times each (mode, prune, threads) combination over the
 //    A100/H200/B200 x NVS{4,8,16,32,64} grid at 4096 GPUs and writes
-//    BENCH_sweep.json — seconds, points/sec, compile-cache hit rate and the
-//    signature-vs-legacy speedups — so the >= 5x sweep speedup is
-//    machine-checkable. The driver also asserts (exit 1 otherwise) that the
-//    per-point optima are bitwise identical across engines, prune settings
-//    and thread counts.
+//    BENCH_sweep.json — seconds, points/sec, compile-cache hit rate, batch
+//    occupancy and the speedups (batch vs the scalar signature baseline,
+//    signature vs legacy) — so the >= 3x batched-engine throughput gain on
+//    the exhaustive scan is machine-checkable (the pruned scan times too
+//    few placements per call to reach 3x; its ratio lands near 2-2.5x).
+//    The driver also asserts (exit 1 otherwise) that the
+//    per-point optima are bitwise identical across all four arms, prune
+//    settings and thread counts.
 
 #include <benchmark/benchmark.h>
 
@@ -33,6 +38,20 @@ using namespace tfpe;
 constexpr std::int64_t kGpus = 4096;
 constexpr std::int64_t kBatch = 4096;
 
+enum class Mode { kLegacy, kScalar, kBatched, kBatchedWarm };
+constexpr Mode kModes[] = {Mode::kLegacy, Mode::kScalar, Mode::kBatched,
+                           Mode::kBatchedWarm};
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kLegacy: return "legacy";
+    case Mode::kScalar: return "scalar";
+    case Mode::kBatched: return "batch";
+    case Mode::kBatchedWarm: return "batch-warm";
+  }
+  return "?";
+}
+
 std::vector<hw::SystemConfig> grid() {
   return search::hardware_grid(
       {hw::GpuGeneration::A100, hw::GpuGeneration::H200,
@@ -40,23 +59,24 @@ std::vector<hw::SystemConfig> grid() {
       {4, 8, 16, 32, 64}, kGpus);
 }
 
-search::SweepOptions sweep_opts(bool use_signatures, bool prune,
-                                unsigned threads) {
+search::SweepOptions sweep_opts(Mode mode, bool prune, unsigned threads) {
   search::SweepOptions opts;
   opts.search.strategy = parallel::TpStrategy::TP1D;
   opts.search.global_batch = kBatch;
   opts.search.prune = prune;
-  opts.use_signatures = use_signatures;
+  opts.use_signatures = mode != Mode::kLegacy;
+  opts.batch = mode == Mode::kBatched || mode == Mode::kBatchedWarm;
+  opts.warm_start = mode == Mode::kBatchedWarm;
   opts.threads = threads;
   return opts;
 }
 
 void BM_Sweep(benchmark::State& state) {
-  const bool use_signatures = state.range(0) != 0;
+  const Mode mode = kModes[state.range(0)];
   const bool prune = state.range(1) != 0;
   const auto mdl = model::gpt3_1t();
   const auto points = grid();
-  const auto opts = sweep_opts(use_signatures, prune, 1);
+  const auto opts = sweep_opts(mode, prune, 1);
   search::SweepStats stats;
   for (auto _ : state) {
     const auto r = search::run_sweep(mdl, points, opts);
@@ -67,14 +87,15 @@ void BM_Sweep(benchmark::State& state) {
   state.counters["evaluations"] = static_cast<double>(stats.evaluated);
   state.counters["compiles"] = static_cast<double>(stats.signature_compiles);
   state.counters["compile_hit_rate"] = stats.compile_hit_rate();
+  state.counters["batch_occupancy"] = stats.batch_occupancy();
 }
 BENCHMARK(BM_Sweep)
-    ->ArgsProduct({{0, 1}, {0, 1}})
-    ->ArgNames({"signatures", "prune"})
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->ArgNames({"mode", "prune"})
     ->Unit(benchmark::kMillisecond);
 
 struct Sample {
-  bool use_signatures = false;
+  Mode mode = Mode::kLegacy;
   bool prune = false;
   unsigned threads = 0;
   double seconds = 0;
@@ -82,13 +103,12 @@ struct Sample {
   std::vector<core::EvalResult> best;
 };
 
-Sample run_once(bool use_signatures, bool prune, unsigned threads,
-                int repeats) {
+Sample run_once(Mode mode, bool prune, unsigned threads, int repeats) {
   const auto mdl = model::gpt3_1t();
   const auto points = grid();
-  const auto opts = sweep_opts(use_signatures, prune, threads);
+  const auto opts = sweep_opts(mode, prune, threads);
   Sample s;
-  s.use_signatures = use_signatures;
+  s.mode = mode;
   s.prune = prune;
   s.threads = threads;
   s.seconds = 1e30;
@@ -128,8 +148,14 @@ void write_json(const std::vector<Sample>& samples, std::size_t n_points,
     const Sample& s = samples[i];
     const double rate =
         s.seconds > 0 ? static_cast<double>(s.stats.points) / s.seconds : 0.0;
-    os << "    {\"engine\": \""
-       << (s.use_signatures ? "signature" : "legacy") << "\""
+    os << "    {\"mode\": \"" << mode_name(s.mode) << "\""
+       << ", \"engine\": \""
+       << (s.mode == Mode::kLegacy ? "legacy" : "signature") << "\""
+       << ", \"batch\": "
+       << (s.mode == Mode::kBatched || s.mode == Mode::kBatchedWarm ? "true"
+                                                                    : "false")
+       << ", \"warm_start\": "
+       << (s.mode == Mode::kBatchedWarm ? "true" : "false")
        << ", \"prune\": " << (s.prune ? "true" : "false")
        << ", \"threads\": " << s.threads
        << ", \"seconds\": " << s.seconds
@@ -142,26 +168,40 @@ void write_json(const std::vector<Sample>& samples, std::size_t n_points,
        << ", \"layer_cache_hits\": " << s.stats.layer_cache_hits
        << ", \"signature_compiles\": " << s.stats.signature_compiles
        << ", \"signature_cache_hits\": " << s.stats.signature_cache_hits
-       << ", \"compile_hit_rate\": " << s.stats.compile_hit_rate() << "}"
+       << ", \"compile_hit_rate\": " << s.stats.compile_hit_rate()
+       << ", \"signature_lowers\": " << s.stats.signature_lowers
+       << ", \"batch_calls\": " << s.stats.batch_calls
+       << ", \"batch_placements\": " << s.stats.batch_placements
+       << ", \"batch_occupancy\": " << s.stats.batch_occupancy()
+       << ", \"warm_seeded\": " << s.stats.warm_seeded
+       << ", \"warm_seed_feasible\": " << s.stats.warm_seed_feasible << "}"
        << (i + 1 < samples.size() ? "," : "") << "\n";
   }
   os << "  ],\n  \"speedups\": [\n";
-  // Signature vs legacy at equal thread count and prune setting.
+  // Each accelerated arm against its natural baseline at equal thread count
+  // and prune setting: batch / batch-warm vs the scalar signature engine
+  // (the PR-3 throughput bar), and scalar vs legacy (the PR-3 claim,
+  // re-verified).
+  const auto baseline_of = [](Mode m) {
+    return m == Mode::kScalar ? Mode::kLegacy : Mode::kScalar;
+  };
   bool first = true;
-  for (const Sample& sig : samples) {
-    if (!sig.use_signatures) continue;
-    for (const Sample& leg : samples) {
-      if (leg.use_signatures || leg.prune != sig.prune ||
-          leg.threads != sig.threads) {
+  for (const Sample& s : samples) {
+    if (s.mode == Mode::kLegacy) continue;
+    for (const Sample& b : samples) {
+      if (b.mode != baseline_of(s.mode) || b.prune != s.prune ||
+          b.threads != s.threads) {
         continue;
       }
       if (!first) os << ",\n";
       first = false;
-      os << "    {\"threads\": " << sig.threads
-         << ", \"prune\": " << (sig.prune ? "true" : "false")
-         << ", \"legacy_seconds\": " << leg.seconds
-         << ", \"signature_seconds\": " << sig.seconds
-         << ", \"speedup\": " << leg.seconds / sig.seconds << "}";
+      os << "    {\"mode\": \"" << mode_name(s.mode) << "\""
+         << ", \"baseline\": \"" << mode_name(b.mode) << "\""
+         << ", \"threads\": " << s.threads
+         << ", \"prune\": " << (s.prune ? "true" : "false")
+         << ", \"baseline_seconds\": " << b.seconds
+         << ", \"seconds\": " << s.seconds
+         << ", \"speedup\": " << b.seconds / s.seconds << "}";
     }
   }
   os << "\n  ]\n}\n";
@@ -176,25 +216,33 @@ int run_driver() {
   std::vector<Sample> samples;
   for (bool prune : {false, true}) {
     for (unsigned threads : thread_axis) {
-      for (bool use_signatures : {false, true}) {
-        samples.push_back(run_once(use_signatures, prune, threads, 5));
+      for (Mode mode : kModes) {
+        samples.push_back(run_once(mode, prune, threads, 5));
         const Sample& s = samples.back();
-        std::cout << (s.use_signatures ? "signature" : "legacy   ")
-                  << (s.prune ? " pruned    " : " exhaustive")
-                  << " threads=" << s.threads << "  time=" << s.seconds << "s"
-                  << "  evaluations=" << s.stats.evaluated
-                  << "  compiles=" << s.stats.signature_compiles
-                  << "  compile-hits=" << s.stats.signature_cache_hits << "\n";
+        std::printf(
+            "%-10s %s threads=%u  time=%.3fs  evaluations=%zu  compiles=%zu"
+            "  batch-occupancy=%.1f  warm-seeds=%zu\n",
+            mode_name(s.mode), s.prune ? "pruned    " : "exhaustive",
+            s.threads, s.seconds, s.stats.evaluated,
+            s.stats.signature_compiles, s.stats.batch_occupancy(),
+            s.stats.warm_seeded);
       }
-      const Sample& leg = samples[samples.size() - 2];
-      const Sample& sig = samples.back();
-      std::cout << "  -> signature speedup " << leg.seconds / sig.seconds
-                << "x at threads=" << sig.threads << "\n";
+      const auto by_mode = [&](Mode m) -> const Sample& {
+        return samples[samples.size() - 4 +
+                       static_cast<std::size_t>(std::find(kModes, kModes + 4,
+                                                          m) -
+                                                kModes)];
+      };
+      std::printf("  -> batch vs scalar %.2fx, scalar vs legacy %.2fx\n",
+                  by_mode(Mode::kScalar).seconds /
+                      by_mode(Mode::kBatched).seconds,
+                  by_mode(Mode::kLegacy).seconds /
+                      by_mode(Mode::kScalar).seconds);
     }
   }
 
-  // Every run must agree per point — engine, prune setting and thread count
-  // may change the work done, never the answer.
+  // Every run must agree per point — engine, batching, warm starts, prune
+  // setting and thread count may change the work done, never the answer.
   bool identical = true;
   const std::size_t n_points = samples.front().best.size();
   for (const Sample& s : samples) {
@@ -202,9 +250,8 @@ int run_driver() {
       if (!same_optimum(samples.front().best[p], s.best[p])) {
         identical = false;
         std::cerr << "OPTIMUM MISMATCH at grid point " << p << " ("
-                  << (s.use_signatures ? "signature" : "legacy")
-                  << ", prune=" << s.prune << ", threads=" << s.threads
-                  << ")\n";
+                  << mode_name(s.mode) << ", prune=" << s.prune
+                  << ", threads=" << s.threads << ")\n";
       }
     }
   }

@@ -1,0 +1,424 @@
+#include "core/batched_signature.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "comm/collective_algorithm.hpp"
+#include "comm/collective_model.hpp"
+#include "pipeline/pipeline_model.hpp"
+
+namespace tfpe::core {
+
+namespace {
+
+/// Placement-tuple slot holding each comm group's nvs: the enumerated
+/// tuples are (nvs1, nvs2, nvsp, nvsd) while the CommGroup index order is
+/// (TP1, TP2, DP, PP).
+constexpr std::array<std::size_t, 4> kGroupSlot = {0, 1, 3, 2};
+
+}  // namespace
+
+BatchedSignature lower_batched(const CostSignature& sig) {
+  BatchedSignature b;
+  const std::size_t n = sig.ops.size();
+  b.fwd_flops.reserve(n);
+  b.bwd_flops.reserve(n);
+  b.fwd_bytes.reserve(n);
+  b.bwd_bytes.reserve(n);
+  b.panels.reserve(n);
+  b.tensor_core.reserve(n);
+  b.fwd_comm_begin.reserve(n);
+  b.fwd_comm_count.reserve(n);
+  b.bwd_comm_begin.reserve(n);
+  b.bwd_comm_count.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SigOp& op = sig.ops[i];
+    b.fwd_flops.push_back(op.fwd_flops);
+    b.bwd_flops.push_back(op.bwd_flops);
+    b.fwd_bytes.push_back(op.fwd_bytes);
+    b.bwd_bytes.push_back(op.bwd_bytes);
+    b.panels.push_back(op.panels);
+    b.tensor_core.push_back(op.tensor_core ? 1 : 0);
+    b.fwd_comm_begin.push_back(op.fwd_comm_begin);
+    b.fwd_comm_count.push_back(op.fwd_comm_count);
+    b.bwd_comm_begin.push_back(op.bwd_comm_begin);
+    b.bwd_comm_count.push_back(op.bwd_comm_count);
+    if (op.panels > 1) b.summa_ops.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Per-request panel scale of the owning op, resolved through the
+  // begin/count ranges so the packing is correct for any pool tiling.
+  std::vector<double> inv_scale(sig.comm.size(), 1.0);
+  for (const SigOp& op : sig.ops) {
+    const double inv_panels = 1.0 / static_cast<double>(op.panels);
+    for (std::uint32_t r = op.fwd_comm_begin;
+         r < op.fwd_comm_begin + op.fwd_comm_count; ++r) {
+      inv_scale[r] = inv_panels;
+    }
+    for (std::uint32_t r = op.bwd_comm_begin;
+         r < op.bwd_comm_begin + op.bwd_comm_count; ++r) {
+      inv_scale[r] = inv_panels;
+    }
+  }
+  b.comm_kind.reserve(sig.comm.size());
+  b.comm_group.reserve(sig.comm.size());
+  b.comm_panel_bytes.reserve(sig.comm.size());
+  for (std::size_t r = 0; r < sig.comm.size(); ++r) {
+    const SigComm& req = sig.comm[r];
+    b.comm_kind.push_back(req.collective);
+    b.comm_group.push_back(static_cast<std::uint8_t>(req.group));
+    b.comm_groups_mask |=
+        static_cast<std::uint8_t>(1u << static_cast<unsigned>(req.group));
+    // The exact product the scalar exposed_comm computes per call.
+    b.comm_panel_bytes.push_back(req.bytes * inv_scale[r]);
+  }
+
+  // Dedup the pricing rows: two requests agreeing on kind, group and the
+  // exact volume bits make the identical pure collective_time call, so
+  // they share one table row. Bit equality (not ==) so a would-be -0.0 /
+  // 0.0 collision can never alias two different calls.
+  b.comm_price_row.resize(sig.comm.size());
+  for (std::size_t r = 0; r < sig.comm.size(); ++r) {
+    const std::uint64_t bits =
+        std::bit_cast<std::uint64_t>(b.comm_panel_bytes[r].value());
+    std::size_t u = 0;
+    for (; u < b.price_rep.size(); ++u) {
+      const std::uint32_t rep = b.price_rep[u];
+      if (b.comm_kind[rep] == b.comm_kind[r] &&
+          b.comm_group[rep] == b.comm_group[r] &&
+          std::bit_cast<std::uint64_t>(b.comm_panel_bytes[rep].value()) ==
+              bits) {
+        break;
+      }
+    }
+    if (u == b.price_rep.size()) {
+      b.price_rep.push_back(static_cast<std::uint32_t>(r));
+    }
+    b.comm_price_row[r] = static_cast<std::uint32_t>(u);
+  }
+
+  b.head_fwd_flops.reserve(sig.head.size());
+  b.head_bwd_flops.reserve(sig.head.size());
+  b.head_fwd_bytes.reserve(sig.head.size());
+  b.head_bwd_bytes.reserve(sig.head.size());
+  b.head_tensor_core.reserve(sig.head.size());
+  for (const SigHeadOp& op : sig.head) {
+    b.head_fwd_flops.push_back(op.fwd_flops);
+    b.head_bwd_flops.push_back(op.bwd_flops);
+    b.head_fwd_bytes.push_back(op.fwd_bytes);
+    b.head_bwd_bytes.push_back(op.bwd_bytes);
+    b.head_tensor_core.push_back(op.tensor_core ? 1 : 0);
+  }
+  return b;
+}
+
+SystemTiming bind_system_batched(const CostSignature& sig,
+                                 const BatchedSignature& bat,
+                                 const hw::SystemConfig& sys,
+                                 const EvalOptions& opts) {
+  SystemTiming bt;
+  bt.fabric = sys.resolved_fabric();
+  Seconds fwd_c, fwd_m, bwd_c, bwd_m;
+  const std::size_t n = bat.op_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool tc = bat.tensor_core[i] != 0;
+    const PanelRoofline f = panel_roofline(bat.fwd_flops[i], bat.fwd_bytes[i],
+                                           bat.panels[i], tc, sys.gpu);
+    const PanelRoofline b = panel_roofline(bat.bwd_flops[i], bat.bwd_bytes[i],
+                                           bat.panels[i], tc, sys.gpu);
+    fwd_c += f.compute;
+    fwd_m += f.memory;
+    bwd_c += b.compute;
+    bwd_m += b.memory;
+    if (opts.activation_recompute) {
+      bwd_c += f.compute;
+      bwd_m += f.memory;
+    }
+    if (bat.panels[i] > 1) bt.summa_panel_time.push_back({f.t_panel, b.t_panel});
+  }
+
+  if (opts.activation_offload > 0) {
+    const Seconds per_micro = sig.stored_activation_bytes *
+                              (2.0 * opts.activation_offload) /
+                              sys.host_bandwidth;
+    fwd_m += per_micro * 0.5;
+    bwd_m += per_micro * 0.5;
+  }
+
+  Seconds head_fwd_c, head_fwd_m, head_bwd_c, head_bwd_m;
+  const std::size_t h = bat.head_fwd_flops.size();
+  for (std::size_t i = 0; i < h; ++i) {
+    const bool tc = bat.head_tensor_core[i] != 0;
+    const PanelRoofline f = panel_roofline(bat.head_fwd_flops[i],
+                                           bat.head_fwd_bytes[i], 1, tc,
+                                           sys.gpu);
+    const PanelRoofline b = panel_roofline(bat.head_bwd_flops[i],
+                                           bat.head_bwd_bytes[i], 1, tc,
+                                           sys.gpu);
+    head_fwd_c += f.compute;
+    head_fwd_m += f.memory;
+    head_bwd_c += b.compute;
+    head_bwd_m += b.memory;
+  }
+
+  const double Ld = static_cast<double>(sig.layers_per_stage);
+  const double md = static_cast<double>(sig.microbatches);
+  bt.time_compute =
+      (((fwd_c + bwd_c) * Ld + head_fwd_c + head_bwd_c) * md).value();
+  bt.time_memory =
+      (((fwd_m + bwd_m) * Ld + head_fwd_m + head_bwd_m) * md).value();
+  bt.optimizer = (sig.optimizer_traffic / sys.gpu.hbm_bandwidth).value();
+  bt.fwd_cm = fwd_c + fwd_m;
+  bt.bwd_cm = bwd_c + bwd_m;
+  bt.head_fwd_cm = head_fwd_c + head_fwd_m;
+  bt.head_bwd_cm = head_bwd_c + head_bwd_m;
+  return bt;
+}
+
+std::vector<SystemTiming> bind_systems_batch(
+    const CostSignature& sig, const BatchedSignature& bat,
+    const std::vector<hw::SystemConfig>& systems, const EvalOptions& opts) {
+  std::vector<SystemTiming> out;
+  out.reserve(systems.size());
+  for (const hw::SystemConfig& sys : systems) {
+    out.push_back(bind_system_batched(sig, bat, sys, opts));
+  }
+  return out;
+}
+
+void time_placements_batch(
+    const CostSignature& sig, const BatchedSignature& bat,
+    const SystemTiming& base, const hw::SystemConfig& sys,
+    const parallel::ParallelConfig& cfg,
+    const std::vector<std::array<std::int64_t, 4>>& placements,
+    const EvalOptions& opts, std::vector<PlacementTiming>& out,
+    BatchScratch* scratch) {
+  (void)sys;
+  const std::size_t np = placements.size();
+  out.clear();
+  out.resize(np);
+  if (np == 0) return;
+
+  BatchScratch local;
+  BatchScratch& s = scratch ? *scratch : local;
+
+  const std::array<std::int64_t, 4> group_size = {cfg.n1, cfg.n2, cfg.nd,
+                                                  cfg.np};
+
+  // Distinct nvs values per comm group over the placement batch, plus each
+  // placement's column index — the whole point of the batch: a request is
+  // priced once per (group, nvs) instead of once per placement.
+  for (std::size_t g = 0; g < 4; ++g) {
+    s.distinct_nvs[g].clear();
+    s.nvs_column[g].resize(np);
+    for (std::size_t p = 0; p < np; ++p) {
+      const std::int64_t v = placements[p][kGroupSlot[g]];
+      const auto it =
+          std::find(s.distinct_nvs[g].begin(), s.distinct_nvs[g].end(), v);
+      std::size_t col;
+      if (it == s.distinct_nvs[g].end()) {
+        col = s.distinct_nvs[g].size();
+        s.distinct_nvs[g].push_back(v);
+      } else {
+        col = static_cast<std::size_t>(it - s.distinct_nvs[g].begin());
+      }
+      s.nvs_column[g][p] = static_cast<std::uint32_t>(col);
+    }
+  }
+
+  // Lay out the comm table: one row per DISTINCT pricing triple (see
+  // comm_price_row — repeated per-op requests of the same volume share a
+  // row), one column per distinct nvs of its group. Each cell is the exact
+  // collective_time call the scalar path makes for a placement mapping to
+  // that column — priced lazily on first read. collective_time is pure, so
+  // neither the sharing nor the changed pricing order can change any
+  // cell's bits.
+  const std::size_t nu = bat.price_rep.size();
+  s.row_offset.resize(nu);
+  std::size_t cells = 0;
+  for (std::size_t u = 0; u < nu; ++u) {
+    s.row_offset[u] = static_cast<std::uint32_t>(cells);
+    cells += s.distinct_nvs[bat.comm_group[bat.price_rep[u]]].size();
+  }
+  s.comm_table.assign(cells, Seconds(0));
+  s.cell_priced.assign(cells, 0);
+  const auto comm_cell = [&](std::uint32_t r, std::size_t p) -> Seconds {
+    const std::size_t g = bat.comm_group[r];
+    const std::size_t col = s.nvs_column[g][p];
+    const std::size_t idx = s.row_offset[bat.comm_price_row[r]] + col;
+    if (!s.cell_priced[idx]) {
+      s.comm_table[idx] = comm::collective_time(
+          base.fabric, bat.comm_kind[r], bat.comm_panel_bytes[r],
+          comm::GroupPlacement{group_size[g], s.distinct_nvs[g][col]});
+      s.cell_priced[idx] = 1;
+    }
+    return s.comm_table[idx];
+  };
+
+  const double Ld = static_cast<double>(sig.layers_per_stage);
+  const double md = static_cast<double>(sig.microbatches);
+
+  // Placement-dependent but few-valued terms, memoized lazily in placement
+  // order (first encounter prices; later ones reuse the identical bits).
+  std::array<Seconds, 2> p2p_value{};
+  std::array<bool, 2> p2p_priced{false, false};
+  std::vector<std::int64_t> dp_keys;
+  std::vector<std::array<Seconds, 2>> dp_values;  // (t_rs, t_ag)
+
+  // Comm-block memo: the op walk below reads the comm table only through
+  // the columns of the groups actually present in the pool, so placements
+  // agreeing on those columns produce bit-identical stage/tp/bubble terms.
+  // Key on the used groups ONLY — placements differing in an unused group
+  // (e.g. nvsd under a pure-TP signature) share the block.
+  s.block_keys.clear();
+  s.blocks.clear();
+  const std::uint8_t used_groups = bat.comm_groups_mask;
+
+  const std::size_t n_ops = bat.op_count();
+  for (std::size_t p = 0; p < np; ++p) {
+    PlacementTiming& o = out[p];
+
+    std::uint64_t key = 0;
+    for (std::size_t g = 0; g < 4; ++g) {
+      if (used_groups & (1u << g)) key = (key << 16) | s.nvs_column[g][p];
+    }
+    std::size_t bi = 0;
+    for (; bi < s.block_keys.size(); ++bi) {
+      if (s.block_keys[bi] == key) break;
+    }
+    if (bi == s.block_keys.size()) {
+      // First placement on these columns: run the op walk, exactly as the
+      // scalar time_placement would for this placement.
+      Seconds fwd_comm, bwd_comm;
+      std::size_t summa = 0;
+      for (std::size_t i = 0; i < n_ops; ++i) {
+        const std::int64_t panels = bat.panels[i];
+        std::array<Seconds, 2> panel{};
+        if (panels > 1) panel = base.summa_panel_time[summa++];
+        Seconds f_comm, b_comm;
+        if (bat.fwd_comm_count[i] > 0) {
+          Seconds t_panel_comm;
+          const std::uint32_t begin = bat.fwd_comm_begin[i];
+          const std::uint32_t end = begin + bat.fwd_comm_count[i];
+          for (std::uint32_t r = begin; r < end; ++r) {
+            t_panel_comm += comm_cell(r, p);
+          }
+          if (panels == 1) {
+            f_comm = t_panel_comm;
+          } else {
+            f_comm = t_panel_comm +
+                     std::max(Seconds(0), t_panel_comm - panel[0]) *
+                         static_cast<double>(panels - 1);
+          }
+        }
+        if (bat.bwd_comm_count[i] > 0) {
+          Seconds t_panel_comm;
+          const std::uint32_t begin = bat.bwd_comm_begin[i];
+          const std::uint32_t end = begin + bat.bwd_comm_count[i];
+          for (std::uint32_t r = begin; r < end; ++r) {
+            t_panel_comm += comm_cell(r, p);
+          }
+          if (panels == 1) {
+            b_comm = t_panel_comm;
+          } else {
+            b_comm = t_panel_comm +
+                     std::max(Seconds(0), t_panel_comm - panel[1]) *
+                         static_cast<double>(panels - 1);
+          }
+        }
+        if (panels <= 1 && opts.tp_overlap > 0) {
+          f_comm *= 1.0 - opts.tp_overlap;
+          b_comm *= 1.0 - opts.tp_overlap;
+        }
+        fwd_comm += f_comm;
+        bwd_comm += b_comm;
+        if (opts.activation_recompute) bwd_comm += f_comm;
+      }
+
+      const Seconds t_fwd_micro = (base.fwd_cm + fwd_comm) * Ld;
+      const Seconds t_bwd_micro = (base.bwd_cm + bwd_comm) * Ld;
+      Seconds t_fwd_stage = t_fwd_micro;
+      Seconds t_bwd_stage = t_bwd_micro;
+      if (!sig.head.empty()) {
+        t_fwd_stage += base.head_fwd_cm;
+        t_bwd_stage += base.head_bwd_cm;
+      }
+      BatchScratch::CommBlock blk;
+      blk.t_fwd_stage = t_fwd_stage;
+      blk.t_bwd_stage = t_bwd_stage;
+      blk.tp_comm = ((fwd_comm + bwd_comm) * (md * Ld)).value();
+      blk.bubble = pipeline::bubble_time(cfg.np, t_fwd_stage, t_bwd_stage,
+                                         cfg.interleave)
+                       .value();
+      s.block_keys.push_back(key);
+      s.blocks.push_back(blk);
+    }
+    const BatchScratch::CommBlock& blk = s.blocks[bi];
+    const Seconds t_fwd_stage = blk.t_fwd_stage;
+    const Seconds t_bwd_stage = blk.t_bwd_stage;
+    o.t_fwd_stage = t_fwd_stage;
+    o.t_bwd_stage = t_bwd_stage;
+
+    o.time.compute = base.time_compute;
+    o.time.memory = base.time_memory;
+    o.time.tp_comm = blk.tp_comm;
+    o.time.bubble = blk.bubble;
+
+    const std::size_t hop_idx = placements[p][2] > 1 ? 1 : 0;
+    if (!p2p_priced[hop_idx]) {
+      p2p_value[hop_idx] =
+          pipeline::p2p_time(base.fabric, cfg.np, sig.microbatches,
+                             sig.pp_boundary_bytes, hop_idx != 0 ? 2 : 1,
+                             cfg.interleave);
+      p2p_priced[hop_idx] = true;
+    }
+    o.time.pp_comm = p2p_value[hop_idx].value();
+
+    std::int64_t dp_nvs = placements[p][3];
+    if (sig.dp_group_includes_tp2) dp_nvs *= placements[p][1];
+    if (sig.dp_size > 1) {
+      std::size_t k = 0;
+      for (; k < dp_keys.size(); ++k) {
+        if (dp_keys[k] == dp_nvs) break;
+      }
+      if (k == dp_keys.size()) {
+        const comm::GroupPlacement g{sig.dp_size, dp_nvs};
+        const Seconds t_rs = comm::collective_time(
+            base.fabric, ops::Collective::ReduceScatter, sig.dp_grad_bytes, g);
+        const Seconds t_ag = comm::collective_time(
+            base.fabric, ops::Collective::AllGather, sig.dp_grad_bytes, g);
+        dp_keys.push_back(dp_nvs);
+        dp_values.push_back({t_rs, t_ag});
+      }
+      const Seconds t_rs = dp_values[k][0];
+      const Seconds t_ag = dp_values[k][1];
+      if (cfg.zero == parallel::ZeroStage::kWeights) {
+        o.time.dp_comm = ((t_ag * 2.0 + t_rs) * (0.5 * md)).value();
+      } else {
+        o.time.dp_comm = (std::max(Seconds(0), t_rs - t_bwd_stage) +
+                          std::max(Seconds(0), t_ag - t_fwd_stage))
+                             .value();
+      }
+    }
+
+    o.time.optimizer = base.optimizer;
+  }
+}
+
+std::vector<std::vector<PlacementTiming>> time_placements_systems_batch(
+    const CostSignature& sig, const BatchedSignature& bat,
+    const std::vector<hw::SystemConfig>& systems,
+    const parallel::ParallelConfig& cfg,
+    const std::vector<std::array<std::int64_t, 4>>& placements,
+    const EvalOptions& opts) {
+  std::vector<std::vector<PlacementTiming>> out(systems.size());
+  BatchScratch scratch;
+  for (std::size_t k = 0; k < systems.size(); ++k) {
+    const SystemTiming base = bind_system_batched(sig, bat, systems[k], opts);
+    time_placements_batch(sig, bat, base, systems[k], cfg, placements, opts,
+                          out[k], &scratch);
+  }
+  return out;
+}
+
+}  // namespace tfpe::core

@@ -22,7 +22,10 @@
 //     bubble/P2P and the DP exposure, producing an EvalResult that is
 //     BITWISE identical to core::evaluate_with_layer (guarded by
 //     tests/test_signature.cpp). Keep the floating-point evaluation order
-//     in this file in lockstep with core/evaluator.cpp.
+//     in this file in lockstep with core/evaluator.cpp AND with the SoA
+//     batch kernels in core/batched_signature.cpp — three views of one
+//     evaluation-order contract; a change to any of them must land in all
+//     three (the golden matrix + randomized property tests enforce it).
 //
 // Thread-safety: CostSignature and SystemTiming are immutable after
 // construction; any number of threads may share them. The compile phase is
@@ -47,9 +50,13 @@ namespace tfpe::core {
 /// the single source of the innermost evaluator arithmetic — core::op_time
 /// and the two-phase binder both call it, so they cannot drift apart.
 struct PanelRoofline {
-  Seconds compute;  ///< Attributed FLOP-bound time (all panels).
-  Seconds memory;   ///< Attributed memory-bound time (all panels).
-  Seconds t_panel;  ///< One panel (the SUMMA broadcast-overlap budget).
+  /// panel_roofline assigns only the dominant side, so both fields carry
+  /// explicit zero initializers — the non-dominant side must read exactly
+  /// Seconds(0), not whatever the storage held (pinned by
+  /// tests/test_signature.cpp PanelRooflineZeroInitialized).
+  Seconds compute = Seconds(0);  ///< Attributed FLOP-bound time (all panels).
+  Seconds memory = Seconds(0);   ///< Attributed memory-bound time (all panels).
+  Seconds t_panel = Seconds(0);  ///< One panel (the SUMMA overlap budget).
 };
 
 inline PanelRoofline panel_roofline(Flops flops, Bytes bytes,

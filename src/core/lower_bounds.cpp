@@ -21,7 +21,27 @@ SearchBounds search_bounds(const model::TransformerConfig& mdl,
                            const parallel::ParallelConfig& cfg,
                            std::int64_t global_batch,
                            const EvalOptions& opts) {
-  SearchBounds out;
+  return search_bounds(mdl, sys, sys.resolved_fabric(), cfg, global_batch,
+                       opts);
+}
+
+SearchBounds search_bounds(const model::TransformerConfig& mdl,
+                           const hw::SystemConfig& sys,
+                           const hw::Topology& fabric,
+                           const parallel::ParallelConfig& cfg,
+                           std::int64_t global_batch,
+                           const EvalOptions& opts) {
+  return finish_search_bounds(search_bounds_base(mdl, sys, cfg, global_batch,
+                                                 opts),
+                              mdl, fabric, cfg);
+}
+
+SearchBoundsBase search_bounds_base(const model::TransformerConfig& mdl,
+                                    const hw::SystemConfig& sys,
+                                    const parallel::ParallelConfig& cfg,
+                                    std::int64_t global_batch,
+                                    const EvalOptions& opts) {
+  SearchBoundsBase out;
   const double tp = static_cast<double>(cfg.n1 * cfg.n2);
   const double b_loc = static_cast<double>(cfg.local_microbatch(global_batch));
   const double l = static_cast<double>(mdl.seq_len);
@@ -53,7 +73,7 @@ SearchBounds search_bounds(const model::TransformerConfig& mdl,
   const double micros = static_cast<double>(cfg.microbatches) +
                         static_cast<double>(cfg.np - 1) /
                             static_cast<double>(cfg.interleave);
-  out.time_floor =
+  out.compute_floor =
       (Flops(micros * layers * 2.0 * fwd) / sys.gpu.tensor_flops).value();
 
   // Distributed Adam reads/writes ~28 B per locally updated parameter at
@@ -64,35 +84,9 @@ SearchBounds search_bounds(const model::TransformerConfig& mdl,
   const double stage_params_floor =
       static_cast<double>(mdl.params_per_layer()) / (tp * moe_shard) * layers;
   const double shard_max = static_cast<double>(cfg.nd * cfg.n2);
-  out.time_floor +=
+  out.compute_floor +=
       (Bytes(28.0 * stage_params_floor / shard_max) / sys.gpu.hbm_bandwidth)
           .value();
-
-  // --- Network floors from the fabric's bottleneck levels. ---
-  // Bandwidth-only (latency dropped), so they hold for every placement and
-  // every collective algorithm the topology may enable.
-  const hw::Topology fabric = sys.resolved_fabric();
-  if (cfg.np > 1) {
-    // Every microbatch hands the (b_loc x l x e)/tp boundary tensor across
-    // each stage boundary twice per virtual chunk, at best over the fastest
-    // single link of the fabric.
-    const Bytes boundary = Bytes(2.0 * bl * e / tp);
-    out.time_floor += (boundary / comm::best_p2p_bandwidth(fabric)).value() *
-                      (2.0 * static_cast<double>(cfg.microbatches) *
-                       static_cast<double>(cfg.interleave));
-  }
-  if (cfg.zero == parallel::ZeroStage::kWeights && cfg.nd > 1) {
-    // ZeRO-3 re-gathers the stage weights for forward and backward and
-    // reduce-scatters the gradients on every microbatch, half overlapped:
-    // three collectives of the 2 B/param stage volume over at least the nd
-    // data-parallel ranks (collective_time_floor is monotone in both the
-    // group size and the volume, so the nd-rank floor stays conservative
-    // when the DP group also absorbs n2).
-    const Bytes grads = Bytes(2.0 * stage_params_floor);
-    out.time_floor += (comm::collective_time_floor(fabric, cfg.nd, grads) *
-                       (3.0 * 0.5 * static_cast<double>(cfg.microbatches)))
-                          .value();
-  }
 
   // --- Placement-independent memory floor. ---
   // FP16 weights + gradients (ZeRO-3 additionally shards them over at most
@@ -109,6 +103,45 @@ SearchBounds search_bounds(const model::TransformerConfig& mdl,
   const double act = 2.0 * bl * e / tp * layers * in_flight *
                      (1.0 - opts.activation_offload);
   out.memory_floor = wg + opt_states + act;
+  out.stage_params_floor = stage_params_floor;
+  out.bl = bl;
+  out.tp = tp;
+  return out;
+}
+
+SearchBounds finish_search_bounds(const SearchBoundsBase& base,
+                                  const model::TransformerConfig& mdl,
+                                  const hw::Topology& fabric,
+                                  const parallel::ParallelConfig& cfg) {
+  SearchBounds out;
+  out.time_floor = base.compute_floor;
+  out.memory_floor = base.memory_floor;
+
+  // --- Network floors from the fabric's bottleneck levels. ---
+  // Bandwidth-only (latency dropped), so they hold for every placement and
+  // every collective algorithm the topology may enable.
+  if (cfg.np > 1) {
+    // Every microbatch hands the (b_loc x l x e)/tp boundary tensor across
+    // each stage boundary twice per virtual chunk, at best over the fastest
+    // single link of the fabric.
+    const double e = static_cast<double>(mdl.embed);
+    const Bytes boundary = Bytes(2.0 * base.bl * e / base.tp);
+    out.time_floor += (boundary / comm::best_p2p_bandwidth(fabric)).value() *
+                      (2.0 * static_cast<double>(cfg.microbatches) *
+                       static_cast<double>(cfg.interleave));
+  }
+  if (cfg.zero == parallel::ZeroStage::kWeights && cfg.nd > 1) {
+    // ZeRO-3 re-gathers the stage weights for forward and backward and
+    // reduce-scatters the gradients on every microbatch, half overlapped:
+    // three collectives of the 2 B/param stage volume over at least the nd
+    // data-parallel ranks (collective_time_floor is monotone in both the
+    // group size and the volume, so the nd-rank floor stays conservative
+    // when the DP group also absorbs n2).
+    const Bytes grads = Bytes(2.0 * base.stage_params_floor);
+    out.time_floor += (comm::collective_time_floor(fabric, cfg.nd, grads) *
+                       (3.0 * 0.5 * static_cast<double>(cfg.microbatches)))
+                          .value();
+  }
   return out;
 }
 

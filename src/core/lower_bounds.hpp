@@ -62,4 +62,43 @@ SearchBounds search_bounds(const model::TransformerConfig& mdl,
                            std::int64_t global_batch,
                            const EvalOptions& opts = {});
 
+/// Same bounds, with the fabric resolved by the caller. The convenience
+/// overload above calls sys.resolved_fabric() internally; a screen that
+/// bounds many candidates against one system should resolve once and use
+/// this form (bitwise-identical results — the fabric is the same object
+/// either way).
+SearchBounds search_bounds(const model::TransformerConfig& mdl,
+                           const hw::SystemConfig& sys,
+                           const hw::Topology& fabric,
+                           const parallel::ParallelConfig& cfg,
+                           std::int64_t global_batch,
+                           const EvalOptions& opts = {});
+
+/// The fabric-independent prefix of search_bounds: the compute/optimizer
+/// time floor, the memory floor, and the intermediates the network terms
+/// reuse. Valid for every fabric on a system with the same GPU roofline —
+/// the sweep computes it once per chain and re-finishes it per point.
+struct SearchBoundsBase {
+  double compute_floor = 0;      ///< time_floor before the network terms
+  double memory_floor = 0;
+  double stage_params_floor = 0; ///< reused by the ZeRO-3 collective floor
+  double bl = 0;                 ///< local batch x seq_len (P2P volume)
+  double tp = 0;                 ///< n1 * n2 (P2P volume divisor)
+};
+
+SearchBoundsBase search_bounds_base(const model::TransformerConfig& mdl,
+                                    const hw::SystemConfig& sys,
+                                    const parallel::ParallelConfig& cfg,
+                                    std::int64_t global_batch,
+                                    const EvalOptions& opts = {});
+
+/// Add the fabric-dependent network floors to a base. search_bounds(...)
+/// is exactly finish_search_bounds(search_bounds_base(...), ...) — the
+/// split sits on a statement boundary of the original accumulation, so the
+/// composed result is bitwise-identical, whichever path computed it.
+SearchBounds finish_search_bounds(const SearchBoundsBase& base,
+                                  const model::TransformerConfig& mdl,
+                                  const hw::Topology& fabric,
+                                  const parallel::ParallelConfig& cfg);
+
 }  // namespace tfpe::core

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 
+#include "core/batched_signature.hpp"
 #include "core/cost_signature.hpp"
 #include "core/evaluator.hpp"
 #include "search/enumerate.hpp"
@@ -174,5 +175,25 @@ core::EvalResult scan_placements_signature(
     const std::vector<std::array<std::int64_t, 4>>& placements,
     const core::EvalOptions& eval, std::size_t& evals,
     bool stop_after_infeasible);
+
+/// Batched twin of scan_placements_signature: one time_placements_batch
+/// call over the whole placement set instead of a per-placement
+/// time_placement loop. Returns the bitwise-identical result and increments
+/// `evals` by the same counts (the batch kernel's timings equal the scalar
+/// ones bit for bit, so the argmin picks the same winner). `bat` must be
+/// lower_batched(sig); `scratch` and `timings` are caller-owned so a
+/// placement scan reuses their allocations across candidates. On return
+/// `timings` holds the batch actually timed (empty when the
+/// placement-invariant infeasibility shortcut skipped the kernel) — callers
+/// use its size for batch-occupancy accounting.
+core::EvalResult scan_placements_batch(
+    const model::TransformerConfig& mdl, const hw::SystemConfig& sys,
+    parallel::ParallelConfig cfg, std::int64_t global_batch,
+    const core::CostSignature& sig, const core::BatchedSignature& bat,
+    const core::SystemTiming& base,
+    const std::vector<std::array<std::int64_t, 4>>& placements,
+    const core::EvalOptions& eval, std::size_t& evals,
+    bool stop_after_infeasible, core::BatchScratch& scratch,
+    std::vector<core::PlacementTiming>& timings);
 
 }  // namespace tfpe::search

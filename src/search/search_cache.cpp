@@ -139,4 +139,21 @@ std::shared_ptr<const core::CostSignature> SignatureCache::get(
   return sig;
 }
 
+std::shared_ptr<const core::BatchedSignature> BatchedCache::get(
+    const std::shared_ptr<const core::CostSignature>& sig) {
+  const core::CostSignature* key = sig.get();
+  Shard& shard = shards_[std::hash<const core::CostSignature*>{}(key) % kShards];
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  lowers_.fetch_add(1, std::memory_order_relaxed);
+  auto lowered = std::make_shared<const core::BatchedSignature>(
+      core::lower_batched(*sig));
+  shard.map.emplace(key, lowered);
+  return lowered;
+}
+
 }  // namespace tfpe::search

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/batched_signature.hpp"
 #include "core/cost_signature.hpp"
 #include "model/transformer.hpp"
 #include "parallel/layer_builder.hpp"
@@ -154,6 +155,36 @@ class SignatureCache {
   static constexpr std::size_t kShards = 16;
   std::array<Shard, kShards> shards_;
   std::atomic<std::size_t> compiles_{0};
+  std::atomic<std::size_t> hits_{0};
+};
+
+/// SoA lowerings of compiled signatures, keyed by the signature's identity
+/// (the shared_ptr-owned address handed out by SignatureCache — stable for
+/// the cache's lifetime, so the pointer is a valid key). One lowering per
+/// signature is shared by every grid point and placement batch of a sweep;
+/// the batched timing path pairs one BatchedCache with one SignatureCache.
+class BatchedCache {
+ public:
+  /// The SoA form of `sig`, lowering it on first use. `sig` must stay alive
+  /// for the cache's lifetime (guaranteed when it comes from a
+  /// SignatureCache sharing the sweep's scope). Thread-safe; the returned
+  /// lowering is immutable and shared.
+  std::shared_ptr<const core::BatchedSignature> get(
+      const std::shared_ptr<const core::CostSignature>& sig);
+
+  std::size_t lowers() const { return lowers_.load(); }
+  std::size_t hits() const { return hits_.load(); }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<const core::CostSignature*,
+                       std::shared_ptr<const core::BatchedSignature>>
+        map;
+  };
+  static constexpr std::size_t kShards = 16;
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::size_t> lowers_{0};
   std::atomic<std::size_t> hits_{0};
 };
 

@@ -7,21 +7,37 @@
 //
 // Contrast with a find_optimal loop over the grid (the legacy workflow):
 //   * candidates are enumerated ONCE per distinct GPU count (the candidate
-//     space never depends on the GPU type or NVS size);
+//     space never depends on the GPU type or NVS size), lazily inside the
+//     worker that first needs the scale — so enumeration OVERLAPS with
+//     other workers' compile and timing work instead of serializing ahead
+//     of the fan-out;
 //   * each candidate is compiled ONCE into a hardware-invariant
-//     CostSignature, shared across every grid point through a cross-sweep
-//     search::SignatureCache (and across the interleave axis within one
-//     point);
-//   * grid points fan out over util::parallel_for_dynamic — one worker per
-//     point, each scanning its candidates cheapest-lower-bound-first with a
-//     point-local incumbent (sequential within the point, so the per-point
-//     work counters are thread-count invariant);
-//   * per point only bind_system (one roofline dot product per candidate)
-//     and the placement-dependent collective/pipeline/DP terms are
-//     recomputed.
+//     CostSignature and lowered ONCE into its SoA BatchedSignature, shared
+//     across every grid point through cross-sweep caches (and across the
+//     interleave axis within one point);
+//   * grid points are grouped into CHAINS — runs of points sharing a GPU
+//     type and scale, i.e. the NVS/bandwidth axis of a hardware_grid — and
+//     the chains stream over util::parallel_for_dynamic. Within a chain,
+//     points run sequentially so each point can WARM-START from its
+//     predecessor (SweepOptions::warm_start): the parent's optimal
+//     candidate is re-timed first at the child point, which seeds the
+//     child's incumbent with an *achieved* time and lets the lower-bound
+//     prune cut deeper. A warm seed can only tighten the incumbent, never
+//     below the child's true optimum, so the per-point optima are
+//     unchanged — bit for bit — with or without warm starts;
+//   * per point, candidates scan cheapest-lower-bound-first with a
+//     point-local incumbent; with SweepOptions::batch (default) all
+//     placements of a candidate are timed by one core::time_placements_batch
+//     call over the SoA arrays instead of a per-placement scalar walk.
 // The per-point optima are IDENTICAL — configuration, time and memory
-// bits — to find_optimal run at that point (bench_sweep_scaling asserts
-// this on every run).
+// bits — to find_optimal run at that point, for every combination of
+// {batch, warm_start} (bench_sweep_scaling asserts this on every run).
+//
+// Determinism: chains and seeds are fixed by the input order, and each
+// chain is sequential, so every SweepStats WORK counter (evaluated, pruned,
+// batch occupancy, warm-start counters) is invariant to the thread count.
+// The stage PROFILE (busy seconds per pipeline stage) is wall-clock and
+// schedule-dependent — use it for perf triage, never in golden tests.
 //
 // Supported per-point result is the optimum only (top_k / pareto still go
 // through find_optimal / pareto_frontier).
@@ -36,18 +52,32 @@ namespace tfpe::search {
 
 struct SweepOptions {
   /// Candidate space + evaluation extensions, shared by every grid point.
-  /// `search.threads` is ignored (the sweep parallelizes across points, not
-  /// within them); `search.prune` selects bounds + incumbent pruning per
-  /// point; `search.top_k` is not supported here.
+  /// `search.prune` selects bounds + incumbent pruning per point.
+  /// UNSUPPORTED here and rejected loudly: `search.top_k` (run_sweep keeps
+  /// only the per-point optimum — rank with find_optimal instead) and
+  /// `search.threads` (the sweep owns the thread budget via `threads`
+  /// below; a nested per-point pool would silently oversubscribe). Leave
+  /// both at 0 or run_sweep throws std::invalid_argument.
   SearchOptions search;
 
-  /// Workers across grid points; 0 = hardware concurrency.
+  /// Workers across chains of grid points; 0 = hardware concurrency.
   unsigned threads = 0;
 
   /// Two-phase engine (default). False falls back to one find_optimal call
   /// per grid point — the legacy workflow, kept for the A/B bench and the
   /// --verify-legacy CLI mode; identical optima either way.
   bool use_signatures = true;
+
+  /// Time each candidate's placements through the SoA batch kernel
+  /// (core/batched_signature.hpp) instead of the scalar per-placement walk.
+  /// Identical results bit for bit; this is purely a throughput switch
+  /// (false = PR-3 scalar engine, the A/B baseline).
+  bool batch = true;
+
+  /// Seed each point's incumbent from its chain predecessor's optimal
+  /// candidate (see the header comment). Off by default so the default
+  /// counters match the cold engine; turn on for large grids.
+  bool warm_start = false;
 };
 
 /// Work counters for one sweep, aggregated over all grid points.
@@ -57,7 +87,8 @@ struct SweepStats {
   /// Candidate parallelizations per distinct GPU count, summed over the
   /// distinct counts (NOT multiplied by the points sharing them).
   std::size_t candidates = 0;
-  /// Placement evaluations (time_signature calls) over all points.
+  /// Placement evaluations (scalar time_placement-equivalents) over all
+  /// points; batch kernels count every placement they time.
   std::size_t evaluated = 0;
   std::size_t bound_pruned = 0;
   std::size_t memory_pruned = 0;
@@ -66,10 +97,40 @@ struct SweepStats {
   /// points and across the interleave axis).
   std::size_t signature_compiles = 0;
   std::size_t signature_cache_hits = 0;
+  /// SoA lowerings (one per distinct signature under `batch`) and their
+  /// cross-point reuses.
+  std::size_t signature_lowers = 0;
+  std::size_t batched_cache_hits = 0;
   std::size_t build_layer_calls = 0;
   std::size_t layer_cache_hits = 0;
   std::size_t placement_sets = 0;
   std::size_t placement_cache_hits = 0;
+
+  /// time_placements_batch invocations and the placements they timed;
+  /// occupancy is the mean batch width (1.0 would mean the batch engine
+  /// degenerated to the scalar walk).
+  std::size_t batch_calls = 0;
+  std::size_t batch_placements = 0;
+
+  /// Points whose scan started from a chain predecessor's optimum, and how
+  /// many of those seeds produced a feasible incumbent (a miss means the
+  /// parent's optimum went invalid/over-capacity at the child point).
+  std::size_t warm_seeded = 0;
+  std::size_t warm_seed_feasible = 0;
+
+  /// Busy wall-clock per pipeline stage, summed across workers, plus the
+  /// sweep's wall time. overlap() > 1 means stages genuinely ran
+  /// concurrently. Schedule-dependent — excluded from determinism tests.
+  struct StageProfile {
+    double enumerate_s = 0;  ///< expand_candidates
+    double compile_s = 0;    ///< signature compile + SoA lower + bind_system
+    double time_s = 0;       ///< bounds screen + placement timing
+    double wall_s = 0;
+    double overlap() const {
+      return wall_s > 0 ? (enumerate_s + compile_s + time_s) / wall_s : 0.0;
+    }
+  };
+  StageProfile profile;
 
   double compile_hit_rate() const {
     const std::size_t total = signature_compiles + signature_cache_hits;
@@ -77,6 +138,11 @@ struct SweepStats {
                ? 0.0
                : static_cast<double>(signature_cache_hits) /
                      static_cast<double>(total);
+  }
+  double batch_occupancy() const {
+    return batch_calls == 0 ? 0.0
+                            : static_cast<double>(batch_placements) /
+                                  static_cast<double>(batch_calls);
   }
 };
 
@@ -90,6 +156,8 @@ struct SweepResult {
 };
 
 /// Optimal configuration of `mdl` at every system in `points`.
+/// Throws std::invalid_argument when opts.search.top_k or
+/// opts.search.threads is nonzero (unsupported here; see SweepOptions).
 SweepResult run_sweep(const model::TransformerConfig& mdl,
                       const std::vector<hw::SystemConfig>& points,
                       const SweepOptions& opts);

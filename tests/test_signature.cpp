@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <thread>
 #include <vector>
 
 #include "analysis/invariants.hpp"
+#include "core/batched_signature.hpp"
 #include "core/cost_signature.hpp"
 #include "core/evaluator.hpp"
 #include "search/search.hpp"
@@ -315,6 +317,196 @@ TEST(Signature, CacheIsThreadSafe) {
 /// The sweep engine must return, at every grid point, exactly the result
 /// find_optimal computes at that point — configuration, placement, time and
 /// memory bits — for both engine arms and both prune settings.
+/// PanelRoofline must construct with both attribution fields (and the panel
+/// budget) reading exactly Seconds(0): panel_roofline assigns only the
+/// dominant side, so the other is whatever construction left there.
+TEST(Signature, PanelRooflineZeroInitialized) {
+  const core::PanelRoofline pr;
+  EXPECT_EQ(pr.compute.value(), 0.0);
+  EXPECT_EQ(pr.memory.value(), 0.0);
+  EXPECT_EQ(pr.t_panel.value(), 0.0);
+  // And a computed roofline keeps the non-dominant side exactly zero, in
+  // both dominance directions.
+  const hw::GpuSpec gpu = system_of(hw::GpuGeneration::A100, 8, 8).gpu;
+  const auto flop_bound =
+      core::panel_roofline(Flops(1e18), Bytes(1), 1, true, gpu);
+  EXPECT_GT(flop_bound.compute.value(), 0.0);
+  EXPECT_EQ(flop_bound.memory.value(), 0.0);
+  const auto mem_bound =
+      core::panel_roofline(Flops(1), Bytes(1e12), 1, false, gpu);
+  EXPECT_EQ(mem_bound.compute.value(), 0.0);
+  EXPECT_GT(mem_bound.memory.value(), 0.0);
+}
+
+void expect_bind_bitwise(const core::SystemTiming& ref,
+                         const core::SystemTiming& got,
+                         const std::string& label) {
+  EXPECT_EQ(ref.time_compute, got.time_compute) << label;
+  EXPECT_EQ(ref.time_memory, got.time_memory) << label;
+  EXPECT_EQ(ref.optimizer, got.optimizer) << label;
+  EXPECT_EQ(ref.fwd_cm.value(), got.fwd_cm.value()) << label;
+  EXPECT_EQ(ref.bwd_cm.value(), got.bwd_cm.value()) << label;
+  EXPECT_EQ(ref.head_fwd_cm.value(), got.head_fwd_cm.value()) << label;
+  EXPECT_EQ(ref.head_bwd_cm.value(), got.head_bwd_cm.value()) << label;
+  ASSERT_EQ(ref.summa_panel_time.size(), got.summa_panel_time.size()) << label;
+  for (std::size_t i = 0; i < ref.summa_panel_time.size(); ++i) {
+    EXPECT_EQ(ref.summa_panel_time[i][0].value(),
+              got.summa_panel_time[i][0].value())
+        << label;
+    EXPECT_EQ(ref.summa_panel_time[i][1].value(),
+              got.summa_panel_time[i][1].value())
+        << label;
+  }
+}
+
+void expect_pt_bitwise(const core::PlacementTiming& ref,
+                       const core::PlacementTiming& got,
+                       const std::string& label) {
+  EXPECT_EQ(ref.time.compute, got.time.compute) << label;
+  EXPECT_EQ(ref.time.memory, got.time.memory) << label;
+  EXPECT_EQ(ref.time.tp_comm, got.time.tp_comm) << label;
+  EXPECT_EQ(ref.time.pp_comm, got.time.pp_comm) << label;
+  EXPECT_EQ(ref.time.dp_comm, got.time.dp_comm) << label;
+  EXPECT_EQ(ref.time.bubble, got.time.bubble) << label;
+  EXPECT_EQ(ref.time.optimizer, got.time.optimizer) << label;
+  EXPECT_EQ(ref.t_fwd_stage.value(), got.t_fwd_stage.value()) << label;
+  EXPECT_EQ(ref.t_bwd_stage.value(), got.t_bwd_stage.value()) << label;
+}
+
+/// The SoA bind must reproduce the scalar bind_system bitwise, both the
+/// one-system entry point and the M-system batch, across the preset matrix.
+TEST(Signature, BatchedBindMatchesScalar) {
+  const std::vector<hw::SystemConfig> systems = {
+      system_of(hw::GpuGeneration::A100, 4, 512),
+      system_of(hw::GpuGeneration::B200, 8, 512)};
+  std::size_t compared = 0;
+  for (const Case& c : preset_matrix()) {
+    search::SearchOptions sopts;
+    sopts.strategy = c.strategy;
+    sopts.global_batch = c.global_batch;
+    const auto configs = search::expand_candidates(c.mdl, systems[0], sopts);
+    for (std::size_t i = 0; i < configs.size(); i += 11) {
+      const parallel::ParallelConfig& cfg = configs[i];
+      if (cfg.invalid_reason(c.mdl, systems[0], c.global_batch)) continue;
+      const core::CostSignature sig =
+          core::compile_signature(c.mdl, cfg, c.global_batch);
+      const core::BatchedSignature bat = core::lower_batched(sig);
+      ASSERT_EQ(bat.op_count(), sig.ops.size()) << c.name;
+      ASSERT_EQ(bat.comm_count(), sig.comm.size()) << c.name;
+      const auto multi = core::bind_systems_batch(sig, bat, systems);
+      ASSERT_EQ(multi.size(), systems.size());
+      for (std::size_t k = 0; k < systems.size(); ++k) {
+        const std::string label = c.name + " " + cfg.describe();
+        const core::SystemTiming ref = core::bind_system(sig, systems[k]);
+        expect_bind_bitwise(ref, core::bind_system_batched(sig, bat, systems[k]),
+                            label);
+        expect_bind_bitwise(ref, multi[k], label + " [multi]");
+      }
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 8u);
+}
+
+/// Randomized property (fixed seed): time_placements_batch over a full
+/// enumerated placement set must equal the scalar time_placement call per
+/// placement, bit for bit, across random candidates, systems and
+/// EvalOptions variants — the batched twin of GoldenEquivalenceMatrix.
+TEST(Signature, BatchedTimingMatchesScalarRandomized) {
+  std::mt19937 rng(0x5157eeu);
+  const auto variants = eval_variants();
+  const std::vector<hw::SystemConfig> systems = {
+      system_of(hw::GpuGeneration::A100, 4, 256),
+      system_of(hw::GpuGeneration::H200, 8, 256),
+      system_of(hw::GpuGeneration::B200, 16, 256)};
+  core::BatchScratch scratch;
+  std::vector<core::PlacementTiming> batched;
+  std::size_t compared = 0;
+  for (const Case& c : preset_matrix()) {
+    search::SearchOptions sopts;
+    sopts.strategy = c.strategy;
+    sopts.global_batch = c.global_batch;
+    sopts.allow_zero3 = true;
+    sopts.interleave_candidates = {1, 2};
+    const auto configs = search::expand_candidates(c.mdl, systems[0], sopts);
+    ASSERT_FALSE(configs.empty()) << c.name;
+    std::uniform_int_distribution<std::size_t> pick_cfg(0, configs.size() - 1);
+    std::uniform_int_distribution<std::size_t> pick_sys(0, systems.size() - 1);
+    std::uniform_int_distribution<std::size_t> pick_eval(0,
+                                                         variants.size() - 1);
+    for (int draw = 0; draw < 16; ++draw) {
+      parallel::ParallelConfig cfg = configs[pick_cfg(rng)];
+      const hw::SystemConfig& sys = systems[pick_sys(rng)];
+      const core::EvalOptions& eval = variants[pick_eval(rng)];
+      if (cfg.invalid_reason(c.mdl, sys, c.global_batch)) continue;
+      const core::CostSignature sig =
+          core::compile_signature(c.mdl, cfg, c.global_batch, eval);
+      const core::BatchedSignature bat = core::lower_batched(sig);
+      const core::SystemTiming base = core::bind_system(sig, sys, eval);
+      const auto placements =
+          search::enumerate_placements(cfg, sys.nvs_domain);
+      if (placements.empty()) continue;
+      core::time_placements_batch(sig, bat, base, sys, cfg, placements, eval,
+                                  batched, &scratch);
+      ASSERT_EQ(batched.size(), placements.size());
+      for (std::size_t p = 0; p < placements.size(); ++p) {
+        cfg.nvs1 = placements[p][0];
+        cfg.nvs2 = placements[p][1];
+        cfg.nvsp = placements[p][2];
+        cfg.nvsd = placements[p][3];
+        const core::PlacementTiming ref =
+            core::time_placement(sig, base, sys, cfg, eval);
+        expect_pt_bitwise(ref, batched[p],
+                          c.name + " " + cfg.describe() + " placement " +
+                              std::to_string(p));
+        ++compared;
+      }
+    }
+  }
+  EXPECT_GT(compared, 200u);
+}
+
+/// The N placements x M systems composition must match the nested scalar
+/// loops (bind per system, then time per placement).
+TEST(Signature, BatchedSystemsGridMatchesScalar) {
+  const auto mdl = model::gpt3_175b();
+  const std::vector<hw::SystemConfig> systems = {
+      system_of(hw::GpuGeneration::A100, 8, 256),
+      system_of(hw::GpuGeneration::H200, 8, 256),
+      system_of(hw::GpuGeneration::B200, 8, 256)};
+  search::SearchOptions sopts;
+  sopts.strategy = parallel::TpStrategy::TP1D;
+  sopts.global_batch = 512;
+  std::size_t checked = 0;
+  for (parallel::ParallelConfig cfg :
+       search::expand_candidates(mdl, systems[0], sopts)) {
+    if (cfg.invalid_reason(mdl, systems[0], 512)) continue;
+    const core::CostSignature sig = core::compile_signature(mdl, cfg, 512);
+    const core::BatchedSignature bat = core::lower_batched(sig);
+    const auto placements =
+        search::enumerate_placements(cfg, systems[0].nvs_domain);
+    if (placements.empty()) continue;
+    const auto grid =
+        core::time_placements_systems_batch(sig, bat, systems, cfg, placements);
+    ASSERT_EQ(grid.size(), systems.size());
+    for (std::size_t k = 0; k < systems.size(); ++k) {
+      ASSERT_EQ(grid[k].size(), placements.size());
+      const core::SystemTiming base = core::bind_system(sig, systems[k]);
+      for (std::size_t p = 0; p < placements.size(); ++p) {
+        cfg.nvs1 = placements[p][0];
+        cfg.nvs2 = placements[p][1];
+        cfg.nvsp = placements[p][2];
+        cfg.nvsd = placements[p][3];
+        expect_pt_bitwise(core::time_placement(sig, base, systems[k], cfg),
+                          grid[k][p], cfg.describe());
+        ++checked;
+      }
+    }
+    if (checked >= 64) break;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
 TEST(Sweep, MatchesFindOptimalPerPoint) {
   const auto mdl = model::gpt3_175b();
   const auto points = search::hardware_grid(

@@ -16,8 +16,9 @@
 //   output = sweep.csv
 //
 // Usage: tfpe-sweep spec.tfpe [--output path] [--engine signature|legacy]
-//                             [--threads N] [--verify-legacy]
-//                             [--ablate-topology]
+//                             [--threads N] [--batch | --no-batch]
+//                             [--warm-start] [--profile-stages]
+//                             [--verify-legacy] [--ablate-topology]
 //
 // The hardware axes (gpu, nvs, oversub) of each (model, strategy, batch,
 // gpus) slice run through search::run_sweep: candidates are enumerated once,
@@ -31,6 +32,13 @@
 // fabric replaced by the degenerate three-level preset (leaf = nvs, no
 // oversubscription) and exits nonzero unless the optima are bitwise
 // identical — the golden-equivalence contract of the topology layer.
+//
+// --no-batch drops the signature engine back to the PR-3 scalar placement
+// walk (--batch, the default, times each candidate's placements through the
+// SoA batch kernel); --warm-start seeds each grid point's incumbent from
+// its chain predecessor's optimum. Both knobs change throughput only —
+// every optimum stays bitwise identical. --profile-stages prints per-stage
+// busy seconds (enumerate / compile / time) and their overlap factor.
 
 #include <chrono>
 #include <cstdio>
@@ -53,6 +61,8 @@ int usage(const char* msg) {
   if (msg) std::cerr << "error: " << msg << "\n";
   std::cerr << "usage: tfpe-sweep spec.tfpe [--output path]\n"
                "                  [--engine signature|legacy] [--threads N]\n"
+               "                  [--batch | --no-batch] [--warm-start]\n"
+               "                  [--profile-stages]\n"
                "                  [--verify-legacy] [--ablate-topology]\n"
                "see the header of tools/tfpe_sweep.cpp for the spec format\n";
   return 2;
@@ -129,6 +139,12 @@ int main(int argc, char** argv) {
   }
   const bool verify_legacy = args.has("verify-legacy");
   const bool ablate_topology = args.has("ablate-topology");
+  if (args.has("batch") && args.has("no-batch")) {
+    return usage("--batch and --no-batch are mutually exclusive");
+  }
+  const bool batch = !args.has("no-batch");  // --batch is the default
+  const bool warm_start = args.has("warm-start");
+  const bool profile_stages = args.has("profile-stages");
   const auto threads = static_cast<unsigned>(args.get_int_or("threads", 0));
 
   // Validate axes up front, before any work.
@@ -204,6 +220,8 @@ int main(int argc, char** argv) {
           opts.search.n_gpus = std::stoll(n_s);
           opts.threads = threads;
           opts.use_signatures = engine == "signature";
+          opts.batch = batch;
+          opts.warm_start = warm_start;
 
           const auto t0 = std::chrono::steady_clock::now();
           search::SweepResult sr = run_sweep(*mdl, grid, opts);
@@ -218,6 +236,14 @@ int main(int argc, char** argv) {
           totals.evaluated += sr.stats.evaluated;
           totals.signature_compiles += sr.stats.signature_compiles;
           totals.signature_cache_hits += sr.stats.signature_cache_hits;
+          totals.batch_calls += sr.stats.batch_calls;
+          totals.batch_placements += sr.stats.batch_placements;
+          totals.warm_seeded += sr.stats.warm_seeded;
+          totals.warm_seed_feasible += sr.stats.warm_seed_feasible;
+          totals.profile.enumerate_s += sr.stats.profile.enumerate_s;
+          totals.profile.compile_s += sr.stats.profile.compile_s;
+          totals.profile.time_s += sr.stats.profile.time_s;
+          totals.profile.wall_s += sr.stats.profile.wall_s;
 
           if (verify_legacy) {
             search::SweepOptions other = opts;
@@ -305,8 +331,23 @@ int main(int argc, char** argv) {
   if (engine == "signature") {
     std::printf("  compiles=%zu  compile-cache hit rate=%.1f%%",
                 totals.signature_compiles, 100.0 * totals.compile_hit_rate());
+    if (batch) {
+      std::printf("  batch-occupancy=%.1f", totals.batch_occupancy());
+    }
+    if (warm_start) {
+      std::printf("  warm-seeds=%zu/%zu", totals.warm_seed_feasible,
+                  totals.warm_seeded);
+    }
   }
   std::printf("\n");
+  if (profile_stages && engine == "signature") {
+    std::printf(
+        "stages: enumerate=%.3fs  compile=%.3fs  time=%.3fs  wall=%.3fs  "
+        "overlap=%.2fx\n",
+        totals.profile.enumerate_s, totals.profile.compile_s,
+        totals.profile.time_s, totals.profile.wall_s,
+        totals.profile.overlap());
+  }
   if (verify_legacy) {
     if (mismatches != 0) {
       std::cerr << mismatches << " grid points differ between the signature "
