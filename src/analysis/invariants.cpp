@@ -182,7 +182,7 @@ class Linter {
          const parallel::ParallelConfig& cfg, std::int64_t local_microbatch,
          const parallel::LayerCost& layer, const LintOptions& opts)
       : mdl_(mdl), cfg_(cfg), b_(local_microbatch), layer_(layer),
-        opts_(opts) {}
+        opts_(opts), sink_(opts.rules) {}
 
   LintReport run() {
     const bool aligned = check_sequence();
@@ -195,14 +195,14 @@ class Linter {
     check_fwd_bwd_flops();
     check_flop_invariance();
     check_pp_boundary();
-    return std::move(report_);
+    return sink_.take();
   }
 
  private:
-  void emit(std::string rule, std::string op, double expected, double actual,
-            std::string message, Severity sev = Severity::kError) {
-    report_.diagnostics.push_back({std::move(rule), std::move(op), expected,
-                                   actual, std::move(message), sev});
+  void emit(RuleId rule, std::string op, double expected, double actual,
+            std::string message,
+            std::optional<Severity> sev = std::nullopt) {
+    sink_.emit(rule, std::move(op), expected, actual, std::move(message), sev);
   }
 
   bool check_sequence() {
@@ -212,13 +212,13 @@ class Linter {
       std::ostringstream msg;
       msg << "expected " << exp.size() << " ops, layer has "
           << layer_.ops.size();
-      emit("op-sequence", "<layer>", static_cast<double>(exp.size()),
+      emit(RuleId::kOpSequence, "<layer>", static_cast<double>(exp.size()),
            static_cast<double>(layer_.ops.size()), msg.str());
       return false;
     }
     for (std::size_t i = 0; i < exp.size(); ++i) {
       if (layer_.ops[i].name != exp[i].name) {
-        emit("op-sequence", layer_.ops[i].name, 0, 0,
+        emit(RuleId::kOpSequence, layer_.ops[i].name, 0, 0,
              "op #" + std::to_string(i) + " is '" + layer_.ops[i].name +
                  "', expected '" + exp[i].name + "'");
         aligned = false;
@@ -237,7 +237,7 @@ class Linter {
         std::ostringstream msg;
         msg << "op '" << exp[i].name << "' stores " << actual
             << " B, table prescribes " << exp[i].stored << " B";
-        emit("activation-term", exp[i].name, exp[i].stored, actual, msg.str());
+        emit(RuleId::kActivationTerm, exp[i].name, exp[i].stored, actual, msg.str());
       }
     }
     const double actual_total = layer_.stored_bytes().value();
@@ -245,7 +245,7 @@ class Linter {
       std::ostringstream msg;
       msg << "block stores " << actual_total
           << " B total, activation partition sums to " << exp_total << " B";
-      emit("activation-sum", "<layer>", exp_total, actual_total, msg.str());
+      emit(RuleId::kActivationSum, "<layer>", exp_total, actual_total, msg.str());
     }
   }
 
@@ -257,7 +257,7 @@ class Linter {
         std::ostringstream msg;
         msg << "op '" << op.name << "' has " << op.fwd_comm.size()
             << " forward collectives, table prescribes " << exp[i].fwd.size();
-        emit("collective-structure", op.name,
+        emit(RuleId::kCollectiveStructure, op.name,
              static_cast<double>(exp[i].fwd.size()),
              static_cast<double>(op.fwd_comm.size()), msg.str());
         continue;
@@ -272,7 +272,7 @@ class Linter {
               << ops::to_string(got.group) << ", table prescribes "
               << ops::to_string(want.coll) << " over "
               << ops::to_string(want.group);
-          emit("collective-structure", op.name, 0, 0, msg.str());
+          emit(RuleId::kCollectiveStructure, op.name, 0, 0, msg.str());
           continue;
         }
         if (rel_diff(want.bytes, got.bytes.value()) > opts_.bytes_rtol) {
@@ -280,7 +280,7 @@ class Linter {
           msg << "op '" << op.name << "' " << ops::to_string(want.coll)
               << " volume is " << got.bytes.value() << " B, table Vol is "
               << want.bytes << " B";
-          emit("collective-volume", op.name, want.bytes, got.bytes.value(),
+          emit(RuleId::kCollectiveVolume, op.name, want.bytes, got.bytes.value(),
                msg.str());
         }
       }
@@ -297,7 +297,7 @@ class Linter {
         msg << "'" << prod.name << "' produces " << prod.out_elems
             << " elements but '" << cons.name << "' consumes "
             << cons.in_elems;
-        emit("shape-chain", cons.name, prod.out_elems, cons.in_elems,
+        emit(RuleId::kShapeChain, cons.name, prod.out_elems, cons.in_elems,
              msg.str());
       }
     }
@@ -317,14 +317,14 @@ class Linter {
                 << ops::to_string(br.group) << ", conjugate of forward is "
                 << ops::to_string(conjugate(fr.collective)) << " over "
                 << ops::to_string(fr.group);
-            emit("fwd-bwd-comm", op.name, 0, 0, msg.str());
+            emit(RuleId::kFwdBwdComm, op.name, 0, 0, msg.str());
           } else if (rel_diff(fr.bytes.value(), br.bytes.value()) >
                      opts_.bytes_rtol) {
             std::ostringstream msg;
             msg << "op '" << op.name << "' backward volume "
                 << br.bytes.value() << " B != forward volume "
                 << fr.bytes.value() << " B";
-            emit("fwd-bwd-comm", op.name, fr.bytes.value(), br.bytes.value(),
+            emit(RuleId::kFwdBwdComm, op.name, fr.bytes.value(), br.bytes.value(),
                  msg.str());
           }
         }
@@ -343,7 +343,7 @@ class Linter {
             msg << "op '" << op.name << "' backward volume over "
                 << ops::to_string(g) << " is " << bwd_vol
                 << " B, expected 2x forward = " << 2.0 * fwd_vol << " B";
-            emit("fwd-bwd-comm", op.name, 2.0 * fwd_vol, bwd_vol, msg.str());
+            emit(RuleId::kFwdBwdComm, op.name, 2.0 * fwd_vol, bwd_vol, msg.str());
           }
         }
       } else {
@@ -351,7 +351,7 @@ class Linter {
         msg << "op '" << op.name << "' has " << op.bwd_comm.size()
             << " backward collectives for " << op.fwd_comm.size()
             << " forward ones (expected equal, or 2x for SUMMA)";
-        emit("fwd-bwd-comm", op.name,
+        emit(RuleId::kFwdBwdComm, op.name,
              static_cast<double>(op.fwd_comm.size()),
              static_cast<double>(op.bwd_comm.size()), msg.str());
       }
@@ -371,7 +371,7 @@ class Linter {
         msg << "op '" << op.name << "' bwd/fwd FLOP ratio " << ratio
             << " outside [" << lo << ", " << hi << "] for "
             << ops::to_string(op.unit) << " ops";
-        emit("fwd-bwd-flops", op.name, lo, ratio, msg.str(),
+        emit(RuleId::kFwdBwdFlops, op.name, lo, ratio, msg.str(),
              Severity::kWarning);
       }
     }
@@ -396,14 +396,14 @@ class Linter {
       msg << "n1*n2 * per-GPU forward FLOPs = " << fwd_scaled
           << ", serial block = " << base.fwd_flops().value()
           << " (dimension splits must conserve work)";
-      emit("flop-invariance", "<layer>", base.fwd_flops().value(), fwd_scaled,
+      emit(RuleId::kFlopInvariance, "<layer>", base.fwd_flops().value(), fwd_scaled,
            msg.str());
     }
     if (rel_diff(base.bwd_flops().value(), bwd_scaled) > opts_.flop_rtol) {
       std::ostringstream msg;
       msg << "n1*n2 * per-GPU backward FLOPs = " << bwd_scaled
           << ", serial block = " << base.bwd_flops().value();
-      emit("flop-invariance", "<layer>", base.bwd_flops().value(), bwd_scaled,
+      emit(RuleId::kFlopInvariance, "<layer>", base.bwd_flops().value(), bwd_scaled,
            msg.str());
     }
   }
@@ -420,7 +420,7 @@ class Linter {
       msg << "pipeline boundary is " << actual
           << " B, one (b,l,e)/(n1 n2) activation tensor is " << expected
           << " B";
-      emit("pp-boundary", "<layer>", expected, actual, msg.str());
+      emit(RuleId::kPpBoundary, "<layer>", expected, actual, msg.str());
     }
   }
 
@@ -429,36 +429,10 @@ class Linter {
   std::int64_t b_;
   const parallel::LayerCost& layer_;
   LintOptions opts_;
-  LintReport report_;
+  DiagnosticSink sink_;
 };
 
 }  // namespace
-
-std::string to_string(Severity s) {
-  return s == Severity::kError ? "error" : "warning";
-}
-
-std::size_t LintReport::errors() const {
-  return static_cast<std::size_t>(
-      std::count_if(diagnostics.begin(), diagnostics.end(),
-                    [](const Diagnostic& d) {
-                      return d.severity == Severity::kError;
-                    }));
-}
-
-std::size_t LintReport::warnings() const {
-  return diagnostics.size() - errors();
-}
-
-std::string LintReport::summary() const {
-  std::ostringstream out;
-  for (const auto& d : diagnostics) {
-    out << "[" << to_string(d.severity) << "] " << d.rule << " @ " << d.op
-        << ": " << d.message << "\n";
-  }
-  out << errors() << " error(s), " << warnings() << " warning(s)";
-  return out.str();
-}
 
 LintReport lint_layer(const model::TransformerConfig& mdl,
                       const parallel::ParallelConfig& cfg,
@@ -494,18 +468,18 @@ LintReport lint_signature(const model::TransformerConfig& mdl,
                           const parallel::LayerCost& layer,
                           const LintOptions& opts) {
   (void)mdl;
-  LintReport report;
-  const auto diag = [&](const std::string& rule, const std::string& op,
-                        double expected, double actual,
-                        const std::string& what) {
+  DiagnosticSink sink(opts.rules);
+  const auto diag = [&](RuleId rule, const std::string& op, double expected,
+                        double actual, const std::string& what) {
     std::ostringstream msg;
     msg << what << ": expected " << expected << ", got " << actual;
-    report.diagnostics.push_back(
-        {rule, op, expected, actual, msg.str(), Severity::kError});
+    sink.emit(rule, op, expected, actual, msg.str());
   };
   const auto nonneg = [&](const std::string& op, double v,
                           const std::string& what) {
-    if (v < 0) diag("signature-nonnegative", op, 0.0, v, what + " < 0");
+    if (v < 0) {
+      diag(RuleId::kSignatureNonnegative, op, 0.0, v, what + " < 0");
+    }
   };
 
   for (std::size_t i = 0; i < sig.ops.size(); ++i) {
@@ -516,7 +490,7 @@ LintReport lint_signature(const model::TransformerConfig& mdl,
     nonneg(name, op.fwd_bytes.value(), "fwd bytes");
     nonneg(name, op.bwd_bytes.value(), "bwd bytes");
     if (op.panels < 1) {
-      diag("signature-nonnegative", name, 1.0,
+      diag(RuleId::kSignatureNonnegative, name, 1.0,
            static_cast<double>(op.panels), "panels < 1");
     }
   }
@@ -532,60 +506,64 @@ LintReport lint_signature(const model::TransformerConfig& mdl,
   nonneg("<mem>", sig.mem.activations.value(), "activation memory");
 
   if (sig.ops.size() != layer.ops.size()) {
-    diag("signature-op-count", "<layer>",
+    diag(RuleId::kSignatureOpCount, "<layer>",
          static_cast<double>(layer.ops.size()),
          static_cast<double>(sig.ops.size()), "op record count");
   }
 
-  const auto match = [&](const std::string& rule, const std::string& op,
-                         double expected, double actual,
-                         const std::string& what) {
+  const auto match = [&](RuleId rule, const std::string& op, double expected,
+                         double actual, const std::string& what) {
     if (rel_diff(expected, actual) > opts.bytes_rtol) {
       diag(rule, op, expected, actual, what);
     }
   };
-  match("signature-flop-total", "<layer>", layer.fwd_flops().value(),
+  match(RuleId::kSignatureFlopTotal, "<layer>", layer.fwd_flops().value(),
         sig.fwd_flops().value(), "forward FLOP total");
-  match("signature-flop-total", "<layer>", layer.bwd_flops().value(),
+  match(RuleId::kSignatureFlopTotal, "<layer>", layer.bwd_flops().value(),
         sig.bwd_flops().value(), "backward FLOP total");
-  match("signature-hbm-total", "<layer>", layer.fwd_hbm_bytes().value(),
+  match(RuleId::kSignatureHbmTotal, "<layer>", layer.fwd_hbm_bytes().value(),
         sig.fwd_hbm_bytes().value(), "forward HBM total");
-  match("signature-hbm-total", "<layer>", layer.bwd_hbm_bytes().value(),
+  match(RuleId::kSignatureHbmTotal, "<layer>", layer.bwd_hbm_bytes().value(),
         sig.bwd_hbm_bytes().value(), "backward HBM total");
   for (CommGroup g : {CommGroup::TP1, CommGroup::TP2, CommGroup::DP,
                       CommGroup::PP}) {
     const auto gi = static_cast<std::size_t>(g);
-    match("signature-comm-volume", "<group " + std::to_string(gi) + ">",
+    match(RuleId::kSignatureCommVolume,
+          "<group " + std::to_string(gi) + ">",
           layer.fwd_comm_bytes(g).value(), sig.fwd_comm_volume[gi].value(),
           "forward collective volume");
-    match("signature-comm-volume", "<group " + std::to_string(gi) + ">",
+    match(RuleId::kSignatureCommVolume,
+          "<group " + std::to_string(gi) + ">",
           layer.bwd_comm_bytes(g).value(), sig.bwd_comm_volume[gi].value(),
           "backward collective volume");
   }
-  match("signature-stored-bytes", "<layer>", layer.stored_bytes().value(),
-        sig.stored_activation_bytes.value(), "stored activation bytes");
-  match("signature-pp-boundary", "<layer>", layer.pp_boundary_bytes.value(),
-        sig.pp_boundary_bytes.value(), "pipeline boundary bytes");
+  match(RuleId::kSignatureStoredBytes, "<layer>",
+        layer.stored_bytes().value(), sig.stored_activation_bytes.value(),
+        "stored activation bytes");
+  match(RuleId::kSignaturePpBoundary, "<layer>",
+        layer.pp_boundary_bytes.value(), sig.pp_boundary_bytes.value(),
+        "pipeline boundary bytes");
 
   (void)cfg;
-  return report;
+  return sink.take();
 }
 
 LintReport lint_topology(const hw::Topology& topo, std::int64_t n_gpus,
                          const LintOptions& opts) {
-  (void)opts;
-  LintReport report;
-  if (topo.empty()) return report;  // Resolves to the canonical two-level.
-  const auto diag = [&](const std::string& rule, const std::string& op,
-                        double expected, double actual,
-                        const std::string& what, Severity sev) {
+  DiagnosticSink sink(opts.rules);
+  if (topo.empty()) {
+    return sink.take();  // Resolves to the canonical two-level fabric.
+  }
+  const auto diag = [&](RuleId rule, const std::string& op, double expected,
+                        double actual, const std::string& what,
+                        Severity sev) {
     std::ostringstream msg;
     msg << what << ": expected " << expected << ", got " << actual;
-    report.diagnostics.push_back({rule, op, expected, actual, msg.str(), sev});
+    sink.emit(rule, op, expected, actual, msg.str(), sev);
   };
 
   if (topo.depth() > hw::Topology::kMaxDepth) {
-    diag("topology-depth", "<topology>",
+    diag(RuleId::kTopologyDepth, "<topology>",
          static_cast<double>(hw::Topology::kMaxDepth),
          static_cast<double>(topo.depth()), "fabric depth over kMaxDepth",
          Severity::kError);
@@ -597,22 +575,22 @@ LintReport lint_topology(const hw::Topology& topo, std::int64_t n_gpus,
     const std::string name =
         lvl.name.empty() ? "level[" + std::to_string(i) + "]" : lvl.name;
     if (lvl.latency < Seconds(0)) {
-      diag("topology-positive", name, 0.0, lvl.latency.value(),
+      diag(RuleId::kTopologyPositive, name, 0.0, lvl.latency.value(),
            "negative hop latency", Severity::kError);
       shape_ok = false;
     }
     if (!(lvl.bandwidth > BytesPerSec(0))) {
-      diag("topology-positive", name, 0.0, lvl.bandwidth.value(),
+      diag(RuleId::kTopologyPositive, name, 0.0, lvl.bandwidth.value(),
            "link bandwidth must be > 0", Severity::kError);
       shape_ok = false;
     }
     if (!(lvl.rails > 0.0)) {
-      diag("topology-positive", name, 1.0, lvl.rails,
+      diag(RuleId::kTopologyPositive, name, 1.0, lvl.rails,
            "rail count must be > 0", Severity::kError);
       shape_ok = false;
     }
     if (lvl.oversubscription < 1.0) {
-      diag("topology-positive", name, 1.0, lvl.oversubscription,
+      diag(RuleId::kTopologyPositive, name, 1.0, lvl.oversubscription,
            "oversubscription ratio below 1", Severity::kError);
       shape_ok = false;
     }
@@ -631,11 +609,11 @@ LintReport lint_topology(const hw::Topology& topo, std::int64_t n_gpus,
       capacity *= lvl.fan_in;
     }
     if (!unbounded && capacity < n_gpus) {
-      diag("topology-fan-in", "<topology>", static_cast<double>(n_gpus),
+      diag(RuleId::kTopologyFanIn, "<topology>", static_cast<double>(n_gpus),
            static_cast<double>(capacity),
            "fan-in product smaller than the GPU count", Severity::kError);
     } else if (!unbounded && capacity > n_gpus) {
-      diag("topology-fan-in", "<topology>", static_cast<double>(n_gpus),
+      diag(RuleId::kTopologyFanIn, "<topology>", static_cast<double>(n_gpus),
            static_cast<double>(capacity),
            "fan-in product exceeds the GPU count (fabric oversized)",
            Severity::kWarning);
@@ -656,7 +634,7 @@ LintReport lint_topology(const hw::Topology& topo, std::int64_t n_gpus,
       const double outer =
           (lvl.bandwidth * (lvl.rails * topo.efficiency)).value();
       if (outer > inner) {
-        diag("topology-monotone-bw",
+        diag(RuleId::kTopologyMonotoneBw,
              lvl.name.empty() ? "level[" + std::to_string(i) + "]" : lvl.name,
              inner, outer,
              "per-member bandwidth increases outward across this level",
@@ -664,20 +642,38 @@ LintReport lint_topology(const hw::Topology& topo, std::int64_t n_gpus,
       }
     }
   }
-  return report;
+  return sink.take();
 }
 
-LintReport lint_placement(const comm::GroupPlacement& g) {
-  LintReport report;
+LintReport lint_placement(const comm::GroupPlacement& g,
+                          const LintOptions& opts) {
+  DiagnosticSink sink(opts.rules);
   if (auto why = comm::invalid_placement_reason(g)) {
     std::ostringstream msg;
     msg << *why << " (size=" << g.size << ", nvs=" << g.nvs << ")";
-    report.diagnostics.push_back({"placement-valid", "<placement>",
-                                  static_cast<double>(g.size),
-                                  static_cast<double>(g.nvs), msg.str(),
-                                  Severity::kError});
+    sink.emit(RuleId::kPlacementValid, "<placement>",
+              static_cast<double>(g.size), static_cast<double>(g.nvs),
+              msg.str());
   }
-  return report;
+  return sink.take();
+}
+
+LintReport lint_placement(const hw::Topology& topo,
+                          const comm::GroupPlacement& g,
+                          const LintOptions& opts) {
+  DiagnosticSink sink(opts.rules);
+  sink.merge(lint_placement(g, opts));
+  const std::int64_t leaf = topo.leaf_fan_in();
+  if (leaf > 0 && g.nvs > leaf) {
+    std::ostringstream msg;
+    msg << "fast-domain span nvs=" << g.nvs
+        << " exceeds the fabric's leaf fan-in " << leaf
+        << " (group size " << g.size << ")";
+    sink.emit(RuleId::kPlacementLeafFanIn, "<placement>",
+              static_cast<double>(leaf), static_cast<double>(g.nvs),
+              msg.str());
+  }
+  return sink.take();
 }
 
 }  // namespace tfpe::analysis

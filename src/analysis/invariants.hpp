@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "comm/collective_model.hpp"
 #include "core/cost_signature.hpp"
 #include "hw/topology.hpp"
@@ -42,35 +43,9 @@
 
 namespace tfpe::analysis {
 
-enum class Severity {
-  kWarning,  ///< Suspicious but heuristic (e.g. bwd/fwd FLOP ratio range).
-  kError,    ///< A conservation law is violated; the op list is wrong.
-};
-
-std::string to_string(Severity s);
-
-/// One violated invariant, tied to the rule that derived it and the op (or
-/// layer-level aggregate) it fired on.
-struct Diagnostic {
-  std::string rule;     ///< Stable rule id, e.g. "collective-volume".
-  std::string op;       ///< Op name, or "<layer>" for aggregate rules.
-  double expected = 0;  ///< Value the invariant prescribes.
-  double actual = 0;    ///< Value found in the built op list.
-  std::string message;  ///< Human-readable explanation with units.
-  Severity severity = Severity::kError;
-};
-
-struct LintReport {
-  std::vector<Diagnostic> diagnostics;
-
-  bool clean() const { return diagnostics.empty(); }
-  std::size_t errors() const;
-  std::size_t warnings() const;
-  /// Multi-line report: one line per diagnostic plus a trailing count line.
-  std::string summary() const;
-};
-
 struct LintOptions {
+  /// Per-rule enable/suppress switches, applied by every lint entry point.
+  RuleConfig rules;
   /// Relative tolerance for the FLOP-invariance rule. The (2k-1) terms of
   /// split contraction dimensions legitimately deviate by ~(split-1)/(2k).
   double flop_rtol = 1e-2;
@@ -142,6 +117,18 @@ LintReport lint_topology(const hw::Topology& topo, std::int64_t n_gpus,
 ///                    same predicate comm::collective_time enforces (a
 ///                    violating placement used to produce negative ring hop
 ///                    counts instead of a diagnostic)
-LintReport lint_placement(const comm::GroupPlacement& g);
+LintReport lint_placement(const comm::GroupPlacement& g,
+                          const LintOptions& opts = {});
+
+/// Lint a placement against a concrete fabric: placement-valid plus
+///   placement-leaf-fan-in  nvs must not exceed the fabric's bounded
+///                          level-0 fan-in (a valid divisor that overfills
+///                          the fast domain prices a fabric walk the
+///                          machine cannot realize) — the same predicate
+///                          the topology-aware comm::collective_time now
+///                          enforces instead of deferring to bind time
+LintReport lint_placement(const hw::Topology& topo,
+                          const comm::GroupPlacement& g,
+                          const LintOptions& opts = {});
 
 }  // namespace tfpe::analysis

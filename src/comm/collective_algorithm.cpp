@@ -71,6 +71,17 @@ std::optional<std::string> invalid_placement_reason(GroupPlacement g) {
   return std::nullopt;
 }
 
+std::optional<std::string> invalid_placement_reason(const hw::Topology& topo,
+                                                    GroupPlacement g) {
+  if (auto why = invalid_placement_reason(g)) return why;
+  const std::int64_t leaf = topo.leaf_fan_in();
+  if (leaf > 0 && g.nvs > leaf) {
+    return "nvs exceeds the fabric's leaf fan-in (" + std::to_string(leaf) +
+           ")";
+  }
+  return std::nullopt;
+}
+
 Seconds ring_latency(const hw::Topology& topo, const TopoPlacement& p) {
   // Level-i hops of the flat ring: crossing out of a level-(i-1) unit uses
   // a level-i link, so hops_i = units(i-1) - units(i) with units(-1) = g.
@@ -267,7 +278,7 @@ Seconds collective_time(const hw::Topology& topo, ops::Collective coll,
 
 Seconds collective_time(const hw::Topology& topo, ops::Collective coll,
                         Bytes bytes, GroupPlacement g) {
-  if (const auto why = invalid_placement_reason(g)) {
+  if (const auto why = invalid_placement_reason(topo, g)) {
     throw std::invalid_argument(
         "collective_time: " + *why + " (size=" + std::to_string(g.size) +
         ", nvs=" + std::to_string(g.nvs) + ")");

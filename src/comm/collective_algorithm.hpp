@@ -43,6 +43,16 @@ TopoPlacement make_placement(const hw::Topology& topo, GroupPlacement g);
 /// helpers tolerate invalid placements; collective_time rejects them.
 std::optional<std::string> invalid_placement_reason(GroupPlacement g);
 
+/// Topology-aware validity: the base checks plus `nvs` must not exceed the
+/// fabric's bounded leaf fan-in (a valid divisor that overfills the fast
+/// domain would price a walk the machine cannot realize). Unbounded or
+/// empty fabrics fall back to the base checks. The validating
+/// collective_time(topo, ..., GroupPlacement) overload enforces this; the
+/// legacy NetworkSpec adapter lifts to an unbounded fabric and therefore
+/// only gets the base checks.
+std::optional<std::string> invalid_placement_reason(const hw::Topology& topo,
+                                                    GroupPlacement g);
+
 /// Latency term of the flat ring: per-level hop counts derived from the
 /// occupancy vector (level-i hops = units(i-1) - units(i)).
 Seconds ring_latency(const hw::Topology& topo, const TopoPlacement& p);

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <bit>
 
+#ifndef NDEBUG
+#include <stdexcept>
+
+#include "analysis/consistency.hpp"
+#endif
 #include "comm/collective_algorithm.hpp"
 #include "comm/collective_model.hpp"
 #include "pipeline/pipeline_model.hpp"
@@ -116,6 +121,9 @@ SystemTiming bind_system_batched(const CostSignature& sig,
                                  const BatchedSignature& bat,
                                  const hw::SystemConfig& sys,
                                  const EvalOptions& opts) {
+#ifndef NDEBUG
+  analysis::assert_batched_invariants(sig, bat);
+#endif
   SystemTiming bt;
   bt.fabric = sys.resolved_fabric();
   Seconds fwd_c, fwd_m, bwd_c, bwd_m;
@@ -403,6 +411,18 @@ void time_placements_batch(
 
     o.time.optimizer = base.optimizer;
   }
+
+#ifndef NDEBUG
+  // The scratch tables were just laid out above; a shape violation here
+  // means the scan read (or will next read) through the wrong cells.
+  {
+    const analysis::LintReport shape = analysis::lint_batch_scratch(bat, s, np);
+    if (shape.errors() > 0) {
+      throw std::logic_error("batched scratch invariants violated:\n" +
+                             shape.summary());
+    }
+  }
+#endif
 }
 
 std::vector<std::vector<PlacementTiming>> time_placements_systems_batch(

@@ -70,6 +70,14 @@ struct Topology {
   /// GPUs the whole fabric can host (capacity of the outermost level).
   std::int64_t total_capacity() const;
 
+  /// Fan-in of the innermost (fast-domain) level; 0 when the fabric is
+  /// empty or the level is unbounded. A collective placement's `nvs` must
+  /// not exceed this — a wider span cannot stay inside the fast domain.
+  std::int64_t leaf_fan_in() const {
+    if (levels.empty() || levels[0].fan_in <= 0) return 0;
+    return levels[0].fan_in;
+  }
+
   std::string describe() const;  ///< e.g. "nvs8 > leaf4 > spine16(os4)"
 };
 

@@ -108,6 +108,10 @@ std::string join_list(const std::vector<double>& values) {
 }  // namespace
 
 ConfigSections parse_config(std::istream& in) {
+  return parse_config(in, nullptr);
+}
+
+ConfigSections parse_config(std::istream& in, ConfigLocations* locations) {
   ConfigSections sections;
   std::string line;
   std::string current = "";
@@ -125,6 +129,9 @@ ConfigSections parse_config(std::istream& in) {
       }
       current = trim(line.substr(1, line.size() - 2));
       sections[current];
+      if (locations && !(*locations).count(current)) {
+        (*locations)[current].line = lineno;
+      }
       continue;
     }
     const auto eq = line.find('=');
@@ -139,6 +146,7 @@ ConfigSections parse_config(std::istream& in) {
                                ": empty key");
     }
     sections[current][key] = value;
+    if (locations) (*locations)[current].keys[key] = lineno;
   }
   return sections;
 }

@@ -62,6 +62,18 @@ using ConfigSections = std::map<std::string, Section>;
 /// a line number on malformed input.
 ConfigSections parse_config(std::istream& in);
 
+/// 1-based source lines of one section: the header and each key's line
+/// (last occurrence when a key repeats, matching the parsed value).
+struct SectionLocations {
+  int line = 0;                    ///< "[section]" header line; 0 = implicit.
+  std::map<std::string, int> keys;
+};
+using ConfigLocations = std::map<std::string, SectionLocations>;
+
+/// As above, additionally recording where each section and key was defined
+/// (for line-accurate schema diagnostics; `locations` may be null).
+ConfigSections parse_config(std::istream& in, ConfigLocations* locations);
+
 /// Build a validated TransformerConfig from a [model] section.
 model::TransformerConfig model_from_section(const Section& s);
 

@@ -1,0 +1,409 @@
+#include "io/config_lint.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/consistency.hpp"
+#include "hw/topology.hpp"
+#include "io/config_file.hpp"
+#include "io/plan_io.hpp"
+#include "util/strings.hpp"
+
+namespace tfpe::io {
+
+namespace {
+
+using analysis::DiagnosticSink;
+using analysis::RuleId;
+
+/// Per-section key schemas — mirror the reject_unknown sets of the loaders
+/// (config_file.cpp / plan_io.cpp / tfpe_sweep.cpp).
+const std::set<std::string>& section_keys(const std::string& section) {
+  static const std::set<std::string> kModel{
+      "name", "seq_len", "embed",       "heads",     "depth",
+      "hidden", "kv_heads", "vocab",    "attention", "window",
+      "moe_experts", "moe_top_k", "preset"};
+  static const std::set<std::string> kSystem{
+      "gpu", "tensor_tflops", "vector_tflops", "flops_latency", "hbm_gb",
+      "hbm_gbs", "nvs_gbs", "nvs_latency", "ib_gbs", "ib_latency",
+      "nics_per_gpu", "efficiency", "nvs_domain", "n_gpus", "host_gbs",
+      "enable_tree", "pod_size", "oversubscription"};
+  static const std::set<std::string> kTopology{
+      "levels", "fan_in", "latency_us", "gbs", "rails", "pod_size",
+      "oversubscription", "efficiency", "enable_tree", "enable_ll",
+      "ll_latency_scale", "ll_bandwidth_scale", "enable_hierarchical"};
+  static const std::set<std::string> kPlan{
+      "strategy", "n1", "n2", "np", "nd", "microbatches", "nb", "interleave",
+      "zero", "nvs1", "nvs2", "nvsp", "nvsd", "global_batch"};
+  static const std::set<std::string> kSweep{
+      "model", "gpu", "nvs", "oversub", "leaf", "gpus", "strategy", "batch",
+      "output"};
+  static const std::set<std::string> kCalibration{
+      "compute_efficiency", "bandwidth_efficiency", "global_batch",
+      "measured_seconds"};
+  static const std::set<std::string> kNone{};
+  if (section == "model") return kModel;
+  if (section == "system") return kSystem;
+  if (section == "topology") return kTopology;
+  if (section == "plan") return kPlan;
+  if (section == "sweep") return kSweep;
+  if (section == "calibration") return kCalibration;
+  return kNone;
+}
+
+bool known_section(const std::string& section) {
+  return section == "model" || section == "system" || section == "topology" ||
+         section == "plan" || section == "sweep" || section == "calibration";
+}
+
+bool parses_as_double(const std::string& value, double* out = nullptr) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) return false;
+    if (out) *out = v;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parses_as_int(const std::string& value, std::int64_t* out = nullptr) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(value, &pos);
+    if (pos != value.size()) return false;
+    if (out) *out = v;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Extract "N" from "config line N: ..." parser messages; 0 when absent.
+int parse_error_line(const std::string& what) {
+  const std::string tag = "config line ";
+  const auto at = what.find(tag);
+  if (at == std::string::npos) return 0;
+  return std::atoi(what.c_str() + at + tag.size());
+}
+
+class ConfigLinter {
+ public:
+  ConfigLinter(const std::string& filename, const analysis::LintOptions& opts)
+      : file_(filename), sink_(opts.rules), opts_(opts) {}
+
+  analysis::LintReport run(std::istream& in) {
+    try {
+      sections_ = parse_config(in, &where_);
+    } catch (const std::exception& e) {
+      sink_.emit(RuleId::kConfigParse, "<file>", 0, 0, e.what(), std::nullopt,
+                 file_, parse_error_line(e.what()));
+      return sink_.take();
+    }
+
+    for (const auto& [name, section] : sections_) {
+      if (name.empty()) {
+        if (!section.empty()) {
+          sink_.emit(RuleId::kConfigUnknownSection, "<preamble>", 0, 0,
+                     "keys before the first [section] header belong to no "
+                     "loader",
+                     std::nullopt, file_, 0);
+        }
+        continue;
+      }
+      if (!known_section(name)) {
+        sink_.emit(RuleId::kConfigUnknownSection, "[" + name + "]", 0, 0,
+                   "no loader consumes section [" + name + "]", std::nullopt,
+                   file_, section_line(name));
+        continue;
+      }
+      lint_keys(name, section);
+    }
+
+    lint_model();
+    lint_system_section();
+    lint_topology_section();
+    lint_plan();
+    lint_sweep();
+    lint_calibration();
+    return sink_.take();
+  }
+
+ private:
+  int section_line(const std::string& section) const {
+    const auto it = where_.find(section);
+    return it == where_.end() ? 0 : it->second.line;
+  }
+  int key_line(const std::string& section, const std::string& key) const {
+    const auto it = where_.find(section);
+    if (it == where_.end()) return 0;
+    const auto kt = it->second.keys.find(key);
+    return kt == it->second.keys.end() ? 0 : kt->second;
+  }
+  const Section* section(const std::string& name) const {
+    const auto it = sections_.find(name);
+    return it == sections_.end() ? nullptr : &it->second;
+  }
+
+  void emit(RuleId rule, const std::string& section, const std::string& key,
+            double expected, double actual, const std::string& message) {
+    const int line = key.empty() ? section_line(section)
+                                 : key_line(section, key);
+    const std::string op =
+        key.empty() ? "[" + section + "]" : "[" + section + "] " + key;
+    sink_.emit(rule, op, expected, actual, message, std::nullopt, file_,
+               line);
+  }
+
+  /// Unknown keys of a known section, each at its own line. Returns true
+  /// when the section's key set is schema-clean (the loaders would not
+  /// reject it for a typo).
+  bool lint_keys(const std::string& name, const Section& s) {
+    bool ok = true;
+    const auto& known = section_keys(name);
+    for (const auto& [key, value] : s) {
+      (void)value;
+      if (!known.count(key)) {
+        emit(RuleId::kConfigUnknownKey, name, key, 0, 0,
+             "unknown key '" + key + "' in [" + name + "]");
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+  /// Strip unknown keys so a builder can still run after config-unknown-key
+  /// fired (we want ALL problems in one report, not the first throw).
+  Section known_subset(const std::string& name, const Section& s) const {
+    Section out;
+    const auto& known = section_keys(name);
+    for (const auto& [key, value] : s) {
+      if (known.count(key)) out[key] = value;
+    }
+    return out;
+  }
+
+  void lint_model() {
+    const Section* s = section("model");
+    if (!s) return;
+    try {
+      (void)model_from_section(known_subset("model", *s));
+    } catch (const std::exception& e) {
+      emit(RuleId::kConfigValue, "model", "", 0, 0, e.what());
+    }
+  }
+
+  void lint_system_section() {
+    const Section* s = section("system");
+    if (!s) return;
+    try {
+      hw::SystemConfig sys = system_from_section(known_subset("system", *s));
+      if (const Section* t = section("topology")) {
+        try {
+          sys.fabric = topology_from_section(known_subset("topology", *t));
+        } catch (const std::exception&) {
+          // Reported by lint_topology_section; lint the system without it.
+        }
+      }
+      sink_.merge(with_location(analysis::lint_system(sys, opts_),
+                                section_line("system")));
+    } catch (const std::exception& e) {
+      emit(RuleId::kConfigValue, "system", "", 0, 0, e.what());
+    }
+  }
+
+  void lint_topology_section() {
+    const Section* s = section("topology");
+    if (!s) return;
+    // Required keys first (the builder throws on the first one only).
+    bool required_ok = true;
+    for (const char* key : {"levels", "gbs"}) {
+      if (!s->count(key)) {
+        emit(RuleId::kConfigMissingKey, "topology", "", 0, 0,
+             std::string("[topology] requires '") + key + "'");
+        required_ok = false;
+      }
+    }
+    // Per-level list lengths, each at its own key line.
+    bool lists_ok = true;
+    std::size_t n = 0;
+    if (const auto lv = s->find("levels"); lv != s->end()) {
+      n = util::split_list(lv->second).size();
+      for (const char* key : {"fan_in", "latency_us", "gbs", "rails",
+                              "pod_size", "oversubscription"}) {
+        const auto it = s->find(key);
+        if (it == s->end()) continue;
+        const std::size_t got = util::split_list(it->second).size();
+        if (got != n) {
+          std::ostringstream msg;
+          msg << "'" << key << "' has " << got << " entries, 'levels' names "
+              << n << " levels";
+          emit(RuleId::kConfigListLength, "topology", key,
+               static_cast<double>(n), static_cast<double>(got), msg.str());
+          lists_ok = false;
+        }
+      }
+    }
+    if (!required_ok || !lists_ok) return;
+    try {
+      const hw::Topology topo =
+          topology_from_section(known_subset("topology", *s));
+      std::int64_t n_gpus = 0;
+      if (const Section* sys = section("system")) {
+        const auto it = sys->find("n_gpus");
+        if (it != sys->end()) parses_as_int(it->second, &n_gpus);
+      }
+      sink_.merge(with_location(analysis::lint_topology(topo, n_gpus, opts_),
+                                section_line("topology")));
+    } catch (const std::exception& e) {
+      emit(RuleId::kConfigValue, "topology", "", 0, 0, e.what());
+    }
+  }
+
+  void lint_plan() {
+    const Section* s = section("plan");
+    if (!s) return;
+    for (const char* key :
+         {"strategy", "n1", "np", "nd", "microbatches", "global_batch"}) {
+      if (!s->count(key)) {
+        emit(RuleId::kConfigMissingKey, "plan", "", 0, 0,
+             std::string("[plan] requires '") + key + "'");
+      }
+    }
+    if (const auto it = s->find("strategy"); it != s->end()) {
+      if (it->second != "1d" && it->second != "2d" &&
+          it->second != "summa") {
+        emit(RuleId::kConfigValue, "plan", "strategy", 0, 0,
+             "unknown strategy '" + it->second + "' (1d|2d|summa)");
+      }
+    }
+    for (const auto& [key, value] : *s) {
+      if (key == "strategy" || !section_keys("plan").count(key)) continue;
+      std::int64_t v = 0;
+      if (!parses_as_int(value, &v) || v < 1) {
+        emit(RuleId::kConfigValue, "plan", key, 1, 0,
+             "'" + key + "' must be a positive integer, got '" + value +
+                 "'");
+      }
+    }
+  }
+
+  void lint_sweep() {
+    const Section* s = section("sweep");
+    if (!s) return;
+    const auto check_axis = [&](const std::string& key, auto&& valid,
+                                const char* expect) {
+      const auto it = s->find(key);
+      if (it == s->end()) return;
+      for (const std::string& item : util::split_list(it->second)) {
+        if (!valid(item)) {
+          emit(RuleId::kConfigValue, "sweep", key, 0, 0,
+               "'" + key + "' entry '" + item + "' " + expect);
+        }
+      }
+    };
+    check_axis("model",
+               [](const std::string& v) {
+                 return model::preset_by_name(v).has_value();
+               },
+               "is not a known model preset");
+    check_axis("gpu",
+               [](const std::string& v) {
+                 return v == "a100" || v == "h200" || v == "b200";
+               },
+               "is not a known gpu preset (a100|h200|b200)");
+    check_axis("strategy",
+               [](const std::string& v) {
+                 return v == "1d" || v == "2d" || v == "summa";
+               },
+               "is not a strategy (1d|2d|summa)");
+    const auto positive_int = [](const std::string& v) {
+      std::int64_t i = 0;
+      return parses_as_int(v, &i) && i >= 1;
+    };
+    check_axis("nvs", positive_int, "must be a positive integer");
+    check_axis("gpus", positive_int, "must be a positive integer");
+    check_axis("batch", positive_int, "must be a positive integer");
+    check_axis("leaf", positive_int, "must be a positive integer");
+    check_axis("oversub",
+               [](const std::string& v) {
+                 double d = 0;
+                 return parses_as_double(v, &d) && d >= 1.0;
+               },
+               "must be a ratio >= 1");
+  }
+
+  void lint_calibration() {
+    const Section* s = section("calibration");
+    if (!s) return;
+    for (const char* key : {"compute_efficiency", "bandwidth_efficiency"}) {
+      const auto it = s->find(key);
+      if (it == s->end()) continue;
+      double v = 0;
+      if (!parses_as_double(it->second, &v) || !(v > 0.0) || v > 1.0) {
+        emit(RuleId::kConfigValue, "calibration", key, 0.7, v,
+             std::string("'") + key + "' must be a fraction in (0, 1], got '" +
+                 it->second + "'");
+      }
+    }
+    if (const auto it = s->find("global_batch"); it != s->end()) {
+      std::int64_t v = 0;
+      if (!parses_as_int(it->second, &v) || v < 1) {
+        emit(RuleId::kConfigValue, "calibration", "global_batch", 1, 0,
+             "'global_batch' must be a positive integer, got '" + it->second +
+                 "'");
+      }
+    }
+    if (const auto it = s->find("measured_seconds"); it != s->end()) {
+      double v = 0;
+      if (!parses_as_double(it->second, &v) || !(v > 0.0)) {
+        emit(RuleId::kConfigValue, "calibration", "measured_seconds", 1, v,
+             "'measured_seconds' must be > 0, got '" + it->second + "'");
+      }
+    }
+  }
+
+  /// Anchor a merged sub-report's diagnostics at this file (section line).
+  analysis::LintReport with_location(analysis::LintReport r, int line) const {
+    for (analysis::Diagnostic& d : r.diagnostics) {
+      if (d.file.empty()) {
+        d.file = file_;
+        d.line = line;
+      }
+    }
+    return r;
+  }
+
+  std::string file_;
+  DiagnosticSink sink_;
+  analysis::LintOptions opts_;
+  ConfigSections sections_;
+  ConfigLocations where_;
+};
+
+}  // namespace
+
+analysis::LintReport lint_config_text(std::istream& in,
+                                      const std::string& filename,
+                                      const analysis::LintOptions& opts) {
+  return ConfigLinter(filename, opts).run(in);
+}
+
+analysis::LintReport lint_config_file(const std::string& path,
+                                      const analysis::LintOptions& opts) {
+  std::ifstream in(path);
+  if (!in) {
+    DiagnosticSink sink(opts.rules);
+    sink.emit(RuleId::kConfigParse, "<file>", 0, 0,
+              "cannot open config file " + path, std::nullopt, path, 0);
+    return sink.take();
+  }
+  return lint_config_text(in, path, opts);
+}
+
+}  // namespace tfpe::io

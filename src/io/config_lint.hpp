@@ -1,0 +1,41 @@
+#pragma once
+// Config-file schema lint with line-accurate locations (`tfpe lint
+// path.tfpe`). Where the loaders throw on the first problem, this pass
+// reports every schema violation in one go, each anchored to the file and
+// line that caused it:
+//
+//   config-parse            the file does not parse at all ([section] /
+//                           key = value syntax)
+//   config-unknown-section  a section no loader consumes (warning — the
+//                           loaders ignore it silently today)
+//   config-unknown-key      a key its section's schema does not define
+//   config-value            a value the loader or validator rejects
+//   config-list-length      a [topology] per-level list whose length does
+//                           not match the declared levels
+//   config-missing-key      a required key is absent
+//
+// Sections understood: [model], [system], [topology], [plan], [sweep] and
+// the forward-looking [calibration] block (measured-run anchors for the
+// calibration workflow: compute_efficiency / bandwidth_efficiency in
+// (0, 1], positive global_batch / measured_seconds). Successfully built
+// [system]/[topology] objects are additionally run through
+// analysis::lint_system / lint_topology so a schema-clean file with an
+// unsound machine description still fails strict mode.
+
+#include <istream>
+#include <string>
+
+#include "analysis/invariants.hpp"
+
+namespace tfpe::io {
+
+/// Lint config text; `filename` anchors the diagnostics' locations.
+analysis::LintReport lint_config_text(std::istream& in,
+                                      const std::string& filename,
+                                      const analysis::LintOptions& opts = {});
+
+/// Lint a config file on disk (config-parse when unreadable).
+analysis::LintReport lint_config_file(const std::string& path,
+                                      const analysis::LintOptions& opts = {});
+
+}  // namespace tfpe::io

@@ -1,0 +1,8 @@
+// Must NOT compile: RuleId is a scoped enum — rule identities come from the
+// registry, never from raw integers that could drift as rules are added.
+#include "analysis/diagnostics.hpp"
+
+int main() {
+  tfpe::analysis::RuleId r = 3;  // error: no int -> RuleId conversion
+  (void)r;
+}

@@ -1,0 +1,8 @@
+// Must NOT compile: Severity is a scoped enum, so a raw integer can never
+// silently become a diagnostic severity.
+#include "analysis/diagnostics.hpp"
+
+int main() {
+  tfpe::analysis::Severity s = 0;  // error: no int -> Severity conversion
+  (void)s;
+}

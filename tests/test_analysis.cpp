@@ -243,5 +243,34 @@ TEST(AnalyzerMutation, DiagnosticCarriesExpectedAndActual) {
   }
 }
 
+TEST(AnalyzerMutation, DiagnosticsCarryStableRuleIds) {
+  // Every diagnostic the op-graph linter emits is tied to a registered
+  // rule: the short name matches the registry row and the stable code
+  // resolves back to the same rule.
+  const auto mdl = model::gpt3_1t();
+  const auto cfg = cfg_of(TpStrategy::TP1D, 8, 1);
+  auto layer = parallel::build_layer(mdl, cfg, 2);
+  op_named(layer, "out_proj").fwd_comm[0].bytes =
+      op_named(layer, "out_proj").fwd_comm[0].bytes * 2.0;
+  op_named(layer, "qkv_proj").stored_bytes = Bytes(0.0);
+  const LintReport r = lint_layer(mdl, cfg, 2, layer);
+  ASSERT_FALSE(r.clean());
+  for (const auto& d : r.diagnostics) {
+    const RuleInfo& info = rule_info(d.id);
+    EXPECT_EQ(d.rule, info.name);
+    EXPECT_EQ(d.code(), info.code);
+    EXPECT_EQ(find_rule(d.code()), d.id);
+  }
+  // Specific anchor: collective-volume is TFPE-OP-006, fwd-bwd-comm not.
+  bool saw_volume = false;
+  for (const auto& d : r.diagnostics) {
+    if (d.id == RuleId::kCollectiveVolume) {
+      saw_volume = true;
+      EXPECT_EQ(d.code(), "TFPE-OP-006");
+    }
+  }
+  EXPECT_TRUE(saw_volume) << r.summary();
+}
+
 }  // namespace
 }  // namespace tfpe::analysis

@@ -1,0 +1,328 @@
+// Cross-layer consistency passes: mutation tests proving every BATCH / SYS
+// / PLACE / SWEEP rule fires on exactly the corruption it guards against,
+// and stays silent on clean artifacts.
+#include "analysis/consistency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "comm/collective_algorithm.hpp"
+#include "core/batched_signature.hpp"
+#include "core/cost_signature.hpp"
+#include "hw/system.hpp"
+#include "model/transformer.hpp"
+#include "search/search_cache.hpp"
+#include "search/sweep_lint.hpp"
+
+namespace tfpe {
+namespace {
+
+using analysis::LintReport;
+using analysis::RuleId;
+using analysis::Severity;
+
+parallel::ParallelConfig summa_cfg() {
+  parallel::ParallelConfig cfg;
+  cfg.strategy = parallel::TpStrategy::Summa2D;
+  cfg.n1 = 4;
+  cfg.n2 = 4;
+  cfg.nb = 4;
+  return cfg;
+}
+
+struct Compiled {
+  model::TransformerConfig mdl = model::gpt3_1t();
+  parallel::ParallelConfig cfg = summa_cfg();
+  core::CostSignature sig;
+  core::BatchedSignature bat;
+
+  Compiled() {
+    sig = core::compile_signature(mdl, cfg, /*global_batch=*/2);
+    bat = core::lower_batched(sig);
+  }
+};
+
+/// Every diagnostic in `report` has rule `id`, and at least one fired.
+void expect_only(const LintReport& report, RuleId id, const char* label) {
+  EXPECT_FALSE(report.clean()) << label << ": corruption went undetected";
+  for (const auto& d : report.diagnostics) {
+    EXPECT_EQ(d.id, id) << label << " also fired " << d.code() << ": "
+                        << d.message;
+  }
+}
+
+// ------------------------------------------------------------ TFPE-BATCH
+
+TEST(LintBatched, CleanLoweringFiresNothing) {
+  const Compiled c;
+  EXPECT_TRUE(analysis::lint_batched(c.sig, c.bat).clean());
+}
+
+TEST(LintBatched, DroppedArraySlotFiresBatchedShape) {
+  Compiled c;
+  c.bat.fwd_flops.pop_back();
+  expect_only(analysis::lint_batched(c.sig, c.bat), RuleId::kBatchedShape,
+              "pop fwd_flops");
+}
+
+TEST(LintBatched, CorruptedOperandFiresBatchedShape) {
+  Compiled c;
+  ASSERT_FALSE(c.bat.bwd_bytes.empty());
+  c.bat.bwd_bytes[0] = c.bat.bwd_bytes[0] + Bytes(1.0);
+  expect_only(analysis::lint_batched(c.sig, c.bat), RuleId::kBatchedShape,
+              "bwd_bytes[0] += 1");
+}
+
+TEST(LintBatched, ScaledPanelVolumeFiresBatchedPanelScale) {
+  Compiled c;
+  // Pick a request that is the sole member of its pricing row, so the
+  // corruption cannot also desynchronize a row-mate from its representative
+  // (which would correctly fire batched-price-row as well).
+  std::vector<int> members(c.bat.price_rep.size(), 0);
+  for (std::uint32_t row : c.bat.comm_price_row) ++members[row];
+  std::size_t victim = c.bat.comm_price_row.size();
+  for (std::size_t r = 0; r < c.bat.comm_price_row.size(); ++r) {
+    if (members[c.bat.comm_price_row[r]] == 1) {
+      victim = r;
+      break;
+    }
+  }
+  ASSERT_LT(victim, c.bat.comm_price_row.size())
+      << "fixture has no singleton pricing row";
+  c.bat.comm_panel_bytes[victim] = c.bat.comm_panel_bytes[victim] * 2.0;
+  expect_only(analysis::lint_batched(c.sig, c.bat),
+              RuleId::kBatchedPanelScale, "comm_panel_bytes[victim] *= 2");
+}
+
+TEST(LintBatched, RemappedRequestFiresBatchedPriceRow) {
+  Compiled c;
+  ASSERT_GE(c.bat.price_rep.size(), 2u) << "fixture has a single pricing row";
+  // Remap request price_rep[0] (row 0's representative) onto row 1: the
+  // representative no longer maps back to its own row, and the request's
+  // triple disagrees with row 1's representative.
+  c.bat.comm_price_row[c.bat.price_rep[0]] = 1;
+  expect_only(analysis::lint_batched(c.sig, c.bat), RuleId::kBatchedPriceRow,
+              "comm_price_row[rep0] = 1");
+}
+
+TEST(LintBatched, ClearedMaskBitFiresBatchedGroupMask) {
+  Compiled c;
+  ASSERT_NE(c.bat.comm_groups_mask, 0);
+  // Clear the lowest set bit: that group still appears in the pool.
+  c.bat.comm_groups_mask &= static_cast<std::uint8_t>(
+      c.bat.comm_groups_mask - 1);
+  expect_only(analysis::lint_batched(c.sig, c.bat), RuleId::kBatchedGroupMask,
+              "clear mask bit");
+}
+
+TEST(LintBatched, ExtraSummaOpFiresBatchedSummaOps) {
+  Compiled c;
+  ASSERT_FALSE(c.bat.summa_ops.empty()) << "SUMMA fixture has no panel ops";
+  c.bat.summa_ops.push_back(c.bat.summa_ops.back());
+  expect_only(analysis::lint_batched(c.sig, c.bat), RuleId::kBatchedSummaOps,
+              "duplicate summa op");
+}
+
+TEST(LintBatched, AssertHookThrowsOnCorruptionOnly) {
+  Compiled c;
+  EXPECT_NO_THROW(analysis::assert_batched_invariants(c.sig, c.bat));
+  c.bat.panels.back() += 1;
+  EXPECT_THROW(analysis::assert_batched_invariants(c.sig, c.bat),
+               std::logic_error);
+}
+
+// ------------------------------------------------- TFPE-BATCH-006 scratch
+
+struct TimedBatch : Compiled {
+  hw::SystemConfig sys = hw::make_system(hw::GpuGeneration::B200, 8, 16);
+  core::BatchScratch scratch;
+  std::vector<std::array<std::int64_t, 4>> placements = {
+      {1, 1, 1, 1}, {2, 2, 1, 1}, {4, 4, 1, 1}};
+
+  TimedBatch() {
+    const core::SystemTiming base = core::bind_system(sig, sys);
+    std::vector<core::PlacementTiming> out;
+    core::time_placements_batch(sig, bat, base, sys, cfg, placements, {}, out,
+                                &scratch);
+  }
+};
+
+TEST(LintBatchScratch, PopulatedScratchIsClean) {
+  const TimedBatch t;
+  EXPECT_TRUE(
+      analysis::lint_batch_scratch(t.bat, t.scratch, t.placements.size())
+          .clean());
+}
+
+TEST(LintBatchScratch, BrokenPrefixSumFiresBatchedScratchShape) {
+  TimedBatch t;
+  ASSERT_GE(t.scratch.row_offset.size(), 2u);
+  t.scratch.row_offset[1] += 1;
+  expect_only(
+      analysis::lint_batch_scratch(t.bat, t.scratch, t.placements.size()),
+      RuleId::kBatchedScratchShape, "row_offset[1] += 1");
+}
+
+TEST(LintBatchScratch, TruncatedColumnMapFiresBatchedScratchShape) {
+  TimedBatch t;
+  ASSERT_FALSE(t.scratch.nvs_column[0].empty());
+  t.scratch.nvs_column[0].pop_back();
+  expect_only(
+      analysis::lint_batch_scratch(t.bat, t.scratch, t.placements.size()),
+      RuleId::kBatchedScratchShape, "pop nvs_column[0]");
+}
+
+// -------------------------------------------------------------- TFPE-SYS
+
+TEST(LintSystem, CanonicalSystemIsClean) {
+  EXPECT_TRUE(
+      analysis::lint_system(hw::make_system(hw::GpuGeneration::B200, 8, 64))
+          .clean());
+}
+
+TEST(LintSystem, ZeroTensorRateFiresSystemCompute) {
+  auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 64);
+  sys.gpu.tensor_flops = FlopsPerSec(0);
+  expect_only(analysis::lint_system(sys), RuleId::kSystemCompute,
+              "tensor_flops = 0");
+}
+
+TEST(LintSystem, EfficiencyAboveOneFiresSystemNetwork) {
+  auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 64);
+  sys.net.efficiency = 1.5;
+  expect_only(analysis::lint_system(sys), RuleId::kSystemNetwork,
+              "efficiency = 1.5");
+}
+
+TEST(LintSystem, DeadHostLinkFiresSystemDomain) {
+  auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 64);
+  sys.host_bandwidth = BytesPerSec(0);
+  expect_only(analysis::lint_system(sys), RuleId::kSystemDomain,
+              "host_bandwidth = 0");
+}
+
+TEST(LintSystem, NonDividingDomainFiresSystemDomain) {
+  auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 64);
+  sys.nvs_domain = 3;
+  // The resolved fabric inherits the bad domain, so the merged topology
+  // lint may add its own (correct) findings; the domain rule must be among
+  // them.
+  const LintReport report = analysis::lint_system(sys);
+  bool fired = false;
+  for (const auto& d : report.diagnostics) {
+    fired |= d.id == RuleId::kSystemDomain;
+  }
+  EXPECT_TRUE(fired) << report.summary();
+}
+
+TEST(LintSystem, StaticResidencyOverflowFiresSystemHbmFloor) {
+  const Compiled c;
+  // gpt3-1t on 16 GPUs: the static residency alone is hundreds of GB per
+  // GPU — far over any real HBM, detectable before any bind.
+  auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 16);
+  expect_only(analysis::lint_system(sys, c.sig), RuleId::kSystemHbmFloor,
+              "1T params on 16 GPUs");
+  // With enough (hypothetical) capacity the same signature is clean.
+  sys.gpu.hbm_capacity = Bytes(1e15);
+  EXPECT_TRUE(analysis::lint_system(sys, c.sig).clean());
+}
+
+// ------------------------------------------------------------ TFPE-PLACE
+
+TEST(LintPlacement, LeafFanInBoundsNvs) {
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 64);
+  const hw::Topology fab = sys.resolved_fabric();
+  ASSERT_EQ(fab.leaf_fan_in(), 8);
+  EXPECT_TRUE(analysis::lint_placement(fab, {16, 8}).clean());
+  const LintReport report = analysis::lint_placement(fab, {16, 16});
+  expect_only(report, RuleId::kPlacementLeafFanIn, "nvs 16 on leaf 8");
+}
+
+TEST(LintPlacement, CommLayerRejectsOverfilledLeaf) {
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 64);
+  const hw::Topology fab = sys.resolved_fabric();
+  // Valid divisor, but the fast domain cannot realize it: the validating
+  // adapter must reject, exactly like the analysis rule.
+  EXPECT_TRUE(comm::invalid_placement_reason(fab, {16, 16}).has_value());
+  EXPECT_FALSE(comm::invalid_placement_reason(fab, {16, 8}).has_value());
+  EXPECT_THROW(
+      comm::collective_time(fab, ops::Collective::AllReduce, Bytes(1e6),
+                            comm::GroupPlacement{16, 16}),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------------------ TFPE-SWEEP
+
+TEST(LintSweepPlan, CleanPlanFiresNothing) {
+  const std::vector<hw::SystemConfig> points = {
+      hw::make_system(hw::GpuGeneration::B200, 8, 64)};
+  EXPECT_TRUE(analysis::lint_system(points[0]).clean());
+  EXPECT_TRUE(search::lint_sweep_plan(model::gpt3_1t(), points,
+                                      search::SweepOptions{})
+                  .clean());
+}
+
+TEST(LintSweepPlan, RejectedEngineKnobsFireSweepOptions) {
+  search::SweepOptions opts;
+  opts.search.top_k = 3;
+  const std::vector<hw::SystemConfig> points = {
+      hw::make_system(hw::GpuGeneration::B200, 8, 64)};
+  expect_only(search::lint_sweep_plan(model::gpt3_1t(), points, opts),
+              RuleId::kSweepOptions, "top_k = 3");
+}
+
+TEST(LintSweepPlan, PlacementDependentKeyFiresSweepCacheKey) {
+  // A signature key that leaks nvs1 is not placement-invariant: the sweep
+  // would compile one signature per placement and the cache would thrash —
+  // or worse, serve stale artifacts. The behavioral probe must catch it.
+  search::SweepLintHooks hooks;
+  hooks.signature_key = [](const parallel::ParallelConfig& cfg) {
+    search::SignatureKey key = search::signature_key(cfg);
+    key.m = cfg.nvs1;  // leak a placement field into the key
+    return key;
+  };
+  const std::vector<hw::SystemConfig> points = {
+      hw::make_system(hw::GpuGeneration::B200, 8, 64)};
+  expect_only(search::lint_sweep_plan(model::gpt3_1t(), points,
+                                      search::SweepOptions{}, {}, &hooks),
+              RuleId::kSweepCacheKey, "key leaks nvs1");
+}
+
+TEST(LintSweepPlan, CollapsingKeyFiresSweepCacheKey) {
+  // A key that ignores n1 collapses configs whose compiled signatures
+  // differ — one config's signature would be served for the other.
+  search::SweepLintHooks hooks;
+  hooks.signature_key = [](const parallel::ParallelConfig&) {
+    return search::SignatureKey{};
+  };
+  const std::vector<hw::SystemConfig> points = {
+      hw::make_system(hw::GpuGeneration::B200, 8, 64)};
+  expect_only(search::lint_sweep_plan(model::gpt3_1t(), points,
+                                      search::SweepOptions{}, {}, &hooks),
+              RuleId::kSweepCacheKey, "constant key");
+}
+
+TEST(LintSweepPlan, RooflineDriftWithinChainWarnsSweepWarmChain) {
+  auto a = hw::make_system(hw::GpuGeneration::B200, 8, 64);
+  auto b = a;
+  b.gpu.hbm_bandwidth = b.gpu.hbm_bandwidth * 2.0;  // same name, same n_gpus
+  const LintReport report =
+      search::lint_sweep_plan(model::gpt3_1t(), {a, b},
+                              search::SweepOptions{});
+  expect_only(report, RuleId::kSweepWarmChain, "hbm drift in chain");
+  for (const auto& d : report.diagnostics) {
+    EXPECT_EQ(d.severity, Severity::kWarning) << d.message;
+  }
+  // Different GPU counts start different chains: no warning.
+  auto c = a;
+  c.n_gpus = 128;
+  EXPECT_TRUE(search::lint_sweep_plan(model::gpt3_1t(), {a, c},
+                                      search::SweepOptions{})
+                  .clean());
+}
+
+}  // namespace
+}  // namespace tfpe

@@ -8,11 +8,14 @@
 
 #include <cmath>
 
+#include "analysis/consistency.hpp"
 #include "analysis/invariants.hpp"
+#include "core/batched_signature.hpp"
 #include "core/cost_signature.hpp"
 #include "core/evaluator.hpp"
 #include "parallel/layer_builder.hpp"
 #include "search/search.hpp"
+#include "search/sweep_lint.hpp"
 
 namespace tfpe {
 namespace {
@@ -147,6 +150,11 @@ TEST(Fuzz, EvaluatorInvariantsOverRandomSpace) {
     const analysis::LintReport slint =
         analysis::lint_signature(mdl, cfg, sig, layer, lopts);
     EXPECT_EQ(slint.errors(), 0u) << trial << "\n" << slint.summary();
+    // The batched SoA lowering of every fuzzed signature must mirror it
+    // slot for slot (the cross-layer consistency pass, bitwise checks).
+    const analysis::LintReport blint =
+        analysis::lint_batched(sig, core::lower_batched(sig), lopts);
+    EXPECT_EQ(blint.errors(), 0u) << trial << "\n" << blint.summary();
     const core::EvalResult two =
         core::time_signature(sig, mdl, sys, cfg, b, eopts);
     EXPECT_EQ(two.feasible, r.feasible) << trial;
@@ -165,6 +173,27 @@ TEST(Fuzz, EvaluatorInvariantsOverRandomSpace) {
   EXPECT_GT(feasible_seen, 50);
   EXPECT_GT(invalid_seen, 20);
   EXPECT_GT(oom_seen, 5);
+}
+
+TEST(Fuzz, SweepPlansOverRandomGridsLintClean) {
+  // Every fuzzed hardware grid must pass the sweep-plan lint: the cache-key
+  // probes are hardware-independent, and the per-point system lint plus the
+  // warm-chain analysis must accept every grid hardware_grid can produce.
+  Lcg rng(0xFACADE);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto gen = rng.pick({hw::GpuGeneration::A100, hw::GpuGeneration::H200,
+                               hw::GpuGeneration::B200});
+    const std::int64_t n = rng.pick({64L, 256L, 1024L});
+    const std::vector<std::int64_t> nvs = {rng.pick({4L, 8L}),
+                                           rng.pick({16L, 64L})};
+    const std::vector<double> oversub = {1.0, rng.pick({2.0, 4.0})};
+    const auto points =
+        search::hardware_grid({gen}, nvs, oversub, n, /*leaf_size=*/64);
+    ASSERT_FALSE(points.empty()) << trial;
+    const analysis::LintReport lint = search::lint_sweep_plan(
+        random_model(rng), points, search::SweepOptions{});
+    EXPECT_EQ(lint.errors(), 0u) << trial << "\n" << lint.summary();
+  }
 }
 
 TEST(Fuzz, SearchNeverReturnsWorseThanSampledConfigs) {

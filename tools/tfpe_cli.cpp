@@ -11,18 +11,24 @@
 // Prints the optimal configuration panel, optionally the top-k list, the
 // per-op roofline report, hardware elasticities, and a CSV mirror.
 
+#include <fstream>
 #include <iostream>
 
+#include "analysis/consistency.hpp"
 #include "analysis/invariants.hpp"
+#include "core/batched_signature.hpp"
 #include "core/training_estimate.hpp"
 #include "io/config_file.hpp"
+#include "io/config_lint.hpp"
 #include "io/plan_io.hpp"
+#include "search/sweep_lint.hpp"
 #include "report/breakdown_report.hpp"
 #include "report/markdown_report.hpp"
 #include "report/op_report.hpp"
 #include "report/sensitivity.hpp"
 #include "search/search.hpp"
 #include "util/args.hpp"
+#include "util/strings.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -86,21 +92,68 @@ std::optional<hw::GpuGeneration> gen_by_name(const std::string& s) {
 int lint_usage(const char* msg) {
   if (msg) std::cerr << "error: " << msg << "\n\n";
   std::cerr <<
-      "usage: tfpe lint [PLAN_PATH] [--model NAME] [--batch N]\n"
+      "usage: tfpe lint [PATH] [--model NAME] [--batch N]\n"
+      "                 [--format text|json|sarif] [--strict]\n"
+      "                 [--suppress CODE,...]\n"
       "\n"
-      "Re-derives the paper's conservation laws (FLOP invariance, activation\n"
-      "partition sums, Table I/II/A2 collective volumes, producer/consumer\n"
-      "shape chaining, forward/backward conjugacy) for the built layer op\n"
-      "list and reports every violation.\n"
+      "Structured diagnostics over the whole pipeline: the paper's op-graph\n"
+      "conservation laws, the compiled-signature and batched-SoA lowerings,\n"
+      "sweep cache-key soundness, hardware-description sanity and config-file\n"
+      "schema checks. Every diagnostic carries a stable rule ID\n"
+      "(TFPE-OP-001 ...; see docs/API.md for the registry).\n"
       "\n"
-      "  PLAN_PATH     lint the configuration stored in a plan file\n"
-      "  --model NAME  model preset the plan applies to (default gpt3-1t)\n"
-      "  --batch N     global batch for the plan (default: the plan's own);\n"
-      "                with no PLAN_PATH, the per-GPU microbatch (default 2)\n"
+      "  PATH            lint a .tfpe file: schema first, then the passes its\n"
+      "                  sections select ([plan] -> op graph + signature +\n"
+      "                  batched lowering, [sweep] -> sweep plan,\n"
+      "                  [model]/[system]/[topology] -> machine description)\n"
+      "  --model NAME    model preset a [plan] applies to (default gpt3-1t)\n"
+      "  --batch N       global batch for the plan (default: the plan's own);\n"
+      "                  with no PATH, the per-GPU microbatch (default 2)\n"
+      "  --format F      text (default) | json | sarif (SARIF 2.1.0)\n"
+      "  --strict        warnings also fail (exit 3)\n"
+      "  --suppress L    comma-separated rule codes or names to disable\n"
       "\n"
-      "With no PLAN_PATH, lints the built-in preset x strategy matrix.\n"
-      "Exits 0 when every op list is clean, 1 when any invariant fails.\n";
+      "With no PATH, lints the built-in preset x strategy matrix plus the\n"
+      "default sweep plan. Exit codes: 0 clean, 1 errors, 2 usage or\n"
+      "unparseable input, 3 warnings under --strict.\n";
   return msg ? 2 : 0;
+}
+
+/// Render `report` in the requested format and map it to the exit code
+/// contract (0 clean / 1 errors / 3 strict warnings).
+int finish_lint(const analysis::LintReport& report, const std::string& format,
+                bool strict) {
+  if (format == "json") {
+    std::cout << analysis::render_json(report) << "\n";
+  } else if (format == "sarif") {
+    std::cout << analysis::render_sarif(report) << "\n";
+  } else {
+    std::cout << analysis::render_text(report) << "\n";
+  }
+  if (report.errors() > 0) return 1;
+  if (strict && report.warnings() > 0) return 3;
+  return 0;
+}
+
+/// Parse --format/--strict/--suppress into (format, strict, LintOptions).
+/// Returns false (after printing usage) on a bad flag value.
+bool parse_lint_flags(const util::ArgParser& args, std::string* format,
+                      bool* strict, analysis::LintOptions* opts) {
+  *format = args.get_or("format", "text");
+  if (*format != "text" && *format != "json" && *format != "sarif") {
+    lint_usage(("unknown --format '" + *format + "'").c_str());
+    return false;
+  }
+  *strict = args.has("strict");
+  if (const auto list = args.get("suppress")) {
+    for (const std::string& code : util::split_list(*list)) {
+      if (!opts->rules.suppress(code)) {
+        lint_usage(("unknown rule '" + code + "' in --suppress").c_str());
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 parallel::ParallelConfig lint_cfg(parallel::TpStrategy s, std::int64_t n1,
@@ -115,52 +168,161 @@ parallel::ParallelConfig lint_cfg(parallel::TpStrategy s, std::int64_t n1,
   return c;
 }
 
+/// Lint one .tfpe file: schema first, then the passes its sections select.
+int lint_file(const std::string& path, const util::ArgParser& args,
+              const std::string& format, bool strict,
+              const analysis::LintOptions& opts) {
+  const std::string model_name = args.get_or("model", "gpt3-1t");
+  const auto mdl = model::preset_by_name(model_name);
+  if (!mdl) return lint_usage(("unknown model '" + model_name + "'").c_str());
+
+  analysis::DiagnosticSink sink(opts.rules);
+  const analysis::LintReport schema = io::lint_config_file(path, opts);
+  bool unparseable = false;
+  for (const auto& d : schema.diagnostics) {
+    if (d.id == analysis::RuleId::kConfigParse) unparseable = true;
+  }
+  sink.merge(schema);
+  if (unparseable) {
+    // A file that does not parse at all is a usage-level failure: render
+    // the report (it carries the parse diagnostic) and exit 2, never the
+    // old empty-but-clean 0.
+    finish_lint(sink.take(), format, strict);
+    return 2;
+  }
+
+  io::ConfigSections sections;
+  {
+    std::ifstream in(path);
+    sections = io::parse_config(in);  // schema pass proved this parses
+  }
+  const auto fail_section = [&](const std::string& section,
+                                const std::string& what) {
+    sink.emit(analysis::RuleId::kConfigValue, "[" + section + "]", 0, 0, what,
+              std::nullopt, path, 0);
+  };
+
+  std::int64_t batch = args.get_int_or("batch", 0);
+  if (const auto it = sections.find("plan"); it != sections.end()) {
+    try {
+      const io::LoadedPlan plan = io::plan_from_section(it->second);
+      if (batch == 0) batch = plan.global_batch;
+      // Divisibility prechecks against a system just big enough for the
+      // plan: the builders assume them, so a violated one is a diagnostic.
+      const auto sys = hw::make_system(hw::GpuGeneration::B200,
+                                       plan.cfg.placement_product(),
+                                       plan.cfg.total_gpus());
+      if (const auto why = plan.cfg.invalid_reason(*mdl, sys, batch)) {
+        fail_section("plan", "invalid plan configuration: " + *why);
+      } else {
+        const std::int64_t b = plan.cfg.local_microbatch(batch);
+        const parallel::LayerCost layer =
+            parallel::build_layer(*mdl, plan.cfg, b);
+        sink.merge(analysis::lint_layer(*mdl, plan.cfg, b, layer, opts));
+        const core::CostSignature sig =
+            core::compile_signature(*mdl, plan.cfg, batch, layer);
+        sink.merge(analysis::lint_signature(*mdl, plan.cfg, sig, layer, opts));
+        sink.merge(analysis::lint_batched(sig, core::lower_batched(sig), opts));
+        sink.merge(analysis::lint_system(sys, sig, opts));
+        const hw::Topology fab = sys.resolved_fabric();
+        const parallel::ParallelConfig& c = plan.cfg;
+        for (const comm::GroupPlacement g :
+             {comm::GroupPlacement{c.n1, c.nvs1},
+              comm::GroupPlacement{c.n2, c.nvs2},
+              comm::GroupPlacement{c.np, c.nvsp},
+              comm::GroupPlacement{c.nd, c.nvsd}}) {
+          sink.merge(analysis::lint_placement(fab, g, opts));
+        }
+      }
+    } catch (const std::exception& e) {
+      fail_section("plan", e.what());
+    }
+  }
+
+  if (const auto it = sections.find("sweep"); it != sections.end()) {
+    try {
+      const io::Section& spec = it->second;
+      const auto axis = [&](const char* key, const char* fallback) {
+        const auto found = spec.find(key);
+        return util::split_list(found != spec.end() ? found->second
+                                                    : fallback);
+      };
+      std::vector<hw::GpuGeneration> gens;
+      for (const auto& name : axis("gpu", "b200")) {
+        if (const auto gen = gen_by_name(name)) gens.push_back(*gen);
+      }
+      std::vector<std::int64_t> nvs;
+      for (const auto& v : axis("nvs", "8")) nvs.push_back(std::stoll(v));
+      std::vector<double> oversub;
+      for (const auto& v : axis("oversub", "1")) {
+        oversub.push_back(std::stod(v));
+      }
+      const auto leaf_it = spec.find("leaf");
+      const std::int64_t leaf =
+          leaf_it != spec.end() ? std::stoll(leaf_it->second) : 64;
+      std::vector<hw::SystemConfig> points;
+      for (const auto& v : axis("gpus", "1024")) {
+        const auto grid = search::hardware_grid(gens, nvs, oversub,
+                                                std::stoll(v), leaf);
+        points.insert(points.end(), grid.begin(), grid.end());
+      }
+      const auto model_axis = axis("model", "gpt3-1t");
+      const auto sweep_mdl = model::preset_by_name(
+          model_axis.empty() ? "gpt3-1t" : model_axis.front());
+      sink.merge(search::lint_sweep_plan(sweep_mdl ? *sweep_mdl : *mdl,
+                                         points, search::SweepOptions{},
+                                         opts));
+    } catch (const std::exception& e) {
+      fail_section("sweep", e.what());
+    }
+  }
+
+  if (!sections.count("plan") && !sections.count("sweep") &&
+      !sections.count("model") && !sections.count("system") &&
+      !sections.count("topology")) {
+    sink.emit(analysis::RuleId::kConfigMissingKey, "<file>", 0, 0,
+              "no [plan], [sweep], [model], [system] or [topology] section "
+              "to lint",
+              std::nullopt, path, 0);
+  }
+
+  if (format == "text") {
+    std::cout << "lint " << path << "\n";
+  }
+  return finish_lint(sink.take(), format, strict);
+}
+
 int run_lint(const util::ArgParser& args) {
   if (args.has("help")) return lint_usage(nullptr);
   const auto& pos = args.positional();
   if (pos.size() > 2) return lint_usage("too many arguments");
 
-  if (pos.size() == 2) {
-    // Lint one saved plan.
-    const std::string model_name = args.get_or("model", "gpt3-1t");
-    const auto mdl = model::preset_by_name(model_name);
-    if (!mdl) return lint_usage(("unknown model '" + model_name + "'").c_str());
-    io::LoadedPlan plan;
-    try {
-      plan = io::load_plan_file(pos[1]);
-    } catch (const std::exception& e) {
-      return lint_usage(e.what());
-    }
-    const std::int64_t batch = args.get_int_or("batch", plan.global_batch);
+  std::string format;
+  bool strict = false;
+  analysis::LintOptions opts;
+  if (!parse_lint_flags(args, &format, &strict, &opts)) return 2;
+
+  // --strict takes no value, but the parser's "--flag value" rule swallows
+  // a following PATH operand into it ("lint --strict plan.tfpe") — reclaim
+  // it so flag order never changes which artifact gets linted.
+  std::string path = pos.size() == 2 ? pos[1] : "";
+  if (const auto v = args.get("strict"); v && !v->empty()) {
+    if (!path.empty()) return lint_usage("too many arguments");
+    path = *v;
+  }
+
+  if (!path.empty()) {
+    const int rc = lint_file(path, args, format, strict, opts);
     const auto stray = args.unused();
     if (!stray.empty()) {
       return lint_usage(("unknown flag --" + stray.front()).c_str());
     }
-    // Divisibility prechecks against a system just big enough for the plan:
-    // the builders assume them, so a violated one is itself a lint failure.
-    const auto sys = hw::make_system(hw::GpuGeneration::B200,
-                                     plan.cfg.placement_product(),
-                                     plan.cfg.total_gpus());
-    if (const auto why = plan.cfg.invalid_reason(*mdl, sys, batch)) {
-      std::cerr << "lint: invalid plan configuration: " << *why << "\n";
-      return 1;
-    }
-    const std::int64_t b = plan.cfg.local_microbatch(batch);
-    if (b < 1) return lint_usage("plan batch does not yield a microbatch >= 1");
-    analysis::LintReport report;
-    try {
-      report = analysis::lint_config(*mdl, plan.cfg, b);
-    } catch (const std::exception& e) {
-      std::cerr << "lint: cannot build layer for plan: " << e.what() << "\n";
-      return 1;
-    }
-    std::cout << "lint " << pos[1] << ": " << mdl->name << " "
-              << plan.cfg.describe() << " b=" << b << "\n"
-              << report.summary() << "\n";
-    return report.errors() > 0 ? 1 : 0;
+    return rc;
   }
 
-  // No plan: sweep the preset x strategy matrix.
+  // No file: lint the preset x strategy matrix (op graph + signature +
+  // batched lowering per case), the default system and the default sweep
+  // plan, aggregated into one report.
   const std::int64_t b = args.get_int_or("batch", 2);
   const auto stray = args.unused();
   if (!stray.empty()) {
@@ -185,26 +347,43 @@ int run_lint(const util::ArgParser& args) {
   cases.push_back({model::gpt_moe_1t(), "1d", lint_cfg(TpStrategy::TP1D, 8, 1)});
   cases.push_back({model::gpt_moe_1t(), "2d", lint_cfg(TpStrategy::TP2D, 8, 2)});
 
-  std::size_t total_errors = 0, total_warnings = 0;
+  analysis::DiagnosticSink sink(opts.rules);
+  const bool text = format == "text";
   for (const auto& c : cases) {
     analysis::LintReport report;
     try {
-      report = analysis::lint_config(c.mdl, c.cfg, b);
+      const parallel::LayerCost layer = parallel::build_layer(c.mdl, c.cfg, b);
+      analysis::DiagnosticSink case_sink(opts.rules);
+      case_sink.merge(analysis::lint_layer(c.mdl, c.cfg, b, layer, opts));
+      // The matrix configs use nd = m = 1, so global batch == microbatch.
+      const core::CostSignature sig =
+          core::compile_signature(c.mdl, c.cfg, b, layer);
+      case_sink.merge(analysis::lint_signature(c.mdl, c.cfg, sig, layer, opts));
+      case_sink.merge(analysis::lint_batched(sig, core::lower_batched(sig), opts));
+      report = case_sink.take();
     } catch (const std::exception& e) {
-      std::cout << "FAIL  " << c.mdl.name << " x " << c.label
-                << ": cannot build layer: " << e.what() << "\n";
-      ++total_errors;
-      continue;
+      analysis::DiagnosticSink fail(opts.rules);
+      fail.emit(analysis::RuleId::kOpSequence, "<layer>", 0, 0,
+                std::string("cannot build layer: ") + e.what());
+      report = fail.take();
     }
-    total_errors += report.errors();
-    total_warnings += report.warnings();
-    std::cout << (report.errors() > 0 ? "FAIL  " : "ok    ") << c.mdl.name
-              << " x " << c.label << "\n";
-    if (!report.clean()) std::cout << report.summary() << "\n";
+    if (text) {
+      std::cout << (report.errors() > 0 ? "FAIL  " : "ok    ") << c.mdl.name
+                << " x " << c.label << "\n";
+      if (!report.clean()) std::cout << report.summary() << "\n";
+    }
+    sink.merge(std::move(report));
   }
-  std::cout << cases.size() << " op lists linted, " << total_errors
-            << " error(s), " << total_warnings << " warning(s)\n";
-  return total_errors > 0 ? 1 : 0;
+
+  // Default machine description + sweep plan, so the SYS/TOPO/SWEEP rule
+  // families run on every bare `tfpe lint`.
+  const auto sys = hw::make_system(hw::GpuGeneration::B200, 8, 1024);
+  sink.merge(analysis::lint_system(sys, opts));
+  sink.merge(search::lint_sweep_plan(model::gpt3_1t(), {sys},
+                                     search::SweepOptions{}, opts));
+
+  if (text) std::cout << cases.size() << " op lists linted\n";
+  return finish_lint(sink.take(), format, strict);
 }
 
 }  // namespace
