@@ -119,6 +119,15 @@ constexpr std::array<RuleInfo, kRuleCount> kRegistry{{
      "per-level list length must match the declared levels"},
     {RuleId::kConfigMissingKey, "TFPE-CFG-006", "config-missing-key",
      Severity::kError, "a required key for this section is absent"},
+    {RuleId::kCodesignBudget, "TFPE-CODESIGN-001", "codesign-budget",
+     Severity::kError,
+     "target_params_b must be positive and tolerance in (0, 1)"},
+    {RuleId::kCodesignAxis, "TFPE-CODESIGN-002", "codesign-axis",
+     Severity::kError,
+     "a shape axis needs positive entries, min <= max and step >= 1"},
+    {RuleId::kCodesignEmptyFamily, "TFPE-CODESIGN-003",
+     "codesign-empty-family", Severity::kWarning,
+     "the options enumerate zero iso-parameter shapes"},
 }};
 
 /// JSON string escaping (control chars, quotes, backslash).

@@ -85,9 +85,13 @@ enum class RuleId : std::uint8_t {
   kConfigValue,
   kConfigListLength,
   kConfigMissingKey,
+  // TFPE-CODESIGN: [codesign] shape-family options (io/config_lint.cpp).
+  kCodesignBudget,
+  kCodesignAxis,
+  kCodesignEmptyFamily,
 };
 
-inline constexpr std::size_t kRuleCount = 42;
+inline constexpr std::size_t kRuleCount = 45;
 
 /// One registry row: the stable code, the short mnemonic name, the default
 /// severity and the one-line meaning (surfaced in docs and SARIF).

@@ -3,16 +3,47 @@
 #include <algorithm>
 
 #include "comm/collective_algorithm.hpp"
+#include "ops/op_factory.hpp"
 
 namespace tfpe::core {
 
 namespace {
 
 /// Per-GPU FLOP floor of an (m x k)(k x n) matmul sharded across `tp`
-/// GPUs, whichever dimensions the split uses (see header).
+/// GPUs, whichever dimensions the split uses (see header). A contraction
+/// split cannot use more than k parts, so the subtracted term saturates at
+/// min(tp, k) — the floor stays positive even when tp > k (e.g. the
+/// head-dim contraction of attention at large tp).
 double matmul_floor(double m, double n, double k, double tp) {
-  return std::max(0.0, 2.0 * k - tp) * m * n / tp;
+  return (2.0 * k - std::min(tp, k)) * m * n / tp;
 }
+
+/// Floor on the fwd + bwd FLOPs of one (bl x C) = (bl x K)(K x C)
+/// projection sharded across tp GPUs. The backward runs dgrad
+/// (contraction C) and wgrad (contraction bl) in ops::matmul, but SUMMA
+/// prices its backward as exactly twice the forward-contraction form, so
+/// the valid cross-builder backward floor is the min of the two
+/// accountings.
+double projection_floor(double bl, double C, double K, double tp) {
+  const double fwd = matmul_floor(bl, C, K, tp);
+  const double bwd = std::min(2.0 * fwd, matmul_floor(bl, K, C, tp) +
+                                              matmul_floor(C, K, bl, tp));
+  return fwd + bwd;
+}
+
+/// Fused-attention fwd FLOPs per GPU: two (lq x eh x lkv) matmuls plus the
+/// in-kernel softmax (5 FLOPs/logit), 4*eh + 3 per head-logit. Every
+/// builder calls ops::fused_attention with the head dim whole (only heads,
+/// queries and the batch are sharded), so the per-logit cost never shrinks
+/// and the per-GPU share is at least the 1/tp slice. Backward is priced at
+/// exactly 2.5x forward (FlashAttention recompute) in the factory.
+constexpr double kAttentionFwdBwd = 3.5;
+
+/// HBM bytes per element of the mandatory vector ops: every builder runs
+/// 2x LN, 2x dropout and 2x residual on the (bl x e) stream plus GeLU on
+/// (bl x f) for the dense MLP, each reading+writing 2 elements forward and
+/// 3 backward at FP16. The roofline charges at least the HBM side.
+constexpr double kVectorBytesPerElement = 5.0 * ops::kBytesPerElement;
 
 }  // namespace
 
@@ -51,30 +82,40 @@ SearchBoundsBase search_bounds_base(const model::TransformerConfig& mdl,
   const double ekv = static_cast<double>(mdl.kv_embed());
   const double bl = b_loc * l;
 
-  // --- Compute-only FLOP floor per block, per microbatch, per GPU. ---
-  // Attention projections: Q and output (e x e), K and V (e x kv_embed).
-  double fwd = matmul_floor(bl, e, e, tp) + matmul_floor(bl, e, e, tp) +
-               2.0 * matmul_floor(bl, ekv, e, tp);
-  // Logit + Attend: two bh-batched (l x e_h)(e_h x lkv) matmuls. The
-  // attended length covers full/windowed/linear attention uniformly, and
-  // ring attention moves the same FLOPs.
+  // --- FLOP floor per block, per microbatch, per GPU (fwd + bwd). ---
+  // Attention projections: Q and output (e x e), K and V (e x kv_embed),
+  // each with its dgrad/wgrad backward (see projection_floor).
+  double flops = 2.0 * projection_floor(bl, e, e, tp) +
+                 2.0 * projection_floor(bl, ekv, e, tp);
+  // Logit + Attend: the fused attention kernel, head dim never sharded.
+  // The attended length covers full/windowed/linear attention uniformly,
+  // and ring attention moves the same FLOPs.
   const double lkv = static_cast<double>(mdl.attended_len());
-  fwd += 2.0 * static_cast<double>(mdl.heads) * b_loc * l * lkv *
-         std::max(0.0, 2.0 * eh - tp) / tp;
+  flops += kAttentionFwdBwd * static_cast<double>(mdl.heads) * bl * lkv *
+           (4.0 * eh + 3.0) / tp;
   // Dense MLP: (bl x e)(e x f) and (bl x f)(f x e). MoE routing and
   // capacity factors are strategy-dependent; the floor skips the MLP there.
   if (!mdl.is_moe()) {
-    fwd += matmul_floor(bl, f, e, tp) + matmul_floor(bl, e, f, tp);
+    flops += projection_floor(bl, f, e, tp) + projection_floor(bl, e, f, tp);
   }
 
+  // Mandatory vector ops on the residual stream: per-GPU element counts
+  // are bl*e/tp (LN/dropout/residual x2 each) plus bl*f/tp (dense GeLU) in
+  // every builder; the roofline charges at least the HBM side.
+  const double vec_elems = (6.0 * e + (mdl.is_moe() ? 0.0 : f)) * bl / tp;
+  const double t_vec =
+      (Bytes(kVectorBytesPerElement * vec_elems) / sys.gpu.hbm_bandwidth)
+          .value();
+
   // 1F1B: m steady microbatches plus the (np-1)/v bubble, each at least the
-  // per-stage FLOP time; backward costs at least one forward.
+  // per-stage FLOP + vector time.
   const double layers = static_cast<double>(mdl.depth / cfg.np);
   const double micros = static_cast<double>(cfg.microbatches) +
                         static_cast<double>(cfg.np - 1) /
                             static_cast<double>(cfg.interleave);
   out.compute_floor =
-      (Flops(micros * layers * 2.0 * fwd) / sys.gpu.tensor_flops).value();
+      micros * layers *
+      ((Flops(flops) / sys.gpu.tensor_flops).value() + t_vec);
 
   // Distributed Adam reads/writes ~28 B per locally updated parameter at
   // HBM bandwidth; it never overlaps in the model.
@@ -143,6 +184,52 @@ SearchBounds finish_search_bounds(const SearchBoundsBase& base,
                           .value();
   }
   return out;
+}
+
+double shape_time_floor(const model::TransformerConfig& mdl,
+                        const hw::SystemConfig& sys, std::int64_t n_gpus,
+                        std::int64_t global_batch) {
+  const double n = static_cast<double>(n_gpus);
+  const double b = static_cast<double>(global_batch);
+  const double l = static_cast<double>(mdl.seq_len);
+  const double e = static_cast<double>(mdl.embed);
+  const double f = static_cast<double>(mdl.hidden);
+  const double eh = static_cast<double>(mdl.head_dim());
+  const double ekv = static_cast<double>(mdl.kv_embed());
+  const double lkv = static_cast<double>(mdl.attended_len());
+  const double d = static_cast<double>(mdl.depth);
+  const double tokens = b * l;
+
+  // tp -> n relaxation of the per-configuration terms (see header): each
+  // factor collapse leaves coeff * (2k - min(n, k)) * tokens * d / n.
+  const auto shard = [n](double k) { return 2.0 * k - std::min(n, k); };
+  // The wgrad contraction runs over the token dimension; its total split
+  // count across DP ranks, microbatches and sequence shards is at most
+  // min(b * n, tokens).
+  const double wgrad_coeff = 2.0 * tokens - std::min(b * n, tokens);
+  // Per (C, K) projection pair: fwd + min(SUMMA-style 2x fwd,
+  // dgrad + wgrad) — the same cross-builder min as projection_floor.
+  const auto pair = [&](double C, double K) {
+    const double fwd = C * shard(K) * tokens;
+    const double bwd =
+        std::min(2.0 * fwd, K * shard(C) * tokens + C * K * wgrad_coeff);
+    return fwd + bwd;
+  };
+  double flops = 2.0 * pair(e, e) + 2.0 * pair(ekv, e);
+  if (!mdl.is_moe()) flops += pair(f, e) + pair(e, f);
+  // Fused attention, head dim never sharded (no relaxation loss): the term
+  // that separates iso-parameter shapes — it grows with e*d at fixed
+  // parameter budget, so narrow-deep shapes floor higher than wide-shallow.
+  flops += kAttentionFwdBwd * static_cast<double>(mdl.heads) * tokens * lkv *
+           (4.0 * eh + 3.0);
+  double t = (Flops(flops * d / n) / sys.gpu.tensor_flops).value();
+  // Mandatory vector ops, HBM side (element totals are conserved by every
+  // sharding, so the per-GPU share is at least 1/n).
+  const double vec_elems = (6.0 * e + (mdl.is_moe() ? 0.0 : f)) * tokens;
+  t += (Bytes(kVectorBytesPerElement * vec_elems * d / n) /
+        sys.gpu.hbm_bandwidth)
+           .value();
+  return t;
 }
 
 }  // namespace tfpe::core

@@ -21,15 +21,27 @@
 // Construction of the floors (see docs/API.md "Search complexity & pruning"
 // for when they are exact):
 //   * Every matmul of m x n x k sharded across the tp = n1*n2 tensor-
-//     parallel GPUs executes at least max(0, 2k - tp) * m * n / tp FLOPs on
-//     one GPU, whichever dimensions the strategy splits (splitting the
-//     contraction dim k by s <= tp gives (2k/s - 1) * mn/(tp/s) =
-//     (2k - s) * mn / tp >= (2k - tp) * mn / tp; splitting m or n keeps the
-//     (2k - 1) coefficient and is larger still; replication only adds).
-//   * The backward pass of every op costs at least its forward FLOPs.
+//     parallel GPUs executes at least (2k - min(tp, k)) * m * n / tp FLOPs
+//     on one GPU, whichever dimensions the strategy splits (splitting the
+//     contraction dim k by s <= min(tp, k) gives (2k/s - 1) * mn/(tp/s) =
+//     (2k - s) * mn / tp; splitting m or n keeps the (2k - 1) coefficient
+//     and is larger still; replication only adds).
+//   * The backward of a projection runs dgrad (contraction = the output
+//     dim) and wgrad (contraction = the token dim) in ops::matmul; SUMMA
+//     prices its backward as exactly 2x the forward-contraction form. The
+//     cross-builder backward floor is the min of the two accountings —
+//     roughly 2x forward, so fwd+bwd is ~3x the forward FLOPs.
+//   * Attention is ops::fused_attention in every builder: two
+//     (lq x eh x lkv) matmuls + the in-kernel softmax, with the head dim
+//     never sharded (only heads/queries/batch split), backward priced at
+//     2.5x forward — so the floor keeps the full (4*eh + 3)-per-head-logit
+//     cost with no tp relaxation loss.
+//   * Every builder runs LN x2, dropout x2 and residual x2 on the
+//     (bl x e) stream plus the dense GeLU on (bl x f), with sharded
+//     element counts summing to the unsharded totals; the roofline charges
+//     at least their HBM traffic (5 element reads+writes fwd+bwd at FP16).
 //   * 1F1B iteration time is at least (m + (np-1)/v) per-stage microbatch
-//     times, and each of those is at least the stage's FLOP time at the
-//     tensor-core peak.
+//     times, and each of those is at least the stage's FLOP + vector time.
 //   * Network floors walk the resolved hw::Topology: the pipeline handoff
 //     pays at least the boundary-tensor wire time over the fabric's fastest
 //     single link, and ZeRO-3's per-microbatch weight-gather/grad-scatter
@@ -100,5 +112,34 @@ SearchBounds finish_search_bounds(const SearchBoundsBase& base,
                                   const model::TransformerConfig& mdl,
                                   const hw::Topology& fabric,
                                   const parallel::ParallelConfig& cfg);
+
+/// Architecture-level time floor: a compute-only lower bound on iteration()
+/// over EVERY valid parallelization and placement of `mdl` on `n_gpus`
+/// GPUs, from the shape and the system's tensor-core peak alone — no
+/// candidate enumeration, no per-configuration work. The co-design search
+/// (search/codesign.hpp) screens whole shapes against the cross-shape
+/// incumbent with it before enumerating their candidate spaces.
+///
+/// Construction: every per-configuration compute floor above is a sum of
+/// terms of the form
+///   micros * layers * coeff * (2k - min(tp, k)) * bl / tp
+/// with micros >= m, layers = d/np, bl = b*l/(nd*m) and tp*np*nd = n. The
+/// m / np / nd factors collapse to b*l*d*(2k - min(tp, k))/n, which is
+/// non-increasing in tp <= n, so replacing tp by n bounds every candidate.
+/// The wgrad terms contract the token dimension, whose total split count
+/// across DP ranks, microbatches and sequence shards is at most
+/// min(b*n, b*l); the fused-attention and vector-op terms collapse with no
+/// relaxation loss at all (their per-element cost is sharding-invariant).
+/// The Adam, memory and network terms are dropped (floors only shrink), so
+/// shape_time_floor <= search_bounds(...).time_floor <= iteration() for
+/// every candidate — the property that keeps shape-level pruning exact.
+/// Iso-parameter shapes differ mainly through the fused-attention term
+/// (~e*d*l*lkv head-logit FLOPs, growing with e*d at fixed budget) and the
+/// vector-op HBM term (~(6e + f)*d bytes/token), which is what separates
+/// narrow-deep from wide-shallow shapes; architecture variants whose floor
+/// drops whole terms (e.g. MoE's strategy-dependent MLP) separate further.
+double shape_time_floor(const model::TransformerConfig& mdl,
+                        const hw::SystemConfig& sys, std::int64_t n_gpus,
+                        std::int64_t global_batch);
 
 }  // namespace tfpe::core

@@ -95,6 +95,29 @@ std::vector<double> double_list(const Section& s, const std::string& key,
   return out;
 }
 
+/// Variable-length comma-separated integer list; missing key -> fallback.
+std::vector<std::int64_t> int_list(const Section& s, const std::string& key,
+                                   std::vector<std::int64_t> fallback) {
+  const auto it = s.find(key);
+  if (it == s.end()) return fallback;
+  std::vector<std::int64_t> out;
+  for (const auto& item : split_list(it->second)) {
+    std::size_t pos = 0;
+    std::int64_t v = 0;
+    try {
+      v = std::stoll(item, &pos);
+    } catch (const std::exception&) {
+      pos = std::string::npos;
+    }
+    if (pos != item.size()) {
+      throw std::runtime_error("config: '" + key +
+                               "' expects integers, got '" + item + "'");
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
 std::string join_list(const std::vector<double>& values) {
   std::ostringstream out;
   out.precision(17);
@@ -349,6 +372,51 @@ Section topology_to_section(const hw::Topology& topo) {
   return s;
 }
 
+model::ShapeFamilyOptions codesign_from_section(const Section& s) {
+  reject_unknown(s,
+                 {"target_params_b", "tolerance", "depths", "depth_min",
+                  "depth_max", "depth_step", "heads", "heads_min", "heads_max",
+                  "heads_step", "head_dims", "aspect_min", "aspect_max",
+                  "hidden_multiple", "kv_heads", "moe_experts"},
+                 "codesign");
+  model::ShapeFamilyOptions opts;
+  const double billions = to_double(s, "target_params_b", 0.0);
+  if (billions < 0.0) {
+    throw std::runtime_error(
+        "config: [codesign] target_params_b must be >= 0 (0 = the [model]'s "
+        "own total)");
+  }
+  opts.target_params = static_cast<std::int64_t>(billions * 1e9);
+  opts.tolerance = to_double(s, "tolerance", opts.tolerance);
+  if (!(opts.tolerance > 0.0) || !(opts.tolerance < 1.0)) {
+    throw std::runtime_error(
+        "config: [codesign] tolerance must lie in (0, 1)");
+  }
+  opts.depths = int_list(s, "depths", {});
+  opts.depth_min = to_int(s, "depth_min", opts.depth_min);
+  opts.depth_max = to_int(s, "depth_max", opts.depth_max);
+  opts.depth_step = to_int(s, "depth_step", opts.depth_step);
+  opts.heads = int_list(s, "heads", {});
+  opts.heads_min = to_int(s, "heads_min", opts.heads_min);
+  opts.heads_max = to_int(s, "heads_max", opts.heads_max);
+  opts.heads_step = to_int(s, "heads_step", opts.heads_step);
+  opts.head_dims = int_list(s, "head_dims", opts.head_dims);
+  opts.aspect_min = to_double(s, "aspect_min", opts.aspect_min);
+  opts.aspect_max = to_double(s, "aspect_max", opts.aspect_max);
+  opts.hidden_multiple = to_int(s, "hidden_multiple", opts.hidden_multiple);
+  opts.kv_heads = int_list(s, "kv_heads", opts.kv_heads);
+  opts.moe_experts = int_list(s, "moe_experts", opts.moe_experts);
+  // Re-run shape_family's own axis validation so a bad section fails here,
+  // at load time, not later inside the search. A tiny probe base is enough:
+  // validation happens before any shape is generated.
+  try {
+    (void)model::shape_family(model::gpt3_175b(), opts);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("config: [codesign] ") + e.what());
+  }
+  return opts;
+}
+
 LoadedConfig load_config_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open config file " + path);
@@ -363,6 +431,9 @@ LoadedConfig load_config_file(const std::string& path) {
   if (const auto it = sections.find("topology"); it != sections.end()) {
     out.topology = topology_from_section(it->second);
     if (out.system) out.system->fabric = *out.topology;
+  }
+  if (const auto it = sections.find("codesign"); it != sections.end()) {
+    out.codesign = codesign_from_section(it->second);
   }
   return out;
 }

@@ -27,6 +27,25 @@
 //   nvs_domain = 8
 //   n_gpus = 4096
 //
+//   [codesign]                     # iso-parameter shape-family options
+//   target_params_b = 1000         # parameter budget [billions];
+//                                  # 0/absent = the [model]'s total
+//   tolerance = 0.02               # relative band around the target
+//   depth_min = 32                 # range axes (inclusive, with step)...
+//   depth_max = 160
+//   depth_step = 16
+//   depths = 48, 96, 192           # ...or an explicit list (wins over range)
+//   heads_min = 32
+//   heads_max = 256
+//   heads_step = 16
+//   heads = 64, 96
+//   head_dims = 128, 160
+//   aspect_min = 2.0               # admitted f/e window
+//   aspect_max = 6.0
+//   hidden_multiple = 128
+//   kv_heads = 0, 8                # 0 = MHA
+//   moe_experts = 0                # 0 = dense
+//
 //   [topology]                     # optional hierarchical fabric override
 //   levels = nvs, leaf, spine      # innermost first
 //   fan_in = 8, 4, 16              # children per element; 0 = unbounded top
@@ -51,6 +70,7 @@
 #include <string>
 
 #include "hw/system.hpp"
+#include "model/shape_family.hpp"
 #include "model/transformer.hpp"
 
 namespace tfpe::io {
@@ -90,11 +110,19 @@ hw::Topology topology_from_section(const Section& s);
 /// exactly through topology_from_section.
 Section topology_to_section(const hw::Topology& topo);
 
+/// Build shape-family options from a [codesign] section (target_params_b is
+/// given in BILLIONS of parameters). Throws std::runtime_error on values
+/// model::shape_family would reject — the same conditions io/config_lint
+/// reports as TFPE-CODESIGN diagnostics.
+model::ShapeFamilyOptions codesign_from_section(const Section& s);
+
 struct LoadedConfig {
   std::optional<model::TransformerConfig> model;
   std::optional<hw::SystemConfig> system;
   /// Parsed [topology], also attached to system->fabric when both exist.
   std::optional<hw::Topology> topology;
+  /// Parsed [codesign] shape-family options (tfpe codesign's --config path).
+  std::optional<model::ShapeFamilyOptions> codesign;
 };
 
 /// Parse a whole file; throws std::runtime_error if it cannot be read.

@@ -45,6 +45,11 @@ const std::set<std::string>& section_keys(const std::string& section) {
   static const std::set<std::string> kCalibration{
       "compute_efficiency", "bandwidth_efficiency", "global_batch",
       "measured_seconds"};
+  static const std::set<std::string> kCodesign{
+      "target_params_b", "tolerance", "depths", "depth_min", "depth_max",
+      "depth_step", "heads", "heads_min", "heads_max", "heads_step",
+      "head_dims", "aspect_min", "aspect_max", "hidden_multiple", "kv_heads",
+      "moe_experts"};
   static const std::set<std::string> kNone{};
   if (section == "model") return kModel;
   if (section == "system") return kSystem;
@@ -52,12 +57,14 @@ const std::set<std::string>& section_keys(const std::string& section) {
   if (section == "plan") return kPlan;
   if (section == "sweep") return kSweep;
   if (section == "calibration") return kCalibration;
+  if (section == "codesign") return kCodesign;
   return kNone;
 }
 
 bool known_section(const std::string& section) {
   return section == "model" || section == "system" || section == "topology" ||
-         section == "plan" || section == "sweep" || section == "calibration";
+         section == "plan" || section == "sweep" ||
+         section == "calibration" || section == "codesign";
 }
 
 bool parses_as_double(const std::string& value, double* out = nullptr) {
@@ -131,6 +138,7 @@ class ConfigLinter {
     lint_plan();
     lint_sweep();
     lint_calibration();
+    lint_codesign();
     return sink_.take();
   }
 
@@ -365,6 +373,134 @@ class ConfigLinter {
         emit(RuleId::kConfigValue, "calibration", "measured_seconds", 1, v,
              "'measured_seconds' must be > 0, got '" + it->second + "'");
       }
+    }
+  }
+
+  /// [codesign] shape-family options, each problem at its own key line:
+  /// the parameter-budget band (TFPE-CODESIGN-001), every enumeration axis
+  /// (TFPE-CODESIGN-002), and — when the section is otherwise sound and a
+  /// [model] builds — a warning when the options enumerate zero shapes
+  /// (TFPE-CODESIGN-003).
+  void lint_codesign() {
+    const Section* s = section("codesign");
+    if (!s) return;
+    bool ok = true;
+    const auto bad = [&](RuleId rule, const std::string& key, double expected,
+                         double actual, const std::string& message) {
+      emit(rule, "codesign", key, expected, actual, message);
+      ok = false;
+    };
+
+    // -- budget band (TFPE-CODESIGN-001)
+    if (const auto it = s->find("target_params_b"); it != s->end()) {
+      double v = 0;
+      if (!parses_as_double(it->second, &v) || v < 0.0) {
+        bad(RuleId::kCodesignBudget, "target_params_b", 0, v,
+            "'target_params_b' must be a parameter count in billions >= 0 "
+            "(0 = the [model]'s own total), got '" + it->second + "'");
+      }
+    }
+    if (const auto it = s->find("tolerance"); it != s->end()) {
+      double v = 0;
+      if (!parses_as_double(it->second, &v) || !(v > 0.0) || !(v < 1.0)) {
+        bad(RuleId::kCodesignBudget, "tolerance", 0.02, v,
+            "'tolerance' must be a relative band in (0, 1), got '" +
+                it->second + "'");
+      }
+    }
+
+    // -- enumeration axes (TFPE-CODESIGN-002)
+    const auto int_axis = [&](const std::string& key, std::int64_t lo,
+                              const char* expect) {
+      const auto it = s->find(key);
+      if (it == s->end()) return;
+      for (const std::string& item : util::split_list(it->second)) {
+        std::int64_t v = 0;
+        if (!parses_as_int(item, &v) || v < lo) {
+          bad(RuleId::kCodesignAxis, key, static_cast<double>(lo),
+              static_cast<double>(v),
+              "'" + key + "' entry '" + item + "' " + expect);
+        }
+      }
+    };
+    int_axis("depths", 1, "must be a positive layer count");
+    int_axis("heads", 1, "must be a positive head count");
+    int_axis("head_dims", 1, "must be a positive head dimension");
+    int_axis("kv_heads", 0, "must be a K/V head count >= 0 (0 = MHA)");
+    int_axis("moe_experts", 0, "must be an expert count >= 0 (0 = dense)");
+    const auto range_axis = [&](const std::string& axis) {
+      std::int64_t lo = 0, hi = 0, step = 1;
+      bool have_lo = false, have_hi = false;
+      for (const char* suffix : {"_min", "_max", "_step"}) {
+        const std::string key = axis + suffix;
+        const auto it = s->find(key);
+        if (it == s->end()) continue;
+        std::int64_t v = 0;
+        if (!parses_as_int(it->second, &v) || v < 1) {
+          bad(RuleId::kCodesignAxis, key, 1, static_cast<double>(v),
+              "'" + key + "' must be a positive integer, got '" + it->second +
+                  "'");
+          return;
+        }
+        if (suffix == std::string("_min")) { lo = v; have_lo = true; }
+        else if (suffix == std::string("_max")) { hi = v; have_hi = true; }
+        else step = v;
+      }
+      (void)step;
+      if (have_lo && have_hi && lo > hi) {
+        bad(RuleId::kCodesignAxis, axis + "_min", static_cast<double>(hi),
+            static_cast<double>(lo),
+            "'" + axis + "_min' exceeds '" + axis + "_max'");
+      }
+    };
+    range_axis("depth");
+    range_axis("heads");
+    double aspect_min = 2.0, aspect_max = 6.0;
+    if (const auto it = s->find("aspect_min"); it != s->end()) {
+      if (!parses_as_double(it->second, &aspect_min) ||
+          !(aspect_min > 0.0)) {
+        bad(RuleId::kCodesignAxis, "aspect_min", 2.0, aspect_min,
+            "'aspect_min' must be > 0, got '" + it->second + "'");
+      }
+    }
+    if (const auto it = s->find("aspect_max"); it != s->end()) {
+      if (!parses_as_double(it->second, &aspect_max) ||
+          !(aspect_max > 0.0)) {
+        bad(RuleId::kCodesignAxis, "aspect_max", 6.0, aspect_max,
+            "'aspect_max' must be > 0, got '" + it->second + "'");
+      }
+    }
+    if (ok && aspect_min > aspect_max) {
+      bad(RuleId::kCodesignAxis, "aspect_min", aspect_max, aspect_min,
+          "'aspect_min' exceeds 'aspect_max'");
+    }
+    if (const auto it = s->find("hidden_multiple"); it != s->end()) {
+      std::int64_t v = 0;
+      if (!parses_as_int(it->second, &v) || v < 1) {
+        bad(RuleId::kCodesignAxis, "hidden_multiple", 128,
+            static_cast<double>(v),
+            "'hidden_multiple' must be a positive integer, got '" +
+                it->second + "'");
+      }
+    }
+
+    // -- empty family (TFPE-CODESIGN-003): only meaningful once the section
+    //    itself is sound and a base [model] builds.
+    if (!ok) return;
+    const Section* m = section("model");
+    if (!m) return;
+    try {
+      const auto base = model_from_section(known_subset("model", *m));
+      const auto opts = codesign_from_section(known_subset("codesign", *s));
+      const auto family = model::shape_family(base, opts);
+      if (family.empty()) {
+        emit(RuleId::kCodesignEmptyFamily, "codesign", "", 1, 0,
+             "[codesign] enumerates zero shapes around " + base.name +
+                 "'s parameter budget — widen the axes, the aspect window "
+                 "or the tolerance");
+      }
+    } catch (const std::exception&) {
+      // Model/section problems are reported by their own passes.
     }
   }
 

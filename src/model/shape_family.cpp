@@ -1,0 +1,145 @@
+#include "model/shape_family.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace tfpe::model {
+
+namespace {
+
+std::vector<std::int64_t> axis_values(const std::vector<std::int64_t>& list,
+                                      std::int64_t lo, std::int64_t hi,
+                                      std::int64_t step, const char* what) {
+  if (!list.empty()) {
+    for (std::int64_t v : list) {
+      if (v < 1) {
+        throw std::invalid_argument(std::string("shape_family: ") + what +
+                                    " entries must be >= 1");
+      }
+    }
+    return list;
+  }
+  if (lo < 1 || hi < lo || step < 1) {
+    throw std::invalid_argument(
+        std::string("shape_family: ") + what +
+        " range needs 1 <= min <= max and step >= 1");
+  }
+  std::vector<std::int64_t> out;
+  for (std::int64_t v = lo; v <= hi; v += step) out.push_back(v);
+  return out;
+}
+
+}  // namespace
+
+std::vector<TransformerConfig> shape_family(const TransformerConfig& base,
+                                            const ShapeFamilyOptions& opts) {
+  const std::int64_t target =
+      opts.target_params > 0 ? opts.target_params : base.total_params();
+  if (target <= 0) {
+    throw std::invalid_argument(
+        "shape_family: target_params must be positive (or the base config "
+        "must have positive total_params())");
+  }
+  if (!(opts.tolerance > 0.0) || !(opts.tolerance < 1.0)) {
+    throw std::invalid_argument(
+        "shape_family: tolerance must lie in (0, 1)");
+  }
+  if (!(opts.aspect_min > 0.0) || opts.aspect_max < opts.aspect_min) {
+    throw std::invalid_argument(
+        "shape_family: aspect window needs 0 < aspect_min <= aspect_max");
+  }
+  if (opts.hidden_multiple < 1) {
+    throw std::invalid_argument(
+        "shape_family: hidden_multiple must be >= 1");
+  }
+  const auto depths = axis_values(opts.depths, opts.depth_min, opts.depth_max,
+                                  opts.depth_step, "depth");
+  const auto heads = axis_values(opts.heads, opts.heads_min, opts.heads_max,
+                                 opts.heads_step, "heads");
+  const auto head_dims =
+      axis_values(opts.head_dims, 0, -1, 1, "head_dims");
+  if (opts.kv_heads.empty() || opts.moe_experts.empty()) {
+    throw std::invalid_argument(
+        "shape_family: kv_heads / moe_experts axes must be non-empty "
+        "(use {0} for MHA / dense)");
+  }
+  for (std::int64_t v : opts.kv_heads) {
+    if (v < 0) {
+      throw std::invalid_argument("shape_family: kv_heads entries must be "
+                                  ">= 0 (0 = MHA)");
+    }
+  }
+  for (std::int64_t v : opts.moe_experts) {
+    if (v < 0) {
+      throw std::invalid_argument("shape_family: moe_experts entries must "
+                                  "be >= 0 (0 = dense)");
+    }
+  }
+
+  const double tgt = static_cast<double>(target);
+  std::vector<TransformerConfig> out;
+  for (const std::int64_t d : depths) {
+    for (const std::int64_t h : heads) {
+      for (const std::int64_t eh : head_dims) {
+        const std::int64_t e = h * eh;
+        for (const std::int64_t kv : opts.kv_heads) {
+          if (kv > 0 && (kv > h || h % kv != 0)) continue;
+          const std::int64_t ekv = (kv == 0 ? h : kv) * eh;
+          for (const std::int64_t experts : opts.moe_experts) {
+            // Solve params_per_layer(e, f) * d + vocab * e = target for f
+            // (linear in f), then round to the hidden multiple.
+            const double ed = static_cast<double>(e);
+            const double per_layer =
+                (tgt - static_cast<double>(base.vocab) * ed) /
+                static_cast<double>(d);
+            const double attn = 2.0 * ed * ed +
+                                2.0 * ed * static_cast<double>(ekv) +
+                                2.0 * ed + 2.0 * static_cast<double>(ekv);
+            const double ln = 4.0 * ed;
+            const double mlp_budget = per_layer - attn - ln;
+            if (mlp_budget <= 0.0) continue;
+            // Dense: 2ef + f + e.  MoE: ((2ef + f + e) + e) * E (expert
+            // copies plus the router column per expert).
+            const double f_exact =
+                experts > 0
+                    ? (mlp_budget / static_cast<double>(experts) - 2.0 * ed) /
+                          (2.0 * ed + 1.0)
+                    : (mlp_budget - ed) / (2.0 * ed + 1.0);
+            if (!(f_exact > 0.0)) continue;
+            const double hm = static_cast<double>(opts.hidden_multiple);
+            std::int64_t f = static_cast<std::int64_t>(
+                                 std::llround(f_exact / hm)) *
+                             opts.hidden_multiple;
+            if (f < opts.hidden_multiple) f = opts.hidden_multiple;
+            const double aspect = static_cast<double>(f) / ed;
+            if (aspect < opts.aspect_min || aspect > opts.aspect_max) {
+              continue;
+            }
+
+            TransformerConfig cfg = base;
+            cfg.embed = e;
+            cfg.heads = h;
+            cfg.depth = d;
+            cfg.hidden = f;
+            cfg.kv_heads = kv;
+            cfg.moe_experts = experts;
+            const double total = static_cast<double>(cfg.total_params());
+            if (std::abs(total - tgt) > opts.tolerance * tgt) continue;
+            cfg.name = base.name + "-d" + std::to_string(d) + "-h" +
+                       std::to_string(h) + "x" + std::to_string(eh) + "-f" +
+                       std::to_string(f);
+            if (kv > 0) cfg.name += "-kv" + std::to_string(kv);
+            if (experts > 0) cfg.name += "-x" + std::to_string(experts);
+            cfg.validate();
+            out.push_back(std::move(cfg));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tfpe::model

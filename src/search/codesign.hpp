@@ -1,0 +1,220 @@
+#pragma once
+// Architecture x configuration co-design search (ROADMAP item 3; Anthony
+// et al., arXiv 2401.14489): the optimal (shape, parallelization,
+// placement) triple over an iso-parameter architecture family
+// (model/shape_family.hpp) crossed with a hardware grid, run as a
+// branch-and-bound over the PRODUCT space instead of a find_optimal loop
+// per (shape, point):
+//
+//   * SHAPE-LEVEL PRUNING — core::shape_time_floor bounds every candidate
+//     of a shape from the architecture and the system peaks alone, BEFORE
+//     the shape's candidate space is enumerated. A shape whose floor
+//     already exceeds the point's cross-shape incumbent (an achieved
+//     iteration time from an earlier shape) is skipped outright: floor >
+//     incumbent implies every one of its configurations is strictly slower
+//     than an achieved time, so it can neither win nor tie. Pruned
+//     (shape, point) pairs are reported as such, never with a fabricated
+//     optimum.
+//   * MEMOIZED ENUMERATION — expand_candidates is model-shape-dependent
+//     (see search.hpp), so CandidateCache memoizes it on the full
+//     (shape key, GPU count) pair and shares the lists across the grid.
+//   * WARM-START CHAINS ACROSS SHAPES — per point, the previous surviving
+//     shape's optimal ParallelConfig is looked up BY VALUE in the current
+//     shape's candidate list (indices are not comparable across shapes)
+//     and re-timed first, seeding the scan's incumbent with an achieved
+//     time exactly like PR 6's chain warm starts; within one shape, points
+//     chain along the hardware grid with the PR 6 ChainContext (compile
+//     once, bind once, fabric restamp) via search/point_scan.hpp.
+//   * PER-SHAPE CACHES — SignatureCache/LayerCostCache/BatchedCache key
+//     below the model, so the engine scopes one trio per shape (shared by
+//     all of that shape's grid points); the PlacementCache and
+//     CandidateCache are model-keyed or model-free and live for the whole
+//     product sweep.
+//
+// EXACTNESS CONTRACT: for every (shape, point) pair the engine scans, the
+// reported result is BITWISE identical — configuration, time and memory —
+// to find_optimal(shape, point); per-point winners equal the shape-order
+// better_result reduction of those per-shape optima. Shape-level pruning
+// only ever removes pairs that provably cannot affect a winner (their
+// per-shape entry is flagged pruned). With prune_shapes = false the full
+// per-shape matrix is exact. bench_codesign and the codesign smoke ctest
+// assert both properties on every run.
+//
+// DETERMINISM: shapes run in family order with a sequential winner
+// reduction between them; within a shape, chains fan out across the pool
+// but each (shape, point) scan is sequential. Every CodesignStats WORK
+// counter is therefore invariant to the thread count; the StageProfile is
+// wall-clock and schedule-dependent (never golden-test it).
+//
+// Complexity: |family| x |grid| x |candidates| product points, of which
+// the engine evaluates only the shapes surviving the architecture floor,
+// and per surviving shape only the candidates surviving the warm-seeded
+// per-point incumbent — the bench's GPT3-1T-class family resolves a
+// 200-shape x 3-generation product at >= 5x the per-shape find_optimal
+// throughput.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "model/shape_family.hpp"
+#include "search/sweep.hpp"
+
+namespace tfpe::search {
+
+/// The architecture slice expand_candidates reads (every divisibility
+/// constraint of enumerate_parallel plus the MoE/GQA widths and the
+/// interleave depth filter), plus the GPU count — the full memoization key.
+/// Two different shapes at the same scale MUST miss each other (the
+/// regression test pins this; see the expand_candidates comment in
+/// search.hpp for why keying on the count alone would alias them).
+struct ShapeKey {
+  std::int64_t seq_len = 0;
+  std::int64_t embed = 0;
+  std::int64_t heads = 0;
+  std::int64_t depth = 0;
+  std::int64_t hidden = 0;
+  std::int64_t kv_heads = 0;
+  std::int64_t vocab = 0;
+  std::int64_t window = 0;
+  std::int64_t moe_experts = 0;
+  std::int64_t moe_top_k = 0;
+  model::AttentionKind attention = model::AttentionKind::kFull;
+  std::int64_t n_gpus = 0;
+
+  bool operator==(const ShapeKey&) const = default;
+};
+
+ShapeKey shape_key(const model::TransformerConfig& mdl, std::int64_t n_gpus);
+
+/// Memoized expand_candidates over (shape, GPU count), shared by every
+/// grid point and shape of one co-design run. Thread-safe; a shard's mutex
+/// is held across the build so each key enumerates exactly once (builds()
+/// is deterministic) and readers share the immutable list.
+class CandidateCache {
+ public:
+  /// The expanded candidate list for `mdl` at the scale find_optimal would
+  /// use (opts.n_gpus when positive, else sys.n_gpus), enumerating on
+  /// first use.
+  std::shared_ptr<const std::vector<parallel::ParallelConfig>> get(
+      const model::TransformerConfig& mdl, const hw::SystemConfig& sys,
+      const SearchOptions& opts);
+
+  std::size_t builds() const { return builds_.load(); }
+  std::size_t hits() const { return hits_.load(); }
+  /// Summed size of the distinct lists built (not multiplied by reuse).
+  std::size_t candidates() const { return candidates_.load(); }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const ShapeKey& k) const;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<
+        ShapeKey, std::shared_ptr<const std::vector<parallel::ParallelConfig>>,
+        KeyHash>
+        map;
+  };
+  static constexpr std::size_t kShards = 16;
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::size_t> builds_{0};
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> candidates_{0};
+};
+
+struct CodesignOptions {
+  /// Engine knobs shared with run_sweep: `sweep.search` fixes the candidate
+  /// space and global batch for every shape; `sweep.batch` /
+  /// `sweep.warm_start` / `sweep.threads` tune the scan; and
+  /// `sweep.use_signatures = false` selects the naive arm (one find_optimal
+  /// per (shape, point) — the A/B baseline and verification reference,
+  /// which ignores prune_shapes and always fills the full matrix). The same
+  /// restrictions as run_sweep apply: search.top_k and search.threads must
+  /// stay 0.
+  SweepOptions sweep;
+
+  /// Screen whole shapes with core::shape_time_floor against the per-point
+  /// cross-shape incumbent (see header). Winners are unaffected bit for
+  /// bit; pruned (shape, point) entries are flagged instead of evaluated.
+  /// Set false when the full exact per-shape matrix is the product wanted
+  /// (e.g. tfpe-sweep --arch CSV dumps).
+  bool prune_shapes = true;
+};
+
+/// Work counters for one co-design run. All except `profile` are invariant
+/// to the thread count.
+struct CodesignStats {
+  std::size_t shapes = 0;            ///< family size
+  std::size_t points = 0;            ///< hardware grid size
+  /// (shape, point) pairs skipped by the architecture-level floor…
+  std::size_t shapes_pruned = 0;
+  /// …and pairs actually scanned (pruned + evaluated = shapes * points).
+  std::size_t shapes_evaluated = 0;
+  std::size_t feasible_shape_points = 0;
+
+  /// CandidateCache builds (distinct (shape, scale) lists enumerated) /
+  /// hits, and the summed size of the distinct lists.
+  std::size_t enumerations = 0;
+  std::size_t enumeration_hits = 0;
+  std::size_t candidates = 0;
+
+  /// Scan-level work, summed over all scanned (shape, point) pairs —
+  /// same meaning as the SweepStats counters.
+  std::size_t evaluated = 0;
+  std::size_t bound_pruned = 0;
+  std::size_t memory_pruned = 0;
+  std::size_t batch_calls = 0;
+  std::size_t batch_placements = 0;
+  std::size_t warm_seeded = 0;
+  std::size_t warm_seed_feasible = 0;
+  std::size_t signature_compiles = 0;
+  std::size_t signature_cache_hits = 0;
+  std::size_t signature_lowers = 0;
+  std::size_t batched_cache_hits = 0;
+  std::size_t build_layer_calls = 0;
+  std::size_t layer_cache_hits = 0;
+  std::size_t placement_sets = 0;
+  std::size_t placement_cache_hits = 0;
+
+  /// Busy seconds per stage + wall clock; schedule-dependent.
+  SweepStats::StageProfile profile;
+};
+
+struct CodesignResult {
+  static constexpr std::size_t kNoShape = static_cast<std::size_t>(-1);
+
+  /// The family, echoed in enumeration order (row index of the matrices).
+  std::vector<model::TransformerConfig> shapes;
+
+  /// Per grid point: the winning shape index and its optimal
+  /// configuration — the shape-order better_result reduction over the
+  /// per-shape optima. shape == kNoShape when no (shape, point) pair was
+  /// feasible.
+  struct Winner {
+    std::size_t shape = kNoShape;
+    core::EvalResult best;
+  };
+  std::vector<Winner> best;
+
+  /// per_shape[s][p]: find_optimal(shapes[s], points[p])'s exact result
+  /// when scanned; when pruned[s][p] (architecture floor above the
+  /// cross-shape incumbent) it is infeasible with the shape-pruned reason.
+  std::vector<std::vector<core::EvalResult>> per_shape;
+  std::vector<std::vector<std::uint8_t>> pruned;
+
+  CodesignStats stats;
+};
+
+/// Co-design search of `shapes` x `points`. Throws std::invalid_argument
+/// when opts.sweep.search.top_k or .threads is nonzero (same contract as
+/// run_sweep).
+CodesignResult run_codesign(const std::vector<model::TransformerConfig>& shapes,
+                            const std::vector<hw::SystemConfig>& points,
+                            const CodesignOptions& opts);
+
+}  // namespace tfpe::search

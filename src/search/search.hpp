@@ -150,9 +150,13 @@ bool better_result(const core::EvalResult& a, const core::EvalResult& b);
 
 /// The candidate parallelizations find_optimal scans: enumerate_parallel
 /// expanded by the interleave / ZeRO-3 / ring-attention axes. Depends on
-/// the system only through its GPU count (or opts.n_gpus), never on the
+/// the SYSTEM only through its GPU count (or opts.n_gpus), never on the
 /// GPU type or NVS domain size — a hardware sweep at fixed scale enumerates
-/// once and reuses the list for every grid point.
+/// once and reuses the list for every grid point. It does depend on the
+/// MODEL shape (divisibility of heads/hidden/depth/seq_len, GQA and MoE
+/// widths, the interleave filter on depth/np), so any memo shared across
+/// architectures must key on the full (shape, GPU count) pair — see
+/// search::CandidateCache in search/codesign.hpp.
 std::vector<parallel::ParallelConfig> expand_candidates(
     const model::TransformerConfig& mdl, const hw::SystemConfig& sys,
     const SearchOptions& opts);

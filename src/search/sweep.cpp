@@ -4,15 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <limits>
 #include <map>
-#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
-#include "core/lower_bounds.hpp"
+#include "search/point_scan.hpp"
 #include "search/search_cache.hpp"
 #include "util/thread_pool.hpp"
 
@@ -20,15 +18,7 @@ namespace tfpe::search {
 
 namespace {
 
-constexpr std::size_t kNoSeed = static_cast<std::size_t>(-1);
-
 using Clock = std::chrono::steady_clock;
-
-std::int64_t ns_since(Clock::time_point t0) {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                              t0)
-      .count();
-}
 
 /// Candidate list of one GPU scale, enumerated lazily by the first worker
 /// that needs it (call_once) so enumeration overlaps the other chains'
@@ -38,13 +28,9 @@ struct ScaleSlot {
   std::vector<parallel::ParallelConfig> configs;
 };
 
-/// State shared by every chain worker of one sweep: the cross-sweep caches
-/// and the stage-profile accumulators (busy nanoseconds per stage).
+/// Cache + stage-clock storage for one sweep; scan_point reaches it through
+/// the non-owning ScanShared view (search/point_scan.hpp).
 struct SweepShared {
-  SweepShared(const model::TransformerConfig& m, const SweepOptions& o)
-      : mdl(m), opts(o) {}
-  const model::TransformerConfig& mdl;
-  const SweepOptions& opts;
   LayerCostCache layer_cache;
   PlacementCache placement_cache;
   SignatureCache signature_cache;
@@ -53,370 +39,6 @@ struct SweepShared {
   std::atomic<std::int64_t> compile_ns{0};
   std::atomic<std::int64_t> time_ns{0};
 };
-
-struct PointOutcome {
-  core::EvalResult best;
-  /// Candidate index (into the scale's shared list) of the optimum — the
-  /// warm seed handed to the next point of the chain. kNoSeed when nothing
-  /// was feasible.
-  std::size_t best_index = kNoSeed;
-  std::size_t evaluated = 0;
-  std::size_t bound_pruned = 0;
-  std::size_t memory_pruned = 0;
-  std::size_t batch_calls = 0;
-  std::size_t batch_placements = 0;
-  bool warm_seeded = false;
-  bool warm_seed_feasible = false;
-};
-
-/// Per-candidate state carried across the points of one chain (fixed GPU
-/// type and scale; see ChainContext).
-struct ChainEntry {
-  /// Hardware-invariant: the compiled signature and its SoA lowering are
-  /// valid for every point of the sweep, not just the chain.
-  std::shared_ptr<const core::CostSignature> sig;
-  std::shared_ptr<const core::BatchedSignature> bat;
-  /// Bound timing; valid when `bound`. Everything in it except `.fabric`
-  /// reads only the GPU roofline, so along a chain it is restamped with the
-  /// current point's fabric instead of re-bound.
-  core::SystemTiming base;
-  std::size_t fabric_point = kNoSeed;  ///< chain point whose fabric base has
-  /// Fabric-independent half of the candidate's lower bounds; the screen
-  /// finishes it with the current point's fabric.
-  core::SearchBoundsBase lb_base;
-  std::int64_t screen_n_gpus = -1;     ///< cluster size the verdict is for
-  std::uint8_t screened = 0;           ///< 0 unknown, 1 valid, 2 invalid
-  std::uint8_t bound = 0;
-  std::uint8_t lb_ready = 0;
-};
-
-/// Batch-arm chain context: candidate state reused across the points of one
-/// chain. The signature (and capacity verdict derived from it) never
-/// changes; the bound SystemTiming changes only through the fabric; the
-/// validity screen of a unit-placement candidate reads only the GPU count.
-/// Each is cached with the stamp that invalidates it. The scalar arm does
-/// not use the context, staying the PR-3-faithful baseline the batch
-/// speedup is measured against.
-struct ChainContext {
-  std::vector<ChainEntry> entries;
-  hw::Topology fabric;          ///< current point's fabric, resolved once
-  std::size_t point = kNoSeed;  ///< ordinal of the current point
-  /// Roofline identity guard: chains key on gpu.name, but with_memory /
-  /// with_compute grids can reuse a name with different rates — detect that
-  /// and drop the bound state (the signatures stay; they are
-  /// hardware-invariant).
-  hw::GpuSpec gpu;
-  BytesPerSec host_bw;
-};
-
-bool same_roofline(const hw::GpuSpec& a, const hw::GpuSpec& b) {
-  return a.tensor_flops.value() == b.tensor_flops.value() &&
-         a.vector_flops.value() == b.vector_flops.value() &&
-         a.flops_latency.value() == b.flops_latency.value() &&
-         a.hbm_bandwidth.value() == b.hbm_bandwidth.value() &&
-         a.hbm_capacity.value() == b.hbm_capacity.value();
-}
-
-/// One grid point: scan the shared candidate list sequentially,
-/// cheapest-lower-bound-first with a point-local incumbent — optionally
-/// seeded by re-timing the chain parent's optimal candidate first.
-/// Sequential on purpose: the sweep's parallelism is across chains, and a
-/// sequential scan both updates the incumbent after every single candidate
-/// (tighter than find_optimal's round barriers) and keeps the per-point
-/// counters independent of the worker count.
-PointOutcome scan_point(SweepShared& sh, const hw::SystemConfig& sys,
-                        const std::vector<parallel::ParallelConfig>& configs,
-                        std::size_t seed_index, core::BatchScratch& scratch,
-                        std::vector<core::PlacementTiming>& timings,
-                        ChainContext* chain) {
-  const SweepOptions& opts = sh.opts;
-  const std::int64_t b = opts.search.global_batch;
-  const core::EvalOptions& eval = opts.search.eval;
-  const std::size_t n = configs.size();
-  PointOutcome out;
-  std::int64_t compile_ns = 0;
-  std::int64_t time_ns = 0;
-  const auto screen_t0 = Clock::now();
-
-  if (chain) {
-    chain->point = chain->point == kNoSeed ? 0 : chain->point + 1;
-    chain->entries.resize(n);
-    chain->fabric = sys.resolved_fabric();
-    if (chain->point == 0 || !same_roofline(chain->gpu, sys.gpu) ||
-        chain->host_bw.value() != sys.host_bandwidth.value()) {
-      for (ChainEntry& e : chain->entries) {
-        e.bound = 0;
-        e.lb_ready = 0;
-      }
-      chain->gpu = sys.gpu;
-      chain->host_bw = sys.host_bandwidth;
-    }
-  }
-
-  // A result only escapes scan_point when it is feasible (better_result
-  // never prefers an infeasible one, and an all-infeasible point reports
-  // the fixed "no feasible configuration" reason), so the batch arm keeps
-  // just the sparse list of feasible results and skips every infeasible
-  // store — reasons, cfg copies, the dense vector itself. The scalar arm
-  // keeps the dense PR-3 bookkeeping it is benchmarked as.
-  std::vector<core::EvalResult> results(chain ? 0 : n);
-  std::vector<std::pair<std::size_t, core::EvalResult>> feasible;
-  std::vector<double> lb(n, 0.0);
-  std::vector<char> pending(n, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const parallel::ParallelConfig& cfg = configs[i];
-    if (!chain) results[i].cfg = cfg;
-    if (chain && cfg.placement_product() == 1) {
-      // A unit-placement candidate's validity reads only the cluster size,
-      // so the verdict survives along the chain (stamped for safety).
-      ChainEntry& e = chain->entries[i];
-      if (e.screened == 0 || e.screen_n_gpus != sys.n_gpus) {
-        e.screened = cfg.invalid_reason(sh.mdl, sys, b) ? 2 : 1;
-        e.screen_n_gpus = sys.n_gpus;
-      }
-      if (e.screened == 2) continue;
-    } else if (auto why = cfg.invalid_reason(sh.mdl, sys, b)) {
-      if (!chain) results[i].reason = *why;
-      continue;
-    }
-    if (chain && opts.search.search_placement) {
-      // Screen-level capacity gate: a candidate compiled on an earlier
-      // point of the chain whose signature already exceeds this point's
-      // HBM is charged its one capacity probe right here and never enters
-      // the scan order — no bounds, no placement lookup, no reduction
-      // visit. (First-point candidates have no signature yet; they gate
-      // inside evaluate_chain after compiling.) Classification shifts from
-      // memory_pruned / bound_pruned to evaluated relative to the scalar
-      // arm, but stays deterministic and thread-invariant — chains are
-      // sequential — and the optima are untouched: an over-capacity
-      // candidate is infeasible under every placement.
-      const ChainEntry& e = chain->entries[i];
-      if (e.sig && e.sig->mem.total() > sys.gpu.hbm_capacity) {
-        ++out.evaluated;
-        continue;
-      }
-    }
-    if (opts.search.prune) {
-      core::SearchBounds bounds;
-      if (chain) {
-        ChainEntry& e = chain->entries[i];
-        if (!e.lb_ready) {
-          e.lb_base = core::search_bounds_base(sh.mdl, sys, cfg, b, eval);
-          e.lb_ready = 1;
-        }
-        bounds = core::finish_search_bounds(e.lb_base, sh.mdl, chain->fabric,
-                                            cfg);
-      } else {
-        bounds = core::search_bounds(sh.mdl, sys, cfg, b, eval);
-      }
-      if (Bytes(bounds.memory_floor) > sys.gpu.hbm_capacity) {
-        if (!chain) results[i].reason = "exceeds HBM capacity";
-        ++out.memory_pruned;
-        continue;
-      }
-      lb[i] = bounds.time_floor;
-    }
-    pending[i] = 1;
-  }
-
-  std::vector<std::size_t> order;
-  order.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (pending[i]) order.push_back(i);
-  }
-  if (opts.search.prune) {
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t c) {
-      return lb[a] != lb[c] ? lb[a] < lb[c] : a < c;
-    });
-  }
-  time_ns += ns_since(screen_t0);
-
-  // Evaluate candidate i through the compile -> bind -> time stages,
-  // returning its achieved iteration time (infinity when infeasible).
-  std::vector<char> done(n, 0);
-
-  // Batch arm: candidate state persists along the chain. A candidate is
-  // compiled once, its capacity verdict decided once, and — if it ever
-  // needs timing — lowered and bound once, with only the fabric restamped
-  // on later points. Over-capacity candidates (the bulk of a large-model
-  // grid) skip bind/lower/timing entirely: better_result never prefers an
-  // infeasible result, so only the eval count must match the reference
-  // scan. Gated shortcuts after the first point are too small to bracket
-  // with the stage clock; the stage profile counts the heavyweight stage
-  // bodies.
-  const auto evaluate_chain = [&](std::size_t i) -> double {
-    parallel::ParallelConfig cfg = configs[i];
-    ChainEntry& e = chain->entries[i];
-    if (!e.sig) {
-      const auto compile_t0 = Clock::now();
-      e.sig = sh.signature_cache.get(sh.mdl, cfg, b, eval, sh.layer_cache);
-      compile_ns += ns_since(compile_t0);
-    }
-    const bool over_capacity = e.sig->mem.total() > sys.gpu.hbm_capacity;
-    if (over_capacity && opts.search.search_placement) {
-      // One capacity probe — the candidate's placements are never
-      // enumerated, looked up, or timed, so the evaluation counters report
-      // the work the batch arm actually did (the reference scans charge the
-      // whole placement set in exhaustive mode; optima are unaffected
-      // either way, only the bookkeeping differs).
-      ++out.evaluated;
-      done[i] = 1;
-      return std::numeric_limits<double>::infinity();
-    }
-    if (!e.bound) {
-      const auto compile_t0 = Clock::now();
-      e.bat = sh.batched_cache.get(e.sig);
-      e.base = core::bind_system_batched(*e.sig, *e.bat, sys, eval);
-      e.fabric_point = chain->point;
-      e.bound = 1;
-      compile_ns += ns_since(compile_t0);
-    } else if (e.fabric_point != chain->point) {
-      e.base.fabric = chain->fabric;
-      e.fabric_point = chain->point;
-    }
-
-    const auto time_t0 = Clock::now();
-    core::EvalResult r;
-    if (opts.search.search_placement) {
-      const auto placements = sh.placement_cache.get(cfg, sys.nvs_domain);
-      std::size_t evals = 0;
-      r = scan_placements_batch(sh.mdl, sys, cfg, b, *e.sig, *e.bat, e.base,
-                                *placements, eval, evals,
-                                /*stop_after_infeasible=*/opts.search.prune,
-                                scratch, timings);
-      if (!timings.empty()) {
-        ++out.batch_calls;
-        out.batch_placements += timings.size();
-      }
-      out.evaluated += evals;
-    } else {
-      pack_placement(cfg, sys.nvs_domain);
-      r = core::time_signature(*e.sig, e.base, sh.mdl, sys, cfg, b, eval);
-      ++out.evaluated;
-    }
-    time_ns += ns_since(time_t0);
-    done[i] = 1;
-    if (!r.feasible) return std::numeric_limits<double>::infinity();
-    const double t = r.iteration();
-    feasible.emplace_back(i, std::move(r));
-    return t;
-  };
-
-  const auto evaluate = [&](std::size_t i) -> double {
-    if (chain) return evaluate_chain(i);
-    parallel::ParallelConfig cfg = configs[i];
-    const auto compile_t0 = Clock::now();
-    const auto sig = sh.signature_cache.get(sh.mdl, cfg, b, eval,
-                                            sh.layer_cache);
-    std::shared_ptr<const core::BatchedSignature> bat;
-    core::SystemTiming base;
-    if (opts.batch) {
-      bat = sh.batched_cache.get(sig);
-      base = core::bind_system_batched(*sig, *bat, sys, eval);
-    } else {
-      base = core::bind_system(*sig, sys, eval);
-    }
-    compile_ns += ns_since(compile_t0);
-
-    const auto time_t0 = Clock::now();
-    core::EvalResult r;
-    if (opts.search.search_placement) {
-      const auto placements = sh.placement_cache.get(cfg, sys.nvs_domain);
-      std::size_t evals = 0;
-      if (opts.batch) {
-        r = scan_placements_batch(sh.mdl, sys, cfg, b, *sig, *bat, base,
-                                  *placements, eval, evals,
-                                  /*stop_after_infeasible=*/opts.search.prune,
-                                  scratch, timings);
-        if (!timings.empty()) {
-          ++out.batch_calls;
-          out.batch_placements += timings.size();
-        }
-      } else {
-        r = scan_placements_signature(
-            sh.mdl, sys, cfg, b, *sig, base, *placements, eval, evals,
-            /*stop_after_infeasible=*/opts.search.prune);
-      }
-      out.evaluated += evals;
-    } else {
-      pack_placement(cfg, sys.nvs_domain);
-      r = core::time_signature(*sig, base, sh.mdl, sys, cfg, b, eval);
-      ++out.evaluated;
-    }
-    time_ns += ns_since(time_t0);
-    done[i] = 1;
-    const double t = r.feasible ? r.iteration()
-                                : std::numeric_limits<double>::infinity();
-    results[i] = std::move(r);
-    return t;
-  };
-
-  double incumbent = std::numeric_limits<double>::infinity();
-
-  // Warm start: re-time the chain parent's optimal candidate first. Its
-  // time at THIS point is an achieved iteration time, so using it as the
-  // incumbent is exactly as conservative as any other achieved time — a
-  // candidate pruned against it satisfies time >= lb > incumbent >= optimum
-  // and can neither be nor tie the optimum. The optimum is therefore
-  // bitwise-unchanged; only the pruning (and eval counts) tighten.
-  if (seed_index != kNoSeed && seed_index < n && pending[seed_index]) {
-    out.warm_seeded = true;
-    const double t = evaluate(seed_index);
-    if (t < incumbent) {
-      incumbent = t;
-      out.warm_seed_feasible = true;
-    }
-  }
-
-  for (std::size_t pos = 0; pos < order.size(); ++pos) {
-    const std::size_t i = order[pos];
-    if (done[i]) continue;
-    if (opts.search.prune && lb[i] > incumbent) {
-      // The order is lb-sorted: everything from here on is provably slower
-      // than an achieved time (and a pruned candidate cannot tie, so the
-      // index-order reduction below still picks find_optimal's answer).
-      for (std::size_t j = pos; j < order.size(); ++j) {
-        if (done[order[j]]) continue;
-        if (!chain) {
-          results[order[j]].reason = "pruned: lower bound above incumbent";
-        }
-        ++out.bound_pruned;
-      }
-      break;
-    }
-    const double t = evaluate(i);
-    if (t < incumbent) incumbent = t;
-  }
-
-  // Reduce in candidate-index order with the shared predicate — the same
-  // tie-breaking walk find_optimal performs, so the two agree bitwise even
-  // between equal-time configurations. The sparse list visits the same
-  // feasible results in the same index order as the dense walk; the dense
-  // walk's extra visits are all infeasible, which the predicate never
-  // prefers.
-  out.best.reason = "no feasible configuration";
-  if (chain) {
-    std::sort(feasible.begin(), feasible.end(),
-              [](const auto& a, const auto& c) { return a.first < c.first; });
-    for (const auto& [i, r] : feasible) {
-      if (better_result(r, out.best)) {
-        out.best = r;
-        out.best_index = i;
-      }
-    }
-  } else {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (better_result(results[i], out.best)) {
-        out.best = results[i];
-        out.best_index = i;
-      }
-    }
-  }
-  if (!out.best.feasible) out.best_index = kNoSeed;
-  sh.compile_ns.fetch_add(compile_ns, std::memory_order_relaxed);
-  sh.time_ns.fetch_add(time_ns, std::memory_order_relaxed);
-  return out;
-}
 
 }  // namespace
 
@@ -465,9 +87,11 @@ SweepResult run_sweep(const model::TransformerConfig& mdl,
     return out;
   }
 
-  // Candidates depend on the system only through its GPU count. The slots
-  // are keyed up front (std::map nodes are stable, so workers may read the
-  // map concurrently) but filled lazily inside the fan-out.
+  // Candidates depend on the system only through the model shape and the
+  // GPU count (never the GPU type or NVS domain), and the model is fixed
+  // across this sweep — so one list per distinct scale. The slots are keyed
+  // up front (std::map nodes are stable, so workers may read the map
+  // concurrently) but filled lazily inside the fan-out.
   std::map<std::int64_t, ScaleSlot> by_scale;
   std::vector<std::int64_t> scale_of(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -489,7 +113,15 @@ SweepResult run_sweep(const model::TransformerConfig& mdl,
     chains[it->second].push_back(i);
   }
 
-  SweepShared sh{mdl, opts};
+  SweepShared sh;
+  const ScanShared scan{mdl,
+                        opts,
+                        sh.layer_cache,
+                        sh.placement_cache,
+                        sh.signature_cache,
+                        sh.batched_cache,
+                        sh.compile_ns,
+                        sh.time_ns};
   const auto wall_t0 = Clock::now();
 
   // Stream chains over the pool. Within a chain the points run in input
@@ -509,7 +141,7 @@ SweepResult run_sweep(const model::TransformerConfig& mdl,
         slot.configs = expand_candidates(mdl, points[i], opts.search);
         sh.enumerate_ns.fetch_add(ns_since(t0), std::memory_order_relaxed);
       });
-      outcomes[i] = scan_point(sh, points[i], slot.configs,
+      outcomes[i] = scan_point(scan, points[i], slot.configs,
                                opts.warm_start ? seed : kNoSeed, scratch,
                                timings, opts.batch ? &ctx : nullptr);
       seed = outcomes[i].best_index;

@@ -136,5 +136,72 @@ TEST(LoadConfigFile, RoundTrip) {
   EXPECT_THROW(load_config_file("does_not_exist.tfpe"), std::runtime_error);
 }
 
+TEST(CodesignSection, BuildsShapeFamilyOptions) {
+  Section s;
+  s["target_params_b"] = "1000";
+  s["tolerance"] = "0.03";
+  s["depths"] = "64, 96, 128";
+  s["heads"] = "96, 128";
+  s["head_dims"] = "128, 160";
+  s["aspect_min"] = "1.5";
+  s["aspect_max"] = "7";
+  s["hidden_multiple"] = "256";
+  s["kv_heads"] = "0, 8";
+  s["moe_experts"] = "0";
+  const model::ShapeFamilyOptions opts = codesign_from_section(s);
+  EXPECT_EQ(opts.target_params, 1000000000000);
+  EXPECT_DOUBLE_EQ(opts.tolerance, 0.03);
+  EXPECT_EQ(opts.depths, (std::vector<std::int64_t>{64, 96, 128}));
+  EXPECT_EQ(opts.heads, (std::vector<std::int64_t>{96, 128}));
+  EXPECT_EQ(opts.head_dims, (std::vector<std::int64_t>{128, 160}));
+  EXPECT_DOUBLE_EQ(opts.aspect_min, 1.5);
+  EXPECT_DOUBLE_EQ(opts.aspect_max, 7.0);
+  EXPECT_EQ(opts.hidden_multiple, 256);
+  EXPECT_EQ(opts.kv_heads, (std::vector<std::int64_t>{0, 8}));
+
+  // Range axes and defaults survive when the lists are absent.
+  Section r;
+  r["depth_min"] = "32";
+  r["depth_max"] = "64";
+  r["depth_step"] = "32";
+  const model::ShapeFamilyOptions ranged = codesign_from_section(r);
+  EXPECT_EQ(ranged.target_params, 0);
+  EXPECT_EQ(ranged.depth_min, 32);
+  EXPECT_EQ(ranged.depth_max, 64);
+  EXPECT_TRUE(ranged.depths.empty());
+}
+
+TEST(CodesignSection, RejectsBadValuesAndUnknownKeys) {
+  Section s;
+  s["target_params_b"] = "-1";
+  EXPECT_THROW(codesign_from_section(s), std::runtime_error);
+  s.clear();
+  s["tolerance"] = "1.5";
+  EXPECT_THROW(codesign_from_section(s), std::runtime_error);
+  s.clear();
+  s["depths"] = "64, zero";
+  EXPECT_THROW(codesign_from_section(s), std::runtime_error);
+  s.clear();
+  s["depths"] = "0";
+  EXPECT_THROW(codesign_from_section(s), std::runtime_error);
+  s.clear();
+  s["depth_planes"] = "4";
+  EXPECT_THROW(codesign_from_section(s), std::runtime_error);
+}
+
+TEST(LoadConfigFile, ParsesCodesignSection) {
+  const std::string path = "tfpe_test_codesign.tfpe";
+  {
+    std::ofstream out(path);
+    out << "[model]\npreset = gpt3-1t\n\n"
+        << "[codesign]\ntolerance = 0.04\ndepths = 96, 128\n";
+  }
+  const LoadedConfig loaded = load_config_file(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.codesign.has_value());
+  EXPECT_DOUBLE_EQ(loaded.codesign->tolerance, 0.04);
+  EXPECT_EQ(loaded.codesign->depths, (std::vector<std::int64_t>{96, 128}));
+}
+
 }  // namespace
 }  // namespace tfpe::io

@@ -208,5 +208,107 @@ TEST(ConfigLint, SuppressionSilencesARule) {
   EXPECT_TRUE(io::lint_config_text(in, "test.tfpe", opts).clean());
 }
 
+// ------------------------------------------------------- [codesign] rules
+
+/// A schema-clean [codesign] section (with a base [model] so the
+/// empty-family probe can run) that must lint clean — the baseline every
+/// mutation below perturbs by exactly one key.
+const char* kCleanCodesign =
+    "[model]\n"
+    "preset = gpt3-175b\n"
+    "[codesign]\n"
+    "target_params_b = 175\n"
+    "tolerance = 0.05\n"
+    "depths = 48, 96, 192\n"
+    "heads = 64, 96\n"
+    "head_dims = 128\n"
+    "aspect_min = 1.0\n"
+    "aspect_max = 8.0\n"
+    "hidden_multiple = 128\n"
+    "kv_heads = 0\n"
+    "moe_experts = 0\n";
+
+TEST(ConfigLint, CleanCodesignSectionIsClean) {
+  const LintReport report = lint(kCleanCodesign);
+  EXPECT_TRUE(report.clean()) << report.summary();
+}
+
+/// Replace the line starting with `key` in kCleanCodesign by `mutation`.
+std::string mutate_codesign(const std::string& key,
+                            const std::string& mutation) {
+  std::string text(kCleanCodesign);
+  const auto at = text.find("\n" + key);
+  EXPECT_NE(at, std::string::npos) << key;
+  const auto end = text.find('\n', at + 1);
+  return text.substr(0, at + 1) + mutation + text.substr(end);
+}
+
+TEST(ConfigLint, CodesignBudgetMutationsFire) {
+  for (const char* mutation :
+       {"target_params_b = -1", "target_params_b = many",
+        "tolerance = 0", "tolerance = 1", "tolerance = -0.1",
+        "tolerance = approximately"}) {
+    const std::string key =
+        std::string(mutation).substr(0, std::string(mutation).find(' '));
+    const LintReport report = lint(mutate_codesign(key, mutation));
+    const auto& d = first(report, RuleId::kCodesignBudget);
+    EXPECT_EQ(d.severity, Severity::kError) << mutation;
+    EXPECT_EQ(d.file, "test.tfpe") << mutation;
+    EXPECT_GT(d.line, 0) << mutation;
+    EXPECT_EQ(d.code(), "TFPE-CODESIGN-001") << mutation;
+  }
+}
+
+TEST(ConfigLint, CodesignAxisMutationsFire) {
+  const std::pair<const char*, const char*> mutations[] = {
+      {"depths", "depths = 48, 0, 192"},
+      {"depths", "depths = 48, deep"},
+      {"heads", "heads = -64"},
+      {"head_dims", "head_dims = 0"},
+      {"kv_heads", "kv_heads = -1"},
+      {"moe_experts", "moe_experts = -8"},
+      {"aspect_min", "aspect_min = 0"},
+      {"aspect_max", "aspect_max = -2"},
+      {"aspect_min", "aspect_min = 9.5"},  // exceeds aspect_max = 8.0
+      {"hidden_multiple", "hidden_multiple = 0"},
+  };
+  for (const auto& [key, mutation] : mutations) {
+    const LintReport report = lint(mutate_codesign(key, mutation));
+    const auto& d = first(report, RuleId::kCodesignAxis);
+    EXPECT_EQ(d.severity, Severity::kError) << mutation;
+    EXPECT_GT(d.line, 0) << mutation;
+    EXPECT_EQ(d.code(), "TFPE-CODESIGN-002") << mutation;
+  }
+}
+
+TEST(ConfigLint, CodesignRangeAxisMutationsFire) {
+  const LintReport report = lint(
+      "[codesign]\n"
+      "depth_min = 96\n"
+      "depth_max = 32\n"
+      "heads_step = 0\n");
+  EXPECT_GE(count_rule(report, RuleId::kCodesignAxis), 2u)
+      << report.summary();
+  const auto& d = first(report, RuleId::kCodesignAxis);
+  EXPECT_EQ(d.file, "test.tfpe");
+}
+
+TEST(ConfigLint, CodesignEmptyFamilyWarns) {
+  // A 1000x parameter budget no shape in these narrow axes can reach.
+  const LintReport report =
+      lint(mutate_codesign("target_params_b", "target_params_b = 175000"));
+  const auto& d = first(report, RuleId::kCodesignEmptyFamily);
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_EQ(d.code(), "TFPE-CODESIGN-003");
+  EXPECT_EQ(report.errors(), 0u) << report.summary();
+}
+
+TEST(ConfigLint, CodesignUnknownKeyFires) {
+  const LintReport report =
+      lint(mutate_codesign("hidden_multiple", "hidden_multiples = 128"));
+  const auto& d = first(report, RuleId::kConfigUnknownKey);
+  EXPECT_NE(d.message.find("hidden_multiples"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tfpe

@@ -78,6 +78,8 @@ TEST(RuleRegistry, KnownAnchorCodesAreStable) {
             "TFPE-BATCH-006");
   EXPECT_EQ(analysis::rule_info(RuleId::kConfigMissingKey).code,
             "TFPE-CFG-006");
+  EXPECT_EQ(analysis::rule_info(RuleId::kCodesignEmptyFamily).code,
+            "TFPE-CODESIGN-003");
 }
 
 // -------------------------------------------------------------------- sink

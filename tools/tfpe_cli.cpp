@@ -14,6 +14,8 @@
 #include <fstream>
 #include <iostream>
 
+#include <chrono>
+
 #include "analysis/consistency.hpp"
 #include "analysis/invariants.hpp"
 #include "core/batched_signature.hpp"
@@ -21,6 +23,7 @@
 #include "io/config_file.hpp"
 #include "io/config_lint.hpp"
 #include "io/plan_io.hpp"
+#include "search/codesign.hpp"
 #include "search/sweep_lint.hpp"
 #include "report/breakdown_report.hpp"
 #include "report/markdown_report.hpp"
@@ -76,7 +79,9 @@ int usage(const char* msg) {
       "\n"
       "subcommands:\n"
       "  lint [PLAN_PATH]    check built op lists against the paper's\n"
-      "                      conservation laws (see: tfpe lint --help)\n";
+      "                      conservation laws (see: tfpe lint --help)\n"
+      "  codesign            iso-parameter architecture x config search\n"
+      "                      (see: tfpe codesign --help)\n";
   return msg ? 2 : 0;
 }
 
@@ -386,12 +391,230 @@ int run_lint(const util::ArgParser& args) {
   return finish_lint(sink.take(), format, strict);
 }
 
+// --- `tfpe codesign`: architecture x configuration co-design search -------
+
+int codesign_usage(const char* msg) {
+  if (msg) std::cerr << "error: " << msg << "\n\n";
+  std::cerr <<
+      "usage: tfpe codesign [--model NAME | --config PATH] [options]\n"
+      "\n"
+      "Enumerates every transformer shape within a tolerance of the base\n"
+      "model's parameter budget ([codesign] axes in the config file, or the\n"
+      "defaults), crosses the family with a gpu x nvs hardware grid and\n"
+      "reports, per grid point, the winning (shape, parallelization,\n"
+      "placement) triple. Every reported result is bitwise identical to\n"
+      "find_optimal on that (shape, point); shapes whose architecture-level\n"
+      "compute floor exceeds the cross-shape incumbent are pruned whole.\n"
+      "\n"
+      "  --model NAME        base preset the family is iso to (default gpt3-1t)\n"
+      "  --config PATH       load [model] and/or [codesign] from a file\n"
+      "  --target-params B   override the parameter budget [billions]\n"
+      "  --tolerance F       override the relative band (default 0.02)\n"
+      "  --gpu LIST          generations to grid (default a100,h200,b200)\n"
+      "  --nvs LIST          NVS-domain sizes to grid (default 8)\n"
+      "  --gpus N            total GPUs (default 1024)\n"
+      "  --batch B           global batch (default 4096)\n"
+      "  --threads N         worker threads (0 = hardware concurrency)\n"
+      "  --no-prune-shapes   keep the full exact per-shape matrix\n"
+      "  --no-batch          scalar placement walk (A/B baseline)\n"
+      "  --no-warm-start     cold incumbents (A/B baseline)\n"
+      "  --verify-per-shape  cross-check every scanned (shape, point) and\n"
+      "                      winner bitwise against per-shape find_optimal;\n"
+      "                      exits nonzero on any mismatch\n"
+      "  --csv PATH          write per-point winners as CSV\n";
+  return msg ? 2 : 0;
+}
+
+int run_codesign_cmd(const util::ArgParser& args) {
+  if (args.has("help")) return codesign_usage(nullptr);
+
+  io::LoadedConfig file_cfg;
+  if (const auto path = args.get("config")) {
+    try {
+      file_cfg = io::load_config_file(*path);
+    } catch (const std::exception& e) {
+      return codesign_usage(e.what());
+    }
+  }
+  model::TransformerConfig base;
+  const std::string model_name =
+      args.get_or("model", file_cfg.model ? "from-config" : "gpt3-1t");
+  if (model_name == "from-config") {
+    base = *file_cfg.model;
+  } else if (const auto preset = model::preset_by_name(model_name)) {
+    base = *preset;
+  } else {
+    return codesign_usage(("unknown model '" + model_name + "'").c_str());
+  }
+
+  model::ShapeFamilyOptions fam =
+      file_cfg.codesign ? *file_cfg.codesign : model::ShapeFamilyOptions{};
+  if (args.has("target-params")) {
+    fam.target_params = static_cast<std::int64_t>(
+        args.get_double_or("target-params", 0.0) * 1e9);
+  }
+  if (args.has("tolerance")) {
+    fam.tolerance = args.get_double_or("tolerance", fam.tolerance);
+  }
+
+  std::vector<hw::GpuGeneration> gens;
+  for (const auto& name :
+       util::split_list(args.get_or("gpu", "a100,h200,b200"))) {
+    const auto gen = gen_by_name(name);
+    if (!gen) return codesign_usage(("unknown gpu '" + name + "'").c_str());
+    gens.push_back(*gen);
+  }
+  std::vector<std::int64_t> nvs;
+  for (const auto& v : util::split_list(args.get_or("nvs", "8"))) {
+    nvs.push_back(std::stoll(v));
+  }
+  const std::int64_t n_gpus = args.get_int_or("gpus", 1024);
+
+  search::CodesignOptions opts;
+  opts.sweep.search.global_batch = args.get_int_or("batch", 4096);
+  opts.sweep.threads = static_cast<unsigned>(args.get_int_or("threads", 0));
+  opts.sweep.batch = !args.has("no-batch");
+  opts.sweep.warm_start = !args.has("no-warm-start");
+  opts.prune_shapes = !args.has("no-prune-shapes");
+  const bool verify = args.has("verify-per-shape");
+  const std::string csv = args.get_or("csv", "");
+
+  const auto stray = args.unused();
+  if (!stray.empty()) {
+    return codesign_usage(("unknown flag --" + stray.front()).c_str());
+  }
+
+  std::vector<model::TransformerConfig> shapes;
+  try {
+    shapes = model::shape_family(base, fam);
+  } catch (const std::exception& e) {
+    return codesign_usage(e.what());
+  }
+  const std::int64_t target =
+      fam.target_params > 0 ? fam.target_params : base.total_params();
+  std::cout << "Family: " << shapes.size() << " shapes iso to "
+            << util::format_fixed(static_cast<double>(target) / 1e9, 1)
+            << "B params (+/-"
+            << util::format_fixed(100.0 * fam.tolerance, 1) << "%) around "
+            << base.name << "\n";
+  if (shapes.empty()) {
+    std::cerr << "empty shape family — widen the axes or the tolerance\n";
+    return 1;
+  }
+  const auto points = search::hardware_grid(gens, nvs, n_gpus);
+  std::cout << "Grid:   " << points.size() << " hardware points x "
+            << shapes.size() << " shapes, batch "
+            << opts.sweep.search.global_batch << ", " << n_gpus << " GPUs\n\n";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  search::CodesignResult run;
+  try {
+    run = search::run_codesign(shapes, points, opts);
+  } catch (const std::exception& e) {
+    return codesign_usage(e.what());
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::vector<report::LabeledResult> rows;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const auto& w = run.best[p];
+    const std::string label = points[p].gpu.name + " nvs" +
+                              std::to_string(points[p].nvs_domain);
+    if (w.shape == search::CodesignResult::kNoShape) {
+      std::cout << label << ": no feasible shape\n";
+      continue;
+    }
+    std::cout << label << ": " << shapes[w.shape].name << " — "
+              << util::format_time(w.best.iteration()) << "/iteration, "
+              << w.best.cfg.describe() << "\n";
+    rows.push_back({label + " " + shapes[w.shape].name, w.best});
+  }
+
+  const auto& st = run.stats;
+  std::printf(
+      "\n%zu shape-points: %zu floor-pruned, %zu scanned (%zu feasible)  "
+      "%.3fs  %.1f shape-points/s\n",
+      st.shapes * st.points, st.shapes_pruned, st.shapes_evaluated,
+      st.feasible_shape_points, seconds,
+      seconds > 0 ? static_cast<double>(st.shapes * st.points) / seconds : 0.0);
+  std::printf(
+      "enumerations=%zu (%zu memo hits)  candidates=%zu  evaluated=%zu  "
+      "bound-pruned=%zu  warm-seeds=%zu/%zu\n",
+      st.enumerations, st.enumeration_hits, st.candidates, st.evaluated,
+      st.bound_pruned, st.warm_seed_feasible, st.warm_seeded);
+
+  if (verify) {
+    // Legacy-style cross-check: one find_optimal per (shape, point), the
+    // winner re-derived by the same shape-order reduction. Every scanned
+    // matrix entry and every winner must match bitwise.
+    std::size_t mismatches = 0;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      core::EvalResult ref;
+      std::size_t ref_shape = search::CodesignResult::kNoShape;
+      for (std::size_t s = 0; s < shapes.size(); ++s) {
+        search::SearchOptions per_point = opts.sweep.search;
+        per_point.threads = opts.sweep.threads;
+        const auto direct =
+            search::find_optimal(shapes[s], points[p], per_point);
+        if (search::better_result(direct.best, ref)) {
+          ref = direct.best;
+          ref_shape = s;
+        }
+        if (run.pruned[s][p]) continue;
+        const auto& got = run.per_shape[s][p];
+        const bool same =
+            direct.best.feasible == got.feasible &&
+            (!got.feasible ||
+             (direct.best.cfg.describe() == got.cfg.describe() &&
+              direct.best.iteration() == got.iteration() &&
+              direct.best.mem.total().value() == got.mem.total().value()));
+        if (!same) {
+          ++mismatches;
+          std::cerr << "MISMATCH at " << shapes[s].name << " x "
+                    << points[p].gpu.name << " nvs" << points[p].nvs_domain
+                    << "\n";
+        }
+      }
+      const auto& w = run.best[p];
+      const bool winner_same =
+          ref_shape == w.shape &&
+          (ref_shape == search::CodesignResult::kNoShape ||
+           (ref.cfg.describe() == w.best.cfg.describe() &&
+            ref.iteration() == w.best.iteration() &&
+            ref.mem.total().value() == w.best.mem.total().value()));
+      if (!winner_same) {
+        ++mismatches;
+        std::cerr << "WINNER MISMATCH at " << points[p].gpu.name << " nvs"
+                  << points[p].nvs_domain << "\n";
+      }
+    }
+    if (mismatches != 0) {
+      std::cerr << mismatches
+                << " results differ from per-shape find_optimal\n";
+      return 1;
+    }
+    std::cout << "verify-per-shape: all scanned results and winners bitwise "
+                 "identical to find_optimal\n";
+  }
+
+  if (!csv.empty()) {
+    report::write_results_csv(csv, rows);
+    std::cout << "CSV written to " << csv << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
   if (!args.positional().empty() && args.positional().front() == "lint") {
     return run_lint(args);
+  }
+  if (!args.positional().empty() && args.positional().front() == "codesign") {
+    return run_codesign_cmd(args);
   }
   if (args.has("help")) return usage(nullptr);
 

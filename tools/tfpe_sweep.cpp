@@ -18,7 +18,7 @@
 // Usage: tfpe-sweep spec.tfpe [--output path] [--engine signature|legacy]
 //                             [--threads N] [--batch | --no-batch]
 //                             [--warm-start] [--profile-stages]
-//                             [--verify-legacy] [--ablate-topology]
+//                             [--verify-legacy] [--ablate-topology] [--arch]
 //
 // The hardware axes (gpu, nvs, oversub) of each (model, strategy, batch,
 // gpus) slice run through search::run_sweep: candidates are enumerated once,
@@ -39,6 +39,14 @@
 // its chain predecessor's optimum. Both knobs change throughput only —
 // every optimum stays bitwise identical. --profile-stages prints per-stage
 // busy seconds (enumerate / compile / time) and their overlap factor.
+//
+// --arch adds the architecture axis: every model on the axis expands into
+// its iso-parameter shape family (the spec's [codesign] section, or the
+// defaults; see io/config_file.hpp) and each slice runs through
+// search::run_codesign with the full exact per-shape matrix, one CSV row
+// per (shape, hardware point) with the shape's name in the model column —
+// the CSV schema is unchanged. --verify-legacy then cross-checks the
+// matrix bitwise against the naive one-find_optimal-per-pair arm.
 
 #include <chrono>
 #include <cstdio>
@@ -47,6 +55,7 @@
 
 #include "hw/topology.hpp"
 #include "io/config_file.hpp"
+#include "search/codesign.hpp"
 #include "search/sweep.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
@@ -64,6 +73,7 @@ int usage(const char* msg) {
                "                  [--batch | --no-batch] [--warm-start]\n"
                "                  [--profile-stages]\n"
                "                  [--verify-legacy] [--ablate-topology]\n"
+               "                  [--arch]\n"
                "see the header of tools/tfpe_sweep.cpp for the spec format\n";
   return 2;
 }
@@ -139,6 +149,18 @@ int main(int argc, char** argv) {
   }
   const bool verify_legacy = args.has("verify-legacy");
   const bool ablate_topology = args.has("ablate-topology");
+  const bool arch = args.has("arch");
+  if (arch && ablate_topology) {
+    return usage("--arch and --ablate-topology are mutually exclusive");
+  }
+  model::ShapeFamilyOptions family_opts;
+  if (const auto cs = sections.find("codesign"); cs != sections.end()) {
+    try {
+      family_opts = io::codesign_from_section(cs->second);
+    } catch (const std::exception& e) {
+      return usage(e.what());
+    }
+  }
   if (args.has("batch") && args.has("no-batch")) {
     return usage("--batch and --no-batch are mutually exclusive");
   }
@@ -191,6 +213,15 @@ int main(int argc, char** argv) {
   std::size_t ablation_mismatches = 0;
   std::size_t ablation_checked = 0;
 
+  /// --arch: one row per (shape, hardware point), shape name in the model
+  /// column — appended slice by slice in spec nesting order.
+  struct ArchRow {
+    Point p;
+    core::EvalResult r;
+    std::int64_t seq_len = 0;
+  };
+  std::vector<ArchRow> arch_rows;
+
   for (const auto& model_name : models) {
     const auto mdl = model::preset_by_name(model_name);
     for (const auto& n_s : scale_axis) {
@@ -222,6 +253,70 @@ int main(int argc, char** argv) {
           opts.use_signatures = engine == "signature";
           opts.batch = batch;
           opts.warm_start = warm_start;
+
+          if (arch) {
+            // Architecture axis: expand the slice's model into its
+            // iso-parameter family and run the co-design engine with the
+            // full exact per-shape matrix (every row must be a true
+            // find_optimal result, so shape pruning stays off here).
+            std::vector<model::TransformerConfig> shapes;
+            try {
+              shapes = model::shape_family(*mdl, family_opts);
+            } catch (const std::exception& e) {
+              return usage(e.what());
+            }
+            if (shapes.empty()) {
+              return usage(("[codesign] enumerates zero shapes around " +
+                            model_name)
+                               .c_str());
+            }
+            search::CodesignOptions copts;
+            copts.sweep = opts;
+            copts.prune_shapes = false;
+            const auto t0 = std::chrono::steady_clock::now();
+            search::CodesignResult cr =
+                search::run_codesign(shapes, grid, copts);
+            sweep_seconds +=
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            totals.candidates += cr.stats.candidates;
+            totals.evaluated += cr.stats.evaluated;
+            totals.signature_compiles += cr.stats.signature_compiles;
+            totals.signature_cache_hits += cr.stats.signature_cache_hits;
+            totals.batch_calls += cr.stats.batch_calls;
+            totals.batch_placements += cr.stats.batch_placements;
+            totals.warm_seeded += cr.stats.warm_seeded;
+            totals.warm_seed_feasible += cr.stats.warm_seed_feasible;
+            totals.profile.enumerate_s += cr.stats.profile.enumerate_s;
+            totals.profile.compile_s += cr.stats.profile.compile_s;
+            totals.profile.time_s += cr.stats.profile.time_s;
+            totals.profile.wall_s += cr.stats.profile.wall_s;
+
+            search::CodesignResult naive;
+            if (verify_legacy) {
+              search::CodesignOptions other = copts;
+              other.sweep.use_signatures = !copts.sweep.use_signatures;
+              naive = search::run_codesign(shapes, grid, other);
+            }
+            for (std::size_t s = 0; s < shapes.size(); ++s) {
+              for (std::size_t j = 0; j < slice.size(); ++j) {
+                Point p = points[slice[j]];
+                p.model = shapes[s].name;
+                arch_rows.push_back(
+                    {std::move(p), cr.per_shape[s][j], shapes[s].seq_len});
+                if (verify_legacy &&
+                    !identical_optimum(cr.per_shape[s][j],
+                                       naive.per_shape[s][j])) {
+                  ++mismatches;
+                  std::cerr << "MISMATCH at " << shapes[s].name << " "
+                            << points[slice[j]].gpu << " nvs"
+                            << points[slice[j]].nvs << "\n";
+                }
+              }
+            }
+            continue;
+          }
 
           const auto t0 = std::chrono::steady_clock::now();
           search::SweepResult sr = run_sweep(*mdl, grid, opts);
@@ -297,15 +392,14 @@ int main(int argc, char** argv) {
                     "batch", "feasible", "config", "iter_s",
                     "tokens_per_s_per_gpu", "hbm_gb"});
   std::size_t feasible = 0;
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const Point& p = points[i];
-    const core::EvalResult& r = results[i];
+  const std::size_t n_rows = arch ? arch_rows.size() : points.size();
+  const auto emit_row = [&](std::size_t i, const Point& p,
+                            const core::EvalResult& r, std::int64_t seq_len) {
     if (r.feasible) ++feasible;
-    const auto mdl = model::preset_by_name(p.model);
     const auto n = static_cast<double>(std::stoll(p.gpus));
     const double tps =
         r.feasible ? static_cast<double>(std::stoll(p.batch)) *
-                         static_cast<double>(mdl->seq_len) / r.iteration() / n
+                         static_cast<double>(seq_len) / r.iteration() / n
                    : 0.0;
     csv.write_row(std::vector<std::string>{
         p.model, p.gpu, p.nvs, p.oversub, p.gpus, p.strategy, p.batch,
@@ -319,12 +413,22 @@ int main(int argc, char** argv) {
               << p.strategy << " b" << p.batch << ": "
               << (r.feasible ? util::format_time(r.iteration()) : "infeasible")
               << "\n";
+  };
+  if (arch) {
+    for (std::size_t i = 0; i < arch_rows.size(); ++i) {
+      emit_row(i, arch_rows[i].p, arch_rows[i].r, arch_rows[i].seq_len);
+    }
+  } else {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      emit_row(i, points[i], results[i],
+               model::preset_by_name(points[i].model)->seq_len);
+    }
   }
 
-  std::cout << points.size() << " sweep points (" << feasible
+  std::cout << n_rows << " sweep points (" << feasible
             << " feasible) written to " << output << "\n";
   const double pps = sweep_seconds > 0.0
-                         ? static_cast<double>(points.size()) / sweep_seconds
+                         ? static_cast<double>(n_rows) / sweep_seconds
                          : 0.0;
   std::printf("engine=%s  %.3fs  %.1f points/s", engine.c_str(), sweep_seconds,
               pps);
@@ -354,7 +458,7 @@ int main(int argc, char** argv) {
                 << "and legacy engines\n";
       return 1;
     }
-    std::cout << "verify-legacy: all " << points.size()
+    std::cout << "verify-legacy: all " << n_rows
               << " optima bitwise identical across engines\n";
   }
   if (ablate_topology) {
