@@ -216,6 +216,7 @@ void write_json(const std::vector<Sample>& samples, std::size_t n_shapes,
        << ", \"warm_seed_feasible\": " << st.warm_seed_feasible
        << ", \"signature_compiles\": " << st.signature_compiles
        << ", \"signature_cache_hits\": " << st.signature_cache_hits
+       << ", \"signature_reuses\": " << st.signature_reuses
        << ", \"batch_calls\": " << st.batch_calls
        << ", \"batch_placements\": " << st.batch_placements << "}"
        << (i + 1 < samples.size() ? "," : "") << "\n";
@@ -240,19 +241,32 @@ void write_json(const std::vector<Sample>& samples, std::size_t n_shapes,
   os << "\n  ]\n}\n";
 }
 
-int run_driver() {
-  const auto shapes = family();
+int run_driver(bool quick) {
+  // Quick mode (CI perf smoke): the trimmed BM_Codesign family — one
+  // head_dim, MHA only, dense + MoE so the prune arm still fires — at
+  // threads=1, so the exactness contract and the engine arms run in
+  // seconds while the full driver keeps the >= 200-shape band.
+  std::vector<model::TransformerConfig> shapes;
+  if (quick) {
+    model::ShapeFamilyOptions fam;
+    fam.tolerance = kTolerance;
+    fam.head_dims = {128};
+    fam.moe_experts = {0, 8};
+    shapes = model::shape_family(model::gpt3_1t(), fam);
+  } else {
+    shapes = family();
+  }
   const auto points = grid();
   std::printf("family: %zu shapes iso to 1T (+/-%.0f%%), %zu grid points\n",
               shapes.size(), 100.0 * kTolerance, points.size());
-  if (shapes.size() < 200) {
+  if (!quick && shapes.size() < 200) {
     std::cerr << "family shrank below 200 shapes — widen the axes\n";
     return 1;
   }
 
   const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
   std::vector<unsigned> thread_axis{1};
-  if (cores > 1) thread_axis.push_back(cores);
+  if (!quick && cores > 1) thread_axis.push_back(cores);
 
   std::vector<Sample> samples;
   for (unsigned threads : thread_axis) {
@@ -260,7 +274,7 @@ int run_driver() {
       // The naive arm re-runs find_optimal for every pair and dominates the
       // wall clock; one repeat is stable at this size. The engine arms take
       // min-of-3.
-      const int repeats = mode == Mode::kNaive ? 1 : 3;
+      const int repeats = mode == Mode::kNaive ? 1 : (quick ? 2 : 3);
       samples.push_back(run_once(shapes, points, mode, threads, repeats));
       const Sample& s = samples.back();
       const auto& st = s.result.stats;
@@ -301,14 +315,18 @@ int run_driver() {
 
 int main(int argc, char** argv) {
   // `--driver` (or no google-benchmark flags) runs the A/B driver that
-  // emits BENCH_codesign.json; benchmark flags run the registered cases.
+  // emits BENCH_codesign.json; `--quick` trims it for CI; benchmark flags
+  // run the registered cases.
   const bool no_args = argc == 1;
+  bool driver = false, quick = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--driver") return run_driver();
+    if (std::string(argv[i]) == "--driver") driver = true;
+    if (std::string(argv[i]) == "--quick") quick = true;
   }
+  if (driver || quick) return run_driver(quick);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  if (no_args) return run_driver();
+  if (no_args) return run_driver(false);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -244,7 +244,10 @@ LintReport lint_batch_scratch(const core::BatchedSignature& bat,
   };
 
   // Column maps: one entry per placement, each indexing a distinct-nvs slot.
+  // Only the groups the pool actually uses are columned (unused groups may
+  // carry stale state; the kernel never reads them).
   for (std::size_t g = 0; g < 4; ++g) {
+    if (!(bat.comm_groups_mask & (1u << g))) continue;
     const std::string name = "group[" + std::to_string(g) + "]";
     if (scratch.nvs_column[g].size() != n_placements) {
       diag(name, static_cast<double>(n_placements),
@@ -283,10 +286,22 @@ LintReport lint_batch_scratch(const core::BatchedSignature& bat,
          static_cast<double>(scratch.comm_table.size()),
          "comm_table cell count");
   }
-  if (scratch.cell_priced.size() != cells) {
+  if (scratch.cell_epoch.size() != cells) {
     diag("<scratch>", static_cast<double>(cells),
-         static_cast<double>(scratch.cell_priced.size()),
-         "cell_priced flag count");
+         static_cast<double>(scratch.cell_epoch.size()),
+         "cell_epoch stamp count");
+  }
+  // Pre-walked placements: one per distinct-nvs column of every group the
+  // pool actually uses (unused groups may carry stale state; the kernel
+  // never reads them).
+  for (std::size_t g = 0; g < 4; ++g) {
+    if (!(bat.comm_groups_mask & (1u << g))) continue;
+    if (scratch.placed[g].size() != scratch.distinct_nvs[g].size()) {
+      diag("group[" + std::to_string(g) + "]",
+           static_cast<double>(scratch.distinct_nvs[g].size()),
+           static_cast<double>(scratch.placed[g].size()),
+           "placed-group count out of step with the distinct-nvs list");
+    }
   }
   if (scratch.block_keys.size() != scratch.blocks.size()) {
     diag("<scratch>", static_cast<double>(scratch.blocks.size()),

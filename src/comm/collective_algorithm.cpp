@@ -286,6 +286,168 @@ Seconds collective_time(const hw::Topology& topo, ops::Collective coll,
   return collective_time(topo, coll, bytes, make_placement(topo, g));
 }
 
+void FabricPricer::rebind(const hw::Topology& topo) {
+  if (topo.empty()) {
+    throw std::invalid_argument("FabricPricer: empty topology");
+  }
+  if (topo.depth() > hw::Topology::kMaxDepth) {
+    throw std::invalid_argument("FabricPricer: topology deeper than " +
+                                std::to_string(hw::Topology::kMaxDepth));
+  }
+  topo_ = &topo;
+  depth_ = topo.depth();
+  for (std::size_t i = 0; i < depth_; ++i) {
+    // The cached value IS member_bandwidth's result — not a refactored
+    // expression — so reading it later cannot change any downstream bits.
+    member_bw_[i] = member_bandwidth(topo, i);
+    latency_[i] = topo.levels[i].latency;
+  }
+  enable_tree_ = topo.enable_tree;
+  enable_ll_ = topo.enable_ll;
+  enable_hier_ = topo.enable_hierarchical;
+  ll_latency_scale_ = topo.ll_latency_scale;
+  ll_bandwidth_scale_ = topo.ll_bandwidth_scale;
+  place_memo_.clear();
+}
+
+FabricPricer::Placed FabricPricer::place(GroupPlacement g) const {
+  return place_ref(g);
+}
+
+const FabricPricer::Placed& FabricPricer::place_ref(GroupPlacement g) const {
+  if (!bound()) throw std::logic_error("FabricPricer::place: unbound pricer");
+  for (const PlaceMemoEntry& m : place_memo_) {
+    if (m.size == g.size && m.nvs == g.nvs) return m.pl;
+  }
+  if (const auto why = invalid_placement_reason(*topo_, g)) {
+    // Same rejection (and message) as the validating collective_time
+    // overload this fast path replaces.
+    throw std::invalid_argument(
+        "collective_time: " + *why + " (size=" + std::to_string(g.size) +
+        ", nvs=" + std::to_string(g.nvs) + ")");
+  }
+  place_memo_.push_back({g.size, g.nvs, place_topo(make_placement(*topo_, g))});
+  return place_memo_.back().pl;
+}
+
+FabricPricer::Placed FabricPricer::place_topo(const TopoPlacement& p) const {
+  if (!bound()) throw std::logic_error("FabricPricer::place: unbound pricer");
+  const hw::Topology& topo = *topo_;
+  check_placement(topo, p);
+  Placed pl;
+  pl.p = p;
+
+  // Flat ring (every collective): the exact sub-results RingAlgorithm::time
+  // derives per call, computed by the same functions.
+  const double gsz = static_cast<double>(p.size);
+  pl.ring_factor = (gsz - 1.0) / gsz;
+  pl.ar_factor = 2.0 * pl.ring_factor;
+  pl.ring_lat = ring_latency(topo, p);
+  pl.ar_ring_lat = pl.ring_lat * 2.0;  // the walk's `latency *= 2.0`
+  pl.eff_bw = effective_bandwidth(topo, p);
+  if (enable_ll_) {
+    pl.ll_lat = pl.ring_lat * ll_latency_scale_;
+    pl.ar_ll_lat = pl.ar_ring_lat * ll_latency_scale_;
+    pl.eff_ll_bw = pl.eff_bw * ll_bandwidth_scale_;
+  }
+
+  if (enable_tree_) {
+    // tree_time's latency accumulation, verbatim.
+    double units_prev = gsz;
+    Seconds latency;
+    for (std::size_t i = 0; i < depth_; ++i) {
+      const double units = gsz / static_cast<double>(p.occupancy[i]);
+      const double branching =
+          i == 0 ? static_cast<double>(p.occupancy[0]) : units_prev / units;
+      const double depth =
+          branching > 1.0 ? std::ceil(std::log2(branching)) : 0.0;
+      latency += topo.levels[i].latency * depth;
+      units_prev = units;
+    }
+    pl.tree_lat = latency;
+    pl.ar_tree_lat = latency * 2.0;
+  }
+
+  if (enable_hier_) {
+    // hierarchical_time's per-phase pure terms: the shard entering each
+    // phase, the (oversubscription-adjusted) bandwidth, and the latency /
+    // (k-1)/k products — bytes enters only through (bytes * shard) / bw.
+    double shard = 1.0;
+    std::int64_t prev_occ = 1;
+    for (std::size_t i = 0; i < depth_; ++i) {
+      const std::int64_t occ = p.occupancy[i];
+      if (occ <= prev_occ) continue;
+      const hw::FabricLevel& lvl = topo.levels[i];
+      const double k = static_cast<double>(occ) / static_cast<double>(prev_occ);
+      BytesPerSec bw = member_bandwidth(topo, i);
+      if (i > 0 && oversubscribed(lvl, p.size)) bw /= lvl.oversubscription;
+      Placed::HierPhase& h = pl.hier[pl.hier_phases++];
+      h.lat_term = lvl.latency * (k - 1.0);
+      h.coef = (k - 1.0) / k;
+      h.shard = shard;
+      h.bw = bw;
+      shard /= k;
+      prev_occ = occ;
+    }
+  }
+
+  // P2P: the innermost level both endpoints share (collective_time's scan).
+  std::size_t level = depth_ - 1;
+  for (std::size_t i = 0; i < depth_; ++i) {
+    if (p.occupancy[i] >= 2) {
+      level = i;
+      break;
+    }
+  }
+  pl.p2p_lat = latency_[level];
+  pl.p2p_bw = member_bw_[level];
+  return pl;
+}
+
+Seconds FabricPricer::price(ops::Collective coll, Bytes bytes,
+                            const Placed& pl) const {
+  // Mirror of the collective_time dispatcher over the cached sub-results —
+  // same branches, same expression groupings, same min order.
+  if (bytes < Bytes(0)) {
+    throw std::invalid_argument("collective_time: bytes < 0");
+  }
+  if (coll == ops::Collective::None || bytes == Bytes(0)) return Seconds(0);
+  if (coll == ops::Collective::PointToPoint) {
+    return pl.p2p_lat + bytes / pl.p2p_bw;
+  }
+  if (pl.p.size <= 1) return Seconds(0);
+
+  const bool ar = coll == ops::Collective::AllReduce;
+  const double factor = ar ? pl.ar_factor : pl.ring_factor;
+  Seconds best =
+      (ar ? pl.ar_ring_lat : pl.ring_lat) + factor * (bytes / pl.eff_bw);
+  if (enable_ll_) {
+    const Seconds ll =
+        (ar ? pl.ar_ll_lat : pl.ll_lat) + factor * (bytes / pl.eff_ll_bw);
+    best = std::min(best, ll);
+  }
+  if (enable_tree_ &&
+      (ar || coll == ops::Collective::Broadcast ||
+       coll == ops::Collective::Reduce)) {
+    const double passes = ar ? 2.0 : 1.0;
+    const Seconds t =
+        (ar ? pl.ar_tree_lat : pl.tree_lat) + passes * (bytes / pl.eff_bw);
+    best = std::min(best, t);
+  }
+  if (enable_hier_ &&
+      (ar || coll == ops::Collective::AllGather ||
+       coll == ops::Collective::ReduceScatter)) {
+    Seconds total;
+    for (std::size_t j = 0; j < pl.hier_phases; ++j) {
+      const Placed::HierPhase& h = pl.hier[j];
+      total += h.lat_term + h.coef * ((bytes * h.shard) / h.bw);
+    }
+    if (ar) total *= 2.0;
+    best = std::min(best, total);
+  }
+  return best;
+}
+
 Seconds collective_time_floor(const hw::Topology& topo,
                               std::int64_t group_size, Bytes bytes) {
   if (topo.empty() || group_size <= 1 || bytes <= Bytes(0)) return Seconds(0);

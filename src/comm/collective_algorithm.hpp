@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 
@@ -100,6 +101,98 @@ class CollectiveAlgorithm {
 const CollectiveAlgorithm& ring_algorithm();          ///< All collectives.
 const CollectiveAlgorithm& tree_algorithm();          ///< AR / Bcast / Reduce.
 const CollectiveAlgorithm& hierarchical_algorithm();  ///< AR / AG / RS.
+
+/// Repeated-pricing fast path over one fabric: precomputes every pure,
+/// bytes-independent sub-result a collective_time walk derives — per-level
+/// member bandwidths, and per placed group the ring latency / effective
+/// bandwidth / LL products / tree latency / hierarchical phase terms / P2P
+/// level — so pricing many volumes against few placements costs a handful
+/// of flops per call instead of a fabric walk.
+///
+/// BITWISE CONTRACT: price() evaluates the same expressions on the same
+/// operands in the same grouping as collective_time(topo, coll, bytes, g);
+/// every cached value is itself produced by the identical expression the
+/// uncached walk computes, so the results are bit-for-bit equal (pinned by
+/// the fuzz property in tests/test_signature.cpp). Keep place()/price() in
+/// FP lockstep with ring_latency/effective_bandwidth/tree_time/
+/// hierarchical_time and the collective_time dispatcher above.
+///
+/// The pricer holds a REFERENCE to the topology; it must not outlive it.
+/// Immutable after construction (rebind() excepted) — any number of
+/// threads may share one. Construction is allocation-free.
+class FabricPricer {
+ public:
+  FabricPricer() = default;  ///< unbound; rebind() before use.
+  explicit FabricPricer(const hw::Topology& topo) { rebind(topo); }
+
+  /// Re-derive the per-level products from `topo` (e.g. the next point of a
+  /// sweep chain). References the new topology from here on.
+  void rebind(const hw::Topology& topo);
+
+  bool bound() const { return topo_ != nullptr; }
+  const hw::Topology& fabric() const { return *topo_; }
+
+  /// A validated, pre-walked group placement: everything price() needs that
+  /// does not depend on the volume. Valid only against the pricer that
+  /// built it, until its next rebind().
+  struct Placed {
+    TopoPlacement p;
+    double ring_factor = 0;  ///< (g-1)/g
+    double ar_factor = 0;    ///< 2 * ring_factor (AllReduce = RS + AG)
+    Seconds ring_lat, ar_ring_lat;       ///< flat-ring latency, AR-doubled
+    BytesPerSec eff_bw;                  ///< effective_bandwidth(topo, p)
+    Seconds ll_lat, ar_ll_lat;           ///< ring latencies * ll_latency_scale
+    BytesPerSec eff_ll_bw;               ///< eff_bw * ll_bandwidth_scale
+    Seconds tree_lat, ar_tree_lat;       ///< tree latency sum, AR-doubled
+    /// Hierarchical phases, innermost first (one per crossed level):
+    /// lat_term = lvl.latency * (k-1); coef = (k-1)/k; the shard entering
+    /// the phase; the (oversubscription-adjusted) per-member bandwidth.
+    struct HierPhase {
+      Seconds lat_term;
+      double coef = 0, shard = 1;
+      BytesPerSec bw;
+    };
+    std::array<HierPhase, hw::Topology::kMaxDepth> hier{};
+    std::size_t hier_phases = 0;
+    Seconds p2p_lat;    ///< innermost shared level's latency
+    BytesPerSec p2p_bw; ///< its member bandwidth
+  };
+
+  /// Validate `g` against the fabric (same checks and exception as the
+  /// validating collective_time overload), place it, and pre-walk it.
+  Placed place(GroupPlacement g) const;
+  /// Memoized place() with a STABLE reference return: the Placed lives in
+  /// the pricer's memo (a deque, so references survive later insertions)
+  /// until the next rebind. The batch kernel keeps pointers to these
+  /// instead of copying the struct once per (candidate, group, column).
+  const Placed& place_ref(GroupPlacement g) const;
+  /// Pre-walk an already-built placement (check_placement still applies).
+  Placed place_topo(const TopoPlacement& p) const;
+
+  /// collective_time(fabric(), coll, bytes, pl.p), bit for bit, from the
+  /// cached sub-results. Throws on bytes < 0 like the walk.
+  Seconds price(ops::Collective coll, Bytes bytes, const Placed& pl) const;
+
+ private:
+  const hw::Topology* topo_ = nullptr;
+  std::size_t depth_ = 0;
+  std::array<BytesPerSec, hw::Topology::kMaxDepth> member_bw_{};
+  std::array<Seconds, hw::Topology::kMaxDepth> latency_{};
+  bool enable_tree_ = false, enable_ll_ = false, enable_hier_ = false;
+  double ll_latency_scale_ = 0, ll_bandwidth_scale_ = 0;
+  /// place() memo, cleared on rebind: one validated walk per distinct
+  /// (size, nvs) against the current fabric — across the candidates of one
+  /// grid point the same group shapes recur hundreds of times. Entries are
+  /// the walk's exact output, so a memo hit returns the same bits. Only
+  /// valid placements are cached (rejections re-walk and re-throw). The
+  /// memo makes place() non-reentrant: a pricer must not be shared by
+  /// concurrent callers (each sweep chain owns one).
+  struct PlaceMemoEntry {
+    std::int64_t size = 0, nvs = 0;
+    Placed pl;
+  };
+  mutable std::deque<PlaceMemoEntry> place_memo_;
+};
 
 /// Algorithm-independent lower bound on any collective of `bytes` over
 /// `group_size` members: the larger of the per-member ingress floor (every

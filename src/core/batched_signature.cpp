@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <optional>
 
 #ifndef NDEBUG
 #include <stdexcept>
@@ -120,12 +121,12 @@ BatchedSignature lower_batched(const CostSignature& sig) {
 SystemTiming bind_system_batched(const CostSignature& sig,
                                  const BatchedSignature& bat,
                                  const hw::SystemConfig& sys,
-                                 const EvalOptions& opts) {
+                                 const EvalOptions& opts, bool capture_fabric) {
 #ifndef NDEBUG
   analysis::assert_batched_invariants(sig, bat);
 #endif
   SystemTiming bt;
-  bt.fabric = sys.resolved_fabric();
+  if (capture_fabric) bt.fabric = sys.resolved_fabric();
   Seconds fwd_c, fwd_m, bwd_c, bwd_m;
   const std::size_t n = bat.op_count();
   for (std::size_t i = 0; i < n; ++i) {
@@ -200,7 +201,7 @@ void time_placements_batch(
     const parallel::ParallelConfig& cfg,
     const std::vector<std::array<std::int64_t, 4>>& placements,
     const EvalOptions& opts, std::vector<PlacementTiming>& out,
-    BatchScratch* scratch) {
+    BatchScratch* scratch, const comm::FabricPricer* pricer) {
   (void)sys;
   const std::size_t np = placements.size();
   out.clear();
@@ -209,14 +210,28 @@ void time_placements_batch(
 
   BatchScratch local;
   BatchScratch& s = scratch ? *scratch : local;
+  // The transient pricer owns a deque (one allocation just to construct),
+  // so it only exists on the slow path where no caller pricer was given.
+  std::optional<comm::FabricPricer> transient;
+  if (!pricer) {
+    transient.emplace(base.fabric);
+    pricer = &*transient;
+  }
+  const comm::FabricPricer& pr = *pricer;
+  ++s.epoch;
 
   const std::array<std::int64_t, 4> group_size = {cfg.n1, cfg.n2, cfg.nd,
                                                   cfg.np};
 
   // Distinct nvs values per comm group over the placement batch, plus each
   // placement's column index — the whole point of the batch: a request is
-  // priced once per (group, nvs) instead of once per placement.
+  // priced once per (group, nvs) instead of once per placement. Only the
+  // groups the pool uses are columned: the DP and P2P terms below read
+  // their nvs straight off the placement tuple, so for (say) a pure-TP
+  // pool three of the four per-placement scans would be dead work.
+  const std::uint8_t used_groups = bat.comm_groups_mask;
   for (std::size_t g = 0; g < 4; ++g) {
+    if (!(used_groups & (1u << g))) continue;
     s.distinct_nvs[g].clear();
     s.nvs_column[g].resize(np);
     for (std::size_t p = 0; p < np; ++p) {
@@ -234,11 +249,28 @@ void time_placements_batch(
     }
   }
 
+  // Pre-place every (used group, distinct nvs) pair once: the validation,
+  // clamp-and-fill placement and fabric walk that the scalar path re-runs
+  // inside every collective_time call are hoisted here, leaving each table
+  // cell a handful of flops. Every column comes from an actual placement of
+  // the batch, so nothing is placed speculatively.
+  for (std::size_t g = 0; g < 4; ++g) {
+    if (!(used_groups & (1u << g))) continue;
+    const std::size_t cols = s.distinct_nvs[g].size();
+    s.placed[g].resize(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      s.placed[g][c] = &pr.place_ref(
+          comm::GroupPlacement{group_size[g], s.distinct_nvs[g][c]});
+    }
+  }
+
   // Lay out the comm table: one row per DISTINCT pricing triple (see
   // comm_price_row — repeated per-op requests of the same volume share a
   // row), one column per distinct nvs of its group. Each cell is the exact
   // collective_time call the scalar path makes for a placement mapping to
-  // that column — priced lazily on first read. collective_time is pure, so
+  // that column — priced by one contiguous pass over the pricing rows on
+  // each comm-block miss (price_columns below), so columns only ever read
+  // through block hits are never priced. collective_time is pure, so
   // neither the sharing nor the changed pricing order can change any
   // cell's bits.
   const std::size_t nu = bat.price_rep.size();
@@ -248,19 +280,28 @@ void time_placements_batch(
     s.row_offset[u] = static_cast<std::uint32_t>(cells);
     cells += s.distinct_nvs[bat.comm_group[bat.price_rep[u]]].size();
   }
-  s.comm_table.assign(cells, Seconds(0));
-  s.cell_priced.assign(cells, 0);
-  const auto comm_cell = [&](std::uint32_t r, std::size_t p) -> Seconds {
-    const std::size_t g = bat.comm_group[r];
-    const std::size_t col = s.nvs_column[g][p];
-    const std::size_t idx = s.row_offset[bat.comm_price_row[r]] + col;
-    if (!s.cell_priced[idx]) {
-      s.comm_table[idx] = comm::collective_time(
-          base.fabric, bat.comm_kind[r], bat.comm_panel_bytes[r],
-          comm::GroupPlacement{group_size[g], s.distinct_nvs[g][col]});
-      s.cell_priced[idx] = 1;
+  s.comm_table.resize(cells);
+  s.cell_epoch.resize(cells, 0);
+  // One strided pass per block miss: price placement p's column of every
+  // pricing row (epoch stamps skip cells an earlier miss already priced).
+  const auto price_columns = [&](std::size_t p) {
+    for (std::size_t u = 0; u < nu; ++u) {
+      const std::uint32_t rep = bat.price_rep[u];
+      const std::size_t g = bat.comm_group[rep];
+      const std::size_t col = s.nvs_column[g][p];
+      const std::size_t idx = s.row_offset[u] + col;
+      if (s.cell_epoch[idx] != s.epoch) {
+        s.comm_table[idx] = pr.price(bat.comm_kind[rep],
+                                     bat.comm_panel_bytes[rep],
+                                     *s.placed[g][col]);
+        s.cell_epoch[idx] = s.epoch;
+      }
     }
-    return s.comm_table[idx];
+  };
+  // Branch-free table read for the op walk (all cells for p are priced).
+  const auto comm_cell = [&](std::uint32_t r, std::size_t p) -> Seconds {
+    return s.comm_table[s.row_offset[bat.comm_price_row[r]] +
+                        s.nvs_column[bat.comm_group[r]][p]];
   };
 
   const double Ld = static_cast<double>(sig.layers_per_stage);
@@ -268,10 +309,11 @@ void time_placements_batch(
 
   // Placement-dependent but few-valued terms, memoized lazily in placement
   // order (first encounter prices; later ones reuse the identical bits).
+  // The DP memo lives in the scratch so a warm scan prices allocation-free.
   std::array<Seconds, 2> p2p_value{};
   std::array<bool, 2> p2p_priced{false, false};
-  std::vector<std::int64_t> dp_keys;
-  std::vector<std::array<Seconds, 2>> dp_values;  // (t_rs, t_ag)
+  s.dp_keys.clear();
+  s.dp_terms.clear();
 
   // Comm-block memo: the op walk below reads the comm table only through
   // the columns of the groups actually present in the pool, so placements
@@ -280,7 +322,6 @@ void time_placements_batch(
   // (e.g. nvsd under a pure-TP signature) share the block.
   s.block_keys.clear();
   s.blocks.clear();
-  const std::uint8_t used_groups = bat.comm_groups_mask;
 
   const std::size_t n_ops = bat.op_count();
   for (std::size_t p = 0; p < np; ++p) {
@@ -295,8 +336,11 @@ void time_placements_batch(
       if (s.block_keys[bi] == key) break;
     }
     if (bi == s.block_keys.size()) {
-      // First placement on these columns: run the op walk, exactly as the
-      // scalar time_placement would for this placement.
+      // First placement on these columns: price its column of every pricing
+      // row in one pass, then run the op walk — exactly the sums the scalar
+      // time_placement would compute for this placement, read from the
+      // table instead of priced mid-walk.
+      price_columns(p);
       Seconds fwd_comm, bwd_comm;
       std::size_t summa = 0;
       for (std::size_t i = 0; i < n_ops; ++i) {
@@ -374,10 +418,14 @@ void time_placements_batch(
 
     const std::size_t hop_idx = placements[p][2] > 1 ? 1 : 0;
     if (!p2p_priced[hop_idx]) {
-      p2p_value[hop_idx] =
-          pipeline::p2p_time(base.fabric, cfg.np, sig.microbatches,
-                             sig.pp_boundary_bytes, hop_idx != 0 ? 2 : 1,
-                             cfg.interleave);
+      if (cfg.np > 1) {
+        p2p_value[hop_idx] = pipeline::p2p_time(
+            pr,
+            pr.place_ref(comm::GroupPlacement{2, hop_idx != 0 ? 2 : 1}),
+            cfg.np, sig.microbatches, sig.pp_boundary_bytes, cfg.interleave);
+      } else {
+        p2p_value[hop_idx] = Seconds(0);
+      }
       p2p_priced[hop_idx] = true;
     }
     o.time.pp_comm = p2p_value[hop_idx].value();
@@ -386,20 +434,21 @@ void time_placements_batch(
     if (sig.dp_group_includes_tp2) dp_nvs *= placements[p][1];
     if (sig.dp_size > 1) {
       std::size_t k = 0;
-      for (; k < dp_keys.size(); ++k) {
-        if (dp_keys[k] == dp_nvs) break;
+      for (; k < s.dp_keys.size(); ++k) {
+        if (s.dp_keys[k] == dp_nvs) break;
       }
-      if (k == dp_keys.size()) {
-        const comm::GroupPlacement g{sig.dp_size, dp_nvs};
-        const Seconds t_rs = comm::collective_time(
-            base.fabric, ops::Collective::ReduceScatter, sig.dp_grad_bytes, g);
-        const Seconds t_ag = comm::collective_time(
-            base.fabric, ops::Collective::AllGather, sig.dp_grad_bytes, g);
-        dp_keys.push_back(dp_nvs);
-        dp_values.push_back({t_rs, t_ag});
+      if (k == s.dp_keys.size()) {
+        const comm::FabricPricer::Placed& g =
+            pr.place_ref(comm::GroupPlacement{sig.dp_size, dp_nvs});
+        const Seconds t_rs =
+            pr.price(ops::Collective::ReduceScatter, sig.dp_grad_bytes, g);
+        const Seconds t_ag =
+            pr.price(ops::Collective::AllGather, sig.dp_grad_bytes, g);
+        s.dp_keys.push_back(dp_nvs);
+        s.dp_terms.push_back({t_rs, t_ag});
       }
-      const Seconds t_rs = dp_values[k][0];
-      const Seconds t_ag = dp_values[k][1];
+      const Seconds t_rs = s.dp_terms[k][0];
+      const Seconds t_ag = s.dp_terms[k][1];
       if (cfg.zero == parallel::ZeroStage::kWeights) {
         o.time.dp_comm = ((t_ag * 2.0 + t_rs) * (0.5 * md)).value();
       } else {

@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "comm/collective_algorithm.hpp"
 #include "core/cost_signature.hpp"
 
 namespace tfpe::core {
@@ -90,20 +91,30 @@ struct BatchedSignature {
 BatchedSignature lower_batched(const CostSignature& sig);
 
 /// Reusable per-thread scratch for time_placements_batch, so the placement
-/// scan of a sweep performs no per-candidate allocations once warm.
+/// scan of a sweep performs no per-candidate allocations once warm. Tables
+/// are EPOCH-RESET: each kernel call bumps `epoch` and lazily reclaims the
+/// cell storage through the per-cell epoch stamps instead of clearing it,
+/// so a warm scratch's per-call cost is independent of its high-water mark.
 struct BatchScratch {
   /// Distinct nvs values per comm group (TP1, TP2, DP, PP) and each
   /// placement's column index into them.
   std::array<std::vector<std::int64_t>, 4> distinct_nvs;
   std::array<std::vector<std::uint32_t>, 4> nvs_column;
+  /// Pre-walked placement of each (group, distinct-nvs column) pair, for
+  /// the groups in comm_groups_mask: validation and the fabric walk are
+  /// hoisted here, once per column, out of the per-cell pricing loop. The
+  /// entries point into the pricer's place_ref memo — rewritten at the top
+  /// of every kernel call, valid only until the pricer rebinds.
+  std::array<std::vector<const comm::FabricPricer::Placed*>, 4> placed;
   /// comm-table row offsets (one per pricing row, see comm_price_row) and
-  /// the priced table itself. Cells are priced lazily on first read
-  /// (cell_priced flags): the block memo below reads only the columns its
-  /// missed placements map to, so columns no missed placement lands on are
-  /// never priced.
+  /// the priced table itself. A cell is valid when its epoch stamp equals
+  /// `epoch`; stale cells are re-priced on first use. Cells are priced one
+  /// pricing-row pass per comm-block miss (the block memo below), so
+  /// columns no missed placement lands on are never priced.
   std::vector<std::uint32_t> row_offset;
   std::vector<Seconds> comm_table;
-  std::vector<std::uint8_t> cell_priced;
+  std::vector<std::uint64_t> cell_epoch;
+  std::uint64_t epoch = 0;
   /// Comm-block memo: the op-walk's outputs depend on the placement only
   /// through the table columns of the groups in comm_groups_mask, so
   /// placements agreeing on those columns share one block bit for bit.
@@ -113,15 +124,24 @@ struct BatchScratch {
   };
   std::vector<std::uint64_t> block_keys;
   std::vector<CommBlock> blocks;
+  /// DP-term memo (t_reduce_scatter, t_all_gather per distinct DP-group
+  /// nvs), kept here so a warm scan prices DP terms allocation-free.
+  std::vector<std::int64_t> dp_keys;
+  std::vector<std::array<Seconds, 2>> dp_terms;
 };
 
 /// SoA bind: bitwise-identical to bind_system(sig, sys, opts) — the same
 /// panel_roofline calls accumulated in the same op order, read from the
-/// packed arrays instead of the AoS records.
+/// packed arrays instead of the AoS records. `capture_fabric = false` skips
+/// the SystemTiming::fabric copy for callers that price collectives through
+/// an external FabricPricer (the generation-major sweep path) — every other
+/// field is unaffected, but time_placement/time_signature must NOT be fed
+/// such a timing.
 SystemTiming bind_system_batched(const CostSignature& sig,
                                  const BatchedSignature& bat,
                                  const hw::SystemConfig& sys,
-                                 const EvalOptions& opts = {});
+                                 const EvalOptions& opts = {},
+                                 bool capture_fabric = true);
 
 /// Bind one signature against M systems in one pass over the packed
 /// operands. out[k] is bitwise-identical to bind_system(sig, systems[k]).
@@ -135,14 +155,19 @@ std::vector<SystemTiming> bind_systems_batch(
 /// bitwise-identical to time_placement(sig, base, sys, cfg_i, opts) where
 /// cfg_i is cfg with placements[i] applied. `scratch` may be reused across
 /// calls (and should be, on the hot path); pass nullptr to use a transient
-/// one.
+/// one. When `pricer` is non-null it performs ALL collective pricing and
+/// `base.fabric` is never read — the caller guarantees it is bound to the
+/// fabric these placements should be priced against (the generation-major
+/// chain keeps one pricer per grid point, so the per-candidate SystemTiming
+/// needs no fabric restamp). Null builds a transient pricer on base.fabric.
 void time_placements_batch(
     const CostSignature& sig, const BatchedSignature& bat,
     const SystemTiming& base, const hw::SystemConfig& sys,
     const parallel::ParallelConfig& cfg,
     const std::vector<std::array<std::int64_t, 4>>& placements,
     const EvalOptions& opts, std::vector<PlacementTiming>& out,
-    BatchScratch* scratch = nullptr);
+    BatchScratch* scratch = nullptr,
+    const comm::FabricPricer* pricer = nullptr);
 
 /// N placements x M systems in one call: out[k] holds placements.size()
 /// timings against systems[k] (bound via bind_systems_batch). Convenience

@@ -30,6 +30,17 @@ Seconds p2p_time(const hw::NetworkSpec& net, std::int64_t np, std::int64_t m,
          (2.0 * static_cast<double>(m) * static_cast<double>(interleave));
 }
 
+Seconds p2p_time(const comm::FabricPricer& pricer,
+                 const comm::FabricPricer::Placed& hop, std::int64_t np,
+                 std::int64_t m, Bytes boundary_bytes,
+                 std::int64_t interleave) {
+  if (np <= 1) return Seconds(0);
+  const Seconds one_hop =
+      pricer.price(ops::Collective::PointToPoint, boundary_bytes, hop);
+  return one_hop *
+         (2.0 * static_cast<double>(m) * static_cast<double>(interleave));
+}
+
 Seconds p2p_time(const hw::Topology& fabric, std::int64_t np, std::int64_t m,
                  Bytes boundary_bytes, std::int64_t nvs_neighbors,
                  std::int64_t interleave) {

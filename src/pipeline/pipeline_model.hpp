@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "comm/collective_algorithm.hpp"
 #include "comm/collective_model.hpp"
 #include "hw/network.hpp"
 #include "hw/topology.hpp"
@@ -39,6 +40,16 @@ Seconds p2p_time(const hw::NetworkSpec& net, std::int64_t np, std::int64_t m,
 /// the canonical two-level fabric.
 Seconds p2p_time(const hw::Topology& fabric, std::int64_t np, std::int64_t m,
                  Bytes boundary_bytes, std::int64_t nvs_neighbors,
+                 std::int64_t interleave = 1);
+
+/// Same through a comm::FabricPricer bound to the fabric: one price() of the
+/// pre-placed neighbor pair instead of a fabric walk. `hop` must be
+/// pricer.place({.size = 2, .nvs = nvs_neighbors}) for the same
+/// nvs_neighbors the Topology overload would receive — then the result is
+/// bitwise identical to it (the pricer's contract).
+Seconds p2p_time(const comm::FabricPricer& pricer,
+                 const comm::FabricPricer::Placed& hop, std::int64_t np,
+                 std::int64_t m, Bytes boundary_bytes,
                  std::int64_t interleave = 1);
 
 /// End-to-end iteration time: m steady microbatches plus the bubble.

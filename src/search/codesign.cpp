@@ -4,13 +4,16 @@
 #include <atomic>
 #include <chrono>
 #include <map>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "core/lower_bounds.hpp"
 #include "search/point_scan.hpp"
+#include "util/object_pool.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tfpe::search {
@@ -200,7 +203,18 @@ CodesignResult run_codesign(const std::vector<model::TransformerConfig>& shapes,
   // (the cross-shape warm seed, matched by value in the next shape's list).
   std::vector<std::optional<parallel::ParallelConfig>> seed_cfg(np);
 
-  util::ThreadPool pool(opts.sweep.threads);
+  // One pool of workers and one pool of scratch bundles for the WHOLE
+  // product loop: the leased ScanScratch carries its warm capacity across
+  // shapes, not just across chains. With a single worker (or a single
+  // chain) the chains run inline — no pool is ever spawned.
+  const unsigned workers =
+      opts.sweep.threads != 0
+          ? opts.sweep.threads
+          : std::max(1u, std::thread::hardware_concurrency());
+  const bool inline_run = workers <= 1 || chains.size() <= 1;
+  std::unique_ptr<util::ThreadPool> pool;
+  if (!inline_run) pool = std::make_unique<util::ThreadPool>(opts.sweep.threads);
+  util::ObjectPool<ScanScratch> scratch_pool;
   std::vector<PointOutcome> outcomes(np);
   for (std::size_t s = 0; s < ns; ++s) {
     const model::TransformerConfig& shape = shapes[s];
@@ -236,9 +250,8 @@ CodesignResult run_codesign(const std::vector<model::TransformerConfig>& shapes,
                           compile_ns,
                           time_ns};
 
-    util::parallel_for_dynamic(pool, chains.size(), [&](std::size_t c) {
-      core::BatchScratch scratch;
-      std::vector<core::PlacementTiming> timings;
+    const auto run_chain = [&](std::size_t c) {
+      util::ObjectPool<ScanScratch>::Lease scratch = scratch_pool.acquire();
       ChainContext ctx;
       std::size_t chain_seed = kNoSeed;
       for (const std::size_t p : chains[c]) {
@@ -252,12 +265,16 @@ CodesignResult run_codesign(const std::vector<model::TransformerConfig>& shapes,
           if (seed_cfg[p]) seed = find_candidate(*configs, *seed_cfg[p]);
           if (seed == kNoSeed) seed = chain_seed;
         }
-        outcomes[p] = scan_point(scan, points[p], *configs, seed, scratch,
-                                 timings,
+        outcomes[p] = scan_point(scan, points[p], *configs, seed, *scratch,
                                  opts.sweep.batch ? &ctx : nullptr);
         chain_seed = outcomes[p].best_index;
       }
-    });
+    };
+    if (inline_run) {
+      for (std::size_t c = 0; c < chains.size(); ++c) run_chain(c);
+    } else {
+      util::parallel_for_dynamic(*pool, chains.size(), run_chain);
+    }
 
     // Sequential cross-shape reduction in point order: winners, seeds and
     // the work counters (deterministic — each scanned point was written by
@@ -271,6 +288,7 @@ CodesignResult run_codesign(const std::vector<model::TransformerConfig>& shapes,
       out.stats.memory_pruned += o.memory_pruned;
       out.stats.batch_calls += o.batch_calls;
       out.stats.batch_placements += o.batch_placements;
+      out.stats.signature_reuses += o.signature_reuses;
       if (o.warm_seeded) ++out.stats.warm_seeded;
       if (o.warm_seed_feasible) ++out.stats.warm_seed_feasible;
       out.per_shape[s][p] = std::move(o.best);

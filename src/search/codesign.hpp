@@ -174,6 +174,9 @@ struct CodesignStats {
   std::size_t warm_seed_feasible = 0;
   std::size_t signature_compiles = 0;
   std::size_t signature_cache_hits = 0;
+  /// Chain-held signature reuses (no cache probe) — same semantics as
+  /// SweepStats::signature_reuses.
+  std::size_t signature_reuses = 0;
   std::size_t signature_lowers = 0;
   std::size_t batched_cache_hits = 0;
   std::size_t build_layer_calls = 0;

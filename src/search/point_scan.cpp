@@ -22,13 +22,13 @@ bool same_roofline(const hw::GpuSpec& a, const hw::GpuSpec& b) {
 
 PointOutcome scan_point(const ScanShared& sh, const hw::SystemConfig& sys,
                         const std::vector<parallel::ParallelConfig>& configs,
-                        std::size_t seed_index, core::BatchScratch& scratch,
-                        std::vector<core::PlacementTiming>& timings,
+                        std::size_t seed_index, ScanScratch& scratch,
                         ChainContext* chain) {
   const SweepOptions& opts = sh.opts;
   const std::int64_t b = opts.search.global_batch;
   const core::EvalOptions& eval = opts.search.eval;
   const std::size_t n = configs.size();
+  std::vector<core::PlacementTiming>& timings = scratch.timings;
   PointOutcome out;
   std::int64_t compile_ns = 0;
   std::int64_t time_ns = 0;
@@ -38,6 +38,9 @@ PointOutcome scan_point(const ScanShared& sh, const hw::SystemConfig& sys,
     chain->point = chain->point == kNoSeed ? 0 : chain->point + 1;
     chain->entries.resize(n);
     chain->fabric = sys.resolved_fabric();
+    // Rebind AFTER the fabric assignment: the pricer points at
+    // chain->fabric (stable address) and precomputes its per-level terms.
+    chain->pricer.rebind(chain->fabric);
     if (chain->point == 0 || !same_roofline(chain->gpu, sys.gpu) ||
         chain->host_bw.value() != sys.host_bandwidth.value()) {
       for (ChainEntry& e : chain->entries) {
@@ -55,10 +58,16 @@ PointOutcome scan_point(const ScanShared& sh, const hw::SystemConfig& sys,
   // just the sparse list of feasible results and skips every infeasible
   // store — reasons, cfg copies, the dense vector itself. The scalar arm
   // keeps the dense PR-3 bookkeeping it is benchmarked as.
-  std::vector<core::EvalResult> results(chain ? 0 : n);
-  std::vector<std::pair<std::size_t, core::EvalResult>> feasible;
-  std::vector<double> lb(n, 0.0);
-  std::vector<char> pending(n, 0);
+  std::vector<core::EvalResult>& results = scratch.results;
+  results.clear();
+  results.resize(chain ? 0 : n);
+  std::vector<std::pair<std::size_t, core::EvalResult>>& feasible =
+      scratch.feasible;
+  feasible.clear();
+  std::vector<double>& lb = scratch.lb;
+  lb.assign(n, 0.0);
+  std::vector<char>& pending = scratch.pending;
+  pending.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     const parallel::ParallelConfig& cfg = configs[i];
     if (!chain) results[i].cfg = cfg;
@@ -88,6 +97,9 @@ PointOutcome scan_point(const ScanShared& sh, const hw::SystemConfig& sys,
       // candidate is infeasible under every placement.
       const ChainEntry& e = chain->entries[i];
       if (e.sig && e.sig->mem.total() > sys.gpu.hbm_capacity) {
+        // Served by the chain-held signature — the scalar engine's visit
+        // here would be one SignatureCache hit (see signature_reuses).
+        ++out.signature_reuses;
         ++out.evaluated;
         continue;
       }
@@ -115,7 +127,8 @@ PointOutcome scan_point(const ScanShared& sh, const hw::SystemConfig& sys,
     pending[i] = 1;
   }
 
-  std::vector<std::size_t> order;
+  std::vector<std::size_t>& order = scratch.order;
+  order.clear();
   order.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     if (pending[i]) order.push_back(i);
@@ -129,7 +142,8 @@ PointOutcome scan_point(const ScanShared& sh, const hw::SystemConfig& sys,
 
   // Evaluate candidate i through the compile -> bind -> time stages,
   // returning its achieved iteration time (infinity when infeasible).
-  std::vector<char> done(n, 0);
+  std::vector<char>& done = scratch.done;
+  done.assign(n, 0);
 
   // Batch arm: candidate state persists along the chain. A candidate is
   // compiled once, its capacity verdict decided once, and — if it ever
@@ -147,6 +161,8 @@ PointOutcome scan_point(const ScanShared& sh, const hw::SystemConfig& sys,
       const auto compile_t0 = Clock::now();
       e.sig = sh.signature_cache.get(sh.mdl, cfg, b, eval, sh.layer_cache);
       compile_ns += ns_since(compile_t0);
+    } else {
+      ++out.signature_reuses;
     }
     const bool over_capacity = e.sig->mem.total() > sys.gpu.hbm_capacity;
     if (over_capacity && opts.search.search_placement) {
@@ -162,11 +178,18 @@ PointOutcome scan_point(const ScanShared& sh, const hw::SystemConfig& sys,
     if (!e.bound) {
       const auto compile_t0 = Clock::now();
       e.bat = sh.batched_cache.get(e.sig);
-      e.base = core::bind_system_batched(*e.sig, *e.bat, sys, eval);
+      // On the placement-search path every collective is priced through
+      // chain->pricer and the candidate's own fabric copy is dead weight —
+      // skip the capture AND the per-point restamp below. The
+      // time_signature path still reads base.fabric.
+      e.base = core::bind_system_batched(
+          *e.sig, *e.bat, sys, eval,
+          /*capture_fabric=*/!opts.search.search_placement);
       e.fabric_point = chain->point;
       e.bound = 1;
       compile_ns += ns_since(compile_t0);
-    } else if (e.fabric_point != chain->point) {
+    } else if (!opts.search.search_placement &&
+               e.fabric_point != chain->point) {
       e.base.fabric = chain->fabric;
       e.fabric_point = chain->point;
     }
@@ -176,10 +199,16 @@ PointOutcome scan_point(const ScanShared& sh, const hw::SystemConfig& sys,
     if (opts.search.search_placement) {
       const auto placements = sh.placement_cache.get(cfg, sys.nvs_domain);
       std::size_t evals = 0;
+      // prevalidated: the screening loop / capacity gates above already
+      // decided validity and HBM fit for this candidate, so the scan's
+      // placement-invariant shortcut (which reads base.fabric via
+      // time_signature) is provably dead — skipping it is what lets the
+      // bind above drop the fabric capture.
       r = scan_placements_batch(sh.mdl, sys, cfg, b, *e.sig, *e.bat, e.base,
                                 *placements, eval, evals,
                                 /*stop_after_infeasible=*/opts.search.prune,
-                                scratch, timings);
+                                scratch.batch, timings, &chain->pricer,
+                                /*prevalidated=*/true);
       if (!timings.empty()) {
         ++out.batch_calls;
         out.batch_placements += timings.size();
@@ -223,7 +252,7 @@ PointOutcome scan_point(const ScanShared& sh, const hw::SystemConfig& sys,
         r = scan_placements_batch(sh.mdl, sys, cfg, b, *sig, *bat, base,
                                   *placements, eval, evals,
                                   /*stop_after_infeasible=*/opts.search.prune,
-                                  scratch, timings);
+                                  scratch.batch, timings);
         if (!timings.empty()) {
           ++out.batch_calls;
           out.batch_placements += timings.size();

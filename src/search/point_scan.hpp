@@ -63,6 +63,13 @@ struct PointOutcome {
   std::size_t memory_pruned = 0;
   std::size_t batch_calls = 0;
   std::size_t batch_placements = 0;
+  /// Candidate visits served by the chain's own already-compiled signature,
+  /// with no SignatureCache probe at all. The scalar engine probes the
+  /// cache on every visit (each probe a hit or a compile), so hit-rate
+  /// accounting that only counts probes makes identical work look like a
+  /// lower hit rate under the chain engine — SweepStats::compile_hit_rate
+  /// counts these reuses alongside cache hits to stay comparable.
+  std::size_t signature_reuses = 0;
   bool warm_seeded = false;
   bool warm_seed_feasible = false;
 };
@@ -75,8 +82,11 @@ struct ChainEntry {
   std::shared_ptr<const core::CostSignature> sig;
   std::shared_ptr<const core::BatchedSignature> bat;
   /// Bound timing; valid when `bound`. Everything in it except `.fabric`
-  /// reads only the GPU roofline, so along a chain it is restamped with the
-  /// current point's fabric instead of re-bound.
+  /// reads only the GPU roofline. On the placement-search path collectives
+  /// are priced through the chain's FabricPricer and `.fabric` is never
+  /// read (bound with capture_fabric = false, no restamp); the
+  /// time_signature path still restamps the current point's fabric
+  /// instead of re-binding.
   core::SystemTiming base;
   std::size_t fabric_point = kNoSeed;  ///< chain point whose fabric base has
   /// Fabric-independent half of the candidate's lower bounds; the screen
@@ -98,6 +108,13 @@ struct ChainEntry {
 struct ChainContext {
   std::vector<ChainEntry> entries;
   hw::Topology fabric;          ///< current point's fabric, resolved once
+  /// Pricer bound to `fabric`, rebound once per point AFTER the fabric is
+  /// resolved (it holds a pointer to `fabric`, whose address is stable for
+  /// the context's lifetime). On the placement-search path it performs all
+  /// collective pricing, so the per-candidate SystemTiming never needs its
+  /// own fabric copy — bind_system_batched runs with capture_fabric =
+  /// false and the per-point restamp disappears.
+  comm::FabricPricer pricer;
   std::size_t point = kNoSeed;  ///< ordinal of the current point
   /// Roofline identity guard: chains key on gpu.name, but with_memory /
   /// with_compute grids can reuse a name with different rates — detect that
@@ -105,6 +122,25 @@ struct ChainContext {
   /// hardware-invariant).
   hw::GpuSpec gpu;
   BytesPerSec host_bw;
+};
+
+/// Per-worker scratch bundle for scan_point: the batch-kernel scratch, the
+/// timing buffer, and scan_point's own per-candidate bookkeeping vectors.
+/// Reset capacity-preservingly at the top of every call, so a warm bundle
+/// makes the whole candidate scan allocation-free. Callers lease bundles
+/// from a util::ObjectPool so the warmth survives across chain tasks (and,
+/// in the co-design engine, across shapes) instead of dying with each
+/// worker lambda.
+struct ScanScratch {
+  core::BatchScratch batch;
+  std::vector<core::PlacementTiming> timings;
+  // scan_point-internal per-candidate state (sized to the candidate list).
+  std::vector<core::EvalResult> results;  ///< scalar arm's dense store
+  std::vector<std::pair<std::size_t, core::EvalResult>> feasible;
+  std::vector<double> lb;
+  std::vector<char> pending;
+  std::vector<char> done;
+  std::vector<std::size_t> order;
 };
 
 /// One grid point: scan the shared candidate list sequentially,
@@ -116,8 +152,7 @@ struct ChainContext {
 /// counters independent of the worker count.
 PointOutcome scan_point(const ScanShared& sh, const hw::SystemConfig& sys,
                         const std::vector<parallel::ParallelConfig>& configs,
-                        std::size_t seed_index, core::BatchScratch& scratch,
-                        std::vector<core::PlacementTiming>& timings,
+                        std::size_t seed_index, ScanScratch& scratch,
                         ChainContext* chain);
 
 }  // namespace tfpe::search

@@ -104,7 +104,8 @@ core::EvalResult scan_placements_batch(
     const std::vector<std::array<std::int64_t, 4>>& placements,
     const core::EvalOptions& eval, std::size_t& evals,
     bool stop_after_infeasible, core::BatchScratch& scratch,
-    std::vector<core::PlacementTiming>& timings) {
+    std::vector<core::PlacementTiming>& timings,
+    const comm::FabricPricer* pricer, bool prevalidated) {
   timings.clear();
   if (placements.empty()) {
     core::EvalResult best;
@@ -121,18 +122,25 @@ core::EvalResult scan_placements_batch(
 
   // Same placement-invariant feasibility shortcut (and eval accounting) as
   // the scalar scan — the batch kernel never runs for a doomed candidate.
-  apply(0);
-  const bool invalid = cfg.invalid_reason(mdl, sys, global_batch).has_value();
-  const bool over_capacity =
-      !invalid && sig.mem.total() > sys.gpu.hbm_capacity;
-  if (invalid || over_capacity) {
-    evals += stop_after_infeasible ? 1 : placements.size();
-    apply(stop_after_infeasible ? 0 : placements.size() - 1);
-    return core::time_signature(sig, base, mdl, sys, cfg, global_batch, eval);
+  // A prevalidated caller has already decided both verdicts (valid, fits),
+  // so the probe — the only reader of base.fabric on this path — is
+  // skipped, not merely predicted false.
+  if (!prevalidated) {
+    apply(0);
+    const bool invalid =
+        cfg.invalid_reason(mdl, sys, global_batch).has_value();
+    const bool over_capacity =
+        !invalid && sig.mem.total() > sys.gpu.hbm_capacity;
+    if (invalid || over_capacity) {
+      evals += stop_after_infeasible ? 1 : placements.size();
+      apply(stop_after_infeasible ? 0 : placements.size() - 1);
+      return core::time_signature(sig, base, mdl, sys, cfg, global_batch,
+                                  eval);
+    }
   }
 
   core::time_placements_batch(sig, bat, base, sys, cfg, placements, eval,
-                              timings, &scratch);
+                              timings, &scratch, pricer);
   evals += placements.size();
 
   // The batched timings are bitwise equal to the scalar per-placement ones,

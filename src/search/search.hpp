@@ -190,6 +190,15 @@ core::EvalResult scan_placements_signature(
 /// `timings` holds the batch actually timed (empty when the
 /// placement-invariant infeasibility shortcut skipped the kernel) — callers
 /// use its size for batch-occupancy accounting.
+///
+/// Generation-major fast path: a non-null `pricer` (bound to the fabric
+/// these placements should be priced against) is forwarded to
+/// time_placements_batch and performs ALL collective pricing. With
+/// `prevalidated` the caller additionally guarantees cfg is valid at `sys`
+/// and the signature fits HBM — both decided by the chain's screens before
+/// the call — so the placement-invariant shortcut is skipped. Together the
+/// two make `base.fabric` dead on this path, which is what lets the chain
+/// bind candidates with capture_fabric = false and never restamp them.
 core::EvalResult scan_placements_batch(
     const model::TransformerConfig& mdl, const hw::SystemConfig& sys,
     parallel::ParallelConfig cfg, std::int64_t global_batch,
@@ -198,6 +207,7 @@ core::EvalResult scan_placements_batch(
     const std::vector<std::array<std::int64_t, 4>>& placements,
     const core::EvalOptions& eval, std::size_t& evals,
     bool stop_after_infeasible, core::BatchScratch& scratch,
-    std::vector<core::PlacementTiming>& timings);
+    std::vector<core::PlacementTiming>& timings,
+    const comm::FabricPricer* pricer = nullptr, bool prevalidated = false);
 
 }  // namespace tfpe::search

@@ -8,10 +8,12 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "search/point_scan.hpp"
 #include "search/search_cache.hpp"
+#include "util/object_pool.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tfpe::search {
@@ -124,14 +126,17 @@ SweepResult run_sweep(const model::TransformerConfig& mdl,
                         sh.time_ns};
   const auto wall_t0 = Clock::now();
 
-  // Stream chains over the pool. Within a chain the points run in input
-  // order, threading the warm seed; scratch and the timing buffer persist
-  // across the whole chain so the batch kernel allocates only on growth.
-  util::ThreadPool pool(opts.threads);
+  // Stream chains over the workers. Within a chain the points run in input
+  // order, threading the warm seed; the leased ScanScratch persists across
+  // the whole chain (and, through the pool, across chains) so the batch
+  // kernel and the per-point bookkeeping allocate only on growth. The
+  // ChainContext stays chain-local on purpose: its per-candidate entries
+  // are indexed into THIS chain's candidate list and must not leak into
+  // the next one.
+  util::ObjectPool<ScanScratch> scratch_pool;
   std::vector<PointOutcome> outcomes(n);
-  util::parallel_for_dynamic(pool, chains.size(), [&](std::size_t c) {
-    core::BatchScratch scratch;
-    std::vector<core::PlacementTiming> timings;
+  const auto run_chain = [&](std::size_t c) {
+    util::ObjectPool<ScanScratch>::Lease scratch = scratch_pool.acquire();
     ChainContext ctx;
     std::size_t seed = kNoSeed;
     for (const std::size_t i : chains[c]) {
@@ -142,11 +147,23 @@ SweepResult run_sweep(const model::TransformerConfig& mdl,
         sh.enumerate_ns.fetch_add(ns_since(t0), std::memory_order_relaxed);
       });
       outcomes[i] = scan_point(scan, points[i], slot.configs,
-                               opts.warm_start ? seed : kNoSeed, scratch,
-                               timings, opts.batch ? &ctx : nullptr);
+                               opts.warm_start ? seed : kNoSeed, *scratch,
+                               opts.batch ? &ctx : nullptr);
       seed = outcomes[i].best_index;
     }
-  });
+  };
+  // One worker (or one chain) runs inline: spawning a pool to feed a
+  // single consumer costs more than a small sweep's whole scan, and the
+  // counters are thread-invariant either way.
+  const unsigned workers =
+      opts.threads != 0 ? opts.threads
+                        : std::max(1u, std::thread::hardware_concurrency());
+  if (workers <= 1 || chains.size() <= 1) {
+    for (std::size_t c = 0; c < chains.size(); ++c) run_chain(c);
+  } else {
+    util::ThreadPool pool(opts.threads);
+    util::parallel_for_dynamic(pool, chains.size(), run_chain);
+  }
   out.stats.profile.wall_s = static_cast<double>(ns_since(wall_t0)) * 1e-9;
 
   for (const auto& [scale, slot] : by_scale) {
@@ -160,6 +177,7 @@ SweepResult run_sweep(const model::TransformerConfig& mdl,
     out.stats.memory_pruned += outcomes[i].memory_pruned;
     out.stats.batch_calls += outcomes[i].batch_calls;
     out.stats.batch_placements += outcomes[i].batch_placements;
+    out.stats.signature_reuses += outcomes[i].signature_reuses;
     if (outcomes[i].warm_seeded) ++out.stats.warm_seeded;
     if (outcomes[i].warm_seed_feasible) ++out.stats.warm_seed_feasible;
     if (outcomes[i].best.feasible) ++out.stats.feasible_points;

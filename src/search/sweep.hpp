@@ -93,10 +93,18 @@ struct SweepStats {
   std::size_t bound_pruned = 0;
   std::size_t memory_pruned = 0;
   /// Cross-sweep compile sharing: compiles is the number of distinct
-  /// signatures actually lowered; hits counts every reuse (across grid
-  /// points and across the interleave axis).
+  /// signatures actually lowered; hits counts every reuse served by a
+  /// SignatureCache probe (across grid points and across the interleave
+  /// axis).
   std::size_t signature_compiles = 0;
   std::size_t signature_cache_hits = 0;
+  /// Candidate visits served by a chain-held signature with NO cache probe
+  /// (the batch engine keeps each candidate's compiled signature in its
+  /// ChainContext across the points of a chain). The scalar engine probes
+  /// the cache on every visit, so these are the visits that would have
+  /// been cache hits there — compile_hit_rate() folds them in to keep the
+  /// rate comparable across engines.
+  std::size_t signature_reuses = 0;
   /// SoA lowerings (one per distinct signature under `batch`) and their
   /// cross-point reuses.
   std::size_t signature_lowers = 0;
@@ -132,12 +140,19 @@ struct SweepStats {
   };
   StageProfile profile;
 
+  /// Fraction of candidate compile lookups that did NOT compile: cache
+  /// hits plus chain-held reuses, over all lookups. Counting reuses is
+  /// what makes the rate mean the same thing in both engines — the scalar
+  /// engine resolves every visit through the cache while the batch engine
+  /// answers most repeat visits from the chain without a probe; a
+  /// probes-only rate under-reported the batch engine's sharing on
+  /// identical work (see docs/API.md, "Counter semantics").
   double compile_hit_rate() const {
-    const std::size_t total = signature_compiles + signature_cache_hits;
-    return total == 0
-               ? 0.0
-               : static_cast<double>(signature_cache_hits) /
-                     static_cast<double>(total);
+    const std::size_t served = signature_cache_hits + signature_reuses;
+    const std::size_t total = signature_compiles + served;
+    return total == 0 ? 0.0
+                      : static_cast<double>(served) /
+                            static_cast<double>(total);
   }
   double batch_occupancy() const {
     return batch_calls == 0 ? 0.0

@@ -1,0 +1,111 @@
+#pragma once
+// Thread-safe free-list pool for heavy, reusable scratch objects.
+//
+// The sweep/codesign engines hand each chain task a warm scratch bundle
+// (core::BatchScratch tables, timing buffers, per-candidate bookkeeping
+// vectors). Constructing those per chain — or per shape, in the co-design
+// product loop — re-pays every vector's growth path thousands of times.
+// An ObjectPool keeps returned objects WITH THEIR CAPACITY: a lease either
+// revives a warm object off the free list or default-constructs a fresh
+// one, and the destructor of the RAII Lease returns it. Objects are never
+// cleared by the pool — the consumers own their reset discipline (e.g.
+// BatchScratch is epoch-reset, scan_point re-`assign`s its per-point
+// vectors), which is exactly what makes reuse free.
+//
+// Concurrency: acquire/release take one mutex each; contention is one
+// lock per CHAIN (thousands of candidate scans), not per scan, so the
+// lock is invisible next to the work it brackets.
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace tfpe::util {
+
+template <class T>
+class ObjectPool {
+ public:
+  /// Move-only RAII handle: dereference to use, destroy (or reset) to
+  /// return the object to its pool. Outliving the pool is undefined —
+  /// leases are scoped inside the parallel region that owns the pool.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          obj_(std::move(other.obj_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = std::exchange(other.pool_, nullptr);
+        obj_ = std::move(other.obj_);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    T& operator*() const { return *obj_; }
+    T* operator->() const { return obj_.get(); }
+
+   private:
+    friend class ObjectPool;
+    Lease(ObjectPool* pool, std::unique_ptr<T> obj)
+        : pool_(pool), obj_(std::move(obj)) {}
+    void release() {
+      if (pool_ && obj_) pool_->put(std::move(obj_));
+      pool_ = nullptr;
+    }
+
+    ObjectPool* pool_ = nullptr;
+    std::unique_ptr<T> obj_;
+  };
+
+  ObjectPool() = default;
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  /// Warm object off the free list when one is available, otherwise a
+  /// default-constructed fresh one.
+  Lease acquire() {
+    {
+      std::lock_guard lock(mutex_);
+      if (!free_.empty()) {
+        std::unique_ptr<T> obj = std::move(free_.back());
+        free_.pop_back();
+        ++reuses_;
+        return Lease(this, std::move(obj));
+      }
+      ++constructions_;
+    }
+    return Lease(this, std::make_unique<T>());
+  }
+
+  /// Objects default-constructed because the free list was empty — the
+  /// steady-state value is the peak concurrency, not the task count.
+  std::size_t constructions() const {
+    std::lock_guard lock(mutex_);
+    return constructions_;
+  }
+  /// Leases served warm off the free list.
+  std::size_t reuses() const {
+    std::lock_guard lock(mutex_);
+    return reuses_;
+  }
+
+ private:
+  void put(std::unique_ptr<T> obj) {
+    std::lock_guard lock(mutex_);
+    free_.push_back(std::move(obj));
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<T>> free_;
+  std::size_t constructions_ = 0;
+  std::size_t reuses_ = 0;
+};
+
+}  // namespace tfpe::util

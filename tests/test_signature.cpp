@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <random>
 #include <thread>
 #include <vector>
@@ -505,6 +506,147 @@ TEST(Signature, BatchedSystemsGridMatchesScalar) {
     if (checked >= 64) break;
   }
   EXPECT_GT(checked, 0u);
+}
+
+/// Randomized property (fixed seed): FabricPricer::place/place_ref/price
+/// must reproduce the full collective_time walk bitwise across random
+/// fabrics (two-level, oversubscribed leaf/spine, rail-optimized), algorithm
+/// knob combinations, group placements, collectives and volumes — the
+/// contract the batch kernel's pricing rows stand on. Also pins place_ref's
+/// stable-reference guarantee: memo entries keep their address and bits as
+/// later placements are interned.
+TEST(Signature, FabricPricerMatchesCollectiveTimeFuzz) {
+  std::mt19937 rng(0xfab41cu);
+  std::vector<hw::Topology> fabrics;
+  for (hw::GpuGeneration gen :
+       {hw::GpuGeneration::A100, hw::GpuGeneration::H200,
+        hw::GpuGeneration::B200}) {
+    const hw::NetworkSpec net = hw::network_preset(gen);
+    fabrics.push_back(hw::two_level_topology(net, 8, 4096));
+    fabrics.push_back(hw::leaf_spine_topology(net, 8, 32, 4096, 4.0));
+    fabrics.push_back(hw::rail_optimized_topology(net, 16, 64, 4096));
+  }
+  const std::vector<ops::Collective> colls = {
+      ops::Collective::AllGather, ops::Collective::ReduceScatter,
+      ops::Collective::AllReduce, ops::Collective::Broadcast,
+      ops::Collective::Reduce,    ops::Collective::AllToAll,
+      ops::Collective::PointToPoint};
+  const std::vector<std::int64_t> sizes = {1, 2, 4, 8, 16, 64, 256, 4096};
+  std::uniform_int_distribution<std::size_t> pick_coll(0, colls.size() - 1);
+  std::uniform_int_distribution<std::size_t> pick_size(0, sizes.size() - 1);
+  std::uniform_real_distribution<double> pick_log_bytes(0.0, 9.0);
+  std::size_t compared = 0;
+  for (hw::Topology topo : fabrics) {
+    for (int knobs = 0; knobs < 4; ++knobs) {
+      topo.enable_tree = (knobs & 1) != 0;
+      topo.enable_ll = (knobs & 1) != 0;
+      topo.enable_hierarchical = (knobs & 2) != 0;
+      const comm::FabricPricer pricer(topo);
+      for (int draw = 0; draw < 64; ++draw) {
+        const std::int64_t size = sizes[pick_size(rng)];
+        std::vector<std::int64_t> divisors;
+        for (std::int64_t d = 1; d <= size; ++d) {
+          if (size % d == 0 && d <= topo.leaf_fan_in()) divisors.push_back(d);
+        }
+        std::uniform_int_distribution<std::size_t> pick_nvs(
+            0, divisors.size() - 1);
+        const comm::GroupPlacement g{size, divisors[pick_nvs(rng)]};
+        if (comm::invalid_placement_reason(topo, g)) continue;
+        const Bytes bytes(std::pow(10.0, pick_log_bytes(rng)));
+        ops::Collective coll = colls[pick_coll(rng)];
+        if (coll == ops::Collective::PointToPoint && g.size != 2) {
+          coll = ops::Collective::AllReduce;
+        }
+        const double want = comm::collective_time(topo, coll, bytes, g).value();
+        const comm::FabricPricer::Placed pl = pricer.place(g);
+        const comm::FabricPricer::Placed& ref = pricer.place_ref(g);
+        EXPECT_EQ(pricer.price(coll, bytes, pl).value(), want)
+            << topo.describe() << " knobs=" << knobs << " g=" << g.size << "/"
+            << g.nvs << " coll=" << static_cast<int>(coll);
+        EXPECT_EQ(pricer.price(coll, bytes, ref).value(), want)
+            << topo.describe() << " [place_ref]";
+        ++compared;
+      }
+      // Stable references: interning more placements must not move or
+      // change the bits of an entry handed out earlier.
+      const comm::FabricPricer::Placed& first =
+          pricer.place_ref(comm::GroupPlacement{8, 8});
+      const double lat0 = first.ring_lat.value();
+      for (std::int64_t s : sizes) {
+        pricer.place_ref(comm::GroupPlacement{s, 1});
+      }
+      EXPECT_EQ(&first, &pricer.place_ref(comm::GroupPlacement{8, 8}));
+      EXPECT_EQ(first.ring_lat.value(), lat0);
+    }
+  }
+  EXPECT_GT(compared, 500u);
+}
+
+/// Randomized property (fixed seed): the generation-major kernel path — a
+/// capture_fabric=false bind plus an external FabricPricer bound to the
+/// point's resolved fabric — must equal the scalar time_placement walk
+/// bitwise across random candidates, systems and EvalOptions. This is the
+/// exact configuration the sweep chain runs (point_scan.cpp), where
+/// base.fabric is never populated and every collective prices through the
+/// chain's pricer.
+TEST(Signature, BatchedExternalPricerMatchesScalarFuzz) {
+  std::mt19937 rng(0x9e4e7au);
+  const auto variants = eval_variants();
+  const std::vector<hw::SystemConfig> systems = {
+      system_of(hw::GpuGeneration::A100, 4, 256),
+      system_of(hw::GpuGeneration::H200, 8, 256),
+      system_of(hw::GpuGeneration::B200, 16, 256)};
+  core::BatchScratch scratch;
+  comm::FabricPricer pricer;
+  std::vector<core::PlacementTiming> batched;
+  std::size_t compared = 0;
+  for (const Case& c : preset_matrix()) {
+    search::SearchOptions sopts;
+    sopts.strategy = c.strategy;
+    sopts.global_batch = c.global_batch;
+    sopts.allow_zero3 = true;
+    sopts.interleave_candidates = {1, 2};
+    const auto configs = search::expand_candidates(c.mdl, systems[0], sopts);
+    ASSERT_FALSE(configs.empty()) << c.name;
+    std::uniform_int_distribution<std::size_t> pick_cfg(0, configs.size() - 1);
+    std::uniform_int_distribution<std::size_t> pick_sys(0, systems.size() - 1);
+    std::uniform_int_distribution<std::size_t> pick_eval(0,
+                                                         variants.size() - 1);
+    for (int draw = 0; draw < 12; ++draw) {
+      parallel::ParallelConfig cfg = configs[pick_cfg(rng)];
+      const hw::SystemConfig& sys = systems[pick_sys(rng)];
+      const core::EvalOptions& eval = variants[pick_eval(rng)];
+      if (cfg.invalid_reason(c.mdl, sys, c.global_batch)) continue;
+      const core::CostSignature sig =
+          core::compile_signature(c.mdl, cfg, c.global_batch, eval);
+      const core::BatchedSignature bat = core::lower_batched(sig);
+      // The chain configuration: fabric held by the caller, pricer rebound
+      // to it, bind skips the SystemTiming::fabric copy entirely.
+      const hw::Topology fabric = sys.resolved_fabric();
+      pricer.rebind(fabric);
+      const core::SystemTiming base = core::bind_system_batched(
+          sig, bat, sys, eval, /*capture_fabric=*/false);
+      const auto placements = search::enumerate_placements(cfg, sys.nvs_domain);
+      if (placements.empty()) continue;
+      core::time_placements_batch(sig, bat, base, sys, cfg, placements, eval,
+                                  batched, &scratch, &pricer);
+      ASSERT_EQ(batched.size(), placements.size());
+      const core::SystemTiming full = core::bind_system(sig, sys, eval);
+      for (std::size_t p = 0; p < placements.size(); ++p) {
+        cfg.nvs1 = placements[p][0];
+        cfg.nvs2 = placements[p][1];
+        cfg.nvsp = placements[p][2];
+        cfg.nvsd = placements[p][3];
+        const core::PlacementTiming ref =
+            core::time_placement(sig, full, sys, cfg, eval);
+        expect_pt_bitwise(ref, batched[p],
+                          c.name + " " + cfg.describe() + " placement " +
+                              std::to_string(p));
+        ++compared;
+      }
+    }
+  }
+  EXPECT_GT(compared, 200u);
 }
 
 TEST(Sweep, MatchesFindOptimalPerPoint) {
