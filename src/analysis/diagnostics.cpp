@@ -128,6 +128,12 @@ constexpr std::array<RuleInfo, kRuleCount> kRegistry{{
     {RuleId::kCodesignEmptyFamily, "TFPE-CODESIGN-003",
      "codesign-empty-family", Severity::kWarning,
      "the options enumerate zero iso-parameter shapes"},
+    {RuleId::kServeKvBudget, "TFPE-SERVE-001", "serve-kv-budget",
+     Severity::kError,
+     "the [serving] KV budget must admit at least one resident request"},
+    {RuleId::kServeBatchCap, "TFPE-SERVE-002", "serve-batch-cap",
+     Severity::kWarning,
+     "requested decode batch exceeds the KV occupancy cap"},
 }};
 
 /// JSON string escaping (control chars, quotes, backslash).

@@ -89,9 +89,12 @@ enum class RuleId : std::uint8_t {
   kCodesignBudget,
   kCodesignAxis,
   kCodesignEmptyFamily,
+  // TFPE-SERVE: [serving] evaluator feasibility (io/config_lint.cpp).
+  kServeKvBudget,
+  kServeBatchCap,
 };
 
-inline constexpr std::size_t kRuleCount = 45;
+inline constexpr std::size_t kRuleCount = 47;
 
 /// One registry row: the stable code, the short mnemonic name, the default
 /// severity and the one-line meaning (surfaced in docs and SARIF).

@@ -47,19 +47,11 @@ constexpr std::size_t group_index(ops::CommGroup g) {
   return static_cast<std::size_t>(g);
 }
 
-}  // namespace
-
-CostSignature compile_signature(const model::TransformerConfig& mdl,
-                                const parallel::ParallelConfig& cfg,
-                                std::int64_t global_batch,
-                                const parallel::LayerCost& layer,
-                                const EvalOptions& opts) {
-  CostSignature sig;
-  sig.microbatches = cfg.microbatches;
-  sig.np = cfg.np;
-  sig.layers_per_stage = mdl.depth / cfg.np;
-  sig.local_microbatch = cfg.local_microbatch(global_batch);
-
+/// The per-op lowering loop, shared verbatim by the training compiler
+/// below and the decode compiler (compile_decode_signature) — same record
+/// layout, same accumulation order, so extracting it is pure code motion
+/// for the training path (bitwise-pinned by the golden tests).
+void lower_ops(CostSignature& sig, const parallel::LayerCost& layer) {
   sig.ops.reserve(layer.ops.size());
   for (const auto& op : layer.ops) {
     SigOp s;
@@ -96,6 +88,22 @@ CostSignature compile_signature(const model::TransformerConfig& mdl,
     }
     sig.ops.push_back(s);
   }
+}
+
+}  // namespace
+
+CostSignature compile_signature(const model::TransformerConfig& mdl,
+                                const parallel::ParallelConfig& cfg,
+                                std::int64_t global_batch,
+                                const parallel::LayerCost& layer,
+                                const EvalOptions& opts) {
+  CostSignature sig;
+  sig.microbatches = cfg.microbatches;
+  sig.np = cfg.np;
+  sig.layers_per_stage = mdl.depth / cfg.np;
+  sig.local_microbatch = cfg.local_microbatch(global_batch);
+
+  lower_ops(sig, layer);
 
   sig.stored_activation_bytes = layer.stored_bytes();
   sig.pp_boundary_bytes = layer.pp_boundary_bytes;
@@ -332,6 +340,155 @@ EvalResult time_signature(const CostSignature& sig,
                           std::int64_t global_batch, const EvalOptions& opts) {
   return time_signature(sig, bind_system(sig, sys, opts), mdl, sys, cfg,
                         global_batch, opts);
+}
+
+CostSignature adapt_to_phase(CostSignature sig, ExecutionPhase phase) {
+  sig.phase = phase;
+  for (SigOp& op : sig.ops) {
+    op.bwd_flops = Flops(0);
+    op.bwd_bytes = Bytes(0);
+    op.bwd_comm_count = 0;
+  }
+  for (SigHeadOp& op : sig.head) {
+    op.bwd_flops = Flops(0);
+    op.bwd_bytes = Bytes(0);
+  }
+  sig.matmul_bwd_flops = Flops(0);
+  sig.matmul_bwd_bytes = Bytes(0);
+  sig.vector_bwd_flops = Flops(0);
+  sig.vector_bwd_bytes = Bytes(0);
+  sig.bwd_comm_volume = {};
+  sig.dp_grad_bytes = Bytes(0);
+  sig.optimizer_traffic = Bytes(0);
+  // No backward: the gradient/optimizer residency vanishes, and nothing
+  // accumulates across layers for a pass that never reverses — the forward
+  // consumes each layer's activations as it produces the next. One layer's
+  // stored footprint stays as a conservative bound on the live transient
+  // buffers (training instead keeps layers_per_stage of them resident).
+  sig.mem.gradients = Bytes(0);
+  sig.mem.optimizer = Bytes(0);
+  sig.mem.activations = sig.stored_activation_bytes;
+  sig.stored_activation_bytes = Bytes(0);
+  return sig;
+}
+
+CostSignature compile_decode_signature(const model::TransformerConfig& mdl,
+                                       const parallel::ParallelConfig& cfg,
+                                       double tokens_per_group,
+                                       double kv_len) {
+  const parallel::LayerCost layer =
+      parallel::build_decode_layer(mdl, cfg.n1, tokens_per_group, kv_len);
+
+  CostSignature sig;
+  sig.phase = ExecutionPhase::kDecode;
+  sig.phase_tokens = tokens_per_group;
+  sig.microbatches = cfg.np;  // np decode groups rotate around the stages
+  sig.np = cfg.np;
+  sig.layers_per_stage = mdl.depth / cfg.np;
+  sig.local_microbatch = 1;
+
+  lower_ops(sig, layer);
+
+  sig.stored_activation_bytes = Bytes(0);
+  sig.pp_boundary_bytes = layer.pp_boundary_bytes;
+  sig.weight_params = layer.weight_params;
+  const double Ld = static_cast<double>(sig.layers_per_stage);
+  sig.stage_params = layer.weight_params * Ld;
+  // No data-parallel replica group, no optimizer: serving replicas are
+  // nd = 1 and the backward dimension does not exist in this phase.
+  sig.dp_size = 1;
+  sig.dp_grad_bytes = Bytes(0);
+  sig.opt_shard = 1;
+  sig.optimizer_traffic = Bytes(0);
+
+  if (mdl.vocab > 0) {
+    // Every decode step samples from the full vocabulary: the lm_head GEMV
+    // re-reads the (e x V/n1) shard, plus the softmax over the logits.
+    const double Vshard =
+        static_cast<double>(mdl.vocab) / static_cast<double>(cfg.n1);
+    const ops::Op logits = ops::forward_only(ops::matmul(
+        "lm_head", tokens_per_group, Vshard, static_cast<double>(mdl.embed)));
+    const ops::Op soft = ops::forward_only(
+        ops::vector_op("softmax", tokens_per_group * Vshard, 5.0, 0.0));
+    for (const ops::Op* op : {&logits, &soft}) {
+      sig.head.push_back({op->fwd_flops, op->fwd_bytes, op->bwd_flops,
+                          op->bwd_bytes,
+                          op->unit == ops::ComputeUnit::TensorCore});
+    }
+    sig.head_weight_params = static_cast<double>(mdl.vocab) *
+                             static_cast<double>(mdl.embed) /
+                             static_cast<double>(cfg.n1);
+  }
+
+  // Transient working set: the double-buffered (R, e) stream plus the
+  // (R, f/nt) MLP intermediate — nothing is retained across ops.
+  const Bytes working =
+      Bytes(ops::kBytesPerElement * tokens_per_group *
+            (2.0 * static_cast<double>(mdl.embed) +
+             static_cast<double>(mdl.hidden) / static_cast<double>(cfg.n1)));
+  // The K/V term is owned by the serving estimator (it decides residency
+  // from the KV budget); the signature carries the weight/working terms.
+  sig.mem = memory::compute_inference_memory(layer, sig.layers_per_stage,
+                                             Bytes(0), working);
+  if (sig.head_weight_params > 0) {
+    sig.mem.weights += Bytes(2.0 * sig.head_weight_params);
+  }
+  return sig;
+}
+
+CostSignature compile_signature(const model::TransformerConfig& mdl,
+                                const parallel::ParallelConfig& cfg,
+                                std::int64_t global_batch,
+                                const Workload& workload,
+                                const EvalOptions& opts) {
+  switch (workload.phase) {
+    case ExecutionPhase::kTraining:
+      // The Training-phase adapter: delegate to the historical lowering
+      // unchanged (bitwise-pinned by tests/test_workload.cpp).
+      return compile_signature(mdl, cfg, global_batch, opts);
+    case ExecutionPhase::kPrefill: {
+      model::TransformerConfig prompt = mdl;
+      if (workload.prompt_len > 0) prompt.seq_len = workload.prompt_len;
+      return adapt_to_phase(compile_signature(prompt, cfg, global_batch, opts),
+                            ExecutionPhase::kPrefill);
+    }
+    case ExecutionPhase::kDecode:
+      return compile_decode_signature(
+          mdl, cfg,
+          static_cast<double>(global_batch) / static_cast<double>(cfg.np),
+          workload.decode_kv_len());
+  }
+  return compile_signature(mdl, cfg, global_batch, opts);
+}
+
+PhaseTiming time_phase(const CostSignature& sig, const SystemTiming& base,
+                       const parallel::ParallelConfig& cfg,
+                       const EvalOptions& opts) {
+  // The forward arm of time_placement's exposed-comm walk, alone: decode
+  // and prefill signatures carry no backward records, and the bound
+  // backward terms of `base` are never read (see the header note on the
+  // zero-operand t_sf attribution).
+  Seconds fwd_comm;
+  std::size_t summa = 0;
+  for (const SigOp& op : sig.ops) {
+    std::array<Seconds, 2> panel{};
+    if (op.panels > 1) panel = base.summa_panel_time[summa++];
+    Seconds f_comm;
+    if (op.fwd_comm_count > 0) {
+      f_comm = exposed_comm(sig, op.fwd_comm_begin, op.fwd_comm_count,
+                            op.panels, panel[0], base.fabric, cfg);
+    }
+    if (op.panels <= 1 && opts.tp_overlap > 0) {
+      f_comm *= 1.0 - opts.tp_overlap;
+    }
+    fwd_comm += f_comm;
+  }
+  const double Ld = static_cast<double>(sig.layers_per_stage);
+  PhaseTiming out;
+  out.comm = fwd_comm * Ld;
+  out.t_stage = (base.fwd_cm + fwd_comm) * Ld;
+  if (!sig.head.empty()) out.t_stage += base.head_fwd_cm;
+  return out;
 }
 
 }  // namespace tfpe::core

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "core/workload.hpp"
 #include "hw/system.hpp"
 #include "memory/memory_model.hpp"
 #include "model/transformer.hpp"
@@ -118,7 +119,14 @@ struct SigHeadOp {
 /// so cache signatures per (model, global batch, EvalOptions).
 struct CostSignature {
   // Identity of the hardware-free slice this was compiled for.
-  std::int64_t microbatches = 1;      ///< m
+  /// Execution phase of the op tables below. Training signatures carry the
+  /// full fwd+bwd+optimizer records exactly as always; inference phases
+  /// zero the backward dimension (ops, aggregates, DP/optimizer scalars).
+  ExecutionPhase phase = ExecutionPhase::kTraining;
+  /// Decode only: single-token queries per pipeline decode group (may be
+  /// fractional — a resident batch split across np groups).
+  double phase_tokens = 0;
+  std::int64_t microbatches = 1;      ///< m (decode: np rotating groups)
   std::int64_t np = 1;                ///< pipeline stages
   std::int64_t layers_per_stage = 1;  ///< depth / np
   std::int64_t local_microbatch = 1;  ///< b / (nd * m)
@@ -174,6 +182,34 @@ CostSignature compile_signature(const model::TransformerConfig& mdl,
                                 const parallel::ParallelConfig& cfg,
                                 std::int64_t global_batch,
                                 const EvalOptions& opts = {});
+
+/// Phase-generic lowering (core/workload.hpp). The Training workload is a
+/// pure adapter over the overload above — bitwise-identical output, pinned
+/// by tests/test_workload.cpp. Prefill compiles the training lowering at
+/// seq_len = workload.prompt_len and strips the backward dimension
+/// (adapt_to_phase below). Decode lowers parallel::build_decode_layer with
+/// global_batch resident requests split across cfg.np rotating groups.
+CostSignature compile_signature(const model::TransformerConfig& mdl,
+                                const parallel::ParallelConfig& cfg,
+                                std::int64_t global_batch,
+                                const Workload& workload,
+                                const EvalOptions& opts = {});
+
+/// Re-emit a training-compiled signature as a forward-only inference
+/// phase: backward op records, aggregates and collectives zeroed, the
+/// DP-gradient and Adam-traffic scalars dropped, and the memory breakdown
+/// rebuilt for inference (no gradient/optimizer state; one microbatch's
+/// stored-activation footprint is kept as a conservative transient
+/// working-set bound; the K/V term is filled by the serving estimator,
+/// which owns the residency decision).
+CostSignature adapt_to_phase(CostSignature sig, ExecutionPhase phase);
+
+/// Decode lowering: `tokens_per_group` single-token queries against a
+/// `kv_len`-token cache per decode group, cfg.np groups rotating around
+/// the stages (cfg must be 1D tensor parallel; only n1/np are read).
+CostSignature compile_decode_signature(const model::TransformerConfig& mdl,
+                                       const parallel::ParallelConfig& cfg,
+                                       double tokens_per_group, double kv_len);
 
 /// Placement-independent part of timing a signature on one system: the
 /// roofline dot products over the op records. Amortizes across the NVS
@@ -232,5 +268,21 @@ EvalResult time_signature(const CostSignature& sig,
                           const parallel::ParallelConfig& cfg,
                           std::int64_t global_batch,
                           const EvalOptions& opts = {});
+
+/// Forward-only per-stage time of one microbatch / decode group — the
+/// timing primitive of the inference phases. Reads ONLY the forward terms
+/// of `base` (fwd_cm, head_fwd_cm, summa panel budgets, fabric): the bound
+/// backward terms of a zeroed signature carry a spurious per-op
+/// FLOPs-latency t_sf (panel_roofline attributes t_sf even at zero
+/// operands), so phase timing never consumes them. time_placement — and
+/// the training lowering it times — is untouched by the phase refactor.
+struct PhaseTiming {
+  Seconds t_stage;  ///< layers_per_stage x (fwd_cm + exposed comm) + head.
+  Seconds comm;     ///< Exposed forward collective time per stage.
+};
+
+PhaseTiming time_phase(const CostSignature& sig, const SystemTiming& base,
+                       const parallel::ParallelConfig& cfg,
+                       const EvalOptions& opts = {});
 
 }  // namespace tfpe::core

@@ -1,0 +1,38 @@
+#pragma once
+// Run-length arithmetic shared by the end-to-end estimators
+// (core/training_estimate.hpp and core/inference_estimate.hpp): one
+// definition of the steps x step-time -> wall-clock conversion and of the
+// tokens-per-step bookkeeping, so the two estimators cannot drift apart.
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace tfpe::core {
+
+/// Wall-clock length of `steps` repetitions of a fixed-time unit — an
+/// optimizer step for training, a decode round for serving.
+struct RunLength {
+  double steps = 0;      ///< Repetitions of the unit.
+  double step_time = 0;  ///< Seconds per unit.
+  double total_seconds = 0;
+  double days = 0;
+};
+
+inline RunLength run_length(double steps, double step_seconds) {
+  RunLength est;
+  est.steps = steps;
+  est.step_time = step_seconds;
+  est.total_seconds = steps * step_seconds;
+  est.days = est.total_seconds / util::kSecondsPerDay;
+  return est;
+}
+
+/// Tokens consumed per optimizer step (training) or produced per full
+/// decode round over `batch` resident requests (serving: tokens_per_unit
+/// with tokens_each = 1).
+inline double tokens_per_unit(std::int64_t batch, std::int64_t tokens_each) {
+  return static_cast<double>(batch) * static_cast<double>(tokens_each);
+}
+
+}  // namespace tfpe::core

@@ -232,4 +232,9 @@ double shape_time_floor(const model::TransformerConfig& mdl,
   return t;
 }
 
+double decode_round_floor(Bytes stage_weight_bytes, Bytes stage_kv_bytes,
+                          const hw::GpuSpec& gpu) {
+  return ((stage_weight_bytes + stage_kv_bytes) / gpu.hbm_bandwidth).value();
+}
+
 }  // namespace tfpe::core

@@ -142,4 +142,15 @@ double shape_time_floor(const model::TransformerConfig& mdl,
                         const hw::SystemConfig& sys, std::int64_t n_gpus,
                         std::int64_t global_batch);
 
+/// Decode-phase floor on the per-token round time (ExecutionPhase::kDecode):
+/// every decode round re-reads each stage's resident weight bytes at least
+/// once and streams the whole resident K/V cache exactly once, so
+///   TPOT >= (stage_weight_bytes + stage_kv_bytes) / hbm_bandwidth.
+/// The modeled round (np group passes through the stage) reads the weights
+/// np times, so decode_round_time >= this floor for every configuration —
+/// asserted over the serve grid by tests/test_serving.cpp. FLOP and
+/// collective terms are dropped (floors only shrink).
+double decode_round_floor(Bytes stage_weight_bytes, Bytes stage_kv_bytes,
+                          const hw::GpuSpec& gpu);
+
 }  // namespace tfpe::core

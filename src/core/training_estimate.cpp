@@ -1,27 +1,13 @@
 #include "core/training_estimate.hpp"
 
-#include "util/units.hpp"
-
 namespace tfpe::core {
-
-namespace {
-TrainingEstimate from_steps(double steps, double iteration_seconds) {
-  TrainingEstimate est;
-  est.steps = steps;
-  est.step_time = iteration_seconds;
-  est.total_seconds = steps * iteration_seconds;
-  est.days = est.total_seconds / util::kSecondsPerDay;
-  return est;
-}
-}  // namespace
 
 TrainingEstimate estimate_token_training(const model::TransformerConfig& mdl,
                                          std::int64_t global_batch,
                                          double iteration_seconds,
                                          double total_tokens) {
-  const double tokens_per_step = static_cast<double>(global_batch) *
-                                 static_cast<double>(mdl.seq_len);
-  return from_steps(total_tokens / tokens_per_step, iteration_seconds);
+  const double tokens_per_step = tokens_per_unit(global_batch, mdl.seq_len);
+  return run_length(total_tokens / tokens_per_step, iteration_seconds);
 }
 
 CostEstimate estimate_cost(const hw::SystemConfig& sys, std::int64_t n_gpus,
@@ -39,7 +25,7 @@ CostEstimate estimate_cost(const hw::SystemConfig& sys, std::int64_t n_gpus,
 TrainingEstimate estimate_sample_training(std::int64_t global_batch,
                                           double iteration_seconds,
                                           double total_samples) {
-  return from_steps(total_samples / static_cast<double>(global_batch),
+  return run_length(total_samples / static_cast<double>(global_batch),
                     iteration_seconds);
 }
 

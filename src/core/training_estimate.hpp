@@ -5,17 +5,16 @@
 
 #include <cstdint>
 
+#include "core/estimate.hpp"
 #include "hw/system.hpp"
 #include "model/transformer.hpp"
 
 namespace tfpe::core {
 
-struct TrainingEstimate {
-  double steps = 0;          ///< Optimizer steps.
-  double step_time = 0;      ///< Seconds per iteration.
-  double total_seconds = 0;
-  double days = 0;
-};
+/// Training is a RunLength whose unit is the optimizer step (the shared
+/// run-length math lives in core/estimate.hpp, next to the serving
+/// estimator's use of it).
+using TrainingEstimate = RunLength;
 
 /// Token-budget training (LLM pre-training): steps = tokens / (b * l).
 TrainingEstimate estimate_token_training(const model::TransformerConfig& mdl,

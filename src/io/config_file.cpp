@@ -417,6 +417,45 @@ model::ShapeFamilyOptions codesign_from_section(const Section& s) {
   return opts;
 }
 
+core::ServingSpec serving_from_section(const Section& s) {
+  reject_unknown(s,
+                 {"prompt_len", "output_len", "tp", "pp", "batch",
+                  "kv_cap_fraction", "max_batch"},
+                 "serving");
+  core::ServingSpec spec;
+  spec.prompt_len = to_int(s, "prompt_len", spec.prompt_len);
+  spec.output_len = to_int(s, "output_len", spec.output_len);
+  spec.tp = int_list(s, "tp", spec.tp);
+  spec.pp = int_list(s, "pp", spec.pp);
+  spec.batch = int_list(s, "batch", spec.batch);
+  spec.kv_cap_fraction = to_double(s, "kv_cap_fraction", spec.kv_cap_fraction);
+  spec.max_batch = to_int(s, "max_batch", spec.max_batch);
+  if (spec.prompt_len < 1 || spec.output_len < 1) {
+    throw std::runtime_error(
+        "config: [serving] prompt_len and output_len must be >= 1");
+  }
+  if (!(spec.kv_cap_fraction > 0.0) || spec.kv_cap_fraction > 1.0) {
+    throw std::runtime_error(
+        "config: [serving] kv_cap_fraction must lie in (0, 1]");
+  }
+  if (spec.tp.empty() || spec.pp.empty() || spec.batch.empty()) {
+    throw std::runtime_error(
+        "config: [serving] tp, pp and batch lists must be non-empty");
+  }
+  for (const auto* axis : {&spec.tp, &spec.pp, &spec.batch}) {
+    for (const std::int64_t v : *axis) {
+      if (v < 1) {
+        throw std::runtime_error(
+            "config: [serving] tp/pp/batch entries must be >= 1");
+      }
+    }
+  }
+  if (spec.max_batch < 0) {
+    throw std::runtime_error("config: [serving] max_batch must be >= 0");
+  }
+  return spec;
+}
+
 LoadedConfig load_config_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open config file " + path);
@@ -434,6 +473,9 @@ LoadedConfig load_config_file(const std::string& path) {
   }
   if (const auto it = sections.find("codesign"); it != sections.end()) {
     out.codesign = codesign_from_section(it->second);
+  }
+  if (const auto it = sections.find("serving"); it != sections.end()) {
+    out.serving = serving_from_section(it->second);
   }
   return out;
 }

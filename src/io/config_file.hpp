@@ -46,6 +46,15 @@
 //   kv_heads = 0, 8                # 0 = MHA
 //   moe_experts = 0                # 0 = dense
 //
+//   [serving]                      # serve-plan grid (core::ServingSpec)
+//   prompt_len = 2048              # input sequence length (ISL)
+//   output_len = 256               # generated tokens per request (OSL)
+//   tp = 1, 2, 4, 8                # tensor-parallel widths to sweep
+//   pp = 1, 2                      # pipeline depths to sweep
+//   batch = 1, 8, 32, 128          # requested resident requests
+//   kv_cap_fraction = 0.9          # HBM share the KV cache may occupy
+//   max_batch = 0                  # scheduler cap; 0 = uncapped
+//
 //   [topology]                     # optional hierarchical fabric override
 //   levels = nvs, leaf, spine      # innermost first
 //   fan_in = 8, 4, 16              # children per element; 0 = unbounded top
@@ -69,6 +78,7 @@
 #include <optional>
 #include <string>
 
+#include "core/workload.hpp"
 #include "hw/system.hpp"
 #include "model/shape_family.hpp"
 #include "model/transformer.hpp"
@@ -116,6 +126,12 @@ Section topology_to_section(const hw::Topology& topo);
 /// reports as TFPE-CODESIGN diagnostics.
 model::ShapeFamilyOptions codesign_from_section(const Section& s);
 
+/// Build a serve-plan grid from a [serving] section. Throws
+/// std::runtime_error on non-positive lengths/axis entries, an empty axis
+/// list, or kv_cap_fraction outside (0, 1] — the same conditions
+/// io/config_lint reports as TFPE-CFG-004 diagnostics.
+core::ServingSpec serving_from_section(const Section& s);
+
 struct LoadedConfig {
   std::optional<model::TransformerConfig> model;
   std::optional<hw::SystemConfig> system;
@@ -123,6 +139,8 @@ struct LoadedConfig {
   std::optional<hw::Topology> topology;
   /// Parsed [codesign] shape-family options (tfpe codesign's --config path).
   std::optional<model::ShapeFamilyOptions> codesign;
+  /// Parsed [serving] grid (tfpe serve-plan's --config path).
+  std::optional<core::ServingSpec> serving;
 };
 
 /// Parse a whole file; throws std::runtime_error if it cannot be read.

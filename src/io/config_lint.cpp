@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/consistency.hpp"
+#include "core/inference_estimate.hpp"
 #include "hw/topology.hpp"
 #include "io/config_file.hpp"
 #include "io/plan_io.hpp"
@@ -50,6 +51,9 @@ const std::set<std::string>& section_keys(const std::string& section) {
       "depth_step", "heads", "heads_min", "heads_max", "heads_step",
       "head_dims", "aspect_min", "aspect_max", "hidden_multiple", "kv_heads",
       "moe_experts"};
+  static const std::set<std::string> kServing{
+      "prompt_len", "output_len", "tp", "pp", "batch", "kv_cap_fraction",
+      "max_batch"};
   static const std::set<std::string> kNone{};
   if (section == "model") return kModel;
   if (section == "system") return kSystem;
@@ -58,13 +62,15 @@ const std::set<std::string>& section_keys(const std::string& section) {
   if (section == "sweep") return kSweep;
   if (section == "calibration") return kCalibration;
   if (section == "codesign") return kCodesign;
+  if (section == "serving") return kServing;
   return kNone;
 }
 
 bool known_section(const std::string& section) {
   return section == "model" || section == "system" || section == "topology" ||
          section == "plan" || section == "sweep" ||
-         section == "calibration" || section == "codesign";
+         section == "calibration" || section == "codesign" ||
+         section == "serving";
 }
 
 bool parses_as_double(const std::string& value, double* out = nullptr) {
@@ -139,6 +145,7 @@ class ConfigLinter {
     lint_sweep();
     lint_calibration();
     lint_codesign();
+    lint_serving();
     return sink_.take();
   }
 
@@ -501,6 +508,120 @@ class ConfigLinter {
       }
     } catch (const std::exception&) {
       // Model/section problems are reported by their own passes.
+    }
+  }
+
+  /// [serving] serve-plan grid: per-key value checks (TFPE-CFG-004), then —
+  /// when the section is sound and a [model] + [system] build — the
+  /// feasibility screens: no (tp, pp) shape whose KV budget admits even one
+  /// resident request at batch = 1 is an error (TFPE-SERVE-001), and a
+  /// requested batch beyond what the best shape can keep resident is a
+  /// warning (TFPE-SERVE-002) — the scheduler would silently clip it.
+  void lint_serving() {
+    const Section* s = section("serving");
+    if (!s) return;
+    bool ok = true;
+    const auto bad = [&](const std::string& key, double expected,
+                         double actual, const std::string& message) {
+      emit(RuleId::kConfigValue, "serving", key, expected, actual, message);
+      ok = false;
+    };
+
+    for (const char* key : {"prompt_len", "output_len"}) {
+      const auto it = s->find(key);
+      if (it == s->end()) continue;
+      std::int64_t v = 0;
+      if (!parses_as_int(it->second, &v) || v < 1) {
+        bad(key, 1, static_cast<double>(v),
+            std::string("'") + key + "' must be a positive token count, "
+            "got '" + it->second + "'");
+      }
+    }
+    for (const char* key : {"tp", "pp", "batch"}) {
+      const auto it = s->find(key);
+      if (it == s->end()) continue;
+      for (const std::string& item : util::split_list(it->second)) {
+        std::int64_t v = 0;
+        if (!parses_as_int(item, &v) || v < 1) {
+          bad(key, 1, static_cast<double>(v),
+              std::string("'") + key + "' entry '" + item +
+                  "' must be a positive integer");
+        }
+      }
+    }
+    if (const auto it = s->find("kv_cap_fraction"); it != s->end()) {
+      double v = 0;
+      if (!parses_as_double(it->second, &v) || !(v > 0.0) || v > 1.0) {
+        bad("kv_cap_fraction", 0.9, v,
+            "'kv_cap_fraction' must be an HBM fraction in (0, 1], got '" +
+                it->second + "'");
+      }
+    }
+    if (const auto it = s->find("max_batch"); it != s->end()) {
+      std::int64_t v = 0;
+      if (!parses_as_int(it->second, &v) || v < 0) {
+        bad("max_batch", 0, static_cast<double>(v),
+            "'max_batch' must be >= 0 (0 = uncapped), got '" + it->second +
+                "'");
+      }
+    }
+
+    // -- feasibility (TFPE-SERVE-001/002): needs a sound section plus a
+    //    buildable [model] and [system].
+    if (!ok) return;
+    const Section* m = section("model");
+    const Section* sys_s = section("system");
+    if (!m || !sys_s) return;
+    try {
+      const auto mdl = model_from_section(known_subset("model", *m));
+      hw::SystemConfig sys =
+          system_from_section(known_subset("system", *sys_s));
+      if (const Section* t = section("topology")) {
+        try {
+          sys.fabric = topology_from_section(known_subset("topology", *t));
+        } catch (const std::exception&) {
+          // Reported by lint_topology_section; screen without the override.
+        }
+      }
+      const auto spec = serving_from_section(known_subset("serving", *s));
+      const core::Workload w = spec.workload();
+      std::int64_t requested = 0;
+      for (const std::int64_t b : spec.batch) {
+        if (spec.max_batch > 0 && b > spec.max_batch) continue;
+        requested = std::max(requested, b);
+      }
+      bool any_resident = false;
+      std::int64_t best_admitted = 0;
+      for (const std::int64_t tp : spec.tp) {
+        for (const std::int64_t pp : spec.pp) {
+          core::ServingConfig sc;
+          sc.tp = tp;
+          sc.pp = pp;
+          sc.batch = std::max<std::int64_t>(requested, 1);
+          sc.kv_cap_fraction = spec.kv_cap_fraction;
+          const auto est = core::estimate_serving(mdl, sys, w, sc);
+          if (est.admitted_batch >= 1) any_resident = true;
+          if (est.feasible) {
+            best_admitted = std::max(best_admitted, est.admitted_batch);
+          }
+        }
+      }
+      if (!any_resident) {
+        emit(RuleId::kServeKvBudget, "serving", "", 1, 0,
+             "no (tp, pp) shape of the [serving] grid fits one request's KV "
+             "cache next to the weights — raise tp/pp, shorten the context "
+             "or raise kv_cap_fraction");
+      } else if (requested > best_admitted && best_admitted > 0) {
+        emit(RuleId::kServeBatchCap, "serving", "batch",
+             static_cast<double>(best_admitted),
+             static_cast<double>(requested),
+             "requested batch " + std::to_string(requested) +
+                 " exceeds the " + std::to_string(best_admitted) +
+                 " requests the best shape can keep resident; the scheduler "
+                 "will clip it");
+      }
+    } catch (const std::exception&) {
+      // Model/system/section problems are reported by their own passes.
     }
   }
 

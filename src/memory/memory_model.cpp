@@ -1,5 +1,7 @@
 #include "memory/memory_model.hpp"
 
+#include "ops/op_factory.hpp"
+
 namespace tfpe::memory {
 
 MemoryBreakdown compute_memory(const parallel::LayerCost& layer,
@@ -27,6 +29,27 @@ MemoryBreakdown compute_memory(const parallel::LayerCost& layer,
   mem.activations = layer.stored_bytes() *
                     (static_cast<double>(layers_per_stage) *
                      static_cast<double>(in_flight_microbatches));
+  return mem;
+}
+
+Bytes kv_cache_bytes(const model::TransformerConfig& mdl, std::int64_t layers,
+                     double tokens, std::int64_t tp) {
+  const double hkv = static_cast<double>(mdl.kv_heads_or_default());
+  const double nt = static_cast<double>(tp);
+  const double hkv_local = hkv / nt > 1.0 ? hkv / nt : 1.0;
+  const double width = hkv_local * static_cast<double>(mdl.head_dim());
+  return Bytes(2.0 * ops::kBytesPerElement * width * tokens *
+               static_cast<double>(layers));
+}
+
+MemoryBreakdown compute_inference_memory(const parallel::LayerCost& layer,
+                                         std::int64_t layers_per_stage,
+                                         Bytes kv_cache, Bytes working_set) {
+  MemoryBreakdown mem;
+  mem.weights = Bytes(2.0 * layer.weight_params *
+                      static_cast<double>(layers_per_stage));
+  mem.activations = working_set;
+  mem.kv_cache = kv_cache;
   return mem;
 }
 

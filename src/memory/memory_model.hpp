@@ -23,8 +23,13 @@ struct MemoryBreakdown {
   Bytes gradients;
   Bytes optimizer;
   Bytes activations;
+  /// K/V token cache (inference phases). Always Bytes(0) for training, so
+  /// adding the term kept every training total bitwise-unchanged.
+  Bytes kv_cache;
 
-  Bytes total() const { return weights + gradients + optimizer + activations; }
+  Bytes total() const {
+    return weights + gradients + optimizer + activations + kv_cache;
+  }
 };
 
 /// Memory resident on one GPU for `layers_per_stage` blocks of the given
@@ -33,5 +38,19 @@ MemoryBreakdown compute_memory(const parallel::LayerCost& layer,
                                const parallel::ParallelConfig& cfg,
                                std::int64_t layers_per_stage,
                                std::int64_t in_flight_microbatches);
+
+/// Per-GPU K/V cache bytes for `tokens` cached tokens of one sequence over
+/// `layers` blocks: 2 (K and V) x kv_heads x head_dim x tokens x 2 B/elem
+/// per layer, with the kv_heads sharded over tp while tp <= kv_heads and
+/// replicated beyond (grouped-query attention).
+Bytes kv_cache_bytes(const model::TransformerConfig& mdl, std::int64_t layers,
+                     double tokens, std::int64_t tp);
+
+/// Inference-phase residency: the optimizer/gradient state of the training
+/// breakdown is replaced by the K/V cache, and `working_set` bounds the
+/// transient activation buffers (no stored-for-backward tensors exist).
+MemoryBreakdown compute_inference_memory(const parallel::LayerCost& layer,
+                                         std::int64_t layers_per_stage,
+                                         Bytes kv_cache, Bytes working_set);
 
 }  // namespace tfpe::memory

@@ -150,4 +150,21 @@ Op summa_matmul(std::string name, double M, double N, double K, std::int64_t n1,
   return op;
 }
 
+Op forward_only(Op op) {
+  op.bwd_flops = Flops(0);
+  op.bwd_bytes = Bytes(0);
+  op.bwd_comm.clear();
+  op.stored_bytes = Bytes(0);
+  return op;
+}
+
+Op decode_attention(std::string name, double batch, double heads,
+                    double kv_len, double eh, double kv_heads) {
+  // Single-token queries over the cache: the training counting with lq = 1
+  // (GQA K/V shrink included), then the backward dimension stripped.
+  return forward_only(fused_attention(std::move(name), batch, heads,
+                                      /*lq=*/1.0, /*lkv=*/kv_len, eh,
+                                      /*stored_elems=*/0.0, kv_heads));
+}
+
 }  // namespace tfpe::ops

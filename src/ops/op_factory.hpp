@@ -65,4 +65,23 @@ Op summa_matmul(std::string name, double M, double N, double K,
 /// (AG <-> RS, B <-> R, AR/P2P self-conjugate) to the backward list.
 void add_conjugate_comm(Op& op, Collective coll, CommGroup group, Bytes bytes);
 
+// -- Execution-phase specializations (core/workload.hpp). The factories
+// above count a training op: forward + backward + stored activations. The
+// inference phases reuse the same counting with the backward dimension
+// removed at the op level, so every downstream consumer (signature
+// compiler, roofline, lint) sees ordinary Ops.
+
+/// Re-emit `op` for a forward-only phase: no backward FLOPs/bytes, no
+/// backward collectives, and no stored activations (nothing is kept for a
+/// pass that never runs).
+Op forward_only(Op op);
+
+/// Decode-phase fused attention: `batch` single-token queries (one per
+/// resident request), each attending over a `kv_len`-token K/V cache.
+/// GEMV-shaped — fused_attention with lq = 1 — so the roofline lands
+/// memory-bound: the dominant traffic is the K/V cache read of
+/// 2 * kv_heads * kv_len * eh elements per request. Forward-only.
+Op decode_attention(std::string name, double batch, double heads,
+                    double kv_len, double eh, double kv_heads = 0);
+
 }  // namespace tfpe::ops

@@ -60,4 +60,13 @@ LayerCost build_layer_summa(const model::TransformerConfig& mdl,
                             const ParallelConfig& cfg,
                             std::int64_t local_microbatch);
 
+/// Decode-phase block (ExecutionPhase::kDecode): `tokens` single-token
+/// queries — one per resident request — against a `kv_len`-token K/V cache
+/// under 1D tensor parallelism. Forward-only ops (no backward, no stored
+/// activations), GEMV-shaped matmuls, a plain AllReduce at each TP seam.
+/// `tokens` may be fractional (a resident batch split across pipeline
+/// decode groups). Dense blocks only; throws for MoE models.
+LayerCost build_decode_layer(const model::TransformerConfig& mdl,
+                             std::int64_t tp, double tokens, double kv_len);
+
 }  // namespace tfpe::parallel

@@ -58,4 +58,28 @@ Seconds iteration_time(std::int64_t np, std::int64_t m, Seconds t_fwd,
          bubble_time(np, t_fwd, t_bwd);
 }
 
+Seconds p2p_hop(const hw::Topology& fabric, Bytes boundary_bytes,
+                std::int64_t nvs_neighbors) {
+  return comm::collective_time(fabric, ops::Collective::PointToPoint,
+                               boundary_bytes,
+                               {.size = 2, .nvs = nvs_neighbors});
+}
+
+Seconds p2p_hop(const comm::FabricPricer& pricer,
+                const comm::FabricPricer::Placed& hop, Bytes boundary_bytes) {
+  return pricer.price(ops::Collective::PointToPoint, boundary_bytes, hop);
+}
+
+Seconds prefill_latency(std::int64_t np, std::int64_t m, Seconds t_stage,
+                        Seconds t_hop) {
+  return t_stage * static_cast<double>(m + np - 1) +
+         t_hop * static_cast<double>(np - 1);
+}
+
+Seconds decode_round_time(std::int64_t np, Seconds t_stage_group,
+                          Seconds t_hop) {
+  if (np <= 1) return t_stage_group;
+  return (t_stage_group + t_hop) * static_cast<double>(np);
+}
+
 }  // namespace tfpe::pipeline

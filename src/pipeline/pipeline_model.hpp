@@ -56,4 +56,35 @@ Seconds p2p_time(const comm::FabricPricer& pricer,
 Seconds iteration_time(std::int64_t np, std::int64_t m, Seconds t_fwd,
                        Seconds t_bwd);
 
+// -- Inference phases (core/workload.hpp). Serving replaces the 1F1B
+// fill/drain with two schedules: a forward-only prefill ramp and a steady
+// decode rotation of request groups around the stages.
+
+/// One stage-boundary activation hop, one direction (the fill/drain model
+/// above charges fwd + bwd per microbatch; inference phases have no
+/// backward). Zero when the fabric hop is moot (np = 1 callers pass any
+/// bytes).
+Seconds p2p_hop(const hw::Topology& fabric, Bytes boundary_bytes,
+                std::int64_t nvs_neighbors);
+
+/// Same through a bound FabricPricer (`hop` = pricer.place({.size = 2,
+/// .nvs = nvs_neighbors}); bitwise identical to the Topology overload).
+Seconds p2p_hop(const comm::FabricPricer& pricer,
+                const comm::FabricPricer::Placed& hop, Bytes boundary_bytes);
+
+/// Prefill latency: m prompt microbatches streamed through np forward-only
+/// stages of `t_stage` each — (m + np - 1) stage slots plus the (np - 1)
+/// boundary hops on the first token's critical path.
+Seconds prefill_latency(std::int64_t np, std::int64_t m, Seconds t_stage,
+                        Seconds t_hop);
+
+/// Steady-state decode round: the resident batch is split into np groups
+/// that rotate around the stages, one token per request per round. Each
+/// stage serves all np groups per round (np x t_stage_group) and every
+/// group crossing pays a boundary hop (np hops around the ring, including
+/// the next-token feedback to stage 0). This is the per-token latency
+/// (TPOT) before continuous-batching prefill interference.
+Seconds decode_round_time(std::int64_t np, Seconds t_stage_group,
+                          Seconds t_hop);
+
 }  // namespace tfpe::pipeline

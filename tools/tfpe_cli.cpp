@@ -24,6 +24,7 @@
 #include "io/config_lint.hpp"
 #include "io/plan_io.hpp"
 #include "search/codesign.hpp"
+#include "search/serve_plan.hpp"
 #include "search/sweep_lint.hpp"
 #include "report/breakdown_report.hpp"
 #include "report/markdown_report.hpp"
@@ -81,7 +82,9 @@ int usage(const char* msg) {
       "  lint [PLAN_PATH]    check built op lists against the paper's\n"
       "                      conservation laws (see: tfpe lint --help)\n"
       "  codesign            iso-parameter architecture x config search\n"
-      "                      (see: tfpe codesign --help)\n";
+      "                      (see: tfpe codesign --help)\n"
+      "  serve-plan          latency/throughput Pareto front for inference\n"
+      "                      serving (see: tfpe serve-plan --help)\n";
   return msg ? 2 : 0;
 }
 
@@ -606,6 +609,234 @@ int run_codesign_cmd(const util::ArgParser& args) {
   return 0;
 }
 
+// --- `tfpe serve-plan`: inference latency/throughput Pareto search --------
+
+int serve_usage(const char* msg) {
+  if (msg) std::cerr << "error: " << msg << "\n\n";
+  std::cerr <<
+      "usage: tfpe serve-plan [--model NAME | --config PATH] [options]\n"
+      "\n"
+      "Sweeps serving replica shapes (tensor x pipeline parallelism x\n"
+      "resident batch) for a decode workload under a continuous-batching\n"
+      "scheduler and prints the latency/throughput Pareto front: the shapes\n"
+      "no other shape beats on both request latency and tok/s/GPU. Every\n"
+      "point holds its KV cache resident under the HBM cap ([serving]\n"
+      "kv_cap_fraction); the requested batch is clipped to what fits.\n"
+      "\n"
+      "  --model NAME        model preset (default llama3-405b)\n"
+      "  --config PATH       load [model]/[system]/[serving] from a file\n"
+      "  --gpu GEN           GPU generation preset (default h200)\n"
+      "  --nvs N             fast-domain size (default 8)\n"
+      "  --gpus N            total GPUs, for the replica-count line (default\n"
+      "                      one replica's worth)\n"
+      "  --prompt N          input tokens per request (default 2048)\n"
+      "  --output N          generated tokens per request (default 256)\n"
+      "  --tp LIST           tensor-parallel widths (default 1,2,4,8)\n"
+      "  --pp LIST           pipeline depths (default 1)\n"
+      "  --batch LIST        requested batches (default 1,...,256)\n"
+      "  --kv-cap F          HBM fraction for KV + weights (default 0.9)\n"
+      "  --all               print every feasible point, not just the front\n"
+      "  --csv PATH          write the evaluated grid as CSV\n";
+  return msg ? 2 : 0;
+}
+
+/// One printed row of the serve-plan table.
+void print_serve_row(const core::InferenceEstimate& e, bool on_front) {
+  std::printf("%s tp%-2lld pp%-2lld batch %-4lld R=%-4lld  "
+              "ttft %8s  tpot %8s  %8.1f tok/s/gpu  %5.1f%% prefill  "
+              "kv %5.1f GB\n",
+              on_front ? "*" : " ", static_cast<long long>(e.cfg.tp),
+              static_cast<long long>(e.cfg.pp),
+              static_cast<long long>(e.cfg.batch),
+              static_cast<long long>(e.admitted_batch),
+              util::format_time(e.ttft).c_str(),
+              util::format_time(e.tpot).c_str(), e.tokens_per_sec_per_gpu,
+              100.0 * e.prefill_fraction, e.mem.kv_cache.value() / 1e9);
+}
+
+int run_serve_plan_cmd(const util::ArgParser& args) {
+  if (args.has("help")) return serve_usage(nullptr);
+
+  io::LoadedConfig file_cfg;
+  if (const auto path = args.get("config")) {
+    try {
+      file_cfg = io::load_config_file(*path);
+    } catch (const std::exception& e) {
+      return serve_usage(e.what());
+    }
+  }
+  model::TransformerConfig mdl;
+  const std::string model_name =
+      args.get_or("model", file_cfg.model ? "from-config" : "llama3-405b");
+  if (model_name == "from-config") {
+    mdl = *file_cfg.model;
+  } else if (const auto preset = model::preset_by_name(model_name)) {
+    mdl = *preset;
+  } else {
+    return serve_usage(("unknown model '" + model_name + "'").c_str());
+  }
+
+  hw::SystemConfig sys;
+  if (file_cfg.system) {
+    sys = *file_cfg.system;
+  } else {
+    sys = hw::make_system(hw::GpuGeneration::H200, 8, 8);
+  }
+  if (const auto name = args.get("gpu")) {
+    const auto gen = gen_by_name(*name);
+    if (!gen) return serve_usage("unknown --gpu (a100|h200|b200)");
+    const auto fresh = hw::make_system(*gen, sys.nvs_domain, sys.n_gpus);
+    sys.gpu = fresh.gpu;
+    sys.net = fresh.net;
+  }
+  if (args.has("nvs")) sys.nvs_domain = args.get_int_or("nvs", sys.nvs_domain);
+  if (args.has("gpus")) sys.n_gpus = args.get_int_or("gpus", sys.n_gpus);
+
+  core::ServingSpec spec =
+      file_cfg.serving ? *file_cfg.serving : core::ServingSpec{};
+  if (args.has("prompt")) {
+    spec.prompt_len = args.get_int_or("prompt", spec.prompt_len);
+  }
+  if (args.has("output")) {
+    spec.output_len = args.get_int_or("output", spec.output_len);
+  }
+  const auto int_list_flag = [&](const char* flag,
+                                 std::vector<std::int64_t>& axis) -> bool {
+    const auto v = args.get(flag);
+    if (!v) return true;
+    axis.clear();
+    for (const auto& item : util::split_list(*v)) {
+      try {
+        axis.push_back(std::stoll(item));
+      } catch (const std::exception&) {
+        return false;
+      }
+      if (axis.back() < 1) return false;
+    }
+    return !axis.empty();
+  };
+  if (!int_list_flag("tp", spec.tp)) {
+    return serve_usage("--tp needs positive integers");
+  }
+  if (!int_list_flag("pp", spec.pp)) {
+    return serve_usage("--pp needs positive integers");
+  }
+  if (!int_list_flag("batch", spec.batch)) {
+    return serve_usage("--batch needs positive integers");
+  }
+  if (args.has("kv-cap")) {
+    spec.kv_cap_fraction = args.get_double_or("kv-cap", spec.kv_cap_fraction);
+    if (!(spec.kv_cap_fraction > 0.0) || spec.kv_cap_fraction > 1.0) {
+      return serve_usage("--kv-cap must lie in (0, 1]");
+    }
+  }
+  const bool show_all = args.has("all");
+  const std::string csv = args.get_or("csv", "");
+  const auto stray = args.unused();
+  if (!stray.empty()) {
+    return serve_usage(("unknown flag --" + stray.front()).c_str());
+  }
+
+  std::cout << "Serving " << mdl.name << " on " << sys.gpu.name << " nvs"
+            << sys.nvs_domain << ": prompt " << spec.prompt_len << " + "
+            << spec.output_len << " output tokens, KV cap "
+            << util::format_fixed(100.0 * spec.kv_cap_fraction, 0)
+            << "% of HBM\n\n";
+
+  search::ServePlanOptions opts;
+  opts.spec = spec;
+  search::ServePlanResult run;
+  try {
+    run = search::run_serve_plan(mdl, sys, opts);
+  } catch (const std::exception& e) {
+    return serve_usage(e.what());
+  }
+
+  // Re-assert the KV-residency contract on every point we are about to
+  // report: the estimator must have kept weights + activations + R
+  // reservations inside HBM and inside the cap. A violation is a bug, not
+  // a user error — fail loudly.
+  std::size_t violations = 0;
+  for (const auto& e : run.points) {
+    if (!e.feasible) continue;
+    const double hbm = sys.gpu.hbm_capacity.value();
+    const bool resident = e.mem.total().value() <= hbm &&
+                          e.mem.kv_cache.value() <=
+                              spec.kv_cap_fraction * hbm &&
+                          e.admitted_batch >= 1 &&
+                          e.admitted_batch <= e.cfg.batch;
+    if (!resident) {
+      ++violations;
+      std::cerr << "KV residency violated at tp" << e.cfg.tp << " pp"
+                << e.cfg.pp << " batch " << e.cfg.batch << "\n";
+    }
+  }
+  if (violations != 0) {
+    std::cerr << violations << " reported points violate KV residency\n";
+    return 1;
+  }
+
+  std::vector<bool> on_front(run.points.size(), false);
+  for (const std::size_t i : run.front) on_front[i] = true;
+  const auto write_csv = [&] {
+    if (csv.empty()) return;
+    std::ofstream out(csv);
+    out << "tp,pp,batch,admitted,feasible,on_front,ttft_s,tpot_s,"
+           "request_latency_s,tok_s,tok_s_gpu,prefill_fraction,kv_gb,"
+           "total_gb,decode_floor_s,reason\n";
+    for (std::size_t i = 0; i < run.points.size(); ++i) {
+      const auto& e = run.points[i];
+      out << e.cfg.tp << ',' << e.cfg.pp << ',' << e.cfg.batch << ','
+          << e.admitted_batch << ',' << (e.feasible ? 1 : 0) << ','
+          << (on_front[i] ? 1 : 0) << ',' << e.ttft << ',' << e.tpot << ','
+          << e.request_latency << ',' << e.tokens_per_sec << ','
+          << e.tokens_per_sec_per_gpu << ',' << e.prefill_fraction << ','
+          << e.mem.kv_cache.value() / 1e9 << ','
+          << e.mem.total().value() / 1e9 << ',' << e.decode_floor << ",\""
+          << e.reason << "\"\n";
+    }
+    std::cout << "CSV written to " << csv << "\n";
+  };
+  if (show_all) {
+    for (std::size_t i = 0; i < run.points.size(); ++i) {
+      if (run.points[i].feasible) print_serve_row(run.points[i], on_front[i]);
+    }
+  } else {
+    for (const std::size_t i : run.front) {
+      print_serve_row(run.points[i], true);
+    }
+  }
+  if (run.front.empty()) {
+    write_csv();
+    std::cerr << "no feasible serving shape — the KV budget admits no "
+                 "resident request on this system\n";
+    return 1;
+  }
+  const auto& fastest = run.points[run.front.front()];
+  const auto& densest = run.points[run.front.back()];
+  const std::int64_t replicas =
+      std::max<std::int64_t>(1, sys.n_gpus / (densest.cfg.tp *
+                                              densest.cfg.pp));
+  std::printf(
+      "\n%zu/%zu grid points feasible, %zu on the front "
+      "(%zu prefill lowerings, %zu cache hits)\n",
+      run.stats.feasible, run.stats.evaluated, run.front.size(),
+      run.stats.signature_compiles, run.stats.signature_reuses);
+  std::printf(
+      "fastest: tp%lld pp%lld @ %s/request   densest: tp%lld pp%lld @ %.1f "
+      "tok/s/gpu (%lld replicas -> %.0f tok/s)\n",
+      static_cast<long long>(fastest.cfg.tp),
+      static_cast<long long>(fastest.cfg.pp),
+      util::format_time(fastest.request_latency).c_str(),
+      static_cast<long long>(densest.cfg.tp),
+      static_cast<long long>(densest.cfg.pp),
+      densest.tokens_per_sec_per_gpu, static_cast<long long>(replicas),
+      densest.tokens_per_sec * static_cast<double>(replicas));
+
+  write_csv();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -615,6 +846,10 @@ int main(int argc, char** argv) {
   }
   if (!args.positional().empty() && args.positional().front() == "codesign") {
     return run_codesign_cmd(args);
+  }
+  if (!args.positional().empty() &&
+      args.positional().front() == "serve-plan") {
+    return run_serve_plan_cmd(args);
   }
   if (args.has("help")) return usage(nullptr);
 
